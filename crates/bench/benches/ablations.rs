@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **interconnect ablation** — idealised crossbar mailboxes vs windowed
+//!   fabric vs packet-switched mesh NoC for the same traffic pattern;
+//! * **placement ablation** — round-robin vs island placement in the
+//!   data-flow engine;
+//! * **LUT-arity ablation** — configuration cost and evaluation speed of
+//!   the universal fabric as k grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_machine::dataflow::{graph::library, DataflowMachine, DataflowSubtype, Placement};
+use skilltax_machine::interconnect::{FabricTopology, Mailboxes};
+use skilltax_machine::noc::MeshNoc;
+use skilltax_machine::universal::{ripple_adder, LutFabric};
+use skilltax_machine::Word;
+
+/// All-to-one traffic: 15 packets converging on node 5 of a 16-node
+/// fabric.
+fn bench_interconnect_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interconnect_ablation");
+    g.bench_function("crossbar_mailboxes", |b| {
+        b.iter(|| {
+            let mut mb = Mailboxes::new(16, FabricTopology::Crossbar);
+            for src in 0..16 {
+                if src != 5 {
+                    mb.send(src, 5, src as Word).unwrap();
+                }
+            }
+            let mut got = 0;
+            for src in 0..16 {
+                if src != 5 {
+                    while mb.recv(5, src).unwrap().is_some() {
+                        got += 1;
+                    }
+                }
+            }
+            std::hint::black_box(got)
+        })
+    });
+    g.bench_function("mesh_noc_4x4", |b| {
+        b.iter(|| {
+            let mut noc = MeshNoc::new(4, 4).unwrap();
+            for src in 0..16 {
+                if src != 5 {
+                    noc.inject(src, 5, src as Word).unwrap();
+                }
+            }
+            std::hint::black_box(noc.drain(10_000).unwrap().len())
+        })
+    });
+    g.bench_function("window_fabric_hops3", |b| {
+        b.iter(|| {
+            let mut mb = Mailboxes::new(16, FabricTopology::Window { hops: 3 });
+            let mut routable = 0;
+            for src in 0..16usize {
+                if src != 5 && mb.send(src, 5, src as Word).is_ok() {
+                    routable += 1;
+                }
+            }
+            std::hint::black_box(routable)
+        })
+    });
+    g.finish();
+}
+
+fn bench_placement_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow_placement");
+    let graph = library::independent_chains(16);
+    let inputs: Vec<Word> = (0..16).collect();
+    let machine = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
+    for (label, placement) in
+        [("round_robin", Placement::RoundRobin), ("islands", Placement::Islands)]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &placement, |b, p| {
+            b.iter(|| std::hint::black_box(machine.run(&graph, &inputs, p).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lut_arity_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_arity");
+    for k in [3usize, 4, 6] {
+        let fabric = LutFabric::new(256, k, 16);
+        let bs = ripple_adder(&fabric, 8).unwrap();
+        let configured = fabric.configure(&bs).unwrap();
+        let inputs: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        g.bench_with_input(BenchmarkId::new("eval_adder", k), &configured, |b, f| {
+            b.iter(|| std::hint::black_box(f.eval(&inputs).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("config_bits", k), &bs, |b, bs| {
+            b.iter(|| std::hint::black_box(bs.config_bits(&fabric)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_interconnect_ablation, bench_placement_ablation, bench_lut_arity_ablation
+}
+criterion_main!(benches);

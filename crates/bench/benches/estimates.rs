@@ -1,0 +1,79 @@
+//! Benchmarks behind Eq 1 / Eq 2 and the Pareto exploration
+//! (bench_area / bench_config_bits / bench_pareto), including the n-sweep
+//! that shows how predicted cost scales with machine size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_catalog::full_survey;
+use skilltax_estimate::{
+    estimate_area, estimate_config_bits, pareto_front, sweep_classes, CostParams,
+};
+
+fn bench_area(c: &mut Criterion) {
+    let survey = full_survey();
+    let params = CostParams::default();
+    c.bench_function("area_eq1_over_survey", |b| {
+        b.iter(|| {
+            for entry in &survey {
+                std::hint::black_box(estimate_area(&entry.spec, &params).total());
+            }
+        })
+    });
+}
+
+fn bench_config_bits(c: &mut Criterion) {
+    let survey = full_survey();
+    let params = CostParams::default();
+    c.bench_function("config_bits_eq2_over_survey", |b| {
+        b.iter(|| {
+            for entry in &survey {
+                std::hint::black_box(estimate_config_bits(&entry.spec, &params).total());
+            }
+        })
+    });
+}
+
+fn bench_n_sweep(c: &mut Criterion) {
+    // The designer's scaling question: how do Eq 1 / Eq 2 grow with n?
+    let mut g = c.benchmark_group("estimate_n_sweep");
+    let spec = skilltax_model::dsl::parse_row(
+        "IMP-XVI-template",
+        "n | n | none | nxn | nxn | nxn | nxn",
+    )
+    .unwrap();
+    for n in [4u32, 16, 64, 256] {
+        let params = CostParams::default().with_n(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, p| {
+            b.iter(|| {
+                std::hint::black_box(estimate_area(&spec, p).total());
+                std::hint::black_box(estimate_config_bits(&spec, p).total());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let params = CostParams::default();
+    c.bench_function("pareto_sweep_and_front", |b| {
+        b.iter(|| {
+            let points = sweep_classes(&params);
+            std::hint::black_box(pareto_front(&points))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_area, bench_config_bits, bench_n_sweep, bench_pareto
+}
+criterion_main!(benches);

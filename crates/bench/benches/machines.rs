@@ -1,0 +1,125 @@
+//! Benchmarks of the executable machines (bench_morph and the machine
+//! ablations): the same workload across class families, showing where the
+//! flexibility/parallelism trade-off lands in simulated cycles.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_machine::array::ArraySubtype;
+use skilltax_machine::morph;
+use skilltax_machine::multi::MultiSubtype;
+use skilltax_machine::sweep::parallel_map;
+use skilltax_machine::workload::{
+    run_mimd_mix_multi, run_vector_add_array, run_vector_add_multi, run_vector_add_uni,
+};
+use skilltax_machine::Word;
+
+fn vectors(n: usize) -> (Vec<Word>, Vec<Word>) {
+    ((0..n as Word).collect(), (0..n as Word).rev().collect())
+}
+
+fn bench_vector_add_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_add");
+    for n in [8usize, 32, 128] {
+        let (a, b) = vectors(n);
+        g.bench_with_input(BenchmarkId::new("IUP_sequential", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(run_vector_add_uni(&a, &b).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("IAP-I_simd", n), &n, |bch, _| {
+            bch.iter(|| {
+                std::hint::black_box(run_vector_add_array(ArraySubtype::I, &a, &b).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("IMP-I_simd_emulated", n), &n, |bch, _| {
+            bch.iter(|| {
+                std::hint::black_box(
+                    run_vector_add_multi(MultiSubtype::from_index(1).unwrap(), &a, &b).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mimd_mix(c: &mut Criterion) {
+    let slices: Vec<Vec<Word>> = (0..8).map(|i| (i..i + 16).collect()).collect();
+    c.bench_function("mimd_mix_8_cores", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &slices).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_morph(c: &mut Criterion) {
+    c.bench_function("morph_demonstrations", |b| {
+        b.iter(|| std::hint::black_box(morph::demonstrate().unwrap()))
+    });
+}
+
+fn bench_vliw(c: &mut Criterion) {
+    use skilltax_machine::vliw::{Bundle, VliwMachine, VliwProgram};
+    use skilltax_machine::Instr;
+    // An 8-lane heterogeneous bundle stream, Montium style.
+    let lanes = 8usize;
+    let mut bundles = vec![
+        Bundle::broadcast(lanes, Instr::MovI(0, 3)),
+        Bundle::broadcast(lanes, Instr::MovI(1, 5)),
+    ];
+    for _ in 0..32 {
+        bundles.push(Bundle {
+            slots: (0..lanes)
+                .map(|lane| {
+                    Some(match lane % 4 {
+                        0 => Instr::Add(2, 0, 1),
+                        1 => Instr::Mul(2, 0, 1),
+                        2 => Instr::Sub(2, 0, 1),
+                        _ => Instr::Max(2, 0, 1),
+                    })
+                })
+                .collect(),
+            control: None,
+        });
+    }
+    bundles.push(Bundle { slots: vec![None; lanes], control: Some(Instr::Halt) });
+    let program = VliwProgram::new(bundles, lanes).unwrap();
+    c.bench_function("vliw_8lane_32bundles", |b| {
+        b.iter(|| {
+            let mut m = VliwMachine::new(
+                skilltax_machine::array::ArraySubtype::I,
+                lanes,
+                4,
+            );
+            std::hint::black_box(m.run(&program).unwrap())
+        })
+    });
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    // The harness's own fan-out: many simulations across threads.
+    let sizes: Vec<usize> = (2..=33).collect();
+    c.bench_function("parallel_sweep_32_simulations", |b| {
+        b.iter(|| {
+            let results = parallel_map(sizes.clone(), |&n| {
+                let (a, bv) = vectors(n);
+                run_vector_add_array(ArraySubtype::I, &a, &bv).unwrap().stats.cycles
+            });
+            std::hint::black_box(results)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_vector_add_families, bench_mimd_mix, bench_morph, bench_vliw, bench_parallel_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks behind Tables I–III: table enumeration, classification and
+//! flexibility scoring (bench_table1 / bench_table2 / bench_table3).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skilltax_bench::artifacts;
+use skilltax_catalog::full_survey;
+use skilltax_taxonomy::{classify, flexibility_of_spec, flexibility_table, ClassName, Taxonomy};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("enumerate_47_classes", |b| {
+        // The shared table is cached behind a OnceLock; measure the full
+        // render, which touches every row.
+        b.iter(|| std::hint::black_box(artifacts::table1()))
+    });
+    g.bench_function("classify_all_templates", |b| {
+        let specs: Vec<_> = Taxonomy::extended()
+            .implementable()
+            .map(|c| c.template_spec())
+            .collect();
+        b.iter(|| {
+            for spec in &specs {
+                std::hint::black_box(classify(spec).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("flexibility_table", |b| {
+        b.iter(|| std::hint::black_box(flexibility_table()))
+    });
+    g.bench_function("render", |b| b.iter(|| std::hint::black_box(artifacts::table2())));
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    let survey = full_survey();
+    g.bench_function("classify_25_survey_entries", |b| {
+        b.iter(|| {
+            for entry in &survey {
+                let _ = std::hint::black_box(entry.classify());
+                std::hint::black_box(flexibility_of_spec(&entry.spec));
+            }
+        })
+    });
+    g.bench_function("regenerate_full_table", |b| {
+        b.iter(|| std::hint::black_box(artifacts::table3()))
+    });
+    g.bench_function("build_catalog", |b| {
+        b.iter_batched(full_survey, std::hint::black_box, BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+fn bench_names(c: &mut Criterion) {
+    let names: Vec<String> = Taxonomy::extended()
+        .implementable()
+        .map(|cl| cl.name().to_string())
+        .collect();
+    c.bench_function("name_parse_round_trip_43", |b| {
+        b.iter(|| {
+            for n in &names {
+                let parsed: ClassName = n.parse().unwrap();
+                std::hint::black_box(parsed.to_string());
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_table1, bench_table2, bench_table3, bench_names
+}
+criterion_main!(benches);

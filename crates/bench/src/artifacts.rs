@@ -1,0 +1,608 @@
+//! Artifact generators: one function per paper table/figure, returning the
+//! regenerated artifact as text (ASCII, markdown or SVG).  The `table1`,
+//! `fig7`, ... binaries are thin wrappers over these, and the integration
+//! tests assert their contents against the paper.
+
+use skilltax_catalog::regenerate_table_iii;
+use skilltax_estimate::{
+    estimate_area, estimate_config_bits, pareto_front, sweep_classes, CostParams, TechNode,
+};
+use skilltax_machine::morph;
+use skilltax_model::dsl::parse_row;
+use skilltax_model::ArchSpec;
+use skilltax_report::{
+    ascii_bar_chart, ascii_trend_chart, diagram, figure, svg_bar_chart, svg_line_chart, Align,
+    Bar, CsvWriter, Series, Table,
+};
+use skilltax_taxonomy::{flexibility_table, hierarchy, Taxonomy};
+use skilltax_trends::{PublicationDatabase, Topic};
+
+/// Table I — the extended taxonomy table (all 47 classes).
+pub fn table1() -> String {
+    let mut table = Table::new(vec![
+        "S.N", "Gran.", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP", "Comments",
+    ])
+    .with_title("TABLE I: EXTENDED TABLE FROM SKILLICORN'S TAXONOMY")
+    .with_aligns(vec![
+        Align::Right,
+        Align::Left,
+        Align::Center,
+        Align::Center,
+        Align::Center,
+        Align::Center,
+        Align::Center,
+        Align::Center,
+        Align::Center,
+        Align::Left,
+    ]);
+    let mut section = "";
+    for class in Taxonomy::extended().classes() {
+        if class.section != section {
+            section = class.section;
+            table.push_row(vec![format!("-- {section} --")]);
+        }
+        let spec = class.template_spec();
+        let mut cells = vec![format!("{}.", class.serial), class.granularity.to_string()];
+        cells.push(spec.ips.to_string());
+        cells.push(spec.dps.to_string());
+        for (_, link) in spec.connectivity.iter() {
+            cells.push(link.to_string());
+        }
+        cells.push(class.designation.to_string());
+        table.push_row(cells);
+    }
+    table.render_ascii()
+}
+
+/// Table II — relative flexibility values for every named class.
+pub fn table2() -> String {
+    let mut table = Table::new(vec!["Group", "Class", "Flexibility"])
+        .with_title("TABLE II: RELATIVE FLEXIBILITY VALUES FOR DIFFERENT CLASSES")
+        .with_aligns(vec![Align::Left, Align::Left, Align::Right]);
+    let mut group = "";
+    for entry in flexibility_table() {
+        let group_cell = if entry.group != group {
+            group = entry.group;
+            entry.group
+        } else {
+            ""
+        };
+        table.push_row(vec![
+            group_cell.to_owned(),
+            entry.name.to_string(),
+            entry.flexibility.to_string(),
+        ]);
+    }
+    table.render_ascii()
+}
+
+/// Table III — the survey of 25 architectures, re-derived by the engine.
+pub fn table3() -> String {
+    let mut table = Table::new(vec![
+        "Architecture",
+        "IPs | DPs | IP-IP | IP-DP | IP-IM | DP-DM | DP-DP",
+        "Name",
+        "Flex",
+        "Paper",
+        "Note",
+    ])
+    .with_title("TABLE III: SURVEY OF MODERN PARALLEL AND RECONFIGURABLE ARCHITECTURES")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+        Align::Left,
+    ]);
+    for row in regenerate_table_iii() {
+        let paper = format!("{}/{}", row.paper.0, row.paper.1);
+        let note = if row.erratum.is_some() { "erratum: see EXPERIMENTS.md" } else { "" };
+        table.push_row(vec![
+            row.name,
+            row.structure,
+            row.class,
+            row.flexibility.to_string(),
+            paper,
+            note.to_owned(),
+        ]);
+    }
+    table.render_ascii()
+}
+
+/// Table III as CSV (for downstream tooling).
+pub fn table3_csv() -> String {
+    let mut csv = CsvWriter::new();
+    csv.header(&["architecture", "structure", "class", "flexibility", "paper_class", "paper_flexibility"]);
+    for row in regenerate_table_iii() {
+        csv.row(&[
+            row.name.clone(),
+            row.structure.clone(),
+            row.class.clone(),
+            row.flexibility.to_string(),
+            row.paper.0.to_owned(),
+            row.paper.1.to_string(),
+        ]);
+    }
+    csv.finish()
+}
+
+fn fig1_series() -> Vec<Series> {
+    let db = PublicationDatabase::default();
+    Topic::ALL
+        .iter()
+        .map(|&topic| Series {
+            label: topic.label().to_owned(),
+            points: db
+                .series(topic)
+                .into_iter()
+                .map(|(y, c)| (f64::from(y), f64::from(c)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fig 1 — research trends (ASCII view).
+pub fn fig1_ascii() -> String {
+    let mut out = ascii_trend_chart(
+        "Fig 1: Research Trends in Parallel Computing, 1995-2010 \
+         (synthetic IEEE-database substitute, seed 2012)",
+        &fig1_series(),
+    );
+    let db = PublicationDatabase::default();
+    out.push_str("\nGrowth in the last five years vs the five before (the paper's observation):\n");
+    for topic in Topic::ALL {
+        out.push_str(&format!(
+            "  {:<26} x{:.1}\n",
+            topic.label(),
+            db.last_five_year_growth(topic)
+        ));
+    }
+    out
+}
+
+/// Fig 1 — research trends (SVG).
+pub fn fig1_svg() -> String {
+    svg_line_chart("Fig 1: Research Trends in Parallel Computing (synthetic)", &fig1_series())
+}
+
+/// Fig 2 — the naming hierarchy tree.
+pub fn fig2() -> String {
+    format!("Fig 2: Hierarchy of Computing Machines\n\n{}", hierarchy().render())
+}
+
+fn subtype_specs(rows: &[(&str, &str)]) -> Vec<ArchSpec> {
+    rows.iter()
+        .map(|(name, row)| parse_row(name, row).expect("figure rows are well formed"))
+        .collect()
+}
+
+/// Fig 3 — data-flow machine sub-types (DMP I–IV organisations).
+pub fn fig3() -> String {
+    figure(
+        "Fig 3: Skillicorn's Data Flow Machine with Sub-Types defined in this paper",
+        &subtype_specs(&[
+            ("DMP-I", "0 | n | none | none | none | n-n | none"),
+            ("DMP-II", "0 | n | none | none | none | n-n | nxn"),
+            ("DMP-III", "0 | n | none | none | none | nxn | none"),
+            ("DMP-IV", "0 | n | none | none | none | nxn | nxn"),
+        ]),
+    )
+}
+
+/// Fig 4 — array-processor sub-types (IAP I–IV organisations).
+pub fn fig4() -> String {
+    figure(
+        "Fig 4: Skillicorn's Array Processor with Sub-Types defined in this paper",
+        &subtype_specs(&[
+            ("IAP-I", "1 | n | none | 1-n | 1-1 | n-n | none"),
+            ("IAP-II", "1 | n | none | 1-n | 1-1 | n-n | nxn"),
+            ("IAP-III", "1 | n | none | 1-n | 1-1 | nxn | none"),
+            ("IAP-IV", "1 | n | none | 1-n | 1-1 | nxn | nxn"),
+        ]),
+    )
+}
+
+/// Fig 5 — instruction-flow spatial processors.
+pub fn fig5() -> String {
+    let mut out = figure(
+        "Fig 5: An Illustration of Instruction Flow Spatial Processors",
+        &subtype_specs(&[
+            ("ISP-I (IPs composable)", "n | n | nxn | n-n | n-n | n-n | none"),
+            ("ISP-XVI (everything switched)", "n | n | nxn | nxn | nxn | nxn | nxn"),
+        ]),
+    );
+    out.push_str(
+        "\nIn a spatial machine the IP-IP switch lets instruction processors\n\
+         compose: two small IPs fuse into one wider IP driving both DPs\n\
+         (executable demonstration: `skilltax_machine::spatial`).\n",
+    );
+    out
+}
+
+/// Fig 6 — universal-flow spatial processors.
+pub fn fig6() -> String {
+    let mut out = figure(
+        "Fig 6: An Illustration of Universal Flow Spatial Processors",
+        &subtype_specs(&[("USP (FPGA)", "v | v | vxv | vxv | vxv | vxv | vxv")]),
+    );
+    out.push_str(
+        "\nEvery cell is a LUT that can take the role of IP, DP, IM or DM on\n\
+         reconfiguration; the same fabric runs a ripple-carry adder (data\n\
+         flow) and a program counter (instruction flow) — see\n\
+         `skilltax_machine::universal::mapper`.\n",
+    );
+    out
+}
+
+fn fig7_bars() -> Vec<Bar> {
+    regenerate_table_iii()
+        .into_iter()
+        .map(|row| Bar { label: row.name, value: f64::from(row.flexibility) })
+        .collect()
+}
+
+/// Fig 7 — flexibility comparison of the 25 surveyed architectures (ASCII).
+pub fn fig7_ascii() -> String {
+    ascii_bar_chart(
+        "Fig 7: Comparison of Published Architectures w.r.t their Relative Flexibility",
+        &fig7_bars(),
+        48,
+    )
+}
+
+/// Fig 7 — SVG.
+pub fn fig7_svg() -> String {
+    svg_bar_chart("Fig 7: Relative flexibility of the surveyed architectures", &fig7_bars())
+}
+
+/// Eq 1 / Eq 2 report: itemised area and configuration bits over the
+/// survey at a given technology node.
+pub fn estimates_report() -> String {
+    let params = CostParams::default();
+    let node = TechNode::N90;
+    let mut table = Table::new(vec![
+        "Architecture",
+        "Class",
+        "Flex",
+        "Area [kGE]",
+        "Area @90nm [mm2]",
+        "Config bits",
+        "Interconnect share",
+    ])
+    .with_title("Eq 1 (area) and Eq 2 (configuration bits) over the survey, CostParams::default()")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for entry in skilltax_catalog::full_survey() {
+        let area = estimate_area(&entry.spec, &params);
+        let cb = estimate_config_bits(&entry.spec, &params);
+        let class = entry
+            .classify()
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|e| format!("<{e}>"));
+        table.push_row(vec![
+            entry.spec.name.clone(),
+            class,
+            entry.computed_flexibility().to_string(),
+            format!("{:.0}", area.total() / 1_000.0),
+            format!("{:.2}", node.ge_to_mm2(area.total())),
+            cb.total().to_string(),
+            format!("{:.0}%", area.interconnect_fraction() * 100.0),
+        ]);
+    }
+    table.render_ascii()
+}
+
+/// The designer-facing Pareto report (flexibility vs area vs config bits
+/// over all 43 named classes).
+pub fn pareto_report() -> String {
+    let params = CostParams::default();
+    let points = sweep_classes(&params);
+    let front = pareto_front(&points);
+    let mut table = Table::new(vec!["Class", "Flexibility", "Area [kGE]", "Config bits", "Pareto"])
+        .with_title("Design-space sweep over the 43 named classes (n = 16 substitution)")
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Center]);
+    for p in &points {
+        let on_front = front.iter().any(|q| q.label == p.label);
+        table.push_row(vec![
+            p.label.clone(),
+            p.flexibility.to_string(),
+            format!("{:.0}", p.area_ge / 1_000.0),
+            p.config_bits.to_string(),
+            if on_front { "*" } else { "" }.to_owned(),
+        ]);
+    }
+    table.render_ascii()
+}
+
+/// The morphing demonstration report (Section III-B's claims, executed).
+pub fn morph_report() -> String {
+    let mut out = String::from(
+        "Morphing demonstrations (Section III-B claims run on the executable machines)\n\n",
+    );
+    match morph::demonstrate() {
+        Ok(evidence) => {
+            for ev in evidence {
+                out.push_str(&format!(
+                    "  {} as {}: predicted {} / observed {} -- {}\n",
+                    ev.emulator,
+                    ev.target,
+                    if ev.predicted { "CAN" } else { "CANNOT" },
+                    if ev.observed { "DID" } else { "DID NOT" },
+                    ev.note
+                ));
+            }
+        }
+        Err(e) => out.push_str(&format!("  demonstration failed: {e}\n")),
+    }
+    out
+}
+
+/// Baseline comparison: how Flynn (1966) and Skillicorn (1988) relate to
+/// the extended taxonomy — the quantified version of Section I's
+/// motivation.
+pub fn baselines_report() -> String {
+    use skilltax_taxonomy::{flynn_partition, new_classes, skillicorn_table};
+    let mut out = String::from("Baselines: Flynn (1966) and Skillicorn (1988) vs the extension\n\n");
+    let (buckets, unplaced) = flynn_partition();
+    out.push_str("Flynn's four classes absorb the 43 named extended classes as:\n");
+    for (flynn, members) in buckets {
+        out.push_str(&format!(
+            "  {:<4} <- {:>2} classes ({})\n",
+            flynn.acronym(),
+            members.len(),
+            summarize(&members)
+        ));
+    }
+    out.push_str(&format!(
+        "  unplaceable: {unplaced:?} (Flynn has no variable stream count)\n\n"
+    ));
+    out.push_str(&format!(
+        "Skillicorn's original table expresses {} of the 47 extended rows;\n",
+        skillicorn_table().len()
+    ));
+    let new = new_classes();
+    out.push_str(&format!(
+        "the IP-IP switch and the variable count add {} new classes: {:?}\n",
+        new.len(),
+        new.iter().map(|(s, n)| format!("{s}:{n}")).collect::<Vec<_>>()
+    ));
+    out
+}
+
+fn summarize(names: &[String]) -> String {
+    if names.is_empty() {
+        return "-".to_owned();
+    }
+    if names.len() <= 4 {
+        return names.join(", ");
+    }
+    format!("{}, ..., {}", names[0], names[names.len() - 1])
+}
+
+/// Beyond the paper: classify post-2012 architectures with the same
+/// engine (the taxonomy's predictive use).
+pub fn modern_report() -> String {
+    let mut table = Table::new(vec!["Architecture", "Structure", "Class", "Flex", "Rationale"])
+        .with_title("Beyond the paper: post-2012 architectures under the extended taxonomy")
+        .with_aligns(vec![Align::Left, Align::Left, Align::Left, Align::Right, Align::Left]);
+    for case in skilltax_catalog::modern_cases() {
+        let class = skilltax_taxonomy::classify(&case.spec)
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|e| format!("<{e}>"));
+        let flex = skilltax_taxonomy::flexibility_of_spec(&case.spec);
+        let rationale: String = case.rationale.chars().take(60).collect();
+        table.push_row(vec![
+            case.spec.name.clone(),
+            case.spec.row_notation(),
+            class,
+            flex.to_string(),
+            format!("{rationale}..."),
+        ]);
+    }
+    table.render_ascii()
+}
+
+/// Machine-readable export of the re-derived survey (JSON).
+pub fn table3_json() -> String {
+    use skilltax_report::Json;
+    let rows: Vec<Json> = regenerate_table_iii()
+        .into_iter()
+        .map(|row| {
+            Json::obj(vec![
+                ("architecture", Json::str(&row.name)),
+                ("structure", Json::str(&row.structure)),
+                ("citation", Json::str(&row.citation)),
+                ("class", Json::str(&row.class)),
+                ("flexibility", Json::int(i64::from(row.flexibility))),
+                ("paper_class", Json::str(row.paper.0)),
+                ("paper_flexibility", Json::int(i64::from(row.paper.1))),
+                (
+                    "erratum",
+                    row.erratum.map(Json::str).unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("source", Json::str("Shami & Hemani, IPPS 2012, Table III")),
+        ("rows", Json::Arr(rows)),
+    ])
+    .emit()
+}
+
+/// The morphing partial order over the 43 named classes as a Graphviz
+/// Hasse diagram (render with `dot -Tsvg`): an edge `A -> B` means B can
+/// be morphed to act as A and nothing sits strictly between them.
+pub fn morph_lattice_dot() -> String {
+    use skilltax_machine::morph::can_emulate;
+    use skilltax_report::{hasse_edges, DotGraph};
+    use skilltax_taxonomy::MachineType;
+
+    let names: Vec<skilltax_taxonomy::ClassName> =
+        Taxonomy::extended().implementable().map(|c| *c.name()).collect();
+    let refs: Vec<&skilltax_taxonomy::ClassName> = names.iter().collect();
+    let mut g = DotGraph::new("morph-lattice");
+    for name in &names {
+        let fill = match name.machine {
+            MachineType::DataFlow => "lightgoldenrod",
+            MachineType::InstructionFlow => "lightblue",
+            MachineType::UniversalFlow => "lightpink",
+        };
+        g.filled_node(name.to_string(), name.to_string(), fill);
+    }
+    // Order: a <= b iff b can emulate a (so arrows point at the more
+    // capable machine).
+    for (a, b) in hasse_edges(&refs, |x, y| can_emulate(y, x)) {
+        g.edge(a.to_string(), b.to_string());
+    }
+    g.emit()
+}
+
+/// The Fig 2 hierarchy as Graphviz DOT.
+pub fn fig2_dot() -> String {
+    use skilltax_report::DotGraph;
+    fn add(
+        g: &mut DotGraph,
+        node: &skilltax_taxonomy::HierarchyNode,
+        parent: Option<&str>,
+        path: String,
+    ) {
+        let label = if node.classes.is_empty() {
+            node.label.clone()
+        } else {
+            let names: Vec<String> = node.classes.iter().map(|c| c.to_string()).collect();
+            format!("{}\n{}", node.label, names.join(" "))
+        };
+        g.node(path.clone(), label);
+        if let Some(p) = parent {
+            g.edge(p.to_string(), path.clone());
+        }
+        for (i, child) in node.children.iter().enumerate() {
+            add(g, child, Some(&path), format!("{path}/{i}"));
+        }
+    }
+    let mut g = DotGraph::new("fig2-hierarchy");
+    add(&mut g, &hierarchy(), None, "root".to_owned());
+    g.emit()
+}
+
+/// A sample architecture diagram (for the quickstart docs).
+pub fn sample_diagram() -> String {
+    let spec = parse_row("MorphoSys", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64")
+        .expect("well formed");
+    diagram(&spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_47_rows_and_sections() {
+        let t = table1();
+        assert!(t.contains("47."));
+        assert!(t.contains("Data Flow Machines -> Single Processor"));
+        assert!(t.contains("Universal Flow Machine -> Spatial Computing"));
+        assert!(t.contains("IMP-XVI"));
+        assert!(t.contains("NI"));
+        assert!(t.contains("USP"));
+    }
+
+    #[test]
+    fn table2_contains_the_key_scores() {
+        let t = table2();
+        for needle in ["DUP", "DMP-IV", "IAP-II", "IMP-XVI", "ISP-XVI", "USP", "(+3)"] {
+            assert!(t.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn table3_reproduces_all_25_architectures() {
+        let t = table3();
+        for name in ["ARM7TDMI", "MorphoSys", "PACT XPP", "DRRA", "Matrix", "FPGA"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("erratum"));
+        let csv = table3_csv();
+        assert_eq!(csv.lines().count(), 26); // header + 25 rows
+    }
+
+    #[test]
+    fn figures_render() {
+        assert!(fig1_ascii().contains("Multicore"));
+        assert!(fig1_svg().starts_with("<svg"));
+        assert!(fig2().contains("Computing Machines"));
+        assert!(fig3().contains("DMP-IV"));
+        assert!(fig4().contains("IAP-III"));
+        assert!(fig5().contains("compose"));
+        assert!(fig6().contains("LUT"));
+        assert!(fig7_ascii().contains("FPGA"));
+        assert!(fig7_svg().contains("</svg>"));
+    }
+
+    #[test]
+    fn estimate_and_pareto_reports_render() {
+        let e = estimates_report();
+        assert!(e.contains("MorphoSys"));
+        assert!(e.contains("mm2"));
+        let p = pareto_report();
+        assert!(p.contains("IUP"));
+        assert!(p.contains("*"));
+    }
+
+    #[test]
+    fn morph_report_shows_all_four_demonstrations() {
+        let m = morph_report();
+        assert_eq!(m.matches("predicted").count(), 5);
+        assert!(m.contains("IMP-I as IAP-I: predicted CAN / observed DID"));
+        assert!(m.contains("IAP-IV as IMP-I: predicted CANNOT / observed DID NOT"));
+    }
+
+    #[test]
+    fn baselines_report_quantifies_the_motivation() {
+        let b = baselines_report();
+        assert!(b.contains("MIMD <- 32"));
+        assert!(b.contains("28 of the 47"));
+        assert!(b.contains("19 new classes"));
+    }
+
+    #[test]
+    fn modern_report_and_json_export_render() {
+        let m = modern_report();
+        assert!(m.contains("GPU-SM"));
+        assert!(m.contains("IAP-IV"));
+        let j = table3_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"PACT XPP\""));
+        assert_eq!(j.matches("\"architecture\"").count(), 25);
+    }
+
+    #[test]
+    fn dot_exports_are_well_formed() {
+        let lattice = morph_lattice_dot();
+        assert!(lattice.starts_with("digraph"));
+        assert_eq!(lattice.matches("[label=").count(), 43);
+        // The bottom elements (DUP, IUP) and the top (USP) all appear.
+        assert!(lattice.contains("\"DUP\"") && lattice.contains("\"USP\""));
+        // Hasse reduction: USP covers only the maximal coarse classes, so
+        // far fewer than 42 edges point into it.
+        let usp_in_edges = lattice.matches("-> \"USP\"").count();
+        assert!(usp_in_edges > 0 && usp_in_edges < 10, "{usp_in_edges}");
+        let tree = fig2_dot();
+        assert!(tree.contains("Computing Machines"));
+        assert!(tree.contains("IMP-I IMP-II"));
+    }
+
+    #[test]
+    fn sample_diagram_shows_the_crossbar() {
+        assert!(sample_diagram().contains("DP-DP: 64x64 (crossbar)"));
+    }
+}

@@ -1,0 +1,4 @@
+//! Print the Flynn / Skillicorn baseline comparison.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::baselines_report());
+}

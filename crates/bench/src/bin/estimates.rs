@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `estimates` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::estimates_report());
+}

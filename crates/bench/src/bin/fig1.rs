@@ -1,0 +1,8 @@
+//! Regenerate Fig 1 (research trends). Pass `--svg` for the SVG document.
+fn main() {
+    if std::env::args().any(|a| a == "--svg") {
+        print!("{}", skilltax_bench::artifacts::fig1_svg());
+    } else {
+        print!("{}", skilltax_bench::artifacts::fig1_ascii());
+    }
+}

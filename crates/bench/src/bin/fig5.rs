@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `fig5` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::fig5());
+}

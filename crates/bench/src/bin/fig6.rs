@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `fig6` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::fig6());
+}

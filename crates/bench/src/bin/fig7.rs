@@ -1,0 +1,8 @@
+//! Regenerate Fig 7 (flexibility comparison). Pass `--svg` for SVG.
+fn main() {
+    if std::env::args().any(|a| a == "--svg") {
+        print!("{}", skilltax_bench::artifacts::fig7_svg());
+    } else {
+        print!("{}", skilltax_bench::artifacts::fig7_ascii());
+    }
+}

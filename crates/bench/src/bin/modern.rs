@@ -1,0 +1,4 @@
+//! Print the post-2012 classification report (taxonomy's predictive use).
+fn main() {
+    print!("{}", skilltax_bench::artifacts::modern_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `morphing` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::morph_report());
+}

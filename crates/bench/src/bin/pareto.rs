@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `pareto` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::pareto_report());
+}

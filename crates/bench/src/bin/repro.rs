@@ -1,0 +1,49 @@
+//! Regenerate **every** paper artifact into an output directory:
+//!
+//! ```sh
+//! cargo run -p skilltax-bench --bin repro [-- <out-dir>]   # default: artifacts/
+//! ```
+//!
+//! Writes `table1.txt` … `fig7.txt`, the SVG figures, `table3.csv`, and
+//! the supplementary reports, then prints an index.
+
+use std::fs;
+use std::path::PathBuf;
+
+use skilltax_bench::artifacts;
+
+fn main() -> std::io::Result<()> {
+    let out: PathBuf =
+        std::env::args().nth(1).unwrap_or_else(|| "artifacts".to_owned()).into();
+    fs::create_dir_all(&out)?;
+    let files: Vec<(&str, String)> = vec![
+        ("table1.txt", artifacts::table1()),
+        ("table2.txt", artifacts::table2()),
+        ("table3.txt", artifacts::table3()),
+        ("table3.csv", artifacts::table3_csv()),
+        ("fig1.txt", artifacts::fig1_ascii()),
+        ("fig1.svg", artifacts::fig1_svg()),
+        ("fig2.txt", artifacts::fig2()),
+        ("fig3.txt", artifacts::fig3()),
+        ("fig4.txt", artifacts::fig4()),
+        ("fig5.txt", artifacts::fig5()),
+        ("fig6.txt", artifacts::fig6()),
+        ("fig7.txt", artifacts::fig7_ascii()),
+        ("fig7.svg", artifacts::fig7_svg()),
+        ("estimates.txt", artifacts::estimates_report()),
+        ("pareto.txt", artifacts::pareto_report()),
+        ("morphing.txt", artifacts::morph_report()),
+        ("baselines.txt", artifacts::baselines_report()),
+        ("modern.txt", artifacts::modern_report()),
+        ("table3.json", artifacts::table3_json()),
+        ("fig2.dot", artifacts::fig2_dot()),
+        ("morph_lattice.dot", artifacts::morph_lattice_dot()),
+    ];
+    println!("writing {} artifacts to {}/", files.len(), out.display());
+    for (name, content) in files {
+        let path = out.join(name);
+        fs::write(&path, &content)?;
+        println!("  {:>12}  {:>7} bytes", name, content.len());
+    }
+    Ok(())
+}

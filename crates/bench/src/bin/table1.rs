@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `table1` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper artifact `table2` on stdout.
+fn main() {
+    print!("{}", skilltax_bench::artifacts::table2());
+}

@@ -1,0 +1,147 @@
+//! Array processors of Type II (IAP-II): one host/control IP commanding `n`
+//! DPs, with DP–DP crossbar connectivity but direct DP–DM paths.
+
+use crate::entry::SurveyEntry;
+
+/// IMAGINE — the Stanford stream processor.
+pub fn imagine() -> SurveyEntry {
+    SurveyEntry::new(
+        "IMAGINE",
+        "1 | 6 | none | 1-6 | 1-1 | 6-1 | 6x6",
+        "[12]",
+        2002,
+        "Stream processor with 6 arithmetic clusters (DPs) controlled by a \
+         host processor; the clusters connect to each other and to a \
+         multi-ported stream register file through a circuit-switched \
+         network.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+/// MorphoSys — dynamically reconfigurable system-on-chip.
+pub fn morphosys() -> SurveyEntry {
+    SurveyEntry::new(
+        "MorphoSys",
+        "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64",
+        "[13]",
+        1999,
+        "An 8x8 fabric of reconfigurable cells (RCs) arranged in rows and \
+         columns, driven by a TinyRISC host; RCs connect to each other and \
+         stream data through a frame buffer.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+/// REMARC — reconfigurable multimedia array coprocessor.
+pub fn remarc() -> SurveyEntry {
+    SurveyEntry::new(
+        "REMARC",
+        "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64",
+        "[14]",
+        1998,
+        "An 8x8 array of NANO processors, each storing instructions locally \
+         while a single global control unit supplies the program counter — \
+         a SIMD array despite the distributed instruction storage.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+/// RICA — the reconfigurable instruction cell array template.
+pub fn rica() -> SurveyEntry {
+    SurveyEntry::new(
+        "RICA",
+        "1 | n | none | 1-n | 1-1 | n-1 | nxn",
+        "[8]",
+        2008,
+        "An architectural template generated per application domain: \
+         instruction cells (DPs) loosely coupled to data memory through I/O \
+         ports and tightly coupled to a RISC control processor. Kept \
+         symbolic (`n`) because the instance size is a template parameter.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+/// PADDI — reconfigurable multiprocessor IC for DSP datapath prototyping.
+pub fn paddi() -> SurveyEntry {
+    SurveyEntry::new(
+        "PADDI",
+        "1 | 8 | none | 1-8 | 1-8 | 8-1 | 8x8",
+        "[15]",
+        1992,
+        "Eight execution units connected to each other and the I/O bus \
+         through a crossbar; a global instruction sequencer feeds all units \
+         in a VLIW fashion.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+/// Chimaera — reconfigurable functional unit on a host processor.
+pub fn chimaera() -> SurveyEntry {
+    SurveyEntry::new(
+        "Chimaera",
+        "1 | n | none | 1-n | 1-1 | n-1 | nxn",
+        "[17]",
+        2004,
+        "A reconfigurable array of FPGA-style 2/3-input lookup tables \
+         coupled to a shadow register file; a host processor controls both. \
+         The LUT-based array distinguishes it from the other coarse-grain \
+         members of the class, but its control organisation is the same.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+/// ADRES — RISC core plus reconfigurable-cell matrix template.
+pub fn adres() -> SurveyEntry {
+    SurveyEntry::new(
+        "ADRES",
+        "1 | 64 | none | 1-64 | 1-1 | 8-1 | 64x64",
+        "[18]",
+        2005,
+        "A RISC processor with an 8x8 reconfigurable-cell fabric; only the \
+         first row of cells couples tightly to the multi-ported register \
+         file (hence the 8-1 DP-DM link), the rest reach it through a \
+         mux-based inter-cell network.",
+        "IAP-II",
+        2,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_type_ii_arrays_classify_as_iap_ii() {
+        for entry in [imagine(), morphosys(), remarc(), rica(), paddi(), chimaera(), adres()] {
+            assert_eq!(
+                entry.classify().unwrap().name().to_string(),
+                "IAP-II",
+                "{}",
+                entry.name()
+            );
+            assert_eq!(entry.computed_flexibility(), 2, "{}", entry.name());
+            assert!(entry.agrees_with_paper(), "{}", entry.name());
+        }
+    }
+
+    #[test]
+    fn concrete_sizes_match_the_paper() {
+        assert_eq!(imagine().spec.dps.value(), Some(6));
+        assert_eq!(morphosys().spec.dps.value(), Some(64));
+        assert_eq!(paddi().spec.dps.value(), Some(8));
+        assert_eq!(rica().spec.dps.value(), None); // template
+    }
+}

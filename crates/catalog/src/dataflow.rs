@@ -1,0 +1,67 @@
+//! Data-flow multi-processors (DMP-*): fabrics with no instruction
+//! processor at all — data tokens carry their own routing/operation.
+
+use crate::entry::SurveyEntry;
+
+/// REDEFINE — runtime-reconfigurable polymorphic ASIC.
+pub fn redefine() -> SurveyEntry {
+    SurveyEntry::new(
+        "Redefine",
+        "0 | 64 | none | none | none | 22x1 | 64x64",
+        "[30]",
+        2009,
+        "A static dataflow architecture executing coarse-grained HyperOps \
+         on an 8x8 matrix of compute elements joined by a packet-switched \
+         NoC; each element holds an ALU, a router and operand storage. A \
+         run-time unit supplies compute and transport metadata — there is \
+         no instruction processor.",
+        "DMP-IV",
+        3,
+        None,
+    )
+}
+
+/// Colt — wormhole run-time reconfigurable dataflow fabric.
+pub fn colt() -> SurveyEntry {
+    SurveyEntry::new(
+        "Colt",
+        "0 | 16 | none | none | none | 16x6 | 16x16",
+        "[31]",
+        1996,
+        "A 4x4 matrix of data processing elements behind a crossbar; the \
+         data stream itself carries routing information and reconfigures \
+         the fabric at run time (wormhole reconfiguration). Colt has no \
+         internal memory — its six I/O ports can be connected to external \
+         memories, hence the 16x6 DP-DM shape.",
+        "DMP-IV",
+        3,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataflow_machines_classify_as_dmp_iv() {
+        for entry in [redefine(), colt()] {
+            assert!(entry.spec.is_dataflow(), "{}", entry.name());
+            assert_eq!(
+                entry.classify().unwrap().name().to_string(),
+                "DMP-IV",
+                "{}",
+                entry.name()
+            );
+            assert_eq!(entry.computed_flexibility(), 3, "{}", entry.name());
+            assert!(entry.agrees_with_paper(), "{}", entry.name());
+        }
+    }
+
+    #[test]
+    fn colt_io_crossbar_is_16_by_6() {
+        use skilltax_model::Relation;
+        let sw = colt().spec.connectivity.link(Relation::DpDm).switch().copied().unwrap();
+        assert_eq!(sw.crosspoints(), Some(96));
+    }
+}

@@ -1,0 +1,105 @@
+//! Survey-entry type: one Table III row with its paper-reported claims.
+
+use skilltax_model::{dsl, ArchSpec};
+use skilltax_taxonomy::{classify, flexibility_of_spec, Classification, TaxonomyError};
+
+/// One surveyed architecture: the structural description from Table III
+/// plus the name/flexibility the paper reports, so the engine's derivations
+/// can be checked row by row.
+#[derive(Debug, Clone)]
+pub struct SurveyEntry {
+    /// The structural description (Table III columns IPs..DP-DP plus
+    /// Section IV prose as metadata).
+    pub spec: ArchSpec,
+    /// The taxonomic name printed in Table III (e.g. `"IAP-II"`).
+    pub paper_class: &'static str,
+    /// The flexibility value printed in Table III.
+    pub paper_flexibility: u32,
+    /// Documented discrepancy between the paper's tables, if any (the
+    /// computed value then follows Table II's scoring, not Table III's
+    /// printed number).
+    pub erratum: Option<&'static str>,
+}
+
+impl SurveyEntry {
+    /// Build an entry from the row notation and metadata.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: &str,
+        row: &str,
+        citation: &'static str,
+        year: u16,
+        description: &'static str,
+        paper_class: &'static str,
+        paper_flexibility: u32,
+        erratum: Option<&'static str>,
+    ) -> SurveyEntry {
+        let mut spec = dsl::parse_row(name, row)
+            .unwrap_or_else(|e| panic!("catalog row for {name} is malformed: {e}"));
+        spec.meta.citation = citation.to_owned();
+        spec.meta.year = Some(year);
+        spec.meta.description = description.to_owned();
+        SurveyEntry { spec, paper_class, paper_flexibility, erratum }
+    }
+
+    /// Architecture name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Classify the entry with the engine.
+    pub fn classify(&self) -> Result<Classification, TaxonomyError> {
+        classify(&self.spec)
+    }
+
+    /// Compute the flexibility value with the engine (Table II scoring).
+    pub fn computed_flexibility(&self) -> u32 {
+        flexibility_of_spec(&self.spec)
+    }
+
+    /// Does the engine's derivation agree with the paper's printed row?
+    /// (Rows with a documented erratum compare against the scoring system,
+    /// i.e. they *should* disagree with the printed number.)
+    pub fn agrees_with_paper(&self) -> bool {
+        let class_ok = self
+            .classify()
+            .map(|c| c.name().to_string() == self.paper_class)
+            .unwrap_or(false);
+        let flex = self.computed_flexibility();
+        let flex_ok = if self.erratum.is_some() {
+            flex != self.paper_flexibility
+        } else {
+            flex == self.paper_flexibility
+        };
+        class_ok && flex_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_builder_populates_metadata() {
+        let e = SurveyEntry::new(
+            "Demo",
+            "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64",
+            "[99]",
+            1999,
+            "demo machine",
+            "IAP-II",
+            2,
+            None,
+        );
+        assert_eq!(e.name(), "Demo");
+        assert_eq!(e.spec.meta.citation, "[99]");
+        assert_eq!(e.spec.meta.year, Some(1999));
+        assert!(e.agrees_with_paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn malformed_rows_panic_at_construction() {
+        let _ = SurveyEntry::new("Bad", "1 | 2 | 3", "[0]", 2000, "", "IUP", 0, None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # skilltax-catalog
+//!
+//! The paper's survey (Section IV, Table III): structural descriptions of
+//! all 25 architectures — uni-processors, CGRAs, multicores, dataflow
+//! fabrics, spatial arrays and the FPGA — each carrying the Section IV
+//! prose, a citation and the paper's printed class/flexibility so the
+//! engine's derivations can be validated row by row.
+//!
+//! ```
+//! use skilltax_catalog::{by_name, full_survey};
+//!
+//! let survey = full_survey();
+//! assert_eq!(survey.len(), 25);
+//!
+//! let morphosys = by_name("MorphoSys").unwrap();
+//! assert_eq!(morphosys.classify().unwrap().name().to_string(), "IAP-II");
+//! assert_eq!(morphosys.computed_flexibility(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod array_type_ii;
+pub mod array_type_iv;
+pub mod dataflow;
+pub mod entry;
+pub mod modern;
+pub mod multiprocessors;
+pub mod spatial;
+pub mod survey;
+pub mod uniprocessors;
+pub mod universal;
+
+pub use entry::SurveyEntry;
+pub use modern::{modern_cases, ModernEntry};
+pub use survey::{by_name, full_survey, regenerate_table_iii, SurveyRow};

@@ -1,0 +1,210 @@
+//! Beyond the paper: classifying *post-2012* architectures with the same
+//! engine — the predictive use the paper claims for its taxonomy ("this
+//! work is also significant for the design of new computer
+//! architectures").
+//!
+//! These entries are **extensions**, not reproductions: the expected
+//! class is our own documented analysis, and each entry carries the
+//! rationale.  They double as regression tests that the classifier
+//! generalises past the paper's survey.
+
+use skilltax_model::{dsl, ArchSpec};
+use skilltax_taxonomy::{classify, flexibility_of_spec};
+
+/// A modern (post-paper) classification case.
+#[derive(Debug, Clone)]
+pub struct ModernEntry {
+    /// Structural description.
+    pub spec: ArchSpec,
+    /// The class our analysis expects.
+    pub expected_class: &'static str,
+    /// Expected flexibility under the Table II scoring.
+    pub expected_flexibility: u32,
+    /// Why the structure is what it is.
+    pub rationale: &'static str,
+}
+
+impl ModernEntry {
+    fn new(
+        name: &str,
+        row: &str,
+        year: u16,
+        expected_class: &'static str,
+        expected_flexibility: u32,
+        rationale: &'static str,
+    ) -> ModernEntry {
+        let mut spec = dsl::parse_row(name, row).expect("modern rows are well formed");
+        spec.meta.year = Some(year);
+        spec.meta.description = rationale.to_owned();
+        ModernEntry { spec, expected_class, expected_flexibility, rationale }
+    }
+
+    /// Does the engine agree with the documented analysis?
+    pub fn engine_agrees(&self) -> bool {
+        classify(&self.spec)
+            .map(|c| c.name().to_string() == self.expected_class)
+            .unwrap_or(false)
+            && flexibility_of_spec(&self.spec) == self.expected_flexibility
+    }
+}
+
+/// A GPU streaming multiprocessor (SIMT): one warp scheduler (IP)
+/// broadcasting to 32 CUDA cores with a banked shared memory any lane can
+/// address and register shuffles between lanes.
+pub fn gpu_sm() -> ModernEntry {
+    ModernEntry::new(
+        "GPU-SM (SIMT)",
+        "1 | 32 | none | 1-32 | 1-1 | 32x32 | 32x32",
+        2016,
+        "IAP-IV",
+        3,
+        "SIMT is architecturally a single-instruction array: one scheduler \
+         issues to 32 lanes; shared memory is a banked crossbar (any lane, \
+         any bank) and warp-shuffle instructions are a DP-DP crossbar — \
+         the most flexible array sub-type.",
+    )
+}
+
+/// A systolic matrix unit (TPU-style): no instruction processors at all;
+/// weights/activations flow between neighbouring MACs.
+pub fn systolic_mxu() -> ModernEntry {
+    ModernEntry::new(
+        "Systolic MXU",
+        "0 | 256 | none | none | none | 256-256 | none",
+        2017,
+        "DMP-I",
+        1,
+        "A systolic array executes on data arrival with no instruction \
+         stream (data flow); each MAC's operand paths are fixed \
+         nearest-neighbour wires decided at design time, so both data \
+         relations are direct: the least flexible data-flow multiprocessor.",
+    )
+}
+
+/// A many-core server CPU: dozens of cores, private L1/L2 control, one
+/// coherent shared memory.
+pub fn manycore_cpu() -> ModernEntry {
+    ModernEntry::new(
+        "Manycore CPU",
+        "64 | 64 | none | 64-64 | 64-64 | 64x64 | none",
+        2019,
+        "IMP-III",
+        3,
+        "Each core pairs its own front-end (IP) with its own back-end (DP); \
+         coherence gives every core access to all memory (DP-DM crossbar) \
+         but cores do not exchange operands directly.",
+    )
+}
+
+/// A tiled research many-core with an operand network between cores.
+pub fn tiled_manycore() -> ModernEntry {
+    ModernEntry::new(
+        "Tiled manycore (NoC)",
+        "16 | 16 | none | 16-16 | 16-16 | 16x16 | 16x16",
+        2015,
+        "IMP-IV",
+        4,
+        "Tiles are full cores on a packet-switched NoC carrying both memory \
+         traffic and direct core-to-core operand messages: crossbar-class \
+         DP-DM and DP-DP.",
+    )
+}
+
+/// A vector engine: one scalar control processor, long-vector lanes over
+/// a banked gather/scatter memory system, no inter-lane exchange.
+pub fn vector_engine() -> ModernEntry {
+    ModernEntry::new(
+        "Vector engine",
+        "1 | 32 | none | 1-32 | 1-1 | 32x32 | none",
+        2018,
+        "IAP-III",
+        2,
+        "Classic vector architecture: one instruction stream, gather/ \
+         scatter reaches any bank (DP-DM crossbar), lanes stay isolated.",
+    )
+}
+
+/// A modern FPGA SoC fabric (still the universal class).
+pub fn fpga_soc() -> ModernEntry {
+    ModernEntry::new(
+        "FPGA SoC fabric",
+        "v | v | vxv | vxv | vxv | vxv | vxv",
+        2020,
+        "USP",
+        8,
+        "LUT fabrics remain role-exchangeable: the class is stable across \
+         a decade of process nodes.",
+    )
+}
+
+/// All modern cases.
+pub fn modern_cases() -> Vec<ModernEntry> {
+    vec![
+        gpu_sm(),
+        systolic_mxu(),
+        manycore_cpu(),
+        tiled_manycore(),
+        vector_engine(),
+        fpga_soc(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_engine_agrees_with_every_documented_analysis() {
+        for case in modern_cases() {
+            assert!(
+                case.engine_agrees(),
+                "{}: expected {}/{} got {:?}/{}",
+                case.spec.name,
+                case.expected_class,
+                case.expected_flexibility,
+                classify(&case.spec).map(|c| c.name().to_string()),
+                flexibility_of_spec(&case.spec)
+            );
+        }
+    }
+
+    #[test]
+    fn modern_cases_span_both_paradigms() {
+        let cases = modern_cases();
+        assert!(cases.iter().any(|c| c.spec.is_dataflow()));
+        assert!(cases.iter().any(|c| !c.spec.is_dataflow() && !c.spec.is_universal()));
+        assert!(cases.iter().any(|c| c.spec.is_universal()));
+    }
+
+    #[test]
+    fn simt_and_vector_differ_exactly_in_the_lane_exchange() {
+        use skilltax_taxonomy::compare_names;
+        let gpu = classify(&gpu_sm().spec).unwrap().name();
+        let vec = classify(&vector_engine().spec).unwrap().name();
+        let cmp = compare_names(gpu, vec);
+        assert!(cmp.same_machine && cmp.same_processing);
+        assert_eq!(
+            cmp.only_in_a,
+            vec![skilltax_model::Relation::DpDp],
+            "the GPU's extra crossbar is the warp shuffle"
+        );
+    }
+
+    #[test]
+    fn systolic_array_is_less_flexible_than_every_surveyed_cgra() {
+        let systolic = flexibility_of_spec(&systolic_mxu().spec);
+        for entry in crate::full_survey() {
+            if entry.spec.is_dataflow() {
+                assert!(systolic < entry.computed_flexibility(), "{}", entry.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_case_documents_its_rationale_and_year() {
+        for case in modern_cases() {
+            assert!(!case.rationale.is_empty());
+            assert!(case.spec.meta.year.unwrap() > 2012, "{}", case.spec.name);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Instruction-flow spatial processors (ISP-*): machines whose IPs can
+//! connect to other IPs, composing bigger processors out of smaller ones —
+//! the classes the paper's IP–IP extension creates.
+
+use crate::entry::SurveyEntry;
+
+/// DRRA — dynamically reconfigurable resource array (the authors' own
+/// architecture).
+pub fn drra() -> SurveyEntry {
+    SurveyEntry::new(
+        "DRRA",
+        // All switched relations use a sliding window (3 hops left/right,
+        // 14 reachable elements), written nx14: a limited crossbar.
+        "n | n | nx14 | n-n | n-n | nx14 | nx14",
+        "[32]",
+        2010,
+        "A template of distributed control, memory and datapath resources; \
+         every element reaches every other element within 3 hops left or \
+         right (a 14-element window). Control elements couple tightly to \
+         their local datapath and memory but can talk to other control \
+         elements inside the window — IP-IP connectivity, hence spatial.",
+        "ISP-IV",
+        5,
+        None,
+    )
+}
+
+/// MATRIX — configurable instruction distribution with deployable
+/// resources.
+pub fn matrix() -> SurveyEntry {
+    SurveyEntry::new(
+        "Matrix",
+        "n | n | nxn | nxn | nxn | nxn | nxn",
+        "[33]",
+        1996,
+        "Every element can be configured as data or instruction storage, \
+         register file or datapath resource, communicating via nearest \
+         neighbour, length-four bypass and global buses. MATRIX can vary \
+         its IP/DP split but cannot implement dataflow machines, so it \
+         lands in ISP-XVI rather than USP.",
+        "ISP-XVI",
+        7,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drra_is_isp_iv() {
+        let d = drra();
+        let c = d.classify().unwrap();
+        assert_eq!(c.name().to_string(), "ISP-IV");
+        assert_eq!(c.serial(), 34);
+        assert_eq!(d.computed_flexibility(), 5);
+        assert!(d.agrees_with_paper());
+    }
+
+    #[test]
+    fn matrix_is_the_most_flexible_instruction_flow_entry() {
+        let m = matrix();
+        assert_eq!(m.classify().unwrap().name().to_string(), "ISP-XVI");
+        assert_eq!(m.computed_flexibility(), 7);
+        assert!(m.agrees_with_paper());
+    }
+
+    #[test]
+    fn spatial_entries_have_ip_ip_connectivity() {
+        use skilltax_model::Relation;
+        for entry in [drra(), matrix()] {
+            assert!(
+                entry.spec.connectivity.link(Relation::IpIp).is_crossbar(),
+                "{}",
+                entry.name()
+            );
+        }
+    }
+}

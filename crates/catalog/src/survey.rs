@@ -1,0 +1,189 @@
+//! The full 25-entry survey (Table III) and its derived regeneration.
+
+use crate::array_type_ii::{adres, chimaera, imagine, morphosys, paddi, remarc, rica};
+use crate::array_type_iv::{egra, elm, garp, montium, piperench};
+use crate::dataflow::{colt, redefine};
+use crate::entry::SurveyEntry;
+use crate::multiprocessors::{cortex_a9, core2duo, pact_xpp, paddi2, pleiades, rapid};
+use crate::spatial::{drra, matrix};
+use crate::uniprocessors::{arm7tdmi, at89c51};
+use crate::universal::fpga;
+
+/// All 25 surveyed architectures, in the row order of Table III.
+pub fn full_survey() -> Vec<SurveyEntry> {
+    vec![
+        arm7tdmi(),
+        at89c51(),
+        imagine(),
+        morphosys(),
+        remarc(),
+        rica(),
+        paddi(),
+        pact_xpp(),
+        chimaera(),
+        adres(),
+        montium(),
+        garp(),
+        piperench(),
+        egra(),
+        elm(),
+        paddi2(),
+        cortex_a9(),
+        core2duo(),
+        pleiades(),
+        rapid(),
+        redefine(),
+        colt(),
+        drra(),
+        matrix(),
+        fpga(),
+    ]
+}
+
+/// Look an entry up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<SurveyEntry> {
+    full_survey()
+        .into_iter()
+        .find(|e| e.name().eq_ignore_ascii_case(name))
+}
+
+/// One regenerated Table III row: structure plus the engine's derivations.
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Architecture name.
+    pub name: String,
+    /// The seven structural columns.
+    pub structure: String,
+    /// Citation key.
+    pub citation: String,
+    /// Engine-derived class name.
+    pub class: String,
+    /// Engine-derived flexibility.
+    pub flexibility: u32,
+    /// The paper's printed class and flexibility (for comparison columns).
+    pub paper: (&'static str, u32),
+    /// Erratum note, if the paper's printed row is internally inconsistent.
+    pub erratum: Option<&'static str>,
+}
+
+/// Regenerate Table III: run the classifier and scorer over every entry.
+pub fn regenerate_table_iii() -> Vec<SurveyRow> {
+    full_survey()
+        .into_iter()
+        .map(|entry| {
+            let class = entry
+                .classify()
+                .map(|c| c.name().to_string())
+                .unwrap_or_else(|e| format!("<{e}>"));
+            SurveyRow {
+                name: entry.spec.name.clone(),
+                structure: entry.spec.row_notation(),
+                citation: entry.spec.meta.citation.clone(),
+                class,
+                flexibility: entry.computed_flexibility(),
+                paper: (entry.paper_class, entry.paper_flexibility),
+                erratum: entry.erratum,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_25_entries_in_table_iii_order() {
+        let survey = full_survey();
+        assert_eq!(survey.len(), 25);
+        let names: Vec<&str> = survey.iter().map(|e| e.name()).collect();
+        assert_eq!(names[0], "ARM7TDMI");
+        assert_eq!(names[7], "PACT XPP");
+        assert_eq!(names[24], "FPGA");
+    }
+
+    #[test]
+    fn every_entry_agrees_with_the_paper() {
+        for entry in full_survey() {
+            assert!(
+                entry.agrees_with_paper(),
+                "{}: engine={:?}/{} paper={}/{}",
+                entry.name(),
+                entry.classify().map(|c| c.name().to_string()),
+                entry.computed_flexibility(),
+                entry.paper_class,
+                entry.paper_flexibility
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_one_documented_erratum() {
+        let errata: Vec<String> = full_survey()
+            .into_iter()
+            .filter(|e| e.erratum.is_some())
+            .map(|e| e.spec.name)
+            .collect();
+        assert_eq!(errata, vec!["PACT XPP".to_owned()]);
+    }
+
+    #[test]
+    fn regenerated_table_matches_paper_classes_row_by_row() {
+        for row in regenerate_table_iii() {
+            assert_eq!(row.class, row.paper.0, "{}", row.name);
+            if row.erratum.is_none() {
+                assert_eq!(row.flexibility, row.paper.1, "{}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn flexibility_ordering_matches_fig_7() {
+        // Fig 7's ranking: FPGA (8) highest, Matrix (7) second, DRRA (5,
+        // tied with RaPiD) third among the named architectures.
+        let rows = regenerate_table_iii();
+        let flex = |n: &str| rows.iter().find(|r| r.name == n).unwrap().flexibility;
+        assert_eq!(flex("FPGA"), 8);
+        assert_eq!(flex("Matrix"), 7);
+        assert_eq!(flex("DRRA"), 5);
+        for row in &rows {
+            if row.name != "FPGA" {
+                assert!(row.flexibility < flex("FPGA"), "{}", row.name);
+            }
+            if row.name != "FPGA" && row.name != "Matrix" {
+                assert!(row.flexibility < flex("Matrix"), "{}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_lookup_is_case_insensitive() {
+        assert!(by_name("morphosys").is_some());
+        assert!(by_name("MORPHOSYS").is_some());
+        assert!(by_name("Transputer").is_none());
+    }
+
+    #[test]
+    fn all_entries_have_descriptions_and_citations() {
+        for entry in full_survey() {
+            assert!(!entry.spec.meta.description.is_empty(), "{}", entry.name());
+            assert!(entry.spec.meta.citation.starts_with('['), "{}", entry.name());
+            assert!(entry.spec.meta.year.is_some(), "{}", entry.name());
+        }
+    }
+
+    #[test]
+    fn survey_covers_eight_distinct_classes() {
+        use std::collections::BTreeSet;
+        let classes: BTreeSet<String> =
+            regenerate_table_iii().into_iter().map(|r| r.class).collect();
+        let expected: BTreeSet<String> = [
+            "IUP", "IAP-II", "IAP-IV", "IMP-I", "IMP-II", "IMP-XIV", "DMP-IV", "ISP-IV",
+            "ISP-XVI", "USP",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        assert_eq!(classes, expected);
+    }
+}

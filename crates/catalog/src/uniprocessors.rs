@@ -1,0 +1,50 @@
+//! Instruction-flow uni-processors (IUP): classic single-core controllers.
+
+use crate::entry::SurveyEntry;
+
+/// ARM7TDMI — 32-bit RISC microcontroller core (TI TMS470R1A256 flavour).
+pub fn arm7tdmi() -> SurveyEntry {
+    SurveyEntry::new(
+        "ARM7TDMI",
+        "1 | 1 | none | 1-1 | 1-1 | 1-1 | none",
+        "[10]",
+        1994,
+        "A 16/32-bit RISC flash microcontroller core: one instruction \
+         processor directly coupled to one data processor, with dedicated \
+         instruction and data memory paths. The canonical Von Neumann \
+         uni-processor of the survey.",
+        "IUP",
+        0,
+        None,
+    )
+}
+
+/// Atmel AT89C51 — 8-bit 8051-family microcontroller.
+pub fn at89c51() -> SurveyEntry {
+    SurveyEntry::new(
+        "AT89C51",
+        "1 | 1 | none | 1-1 | 1-1 | 1-1 | none",
+        "[11]",
+        1994,
+        "An 8-bit microcontroller with 4K bytes of flash: like the ARM7TDMI \
+         a plain instruction-flow uni-processor, included to show that the \
+         class is bitwidth-agnostic.",
+        "IUP",
+        0,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniprocessors_classify_as_iup_with_zero_flexibility() {
+        for entry in [arm7tdmi(), at89c51()] {
+            assert_eq!(entry.classify().unwrap().name().to_string(), "IUP");
+            assert_eq!(entry.computed_flexibility(), 0);
+            assert!(entry.agrees_with_paper());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Universal-flow spatial processors (USP): fine-grained fabrics whose
+//! cells can become IPs, DPs or memories on reconfiguration.
+
+use crate::entry::SurveyEntry;
+
+/// Generic FPGA (the paper cites Altera's portfolio).
+pub fn fpga() -> SurveyEntry {
+    SurveyEntry::new(
+        "FPGA",
+        "v | v | vxv | vxv | vxv | vxv | vxv",
+        "[34]",
+        2011,
+        "Configuration logic blocks (CLBs) implement IPs or DPs as the \
+         bitstream dictates; any CLB can connect to any other. The number \
+         of IPs and DPs — and the width, depth and bitwidth of every \
+         datapath — is decided at configuration time, making the FPGA the \
+         only surveyed architecture that can implement both instruction \
+         flow and data flow machines.",
+        "USP",
+        8,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_is_usp_with_maximum_flexibility() {
+        let f = fpga();
+        assert!(f.spec.is_universal());
+        let c = f.classify().unwrap();
+        assert_eq!(c.name().to_string(), "USP");
+        assert_eq!(c.serial(), 47);
+        assert_eq!(f.computed_flexibility(), 8);
+        assert!(f.agrees_with_paper());
+    }
+}

@@ -1,0 +1,97 @@
+//! Cost-aware class recommendation: the full designer flow of the paper's
+//! conclusion — take application capabilities, find the classes that
+//! satisfy them (taxonomy level), and rank them by predicted
+//! configuration overhead and area (Eq 1 / Eq 2).
+
+use skilltax_taxonomy::requirements::{satisfying_classes, Capability};
+
+use crate::params::CostParams;
+use crate::pareto::DesignPoint;
+
+/// A ranked recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The evaluated design point (class label, flexibility, costs).
+    pub point: DesignPoint,
+    /// Why the class qualifies: the capabilities it was required for.
+    pub satisfies: Vec<Capability>,
+}
+
+/// Recommend classes for a capability set, cheapest (by configuration
+/// bits, then area) first.  Empty when no class satisfies the set.
+pub fn recommend(requirements: &[Capability], params: &CostParams) -> Vec<Recommendation> {
+    let mut recs: Vec<Recommendation> = satisfying_classes(requirements)
+        .into_iter()
+        .map(|class| {
+            let spec = class.template_spec();
+            let mut point = DesignPoint::evaluate(&spec, params);
+            point.label = class.name().to_string();
+            Recommendation { point, satisfies: requirements.to_vec() }
+        })
+        .collect();
+    recs.sort_by(|a, b| {
+        a.point
+            .config_bits
+            .cmp(&b.point.config_bits)
+            .then(a.point.area_ge.total_cmp(&b.point.area_ge))
+            .then(a.point.label.cmp(&b.point.label))
+    });
+    recs
+}
+
+/// The single best recommendation, if any.
+pub fn best(requirements: &[Capability], params: &CostParams) -> Option<Recommendation> {
+    recommend(requirements, params).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendations_are_sorted_by_config_bits() {
+        let recs = recommend(&[Capability::DataParallelism], &CostParams::default());
+        assert!(!recs.is_empty());
+        for pair in recs.windows(2) {
+            assert!(
+                pair[0].point.config_bits <= pair[1].point.config_bits,
+                "{} after {}",
+                pair[0].point.label,
+                pair[1].point.label
+            );
+        }
+    }
+
+    #[test]
+    fn mimd_with_messaging_recommends_imp_ii() {
+        let recs = recommend(
+            &[Capability::MultipleInstructionStreams, Capability::LaneExchange],
+            &CostParams::default(),
+        );
+        assert_eq!(recs[0].point.label, "IMP-II");
+    }
+
+    #[test]
+    fn role_exchange_forces_the_fpga_despite_its_cost() {
+        let pick = best(&[Capability::RoleExchange], &CostParams::default()).unwrap();
+        assert_eq!(pick.point.label, "USP");
+        // And it is indeed expensive: pricier than every coarse class.
+        let any_coarse = best(&[Capability::DataParallelism], &CostParams::default()).unwrap();
+        assert!(pick.point.config_bits > any_coarse.point.config_bits);
+    }
+
+    #[test]
+    fn dataflow_requirement_stays_in_the_dmp_family_when_cheap() {
+        let recs = recommend(&[Capability::DataflowExecution], &CostParams::default());
+        assert!(recs[0].point.label.starts_with("D"), "{}", recs[0].point.label);
+    }
+
+    #[test]
+    fn impossible_or_empty_requirements_behave() {
+        assert!(best(&[], &CostParams::default()).is_some());
+        // Every capability at once: only the USP qualifies.
+        let all = recommend(&Capability::ALL, &CostParams::default());
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].point.label, "USP");
+    }
+}

@@ -1,0 +1,198 @@
+//! The area model — the paper's **Eq 1**:
+//!
+//! ```text
+//! Area = N·A_IP + N·A_IM + A_IP-IP + A_IP-IM
+//!      + N·A_DP + N·A_DM + A_DP-DP + A_DP-DM          (1)
+//! ```
+//!
+//! "In a data flow machine, the first part involving IP and IM will be
+//! ignored."  For a universal-flow machine all blocks are LUT cells, so the
+//! block terms collapse into a single fabric term.
+//!
+//! Note Eq 1 as printed carries **no IP–DP switch term**.  We evaluate the
+//! faithful eight-term equation in [`AreaEstimate::total`] and additionally
+//! expose the IP–DP switch cost ([`AreaEstimate::sw_ip_dp`]) with an
+//! extended total for users who want it; EXPERIMENTS.md discusses the
+//! discrepancy.
+
+use skilltax_model::{ArchSpec, Count, Relation};
+
+use crate::params::CostParams;
+use crate::switch_cost::link_cost;
+
+/// Itemised area estimate in gate equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaEstimate {
+    /// Number of IPs after `n`/`v` substitution (0 for data flow).
+    pub n_ips: u64,
+    /// Number of DPs after substitution.
+    pub n_dps: u64,
+    /// `N·A_IP` term.
+    pub ip_blocks: f64,
+    /// `N·A_IM` term.
+    pub im_blocks: f64,
+    /// `N·A_DP` term.
+    pub dp_blocks: f64,
+    /// `N·A_DM` term.
+    pub dm_blocks: f64,
+    /// LUT-fabric term for universal-flow machines (replaces the four
+    /// block terms).
+    pub lut_fabric: f64,
+    /// `A_IP-IP` switch term.
+    pub sw_ip_ip: f64,
+    /// `A_IP-IM` switch term.
+    pub sw_ip_im: f64,
+    /// `A_DP-DM` switch term.
+    pub sw_dp_dm: f64,
+    /// `A_DP-DP` switch term.
+    pub sw_dp_dp: f64,
+    /// IP–DP switch cost (not part of the paper's Eq 1; see module docs).
+    pub sw_ip_dp: f64,
+}
+
+impl AreaEstimate {
+    /// The faithful Eq 1 total (eight terms, no IP–DP switch).
+    pub fn total(&self) -> f64 {
+        self.ip_blocks
+            + self.im_blocks
+            + self.dp_blocks
+            + self.dm_blocks
+            + self.lut_fabric
+            + self.sw_ip_ip
+            + self.sw_ip_im
+            + self.sw_dp_dm
+            + self.sw_dp_dp
+    }
+
+    /// Extended total including the IP–DP switch.
+    pub fn total_extended(&self) -> f64 {
+        self.total() + self.sw_ip_dp
+    }
+
+    /// Sum of the four (plus extension) switch terms only.
+    pub fn interconnect(&self) -> f64 {
+        self.sw_ip_ip + self.sw_ip_im + self.sw_dp_dm + self.sw_dp_dp + self.sw_ip_dp
+    }
+
+    /// Fraction of the extended total spent on interconnect.
+    pub fn interconnect_fraction(&self) -> f64 {
+        let total = self.total_extended();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.interconnect() / total
+        }
+    }
+}
+
+/// Resolve a block count to a concrete instance number.
+pub(crate) fn resolve_count(count: Count, params: &CostParams) -> u64 {
+    match count {
+        Count::Zero => 0,
+        Count::One => 1,
+        Count::Many(m) => {
+            u64::from(m.substitute(params.n_default).value().unwrap_or(params.n_default))
+        }
+        Count::Variable => u64::from(params.v_default),
+    }
+}
+
+/// Evaluate Eq 1 over an architecture description.
+pub fn estimate_area(spec: &ArchSpec, params: &CostParams) -> AreaEstimate {
+    let n_ips = resolve_count(spec.ips, params);
+    let n_dps = resolve_count(spec.dps, params);
+    let conn = &spec.connectivity;
+
+    let mut est = AreaEstimate {
+        n_ips,
+        n_dps,
+        sw_ip_ip: link_cost(&conn.link(Relation::IpIp), params).area_ge,
+        sw_ip_im: link_cost(&conn.link(Relation::IpIm), params).area_ge,
+        sw_dp_dm: link_cost(&conn.link(Relation::DpDm), params).area_ge,
+        sw_dp_dp: link_cost(&conn.link(Relation::DpDp), params).area_ge,
+        sw_ip_dp: link_cost(&conn.link(Relation::IpDp), params).area_ge,
+        ..AreaEstimate::default()
+    };
+
+    if spec.is_universal() {
+        // All blocks are LUT cells; v_default cells stand in for the
+        // variable IP/DP/IM/DM population.
+        est.lut_fabric = f64::from(params.v_default) * params.lut.area();
+    } else {
+        est.ip_blocks = n_ips as f64 * params.ip.area(params.bitwidth);
+        est.im_blocks = n_ips as f64 * params.im.area();
+        est.dp_blocks = n_dps as f64 * params.dp.area(params.bitwidth);
+        est.dm_blocks = n_dps as f64 * params.dm.area();
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_model::dsl::parse_row;
+
+    fn area_of(row: &str) -> AreaEstimate {
+        let spec = parse_row("t", row).unwrap();
+        estimate_area(&spec, &CostParams::default())
+    }
+
+    #[test]
+    fn dataflow_machines_have_no_ip_terms() {
+        let est = area_of("0 | 16 | none | none | none | 16x6 | 16x16");
+        assert_eq!(est.n_ips, 0);
+        assert_eq!(est.ip_blocks, 0.0);
+        assert_eq!(est.im_blocks, 0.0);
+        assert!(est.dp_blocks > 0.0);
+        assert!(est.sw_dp_dp > 0.0);
+    }
+
+    #[test]
+    fn area_grows_with_dp_count() {
+        let small = area_of("1 | 8 | none | 1-8 | 1-1 | 8-1 | 8x8");
+        let large = area_of("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64");
+        assert!(large.total() > small.total());
+        assert!(large.n_dps == 64 && small.n_dps == 8);
+    }
+
+    #[test]
+    fn crossbar_variant_costs_more_than_direct_variant() {
+        // IAP-I vs IAP-III on the same counts: nxn DP-DM vs n-n.
+        let direct = area_of("1 | 16 | none | 1-16 | 1-1 | 16-16 | none");
+        let xbar = area_of("1 | 16 | none | 1-16 | 1-1 | 16x16 | none");
+        assert!(xbar.total() > direct.total());
+    }
+
+    #[test]
+    fn universal_machines_use_the_lut_fabric_term() {
+        let est = area_of("v | v | vxv | vxv | vxv | vxv | vxv");
+        assert!(est.lut_fabric > 0.0);
+        assert_eq!(est.ip_blocks, 0.0);
+        assert_eq!(est.dp_blocks, 0.0);
+        assert!(est.total() > 0.0);
+    }
+
+    #[test]
+    fn extended_total_adds_ip_dp_switch() {
+        let est = area_of("n | n | none | nxn | n-n | n-n | none");
+        assert!(est.sw_ip_dp > 0.0);
+        assert!((est.total_extended() - est.total() - est.sw_ip_dp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interconnect_fraction_rises_with_flexibility() {
+        // IMP-I (no crossbars) vs IMP-XVI (all crossbars), same counts.
+        let rigid = area_of("n | n | none | n-n | n-n | n-n | none");
+        let flexible = area_of("n | n | none | nxn | nxn | nxn | nxn");
+        assert!(flexible.interconnect_fraction() > rigid.interconnect_fraction());
+        assert!(flexible.total() > rigid.total());
+    }
+
+    #[test]
+    fn uniprocessor_area_is_the_floor() {
+        let iup = area_of("1 | 1 | none | 1-1 | 1-1 | 1-1 | none");
+        let imp = area_of("2 | 2 | none | 2-2 | 2-2 | 2-2 | none");
+        assert!(iup.total() < imp.total());
+        assert!(iup.total() > 0.0);
+    }
+}

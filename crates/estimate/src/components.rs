@@ -1,0 +1,122 @@
+//! Component-level cost models: IPs, DPs, memories and LUT cells.
+//!
+//! Areas are expressed in **gate equivalents** (GE, the area of one NAND2),
+//! the conventional technology-independent unit; `scaling` converts GE to
+//! silicon area for a given node.  Configuration costs are expressed in
+//! bits of the component's configuration word (`CW` in the paper's Eq 2).
+
+/// Area / configuration model of a logic block (IP or DP).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockParams {
+    /// Fixed overhead (control FSM, decode) in gate equivalents.
+    pub base_ge: f64,
+    /// Datapath cost per bit of width in gate equivalents.
+    pub per_bit_ge: f64,
+    /// Opcode width: affects decoder size.
+    pub opcode_bits: u32,
+    /// Configuration-word width of one block instance.
+    pub config_bits: u64,
+}
+
+impl BlockParams {
+    /// Area of one block instance at the given datapath width.
+    pub fn area(&self, bitwidth: u32) -> f64 {
+        // Decoder grows with 2^opcode entries but only logarithmically in
+        // area thanks to shared minterms; model as opcode_bits * 16 GE.
+        self.base_ge + self.per_bit_ge * f64::from(bitwidth) + f64::from(self.opcode_bits) * 16.0
+    }
+
+    /// Configuration word of one block instance.
+    pub fn config_word(&self) -> u64 {
+        self.config_bits
+    }
+}
+
+/// Area / configuration model of a memory block (IM or DM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryParams {
+    /// Number of words.
+    pub words: u64,
+    /// Bits per word.
+    pub word_bits: u32,
+    /// SRAM cell + periphery cost per bit, in gate equivalents.
+    pub ge_per_bit: f64,
+    /// Configuration word (address-map / bank-mode selection).
+    pub config_bits: u64,
+}
+
+impl MemoryParams {
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.words * u64::from(self.word_bits)
+    }
+
+    /// Area of one memory instance.
+    pub fn area(&self) -> f64 {
+        // Periphery (decoders, sense amps) scales with sqrt(capacity).
+        let bits = self.capacity_bits() as f64;
+        bits * self.ge_per_bit + bits.sqrt() * 4.0
+    }
+
+    /// Configuration word of one memory instance.
+    pub fn config_word(&self) -> u64 {
+        self.config_bits
+    }
+}
+
+/// Area / configuration model of a fine-grained LUT cell (universal flow).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutParams {
+    /// LUT input count `k` (a k-LUT stores 2^k truth-table bits).
+    pub inputs: u32,
+    /// Cell area (LUT + FF + local mux) in gate equivalents.
+    pub ge_per_cell: f64,
+    /// Routing configuration bits per cell (connection-box / switch-box
+    /// programming) — this is what makes FPGAs' configuration overhead
+    /// "enormous" in the paper's words.
+    pub routing_bits_per_cell: u64,
+}
+
+impl LutParams {
+    /// Truth-table bits of one cell.
+    pub fn table_bits(&self) -> u64 {
+        1u64 << self.inputs
+    }
+
+    /// Area of one cell.
+    pub fn area(&self) -> f64 {
+        self.ge_per_cell
+    }
+
+    /// Configuration word of one cell (truth table + routing).
+    pub fn config_word(&self) -> u64 {
+        self.table_bits() + self.routing_bits_per_cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_area_grows_with_bitwidth() {
+        let b = BlockParams { base_ge: 100.0, per_bit_ge: 10.0, opcode_bits: 4, config_bits: 8 };
+        assert!(b.area(32) > b.area(8));
+        assert!((b.area(8) - (100.0 + 80.0 + 64.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_area_dominated_by_capacity() {
+        let small = MemoryParams { words: 256, word_bits: 8, ge_per_bit: 0.25, config_bits: 0 };
+        let big = MemoryParams { words: 4096, word_bits: 32, ge_per_bit: 0.25, config_bits: 0 };
+        assert!(big.area() > 16.0 * small.area() * 0.9);
+        assert_eq!(big.capacity_bits(), 4096 * 32);
+    }
+
+    #[test]
+    fn lut_config_word_is_table_plus_routing() {
+        let l = LutParams { inputs: 4, ge_per_cell: 120.0, routing_bits_per_cell: 48 };
+        assert_eq!(l.table_bits(), 16);
+        assert_eq!(l.config_word(), 64);
+    }
+}

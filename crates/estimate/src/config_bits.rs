@@ -1,0 +1,167 @@
+//! The configuration-overhead model — the paper's **Eq 2**:
+//!
+//! ```text
+//! CB = N·CW_IP + N·CW_IM + CW_IP-IP + CW_IP-IM
+//!    + N·CW_DP + N·CW_DM + CW_DP-DP + CW_DP-DM        (2)
+//! ```
+//!
+//! `CW_c` is the configuration-word width of component `c`; switch words
+//! depend on the switch type ("a full cross bar switch will require more
+//! bits than a limited crossbar"), and direct switches need none.
+//!
+//! Like Eq 1, the printed equation has no IP–DP term; we expose it
+//! separately ([`ConfigBitsEstimate::sw_ip_dp`]).
+
+use skilltax_model::{ArchSpec, Relation};
+
+use crate::area::resolve_count;
+use crate::params::CostParams;
+use crate::switch_cost::link_cost;
+
+/// Itemised configuration-bit estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfigBitsEstimate {
+    /// Number of IPs after substitution.
+    pub n_ips: u64,
+    /// Number of DPs after substitution.
+    pub n_dps: u64,
+    /// `N·CW_IP`.
+    pub ip_blocks: u64,
+    /// `N·CW_IM`.
+    pub im_blocks: u64,
+    /// `N·CW_DP`.
+    pub dp_blocks: u64,
+    /// `N·CW_DM`.
+    pub dm_blocks: u64,
+    /// LUT-fabric configuration (truth tables + routing) for universal
+    /// machines.
+    pub lut_fabric: u64,
+    /// `CW_IP-IP`.
+    pub sw_ip_ip: u64,
+    /// `CW_IP-IM`.
+    pub sw_ip_im: u64,
+    /// `CW_DP-DM`.
+    pub sw_dp_dm: u64,
+    /// `CW_DP-DP`.
+    pub sw_dp_dp: u64,
+    /// IP–DP switch word (extension; not in the printed Eq 2).
+    pub sw_ip_dp: u64,
+}
+
+impl ConfigBitsEstimate {
+    /// The faithful Eq 2 total.
+    pub fn total(&self) -> u64 {
+        self.ip_blocks
+            + self.im_blocks
+            + self.dp_blocks
+            + self.dm_blocks
+            + self.lut_fabric
+            + self.sw_ip_ip
+            + self.sw_ip_im
+            + self.sw_dp_dm
+            + self.sw_dp_dp
+    }
+
+    /// Extended total including the IP–DP switch word.
+    pub fn total_extended(&self) -> u64 {
+        self.total() + self.sw_ip_dp
+    }
+
+    /// Switch (interconnect) bits only.
+    pub fn interconnect(&self) -> u64 {
+        self.sw_ip_ip + self.sw_ip_im + self.sw_dp_dm + self.sw_dp_dp + self.sw_ip_dp
+    }
+}
+
+/// Evaluate Eq 2 over an architecture description.
+pub fn estimate_config_bits(spec: &ArchSpec, params: &CostParams) -> ConfigBitsEstimate {
+    let n_ips = resolve_count(spec.ips, params);
+    let n_dps = resolve_count(spec.dps, params);
+    let conn = &spec.connectivity;
+
+    let mut est = ConfigBitsEstimate {
+        n_ips,
+        n_dps,
+        sw_ip_ip: link_cost(&conn.link(Relation::IpIp), params).config_bits,
+        sw_ip_im: link_cost(&conn.link(Relation::IpIm), params).config_bits,
+        sw_dp_dm: link_cost(&conn.link(Relation::DpDm), params).config_bits,
+        sw_dp_dp: link_cost(&conn.link(Relation::DpDp), params).config_bits,
+        sw_ip_dp: link_cost(&conn.link(Relation::IpDp), params).config_bits,
+        ..ConfigBitsEstimate::default()
+    };
+
+    if spec.is_universal() {
+        est.lut_fabric = u64::from(params.v_default) * params.lut.config_word();
+    } else {
+        est.ip_blocks = n_ips * params.ip.config_word();
+        est.im_blocks = n_ips * params.im.config_word();
+        est.dp_blocks = n_dps * params.dp.config_word();
+        est.dm_blocks = n_dps * params.dm.config_word();
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_model::dsl::parse_row;
+
+    fn cb_of(row: &str) -> ConfigBitsEstimate {
+        let spec = parse_row("t", row).unwrap();
+        estimate_config_bits(&spec, &CostParams::default())
+    }
+
+    #[test]
+    fn rigid_machine_has_no_switch_bits() {
+        // IMP-I: everything direct.
+        let est = cb_of("4 | 4 | none | 4-4 | 4-4 | 4-4 | none");
+        assert_eq!(est.interconnect(), 0);
+        assert!(est.total() > 0); // blocks still carry configuration words
+    }
+
+    #[test]
+    fn crossbars_add_configuration_overhead() {
+        let rigid = cb_of("n | n | none | n-n | n-n | n-n | none");
+        let flex = cb_of("n | n | none | n-n | n-n | n-n | nxn");
+        assert!(flex.total() > rigid.total());
+        assert_eq!(flex.total() - rigid.total(), flex.sw_dp_dp);
+    }
+
+    #[test]
+    fn fpga_configuration_dwarfs_cgra() {
+        // The paper's central trade-off: "FPGA is most flexible at the cost
+        // of enormous reconfiguration overhead."
+        let fpga = cb_of("v | v | vxv | vxv | vxv | vxv | vxv");
+        let cgra = cb_of("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64");
+        assert!(fpga.total() > 50 * cgra.total(), "fpga={} cgra={}", fpga.total(), cgra.total());
+    }
+
+    #[test]
+    fn config_bits_monotone_in_crossbar_count() {
+        // IMP-I .. IMP-XVI on the same counts: each added crossbar adds bits.
+        let rows = [
+            "n | n | none | n-n | n-n | n-n | none",
+            "n | n | none | n-n | n-n | n-n | nxn",
+            "n | n | none | n-n | n-n | nxn | nxn",
+            "n | n | none | n-n | nxn | nxn | nxn",
+            "n | n | none | nxn | nxn | nxn | nxn",
+        ];
+        let mut last = 0;
+        for row in rows {
+            // Use extended total so the IP-DP upgrade in the last row counts.
+            let total = cb_of(row).total_extended();
+            assert!(total > last, "{row}: {total} <= {last}");
+            last = total;
+        }
+    }
+
+    #[test]
+    fn uniprocessor_has_minimal_but_nonzero_words() {
+        let est = cb_of("1 | 1 | none | 1-1 | 1-1 | 1-1 | none");
+        let p = CostParams::default();
+        assert_eq!(
+            est.total(),
+            p.ip.config_word() + p.im.config_word() + p.dp.config_word() + p.dm.config_word()
+        );
+    }
+}

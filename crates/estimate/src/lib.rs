@@ -1,0 +1,55 @@
+//! # skilltax-estimate
+//!
+//! Executable versions of the paper's predictive models: the **area**
+//! equation (Eq 1), the **configuration-bit** equation (Eq 2),
+//! parameterised component and switch cost models, technology-node
+//! scaling, and Pareto-front design-space exploration.
+//!
+//! ```
+//! use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
+//! use skilltax_model::dsl::parse_row;
+//!
+//! let params = CostParams::default();
+//! let morphosys = parse_row("MorphoSys", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64").unwrap();
+//! let fpga = parse_row("FPGA", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
+//!
+//! // The paper's trade-off: the FPGA's flexibility costs far more
+//! // configuration bits than the CGRA's.
+//! let cb_cgra = estimate_config_bits(&morphosys, &params).total();
+//! let cb_fpga = estimate_config_bits(&fpga, &params).total();
+//! assert!(cb_fpga > 10 * cb_cgra);
+//!
+//! // And the area model itemises every Eq 1 term.
+//! let area = estimate_area(&morphosys, &params);
+//! assert!(area.dp_blocks > 0.0 && area.sw_dp_dp > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advisor;
+pub mod area;
+pub mod components;
+pub mod config_bits;
+pub mod params;
+pub mod pareto;
+pub mod scaling;
+pub mod switch_cost;
+
+pub use advisor::{best, recommend, Recommendation};
+pub use area::{estimate_area, AreaEstimate};
+pub use components::{BlockParams, LutParams, MemoryParams};
+pub use config_bits::{estimate_config_bits, ConfigBitsEstimate};
+pub use params::CostParams;
+pub use pareto::{cheapest_with_flexibility, pareto_front, sweep_classes, DesignPoint};
+pub use scaling::TechNode;
+pub use switch_cost::{clog2, link_cost, switch_cost, SwitchCost};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::area::{estimate_area, AreaEstimate};
+    pub use crate::config_bits::{estimate_config_bits, ConfigBitsEstimate};
+    pub use crate::params::CostParams;
+    pub use crate::pareto::{pareto_front, sweep_classes, DesignPoint};
+    pub use crate::scaling::TechNode;
+}

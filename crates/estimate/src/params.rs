@@ -1,0 +1,126 @@
+//! Cost-model parameters.
+//!
+//! The paper's Eq 1 / Eq 2 are symbolic: "the CBs required to configure the
+//! individual components are calculated individually … and change
+//! accordingly".  To make the equations executable we parameterise each
+//! component with a gate-equivalent area model and a configuration-word
+//! model.  The defaults below are order-of-magnitude figures for a 32-bit
+//! coarse-grained fabric, chosen so the paper's *ordering* claims hold
+//! (crossbars dominate, area grows with flexibility); absolute numbers are
+//! not the point and are not claimed.
+
+use crate::components::{BlockParams, LutParams, MemoryParams};
+
+/// All parameters needed to evaluate Eq 1 and Eq 2 over an architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Instruction-processor model (sequencer / program counter / decoder).
+    pub ip: BlockParams,
+    /// Data-processor model (ALU + local registers).
+    pub dp: BlockParams,
+    /// Instruction-memory model.
+    pub im: MemoryParams,
+    /// Data-memory model.
+    pub dm: MemoryParams,
+    /// Fine-grained (LUT) cell model, used for universal-flow machines.
+    pub lut: LutParams,
+    /// Value substituted for a symbolic `n` count.
+    pub n_default: u32,
+    /// Equivalent LUT-cell count substituted for a variable (`v`) fabric.
+    pub v_default: u32,
+    /// Datapath bitwidth (affects switch wire widths).
+    pub bitwidth: u32,
+    /// Crossbar crosspoint area in gate equivalents (per routed bit).
+    pub crosspoint_ge: f64,
+    /// Direct-wire area in gate equivalents (per routed bit per link).
+    pub wire_ge: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            ip: BlockParams { base_ge: 2_000.0, per_bit_ge: 60.0, opcode_bits: 8, config_bits: 32 },
+            dp: BlockParams { base_ge: 1_200.0, per_bit_ge: 220.0, opcode_bits: 5, config_bits: 24 },
+            im: MemoryParams { words: 1_024, word_bits: 32, ge_per_bit: 0.25, config_bits: 8 },
+            dm: MemoryParams { words: 2_048, word_bits: 32, ge_per_bit: 0.25, config_bits: 8 },
+            lut: LutParams { inputs: 4, ge_per_cell: 120.0, routing_bits_per_cell: 48 },
+            n_default: 16,
+            v_default: 4_096,
+            bitwidth: 32,
+            crosspoint_ge: 1.5,
+            wire_ge: 0.05,
+        }
+    }
+}
+
+impl CostParams {
+    /// Parameters for a small 8-bit embedded fabric.
+    pub fn small_embedded() -> Self {
+        CostParams {
+            ip: BlockParams { base_ge: 800.0, per_bit_ge: 40.0, opcode_bits: 6, config_bits: 16 },
+            dp: BlockParams { base_ge: 400.0, per_bit_ge: 120.0, opcode_bits: 4, config_bits: 12 },
+            im: MemoryParams { words: 256, word_bits: 16, ge_per_bit: 0.25, config_bits: 4 },
+            dm: MemoryParams { words: 512, word_bits: 8, ge_per_bit: 0.25, config_bits: 4 },
+            lut: LutParams { inputs: 3, ge_per_cell: 60.0, routing_bits_per_cell: 24 },
+            n_default: 8,
+            v_default: 1_024,
+            bitwidth: 8,
+            crosspoint_ge: 1.0,
+            wire_ge: 0.05,
+        }
+    }
+
+    /// Parameters for a large 64-bit HPC-style fabric.
+    pub fn large_hpc() -> Self {
+        CostParams {
+            ip: BlockParams { base_ge: 8_000.0, per_bit_ge: 120.0, opcode_bits: 10, config_bits: 64 },
+            dp: BlockParams { base_ge: 4_000.0, per_bit_ge: 500.0, opcode_bits: 7, config_bits: 48 },
+            im: MemoryParams { words: 8_192, word_bits: 64, ge_per_bit: 0.25, config_bits: 16 },
+            dm: MemoryParams { words: 16_384, word_bits: 64, ge_per_bit: 0.25, config_bits: 16 },
+            lut: LutParams { inputs: 6, ge_per_cell: 300.0, routing_bits_per_cell: 96 },
+            n_default: 64,
+            v_default: 65_536,
+            bitwidth: 64,
+            crosspoint_ge: 2.0,
+            wire_ge: 0.05,
+        }
+    }
+
+    /// Same parameters with a different `n` substitution.
+    pub fn with_n(mut self, n: u32) -> Self {
+        self.n_default = n.max(2);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = CostParams::default();
+        assert!(p.ip.base_ge > 0.0);
+        assert!(p.crosspoint_ge > p.wire_ge);
+        assert!(p.n_default >= 2);
+    }
+
+    #[test]
+    fn presets_scale_in_the_expected_direction() {
+        let small = CostParams::small_embedded();
+        let def = CostParams::default();
+        let large = CostParams::large_hpc();
+        assert!(small.dp.base_ge < def.dp.base_ge);
+        assert!(def.dp.base_ge < large.dp.base_ge);
+        assert!(small.bitwidth < def.bitwidth);
+        assert!(def.bitwidth < large.bitwidth);
+    }
+
+    #[test]
+    fn with_n_clamps_to_plural() {
+        let p = CostParams::default().with_n(1);
+        assert_eq!(p.n_default, 2);
+        let p = CostParams::default().with_n(128);
+        assert_eq!(p.n_default, 128);
+    }
+}

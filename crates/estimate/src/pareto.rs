@@ -1,0 +1,215 @@
+//! Design-space exploration: flexibility vs cost Pareto fronts.
+//!
+//! The paper's stated use of the taxonomy for designers: "a designer can
+//! decide which computer class offers the required flexibility with minimum
+//! configuration overhead".  This module sweeps candidate classes,
+//! evaluates Eq 1 / Eq 2 over each, and extracts the Pareto-optimal set
+//! (maximise flexibility, minimise area and configuration bits).
+
+use skilltax_model::ArchSpec;
+use skilltax_taxonomy::{flexibility_of_spec, Taxonomy};
+
+use crate::area::estimate_area;
+use crate::config_bits::estimate_config_bits;
+use crate::params::CostParams;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Label (class name or architecture name).
+    pub label: String,
+    /// Flexibility value (higher is better).
+    pub flexibility: u32,
+    /// Eq 1 area in gate equivalents (lower is better).
+    pub area_ge: f64,
+    /// Eq 2 configuration bits (lower is better).
+    pub config_bits: u64,
+}
+
+impl DesignPoint {
+    /// Evaluate a spec into a design point.
+    pub fn evaluate(spec: &ArchSpec, params: &CostParams) -> DesignPoint {
+        DesignPoint {
+            label: spec.name.clone(),
+            flexibility: flexibility_of_spec(spec),
+            area_ge: estimate_area(spec, params).total(),
+            config_bits: estimate_config_bits(spec, params).total(),
+        }
+    }
+
+    /// Does `self` dominate `other` (at least as good everywhere, strictly
+    /// better somewhere)?
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let ge = self.flexibility >= other.flexibility
+            && self.area_ge <= other.area_ge
+            && self.config_bits <= other.config_bits;
+        let gt = self.flexibility > other.flexibility
+            || self.area_ge < other.area_ge
+            || self.config_bits < other.config_bits;
+        ge && gt
+    }
+}
+
+/// Evaluate every implementable Table I class at the given parameters.
+pub fn sweep_classes(params: &CostParams) -> Vec<DesignPoint> {
+    Taxonomy::extended()
+        .implementable()
+        .map(|class| {
+            let spec = class.template_spec();
+            let mut point = DesignPoint::evaluate(&spec, params);
+            point.label = class.name().to_string();
+            point
+        })
+        .collect()
+}
+
+/// Extract the Pareto-optimal subset (order preserved).
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect()
+}
+
+/// The cheapest (by configuration bits) design point reaching at least the
+/// requested flexibility — the paper's designer query.
+pub fn cheapest_with_flexibility(
+    points: &[DesignPoint],
+    min_flexibility: u32,
+) -> Option<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.flexibility >= min_flexibility)
+        .min_by(|a, b| {
+            a.config_bits
+                .cmp(&b.config_bits)
+                .then(a.area_ge.total_cmp(&b.area_ge))
+        })
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_model::dsl::parse_row;
+
+    fn params() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn sweep_covers_all_named_classes() {
+        let points = sweep_classes(&params());
+        assert_eq!(points.len(), 43);
+        assert!(points.iter().any(|p| p.label == "USP"));
+        assert!(points.iter().any(|p| p.label == "IMP-XVI"));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let points = sweep_classes(&params());
+        for a in &points {
+            assert!(!a.dominates(a), "{} dominates itself", a.label);
+        }
+        for a in &points {
+            for b in &points {
+                if a.dominates(b) {
+                    assert!(!b.dominates(a), "{} <-> {}", a.label, b.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_undominated() {
+        let points = sweep_classes(&params());
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for p in &front {
+            assert!(!points.iter().any(|q| q.dominates(p)), "{}", p.label);
+        }
+        // The cheapest class (IUP or DUP) and nothing dominated survive.
+        assert!(front.iter().any(|p| p.label == "DUP" || p.label == "IUP"));
+    }
+
+    #[test]
+    fn usp_is_on_the_front_for_flexibility() {
+        // Nothing can dominate USP because nothing matches its flexibility.
+        let points = sweep_classes(&params());
+        let front = pareto_front(&points);
+        assert!(front.iter().any(|p| p.label == "USP"));
+    }
+
+    #[test]
+    fn designer_query_finds_cheapest_class() {
+        let points = sweep_classes(&params());
+        let pick = cheapest_with_flexibility(&points, 3).unwrap();
+        assert!(pick.flexibility >= 3);
+        for p in points.iter().filter(|p| p.flexibility >= 3) {
+            assert!(pick.config_bits <= p.config_bits, "{} beat {}", p.label, pick.label);
+        }
+        // Impossible requirement yields None.
+        assert!(cheapest_with_flexibility(&points, 99).is_none());
+    }
+
+    #[test]
+    fn within_family_cost_monotone_in_subtype_bits() {
+        // IMP-I..XVI at identical counts: config bits are monotone in the
+        // number of crossbars (Table II flexibility).
+        let points: Vec<DesignPoint> = (0u8..16)
+            .map(|code| {
+                let ip_dp = if code & 0b1000 != 0 { "nxn" } else { "n-n" };
+                let ip_im = if code & 0b0100 != 0 { "nxn" } else { "n-n" };
+                let dp_dm = if code & 0b0010 != 0 { "nxn" } else { "n-n" };
+                let dp_dp = if code & 0b0001 != 0 { "nxn" } else { "none" };
+                let row = format!("n | n | none | {ip_dp} | {ip_im} | {dp_dm} | {dp_dp}");
+                DesignPoint::evaluate(
+                    &parse_row(&format!("IMP-{}", code + 1), &row).unwrap(),
+                    &params(),
+                )
+            })
+            .collect();
+        for a in &points {
+            for b in &points {
+                if a.flexibility > b.flexibility {
+                    // Note: equality of flexibility can still differ in cost
+                    // (different relations have different extents), but more
+                    // crossbars on the same counts never cost less in CB
+                    // when comparing a superset pattern — verified pairwise
+                    // through the dominance relation instead:
+                    assert!(
+                        !(a.area_ge < b.area_ge && a.config_bits < b.config_bits)
+                            || a.dominates(b),
+                        "inconsistent dominance {} vs {}",
+                        a.label,
+                        b.label
+                    );
+                }
+            }
+        }
+        // Strict chain: IMP-I < IMP-II < IMP-IV < IMP-VIII in CB.
+        let chain = [0usize, 1, 3, 7];
+        for w in chain.windows(2) {
+            assert!(
+                points[w[0]].config_bits < points[w[1]].config_bits,
+                "{} !< {}",
+                points[w[0]].label,
+                points[w[1]].label
+            );
+        }
+        // IMP-XVI only adds the IP-DP crossbar over IMP-VIII, and the
+        // paper's printed Eq 2 carries no IP-DP term, so the faithful
+        // totals tie; the extended estimator separates them.
+        assert_eq!(points[15].config_bits, points[7].config_bits);
+        let est8 = estimate_config_bits(
+            &parse_row("IMP-VIII", "n | n | none | n-n | nxn | nxn | nxn").unwrap(),
+            &params(),
+        );
+        let est16 = estimate_config_bits(
+            &parse_row("IMP-XVI", "n | n | none | nxn | nxn | nxn | nxn").unwrap(),
+            &params(),
+        );
+        assert!(est16.total_extended() > est8.total_extended());
+    }
+}

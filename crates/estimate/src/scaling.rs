@@ -1,0 +1,113 @@
+//! Technology-node scaling: convert gate equivalents to silicon area.
+//!
+//! The taxonomy's area prediction is technology independent (gate
+//! equivalents); a designer comparing candidate classes for a concrete chip
+//! wants mm².  One NAND2 gate-equivalent occupies roughly
+//! `k · (node/1000)²` mm² with `k ≈ 1.0e-3` per (µm)² of feature pitch —
+//! we use the conventional published GE densities per node instead of the
+//! raw quadratic to stay within a factor of ~2 of foundry data.
+
+use std::fmt;
+
+/// A process technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// 180 nm (era of PADDI-2, Pleiades).
+    N180,
+    /// 130 nm (MorphoSys-class CGRAs).
+    N130,
+    /// 90 nm.
+    N90,
+    /// 65 nm (Cortex-A9 era).
+    N65,
+    /// 45 nm (Core2-successor era).
+    N45,
+    /// 32 nm.
+    N32,
+}
+
+impl TechNode {
+    /// All nodes, newest last.
+    pub const ALL: [TechNode; 6] = [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N65,
+        TechNode::N45,
+        TechNode::N32,
+    ];
+
+    /// Feature size in nanometres.
+    pub fn nanometres(&self) -> u32 {
+        match self {
+            TechNode::N180 => 180,
+            TechNode::N130 => 130,
+            TechNode::N90 => 90,
+            TechNode::N65 => 65,
+            TechNode::N45 => 45,
+            TechNode::N32 => 32,
+        }
+    }
+
+    /// Gate density in kGE per mm² (order-of-magnitude foundry figures).
+    pub fn kge_per_mm2(&self) -> f64 {
+        match self {
+            TechNode::N180 => 100.0,
+            TechNode::N130 => 200.0,
+            TechNode::N90 => 420.0,
+            TechNode::N65 => 800.0,
+            TechNode::N45 => 1_600.0,
+            TechNode::N32 => 3_100.0,
+        }
+    }
+
+    /// Convert a gate-equivalent count to mm² at this node.
+    pub fn ge_to_mm2(&self, ge: f64) -> f64 {
+        ge / (self.kge_per_mm2() * 1_000.0)
+    }
+
+    /// Scaling factor from this node to another (`area_other / area_self`).
+    pub fn scale_to(&self, other: TechNode) -> f64 {
+        self.kge_per_mm2() / other.kge_per_mm2()
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nm", self.nanometres())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_increases_with_newer_nodes() {
+        let mut last = 0.0;
+        for node in TechNode::ALL {
+            assert!(node.kge_per_mm2() > last, "{node}");
+            last = node.kge_per_mm2();
+        }
+    }
+
+    #[test]
+    fn ge_to_mm2_inverse_of_density() {
+        let node = TechNode::N65;
+        let mm2 = node.ge_to_mm2(800_000.0);
+        assert!((mm2 - 1.0).abs() < 1e-9, "800 kGE at 65nm should be ~1 mm², got {mm2}");
+    }
+
+    #[test]
+    fn scaling_factor_roundtrips() {
+        let f = TechNode::N180.scale_to(TechNode::N45);
+        let g = TechNode::N45.scale_to(TechNode::N180);
+        assert!((f * g - 1.0).abs() < 1e-12);
+        assert!(f < 1.0, "newer node shrinks area");
+    }
+
+    #[test]
+    fn display_prints_nanometres() {
+        assert_eq!(TechNode::N90.to_string(), "90 nm");
+    }
+}

@@ -1,0 +1,194 @@
+//! Switch cost models: the area and configuration-bit contribution of each
+//! connectivity relation.
+//!
+//! The paper's discussion (Section III-C/D) pins two ordering facts that
+//! these models must preserve:
+//!
+//! * "the switch of type 'x' takes more area than a switch of type '-'",
+//!   and
+//! * "a full cross bar switch will require more bits than a limited
+//!   crossbar"; a direct switch requires none at all.
+//!
+//! A direct switch of `L` sources and `R` sinks is `max(L, R)` fixed wires
+//! (zero configuration).  A crossbar is modelled as one output multiplexer
+//! per sink over all `L` sources: `L·R` crosspoints of area, and
+//! `R · ceil(log2(L+1))` configuration bits (the `+1` encodes
+//! "disconnected").  A *limited* crossbar with window `w` sees only `w`
+//! sources per sink.
+
+use skilltax_model::{Link, Switch, SwitchKind};
+
+use crate::params::CostParams;
+
+/// Cost of one relation's switch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SwitchCost {
+    /// Area in gate equivalents.
+    pub area_ge: f64,
+    /// Configuration bits.
+    pub config_bits: u64,
+    /// Number of crosspoints (0 for direct links).
+    pub crosspoints: u64,
+    /// Number of physical wires.
+    pub wires: u64,
+}
+
+/// Ceil of log2(x), with `clog2(0) = 0` and `clog2(1) = 0`.
+pub fn clog2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// Resolve a switch endpoint to a concrete multiplicity using the
+/// parameters' `n` / `v` substitutions.
+fn resolve(extent: skilltax_model::Extent, params: &CostParams) -> u64 {
+    use skilltax_model::Count;
+    match extent.count() {
+        Count::Zero => 0,
+        Count::One => 1,
+        Count::Many(m) => u64::from(m.substitute(params.n_default).value().unwrap_or(params.n_default)),
+        Count::Variable => u64::from(params.v_default),
+    }
+}
+
+/// Cost of a concrete switch.
+pub fn switch_cost(switch: &Switch, params: &CostParams) -> SwitchCost {
+    let l = resolve(switch.left, params);
+    let r = resolve(switch.right, params);
+    let bits = f64::from(params.bitwidth);
+    match switch.kind {
+        SwitchKind::Direct => {
+            let wires = l.max(r);
+            SwitchCost {
+                area_ge: wires as f64 * bits * params.wire_ge,
+                config_bits: 0,
+                crosspoints: 0,
+                wires,
+            }
+        }
+        SwitchKind::Crossbar => {
+            // Window = number of sources each sink can select from.  A
+            // "full" crossbar written `axb` has window `a` (every sink sees
+            // every source); the *limited* shapes of Table III (`nx14`,
+            // `5x10`, `16x6`) are already expressed by their extents, so the
+            // same formula covers both.
+            let crosspoints = l * r;
+            let sel_bits = u64::from(clog2(l + 1));
+            SwitchCost {
+                area_ge: crosspoints as f64 * bits * params.crosspoint_ge
+                    + (l + r) as f64 * bits * params.wire_ge,
+                config_bits: r * sel_bits,
+                crosspoints,
+                wires: l + r,
+            }
+        }
+    }
+}
+
+/// Cost of a link (`none` links cost nothing).
+pub fn link_cost(link: &Link, params: &CostParams) -> SwitchCost {
+    match link.switch() {
+        None => SwitchCost::default(),
+        Some(sw) => switch_cost(sw, params),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn params() -> CostParams {
+        CostParams::default()
+    }
+
+    fn sw(s: &str) -> Switch {
+        Switch::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn clog2_is_ceil_log2() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(64), 6);
+        assert_eq!(clog2(65), 7);
+    }
+
+    #[test]
+    fn direct_switch_has_zero_config_bits() {
+        let c = switch_cost(&sw("64-1"), &params());
+        assert_eq!(c.config_bits, 0);
+        assert_eq!(c.crosspoints, 0);
+        assert_eq!(c.wires, 64);
+        assert!(c.area_ge > 0.0);
+    }
+
+    #[test]
+    fn crossbar_costs_more_than_direct_same_extents() {
+        // The paper's ordering claim: 'x' takes more area than '-'.
+        let p = params();
+        let direct = switch_cost(&sw("64-64"), &p);
+        let xbar = switch_cost(&sw("64x64"), &p);
+        assert!(xbar.area_ge > direct.area_ge);
+        assert!(xbar.config_bits > direct.config_bits);
+    }
+
+    #[test]
+    fn full_crossbar_needs_more_bits_than_limited() {
+        // Section III-D: full crossbar > limited crossbar in CBs.
+        let p = params();
+        let full = switch_cost(&sw("64x64"), &p);
+        let limited = switch_cost(&sw("14x64"), &p); // 14-wide window per sink
+        assert!(full.config_bits > limited.config_bits);
+        assert!(full.area_ge > limited.area_ge);
+    }
+
+    #[test]
+    fn crossbar_area_quadratic_in_ports() {
+        let p = params();
+        let small = switch_cost(&sw("8x8"), &p);
+        let big = switch_cost(&sw("16x16"), &p);
+        // crosspoint term quadruples; wire term only doubles.
+        assert!(big.crosspoints == 4 * small.crosspoints);
+        assert!(big.area_ge / small.area_ge > 3.0);
+    }
+
+    #[test]
+    fn symbolic_extents_use_n_default() {
+        let p = params().with_n(8);
+        let c = switch_cost(&sw("nxn"), &p);
+        assert_eq!(c.crosspoints, 64);
+        assert_eq!(c.config_bits, 8 * u64::from(clog2(9)));
+    }
+
+    #[test]
+    fn variable_extents_use_v_default() {
+        let mut p = params();
+        p.v_default = 1024;
+        let c = switch_cost(&sw("vxv"), &p);
+        assert_eq!(c.crosspoints, 1024 * 1024);
+    }
+
+    #[test]
+    fn none_link_is_free() {
+        let c = link_cost(&Link::None, &params());
+        assert_eq!(c.area_ge, 0.0);
+        assert_eq!(c.config_bits, 0);
+    }
+
+    #[test]
+    fn config_bits_formula_matches_mux_model() {
+        let p = params();
+        let c = switch_cost(&sw("5x10"), &p); // Montium: 5 DPs x 10 DMs
+        // 10 sinks, each selecting one of 5 sources (+none) => 3 bits each.
+        assert_eq!(c.config_bits, 10 * 3);
+        assert_eq!(c.crosspoints, 50);
+    }
+}

@@ -1,0 +1,470 @@
+//! The token-driven execution engine for data-flow machines (DUP and
+//! DMP-I..IV).
+//!
+//! Nodes are statically *placed* on data processors.  A node fires when all
+//! of its operand tokens have arrived; each DP fires at most one ready node
+//! per cycle, so execution is out-of-order within a DP and parallel across
+//! DPs — exactly the paper's description of the data-flow paradigm.
+//!
+//! The DMP sub-types constrain placement feasibility:
+//!
+//! * an edge between nodes on *different* DPs needs the **DP–DP** switch
+//!   (sub-types II and IV);
+//! * an Input/Output node placed on DP `p` touches memory bank
+//!   `io_index % n`; reaching a *foreign* bank needs the **DP–DM**
+//!   crossbar (sub-types III and IV).
+//!
+//! DMP-I therefore only runs graphs that partition into per-DP islands
+//! with bank-local I/O — the executable meaning of its flexibility score
+//! of 1.
+
+use skilltax_model::{ArchSpec, Count, Link, Relation};
+
+use crate::error::MachineError;
+use crate::exec::Stats;
+use crate::isa::Word;
+
+use super::graph::{DataflowGraph, NodeId, OpKind};
+
+/// The data-flow machine sub-types (DUP plus DMP I–IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataflowSubtype {
+    /// Single processor (class 1, DUP).
+    Uni,
+    /// `n` DPs, private banks, no DP–DP (class 2).
+    I,
+    /// `n` DPs, private banks, DP–DP crossbar (class 3).
+    II,
+    /// `n` DPs, shared-bank crossbar, no DP–DP (class 4).
+    III,
+    /// `n` DPs, both crossbars (class 5).
+    IV,
+}
+
+impl DataflowSubtype {
+    /// The four multi-processor sub-types.
+    pub const MULTI: [DataflowSubtype; 4] = [
+        DataflowSubtype::I,
+        DataflowSubtype::II,
+        DataflowSubtype::III,
+        DataflowSubtype::IV,
+    ];
+
+    /// Does the machine have a DP–DP switch (cross-DP edges allowed)?
+    pub fn dp_dp_crossbar(&self) -> bool {
+        matches!(self, DataflowSubtype::II | DataflowSubtype::IV)
+    }
+
+    /// Does the machine have a DP–DM crossbar (foreign-bank I/O allowed)?
+    pub fn dp_dm_crossbar(&self) -> bool {
+        matches!(self, DataflowSubtype::III | DataflowSubtype::IV)
+    }
+
+    /// Taxonomy class name.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            DataflowSubtype::Uni => "DUP",
+            DataflowSubtype::I => "DMP-I",
+            DataflowSubtype::II => "DMP-II",
+            DataflowSubtype::III => "DMP-III",
+            DataflowSubtype::IV => "DMP-IV",
+        }
+    }
+}
+
+/// How to place graph nodes onto data processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Round-robin by node id.
+    RoundRobin,
+    /// Keep each connected chain on the DP of its lowest input, falling
+    /// back to round-robin for orphan nodes — good for island graphs.
+    Islands,
+    /// Every node on DP 0: fully sequential, but needs no DP–DP switch
+    /// (the natural mode for DMP-III's shared-memory-only shape).
+    AllOnOne,
+    /// Explicit node→DP map.
+    Explicit(Vec<usize>),
+}
+
+/// Result of a data-flow run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowRun {
+    /// The output values, by output index.
+    pub outputs: Vec<Word>,
+    /// Execution statistics.
+    pub stats: Stats,
+}
+
+/// A data-flow machine.
+#[derive(Debug, Clone)]
+pub struct DataflowMachine {
+    subtype: DataflowSubtype,
+    n_dps: usize,
+    cycle_limit: u64,
+}
+
+impl DataflowMachine {
+    /// A machine with `n_dps` data processors (must be 1 for
+    /// [`DataflowSubtype::Uni`], ≥ 2 otherwise).
+    pub fn new(subtype: DataflowSubtype, n_dps: usize) -> Result<DataflowMachine, MachineError> {
+        match (subtype, n_dps) {
+            (DataflowSubtype::Uni, 1) => {}
+            (DataflowSubtype::Uni, n) => {
+                return Err(MachineError::config(format!("DUP has exactly one DP, got {n}")))
+            }
+            (_, n) if n < 2 => {
+                return Err(MachineError::config("a DMP machine needs at least two DPs"))
+            }
+            _ => {}
+        }
+        Ok(DataflowMachine { subtype, n_dps, cycle_limit: 10_000_000 })
+    }
+
+    /// The sub-type.
+    pub fn subtype(&self) -> DataflowSubtype {
+        self.subtype
+    }
+
+    /// Number of data processors.
+    pub fn dp_count(&self) -> usize {
+        self.n_dps
+    }
+
+    /// The structural [`ArchSpec`] of this machine.
+    pub fn spec(&self) -> ArchSpec {
+        let n = (self.n_dps as u32).max(2);
+        let mut b = ArchSpec::builder(format!("dataflow-{}x{}", self.subtype.class_name(), n))
+            .ips(Count::zero());
+        if self.subtype == DataflowSubtype::Uni {
+            return b
+                .dps(Count::one())
+                .link(Relation::DpDm, Link::direct_between(1, 1))
+                .build_unchecked();
+        }
+        b = b.dps(Count::fixed(n));
+        b = b.link(
+            Relation::DpDm,
+            if self.subtype.dp_dm_crossbar() {
+                Link::crossbar_between(n, n)
+            } else {
+                Link::direct_between(n, n)
+            },
+        );
+        if self.subtype.dp_dp_crossbar() {
+            b = b.link(Relation::DpDp, Link::crossbar_between(n, n));
+        }
+        b.build_unchecked()
+    }
+
+    /// Compute a concrete node→DP map for a placement policy.
+    pub fn place(&self, graph: &DataflowGraph, placement: &Placement) -> Vec<usize> {
+        match placement {
+            Placement::Explicit(map) => map.clone(),
+            Placement::AllOnOne => vec![0; graph.len()],
+            Placement::RoundRobin => (0..graph.len()).map(|i| i % self.n_dps).collect(),
+            Placement::Islands => {
+                // Pin I/O nodes to their banks, then let everything else
+                // adopt a decided neighbour's DP (sweep to fixpoint);
+                // isolated leftovers fall back to round-robin.
+                let consumers = graph.consumers();
+                let mut map = vec![usize::MAX; graph.len()];
+                for (id, node) in graph.nodes().iter().enumerate() {
+                    if let OpKind::Input(k) | OpKind::Output(k) = node.op {
+                        map[id] = k % self.n_dps;
+                    }
+                }
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for (id, node) in graph.nodes().iter().enumerate() {
+                        if map[id] != usize::MAX {
+                            continue;
+                        }
+                        let neighbour = node
+                            .inputs
+                            .iter()
+                            .chain(consumers[id].iter())
+                            .map(|&other| map[other])
+                            .find(|&dp| dp != usize::MAX);
+                        if let Some(dp) = neighbour {
+                            map[id] = dp;
+                            changed = true;
+                        }
+                    }
+                }
+                for (id, slot) in map.iter_mut().enumerate() {
+                    if *slot == usize::MAX {
+                        *slot = id % self.n_dps;
+                    }
+                }
+                map
+            }
+        }
+    }
+
+    /// Check a placement against the sub-type's switches; returns a typed
+    /// error describing the first infeasibility.
+    pub fn check_placement(
+        &self,
+        graph: &DataflowGraph,
+        map: &[usize],
+    ) -> Result<(), MachineError> {
+        if map.len() != graph.len() {
+            return Err(MachineError::config(format!(
+                "placement maps {} nodes but the graph has {}",
+                map.len(),
+                graph.len()
+            )));
+        }
+        if let Some(&bad) = map.iter().find(|&&dp| dp >= self.n_dps) {
+            return Err(MachineError::config(format!(
+                "placement uses DP {bad} but the machine has {}",
+                self.n_dps
+            )));
+        }
+        for (id, node) in graph.nodes().iter().enumerate() {
+            for &src in &node.inputs {
+                if map[src] != map[id] && !self.subtype.dp_dp_crossbar() {
+                    return Err(MachineError::RouteDenied {
+                        from: map[src],
+                        to: map[id],
+                        reason: format!(
+                            "{}: edge {src}->{id} crosses DPs but the machine has no \
+                             DP-DP switch",
+                            self.subtype.class_name()
+                        ),
+                    });
+                }
+            }
+            if let OpKind::Input(k) | OpKind::Output(k) = node.op {
+                let bank = k % self.n_dps;
+                if bank != map[id] && !self.subtype.dp_dm_crossbar() {
+                    return Err(MachineError::BankAccessDenied {
+                        processor: map[id],
+                        bank,
+                        reason: format!(
+                            "{}: I/O {k} lives in bank {bank} but node {id} is placed \
+                             on DP {} and DP-DM is direct",
+                            self.subtype.class_name(),
+                            map[id]
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a graph on the machine with the given placement policy.
+    pub fn run(
+        &self,
+        graph: &DataflowGraph,
+        inputs: &[Word],
+        placement: &Placement,
+    ) -> Result<DataflowRun, MachineError> {
+        if inputs.len() != graph.input_count() {
+            return Err(MachineError::config(format!(
+                "graph expects {} inputs, got {}",
+                graph.input_count(),
+                inputs.len()
+            )));
+        }
+        let map = self.place(graph, placement);
+        self.check_placement(graph, &map)?;
+
+        let consumers = graph.consumers();
+        let mut pending: Vec<usize> = graph.nodes().iter().map(|n| n.op.arity()).collect();
+        let mut value: Vec<Option<Word>> = vec![None; graph.len()];
+        // Source nodes are immediately ready.
+        let mut ready: Vec<Vec<NodeId>> = vec![Vec::new(); self.n_dps];
+        for (id, node) in graph.nodes().iter().enumerate() {
+            if node.op.arity() == 0 {
+                ready[map[id]].push(id);
+            }
+        }
+        let mut outputs = vec![0; graph.output_count()];
+        let mut fired = 0usize;
+        let mut stats = Stats::default();
+
+        while fired < graph.len() {
+            if stats.cycles >= self.cycle_limit {
+                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+            }
+            stats.cycles += 1;
+            let mut fired_this_cycle: Vec<NodeId> = Vec::new();
+            // Each DP fires at most one ready node per cycle.
+            for dp_ready in ready.iter_mut() {
+                if let Some(id) = dp_ready.pop() {
+                    let node = &graph.nodes()[id];
+                    let operands: Vec<Word> = node
+                        .inputs
+                        .iter()
+                        .map(|&src| value[src].expect("operand fired before consumer"))
+                        .collect();
+                    let v = match node.op {
+                        OpKind::Input(k) => {
+                            stats.mem_reads += 1;
+                            inputs[k]
+                        }
+                        OpKind::Output(k) => {
+                            stats.mem_writes += 1;
+                            outputs[k] = operands[0];
+                            operands[0]
+                        }
+                        other => {
+                            if other.is_alu() {
+                                stats.alu_ops += 1;
+                            }
+                            other.apply(&operands)
+                        }
+                    };
+                    value[id] = Some(v);
+                    stats.instructions += 1;
+                    fired += 1;
+                    fired_this_cycle.push(id);
+                } else {
+                    stats.stalls += 1;
+                }
+            }
+            // Propagate tokens produced this cycle.
+            for id in fired_this_cycle {
+                for &consumer in &consumers[id] {
+                    if map[consumer] != map[id] {
+                        stats.messages += 1;
+                    }
+                    pending[consumer] -= 1;
+                    if pending[consumer] == 0 {
+                        ready[map[consumer]].push(consumer);
+                    }
+                }
+            }
+        }
+        Ok(DataflowRun { outputs, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::graph::library::{fir, independent_chains, poly2, tree_sum};
+
+    #[test]
+    fn dup_runs_any_graph_sequentially() {
+        let m = DataflowMachine::new(DataflowSubtype::Uni, 1).unwrap();
+        let g = poly2();
+        let run = m.run(&g, &[7, 3], &Placement::RoundRobin).unwrap();
+        assert_eq!(run.outputs, g.eval_reference(&[7, 3]).unwrap());
+        // One node per cycle: cycles == node count.
+        assert_eq!(run.stats.cycles, g.len() as u64);
+    }
+
+    #[test]
+    fn dmp_iv_matches_reference_on_every_library_graph() {
+        let m = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
+        let cases: Vec<(DataflowGraph, Vec<Word>)> = vec![
+            (poly2(), vec![5, 2]),
+            (fir(&[1, 2, 3, 4]), vec![9, 8, 7, 6]),
+            (tree_sum(8), (1..=8).collect()),
+            (independent_chains(4), vec![3, 1, 4, 1]),
+        ];
+        for (g, inputs) in cases {
+            let run = m.run(&g, &inputs, &Placement::RoundRobin).unwrap();
+            assert_eq!(run.outputs, g.eval_reference(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_dataflow_beats_sequential_on_wide_graphs() {
+        let g = tree_sum(16);
+        let inputs: Vec<Word> = (0..16).collect();
+        let uni = DataflowMachine::new(DataflowSubtype::Uni, 1).unwrap();
+        let wide = DataflowMachine::new(DataflowSubtype::IV, 8).unwrap();
+        let seq = uni.run(&g, &inputs, &Placement::RoundRobin).unwrap();
+        let par = wide.run(&g, &inputs, &Placement::RoundRobin).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert!(
+            par.stats.cycles < seq.stats.cycles / 2,
+            "parallel {} vs sequential {}",
+            par.stats.cycles,
+            seq.stats.cycles
+        );
+    }
+
+    #[test]
+    fn dmp_i_rejects_cross_dp_edges() {
+        // poly2 has cross edges under round-robin placement.
+        let m = DataflowMachine::new(DataflowSubtype::I, 2).unwrap();
+        assert!(matches!(
+            m.run(&poly2(), &[1, 2], &Placement::RoundRobin),
+            Err(MachineError::RouteDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn dmp_i_runs_island_graphs_with_island_placement() {
+        // Independent chains partition cleanly: DMP-I's legitimate niche.
+        let m = DataflowMachine::new(DataflowSubtype::I, 4).unwrap();
+        let g = independent_chains(4);
+        let inputs = vec![2, 3, 4, 5];
+        let run = m.run(&g, &inputs, &Placement::Islands).unwrap();
+        assert_eq!(run.outputs, g.eval_reference(&inputs).unwrap());
+        assert_eq!(run.stats.messages, 0, "island placement must not cross DPs");
+    }
+
+    #[test]
+    fn dmp_iii_reaches_foreign_banks_without_dp_dp() {
+        // All nodes on DP 0, I/O spread across banks: needs DP-DM crossbar
+        // but no DP-DP switch.
+        let g = independent_chains(2);
+        let all_on_zero = Placement::Explicit(vec![0; g.len()]);
+        let iii = DataflowMachine::new(DataflowSubtype::III, 2).unwrap();
+        let run = iii.run(&g, &[1, 1], &all_on_zero).unwrap();
+        assert_eq!(run.outputs, g.eval_reference(&[1, 1]).unwrap());
+
+        let i = DataflowMachine::new(DataflowSubtype::I, 2).unwrap();
+        assert!(matches!(
+            i.run(&g, &[1, 1], &all_on_zero),
+            Err(MachineError::BankAccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_firing_is_by_availability() {
+        // In poly2 the Sub can fire before the Add or after — either way
+        // the result is the same (checked against reference on an engine
+        // that pops ready nodes LIFO, i.e. not in topological order).
+        let m = DataflowMachine::new(DataflowSubtype::IV, 2).unwrap();
+        let g = poly2();
+        for placement in [Placement::RoundRobin, Placement::Explicit(vec![0, 1, 0, 1, 0, 1])] {
+            let run = m.run(&g, &[9, 4], &placement).unwrap();
+            assert_eq!(run.outputs, vec![(9 + 4) * (9 - 4)]);
+        }
+    }
+
+    #[test]
+    fn bad_configurations_rejected() {
+        assert!(DataflowMachine::new(DataflowSubtype::Uni, 2).is_err());
+        assert!(DataflowMachine::new(DataflowSubtype::II, 1).is_err());
+        let m = DataflowMachine::new(DataflowSubtype::IV, 2).unwrap();
+        let g = poly2();
+        assert!(m.run(&g, &[1], &Placement::RoundRobin).is_err()); // wrong input count
+        assert!(m
+            .check_placement(&g, &vec![5; g.len()])
+            .is_err()); // DP out of range
+        assert!(m.check_placement(&g, &[0]).is_err()); // wrong length
+    }
+
+    #[test]
+    fn specs_classify_back_to_their_class() {
+        use skilltax_taxonomy::classify;
+        let dup = DataflowMachine::new(DataflowSubtype::Uni, 1).unwrap();
+        assert_eq!(classify(&dup.spec()).unwrap().name().to_string(), "DUP");
+        for (i, subtype) in DataflowSubtype::MULTI.iter().enumerate() {
+            let m = DataflowMachine::new(*subtype, 4).unwrap();
+            let c = classify(&m.spec()).unwrap();
+            assert_eq!(c.name().to_string(), subtype.class_name());
+            assert_eq!(c.serial(), i as u8 + 2);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Dataflow graphs: the programs of the machines that have no instruction
+//! processor.
+//!
+//! "The data elements carry instructions which are then executed on the
+//! arrival of the data at the inputs of the processing elements.  These
+//! instructions may execute out of order, and totally depend on the
+//! availability of the data."  A [`DataflowGraph`] is that program: a DAG
+//! of operators fed by inputs and draining into outputs.
+
+use crate::error::MachineError;
+use crate::isa::Word;
+
+/// Node identifier inside a graph.
+pub type NodeId = usize;
+
+/// Operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// External input number `k` (reads from data memory).
+    Input(usize),
+    /// A compile-time constant.
+    Const(Word),
+    /// Two-operand addition.
+    Add,
+    /// Two-operand subtraction (first minus second).
+    Sub,
+    /// Two-operand multiplication.
+    Mul,
+    /// Two-operand minimum.
+    Min,
+    /// Two-operand maximum.
+    Max,
+    /// External output number `k` (writes to data memory); passes its
+    /// single operand through.
+    Output(usize),
+}
+
+impl OpKind {
+    /// Number of operands the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::Input(_) | OpKind::Const(_) => 0,
+            OpKind::Output(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// Apply the operator to its operands.
+    pub fn apply(&self, operands: &[Word]) -> Word {
+        match *self {
+            OpKind::Input(_) => operands.first().copied().unwrap_or(0),
+            OpKind::Const(c) => c,
+            OpKind::Add => operands[0].wrapping_add(operands[1]),
+            OpKind::Sub => operands[0].wrapping_sub(operands[1]),
+            OpKind::Mul => operands[0].wrapping_mul(operands[1]),
+            OpKind::Min => operands[0].min(operands[1]),
+            OpKind::Max => operands[0].max(operands[1]),
+            OpKind::Output(_) => operands[0],
+        }
+    }
+
+    /// Does firing this node count as an ALU operation?
+    pub fn is_alu(&self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Min | OpKind::Max)
+    }
+}
+
+/// One node: operator plus its operand edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The operator.
+    pub op: OpKind,
+    /// Producer nodes, in operand order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A validated dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowGraph {
+    nodes: Vec<Node>,
+    input_count: usize,
+    output_count: usize,
+}
+
+/// Incremental graph builder.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// Start an empty graph.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// External input `k`.
+    pub fn input(&mut self, k: usize) -> NodeId {
+        self.push(OpKind::Input(k), vec![])
+    }
+
+    /// Constant node.
+    pub fn constant(&mut self, value: Word) -> NodeId {
+        self.push(OpKind::Const(value), vec![])
+    }
+
+    /// Binary operator node.
+    pub fn op(&mut self, op: OpKind, a: NodeId, b: NodeId) -> NodeId {
+        self.push(op, vec![a, b])
+    }
+
+    /// External output `k` fed by `src`.
+    pub fn output(&mut self, k: usize, src: NodeId) -> NodeId {
+        self.push(OpKind::Output(k), vec![src])
+    }
+
+    fn push(&mut self, op: OpKind, inputs: Vec<NodeId>) -> NodeId {
+        self.nodes.push(Node { op, inputs });
+        self.nodes.len() - 1
+    }
+
+    /// Validate and freeze the graph.
+    pub fn build(self) -> Result<DataflowGraph, MachineError> {
+        DataflowGraph::new(self.nodes)
+    }
+}
+
+impl DataflowGraph {
+    /// Validate a node list into a graph: operand ids must precede their
+    /// consumers (which also guarantees acyclicity), arities must match,
+    /// and input/output indices must be dense from 0.
+    pub fn new(nodes: Vec<Node>) -> Result<DataflowGraph, MachineError> {
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for (id, node) in nodes.iter().enumerate() {
+            if node.inputs.len() != node.op.arity() {
+                return Err(MachineError::config(format!(
+                    "node {id} ({:?}) expects {} operands, has {}",
+                    node.op,
+                    node.op.arity(),
+                    node.inputs.len()
+                )));
+            }
+            if let Some(&bad) = node.inputs.iter().find(|&&src| src >= id) {
+                return Err(MachineError::config(format!(
+                    "node {id} reads from node {bad}, which does not precede it \
+                     (graphs must be in topological order)"
+                )));
+            }
+            match node.op {
+                OpKind::Input(k) => inputs.push(k),
+                OpKind::Output(k) => outputs.push(k),
+                _ => {}
+            }
+        }
+        for (label, indices) in [("input", &mut inputs), ("output", &mut outputs)] {
+            indices.sort_unstable();
+            for (want, &got) in indices.iter().enumerate() {
+                if want != got {
+                    return Err(MachineError::config(format!(
+                        "{label} indices must be dense from 0; missing {label} {want}"
+                    )));
+                }
+            }
+        }
+        Ok(DataflowGraph { input_count: inputs.len(), output_count: outputs.len(), nodes })
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of external inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of external outputs.
+    pub fn output_count(&self) -> usize {
+        self.output_count
+    }
+
+    /// Sequential reference evaluation (the ground truth the token engines
+    /// are checked against).
+    pub fn eval_reference(&self, inputs: &[Word]) -> Result<Vec<Word>, MachineError> {
+        if inputs.len() != self.input_count {
+            return Err(MachineError::config(format!(
+                "graph expects {} inputs, got {}",
+                self.input_count,
+                inputs.len()
+            )));
+        }
+        let mut values = vec![0; self.nodes.len()];
+        let mut outputs = vec![0; self.output_count];
+        for (id, node) in self.nodes.iter().enumerate() {
+            let operands: Vec<Word> = node.inputs.iter().map(|&src| values[src]).collect();
+            values[id] = match node.op {
+                OpKind::Input(k) => inputs[k],
+                other => other.apply(&operands),
+            };
+            if let OpKind::Output(k) = node.op {
+                outputs[k] = values[id];
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Consumers of each node (adjacency in the firing direction).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &src in &node.inputs {
+                out[src].push(id);
+            }
+        }
+        out
+    }
+}
+
+/// A small library of ready-made graphs used by workloads and tests.
+pub mod library {
+    use super::*;
+
+    /// `out[0] = (a + b) * (a - b)` over inputs `a, b`.
+    pub fn poly2() -> DataflowGraph {
+        let mut g = GraphBuilder::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let sum = g.op(OpKind::Add, a, b);
+        let diff = g.op(OpKind::Sub, a, b);
+        let prod = g.op(OpKind::Mul, sum, diff);
+        g.output(0, prod);
+        g.build().expect("poly2 is well formed")
+    }
+
+    /// A `k`-tap FIR filter over `k` sample inputs and `k` constant taps:
+    /// `out[0] = sum(tap[i] * x[i])`.
+    pub fn fir(taps: &[Word]) -> DataflowGraph {
+        let mut g = GraphBuilder::new();
+        let mut acc: Option<NodeId> = None;
+        for (i, &tap) in taps.iter().enumerate() {
+            let x = g.input(i);
+            let c = g.constant(tap);
+            let prod = g.op(OpKind::Mul, x, c);
+            acc = Some(match acc {
+                None => prod,
+                Some(a) => g.op(OpKind::Add, a, prod),
+            });
+        }
+        let acc = acc.expect("fir needs at least one tap");
+        g.output(0, acc);
+        g.build().expect("fir is well formed")
+    }
+
+    /// Balanced-tree reduction summing `n` inputs into `out[0]`
+    /// (`n` must be a power of two).
+    pub fn tree_sum(n: usize) -> DataflowGraph {
+        assert!(n.is_power_of_two() && n >= 2, "tree_sum needs a power of two >= 2");
+        let mut g = GraphBuilder::new();
+        let mut layer: Vec<NodeId> = (0..n).map(|i| g.input(i)).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| g.op(OpKind::Add, pair[0], pair[1]))
+                .collect();
+        }
+        g.output(0, layer[0]);
+        g.build().expect("tree_sum is well formed")
+    }
+
+    /// `m` completely independent chains (`out[j] = x[j] * c_j + x[j]`),
+    /// partitionable with no cross edges — runnable even on DMP-I.
+    pub fn independent_chains(m: usize) -> DataflowGraph {
+        let mut g = GraphBuilder::new();
+        for j in 0..m {
+            let x = g.input(j);
+            let c = g.constant(j as Word + 2);
+            let prod = g.op(OpKind::Mul, x, c);
+            let sum = g.op(OpKind::Add, prod, x);
+            g.output(j, sum);
+        }
+        g.build().expect("independent_chains is well formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+
+    #[test]
+    fn poly2_reference_matches_algebra() {
+        let g = poly2();
+        assert_eq!(g.eval_reference(&[7, 3]).unwrap(), vec![(7 + 3) * (7 - 3)]);
+        assert_eq!(g.input_count(), 2);
+        assert_eq!(g.output_count(), 1);
+    }
+
+    #[test]
+    fn fir_reference_is_a_dot_product() {
+        let g = fir(&[1, -2, 3]);
+        assert_eq!(g.eval_reference(&[10, 20, 30]).unwrap(), vec![10 - 40 + 90]);
+    }
+
+    #[test]
+    fn tree_sum_reference() {
+        let g = tree_sum(8);
+        let inputs: Vec<Word> = (1..=8).collect();
+        assert_eq!(g.eval_reference(&inputs).unwrap(), vec![36]);
+    }
+
+    #[test]
+    fn independent_chains_have_per_chain_outputs() {
+        let g = independent_chains(3);
+        let out = g.eval_reference(&[1, 1, 1]).unwrap();
+        assert_eq!(out, vec![3, 4, 5]); // x*(j+2) + x at x=1
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let nodes = vec![Node { op: OpKind::Add, inputs: vec![] }];
+        assert!(DataflowGraph::new(nodes).is_err());
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let nodes = vec![
+            Node { op: OpKind::Input(0), inputs: vec![] },
+            Node { op: OpKind::Add, inputs: vec![0, 2] }, // 2 does not precede
+            Node { op: OpKind::Const(1), inputs: vec![] },
+        ];
+        assert!(DataflowGraph::new(nodes).is_err());
+    }
+
+    #[test]
+    fn sparse_io_indices_rejected() {
+        let mut g = GraphBuilder::new();
+        let a = g.input(1); // missing input 0
+        g.output(0, a);
+        assert!(g.build().is_err());
+    }
+
+    #[test]
+    fn wrong_input_arity_at_eval_rejected() {
+        let g = poly2();
+        assert!(g.eval_reference(&[1]).is_err());
+    }
+
+    #[test]
+    fn consumers_invert_edges() {
+        let g = poly2();
+        let consumers = g.consumers();
+        // Input a (node 0) feeds sum (2) and diff (3).
+        assert_eq!(consumers[0], vec![2, 3]);
+        // The product (4) feeds the output (5).
+        assert_eq!(consumers[4], vec![5]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Data-flow machines: graphs ([`graph`]) and the token-firing engine
+//! ([`engine`]) implementing DUP and DMP-I..IV.
+
+pub mod engine;
+pub mod graph;
+
+pub use engine::{DataflowMachine, DataflowRun, DataflowSubtype, Placement};
+pub use graph::{DataflowGraph, GraphBuilder, Node, NodeId, OpKind};

@@ -1,0 +1,203 @@
+//! The data processor: a register file plus an ALU that executes the
+//! non-fabric instructions against a banked memory.
+
+use crate::error::MachineError;
+use crate::isa::{Instr, Reg, Word, NUM_REGS};
+use crate::mem::BankedMemory;
+
+/// What the processor should do after executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalOutcome {
+    /// Advance to the next instruction.
+    Next,
+    /// Jump to the given instruction index.
+    Branch(usize),
+    /// Stop.
+    Halt,
+}
+
+/// A data processor: registers, ALU, and its lane identity.
+#[derive(Debug, Clone)]
+pub struct DataProcessor {
+    regs: [Word; NUM_REGS],
+    lane: usize,
+    alu_ops: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+}
+
+impl DataProcessor {
+    /// A zeroed processor with the given lane index.
+    pub fn new(lane: usize) -> DataProcessor {
+        DataProcessor { regs: [0; NUM_REGS], lane, alu_ops: 0, mem_reads: 0, mem_writes: 0 }
+    }
+
+    /// This processor's lane index.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Read a register.
+    pub fn reg(&self, r: Reg) -> Word {
+        self.regs[usize::from(r)]
+    }
+
+    /// Write a register.
+    pub fn set_reg(&mut self, r: Reg, value: Word) {
+        self.regs[usize::from(r)] = value;
+    }
+
+    /// (alu, mem reads, mem writes) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.alu_ops, self.mem_reads, self.mem_writes)
+    }
+
+    /// Execute one *local* instruction (everything except the DP–DP fabric
+    /// instructions, which need machine-level context).
+    ///
+    /// # Panics
+    /// Panics if handed a fabric instruction (`Send`/`Recv`/`GetLane`);
+    /// machines must intercept those first.
+    pub fn execute_local(
+        &mut self,
+        instr: Instr,
+        mem: &mut BankedMemory,
+    ) -> Result<LocalOutcome, MachineError> {
+        debug_assert!(!instr.uses_dp_dp(), "fabric instruction reached execute_local");
+        match instr {
+            Instr::Nop => Ok(LocalOutcome::Next),
+            Instr::Halt => Ok(LocalOutcome::Halt),
+            Instr::MovI(rd, imm) => {
+                self.set_reg(rd, imm);
+                Ok(LocalOutcome::Next)
+            }
+            Instr::Mov(rd, rs) => {
+                self.set_reg(rd, self.reg(rs));
+                Ok(LocalOutcome::Next)
+            }
+            Instr::Add(rd, a, b) => self.alu(rd, self.reg(a).wrapping_add(self.reg(b))),
+            Instr::Sub(rd, a, b) => self.alu(rd, self.reg(a).wrapping_sub(self.reg(b))),
+            Instr::Mul(rd, a, b) => self.alu(rd, self.reg(a).wrapping_mul(self.reg(b))),
+            Instr::Min(rd, a, b) => self.alu(rd, self.reg(a).min(self.reg(b))),
+            Instr::Max(rd, a, b) => self.alu(rd, self.reg(a).max(self.reg(b))),
+            Instr::AddI(rd, rs, imm) => self.alu(rd, self.reg(rs).wrapping_add(imm)),
+            Instr::Load(rd, rs) => {
+                let value = mem.read(self.lane, self.reg(rs))?;
+                self.mem_reads += 1;
+                self.set_reg(rd, value);
+                Ok(LocalOutcome::Next)
+            }
+            Instr::Store(ra, rs) => {
+                mem.write(self.lane, self.reg(ra), self.reg(rs))?;
+                self.mem_writes += 1;
+                Ok(LocalOutcome::Next)
+            }
+            Instr::LaneId(rd) => {
+                self.set_reg(rd, self.lane as Word);
+                Ok(LocalOutcome::Next)
+            }
+            Instr::Beq(a, b, t) => Ok(if self.reg(a) == self.reg(b) {
+                LocalOutcome::Branch(t)
+            } else {
+                LocalOutcome::Next
+            }),
+            Instr::Bne(a, b, t) => Ok(if self.reg(a) != self.reg(b) {
+                LocalOutcome::Branch(t)
+            } else {
+                LocalOutcome::Next
+            }),
+            Instr::Blt(a, b, t) => Ok(if self.reg(a) < self.reg(b) {
+                LocalOutcome::Branch(t)
+            } else {
+                LocalOutcome::Next
+            }),
+            Instr::Jmp(t) => Ok(LocalOutcome::Branch(t)),
+            Instr::Send(..) | Instr::Recv(..) | Instr::GetLane(..) => {
+                unreachable!("fabric instructions are intercepted by the machine")
+            }
+        }
+    }
+
+    fn alu(&mut self, rd: Reg, value: Word) -> Result<LocalOutcome, MachineError> {
+        self.alu_ops += 1;
+        self.set_reg(rd, value);
+        Ok(LocalOutcome::Next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DataTopology;
+
+    fn mem() -> BankedMemory {
+        BankedMemory::new(2, 16, DataTopology::PrivateBanks)
+    }
+
+    #[test]
+    fn arithmetic_executes() {
+        let mut dp = DataProcessor::new(0);
+        let mut m = mem();
+        dp.execute_local(Instr::MovI(0, 6), &mut m).unwrap();
+        dp.execute_local(Instr::MovI(1, 7), &mut m).unwrap();
+        dp.execute_local(Instr::Mul(2, 0, 1), &mut m).unwrap();
+        assert_eq!(dp.reg(2), 42);
+        dp.execute_local(Instr::Sub(3, 2, 1), &mut m).unwrap();
+        assert_eq!(dp.reg(3), 35);
+        dp.execute_local(Instr::Min(4, 0, 1), &mut m).unwrap();
+        dp.execute_local(Instr::Max(5, 0, 1), &mut m).unwrap();
+        assert_eq!((dp.reg(4), dp.reg(5)), (6, 7));
+        assert_eq!(dp.counters().0, 4);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_never_panics() {
+        let mut dp = DataProcessor::new(0);
+        let mut m = mem();
+        dp.set_reg(0, Word::MAX);
+        dp.set_reg(1, 1);
+        dp.execute_local(Instr::Add(2, 0, 1), &mut m).unwrap();
+        assert_eq!(dp.reg(2), Word::MIN);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_the_lane_bank() {
+        let mut dp = DataProcessor::new(1);
+        let mut m = mem();
+        dp.set_reg(0, 3); // address
+        dp.set_reg(1, 99); // value
+        dp.execute_local(Instr::Store(0, 1), &mut m).unwrap();
+        assert_eq!(m.bank(1).contents()[3], 99);
+        dp.execute_local(Instr::Load(2, 0), &mut m).unwrap();
+        assert_eq!(dp.reg(2), 99);
+        assert_eq!(dp.counters(), (0, 1, 1));
+    }
+
+    #[test]
+    fn branches_report_outcomes() {
+        let mut dp = DataProcessor::new(0);
+        let mut m = mem();
+        dp.set_reg(0, 1);
+        dp.set_reg(1, 2);
+        assert_eq!(dp.execute_local(Instr::Blt(0, 1, 9), &mut m).unwrap(), LocalOutcome::Branch(9));
+        assert_eq!(dp.execute_local(Instr::Beq(0, 1, 9), &mut m).unwrap(), LocalOutcome::Next);
+        assert_eq!(dp.execute_local(Instr::Jmp(4), &mut m).unwrap(), LocalOutcome::Branch(4));
+        assert_eq!(dp.execute_local(Instr::Halt, &mut m).unwrap(), LocalOutcome::Halt);
+    }
+
+    #[test]
+    fn lane_id_reads_back() {
+        let mut dp = DataProcessor::new(7);
+        let mut m = BankedMemory::new(8, 4, DataTopology::PrivateBanks);
+        dp.execute_local(Instr::LaneId(5), &mut m).unwrap();
+        assert_eq!(dp.reg(5), 7);
+    }
+
+    #[test]
+    fn memory_errors_propagate() {
+        let mut dp = DataProcessor::new(0);
+        let mut m = mem();
+        dp.set_reg(0, 1_000);
+        assert!(dp.execute_local(Instr::Load(1, 0), &mut m).is_err());
+    }
+}

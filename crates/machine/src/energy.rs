@@ -1,0 +1,155 @@
+//! A simple activity-based energy model over execution statistics.
+//!
+//! The paper motivates the CGRA design space with the energy gap between
+//! ASICs and FPGAs; this model lets the executable machines report an
+//! energy figure alongside cycles so the flexibility/efficiency trade-off
+//! can be *measured* on the simulated workloads.  Costs are per-event
+//! picojoules (order-of-magnitude 90 nm figures); the interconnect
+//! multiplier prices the flexibility: events routed through crossbars
+//! cost more than direct-wired ones.
+
+use crate::exec::Stats;
+
+/// Per-event energy costs in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One ALU operation.
+    pub alu_pj: f64,
+    /// One data-memory read.
+    pub mem_read_pj: f64,
+    /// One data-memory write.
+    pub mem_write_pj: f64,
+    /// One instruction fetched/issued.
+    pub issue_pj: f64,
+    /// One DP–DP message transfer.
+    pub message_pj: f64,
+    /// Static leakage per cycle for the whole machine.
+    pub static_pj_per_cycle: f64,
+    /// Multiplier applied to memory and message energy when the relation
+    /// is switched through a crossbar (flexibility tax, >= 1).
+    pub crossbar_factor: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            alu_pj: 2.0,
+            mem_read_pj: 8.0,
+            mem_write_pj: 9.0,
+            issue_pj: 3.0,
+            message_pj: 6.0,
+            static_pj_per_cycle: 1.0,
+            crossbar_factor: 1.8,
+        }
+    }
+}
+
+/// An itemised energy estimate for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyEstimate {
+    /// ALU energy.
+    pub alu_pj: f64,
+    /// Memory energy (reads + writes, crossbar factor applied if shared).
+    pub memory_pj: f64,
+    /// Instruction-issue energy.
+    pub issue_pj: f64,
+    /// Interconnect (message) energy.
+    pub message_pj: f64,
+    /// Static energy.
+    pub static_pj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.alu_pj + self.memory_pj + self.issue_pj + self.message_pj + self.static_pj
+    }
+
+    /// Energy per useful instruction (pJ/instr), given the run stats.
+    pub fn per_instruction(&self, stats: &Stats) -> f64 {
+        if stats.instructions == 0 {
+            0.0
+        } else {
+            self.total_pj() / stats.instructions as f64
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Price a run.  `crossbar_memory` / `crossbar_messages` say whether
+    /// the machine's DP–DM / DP–DP relations are crossbars (the
+    /// flexibility tax applies).
+    pub fn estimate(
+        &self,
+        stats: &Stats,
+        crossbar_memory: bool,
+        crossbar_messages: bool,
+    ) -> EnergyEstimate {
+        let mem_factor = if crossbar_memory { self.crossbar_factor } else { 1.0 };
+        let msg_factor = if crossbar_messages { self.crossbar_factor } else { 1.0 };
+        EnergyEstimate {
+            alu_pj: stats.alu_ops as f64 * self.alu_pj,
+            memory_pj: (stats.mem_reads as f64 * self.mem_read_pj
+                + stats.mem_writes as f64 * self.mem_write_pj)
+                * mem_factor,
+            issue_pj: stats.instructions as f64 * self.issue_pj,
+            message_pj: stats.messages as f64 * self.message_pj * msg_factor,
+            static_pj: stats.cycles as f64 * self.static_pj_per_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArraySubtype;
+    use crate::workload::{run_vector_add_array, run_vector_add_uni};
+
+    #[test]
+    fn itemised_terms_sum_to_total() {
+        let stats = Stats {
+            cycles: 100,
+            instructions: 80,
+            alu_ops: 40,
+            mem_reads: 10,
+            mem_writes: 5,
+            messages: 3,
+            stalls: 0,
+        };
+        let model = EnergyModel::default();
+        let e = model.estimate(&stats, false, false);
+        let by_hand = 40.0 * 2.0 + (10.0 * 8.0 + 5.0 * 9.0) + 80.0 * 3.0 + 3.0 * 6.0 + 100.0;
+        assert!((e.total_pj() - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossbar_factor_taxes_flexible_machines() {
+        let stats = Stats { mem_reads: 100, messages: 100, ..Stats::default() };
+        let model = EnergyModel::default();
+        let rigid = model.estimate(&stats, false, false);
+        let flexible = model.estimate(&stats, true, true);
+        assert!(flexible.total_pj() > rigid.total_pj());
+        assert!((flexible.memory_pj / rigid.memory_pj - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simd_beats_scalar_on_static_energy_for_the_same_work() {
+        // Same arithmetic work, far fewer cycles => less static energy and
+        // less issue overhead per element on the array machine.
+        let a: Vec<i64> = (0..32).collect();
+        let b: Vec<i64> = (32..64).collect();
+        let uni = run_vector_add_uni(&a, &b).unwrap();
+        let simd = run_vector_add_array(ArraySubtype::I, &a, &b).unwrap();
+        let model = EnergyModel::default();
+        let e_uni = model.estimate(&uni.stats, false, false);
+        let e_simd = model.estimate(&simd.stats, false, false);
+        assert!(e_simd.static_pj < e_uni.static_pj);
+        assert!(e_simd.per_instruction(&simd.stats) <= e_uni.per_instruction(&uni.stats) * 1.2);
+    }
+
+    #[test]
+    fn zero_instruction_runs_have_zero_per_instruction_energy() {
+        let e = EnergyEstimate::default();
+        assert_eq!(e.per_instruction(&Stats::default()), 0.0);
+    }
+}

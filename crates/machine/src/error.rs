@@ -1,0 +1,136 @@
+//! Typed errors for the executable machines.
+
+use std::fmt;
+
+/// Errors raised while assembling programs or running machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A program referenced an undefined label.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// An instruction used a register outside the register file.
+    BadRegister {
+        /// Instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+    },
+    /// A branch target points outside the program.
+    BadBranchTarget {
+        /// Instruction index.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// Data-memory access out of bounds.
+    MemoryOutOfBounds {
+        /// Processor index.
+        processor: usize,
+        /// The offending address.
+        address: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// A memory bank access was denied by the DP–DM topology (e.g. a lane
+    /// with a private bank touching another bank).
+    BankAccessDenied {
+        /// Processor index.
+        processor: usize,
+        /// Bank it tried to reach.
+        bank: usize,
+        /// Why the access is not routable.
+        reason: String,
+    },
+    /// A DP–DP transfer was denied by the interconnect (no switch, or the
+    /// destination is outside the window).
+    RouteDenied {
+        /// Source processor.
+        from: usize,
+        /// Destination processor.
+        to: usize,
+        /// Why.
+        reason: String,
+    },
+    /// The machine cannot run this workload at all (the taxonomy-level
+    /// inflexibility the paper discusses, surfaced as a typed error).
+    WorkloadUnsupported {
+        /// Machine description.
+        machine: String,
+        /// Why the workload does not fit.
+        reason: String,
+    },
+    /// The machine exceeded its cycle budget (livelock/deadlock guard).
+    CycleLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A `Recv` deadlocked (all runnable processors are blocked).
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// Configuration error in a fabric (bad port, bad truth table, ...).
+    BadConfiguration {
+        /// Description.
+        reason: String,
+    },
+}
+
+impl MachineError {
+    /// Convenience constructor for workload-unsupported errors.
+    pub fn unsupported(machine: impl Into<String>, reason: impl Into<String>) -> Self {
+        MachineError::WorkloadUnsupported { machine: machine.into(), reason: reason.into() }
+    }
+
+    /// Convenience constructor for configuration errors.
+    pub fn config(reason: impl Into<String>) -> Self {
+        MachineError::BadConfiguration { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UndefinedLabel { label } => write!(f, "undefined label {label:?}"),
+            MachineError::DuplicateLabel { label } => write!(f, "duplicate label {label:?}"),
+            MachineError::BadRegister { at, instr } => {
+                write!(f, "instruction {at} uses an out-of-range register: {instr}")
+            }
+            MachineError::BadBranchTarget { at, target, len } => {
+                write!(f, "instruction {at} branches to {target} but the program has {len} instructions")
+            }
+            MachineError::MemoryOutOfBounds { processor, address, size } => {
+                write!(f, "processor {processor}: address {address} outside memory of {size} words")
+            }
+            MachineError::BankAccessDenied { processor, bank, reason } => {
+                write!(f, "processor {processor}: cannot reach bank {bank}: {reason}")
+            }
+            MachineError::RouteDenied { from, to, reason } => {
+                write!(f, "no route from processor {from} to {to}: {reason}")
+            }
+            MachineError::WorkloadUnsupported { machine, reason } => {
+                write!(f, "{machine} cannot run this workload: {reason}")
+            }
+            MachineError::CycleLimitExceeded { limit } => {
+                write!(f, "cycle limit of {limit} exceeded (livelock?)")
+            }
+            MachineError::Deadlock { cycle } => {
+                write!(f, "deadlock detected at cycle {cycle}: every processor blocked on recv")
+            }
+            MachineError::BadConfiguration { reason } => {
+                write!(f, "bad configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}

@@ -1,0 +1,108 @@
+//! Execution statistics shared by every machine family.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters collected while running a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Machine cycles elapsed.
+    pub cycles: u64,
+    /// Instructions executed (all processors summed).
+    pub instructions: u64,
+    /// ALU operations.
+    pub alu_ops: u64,
+    /// Data-memory reads.
+    pub mem_reads: u64,
+    /// Data-memory writes.
+    pub mem_writes: u64,
+    /// DP–DP fabric transfers.
+    pub messages: u64,
+    /// Cycles a processor spent stalled (blocked recv, denied route retry).
+    pub stalls: u64,
+}
+
+impl Stats {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory operations.
+    pub fn mem_ops(&self) -> u64 {
+        self.mem_reads + self.mem_writes
+    }
+}
+
+impl Add for Stats {
+    type Output = Stats;
+
+    fn add(self, rhs: Stats) -> Stats {
+        Stats {
+            cycles: self.cycles.max(rhs.cycles),
+            instructions: self.instructions + rhs.instructions,
+            alu_ops: self.alu_ops + rhs.alu_ops,
+            mem_reads: self.mem_reads + rhs.mem_reads,
+            mem_writes: self.mem_writes + rhs.mem_writes,
+            messages: self.messages + rhs.messages,
+            stalls: self.stalls + rhs.stalls,
+        }
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} instrs={} ipc={:.2} alu={} mem={}r/{}w msgs={} stalls={}",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.alu_ops,
+            self.mem_reads,
+            self.mem_writes,
+            self.messages,
+            self.stalls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(Stats::default().ipc(), 0.0);
+        let s = Stats { cycles: 10, instructions: 25, ..Stats::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_sums_work_and_maxes_cycles() {
+        let a = Stats { cycles: 10, instructions: 5, alu_ops: 3, ..Stats::default() };
+        let b = Stats { cycles: 7, instructions: 4, mem_reads: 2, ..Stats::default() };
+        let c = a + b;
+        assert_eq!(c.cycles, 10); // parallel processors: wall clock is the max
+        assert_eq!(c.instructions, 9);
+        assert_eq!(c.alu_ops, 3);
+        assert_eq!(c.mem_reads, 2);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = Stats { cycles: 1, instructions: 1, ..Stats::default() };
+        let t = s.to_string();
+        assert!(t.contains("cycles=1") && t.contains("msgs=0"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # skilltax-machine
+//!
+//! Executable cycle-level machines for every implementable class family of
+//! the extended Skillicorn taxonomy — the substrate that turns the paper's
+//! flexibility *claims* into observable behaviour:
+//!
+//! * [`uniprocessor`] — IUP, the Von Neumann baseline;
+//! * [`mod@array`] — IAP-I..IV SIMD arrays (sub-types differ in DP–DM and
+//!   DP–DP switches, observable as memory/exchange capabilities);
+//! * [`multi`] — IMP-I..XVI MIMD machines (each crossbar bit is a runtime
+//!   capability: shared memory, message passing, shared program store,
+//!   IP→DP rebinding);
+//! * [`spatial`] — ISP machines whose IPs fuse into bigger IPs;
+//! * [`dataflow`] — DUP / DMP-I..IV token-firing engines;
+//! * [`universal`] — the USP LUT fabric that implements either paradigm;
+//! * [`workload`] — cross-family workloads with reference results;
+//! * [`morph`] — the emulation partial order, validated by running it;
+//! * [`sweep`] — parallel parameter sweeps for the benchmark harness.
+//!
+//! ```
+//! use skilltax_machine::array::{ArrayMachine, ArraySubtype};
+//! use skilltax_machine::workload::{run_vector_add_array, vector_add_reference};
+//!
+//! let a = vec![1, 2, 3, 4];
+//! let b = vec![10, 20, 30, 40];
+//! let run = run_vector_add_array(ArraySubtype::I, &a, &b).unwrap();
+//! assert_eq!(run.outputs, vector_add_reference(&a, &b));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod array;
+pub mod dataflow;
+pub mod dp;
+pub mod energy;
+pub mod error;
+pub mod exec;
+pub mod interconnect;
+pub mod isa;
+pub mod mem;
+pub mod morph;
+pub mod multi;
+pub mod noc;
+pub mod program;
+pub mod reconfig;
+pub mod spatial;
+pub mod sweep;
+pub mod uniprocessor;
+pub mod vliw;
+pub mod universal;
+pub mod workload;
+
+pub use error::MachineError;
+pub use exec::Stats;
+pub use isa::{Instr, Reg, Word};
+pub use program::{Assembler, Program};

@@ -1,0 +1,297 @@
+//! The morphing (emulation) partial order over classes — the paper's
+//! flexibility argument made executable.
+//!
+//! Section III-B argues: *IMP-I can act as an array processor if all the
+//! processors execute the same program; IAP-I cannot be an IMP-I since it
+//! cannot execute n different programs; IAP-I can act as a uni-processor
+//! by turning off its extra DPs; IUP cannot act as IAP-I because it does
+//! not have enough DPs.*  [`can_emulate`] encodes the resulting partial
+//! order structurally, and [`demonstrate`] *runs* the key instances on the
+//! executable machines so the order is validated by observation, not by
+//! assertion.
+
+use skilltax_taxonomy::{ClassName, MachineType, ProcessingType};
+
+use crate::array::ArraySubtype;
+use crate::error::MachineError;
+use crate::isa::Word;
+use crate::multi::MultiSubtype;
+use crate::workload::{
+    mimd_mix_reference, run_mimd_mix_array, run_mimd_mix_multi, run_vector_add_array,
+    run_vector_add_multi, run_vector_add_uni, vector_add_reference,
+};
+
+/// Rank of processing types in the emulation order.
+fn rank(p: ProcessingType) -> u8 {
+    match p {
+        ProcessingType::Uni => 0,
+        ProcessingType::Array => 1,
+        ProcessingType::Multi => 2,
+        ProcessingType::Spatial => 3,
+    }
+}
+
+/// Can a machine of class `a` be morphed to act as a machine of class `b`?
+///
+/// Rules:
+/// * everything emulates itself;
+/// * USP emulates every class (and nothing else emulates USP);
+/// * data-flow and instruction-flow machines never substitute each other;
+/// * within a flow paradigm, the processing type must not decrease
+///   (Multi ⊇ Array ⊇ Uni; Spatial ⊇ Multi), and the emulator must offer
+///   every crossbar relation the target relies on.
+pub fn can_emulate(a: &ClassName, b: &ClassName) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.machine == MachineType::UniversalFlow {
+        return true;
+    }
+    if b.machine == MachineType::UniversalFlow {
+        return false;
+    }
+    if a.machine != b.machine {
+        return false;
+    }
+    if rank(a.processing) < rank(b.processing) {
+        return false;
+    }
+    let xa = skilltax_taxonomy::crossbar_relations_of(a);
+    let xb = skilltax_taxonomy::crossbar_relations_of(b);
+    xb.iter().all(|r| xa.contains(r))
+}
+
+/// One demonstrated morphing (or refusal), with the observed evidence.
+#[derive(Debug, Clone)]
+pub struct MorphEvidence {
+    /// The emulating class.
+    pub emulator: String,
+    /// The emulated behaviour.
+    pub target: String,
+    /// Whether the structural order says the morph should work.
+    pub predicted: bool,
+    /// Whether the executable machines actually performed it.
+    pub observed: bool,
+    /// Human-readable account.
+    pub note: String,
+}
+
+/// Run the paper's four key morphing arguments on the executable machines
+/// and report predicted-vs-observed for each.
+pub fn demonstrate() -> Result<Vec<MorphEvidence>, MachineError> {
+    let a: Vec<Word> = (0..4).collect();
+    let b: Vec<Word> = (40..44).collect();
+    let expected = vector_add_reference(&a, &b);
+    let slices: Vec<Vec<Word>> =
+        vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9], vec![1, 1, 1]];
+    let mut evidence = Vec::new();
+
+    // 1. IMP-I acts as an array processor (SIMD emulation).
+    let imp1: ClassName = "IMP-I".parse().expect("valid name");
+    let iap1: ClassName = "IAP-I".parse().expect("valid name");
+    let simd = run_vector_add_multi(MultiSubtype::from_index(1)?, &a, &b)?;
+    evidence.push(MorphEvidence {
+        emulator: "IMP-I".into(),
+        target: "IAP-I".into(),
+        predicted: can_emulate(&imp1, &iap1),
+        observed: simd.outputs == expected,
+        note: "four independent cores loaded the same program and produced the \
+               SIMD result"
+            .into(),
+    });
+
+    // 2. IAP cannot act as a multi-processor (n different programs).
+    let refused = run_mimd_mix_array(ArraySubtype::IV, &slices);
+    let iap4: ClassName = "IAP-IV".parse().expect("valid name");
+    evidence.push(MorphEvidence {
+        emulator: "IAP-IV".into(),
+        target: "IMP-I".into(),
+        predicted: can_emulate(&iap4, &imp1),
+        observed: !matches!(refused, Err(MachineError::WorkloadUnsupported { .. })),
+        note: "the array machine refused the n-program workload with a typed error".into(),
+    });
+
+    // 3. IAP-I acts as a uni-processor (extra DPs idle).
+    let iup: ClassName = "IUP".parse().expect("valid name");
+    let uni = run_vector_add_uni(&a, &b)?;
+    let one_lane_equiv = run_vector_add_array(ArraySubtype::I, &a, &b)?;
+    evidence.push(MorphEvidence {
+        emulator: "IAP-I".into(),
+        target: "IUP".into(),
+        predicted: can_emulate(&iap1, &iup),
+        observed: one_lane_equiv.outputs == uni.outputs,
+        note: "the array computed exactly what the uni-processor computed (the \
+               sequential loop is subsumed by per-lane execution)"
+            .into(),
+    });
+
+    // 4. The MIMD mix runs on IMP-I — the capability direction 2 denies.
+    let mix = run_mimd_mix_multi(MultiSubtype::from_index(1)?, &slices)?;
+    evidence.push(MorphEvidence {
+        emulator: "IMP-I".into(),
+        target: "n distinct programs".into(),
+        predicted: true,
+        observed: mix.outputs == mimd_mix_reference(&slices),
+        note: "four cores ran sum/product/max programs concurrently".into(),
+    });
+
+    // 5. A spatial machine fuses two IPs into one bigger IP (Fig 5):
+    //    ISP-I acting as an array processor *within* a MIMD fabric.
+    evidence.push(demonstrate_spatial_fusion()?);
+
+    Ok(evidence)
+}
+
+/// Run the spatial-fusion demonstration: fuse cores 0..2 of an ISP-I
+/// machine under one leader and check the group executes the leader's
+/// program in lockstep while the remaining core runs independently.
+fn demonstrate_spatial_fusion() -> Result<MorphEvidence, MachineError> {
+    use crate::interconnect::FabricTopology;
+    use crate::isa::Instr;
+    use crate::program::{Assembler, Program};
+    use crate::spatial::SpatialMachine;
+
+    let mut machine = SpatialMachine::new(
+        MultiSubtype::from_code(0)?,
+        FabricTopology::Crossbar,
+        4,
+        8,
+    )?;
+    machine.fuse(0, 1)?;
+    machine.fuse(0, 2)?;
+    // Leader program: mem[0] = 500 + lane (broadcast over the fused DPs).
+    let mut leader = Assembler::new();
+    leader
+        .emit(Instr::LaneId(0))
+        .movi(1, 500)
+        .emit(Instr::Add(1, 1, 0))
+        .movi(2, 0)
+        .emit(Instr::Store(2, 1))
+        .emit(Instr::Halt);
+    let leader = leader.assemble()?;
+    // Solo core 3 runs something different.
+    let mut solo = Assembler::new();
+    solo.movi(0, 0).movi(1, 999).emit(Instr::Store(0, 1)).emit(Instr::Halt);
+    let solo = solo.assemble()?;
+    let idle = Program::new(vec![Instr::Halt])?;
+    machine.run(&[leader, idle.clone(), idle, solo])?;
+    let group_ok = (0..3).all(|core| {
+        machine.memory().bank(core).contents()[0] == 500 + core as Word
+    });
+    let solo_ok = machine.memory().bank(3).contents()[0] == 999;
+    let isp1: ClassName = "ISP-I".parse().expect("valid name");
+    let iap1: ClassName = "IAP-I".parse().expect("valid name");
+    Ok(MorphEvidence {
+        emulator: "ISP-I (fused group)".into(),
+        target: "IAP-I inside a MIMD fabric".into(),
+        predicted: can_emulate(&isp1, &iap1),
+        observed: group_ok && solo_ok,
+        note: "three IPs fused under one leader executed a single broadcast \
+               stream while a fourth core ran its own program"
+            .into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_taxonomy::{flexibility_of_name, Taxonomy};
+
+    fn name(s: &str) -> ClassName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn papers_four_claims_hold() {
+        assert!(can_emulate(&name("IMP-I"), &name("IAP-I")));
+        assert!(!can_emulate(&name("IAP-I"), &name("IMP-I")));
+        assert!(can_emulate(&name("IAP-I"), &name("IUP")));
+        assert!(!can_emulate(&name("IUP"), &name("IAP-I")));
+    }
+
+    #[test]
+    fn usp_emulates_everything() {
+        let usp = name("USP");
+        for class in Taxonomy::extended().implementable() {
+            assert!(can_emulate(&usp, class.name()), "{}", class.name());
+            if *class.name() != usp {
+                assert!(!can_emulate(class.name(), &usp), "{}", class.name());
+            }
+        }
+    }
+
+    #[test]
+    fn paradigms_do_not_substitute() {
+        assert!(!can_emulate(&name("IMP-XVI"), &name("DMP-I")));
+        assert!(!can_emulate(&name("DMP-IV"), &name("IUP")));
+    }
+
+    #[test]
+    fn crossbar_support_gates_emulation() {
+        // IMP-I lacks the DP-DP switch IAP-II relies on.
+        assert!(!can_emulate(&name("IMP-I"), &name("IAP-II")));
+        assert!(can_emulate(&name("IMP-II"), &name("IAP-II")));
+        // ISP adds IP-IP over its IMP sibling.
+        assert!(can_emulate(&name("ISP-IV"), &name("IMP-IV")));
+        assert!(!can_emulate(&name("IMP-IV"), &name("ISP-IV")));
+    }
+
+    #[test]
+    fn emulation_is_a_partial_order() {
+        let classes: Vec<ClassName> =
+            Taxonomy::extended().implementable().map(|c| *c.name()).collect();
+        // Reflexive.
+        for c in &classes {
+            assert!(can_emulate(c, c));
+        }
+        // Transitive.
+        for a in &classes {
+            for b in &classes {
+                if !can_emulate(a, b) {
+                    continue;
+                }
+                for c in &classes {
+                    if can_emulate(b, c) {
+                        assert!(can_emulate(a, c), "{a} >= {b} >= {c}");
+                    }
+                }
+            }
+        }
+        // Antisymmetric.
+        for a in &classes {
+            for b in &classes {
+                if a != b && can_emulate(a, b) {
+                    assert!(!can_emulate(b, a), "{a} <-> {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emulation_implies_no_lower_flexibility_within_a_paradigm() {
+        // If a ⊒ b (same machine type) then flexibility(a) >= flexibility(b):
+        // the scoring system is consistent with the morphing order.
+        let classes: Vec<ClassName> =
+            Taxonomy::extended().implementable().map(|c| *c.name()).collect();
+        for a in &classes {
+            for b in &classes {
+                if a.machine == b.machine && can_emulate(a, b) {
+                    let fa = flexibility_of_name(a).unwrap();
+                    let fb = flexibility_of_name(b).unwrap();
+                    assert!(fa >= fb, "{a} ({fa}) emulates {b} ({fb})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demonstrations_match_predictions() {
+        for ev in demonstrate().unwrap() {
+            assert_eq!(
+                ev.predicted, ev.observed,
+                "{} as {}: {}",
+                ev.emulator, ev.target, ev.note
+            );
+        }
+    }
+}

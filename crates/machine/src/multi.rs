@@ -1,0 +1,554 @@
+//! The MIMD multi-processor machine (IMP-I..XVI): `n` instruction
+//! processors, each driving a data processor.
+//!
+//! The sixteen sub-types encode which relations are crossbars, and each bit
+//! is a concrete runtime capability here:
+//!
+//! * **DP–DM `x`** — shared global memory instead of per-core private
+//!   banks;
+//! * **DP–DP `x`** — a message-passing fabric between cores (`send`/`recv`
+//!   work);
+//! * **IP–IM `x`** — a shared program store: any core can be assigned any
+//!   program from a library (with direct IP–IM, core *i* runs program *i*);
+//! * **IP–DP `x`** — rebinding: instruction processor *i* can drive a data
+//!   processor other than *i* (a lane permutation).
+
+use skilltax_model::{ArchSpec, Count, Link, Relation};
+
+use crate::dp::{DataProcessor, LocalOutcome};
+use crate::error::MachineError;
+use crate::exec::Stats;
+use crate::interconnect::{FabricTopology, Mailboxes};
+use crate::isa::{Instr, Word};
+use crate::mem::{BankedMemory, DataTopology};
+use crate::program::Program;
+use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
+
+/// One of the sixteen IMP sub-types, identified by its 4-bit crossbar code
+/// (`IMP-(code+1)` in Roman numerals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiSubtype(u8);
+
+impl MultiSubtype {
+    /// Sub-type from the crossbar code (0..=15).
+    pub fn from_code(code: u8) -> Result<MultiSubtype, MachineError> {
+        if code < 16 {
+            Ok(MultiSubtype(code))
+        } else {
+            Err(MachineError::config(format!("IMP sub-type code {code} out of range 0..16")))
+        }
+    }
+
+    /// Sub-type from the 1-based Roman index (1..=16).
+    pub fn from_index(index: u8) -> Result<MultiSubtype, MachineError> {
+        if (1..=16).contains(&index) {
+            Ok(MultiSubtype(index - 1))
+        } else {
+            Err(MachineError::config(format!("IMP sub-type index {index} out of range 1..=16")))
+        }
+    }
+
+    /// The crossbar code.
+    pub fn code(&self) -> u8 {
+        self.0
+    }
+
+    /// Is IP–DP a crossbar (core→lane rebinding allowed)?
+    pub fn ip_dp_crossbar(&self) -> bool {
+        self.0 & 0b1000 != 0
+    }
+
+    /// Is IP–IM a crossbar (shared program store)?
+    pub fn ip_im_crossbar(&self) -> bool {
+        self.0 & 0b0100 != 0
+    }
+
+    /// Is DP–DM a crossbar (shared data memory)?
+    pub fn dp_dm_crossbar(&self) -> bool {
+        self.0 & 0b0010 != 0
+    }
+
+    /// Is DP–DP a crossbar (message passing available)?
+    pub fn dp_dp_crossbar(&self) -> bool {
+        self.0 & 0b0001 != 0
+    }
+
+    /// The taxonomy name, e.g. `IMP-XIV`.
+    pub fn class_name(&self) -> String {
+        format!("IMP-{}", skilltax_taxonomy::roman::to_roman(u16::from(self.0) + 1))
+    }
+}
+
+/// One core: an IP (program counter + assignment) and its DP.
+#[derive(Debug)]
+struct Core {
+    dp: DataProcessor,
+    pc: usize,
+    program: usize,
+    halted: bool,
+    /// A pending blocked receive: (destination register, source core).
+    waiting: Option<(u8, usize)>,
+}
+
+/// A MIMD multi-processor.
+#[derive(Debug)]
+pub struct MultiMachine {
+    subtype: MultiSubtype,
+    cores: Vec<Core>,
+    /// Lane driven by each core (identity unless rebinding is used).
+    binding: Vec<usize>,
+    mem: BankedMemory,
+    mailboxes: Mailboxes,
+    cycle_limit: u64,
+}
+
+impl MultiMachine {
+    /// A machine of `cores` cores with `bank_words` words per bank.
+    pub fn new(subtype: MultiSubtype, cores: usize, bank_words: usize) -> MultiMachine {
+        assert!(cores >= 2, "a multi-processor needs at least two cores");
+        let topology = if subtype.dp_dm_crossbar() {
+            DataTopology::SharedCrossbar
+        } else {
+            DataTopology::PrivateBanks
+        };
+        let fabric = if subtype.dp_dp_crossbar() {
+            FabricTopology::Crossbar
+        } else {
+            FabricTopology::None
+        };
+        MultiMachine {
+            subtype,
+            cores: (0..cores)
+                .map(|i| Core {
+                    dp: DataProcessor::new(i),
+                    pc: 0,
+                    program: i,
+                    halted: false,
+                    waiting: None,
+                })
+                .collect(),
+            binding: (0..cores).collect(),
+            mem: BankedMemory::new(cores, bank_words, topology),
+            mailboxes: Mailboxes::new(cores, fabric),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+        }
+    }
+
+    /// Override the livelock guard.
+    pub fn with_cycle_limit(mut self, limit: u64) -> MultiMachine {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// The sub-type.
+    pub fn subtype(&self) -> MultiSubtype {
+        self.subtype
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The banked memory.
+    pub fn memory_mut(&mut self) -> &mut BankedMemory {
+        &mut self.mem
+    }
+
+    /// The banked memory.
+    pub fn memory(&self) -> &BankedMemory {
+        &self.mem
+    }
+
+    /// A core's register, after a run.
+    pub fn core_reg(&self, core: usize, r: u8) -> Word {
+        self.cores[core].dp.reg(r)
+    }
+
+    /// Rebind core `ip` to drive lane `dp` — requires the IP–DP crossbar
+    /// (sub-types VIII+ ... any with bit 3 set).
+    pub fn rebind(&mut self, ip: usize, dp: usize) -> Result<(), MachineError> {
+        if ip >= self.cores.len() || dp >= self.cores.len() {
+            return Err(MachineError::config(format!(
+                "rebind({ip}, {dp}) out of range for {} cores",
+                self.cores.len()
+            )));
+        }
+        if ip == dp {
+            return Ok(());
+        }
+        if !self.subtype.ip_dp_crossbar() {
+            return Err(MachineError::unsupported(
+                self.subtype.class_name(),
+                "IP-DP is a direct switch: instruction processor i is wired to \
+                 data processor i and cannot be rebound",
+            ));
+        }
+        self.binding[ip] = dp;
+        // The DP's lane identity follows the binding so memory and fabric
+        // addressing stay consistent.
+        self.cores[ip].dp = DataProcessor::new(dp);
+        Ok(())
+    }
+
+    /// The structural [`ArchSpec`] of this machine.
+    pub fn spec(&self) -> ArchSpec {
+        let n = (self.cores.len() as u32).max(2);
+        let pick = |x: bool| if x { Link::crossbar_between(n, n) } else { Link::direct_between(n, n) };
+        let dp_dp = if self.subtype.dp_dp_crossbar() {
+            Link::crossbar_between(n, n)
+        } else {
+            Link::None
+        };
+        ArchSpec::builder(format!("multi-{}x{}", self.subtype.class_name(), n))
+            .ips(Count::fixed(n))
+            .dps(Count::fixed(n))
+            .link(Relation::IpDp, pick(self.subtype.ip_dp_crossbar()))
+            .link(Relation::IpIm, pick(self.subtype.ip_im_crossbar()))
+            .link(Relation::DpDm, pick(self.subtype.dp_dm_crossbar()))
+            .link(Relation::DpDp, dp_dp)
+            .build_unchecked()
+    }
+
+    /// Run with one program per core (core *i* runs `programs[i]`): the
+    /// plain MIMD mode every sub-type supports.
+    pub fn run(&mut self, programs: &[Program]) -> Result<Stats, MachineError> {
+        if programs.len() != self.cores.len() {
+            return Err(MachineError::config(format!(
+                "{} programs for {} cores",
+                programs.len(),
+                self.cores.len()
+            )));
+        }
+        let assignment: Vec<usize> = (0..self.cores.len()).collect();
+        self.execute(programs, &assignment)
+    }
+
+    /// Run from a shared program library with an arbitrary core→program
+    /// assignment — requires the IP–IM crossbar.  With a direct IP–IM the
+    /// assignment must be the identity onto a library of exactly one
+    /// program per core.
+    pub fn run_shared(
+        &mut self,
+        library: &[Program],
+        assignment: &[usize],
+    ) -> Result<Stats, MachineError> {
+        if assignment.len() != self.cores.len() {
+            return Err(MachineError::config(format!(
+                "{} assignments for {} cores",
+                assignment.len(),
+                self.cores.len()
+            )));
+        }
+        if let Some(bad) = assignment.iter().find(|&&p| p >= library.len()) {
+            return Err(MachineError::config(format!(
+                "assignment references program {bad} but the library has {}",
+                library.len()
+            )));
+        }
+        let identity = assignment.iter().enumerate().all(|(i, &p)| i == p);
+        if !self.subtype.ip_im_crossbar() && !identity {
+            return Err(MachineError::unsupported(
+                self.subtype.class_name(),
+                "IP-IM is a direct switch: each core fetches only from its own \
+                 instruction memory; cross-assignment needs an IP-IM crossbar",
+            ));
+        }
+        self.execute(library, assignment)
+    }
+
+    /// SIMD-emulation mode: every core runs (a private copy of) the same
+    /// program.  This is the paper's morphing argument — "IMP-I can act as
+    /// an array processor if all the processors are executing the same
+    /// program" — and works on every sub-type because each core's own IM
+    /// simply holds the same contents.
+    pub fn run_simd(&mut self, program: &Program) -> Result<Stats, MachineError> {
+        let copies: Vec<Program> = (0..self.cores.len()).map(|_| program.clone()).collect();
+        self.run(&copies)
+    }
+
+    fn execute(&mut self, library: &[Program], assignment: &[usize]) -> Result<Stats, MachineError> {
+        for (core, &prog) in self.cores.iter_mut().zip(assignment) {
+            core.pc = 0;
+            core.program = prog;
+            core.halted = false;
+            core.waiting = None;
+        }
+        let mut stats = Stats::default();
+        let n = self.cores.len();
+        loop {
+            if self.cores.iter().all(|c| c.halted) {
+                break;
+            }
+            if stats.cycles >= self.cycle_limit {
+                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+            }
+            stats.cycles += 1;
+            let mut progress = false;
+            for i in 0..n {
+                if self.cores[i].halted {
+                    continue;
+                }
+                // A blocked receive retries before fetching anything new.
+                if let Some((rd, src)) = self.cores[i].waiting {
+                    let lane = self.binding[i];
+                    match self.mailboxes.recv(lane, self.binding[src])? {
+                        Some(v) => {
+                            self.cores[i].dp.set_reg(rd, v);
+                            self.cores[i].waiting = None;
+                            self.cores[i].pc += 1;
+                            stats.messages += 1;
+                            progress = true;
+                        }
+                        None => {
+                            stats.stalls += 1;
+                        }
+                    }
+                    continue;
+                }
+                let program = &library[self.cores[i].program];
+                let Some(instr) = program.fetch(self.cores[i].pc) else {
+                    self.cores[i].halted = true;
+                    progress = true;
+                    continue;
+                };
+                match instr {
+                    Instr::GetLane(..) => {
+                        return Err(MachineError::unsupported(
+                            self.subtype.class_name(),
+                            "getlane is a lockstep-SIMD exchange; independent cores \
+                             communicate with send/recv",
+                        ));
+                    }
+                    Instr::Send(dest, rs) => {
+                        if dest >= n {
+                            return Err(MachineError::RouteDenied {
+                                from: i,
+                                to: dest,
+                                reason: format!("destination {dest} out of range"),
+                            });
+                        }
+                        let value = self.cores[i].dp.reg(rs);
+                        self.mailboxes.send(self.binding[i], self.binding[dest], value)?;
+                        self.cores[i].pc += 1;
+                        stats.instructions += 1;
+                        progress = true;
+                    }
+                    Instr::Recv(rd, src) => {
+                        if src >= n {
+                            return Err(MachineError::RouteDenied {
+                                from: src,
+                                to: i,
+                                reason: format!("source {src} out of range"),
+                            });
+                        }
+                        // Route feasibility is checked immediately so a
+                        // missing DP-DP switch fails fast instead of
+                        // deadlocking.
+                        self.mailboxes
+                            .topology()
+                            .route(self.binding[src], self.binding[i], n)?;
+                        self.cores[i].waiting = Some((rd, src));
+                        stats.instructions += 1;
+                        progress = true;
+                    }
+                    _ => {
+                        stats.instructions += 1;
+                        match self.cores[i].dp.execute_local(instr, &mut self.mem)? {
+                            LocalOutcome::Next => self.cores[i].pc += 1,
+                            LocalOutcome::Branch(t) => self.cores[i].pc = t,
+                            LocalOutcome::Halt => self.cores[i].halted = true,
+                        }
+                        progress = true;
+                    }
+                }
+            }
+            if !progress {
+                return Err(MachineError::Deadlock { cycle: stats.cycles });
+            }
+        }
+        for core in &self.cores {
+            let (alu, mr, mw) = core.dp.counters();
+            stats.alu_ops += alu;
+            stats.mem_reads += mr;
+            stats.mem_writes += mw;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Assembler;
+
+    fn store_const(addr: Word, value: Word) -> Program {
+        let mut asm = Assembler::new();
+        asm.movi(0, addr).movi(1, value).emit(Instr::Store(0, 1)).emit(Instr::Halt);
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn independent_cores_run_distinct_programs() {
+        // IMP-I: n different programs at once — the capability IAP lacks.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 4, 8);
+        let programs: Vec<Program> =
+            (0..4).map(|i| store_const(0, (i as Word + 1) * 11)).collect();
+        let stats = m.run(&programs).unwrap();
+        for core in 0..4 {
+            assert_eq!(m.memory().bank(core).contents()[0], (core as Word + 1) * 11);
+        }
+        assert!(stats.ipc() > 1.0);
+    }
+
+    #[test]
+    fn simd_emulation_works_on_the_least_flexible_subtype() {
+        // The morphing claim: IMP-I acts as an array processor.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 4, 8);
+        for lane in 0..4 {
+            m.memory_mut().bank_mut(lane).load(&[lane as Word, 100, 0]);
+        }
+        let mut asm = Assembler::new();
+        asm.movi(0, 0)
+            .movi(1, 1)
+            .emit(Instr::Load(2, 0))
+            .emit(Instr::Load(3, 1))
+            .emit(Instr::Add(4, 2, 3))
+            .movi(5, 2)
+            .emit(Instr::Store(5, 4))
+            .emit(Instr::Halt);
+        let prog = asm.assemble().unwrap();
+        m.run_simd(&prog).unwrap();
+        for lane in 0..4 {
+            assert_eq!(m.memory().bank(lane).contents()[2], lane as Word + 100);
+        }
+    }
+
+    #[test]
+    fn message_passing_requires_the_dp_dp_crossbar() {
+        let mut send_recv: Vec<Program> = Vec::new();
+        let mut asm = Assembler::new();
+        asm.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+        send_recv.push(asm.assemble().unwrap());
+        let mut asm = Assembler::new();
+        asm.emit(Instr::Recv(5, 0)).emit(Instr::Halt);
+        send_recv.push(asm.assemble().unwrap());
+
+        // IMP-II (DP-DP crossbar): messages flow.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4);
+        let stats = m.run(&send_recv).unwrap();
+        assert_eq!(m.core_reg(1, 5), 42);
+        assert!(stats.messages >= 1);
+
+        // IMP-I (no DP-DP): the send is a route error.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4);
+        assert!(matches!(m.run(&send_recv), Err(MachineError::RouteDenied { .. })));
+    }
+
+    #[test]
+    fn shared_memory_requires_the_dp_dm_crossbar() {
+        // Producer writes global address 5 (bank 1 via crossbar); consumer
+        // (core 1) reads its own bank — only possible when DP-DM is shared.
+        let producer = store_const(5, 7);
+        let mut asm = Assembler::new();
+        asm.movi(0, 5).movi(2, 0);
+        asm.label("spin").unwrap();
+        asm.emit(Instr::Load(1, 0));
+        asm.beq(1, 2, "spin"); // wait until the producer's value lands
+        asm.emit(Instr::Halt);
+        let consumer = asm.assemble().unwrap();
+
+        // IMP-III (DP-DM crossbar, code 0b0010): works.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(3).unwrap(), 2, 4);
+        m.run(&[producer.clone(), consumer.clone()]).unwrap();
+        assert_eq!(m.core_reg(1, 1), 7);
+
+        // IMP-I: core 0's address 5 overflows its 4-word private bank.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4);
+        assert!(matches!(
+            m.run(&[producer, consumer]),
+            Err(MachineError::MemoryOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_program_store_requires_ip_im_crossbar() {
+        let lib = vec![store_const(0, 5)];
+        // IMP-V (IP-IM crossbar, code 0b0100): both cores run program 0.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(5).unwrap(), 2, 4);
+        m.run_shared(&lib, &[0, 0]).unwrap();
+        assert_eq!(m.memory().bank(0).contents()[0], 5);
+        assert_eq!(m.memory().bank(1).contents()[0], 5);
+
+        // IMP-I: cross-assignment denied.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4);
+        assert!(matches!(
+            m.run_shared(&lib, &[0, 0]),
+            Err(MachineError::WorkloadUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn rebinding_requires_ip_dp_crossbar() {
+        // IMP-IX (IP-DP crossbar, code 0b1000).
+        let mut m = MultiMachine::new(MultiSubtype::from_index(9).unwrap(), 2, 4);
+        m.rebind(0, 1).unwrap();
+        let prog = store_const(0, 9);
+        let idle = Program::new(vec![Instr::Halt]).unwrap();
+        m.run(&[prog.clone(), idle.clone()]).unwrap();
+        // Core 0 now drives lane 1, so the write lands in bank 1.
+        assert_eq!(m.memory().bank(1).contents()[0], 9);
+
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4);
+        assert!(matches!(
+            m.rebind(0, 1),
+            Err(MachineError::WorkloadUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn recv_without_sender_deadlocks() {
+        let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4);
+        let mut asm = Assembler::new();
+        asm.emit(Instr::Recv(0, 1)).emit(Instr::Halt);
+        let waiter = asm.assemble().unwrap();
+        let idle = Program::new(vec![Instr::Halt]).unwrap();
+        assert!(matches!(
+            m.run(&[waiter, idle]),
+            Err(MachineError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn subtype_codes_round_trip() {
+        for idx in 1..=16u8 {
+            let s = MultiSubtype::from_index(idx).unwrap();
+            assert_eq!(s.code(), idx - 1);
+        }
+        assert!(MultiSubtype::from_index(0).is_err());
+        assert!(MultiSubtype::from_index(17).is_err());
+        assert!(MultiSubtype::from_code(16).is_err());
+        assert_eq!(MultiSubtype::from_index(14).unwrap().class_name(), "IMP-XIV");
+    }
+
+    #[test]
+    fn specs_classify_back_to_their_subtype() {
+        use skilltax_taxonomy::classify;
+        for code in 0..16u8 {
+            let m = MultiMachine::new(MultiSubtype::from_code(code).unwrap(), 4, 4);
+            let c = classify(&m.spec()).unwrap();
+            assert_eq!(c.name().to_string(), m.subtype().class_name(), "code {code}");
+        }
+    }
+
+    #[test]
+    fn getlane_rejected_on_mimd() {
+        let mut m = MultiMachine::new(MultiSubtype::from_index(16).unwrap(), 2, 4);
+        let prog = Program::new(vec![Instr::GetLane(0, 1, 2), Instr::Halt]).unwrap();
+        let progs = vec![prog, Program::new(vec![Instr::Halt]).unwrap()];
+        assert!(matches!(
+            m.run(&progs),
+            Err(MachineError::WorkloadUnsupported { .. })
+        ));
+    }
+}

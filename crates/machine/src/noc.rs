@@ -1,0 +1,304 @@
+//! A packet-switched 2D-mesh network-on-chip — the interconnect substrate
+//! of REDEFINE ("computational elements connected together by a packet
+//! switched NoC") and the wormhole style of Colt.
+//!
+//! Dimension-ordered (XY) routing, one-flit packets, single-cycle hops,
+//! one packet forwarded per router output per cycle.  The NoC is the
+//! *latency-realistic* alternative to the idealised crossbar mailboxes in
+//! [`crate::interconnect`]: the ablation benches compare the two.
+
+use std::collections::VecDeque;
+
+use crate::error::MachineError;
+use crate::isa::Word;
+
+/// A one-flit packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Source node id (row-major).
+    pub src: usize,
+    /// Destination node id.
+    pub dst: usize,
+    /// Payload word.
+    pub payload: Word,
+    /// Cycle at which the packet was injected (for latency accounting).
+    pub injected_at: u64,
+}
+
+/// A delivered packet with its measured latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The packet.
+    pub packet: Packet,
+    /// Cycles from injection to delivery.
+    pub latency: u64,
+}
+
+/// One router's state: queues per output port plus a local delivery queue.
+#[derive(Debug, Clone, Default)]
+struct Router {
+    /// Packets waiting to be forwarded, per direction: E, W, N, S.
+    out: [VecDeque<Packet>; 4],
+    /// Packets that have arrived at their destination.
+    local: VecDeque<Packet>,
+}
+
+const EAST: usize = 0;
+const WEST: usize = 1;
+const NORTH: usize = 2;
+const SOUTH: usize = 3;
+
+/// A `width x height` mesh NoC.
+#[derive(Debug, Clone)]
+pub struct MeshNoc {
+    width: usize,
+    height: usize,
+    routers: Vec<Router>,
+    cycle: u64,
+    injected: u64,
+    delivered: u64,
+}
+
+impl MeshNoc {
+    /// Build a mesh; both dimensions must be at least 1 and the mesh must
+    /// have at least 2 nodes.
+    pub fn new(width: usize, height: usize) -> Result<MeshNoc, MachineError> {
+        if width == 0 || height == 0 || width * height < 2 {
+            return Err(MachineError::config(format!(
+                "mesh of {width}x{height} is not a network"
+            )));
+        }
+        Ok(MeshNoc {
+            width,
+            height,
+            routers: vec![Router::default(); width * height],
+            cycle: 0,
+            injected: 0,
+            delivered: 0,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// (injected, delivered) packet counters.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.injected, self.delivered)
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.width, node / self.width)
+    }
+
+    /// Manhattan distance between two nodes.
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The XY-routing output port at `node` for a packet heading to `dst`,
+    /// or `None` if the packet has arrived.
+    fn route(&self, node: usize, dst: usize) -> Option<usize> {
+        let (x, y) = self.coords(node);
+        let (dx, dy) = self.coords(dst);
+        if x < dx {
+            Some(EAST)
+        } else if x > dx {
+            Some(WEST)
+        } else if y < dy {
+            Some(SOUTH)
+        } else if y > dy {
+            Some(NORTH)
+        } else {
+            None
+        }
+    }
+
+    fn neighbour(&self, node: usize, port: usize) -> usize {
+        let (x, y) = self.coords(node);
+        match port {
+            EAST => y * self.width + (x + 1),
+            WEST => y * self.width + (x - 1),
+            NORTH => (y - 1) * self.width + x,
+            SOUTH => (y + 1) * self.width + x,
+            _ => unreachable!("four ports"),
+        }
+    }
+
+    /// Inject a packet at its source router.
+    pub fn inject(&mut self, src: usize, dst: usize, payload: Word) -> Result<(), MachineError> {
+        if src >= self.nodes() || dst >= self.nodes() {
+            return Err(MachineError::RouteDenied {
+                from: src,
+                to: dst,
+                reason: format!("mesh has {} nodes", self.nodes()),
+            });
+        }
+        let packet = Packet { src, dst, payload, injected_at: self.cycle };
+        self.injected += 1;
+        match self.route(src, dst) {
+            None => self.routers[src].local.push_back(packet),
+            Some(port) => self.routers[src].out[port].push_back(packet),
+        }
+        Ok(())
+    }
+
+    /// Advance one cycle: every router forwards at most one packet per
+    /// output port.  Returns the packets delivered this cycle.
+    pub fn step(&mut self) -> Vec<Delivery> {
+        self.cycle += 1;
+        // Collect moves first (synchronous update).
+        let mut moves: Vec<(usize, Packet)> = Vec::new();
+        for node in 0..self.nodes() {
+            for port in 0..4 {
+                if let Some(packet) = self.routers[node].out[port].pop_front() {
+                    moves.push((self.neighbour(node, port), packet));
+                }
+            }
+        }
+        let mut delivered = Vec::new();
+        for (node, packet) in moves {
+            match self.route(node, packet.dst) {
+                None => {
+                    self.routers[node].local.push_back(packet);
+                }
+                Some(port) => self.routers[node].out[port].push_back(packet),
+            }
+        }
+        for node in 0..self.nodes() {
+            while let Some(packet) = self.routers[node].local.pop_front() {
+                self.delivered += 1;
+                delivered.push(Delivery { packet, latency: self.cycle - packet.injected_at });
+            }
+        }
+        delivered
+    }
+
+    /// Run until every in-flight packet is delivered (or the cycle budget
+    /// runs out).  Returns all deliveries in delivery order.
+    pub fn drain(&mut self, budget: u64) -> Result<Vec<Delivery>, MachineError> {
+        let mut out = Vec::new();
+        let start = self.cycle;
+        while self.injected > self.delivered {
+            if self.cycle - start >= budget {
+                return Err(MachineError::CycleLimitExceeded { limit: budget });
+            }
+            out.extend(self.step());
+        }
+        Ok(out)
+    }
+
+    /// Configuration bits: XY routing is algorithmic, so only each node's
+    /// coordinate register needs programming.
+    pub fn config_bits(&self) -> u64 {
+        let clog2 = |x: u64| if x <= 1 { 0 } else { u64::from(64 - (x - 1).leading_zeros()) };
+        self.nodes() as u64 * (clog2(self.width as u64) + clog2(self.height as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_latency_equals_hop_distance() {
+        let mut noc = MeshNoc::new(4, 4).unwrap();
+        noc.inject(0, 15, 42).unwrap();
+        let deliveries = noc.drain(100).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].packet.payload, 42);
+        // 0 -> 15 in a 4x4 mesh: 3 + 3 = 6 hops.
+        assert_eq!(noc.hop_distance(0, 15), 6);
+        assert_eq!(deliveries[0].latency, 6);
+    }
+
+    #[test]
+    fn local_delivery_is_immediate() {
+        let mut noc = MeshNoc::new(2, 2).unwrap();
+        noc.inject(1, 1, 7).unwrap();
+        let deliveries = noc.step();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].latency, 1);
+    }
+
+    #[test]
+    fn per_pair_ordering_is_preserved() {
+        let mut noc = MeshNoc::new(4, 1).unwrap();
+        for v in 0..5 {
+            noc.inject(0, 3, v).unwrap();
+        }
+        let deliveries = noc.drain(100).unwrap();
+        let payloads: Vec<Word> = deliveries.iter().map(|d| d.packet.payload).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+        // Serialised through one output port: one arrival per cycle.
+        assert!(deliveries.windows(2).all(|w| w[1].latency > w[0].latency - 1));
+    }
+
+    #[test]
+    fn contention_increases_latency() {
+        // Many sources converging on one destination must queue.
+        let mut noc = MeshNoc::new(4, 4).unwrap();
+        for src in 0..16 {
+            if src != 5 {
+                noc.inject(src, 5, src as Word).unwrap();
+            }
+        }
+        let deliveries = noc.drain(1_000).unwrap();
+        assert_eq!(deliveries.len(), 15);
+        let max_latency = deliveries.iter().map(|d| d.latency).max().unwrap();
+        let max_distance = (0..16)
+            .filter(|&s| s != 5)
+            .map(|s| noc.hop_distance(s, 5) as u64)
+            .max()
+            .unwrap();
+        assert!(max_latency > max_distance, "{max_latency} vs {max_distance}");
+    }
+
+    #[test]
+    fn xy_routing_never_livelocks_on_random_traffic() {
+        let mut noc = MeshNoc::new(5, 3).unwrap();
+        // Pseudo-random all-to-all pattern.
+        for i in 0..100usize {
+            let src = (i * 7) % 15;
+            let dst = (i * 11 + 3) % 15;
+            noc.inject(src, dst, i as Word).unwrap();
+        }
+        let deliveries = noc.drain(10_000).unwrap();
+        assert_eq!(deliveries.len(), 100);
+        assert_eq!(noc.traffic(), (100, 100));
+    }
+
+    #[test]
+    fn bad_shapes_and_endpoints_rejected() {
+        assert!(MeshNoc::new(0, 4).is_err());
+        assert!(MeshNoc::new(1, 1).is_err());
+        let mut noc = MeshNoc::new(2, 2).unwrap();
+        assert!(noc.inject(0, 9, 1).is_err());
+        assert!(noc.inject(9, 0, 1).is_err());
+    }
+
+    #[test]
+    fn config_bits_scale_with_node_count_but_stay_tiny() {
+        let small = MeshNoc::new(2, 2).unwrap();
+        let big = MeshNoc::new(8, 8).unwrap();
+        assert!(big.config_bits() > small.config_bits());
+        // Algorithmic routing: far cheaper than a crossbar of the same
+        // radix (64 nodes -> 64*ceil(log2 65) = 448 bits for the mux model).
+        assert!(big.config_bits() < 64 * 7);
+    }
+
+    #[test]
+    fn drain_budget_guards_against_runaway() {
+        let mut noc = MeshNoc::new(4, 1).unwrap();
+        noc.inject(0, 3, 1).unwrap();
+        assert!(matches!(noc.drain(1), Err(MachineError::CycleLimitExceeded { .. })));
+    }
+}

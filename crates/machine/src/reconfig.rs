@@ -1,0 +1,160 @@
+//! Reconfiguration-overhead analysis: the paper's central trade-off made
+//! quantitative at run time.
+//!
+//! "The relationship between flexibility and configuration overhead is
+//! inversely proportional.  An FPGA is most flexible at the cost of
+//! enormous reconfiguration overhead while an ASIC is least flexible at
+//! no reconfiguration cost."  Eq 2 predicts the *bits*; this module turns
+//! bits into *cycles* (given a configuration-bus width) and answers the
+//! designer's operational question: after a reconfiguration, how many
+//! workload executions does it take before the new configuration's
+//! speed-up has paid for its load time?
+
+use crate::error::MachineError;
+
+/// The configuration-load interface of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigPort {
+    /// Bits written per cycle (configuration-bus width).
+    pub bus_bits_per_cycle: u32,
+    /// Fixed handshake/setup cycles per reconfiguration.
+    pub setup_cycles: u64,
+}
+
+impl Default for ConfigPort {
+    fn default() -> Self {
+        ConfigPort { bus_bits_per_cycle: 32, setup_cycles: 16 }
+    }
+}
+
+impl ConfigPort {
+    /// Cycles to load a configuration of `config_bits` bits.
+    pub fn load_cycles(&self, config_bits: u64) -> u64 {
+        self.setup_cycles + config_bits.div_ceil(u64::from(self.bus_bits_per_cycle.max(1)))
+    }
+}
+
+/// Break-even analysis between two execution options for the same
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakEven {
+    /// Reconfiguration cost of the candidate, in cycles.
+    pub reconfig_cycles: u64,
+    /// Candidate's per-execution cycles.
+    pub candidate_cycles: u64,
+    /// Incumbent's per-execution cycles (no reconfiguration needed).
+    pub incumbent_cycles: u64,
+    /// Executions after which the candidate (including its one-off
+    /// reconfiguration) is ahead; `None` if it never catches up.
+    pub executions_to_amortize: Option<u64>,
+}
+
+/// Compute the break-even point: reconfigure to a faster machine or keep
+/// running on the current one?
+pub fn break_even(
+    reconfig_cycles: u64,
+    candidate_cycles: u64,
+    incumbent_cycles: u64,
+) -> Result<BreakEven, MachineError> {
+    if candidate_cycles == 0 || incumbent_cycles == 0 {
+        return Err(MachineError::config("per-execution cycle counts must be positive"));
+    }
+    let executions_to_amortize = if candidate_cycles >= incumbent_cycles {
+        None // never: the candidate is not faster per execution.
+    } else {
+        let gain = incumbent_cycles - candidate_cycles;
+        Some(reconfig_cycles.div_ceil(gain))
+    };
+    Ok(BreakEven {
+        reconfig_cycles,
+        candidate_cycles,
+        incumbent_cycles,
+        executions_to_amortize,
+    })
+}
+
+/// Total cycles to run `executions` on the candidate, reconfiguration
+/// included.
+pub fn total_with_reconfig(reconfig_cycles: u64, per_exec: u64, executions: u64) -> u64 {
+    reconfig_cycles + per_exec * executions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArraySubtype;
+    use crate::workload::{run_vector_add_array, run_vector_add_uni};
+    use skilltax_estimate::{estimate_config_bits, CostParams};
+
+    #[test]
+    fn load_cycles_round_up_and_include_setup() {
+        let port = ConfigPort { bus_bits_per_cycle: 32, setup_cycles: 10 };
+        assert_eq!(port.load_cycles(0), 10);
+        assert_eq!(port.load_cycles(1), 11);
+        assert_eq!(port.load_cycles(32), 11);
+        assert_eq!(port.load_cycles(33), 12);
+    }
+
+    #[test]
+    fn break_even_math() {
+        // Reconfig 100 cycles; candidate saves 10 cycles/run => 10 runs.
+        let be = break_even(100, 40, 50).unwrap();
+        assert_eq!(be.executions_to_amortize, Some(10));
+        // Equal speed never amortizes.
+        assert_eq!(break_even(100, 50, 50).unwrap().executions_to_amortize, None);
+        // Slower never amortizes.
+        assert_eq!(break_even(0, 60, 50).unwrap().executions_to_amortize, None);
+        // Free reconfiguration amortizes immediately (0 executions).
+        assert_eq!(break_even(0, 40, 50).unwrap().executions_to_amortize, Some(0));
+        assert!(break_even(1, 0, 5).is_err());
+    }
+
+    #[test]
+    fn total_cost_is_linear_in_executions() {
+        assert_eq!(total_with_reconfig(100, 7, 0), 100);
+        assert_eq!(total_with_reconfig(100, 7, 10), 170);
+    }
+
+    #[test]
+    fn simd_reconfiguration_amortizes_against_the_uniprocessor() {
+        // The end-to-end designer story: an IUP is running vector adds; is
+        // it worth loading a 16-lane IAP-II configuration?
+        let a: Vec<i64> = (0..16).collect();
+        let b: Vec<i64> = (16..32).collect();
+        let uni = run_vector_add_uni(&a, &b).unwrap();
+        let simd = run_vector_add_array(ArraySubtype::II, &a, &b).unwrap();
+        assert!(simd.stats.cycles < uni.stats.cycles);
+
+        // Eq 2 gives the candidate's configuration volume.
+        let machine = crate::array::ArrayMachine::new(ArraySubtype::II, 16, 4);
+        let cb = estimate_config_bits(&machine.spec(), &CostParams::default()).total();
+        let port = ConfigPort::default();
+        let be = break_even(port.load_cycles(cb), simd.stats.cycles, uni.stats.cycles).unwrap();
+        let n = be.executions_to_amortize.expect("SIMD is faster per run");
+        assert!(n > 0, "configuration is never free");
+        // And the break-even is real: at n executions the candidate total
+        // is at most the incumbent total; at n-1 it was not.
+        let cand = total_with_reconfig(be.reconfig_cycles, be.candidate_cycles, n);
+        let incu = be.incumbent_cycles * n;
+        assert!(cand <= incu, "{cand} vs {incu}");
+        if n > 1 {
+            let cand_prev = total_with_reconfig(be.reconfig_cycles, be.candidate_cycles, n - 1);
+            assert!(cand_prev > be.incumbent_cycles * (n - 1));
+        }
+    }
+
+    #[test]
+    fn fpga_takes_far_longer_to_load_than_a_cgra() {
+        use skilltax_model::dsl::parse_row;
+        let params = CostParams::default();
+        let port = ConfigPort::default();
+        let fpga = parse_row("FPGA", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
+        let cgra = parse_row("CGRA", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64").unwrap();
+        let fpga_load = port.load_cycles(estimate_config_bits(&fpga, &params).total());
+        let cgra_load = port.load_cycles(estimate_config_bits(&cgra, &params).total());
+        assert!(
+            fpga_load > 20 * cgra_load,
+            "fpga {fpga_load} vs cgra {cgra_load}"
+        );
+    }
+}

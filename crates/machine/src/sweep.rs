@@ -1,0 +1,125 @@
+//! Parallel parameter sweeps over machine configurations.
+//!
+//! The benchmark harness evaluates many `(machine, size)` points; each
+//! point is an independent simulation, so the sweep fans out over OS
+//! threads with `crossbeam`'s scoped threads.  Results come back in input
+//! order regardless of completion order.
+
+use parking_lot::Mutex;
+
+/// Run `f` over `items` in parallel (scoped threads, one queue, results in
+/// input order).  Falls back to sequential execution for tiny inputs.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if n <= 1 || threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = threads.min(n);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let next = Mutex::new(0usize);
+        let slots = Mutex::new(&mut results);
+        let items = &items;
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let index = {
+                        let mut guard = next.lock();
+                        let i = *guard;
+                        if i >= n {
+                            break;
+                        }
+                        *guard += 1;
+                        i
+                    };
+                    let value = f(&items[index]);
+                    slots.lock()[index] = Some(value);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// A labelled sweep: run `f` over `params`, pairing each result with its
+/// parameter.
+pub fn sweep<T, R, F>(params: Vec<T>, f: F) -> Vec<(T, R)>
+where
+    T: Send + Sync + Clone,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let results = parallel_map(params.clone(), f);
+    params.into_iter().zip(results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{ArrayMachine, ArraySubtype};
+    use crate::workload::{run_vector_add_array, vector_add_reference};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items.clone(), |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map((0..257).collect::<Vec<i32>>(), |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = parallel_map(Vec::<u8>::new(), |&x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn sweep_pairs_params_with_results() {
+        let out = sweep(vec![1u32, 2, 3], |&x| x * 10);
+        assert_eq!(out, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn machine_simulations_parallelise() {
+        // A realistic use: sweep array sizes in parallel and check every
+        // simulation against the reference.
+        let sizes: Vec<usize> = vec![2, 4, 8, 16, 32];
+        let results = sweep(sizes, |&n| {
+            let a: Vec<i64> = (0..n as i64).collect();
+            let b: Vec<i64> = (0..n as i64).rev().collect();
+            let got = run_vector_add_array(ArraySubtype::I, &a, &b).unwrap();
+            (got.outputs == vector_add_reference(&a, &b), got.stats.cycles)
+        });
+        for (n, (ok, cycles)) in results {
+            assert!(ok, "size {n}");
+            assert!(cycles > 0);
+        }
+        // Sanity: machines are constructible inside worker threads.
+        let machines = parallel_map(vec![2usize, 3, 4], |&n| {
+            ArrayMachine::new(ArraySubtype::II, n, 4).lane_count()
+        });
+        assert_eq!(machines, vec![2, 3, 4]);
+    }
+}

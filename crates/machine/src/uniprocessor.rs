@@ -1,0 +1,169 @@
+//! The instruction-flow uni-processor (IUP): one IP, one DP, direct links —
+//! the Von Neumann baseline every other machine is compared against.
+
+use crate::dp::{DataProcessor, LocalOutcome};
+use crate::error::MachineError;
+use crate::exec::Stats;
+use crate::isa::Word;
+use crate::mem::{BankedMemory, DataTopology};
+use crate::program::Program;
+
+/// Default cycle budget before a run is declared livelocked.
+pub const DEFAULT_CYCLE_LIMIT: u64 = 10_000_000;
+
+/// A uni-processor machine.
+#[derive(Debug)]
+pub struct UniProcessor {
+    dp: DataProcessor,
+    mem: BankedMemory,
+    cycle_limit: u64,
+}
+
+impl UniProcessor {
+    /// A uni-processor with a single private memory bank of `mem_words`.
+    pub fn new(mem_words: usize) -> UniProcessor {
+        UniProcessor {
+            dp: DataProcessor::new(0),
+            mem: BankedMemory::new(1, mem_words, DataTopology::PrivateBanks),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+        }
+    }
+
+    /// Override the livelock guard.
+    pub fn with_cycle_limit(mut self, limit: u64) -> UniProcessor {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// The data memory (for workload setup and result checks).
+    pub fn memory_mut(&mut self) -> &mut BankedMemory {
+        &mut self.mem
+    }
+
+    /// The data memory.
+    pub fn memory(&self) -> &BankedMemory {
+        &self.mem
+    }
+
+    /// Read a register after a run.
+    pub fn reg(&self, r: u8) -> Word {
+        self.dp.reg(r)
+    }
+
+    /// Run a program to completion; returns execution statistics.
+    ///
+    /// The uni-processor has no DP–DP fabric, so any `send`/`recv`/
+    /// `getlane` instruction is a routing error — exactly the paper's point
+    /// that an IUP "doesn't have enough DPs" to act as an array processor.
+    pub fn run(&mut self, program: &Program) -> Result<Stats, MachineError> {
+        let mut stats = Stats::default();
+        let mut pc = 0usize;
+        loop {
+            if stats.cycles >= self.cycle_limit {
+                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+            }
+            let Some(instr) = program.fetch(pc) else {
+                // Running off the end is a clean stop.
+                break;
+            };
+            stats.cycles += 1;
+            if instr.uses_dp_dp() {
+                return Err(MachineError::RouteDenied {
+                    from: 0,
+                    to: 0,
+                    reason: "a uni-processor has no DP-DP fabric".to_owned(),
+                });
+            }
+            stats.instructions += 1;
+            match self.dp.execute_local(instr, &mut self.mem)? {
+                LocalOutcome::Next => pc += 1,
+                LocalOutcome::Branch(t) => pc = t,
+                LocalOutcome::Halt => break,
+            }
+        }
+        let (alu, mr, mw) = self.dp.counters();
+        stats.alu_ops = alu;
+        stats.mem_reads = mr;
+        stats.mem_writes = mw;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr;
+    use crate::program::Assembler;
+
+    /// Sum memory[0..8] into r2 and store at memory[15].
+    fn sum_program() -> Program {
+        let mut asm = Assembler::new();
+        asm.movi(0, 0) // index
+            .movi(1, 8) // limit
+            .movi(2, 0); // accumulator
+        asm.label("loop").unwrap();
+        asm.emit(Instr::Load(3, 0))
+            .emit(Instr::Add(2, 2, 3))
+            .emit(Instr::AddI(0, 0, 1));
+        asm.blt(0, 1, "loop");
+        asm.movi(4, 15).emit(Instr::Store(4, 2)).emit(Instr::Halt);
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn runs_a_reduction() {
+        let mut m = UniProcessor::new(16);
+        m.memory_mut().bank_mut(0).load(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let stats = m.run(&sum_program()).unwrap();
+        assert_eq!(m.memory().bank(0).contents()[15], 36);
+        assert_eq!(m.reg(2), 36);
+        assert!(stats.cycles > 8 * 4);
+        assert_eq!(stats.mem_reads, 8);
+        assert_eq!(stats.mem_writes, 1);
+        assert_eq!(stats.ipc(), 1.0); // perfect scalar pipeline
+    }
+
+    #[test]
+    fn falls_off_the_end_cleanly() {
+        let mut m = UniProcessor::new(8);
+        let prog = Program::new(vec![Instr::MovI(0, 1)]).unwrap();
+        let stats = m.run(&prog).unwrap();
+        assert_eq!(stats.instructions, 1);
+        assert_eq!(m.reg(0), 1);
+    }
+
+    #[test]
+    fn infinite_loop_hits_the_cycle_limit() {
+        let mut m = UniProcessor::new(8).with_cycle_limit(1_000);
+        let prog = Program::new(vec![Instr::Jmp(0)]).unwrap();
+        assert_eq!(
+            m.run(&prog),
+            Err(MachineError::CycleLimitExceeded { limit: 1_000 })
+        );
+    }
+
+    #[test]
+    fn fabric_instructions_are_route_denied() {
+        let mut m = UniProcessor::new(8);
+        let prog = Program::new(vec![Instr::Send(1, 0), Instr::Halt]).unwrap();
+        assert!(matches!(m.run(&prog), Err(MachineError::RouteDenied { .. })));
+    }
+
+    #[test]
+    fn lane_id_is_zero_on_a_scalar_machine() {
+        let mut m = UniProcessor::new(8);
+        let prog = Program::new(vec![Instr::LaneId(0), Instr::Halt]).unwrap();
+        m.run(&prog).unwrap();
+        assert_eq!(m.reg(0), 0);
+    }
+
+    #[test]
+    fn memory_violations_surface() {
+        let mut m = UniProcessor::new(4);
+        let prog = Program::new(vec![Instr::MovI(0, 100), Instr::Load(1, 0), Instr::Halt]).unwrap();
+        assert!(matches!(
+            m.run(&prog),
+            Err(MachineError::MemoryOutOfBounds { .. })
+        ));
+    }
+}

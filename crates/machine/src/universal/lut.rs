@@ -1,0 +1,136 @@
+//! Lookup-table cells: the fine-grained building block of universal-flow
+//! machines.
+//!
+//! A k-LUT stores a 2^k-entry truth table and can therefore implement any
+//! boolean function of k inputs — which is why the *role* of a cell (part
+//! of an IP, a DP, or a memory) is decided purely by configuration.
+
+use crate::error::MachineError;
+
+/// One k-input lookup table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutCell {
+    k: usize,
+    table: Vec<bool>,
+}
+
+impl LutCell {
+    /// Build a cell from an explicit truth table (`table[i]` is the output
+    /// when the inputs spell the binary number `i`, input 0 = LSB).
+    pub fn new(k: usize, table: Vec<bool>) -> Result<LutCell, MachineError> {
+        if k == 0 || k > 8 {
+            return Err(MachineError::config(format!("LUT arity {k} outside 1..=8")));
+        }
+        if table.len() != 1 << k {
+            return Err(MachineError::config(format!(
+                "a {k}-LUT needs {} table entries, got {}",
+                1 << k,
+                table.len()
+            )));
+        }
+        Ok(LutCell { k, table })
+    }
+
+    /// Build a cell by sampling a boolean function.
+    pub fn from_fn(k: usize, f: impl Fn(&[bool]) -> bool) -> Result<LutCell, MachineError> {
+        let mut table = Vec::with_capacity(1 << k);
+        for row in 0..(1usize << k) {
+            let bits: Vec<bool> = (0..k).map(|b| row >> b & 1 == 1).collect();
+            table.push(f(&bits));
+        }
+        LutCell::new(k, table)
+    }
+
+    /// Input arity.
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// Truth-table bits (the cell's configuration word, routing excluded).
+    pub fn table_bits(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evaluate the cell.
+    pub fn eval(&self, inputs: &[bool]) -> Result<bool, MachineError> {
+        if inputs.len() != self.k {
+            return Err(MachineError::config(format!(
+                "{}-LUT evaluated with {} inputs",
+                self.k,
+                inputs.len()
+            )));
+        }
+        let row = inputs
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | (usize::from(b) << i));
+        Ok(self.table[row])
+    }
+
+    /// The raw truth table.
+    pub fn table(&self) -> &[bool] {
+        &self.table
+    }
+}
+
+/// Common 2-input tables.
+pub mod tables {
+    /// AND truth table (inputs LSB-first).
+    pub const AND2: [bool; 4] = [false, false, false, true];
+    /// OR truth table.
+    pub const OR2: [bool; 4] = [false, true, true, true];
+    /// XOR truth table.
+    pub const XOR2: [bool; 4] = [false, true, true, false];
+    /// NAND truth table.
+    pub const NAND2: [bool; 4] = [true, true, true, false];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table_lookup() {
+        let and = LutCell::new(2, tables::AND2.to_vec()).unwrap();
+        assert!(!and.eval(&[false, true]).unwrap());
+        assert!(and.eval(&[true, true]).unwrap());
+        let xor = LutCell::new(2, tables::XOR2.to_vec()).unwrap();
+        assert!(xor.eval(&[true, false]).unwrap());
+        assert!(!xor.eval(&[true, true]).unwrap());
+    }
+
+    #[test]
+    fn from_fn_samples_all_rows() {
+        // 3-input majority.
+        let maj = LutCell::from_fn(3, |b| {
+            (u8::from(b[0]) + u8::from(b[1]) + u8::from(b[2])) >= 2
+        })
+        .unwrap();
+        assert!(maj.eval(&[true, true, false]).unwrap());
+        assert!(!maj.eval(&[true, false, false]).unwrap());
+        assert_eq!(maj.table_bits(), 8);
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        assert!(LutCell::new(0, vec![]).is_err());
+        assert!(LutCell::new(9, vec![false; 512]).is_err());
+        assert!(LutCell::new(2, vec![false; 3]).is_err());
+        let and = LutCell::new(2, tables::AND2.to_vec()).unwrap();
+        assert!(and.eval(&[true]).is_err());
+    }
+
+    #[test]
+    fn a_lut_can_be_any_function_of_its_arity() {
+        // Exhaustive: every 2-input boolean function is implementable.
+        for code in 0u8..16 {
+            let table: Vec<bool> = (0..4).map(|i| code >> i & 1 == 1).collect();
+            let cell = LutCell::new(2, table.clone()).unwrap();
+            #[allow(clippy::needless_range_loop)]
+            for row in 0..4 {
+                let inputs = [row & 1 == 1, row >> 1 & 1 == 1];
+                assert_eq!(cell.eval(&inputs).unwrap(), table[row]);
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Mapping logic onto the LUT fabric — and the paper's "both paradigms"
+//! demonstration.
+//!
+//! Two canonical configurations are provided:
+//!
+//! * [`ripple_adder`] — a pure combinational datapath (the fabric acting
+//!   as a **data processor**, data-flow style: results appear as soon as
+//!   the operands do, no instructions anywhere);
+//! * [`program_counter`] — a registered state machine computing
+//!   `next_pc = branch ? target : pc + 1`, which is precisely Skillicorn's
+//!   definition of an **instruction processor** ("a state machine which
+//!   determines the next instruction to be executed").
+//!
+//! The same [`LutFabric`] runs either bitstream, which is the executable
+//! content of the USP class: role exchange by reconfiguration.
+
+use crate::error::MachineError;
+
+use super::fabric::{Bitstream, CellConfig, LutFabric, Source};
+use super::lut::LutCell;
+
+/// A small boolean expression language for ad-hoc mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Primary input `k`.
+    Input(usize),
+    /// Constant.
+    Const(bool),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Exclusive or.
+    Xor(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Reference evaluation.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            BoolExpr::Input(k) => inputs[*k],
+            BoolExpr::Const(c) => *c,
+            BoolExpr::Not(a) => !a.eval(inputs),
+            BoolExpr::And(a, b) => a.eval(inputs) && b.eval(inputs),
+            BoolExpr::Or(a, b) => a.eval(inputs) || b.eval(inputs),
+            BoolExpr::Xor(a, b) => a.eval(inputs) ^ b.eval(inputs),
+        }
+    }
+
+    /// Number of LUT cells a naive mapping uses.
+    pub fn cell_count(&self) -> usize {
+        match self {
+            BoolExpr::Input(_) | BoolExpr::Const(_) => 0,
+            BoolExpr::Not(a) => 1 + a.cell_count(),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) | BoolExpr::Xor(a, b) => {
+                1 + a.cell_count() + b.cell_count()
+            }
+        }
+    }
+}
+
+/// Map a list of boolean expressions (one per fabric output) onto a
+/// fabric, one cell per operator.
+pub fn map_exprs(fabric: &LutFabric, exprs: &[BoolExpr]) -> Result<Bitstream, MachineError> {
+    let mut bs = Bitstream::default();
+    let mut outputs = Vec::with_capacity(exprs.len());
+    for expr in exprs {
+        let src = map_one(&mut bs, expr)?;
+        outputs.push(src);
+    }
+    bs.outputs = outputs;
+    if bs.cells.len() > fabric.n_cells {
+        return Err(MachineError::config(format!(
+            "expression needs {} cells but the fabric has {}",
+            bs.cells.len(),
+            fabric.n_cells
+        )));
+    }
+    Ok(bs)
+}
+
+fn map_one(bs: &mut Bitstream, expr: &BoolExpr) -> Result<Source, MachineError> {
+    Ok(match expr {
+        BoolExpr::Input(k) => Source::Primary(*k),
+        BoolExpr::Const(false) => Source::Zero,
+        BoolExpr::Const(true) => Source::One,
+        BoolExpr::Not(a) => {
+            let a = map_one(bs, a)?;
+            push_cell(bs, LutCell::from_fn(2, |b| !b[0])?, vec![a, Source::Zero], false)
+        }
+        BoolExpr::And(a, b) => {
+            let (a, b) = (map_one(bs, a)?, map_one(bs, b)?);
+            push_cell(bs, LutCell::from_fn(2, |x| x[0] && x[1])?, vec![a, b], false)
+        }
+        BoolExpr::Or(a, b) => {
+            let (a, b) = (map_one(bs, a)?, map_one(bs, b)?);
+            push_cell(bs, LutCell::from_fn(2, |x| x[0] || x[1])?, vec![a, b], false)
+        }
+        BoolExpr::Xor(a, b) => {
+            let (a, b) = (map_one(bs, a)?, map_one(bs, b)?);
+            push_cell(bs, LutCell::from_fn(2, |x| x[0] ^ x[1])?, vec![a, b], false)
+        }
+    })
+}
+
+fn push_cell(bs: &mut Bitstream, lut: LutCell, inputs: Vec<Source>, registered: bool) -> Source {
+    bs.cells.push(CellConfig { lut, inputs, registered });
+    Source::Cell(bs.cells.len() - 1)
+}
+
+/// A `bits`-wide ripple-carry adder bitstream: primaries are
+/// `a[0..bits], b[0..bits]`; outputs are `sum[0..bits], carry_out`.
+pub fn ripple_adder(fabric: &LutFabric, bits: usize) -> Result<Bitstream, MachineError> {
+    if bits == 0 {
+        return Err(MachineError::config("adder width must be positive"));
+    }
+    let mut bs = Bitstream::default();
+    let mut carry: Source = Source::Zero;
+    let mut sums = Vec::with_capacity(bits + 1);
+    for i in 0..bits {
+        let a = Source::Primary(i);
+        let b = Source::Primary(bits + i);
+        // sum_i = a ^ b ^ cin; needs a 3-LUT.
+        let sum = push_cell(
+            &mut bs,
+            LutCell::from_fn(3, |x| x[0] ^ x[1] ^ x[2])?,
+            vec![a, b, carry],
+            false,
+        );
+        // cout = majority(a, b, cin).
+        let cout = push_cell(
+            &mut bs,
+            LutCell::from_fn(3, |x| {
+                (u8::from(x[0]) + u8::from(x[1]) + u8::from(x[2])) >= 2
+            })?,
+            vec![a, b, carry],
+            false,
+        );
+        sums.push(sum);
+        carry = cout;
+    }
+    sums.push(carry);
+    bs.outputs = sums;
+    if bs.cells.len() > fabric.n_cells || fabric.k < 3 {
+        return Err(MachineError::config(format!(
+            "adder needs {} 3-LUTs; fabric has {} {}-LUTs",
+            bs.cells.len(),
+            fabric.n_cells,
+            fabric.k
+        )));
+    }
+    Ok(bs)
+}
+
+/// A `bits`-wide program counter bitstream — the instruction-processor
+/// state machine.  Primaries: `branch, target[0..bits]`.  Outputs:
+/// `pc[0..bits]`.  Each clock: `pc <- branch ? target : pc + 1`.
+pub fn program_counter(fabric: &LutFabric, bits: usize) -> Result<Bitstream, MachineError> {
+    if bits == 0 {
+        return Err(MachineError::config("PC width must be positive"));
+    }
+    if fabric.k < 4 {
+        return Err(MachineError::config("the PC mapping needs 4-LUTs"));
+    }
+    let mut bs = Bitstream::default();
+    // State cells are allocated first so their ids are 0..bits; each is a
+    // registered 4-LUT of (pc_i, carry_i, branch, target_i):
+    //   next = branch ? target : pc ^ carry       (increment-by-one logic)
+    // carry_0 = 1; carry_{i+1} = pc_i AND carry_i (combinational chain).
+    for i in 0..bits {
+        bs.cells.push(CellConfig {
+            lut: LutCell::from_fn(4, |x| if x[2] { x[3] } else { x[0] ^ x[1] })?,
+            // Inputs are wired below once the carry chain exists.
+            inputs: vec![Source::Zero; 4],
+            registered: true,
+        });
+        let _ = i;
+    }
+    // Carry chain cells: carry_1..carry_{bits-1} (carry_0 is constant One).
+    let mut carries: Vec<Source> = vec![Source::One];
+    for i in 1..bits {
+        let prev = carries[i - 1];
+        let c = push_cell(
+            &mut bs,
+            LutCell::from_fn(2, |x| x[0] && x[1])?,
+            vec![Source::Cell(i - 1), prev],
+            false,
+        );
+        carries.push(c);
+    }
+    // Wire the state cells (bit index addresses cells, carries and
+    // primaries in lockstep, so a range loop is the clear form here).
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..bits {
+        bs.cells[i].inputs = vec![
+            Source::Cell(i),          // pc_i (registered: reads own FF)
+            carries[i],               // carry into bit i
+            Source::Primary(0),       // branch
+            Source::Primary(1 + i),   // target_i
+        ];
+    }
+    bs.outputs = (0..bits).map(Source::Cell).collect();
+    if bs.cells.len() > fabric.n_cells {
+        return Err(MachineError::config(format!(
+            "PC needs {} cells; fabric has {}",
+            bs.cells.len(),
+            fabric.n_cells
+        )));
+    }
+    Ok(bs)
+}
+
+/// A `bits`-wide equality comparator: primaries `a[0..bits], b[0..bits]`,
+/// one output (`a == b`).
+pub fn comparator(fabric: &LutFabric, bits: usize) -> Result<Bitstream, MachineError> {
+    if bits == 0 {
+        return Err(MachineError::config("comparator width must be positive"));
+    }
+    let mut bs = Bitstream::default();
+    let mut all_eq: Option<Source> = None;
+    for i in 0..bits {
+        let eq = push_cell(
+            &mut bs,
+            LutCell::from_fn(2, |x| x[0] == x[1])?,
+            vec![Source::Primary(i), Source::Primary(bits + i)],
+            false,
+        );
+        all_eq = Some(match all_eq {
+            None => eq,
+            Some(acc) => push_cell(
+                &mut bs,
+                LutCell::from_fn(2, |x| x[0] && x[1])?,
+                vec![acc, eq],
+                false,
+            ),
+        });
+    }
+    bs.outputs = vec![all_eq.expect("bits >= 1")];
+    if bs.cells.len() > fabric.n_cells {
+        return Err(MachineError::config("fabric too small for the comparator"));
+    }
+    Ok(bs)
+}
+
+/// A `bits`-wide two-operation ALU slice: primaries
+/// `mode, a[0..bits], b[0..bits]`; outputs `r[0..bits]` where
+/// `r = mode ? (a XOR b) : (a AND b)` — the smallest demonstration that a
+/// LUT fabric implements a *configurable* data processor (the op select
+/// is a runtime input; the function repertoire is configuration).
+pub fn alu_slice(fabric: &LutFabric, bits: usize) -> Result<Bitstream, MachineError> {
+    if bits == 0 {
+        return Err(MachineError::config("ALU width must be positive"));
+    }
+    if fabric.k < 3 {
+        return Err(MachineError::config("the ALU slice needs 3-LUTs"));
+    }
+    let mut bs = Bitstream::default();
+    let mut outs = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let r = push_cell(
+            &mut bs,
+            LutCell::from_fn(3, |x| if x[2] { x[0] ^ x[1] } else { x[0] && x[1] })?,
+            vec![Source::Primary(1 + i), Source::Primary(1 + bits + i), Source::Primary(0)],
+            false,
+        );
+        outs.push(r);
+    }
+    bs.outputs = outs;
+    if bs.cells.len() > fabric.n_cells {
+        return Err(MachineError::config("fabric too small for the ALU slice"));
+    }
+    Ok(bs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_to_usize(bits: &[bool]) -> usize {
+        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (usize::from(b) << i))
+    }
+
+    fn usize_to_bits(v: usize, n: usize) -> Vec<bool> {
+        (0..n).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn mapped_expression_matches_reference_exhaustively() {
+        // (a XOR b) AND NOT c
+        let expr = BoolExpr::And(
+            Box::new(BoolExpr::Xor(
+                Box::new(BoolExpr::Input(0)),
+                Box::new(BoolExpr::Input(1)),
+            )),
+            Box::new(BoolExpr::Not(Box::new(BoolExpr::Input(2)))),
+        );
+        let fabric = LutFabric::new(16, 2, 3);
+        let bs = map_exprs(&fabric, std::slice::from_ref(&expr)).unwrap();
+        let configured = fabric.configure(&bs).unwrap();
+        for v in 0..8 {
+            let inputs = usize_to_bits(v, 3);
+            assert_eq!(
+                configured.eval(&inputs).unwrap(),
+                vec![expr.eval(&inputs)],
+                "inputs {inputs:?}"
+            );
+        }
+        assert_eq!(expr.cell_count(), 3);
+    }
+
+    #[test]
+    fn ripple_adder_adds_exhaustively() {
+        let bits = 4;
+        let fabric = LutFabric::new(64, 3, 2 * bits);
+        let bs = ripple_adder(&fabric, bits).unwrap();
+        let configured = fabric.configure(&bs).unwrap();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let mut inputs = usize_to_bits(a, bits);
+                inputs.extend(usize_to_bits(b, bits));
+                let out = configured.eval(&inputs).unwrap();
+                assert_eq!(bits_to_usize(&out), a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn program_counter_counts_and_branches() {
+        let bits = 3;
+        let fabric = LutFabric::new(64, 4, 1 + bits);
+        let bs = program_counter(&fabric, bits).unwrap();
+        let mut pc = fabric.configure(&bs).unwrap();
+        // Sequential fetch: 1, 2, 3, ...
+        let no_branch: Vec<bool> = {
+            let mut v = vec![false];
+            v.extend(usize_to_bits(0, bits));
+            v
+        };
+        for expect in 1..=5usize {
+            let out = pc.step(&no_branch).unwrap();
+            assert_eq!(bits_to_usize(&out), expect % 8);
+        }
+        // Branch to 6.
+        let mut branch = vec![true];
+        branch.extend(usize_to_bits(6, bits));
+        let out = pc.step(&branch).unwrap();
+        assert_eq!(bits_to_usize(&out), 6);
+        // And keep counting: 7, 0 (wrap).
+        assert_eq!(bits_to_usize(&pc.step(&no_branch).unwrap()), 7);
+        assert_eq!(bits_to_usize(&pc.step(&no_branch).unwrap()), 0);
+    }
+
+    #[test]
+    fn same_fabric_runs_both_paradigms() {
+        // The USP claim: one fabric, two roles, swapped by reconfiguration.
+        let fabric = LutFabric::new(64, 4, 8);
+        let dp_view = ripple_adder(&fabric, 3).unwrap();
+        let ip_view = program_counter(&fabric, 3).unwrap();
+        let adder = fabric.configure(&dp_view).unwrap();
+        let mut pc = fabric.configure(&ip_view).unwrap();
+        // Datapath: 5 + 2 = 7.
+        let mut inputs = usize_to_bits(5, 3);
+        inputs.extend(usize_to_bits(2, 3));
+        inputs.extend([false, false]); // unused pads
+        assert_eq!(bits_to_usize(&adder.eval(&inputs).unwrap()), 7);
+        // Instruction processor: counts.
+        let mut no_branch = vec![false];
+        no_branch.extend(usize_to_bits(0, 3));
+        no_branch.extend([false; 4]);
+        assert_eq!(bits_to_usize(&pc.step(&no_branch).unwrap()), 1);
+    }
+
+    #[test]
+    fn comparator_is_exhaustively_correct() {
+        let bits = 3;
+        let fabric = LutFabric::new(32, 2, 2 * bits);
+        let cfg = fabric.configure(&comparator(&fabric, bits).unwrap()).unwrap();
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let mut inputs = usize_to_bits(a, bits);
+                inputs.extend(usize_to_bits(b, bits));
+                assert_eq!(cfg.eval(&inputs).unwrap(), vec![a == b], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_slice_switches_operations_at_runtime() {
+        let bits = 4;
+        let fabric = LutFabric::new(32, 3, 1 + 2 * bits);
+        let cfg = fabric.configure(&alu_slice(&fabric, bits).unwrap()).unwrap();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                for mode in [false, true] {
+                    let mut inputs = vec![mode];
+                    inputs.extend(usize_to_bits(a, bits));
+                    inputs.extend(usize_to_bits(b, bits));
+                    let out = bits_to_usize(&cfg.eval(&inputs).unwrap());
+                    let expect = if mode { a ^ b } else { a & b };
+                    assert_eq!(out, expect, "a={a} b={b} mode={mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_small_fabrics_are_rejected() {
+        let tiny = LutFabric::new(2, 3, 8);
+        assert!(ripple_adder(&tiny, 4).is_err());
+        let two_lut = LutFabric::new(64, 2, 8);
+        assert!(ripple_adder(&two_lut, 4).is_err());
+        assert!(program_counter(&two_lut, 4).is_err());
+        assert!(ripple_adder(&LutFabric::new(64, 3, 8), 0).is_err());
+        assert!(program_counter(&LutFabric::new(64, 4, 8), 0).is_err());
+    }
+}

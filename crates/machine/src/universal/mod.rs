@@ -1,0 +1,70 @@
+//! Universal-flow machines (USP): the LUT fabric that implements either
+//! paradigm.
+//!
+//! [`lut`] defines the cell, [`fabric`] the configurable array with
+//! programmable routing and flip-flops, and [`mapper`] the mapping of
+//! boolean expressions, a ripple-carry adder (data-flow role) and a
+//! program counter (instruction-flow role) onto the same fabric.
+
+pub mod fabric;
+pub mod lut;
+pub mod mapper;
+
+pub use fabric::{Bitstream, CellConfig, ConfiguredFabric, LutFabric, Source};
+pub use lut::LutCell;
+pub use mapper::{alu_slice, comparator, map_exprs, program_counter, ripple_adder, BoolExpr};
+
+use skilltax_model::{ArchSpec, Count, Granularity, Link, Relation};
+
+/// A taxonomy-facing wrapper: the USP machine as a whole (fabric plus its
+/// structural description).
+#[derive(Debug, Clone, Copy)]
+pub struct UniversalMachine {
+    fabric: LutFabric,
+}
+
+impl UniversalMachine {
+    /// A universal machine over the given fabric.
+    pub fn new(fabric: LutFabric) -> UniversalMachine {
+        UniversalMachine { fabric }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> LutFabric {
+        self.fabric
+    }
+
+    /// The structural [`ArchSpec`]: variable counts, everything crossbar.
+    pub fn spec(&self) -> ArchSpec {
+        ArchSpec::builder(format!("usp-{}x{}lut", self.fabric.n_cells, self.fabric.k))
+            .granularity(Granularity::FineLut)
+            .ips(Count::variable())
+            .dps(Count::variable())
+            .link(Relation::IpIp, Link::crossbar_v_v())
+            .link(Relation::IpDp, Link::crossbar_v_v())
+            .link(Relation::IpIm, Link::crossbar_v_v())
+            .link(Relation::DpDm, Link::crossbar_v_v())
+            .link(Relation::DpDp, Link::crossbar_v_v())
+            .build_unchecked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_taxonomy::classify;
+
+    #[test]
+    fn universal_machine_classifies_as_usp() {
+        let m = UniversalMachine::new(LutFabric::new(256, 4, 16));
+        let c = classify(&m.spec()).unwrap();
+        assert_eq!(c.name().to_string(), "USP");
+        assert_eq!(c.serial(), 47);
+    }
+
+    #[test]
+    fn spec_is_valid_under_hard_validation() {
+        let m = UniversalMachine::new(LutFabric::new(16, 2, 4));
+        assert!(m.spec().validate().is_ok());
+    }
+}

@@ -1,0 +1,378 @@
+//! The VLIW array machine — the control style of Montium and PADDI.
+//!
+//! Several surveyed IAP machines are *not* SIMD broadcasters: "a
+//! sequencer controls the operations of the data-path, interconnects and
+//! the memory units in a VLIW fashion" (Montium), "a global instruction
+//! sequencer provides instructions to all the processors in a VLIW
+//! fashion" (PADDI).  One instruction processor still issues one stream —
+//! so the machine classifies as IAP — but each cycle's *bundle* carries a
+//! different operation per data processor.
+//!
+//! Behaviourally VLIW sits between SIMD and MIMD: lanes may do different
+//! work each cycle (unlike SIMD) but cannot diverge in control flow
+//! (unlike MIMD) — the bundle stream is single.  The tests pin both
+//! sides of that boundary.
+
+use skilltax_model::{ArchSpec, Count, Link, Relation};
+
+use crate::array::ArraySubtype;
+use crate::dp::{DataProcessor, LocalOutcome};
+use crate::error::MachineError;
+use crate::exec::Stats;
+use crate::isa::{Instr, Word};
+use crate::mem::BankedMemory;
+use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
+
+/// One VLIW bundle: one slot per lane plus an optional sequencer action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bundle {
+    /// Per-lane operations (`None` = lane idles this cycle).  Control-flow
+    /// instructions are not allowed in lane slots.
+    pub slots: Vec<Option<Instr>>,
+    /// Sequencer control for this cycle (branch/halt), evaluated against
+    /// lane 0's registers.  `None` = fall through.
+    pub control: Option<Instr>,
+}
+
+impl Bundle {
+    /// A bundle with every lane idle.
+    pub fn nop(lanes: usize) -> Bundle {
+        Bundle { slots: vec![None; lanes], control: None }
+    }
+
+    /// A bundle carrying the same op in every slot (the SIMD special case
+    /// of VLIW).
+    pub fn broadcast(lanes: usize, instr: Instr) -> Bundle {
+        Bundle { slots: vec![Some(instr); lanes], control: None }
+    }
+}
+
+/// A VLIW program: a list of bundles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VliwProgram {
+    bundles: Vec<Bundle>,
+}
+
+impl VliwProgram {
+    /// Validate a bundle list for a machine of `lanes` lanes.
+    pub fn new(bundles: Vec<Bundle>, lanes: usize) -> Result<VliwProgram, MachineError> {
+        for (at, bundle) in bundles.iter().enumerate() {
+            if bundle.slots.len() != lanes {
+                return Err(MachineError::config(format!(
+                    "bundle {at} has {} slots for {lanes} lanes",
+                    bundle.slots.len()
+                )));
+            }
+            for (lane, slot) in bundle.slots.iter().enumerate() {
+                if let Some(instr) = slot {
+                    if instr.is_control() {
+                        return Err(MachineError::config(format!(
+                            "bundle {at}, lane {lane}: control flow belongs to the \
+                             sequencer slot, not a lane slot ({instr})"
+                        )));
+                    }
+                    if instr.uses_dp_dp() {
+                        return Err(MachineError::config(format!(
+                            "bundle {at}, lane {lane}: fabric ops are not modelled in \
+                             VLIW slots ({instr})"
+                        )));
+                    }
+                    if !instr.registers_valid() {
+                        return Err(MachineError::BadRegister {
+                            at,
+                            instr: instr.to_string(),
+                        });
+                    }
+                }
+            }
+            if let Some(ctrl) = &bundle.control {
+                if !ctrl.is_control() {
+                    return Err(MachineError::config(format!(
+                        "bundle {at}: sequencer slot holds a non-control op ({ctrl})"
+                    )));
+                }
+                let target = match *ctrl {
+                    Instr::Beq(_, _, t) | Instr::Bne(_, _, t) | Instr::Blt(_, _, t)
+                    | Instr::Jmp(t) => Some(t),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    if t >= bundles.len() {
+                        return Err(MachineError::BadBranchTarget {
+                            at,
+                            target: t,
+                            len: bundles.len(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(VliwProgram { bundles })
+    }
+
+    /// Number of bundles.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+}
+
+/// The VLIW array machine: one sequencer, `n` heterogeneous lane slots.
+#[derive(Debug)]
+pub struct VliwMachine {
+    subtype: ArraySubtype,
+    lanes: Vec<DataProcessor>,
+    mem: BankedMemory,
+    cycle_limit: u64,
+}
+
+impl VliwMachine {
+    /// A VLIW machine with `lanes` data processors.
+    pub fn new(subtype: ArraySubtype, lanes: usize, bank_words: usize) -> VliwMachine {
+        assert!(lanes >= 1);
+        VliwMachine {
+            subtype,
+            lanes: (0..lanes).map(DataProcessor::new).collect(),
+            mem: BankedMemory::new(lanes, bank_words, subtype.data_topology()),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The banked memory.
+    pub fn memory_mut(&mut self) -> &mut BankedMemory {
+        &mut self.mem
+    }
+
+    /// The banked memory.
+    pub fn memory(&self) -> &BankedMemory {
+        &self.mem
+    }
+
+    /// A lane's register after a run.
+    pub fn lane_reg(&self, lane: usize, r: u8) -> Word {
+        self.lanes[lane].reg(r)
+    }
+
+    /// Structural spec: a VLIW machine is still 1 IP commanding n DPs, so
+    /// it classifies as its array sub-type — the taxonomy does not (and
+    /// per the paper, should not) distinguish issue style.
+    pub fn spec(&self) -> ArchSpec {
+        let n = (self.lanes.len() as u32).max(2);
+        let dp_dm = match self.subtype.data_topology() {
+            crate::mem::DataTopology::PrivateBanks => Link::direct_between(n, n),
+            crate::mem::DataTopology::SharedCrossbar => Link::crossbar_between(n, n),
+        };
+        let dp_dp = match self.subtype.lane_fabric() {
+            crate::interconnect::FabricTopology::None => Link::None,
+            _ => Link::crossbar_between(n, n),
+        };
+        ArchSpec::builder(format!("vliw-{}x{}", self.subtype.class_name(), n))
+            .ips(Count::one())
+            .dps(Count::fixed(n))
+            .link(Relation::IpDp, Link::direct_between(1, n))
+            .link(Relation::IpIm, Link::direct_between(1, 1))
+            .link(Relation::DpDm, dp_dm)
+            .link(Relation::DpDp, dp_dp)
+            .build_unchecked()
+    }
+
+    /// Run a VLIW program.
+    pub fn run(&mut self, program: &VliwProgram) -> Result<Stats, MachineError> {
+        let mut stats = Stats::default();
+        let mut pc = 0usize;
+        loop {
+            if stats.cycles >= self.cycle_limit {
+                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+            }
+            let Some(bundle) = program.bundles.get(pc) else { break };
+            stats.cycles += 1;
+            for (lane, slot) in bundle.slots.iter().enumerate() {
+                if let Some(instr) = slot {
+                    stats.instructions += 1;
+                    match self.lanes[lane].execute_local(*instr, &mut self.mem)? {
+                        LocalOutcome::Next => {}
+                        other => unreachable!("lane slot produced {other:?}"),
+                    }
+                } else {
+                    stats.stalls += 1;
+                }
+            }
+            match bundle.control {
+                None => pc += 1,
+                Some(ctrl) => {
+                    stats.instructions += 1;
+                    match self.lanes[0].execute_local(ctrl, &mut self.mem)? {
+                        LocalOutcome::Next => pc += 1,
+                        LocalOutcome::Branch(t) => pc = t,
+                        LocalOutcome::Halt => break,
+                    }
+                }
+            }
+        }
+        for lane in &self.lanes {
+            let (alu, mr, mw) = lane.counters();
+            stats.alu_ops += alu;
+            stats.mem_reads += mr;
+            stats.mem_writes += mw;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneous_bundle_does_different_work_per_lane() {
+        // Lane 0 adds, lane 1 multiplies, lane 2 idles — one stream.
+        let mut m = VliwMachine::new(ArraySubtype::I, 3, 4);
+        let bundles = vec![
+            Bundle {
+                slots: vec![Some(Instr::MovI(0, 6)), Some(Instr::MovI(0, 6)), None],
+                control: None,
+            },
+            Bundle {
+                slots: vec![Some(Instr::MovI(1, 7)), Some(Instr::MovI(1, 7)), None],
+                control: None,
+            },
+            Bundle {
+                slots: vec![
+                    Some(Instr::Add(2, 0, 1)),
+                    Some(Instr::Mul(2, 0, 1)),
+                    Some(Instr::MovI(2, -1)),
+                ],
+                control: Some(Instr::Halt),
+            },
+        ];
+        let program = VliwProgram::new(bundles, 3).unwrap();
+        let stats = m.run(&program).unwrap();
+        assert_eq!(m.lane_reg(0, 2), 13);
+        assert_eq!(m.lane_reg(1, 2), 42);
+        assert_eq!(m.lane_reg(2, 2), -1);
+        assert_eq!(stats.cycles, 3);
+        assert_eq!(stats.stalls, 2);
+    }
+
+    #[test]
+    fn sequencer_branches_steer_the_single_stream() {
+        // Loop 4 times, incrementing lane counters with different strides.
+        let lanes = 2;
+        let bundles = vec![
+            // 0: init
+            Bundle {
+                slots: vec![Some(Instr::MovI(0, 0)), Some(Instr::MovI(0, 0))],
+                control: None,
+            },
+            // 1: r1 = loop counter on lane 0 only
+            Bundle { slots: vec![Some(Instr::MovI(1, 0)), None], control: None },
+            // 2: body — lane 0 += 1, lane 1 += 10
+            Bundle {
+                slots: vec![Some(Instr::AddI(0, 0, 1)), Some(Instr::AddI(0, 0, 10))],
+                control: None,
+            },
+            // 3: counter++ and loop while < 4
+            Bundle {
+                slots: vec![Some(Instr::AddI(1, 1, 1)), None],
+                control: None,
+            },
+            Bundle {
+                slots: vec![None, None],
+                control: Some(Instr::Blt(1, 2, 2)),
+            },
+            // 5: r2 = 4 (bound), placed early so register 2 is ready
+            Bundle { slots: vec![None, None], control: Some(Instr::Halt) },
+        ];
+        // Need the bound in lane 0's r2 before the loop test: set it in
+        // bundle 1 instead of a late bundle.
+        let mut bundles = bundles;
+        bundles[1].slots[1] = Some(Instr::Nop);
+        bundles[1].slots[0] = Some(Instr::MovI(1, 0));
+        bundles[0].slots[0] = Some(Instr::MovI(2, 4));
+        let program = VliwProgram::new(bundles, lanes).unwrap();
+        let mut m = VliwMachine::new(ArraySubtype::I, lanes, 4);
+        // lane 0 r0 starts at whatever MovI(2,4) left: r0 untouched => 0.
+        m.run(&program).unwrap();
+        assert_eq!(m.lane_reg(0, 0), 4); // 4 iterations of +1
+        assert_eq!(m.lane_reg(1, 0), 40); // 4 iterations of +10
+    }
+
+    #[test]
+    fn control_flow_in_a_lane_slot_is_rejected() {
+        let bundles = vec![Bundle {
+            slots: vec![Some(Instr::Jmp(0))],
+            control: None,
+        }];
+        assert!(matches!(
+            VliwProgram::new(bundles, 1),
+            Err(MachineError::BadConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn bundle_width_must_match_lane_count() {
+        let bundles = vec![Bundle::nop(3)];
+        assert!(VliwProgram::new(bundles, 2).is_err());
+    }
+
+    #[test]
+    fn sequencer_slot_must_hold_control() {
+        let bundles = vec![Bundle {
+            slots: vec![None],
+            control: Some(Instr::Add(0, 1, 2)),
+        }];
+        assert!(VliwProgram::new(bundles, 1).is_err());
+    }
+
+    #[test]
+    fn branch_targets_validated_against_bundle_count() {
+        let bundles = vec![Bundle { slots: vec![None], control: Some(Instr::Jmp(9)) }];
+        assert!(matches!(
+            VliwProgram::new(bundles, 1),
+            Err(MachineError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn vliw_machine_classifies_as_its_array_subtype() {
+        use skilltax_taxonomy::classify;
+        for subtype in ArraySubtype::ALL {
+            let m = VliwMachine::new(subtype, 4, 4);
+            assert_eq!(
+                classify(&m.spec()).unwrap().name().to_string(),
+                subtype.class_name()
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_bundles_recover_simd_behaviour() {
+        let lanes = 4;
+        let mut m = VliwMachine::new(ArraySubtype::I, lanes, 4);
+        for lane in 0..lanes {
+            m.memory_mut().bank_mut(lane).load(&[lane as Word, 100]);
+        }
+        let bundles = vec![
+            Bundle::broadcast(lanes, Instr::MovI(0, 0)),
+            Bundle::broadcast(lanes, Instr::MovI(1, 1)),
+            Bundle::broadcast(lanes, Instr::Load(2, 0)),
+            Bundle::broadcast(lanes, Instr::Load(3, 1)),
+            Bundle::broadcast(lanes, Instr::Add(4, 2, 3)),
+            Bundle { slots: vec![None; lanes], control: Some(Instr::Halt) },
+        ];
+        let program = VliwProgram::new(bundles, lanes).unwrap();
+        m.run(&program).unwrap();
+        for lane in 0..lanes {
+            assert_eq!(m.lane_reg(lane, 4), lane as Word + 100);
+        }
+    }
+}

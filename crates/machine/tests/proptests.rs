@@ -1,0 +1,149 @@
+//! Property tests for the executable machines: the simulators against
+//! plain-Rust reference semantics on randomly generated programs and
+//! workloads.
+
+use proptest::prelude::*;
+
+use skilltax_machine::array::{ArrayMachine, ArraySubtype};
+use skilltax_machine::isa::{Instr, Word, NUM_REGS};
+use skilltax_machine::multi::MultiSubtype;
+use skilltax_machine::program::Program;
+use skilltax_machine::uniprocessor::UniProcessor;
+use skilltax_machine::workload::{
+    fir_reference, mimd_mix_reference, run_fir_dataflow, run_fir_uni, run_mimd_mix_multi,
+    run_vector_add_multi, vector_add_reference,
+};
+use skilltax_machine::dataflow::DataflowSubtype;
+
+/// A random straight-line ALU instruction (no control flow, no memory, no
+/// fabric) over the register file.
+fn alu_instr() -> impl Strategy<Value = Instr> {
+    let reg = 0u8..(NUM_REGS as u8);
+    prop_oneof![
+        (reg.clone(), -1000i64..1000).prop_map(|(rd, imm)| Instr::MovI(rd, imm)),
+        (reg.clone(), reg.clone()).prop_map(|(rd, rs)| Instr::Mov(rd, rs)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Add(d, a, b)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Sub(d, a, b)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Mul(d, a, b)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Min(d, a, b)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Max(d, a, b)),
+        (reg.clone(), reg, -50i64..50).prop_map(|(rd, rs, imm)| Instr::AddI(rd, rs, imm)),
+    ]
+}
+
+/// Reference interpreter for straight-line ALU programs.
+fn reference_regs(instrs: &[Instr]) -> [Word; NUM_REGS] {
+    let mut regs = [0i64; NUM_REGS];
+    for instr in instrs {
+        match *instr {
+            Instr::MovI(rd, imm) => regs[rd as usize] = imm,
+            Instr::Mov(rd, rs) => regs[rd as usize] = regs[rs as usize],
+            Instr::Add(d, a, b) => {
+                regs[d as usize] = regs[a as usize].wrapping_add(regs[b as usize])
+            }
+            Instr::Sub(d, a, b) => {
+                regs[d as usize] = regs[a as usize].wrapping_sub(regs[b as usize])
+            }
+            Instr::Mul(d, a, b) => {
+                regs[d as usize] = regs[a as usize].wrapping_mul(regs[b as usize])
+            }
+            Instr::Min(d, a, b) => regs[d as usize] = regs[a as usize].min(regs[b as usize]),
+            Instr::Max(d, a, b) => regs[d as usize] = regs[a as usize].max(regs[b as usize]),
+            Instr::AddI(rd, rs, imm) => {
+                regs[rd as usize] = regs[rs as usize].wrapping_add(imm)
+            }
+            _ => unreachable!("strategy only emits ALU instructions"),
+        }
+    }
+    regs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn uniprocessor_matches_the_reference_interpreter(
+        instrs in prop::collection::vec(alu_instr(), 0..64)
+    ) {
+        let mut with_halt = instrs.clone();
+        with_halt.push(Instr::Halt);
+        let program = Program::new(with_halt).unwrap();
+        let mut machine = UniProcessor::new(4);
+        let stats = machine.run(&program).unwrap();
+        let expected = reference_regs(&instrs);
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..NUM_REGS {
+            prop_assert_eq!(machine.reg(r as u8), expected[r], "r{}", r);
+        }
+        prop_assert_eq!(stats.instructions, instrs.len() as u64 + 1);
+        prop_assert_eq!(stats.cycles, instrs.len() as u64 + 1);
+    }
+
+    #[test]
+    fn simd_array_equals_per_lane_reference(
+        instrs in prop::collection::vec(alu_instr(), 0..32),
+        lanes in 1usize..8,
+    ) {
+        // With a lane-id seed, each lane's register file should equal the
+        // reference interpreter run with r0 preloaded to the lane index.
+        let mut body = vec![Instr::LaneId(0)];
+        body.extend(instrs.iter().copied());
+        body.push(Instr::Halt);
+        let program = Program::new(body).unwrap();
+        let mut machine = ArrayMachine::new(ArraySubtype::I, lanes, 4);
+        machine.run(&program).unwrap();
+        for lane in 0..lanes {
+            let mut seeded = vec![Instr::MovI(0, lane as Word)];
+            seeded.extend(instrs.iter().copied());
+            let expected = reference_regs(&seeded);
+            #[allow(clippy::needless_range_loop)]
+        for r in 0..NUM_REGS {
+                prop_assert_eq!(
+                    machine.lane_reg(lane, r as u8),
+                    expected[r],
+                    "lane {} r{}",
+                    lane,
+                    r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_emulation_on_every_imp_subtype_matches_reference(
+        a in prop::collection::vec(-500i64..500, 2..10),
+        code in 0u8..16,
+    ) {
+        let b: Vec<Word> = a.iter().map(|x| 1000 - x).collect();
+        let subtype = MultiSubtype::from_code(code).unwrap();
+        let run = run_vector_add_multi(subtype, &a, &b).unwrap();
+        prop_assert_eq!(run.outputs, vector_add_reference(&a, &b));
+    }
+
+    #[test]
+    fn mimd_mix_matches_reference_for_any_shape(
+        cores in 2usize..6,
+        len in 1usize..8,
+        seed in 0i64..1000,
+    ) {
+        let slices: Vec<Vec<Word>> = (0..cores)
+            .map(|c| (0..len).map(|i| seed + (c * len + i) as Word % 7 - 3).collect())
+            .collect();
+        let run = run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &slices).unwrap();
+        prop_assert_eq!(run.outputs, mimd_mix_reference(&slices));
+    }
+
+    #[test]
+    fn fir_machines_agree_with_the_reference(
+        taps in prop::collection::vec(-5i64..5, 1..5),
+        extra in prop::collection::vec(-20i64..20, 0..8),
+    ) {
+        let mut signal = taps.clone(); // ensure signal >= taps
+        signal.extend(extra);
+        let reference = fir_reference(&taps, &signal);
+        let uni = run_fir_uni(&taps, &signal).unwrap();
+        prop_assert_eq!(&uni.outputs, &reference);
+        let df = run_fir_dataflow(DataflowSubtype::IV, 4, &taps, &signal).unwrap();
+        prop_assert_eq!(&df.outputs, &reference);
+    }
+}

@@ -1,0 +1,478 @@
+//! The top-level architecture description: [`ArchSpec`].
+
+use std::fmt;
+
+use crate::count::Count;
+use crate::error::ModelError;
+use crate::granularity::Granularity;
+use crate::relation::{Connectivity, Relation};
+use crate::switch::Link;
+
+/// Optional descriptive metadata carried alongside the structural record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArchMeta {
+    /// Free-text description (the Section IV prose for surveyed machines).
+    pub description: String,
+    /// Citation key or reference (e.g. `"[13]"` for MorphoSys).
+    pub citation: String,
+    /// Year of publication, if known.
+    pub year: Option<u16>,
+}
+
+/// A structural description of a computer architecture in the extended
+/// Skillicorn model: block counts plus the five connectivity relations.
+///
+/// `ArchSpec` is a *description*, not a judgement — classification into one
+/// of the 47 classes, flexibility scoring and cost estimation live in the
+/// `skilltax-taxonomy` and `skilltax-estimate` crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSpec {
+    /// Architecture name (e.g. `"MorphoSys"`).
+    pub name: String,
+    /// Granularity of the building blocks.
+    pub granularity: Granularity,
+    /// Number of instruction processors.
+    pub ips: Count,
+    /// Number of data processors.
+    pub dps: Count,
+    /// The five connectivity relations.
+    pub connectivity: Connectivity,
+    /// Descriptive metadata.
+    pub meta: ArchMeta,
+}
+
+/// A non-fatal observation produced by [`ArchSpec::audit`]: the spec is
+/// structurally representable but unusual (e.g. extents inconsistent with
+/// counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// The relation the issue concerns, if any.
+    pub relation: Option<Relation>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ArchSpec {
+    /// Start building a spec.
+    pub fn builder(name: impl Into<String>) -> ArchBuilder {
+        ArchBuilder::new(name)
+    }
+
+    /// Number of crossbar (`x`) switches — the flexibility-scoring quantity.
+    pub fn crossbar_count(&self) -> u32 {
+        self.connectivity.crossbar_count()
+    }
+
+    /// Is this a data-flow machine (no instruction processors)?
+    pub fn is_dataflow(&self) -> bool {
+        matches!(self.ips, Count::Zero)
+    }
+
+    /// Does the fabric have variable (reconfigurable-role) counts?
+    pub fn is_universal(&self) -> bool {
+        self.ips.is_variable() || self.dps.is_variable()
+    }
+
+    /// The Table III row tail for this spec:
+    /// `IPs | DPs | IP-IP | IP-DP | IP-IM | DP-DM | DP-DP`.
+    pub fn row_notation(&self) -> String {
+        format!("{} | {} | {}", self.ips, self.dps, self.connectivity)
+    }
+
+    /// Hard validation: rules that make a description self-contradictory.
+    ///
+    /// * a machine with zero IPs cannot have IP-side links;
+    /// * a machine with one IP cannot have an IP–IP link;
+    /// * a machine with zero DPs processes nothing;
+    /// * a DP with no path to data (no DP–DM and no DP–DP) cannot receive
+    ///   operands;
+    /// * variable counts require fine granularity (role exchange is what
+    ///   makes the count variable), and vice versa;
+    /// * if either side of IP–DP exists the machine needs both an
+    ///   instruction path (IP–IM or IP–IP feed) — except that the paper
+    ///   allows IM-less IPs only in the fine-grained case.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let mut reasons = Vec::new();
+        let c = &self.connectivity;
+
+        if matches!(self.dps, Count::Zero) {
+            reasons.push("an architecture must have at least one data processor".to_owned());
+        }
+        if matches!(self.ips, Count::Zero) {
+            for r in Relation::INSTRUCTION_SIDE {
+                if c.link(r).is_connected() {
+                    reasons.push(format!(
+                        "data-flow machine (0 IPs) cannot have a {} link",
+                        r.label()
+                    ));
+                }
+            }
+        }
+        if matches!(self.ips, Count::One) && c.link(Relation::IpIp).is_connected() {
+            reasons.push("a single IP cannot be connected to itself (IP-IP needs n IPs)".to_owned());
+        }
+        if !matches!(self.ips, Count::Zero)
+            && !matches!(self.dps, Count::Zero)
+            && !c.link(Relation::IpDp).is_connected()
+        {
+            reasons.push(
+                "an instruction-flow machine must connect its IPs to its DPs (IP-DP missing)"
+                    .to_owned(),
+            );
+        }
+        if !matches!(self.dps, Count::Zero)
+            && !c.link(Relation::DpDm).is_connected()
+            && !c.link(Relation::DpDp).is_connected()
+        {
+            reasons.push("DPs have no path to data (neither DP-DM nor DP-DP present)".to_owned());
+        }
+        if self.is_universal() && self.granularity != Granularity::FineLut {
+            reasons.push(
+                "variable counts (v) require fine granularity: only role-exchangeable blocks \
+                 can change the number of IPs/DPs under reconfiguration"
+                    .to_owned(),
+            );
+        }
+        if self.granularity == Granularity::FineLut && !self.is_universal() {
+            reasons.push(
+                "fine-grained (LUT) fabrics have variable IP/DP counts by definition".to_owned(),
+            );
+        }
+        if !matches!(self.ips, Count::Zero)
+            && self.granularity == Granularity::CoarseIpDp
+            && !c.link(Relation::IpIm).is_connected()
+        {
+            reasons.push(
+                "coarse-grained IPs must fetch from an instruction memory (IP-IM missing)"
+                    .to_owned(),
+            );
+        }
+
+        if reasons.is_empty() {
+            Ok(())
+        } else {
+            Err(ModelError::Invalid { arch: self.name.clone(), reasons })
+        }
+    }
+
+    /// Soft audit: observations about unusual-but-legal descriptions.
+    pub fn audit(&self) -> Vec<ValidationIssue> {
+        let mut issues = Vec::new();
+        // Extent/count consistency: the left side of IP-DP should match the
+        // IP count class, etc.  The paper itself is loose here (ADRES writes
+        // DP-DM as 8-1 with 64 DPs), so these are warnings, not errors.
+        let checks: [(Relation, bool, bool); 5] = [
+            (Relation::IpIp, true, true),
+            (Relation::IpDp, true, false),
+            (Relation::IpIm, true, false),
+            (Relation::DpDm, false, false),
+            (Relation::DpDp, false, false),
+        ];
+        for (rel, left_is_ip, right_is_ip) in checks {
+            if let Link::Connected(sw) = self.connectivity.link(rel) {
+                let left_count = if left_is_ip { self.ips } else { self.dps };
+                if let (Some(have), Some(want)) = (sw.left.value(), left_count.value()) {
+                    if have > want {
+                        issues.push(ValidationIssue {
+                            relation: Some(rel),
+                            message: format!(
+                                "{} left extent {have} exceeds the {} count {want}",
+                                rel.label(),
+                                if left_is_ip { "IP" } else { "DP" }
+                            ),
+                        });
+                    }
+                }
+                if right_is_ip {
+                    if let (Some(have), Some(want)) = (sw.right.value(), self.ips.value()) {
+                        if have > want {
+                            issues.push(ValidationIssue {
+                                relation: Some(rel),
+                                message: format!(
+                                    "{} right extent {have} exceeds the IP count {want}",
+                                    rel.label()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // A plural machine whose DPs are completely isolated from each other
+        // and share no memory is a set of disjoint uniprocessors: legal
+        // (IMP-I is exactly this) but worth noting for estimation.
+        if self.dps.is_plural()
+            && !self.connectivity.link(Relation::DpDp).is_connected()
+            && self.connectivity.link(Relation::DpDm).is_direct()
+        {
+            issues.push(ValidationIssue {
+                relation: None,
+                message: "DPs are mutually isolated (direct private memories, no DP-DP): \
+                          the machine is a collection of independent processors"
+                    .to_owned(),
+            });
+        }
+        issues
+    }
+}
+
+impl fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.name, self.granularity, self.row_notation())
+    }
+}
+
+/// Builder for [`ArchSpec`] — collects fields then validates on
+/// [`ArchBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ArchBuilder {
+    name: String,
+    granularity: Granularity,
+    ips: Count,
+    dps: Count,
+    connectivity: Connectivity,
+    meta: ArchMeta,
+}
+
+impl ArchBuilder {
+    /// Start a builder with all counts zero and no links.
+    pub fn new(name: impl Into<String>) -> Self {
+        ArchBuilder {
+            name: name.into(),
+            granularity: Granularity::CoarseIpDp,
+            ips: Count::Zero,
+            dps: Count::Zero,
+            connectivity: Connectivity::none(),
+            meta: ArchMeta::default(),
+        }
+    }
+
+    /// Set the block granularity.
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Set the IP count.
+    pub fn ips(mut self, count: Count) -> Self {
+        self.ips = count;
+        self
+    }
+
+    /// Set the DP count.
+    pub fn dps(mut self, count: Count) -> Self {
+        self.dps = count;
+        self
+    }
+
+    /// Set the link on one relation.
+    pub fn link(mut self, relation: Relation, link: Link) -> Self {
+        self.connectivity = self.connectivity.with(relation, link);
+        self
+    }
+
+    /// Set all five links at once (table-column order).
+    pub fn connectivity(mut self, connectivity: Connectivity) -> Self {
+        self.connectivity = connectivity;
+        self
+    }
+
+    /// Attach a free-text description.
+    pub fn description(mut self, text: impl Into<String>) -> Self {
+        self.meta.description = text.into();
+        self
+    }
+
+    /// Attach a citation key.
+    pub fn citation(mut self, text: impl Into<String>) -> Self {
+        self.meta.citation = text.into();
+        self
+    }
+
+    /// Attach a publication year.
+    pub fn year(mut self, year: u16) -> Self {
+        self.meta.year = Some(year);
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<ArchSpec, ModelError> {
+        let spec = ArchSpec {
+            name: self.name,
+            granularity: self.granularity,
+            ips: self.ips,
+            dps: self.dps,
+            connectivity: self.connectivity,
+            meta: self.meta,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Produce the spec without validating (for deliberately-malformed
+    /// specs in tests and for the Not-Implementable classes 11–14, which are
+    /// representable in the taxonomy but rejected by `validate`'s realism
+    /// rules only when self-contradictory).
+    pub fn build_unchecked(self) -> ArchSpec {
+        ArchSpec {
+            name: self.name,
+            granularity: self.granularity,
+            ips: self.ips,
+            dps: self.dps,
+            connectivity: self.connectivity,
+            meta: self.meta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::Link;
+
+    fn morphosys() -> ArchSpec {
+        ArchSpec::builder("MorphoSys")
+            .ips(Count::one())
+            .dps(Count::fixed(64))
+            .link(Relation::IpDp, Link::direct_between(1, 64))
+            .link(Relation::IpIm, Link::direct_between(1, 1))
+            .link(Relation::DpDm, Link::direct_between(64, 1))
+            .link(Relation::DpDp, Link::crossbar_between(64, 64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn morphosys_row_notation_matches_table_iii() {
+        assert_eq!(
+            morphosys().row_notation(),
+            "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64"
+        );
+    }
+
+    #[test]
+    fn dataflow_machine_rejects_ip_links() {
+        let err = ArchSpec::builder("BadColt")
+            .ips(Count::zero())
+            .dps(Count::fixed(16))
+            .link(Relation::IpDp, Link::direct_n_n())
+            .link(Relation::DpDp, Link::crossbar_between(16, 16))
+            .build()
+            .unwrap_err();
+        match err {
+            ModelError::Invalid { reasons, .. } => {
+                assert!(reasons.iter().any(|r| r.contains("IP-DP")), "{reasons:?}")
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_ip_cannot_self_connect() {
+        let err = ArchSpec::builder("SoloSpatial")
+            .ips(Count::one())
+            .dps(Count::one())
+            .link(Relation::IpIp, Link::crossbar_n_n())
+            .link(Relation::IpDp, Link::direct_between(1, 1))
+            .link(Relation::IpIm, Link::direct_between(1, 1))
+            .link(Relation::DpDm, Link::direct_between(1, 1))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("IP-IP"));
+    }
+
+    #[test]
+    fn zero_dps_rejected() {
+        let err = ArchSpec::builder("NoData")
+            .ips(Count::one())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("data processor"));
+    }
+
+    #[test]
+    fn variable_counts_need_fine_grain() {
+        let err = ArchSpec::builder("FakeFpga")
+            .ips(Count::variable())
+            .dps(Count::variable())
+            .link(Relation::IpIp, Link::crossbar_v_v())
+            .link(Relation::IpDp, Link::crossbar_v_v())
+            .link(Relation::IpIm, Link::crossbar_v_v())
+            .link(Relation::DpDm, Link::crossbar_v_v())
+            .link(Relation::DpDp, Link::crossbar_v_v())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("fine granularity"));
+    }
+
+    #[test]
+    fn fine_grain_requires_variable_counts() {
+        let err = ArchSpec::builder("FrozenFpga")
+            .granularity(Granularity::FineLut)
+            .ips(Count::one())
+            .dps(Count::one())
+            .link(Relation::IpDp, Link::direct_between(1, 1))
+            .link(Relation::IpIm, Link::direct_between(1, 1))
+            .link(Relation::DpDm, Link::direct_between(1, 1))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("variable"));
+    }
+
+    #[test]
+    fn fpga_spec_is_valid() {
+        let fpga = ArchSpec::builder("FPGA")
+            .granularity(Granularity::FineLut)
+            .ips(Count::variable())
+            .dps(Count::variable())
+            .link(Relation::IpIp, Link::crossbar_v_v())
+            .link(Relation::IpDp, Link::crossbar_v_v())
+            .link(Relation::IpIm, Link::crossbar_v_v())
+            .link(Relation::DpDm, Link::crossbar_v_v())
+            .link(Relation::DpDp, Link::crossbar_v_v())
+            .build()
+            .unwrap();
+        assert!(fpga.is_universal());
+        assert_eq!(fpga.crossbar_count(), 5);
+        assert_eq!(fpga.row_notation(), "v | v | vxv | vxv | vxv | vxv | vxv");
+    }
+
+    #[test]
+    fn audit_flags_extent_count_mismatch() {
+        let spec = ArchSpec::builder("Odd")
+            .ips(Count::one())
+            .dps(Count::fixed(4))
+            .link(Relation::IpDp, Link::direct_between(2, 4)) // 2 > 1 IP
+            .link(Relation::IpIm, Link::direct_between(1, 1))
+            .link(Relation::DpDm, Link::direct_between(4, 4))
+            .build_unchecked();
+        let issues = spec.audit();
+        assert!(
+            issues.iter().any(|i| i.relation == Some(Relation::IpDp)),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn audit_notes_isolated_multiprocessor() {
+        let imp1 = ArchSpec::builder("Core2Duo")
+            .ips(Count::fixed(2))
+            .dps(Count::fixed(2))
+            .link(Relation::IpDp, Link::direct_between(2, 2))
+            .link(Relation::IpIm, Link::direct_between(2, 2))
+            .link(Relation::DpDm, Link::direct_between(2, 2))
+            .build()
+            .unwrap();
+        assert!(imp1
+            .audit()
+            .iter()
+            .any(|i| i.message.contains("independent processors")));
+    }
+
+    #[test]
+    fn display_includes_granularity_and_row() {
+        let s = morphosys().to_string();
+        assert!(s.contains("IP/DP"));
+        assert!(s.contains("64x64"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Block counts (`0`, `1`, `n`, `v`) and switch-endpoint extents.
+//!
+//! The paper distinguishes four count values for the number of IPs or DPs in
+//! an architecture:
+//!
+//! * `0` — the block is absent (e.g. no IPs in a data-flow machine),
+//! * `1` — exactly one block,
+//! * `n` — a *constant* plural number fixed at design time.  In Table III
+//!   the paper substitutes the actual value where known (`64` for MorphoSys)
+//!   and keeps the symbol `n` for template architectures (RICA, DRRA).  GARP
+//!   uses a scaled symbol, `24xn` (24 logic elements per row, `n` rows).
+//! * `v` — a *variable* number: the fine-grained fabric can be reconfigured
+//!   so that the same silicon plays the role of IP or DP, hence the count of
+//!   each changes with the configuration (`v >= 0`); FPGAs are the example.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ModelError;
+
+/// A plural (`n`-class) count: `coeff * n`, optionally resolved to a
+/// concrete value.
+///
+/// * `Many { coeff: 1, resolved: Some(64) }` prints as `64` (MorphoSys DPs).
+/// * `Many { coeff: 1, resolved: None }` prints as `n` (template archs).
+/// * `Many { coeff: 24, resolved: None }` prints as `24xn` (GARP DPs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Many {
+    /// Scale factor applied to the symbolic `n` (1 for a plain `n`).
+    pub coeff: u32,
+    /// Concrete value if the architecture fixes it (e.g. 64), else `None`.
+    pub resolved: Option<u32>,
+}
+
+impl Many {
+    /// A plain, unresolved symbolic `n`.
+    pub const fn symbolic() -> Self {
+        Many { coeff: 1, resolved: None }
+    }
+
+    /// A symbolic count scaled by `coeff` (GARP's `24xn`).
+    pub const fn scaled(coeff: u32) -> Self {
+        Many { coeff, resolved: None }
+    }
+
+    /// A concrete plural count (e.g. `64`).
+    pub const fn resolved(value: u32) -> Self {
+        Many { coeff: 1, resolved: Some(value) }
+    }
+
+    /// The concrete number of blocks, if known.  A scaled symbolic count is
+    /// only concrete once `n` is substituted via [`Many::substitute`].
+    pub fn value(&self) -> Option<u32> {
+        self.resolved
+    }
+
+    /// Substitute a concrete `n`, producing a resolved count
+    /// (`coeff * n`).  A count that is already resolved is unchanged.
+    pub fn substitute(&self, n: u32) -> Many {
+        match self.resolved {
+            Some(_) => *self,
+            None => Many { coeff: self.coeff, resolved: Some(self.coeff.saturating_mul(n)) },
+        }
+    }
+}
+
+impl fmt::Display for Many {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.coeff, self.resolved) {
+            (_, Some(v)) => write!(f, "{v}"),
+            (1, None) => write!(f, "n"),
+            (c, None) => write!(f, "{c}xn"),
+        }
+    }
+}
+
+/// Number of instances of a building block (IP or DP) in an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Count {
+    /// The block does not exist (data-flow machines have zero IPs).
+    Zero,
+    /// Exactly one instance.
+    One,
+    /// A constant plural number (`n`), possibly resolved or scaled.
+    Many(Many),
+    /// A variable number (`v`): the count changes under reconfiguration.
+    Variable,
+}
+
+impl Count {
+    /// Zero instances.
+    pub const fn zero() -> Self {
+        Count::Zero
+    }
+
+    /// Exactly one instance.
+    pub const fn one() -> Self {
+        Count::One
+    }
+
+    /// A symbolic, unresolved `n`.
+    pub const fn n() -> Self {
+        Count::Many(Many::symbolic())
+    }
+
+    /// A concrete count.  `0` and `1` normalise to [`Count::Zero`] /
+    /// [`Count::One`]; anything larger is an `n`-class count.
+    pub const fn fixed(value: u32) -> Self {
+        match value {
+            0 => Count::Zero,
+            1 => Count::One,
+            v => Count::Many(Many::resolved(v)),
+        }
+    }
+
+    /// A symbolic count scaled by `coeff` (GARP's `24xn`).
+    pub const fn scaled_n(coeff: u32) -> Self {
+        Count::Many(Many::scaled(coeff))
+    }
+
+    /// A variable (`v`) count.
+    pub const fn variable() -> Self {
+        Count::Variable
+    }
+
+    /// Is this the `n` class (plural, fixed at design time)?
+    pub fn is_many(&self) -> bool {
+        matches!(self, Count::Many(_))
+    }
+
+    /// Is this the `v` class (variable under reconfiguration)?
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Count::Variable)
+    }
+
+    /// Does this count describe more than one block (i.e. `n` or `v`)?
+    ///
+    /// This is the predicate the paper's flexibility scoring uses: "the
+    /// presence of 'n' IPs or DPs each will get 1 point" — variable counts
+    /// subsume plural counts.
+    pub fn is_plural(&self) -> bool {
+        matches!(self, Count::Many(_) | Count::Variable)
+    }
+
+    /// The concrete number of blocks, if known.
+    pub fn value(&self) -> Option<u32> {
+        match self {
+            Count::Zero => Some(0),
+            Count::One => Some(1),
+            Count::Many(m) => m.value(),
+            Count::Variable => None,
+        }
+    }
+
+    /// The concrete number of blocks, substituting `n` where the count is
+    /// symbolic.  `Variable` has no concrete value even after substitution
+    /// (it depends on the loaded configuration, not on `n`).
+    pub fn value_with_n(&self, n: u32) -> Option<u32> {
+        match self {
+            Count::Many(m) => m.substitute(n).value(),
+            other => other.value(),
+        }
+    }
+
+    /// The *flexibility class* rank used for comparisons:
+    /// `Zero < One < Many < Variable`.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Count::Zero => 0,
+            Count::One => 1,
+            Count::Many(_) => 2,
+            Count::Variable => 3,
+        }
+    }
+}
+
+impl PartialOrd for Count {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.rank().cmp(&other.rank()))
+    }
+}
+
+impl fmt::Display for Count {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Count::Zero => write!(f, "0"),
+            Count::One => write!(f, "1"),
+            Count::Many(m) => write!(f, "{m}"),
+            Count::Variable => write!(f, "v"),
+        }
+    }
+}
+
+impl FromStr for Count {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s {
+            "0" => Ok(Count::Zero),
+            "1" => Ok(Count::One),
+            "n" | "N" => Ok(Count::n()),
+            "v" | "V" => Ok(Count::Variable),
+            _ => {
+                // `24xn` style scaled symbolic count.
+                if let Some(coeff) = s
+                    .strip_suffix("xn")
+                    .or_else(|| s.strip_suffix("XN"))
+                    .or_else(|| s.strip_suffix("xN"))
+                    .or_else(|| s.strip_suffix("Xn"))
+                {
+                    let c: u32 = coeff
+                        .parse()
+                        .map_err(|_| ModelError::count_parse(s))?;
+                    if c == 0 {
+                        return Err(ModelError::count_parse(s));
+                    }
+                    return Ok(Count::scaled_n(c));
+                }
+                let v: u32 = s.parse().map_err(|_| ModelError::count_parse(s))?;
+                Ok(Count::fixed(v))
+            }
+        }
+    }
+}
+
+/// One endpoint multiplicity of a switch (`1-64` has extents `1` and `64`;
+/// `vxv` has extents `v` and `v`).  An extent is a [`Count`] that cannot be
+/// zero — a switch with a zero-sized side would not exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent(Count);
+
+impl Extent {
+    /// Build an extent from a count.  Fails on [`Count::Zero`].
+    pub fn new(count: Count) -> Result<Self, ModelError> {
+        if matches!(count, Count::Zero) {
+            Err(ModelError::ZeroExtent)
+        } else {
+            Ok(Extent(count))
+        }
+    }
+
+    /// Extent of exactly one block.
+    pub const fn one() -> Self {
+        Extent(Count::One)
+    }
+
+    /// Symbolic plural extent `n`.
+    pub const fn n() -> Self {
+        Extent(Count::Many(Many::symbolic()))
+    }
+
+    /// Concrete extent; values 0 and 1 normalise like [`Count::fixed`]
+    /// (0 is rejected at [`Extent::new`], so use this only with `value >= 1`).
+    pub fn fixed(value: u32) -> Self {
+        Extent::new(Count::fixed(value.max(1))).expect("nonzero by construction")
+    }
+
+    /// Scaled symbolic extent (`24xn`).
+    pub const fn scaled_n(coeff: u32) -> Self {
+        Extent(Count::Many(Many::scaled(coeff)))
+    }
+
+    /// Variable extent `v`.
+    pub const fn variable() -> Self {
+        Extent(Count::Variable)
+    }
+
+    /// The underlying count.
+    pub fn count(&self) -> Count {
+        self.0
+    }
+
+    /// Concrete multiplicity if known.
+    pub fn value(&self) -> Option<u32> {
+        self.0.value()
+    }
+
+    /// Concrete multiplicity, substituting symbolic `n`.
+    pub fn value_with_n(&self, n: u32) -> Option<u32> {
+        self.0.value_with_n(n)
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for Extent {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let count: Count = s.parse()?;
+        Extent::new(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_display_round_trips_paper_notation() {
+        for raw in ["0", "1", "n", "v", "64", "24xn", "48", "6"] {
+            let c: Count = raw.parse().unwrap();
+            assert_eq!(c.to_string(), raw, "round trip of {raw}");
+        }
+    }
+
+    #[test]
+    fn fixed_normalises_zero_and_one() {
+        assert_eq!(Count::fixed(0), Count::Zero);
+        assert_eq!(Count::fixed(1), Count::One);
+        assert_eq!(Count::fixed(2), Count::Many(Many::resolved(2)));
+    }
+
+    #[test]
+    fn rank_ordering_matches_flexibility_classes() {
+        assert!(Count::Zero < Count::One);
+        assert!(Count::One < Count::n());
+        assert!(Count::n() < Count::Variable);
+        // Concrete and symbolic plural counts are the same class.
+        assert_eq!(Count::fixed(64).rank(), Count::n().rank());
+    }
+
+    #[test]
+    fn plural_predicate_matches_scoring_rule() {
+        assert!(!Count::Zero.is_plural());
+        assert!(!Count::One.is_plural());
+        assert!(Count::fixed(64).is_plural());
+        assert!(Count::n().is_plural());
+        assert!(Count::Variable.is_plural());
+    }
+
+    #[test]
+    fn scaled_count_substitutes() {
+        let garp_dps = Count::scaled_n(24);
+        assert_eq!(garp_dps.value(), None);
+        assert_eq!(garp_dps.value_with_n(4), Some(96));
+        assert_eq!(garp_dps.to_string(), "24xn");
+    }
+
+    #[test]
+    fn substitution_keeps_resolved_counts() {
+        let c = Many::resolved(64);
+        assert_eq!(c.substitute(7), c);
+    }
+
+    #[test]
+    fn variable_count_has_no_concrete_value() {
+        assert_eq!(Count::Variable.value(), None);
+        assert_eq!(Count::Variable.value_with_n(1000), None);
+    }
+
+    #[test]
+    fn extent_rejects_zero() {
+        assert!(Extent::new(Count::Zero).is_err());
+        assert!(Extent::new(Count::One).is_ok());
+    }
+
+    #[test]
+    fn extent_parses_paper_tokens() {
+        let e: Extent = "24xn".parse().unwrap();
+        assert_eq!(e.count(), Count::scaled_n(24));
+        assert!("0".parse::<Extent>().is_err());
+    }
+
+    #[test]
+    fn count_parse_rejects_garbage() {
+        assert!("".parse::<Count>().is_err());
+        assert!("x".parse::<Count>().is_err());
+        assert!("-3".parse::<Count>().is_err());
+        assert!("0xn".parse::<Count>().is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural diffs between two architecture descriptions — the concrete
+//! counterpart of the taxonomy-level name comparison (Section III-A): not
+//! just "same sub-type?", but exactly which counts and switches differ
+//! and by how much.
+
+use std::fmt;
+
+use crate::arch::ArchSpec;
+use crate::count::Count;
+use crate::relation::Relation;
+use crate::switch::Link;
+
+/// One difference between two specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecDelta {
+    /// Granularities differ.
+    Granularity {
+        /// Left value.
+        left: crate::granularity::Granularity,
+        /// Right value.
+        right: crate::granularity::Granularity,
+    },
+    /// An IP or DP count differs.
+    CountChanged {
+        /// Which block ("IPs" or "DPs").
+        block: &'static str,
+        /// Left count.
+        left: Count,
+        /// Right count.
+        right: Count,
+    },
+    /// A relation's link differs.
+    LinkChanged {
+        /// The relation.
+        relation: Relation,
+        /// Left link.
+        left: Link,
+        /// Right link.
+        right: Link,
+        /// Is the right side's switch kind a strict upgrade
+        /// (none→direct→crossbar)?
+        upgrade: bool,
+    },
+}
+
+impl fmt::Display for SpecDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecDelta::Granularity { left, right } => {
+                write!(f, "granularity: {left} vs {right}")
+            }
+            SpecDelta::CountChanged { block, left, right } => {
+                write!(f, "{block}: {left} vs {right}")
+            }
+            SpecDelta::LinkChanged { relation, left, right, upgrade } => write!(
+                f,
+                "{}: {} vs {}{}",
+                relation.label(),
+                left,
+                right,
+                if *upgrade { " (upgrade)" } else { "" }
+            ),
+        }
+    }
+}
+
+/// Rank of a link kind for upgrade detection: none < direct < crossbar.
+fn link_rank(link: Link) -> u8 {
+    match link {
+        Link::None => 0,
+        Link::Connected(sw) if !sw.is_crossbar() => 1,
+        Link::Connected(_) => 2,
+    }
+}
+
+/// Compute all structural differences between two specs (metadata and
+/// names excluded).  An empty result means structurally identical.
+pub fn diff(left: &ArchSpec, right: &ArchSpec) -> Vec<SpecDelta> {
+    let mut deltas = Vec::new();
+    if left.granularity != right.granularity {
+        deltas.push(SpecDelta::Granularity { left: left.granularity, right: right.granularity });
+    }
+    if left.ips != right.ips {
+        deltas.push(SpecDelta::CountChanged { block: "IPs", left: left.ips, right: right.ips });
+    }
+    if left.dps != right.dps {
+        deltas.push(SpecDelta::CountChanged { block: "DPs", left: left.dps, right: right.dps });
+    }
+    for relation in Relation::ALL {
+        let (l, r) = (left.connectivity.link(relation), right.connectivity.link(relation));
+        if l != r {
+            deltas.push(SpecDelta::LinkChanged {
+                relation,
+                left: l,
+                right: r,
+                upgrade: link_rank(r) > link_rank(l),
+            });
+        }
+    }
+    deltas
+}
+
+/// Are the two specs structurally identical?
+pub fn structurally_equal(left: &ArchSpec, right: &ArchSpec) -> bool {
+    diff(left, right).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_row;
+
+    #[test]
+    fn identical_specs_have_empty_diff() {
+        let a = parse_row("A", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64").unwrap();
+        let b = parse_row("B", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64").unwrap();
+        assert!(structurally_equal(&a, &b)); // names/metadata ignored
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn single_switch_difference_detected_as_upgrade() {
+        // MorphoSys vs an imagined variant with a DP-DM crossbar.
+        let base = parse_row("base", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64").unwrap();
+        let upgraded = parse_row("up", "1 | 64 | none | 1-64 | 1-1 | 64x1 | 64x64").unwrap();
+        let deltas = diff(&base, &upgraded);
+        assert_eq!(deltas.len(), 1);
+        match &deltas[0] {
+            SpecDelta::LinkChanged { relation, upgrade, .. } => {
+                assert_eq!(*relation, Relation::DpDm);
+                assert!(upgrade);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The reverse direction is a downgrade.
+        let back = diff(&upgraded, &base);
+        assert!(matches!(back[0], SpecDelta::LinkChanged { upgrade: false, .. }));
+    }
+
+    #[test]
+    fn count_and_granularity_differences_detected() {
+        let small = parse_row("s", "1 | 8 | none | 1-8 | 1-1 | 8-1 | 8x8").unwrap();
+        let big = parse_row("b", "n | n | none | n-n | n-n | n-n | nxn").unwrap();
+        let deltas = diff(&small, &big);
+        assert!(deltas.iter().any(|d| matches!(d, SpecDelta::CountChanged { block: "IPs", .. })));
+        assert!(deltas.iter().any(|d| matches!(d, SpecDelta::CountChanged { block: "DPs", .. })));
+        let fpga = parse_row("f", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
+        let deltas = diff(&small, &fpga);
+        assert!(deltas.iter().any(|d| matches!(d, SpecDelta::Granularity { .. })));
+    }
+
+    #[test]
+    fn deltas_display_readably() {
+        let a = parse_row("a", "1 | 8 | none | 1-8 | 1-1 | 8-1 | none").unwrap();
+        let b = parse_row("b", "1 | 8 | none | 1-8 | 1-1 | 8-1 | 8x8").unwrap();
+        let text = diff(&a, &b)[0].to_string();
+        assert_eq!(text, "DP-DP: none vs 8x8 (upgrade)");
+    }
+
+    #[test]
+    fn diff_counts_match_direction_symmetry() {
+        let a = parse_row("a", "1 | 8 | none | 1-8 | 1-1 | 8x8 | none").unwrap();
+        let b = parse_row("b", "0 | 8 | none | none | none | 8-8 | 8x8").unwrap();
+        assert_eq!(diff(&a, &b).len(), diff(&b, &a).len());
+    }
+}

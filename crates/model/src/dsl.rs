@@ -1,0 +1,254 @@
+//! A small text DSL for architecture descriptions.
+//!
+//! Two formats are supported:
+//!
+//! **Row format** — the seven structural columns of the paper's Table III,
+//! pipe-separated (`IPs | DPs | IP-IP | IP-DP | IP-IM | DP-DM | DP-DP`):
+//!
+//! ```text
+//! 1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64
+//! ```
+//!
+//! **Block format** — named fields, one per line, suitable for files:
+//!
+//! ```text
+//! arch "MorphoSys" {
+//!   granularity: IP/DP
+//!   ips: 1
+//!   dps: 64
+//!   ip-ip: none
+//!   ip-dp: 1-64
+//!   ip-im: 1-1
+//!   dp-dm: 64-1
+//!   dp-dp: 64x64
+//!   citation: [13]
+//!   description: Reconfigurable cell fabric with a frame buffer.
+//! }
+//! ```
+//!
+//! Both parse into [`ArchSpec`]; printing round-trips.
+
+use crate::arch::{ArchBuilder, ArchSpec};
+use crate::count::Count;
+use crate::error::ModelError;
+use crate::granularity::Granularity;
+use crate::relation::Relation;
+use crate::switch::Link;
+
+/// Parse the seven pipe-separated structural columns of a Table III row.
+///
+/// The spec is *not* validated: Table III contains shapes (e.g. PADDI-2's
+/// direct DP-DP) that the taxonomy handles but strict realism rules might
+/// question; callers wanting validation call [`ArchSpec::validate`].
+pub fn parse_row(name: &str, row: &str) -> Result<ArchSpec, ModelError> {
+    let cols: Vec<&str> = row.split('|').map(str::trim).collect();
+    if cols.len() != 7 {
+        return Err(ModelError::dsl(
+            1,
+            format!("expected 7 pipe-separated columns, found {}", cols.len()),
+        ));
+    }
+    let ips: Count = cols[0].parse()?;
+    let dps: Count = cols[1].parse()?;
+    let granularity = if ips.is_variable() || dps.is_variable() {
+        Granularity::FineLut
+    } else {
+        Granularity::CoarseIpDp
+    };
+    let mut builder = ArchBuilder::new(name)
+        .granularity(granularity)
+        .ips(ips)
+        .dps(dps);
+    for (rel, col) in Relation::ALL.iter().zip(&cols[2..]) {
+        let link: Link = col.parse()?;
+        builder = builder.link(*rel, link);
+    }
+    Ok(builder.build_unchecked())
+}
+
+/// Print a spec as a row (inverse of [`parse_row`]).
+pub fn print_row(spec: &ArchSpec) -> String {
+    spec.row_notation()
+}
+
+/// Parse a block-format document that may contain several `arch` blocks.
+pub fn parse_blocks(input: &str) -> Result<Vec<ArchSpec>, ModelError> {
+    let mut specs = Vec::new();
+    let mut current: Option<(String, ArchBuilder)> = None;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("arch") {
+            if current.is_some() {
+                return Err(ModelError::dsl(n, "nested `arch` block"));
+            }
+            let rest = rest.trim();
+            let rest = rest
+                .strip_suffix('{')
+                .ok_or_else(|| ModelError::dsl(n, "expected `{` after arch name"))?
+                .trim();
+            let name = rest.trim_matches('"').to_owned();
+            if name.is_empty() {
+                return Err(ModelError::dsl(n, "arch block needs a name"));
+            }
+            current = Some((name.clone(), ArchBuilder::new(name)));
+            continue;
+        }
+        if line == "}" {
+            let (_, builder) = current
+                .take()
+                .ok_or_else(|| ModelError::dsl(n, "unmatched `}`"))?;
+            specs.push(builder.build_unchecked());
+            continue;
+        }
+        let (_, builder) = current
+            .as_mut()
+            .ok_or_else(|| ModelError::dsl(n, "field outside of an `arch` block"))?;
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| ModelError::dsl(n, "expected `key: value`"))?;
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        let taken = std::mem::replace(builder, ArchBuilder::new("swap"));
+        *builder = match key.as_str() {
+            "granularity" => taken.granularity(value.parse()?),
+            "ips" => taken.ips(value.parse()?),
+            "dps" => taken.dps(value.parse()?),
+            "ip-ip" => taken.link(Relation::IpIp, value.parse()?),
+            "ip-dp" => taken.link(Relation::IpDp, value.parse()?),
+            "ip-im" => taken.link(Relation::IpIm, value.parse()?),
+            "dp-dm" => taken.link(Relation::DpDm, value.parse()?),
+            "dp-dp" => taken.link(Relation::DpDp, value.parse()?),
+            "citation" => taken.citation(value),
+            "description" => taken.description(value),
+            "year" => {
+                let year: u16 = value
+                    .parse()
+                    .map_err(|_| ModelError::dsl(n, format!("bad year {value:?}")))?;
+                taken.year(year)
+            }
+            other => return Err(ModelError::dsl(n, format!("unknown field {other:?}"))),
+        };
+    }
+    if current.is_some() {
+        return Err(ModelError::dsl(input.lines().count(), "unterminated `arch` block"));
+    }
+    Ok(specs)
+}
+
+/// Print a spec in block format (inverse of [`parse_blocks`]).
+pub fn print_block(spec: &ArchSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("arch \"{}\" {{\n", spec.name));
+    out.push_str(&format!("  granularity: {}\n", spec.granularity));
+    out.push_str(&format!("  ips: {}\n", spec.ips));
+    out.push_str(&format!("  dps: {}\n", spec.dps));
+    for (rel, link) in spec.connectivity.iter() {
+        out.push_str(&format!("  {}: {}\n", rel.label().to_ascii_lowercase(), link));
+    }
+    if !spec.meta.citation.is_empty() {
+        out.push_str(&format!("  citation: {}\n", spec.meta.citation));
+    }
+    if let Some(year) = spec.meta.year {
+        out.push_str(&format!("  year: {year}\n"));
+    }
+    if !spec.meta.description.is_empty() {
+        out.push_str(&format!("  description: {}\n", spec.meta.description));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MORPHOSYS_ROW: &str = "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64";
+
+    #[test]
+    fn row_round_trip() {
+        let spec = parse_row("MorphoSys", MORPHOSYS_ROW).unwrap();
+        assert_eq!(print_row(&spec), MORPHOSYS_ROW);
+        assert_eq!(spec.name, "MorphoSys");
+        assert_eq!(spec.ips, Count::One);
+        assert_eq!(spec.dps, Count::fixed(64));
+    }
+
+    #[test]
+    fn row_rejects_wrong_column_count() {
+        assert!(parse_row("X", "1 | 64 | none").is_err());
+        assert!(parse_row("X", "1|2|3|4|5|6|7|8").is_err());
+    }
+
+    #[test]
+    fn variable_counts_infer_fine_granularity() {
+        let fpga = parse_row("FPGA", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
+        assert_eq!(fpga.granularity, Granularity::FineLut);
+        assert!(fpga.validate().is_ok());
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let spec = parse_row("MorphoSys", MORPHOSYS_ROW).unwrap();
+        let text = print_block(&spec);
+        let parsed = parse_blocks(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], spec);
+    }
+
+    #[test]
+    fn block_with_metadata() {
+        let text = r#"
+            # survey entry
+            arch "GARP" {
+              granularity: IP/DP
+              ips: 1
+              dps: 24xn
+              ip-ip: none
+              ip-dp: 1-n
+              ip-im: 1-1
+              dp-dm: 24xnx1
+              dp-dp: nxn
+              citation: [20]
+              year: 2000
+              description: MIPS core tightly coupled to a reconfigurable array.
+            }
+        "#;
+        let specs = parse_blocks(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        let garp = &specs[0];
+        assert_eq!(garp.dps, Count::scaled_n(24));
+        assert_eq!(garp.meta.citation, "[20]");
+        assert_eq!(garp.meta.year, Some(2000));
+        assert!(garp.meta.description.contains("MIPS"));
+    }
+
+    #[test]
+    fn multiple_blocks_parse() {
+        let a = print_block(&parse_row("A", MORPHOSYS_ROW).unwrap());
+        let b = print_block(&parse_row("B", "0 | 16 | none | none | none | 16x6 | 16x16").unwrap());
+        let both = format!("{a}\n{b}");
+        let specs = parse_blocks(&both).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "A");
+        assert_eq!(specs[1].name, "B");
+        assert!(specs[1].is_dataflow());
+    }
+
+    #[test]
+    fn dsl_errors_carry_line_numbers() {
+        let err = parse_blocks("arch \"X\" {\n  bogus: 1\n}").unwrap_err();
+        match err {
+            ModelError::Dsl { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_blocks("arch \"X\" {").is_err());
+        assert!(parse_blocks("}").is_err());
+        assert!(parse_blocks("ips: 3").is_err());
+        assert!(parse_blocks("arch \"X\" {\narch \"Y\" {\n}\n}").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Typed errors for model construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing architecture descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A count token could not be parsed (`"0" | "1" | "n" | "v" | <int> |
+    /// <int>xn` expected).
+    CountParse {
+        /// The offending token.
+        token: String,
+    },
+    /// A switch token could not be parsed (`a-b` or `axb` expected).
+    SwitchParse {
+        /// The offending token.
+        token: String,
+    },
+    /// A granularity token could not be parsed.
+    GranularityParse {
+        /// The offending token.
+        token: String,
+    },
+    /// A switch extent of zero was requested.
+    ZeroExtent,
+    /// Architecture validation failed.
+    Invalid {
+        /// Architecture name.
+        arch: String,
+        /// Human-readable reasons (one per violated rule).
+        reasons: Vec<String>,
+    },
+    /// A DSL document was malformed.
+    Dsl {
+        /// Line number (1-based) where the problem was found.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl ModelError {
+    pub(crate) fn count_parse(token: &str) -> Self {
+        ModelError::CountParse { token: token.to_owned() }
+    }
+
+    pub(crate) fn switch_parse(token: &str) -> Self {
+        ModelError::SwitchParse { token: token.to_owned() }
+    }
+
+    pub(crate) fn granularity_parse(token: &str) -> Self {
+        ModelError::GranularityParse { token: token.to_owned() }
+    }
+
+    /// A DSL error at `line` with a message.
+    pub fn dsl(line: usize, message: impl Into<String>) -> Self {
+        ModelError::Dsl { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CountParse { token } => {
+                write!(f, "cannot parse count {token:?} (expected 0, 1, n, v, an integer, or <int>xn)")
+            }
+            ModelError::SwitchParse { token } => {
+                write!(f, "cannot parse switch {token:?} (expected `a-b` or `axb`)")
+            }
+            ModelError::GranularityParse { token } => {
+                write!(f, "cannot parse granularity {token:?} (expected IP/DP or LUTs)")
+            }
+            ModelError::ZeroExtent => write!(f, "switch extent cannot be zero"),
+            ModelError::Invalid { arch, reasons } => {
+                write!(f, "invalid architecture {arch:?}: {}", reasons.join("; "))
+            }
+            ModelError::Dsl { line, message } => write!(f, "DSL error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::count_parse("q");
+        assert!(e.to_string().contains("\"q\""));
+        let e = ModelError::Invalid {
+            arch: "X".into(),
+            reasons: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("a; b"));
+        let e = ModelError::dsl(3, "boom");
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Building-block granularity (the "Gran." column of Table I).
+//!
+//! Skillicorn's blocks are coarse: an IP or DP is an indivisible unit whose
+//! role is fixed at design time.  The paper's second extension admits
+//! *fine-grained* fabrics (FPGA CLBs/LUTs, gates) whose cells can assume the
+//! role of IP, DP, IM or DM upon reconfiguration — which is exactly what
+//! makes the count of IPs/DPs *variable* (`v`) and creates the Universal
+//! Flow class (USP, class 47).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ModelError;
+
+/// Granularity of the basic building blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Granularity {
+    /// Coarse-grained: blocks are whole IPs/DPs whose roles never change
+    /// (written `IP/DP` in Table I).
+    #[default]
+    CoarseIpDp,
+    /// Fine-grained: blocks are LUTs/gates that can be configured into
+    /// either role (written `LUTs` in Table I; FPGAs).
+    FineLut,
+}
+
+impl Granularity {
+    /// Table I notation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Granularity::CoarseIpDp => "IP/DP",
+            Granularity::FineLut => "LUTs",
+        }
+    }
+
+    /// Can a block exchange its role (IP ⇄ DP) under reconfiguration?
+    pub fn roles_exchangeable(&self) -> bool {
+        matches!(self, Granularity::FineLut)
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl FromStr for Granularity {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ip/dp" | "coarse" | "cgra" => Ok(Granularity::CoarseIpDp),
+            "luts" | "lut" | "fine" | "gates" => Ok(Granularity::FineLut),
+            other => Err(ModelError::granularity_parse(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table_i() {
+        assert_eq!(Granularity::CoarseIpDp.to_string(), "IP/DP");
+        assert_eq!(Granularity::FineLut.to_string(), "LUTs");
+    }
+
+    #[test]
+    fn parse_accepts_synonyms() {
+        assert_eq!("IP/DP".parse::<Granularity>().unwrap(), Granularity::CoarseIpDp);
+        assert_eq!("coarse".parse::<Granularity>().unwrap(), Granularity::CoarseIpDp);
+        assert_eq!("LUTs".parse::<Granularity>().unwrap(), Granularity::FineLut);
+        assert_eq!("fine".parse::<Granularity>().unwrap(), Granularity::FineLut);
+        assert!("medium".parse::<Granularity>().is_err());
+    }
+
+    #[test]
+    fn only_fine_grain_exchanges_roles() {
+        assert!(!Granularity::CoarseIpDp.roles_exchangeable());
+        assert!(Granularity::FineLut.roles_exchangeable());
+    }
+}

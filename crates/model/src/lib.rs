@@ -1,0 +1,77 @@
+//! # skilltax-model
+//!
+//! Architecture *description* substrate for the extended Skillicorn taxonomy
+//! of Shami & Hemani, *"Classification of Massively Parallel Computer
+//! Architectures"* (IPPS 2012).
+//!
+//! The paper describes a computer architecture with Skillicorn's four basic
+//! building blocks — Instruction Processor (IP), Data Processor (DP),
+//! Instruction Memory (IM) and Data Memory (DM) — extended in two ways:
+//!
+//! 1. block **counts** may be `0`, `1`, `n` (fixed at design time) or `v`
+//!    (variable under reconfiguration, as in an FPGA), and
+//! 2. five **connectivity relations** (IP–IP, IP–DP, IP–IM, DP–DM, DP–DP)
+//!    each carry a switch that is absent (`none`), direct (`-`) or a
+//!    crossbar (`x`).
+//!
+//! This crate provides the data model: [`Count`], [`Switch`]/[`Link`],
+//! [`Relation`]/[`Connectivity`], [`Granularity`] and the top-level
+//! [`ArchSpec`] with a validating [`ArchBuilder`], plus a text DSL
+//! ([`dsl`]) that reads and writes the exact notation used in the paper's
+//! Table III rows (e.g. `1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64`).
+//!
+//! Higher layers build on this: `skilltax-taxonomy` classifies an
+//! [`ArchSpec`] into one of the 47 classes of the paper's Table I,
+//! `skilltax-estimate` evaluates the paper's area (Eq 1) and
+//! configuration-bit (Eq 2) models over it, and `skilltax-machine` builds
+//! executable machines whose structure round-trips through this model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use skilltax_model::{ArchSpec, Count, Link, Relation};
+//!
+//! // MorphoSys from Table III: 1 IP, 64 DPs, IP-DP 1-64, IP-IM 1-1,
+//! // DP-DM 64-1, DP-DP 64x64.
+//! let spec = ArchSpec::builder("MorphoSys")
+//!     .ips(Count::one())
+//!     .dps(Count::fixed(64))
+//!     .link(Relation::IpDp, Link::direct_between(1, 64))
+//!     .link(Relation::IpIm, Link::direct_between(1, 1))
+//!     .link(Relation::DpDm, Link::direct_between(64, 1))
+//!     .link(Relation::DpDp, Link::crossbar_between(64, 64))
+//!     .build()
+//!     .unwrap();
+//!
+//! assert_eq!(spec.row_notation(), "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64");
+//! assert_eq!(spec.crossbar_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arch;
+pub mod count;
+pub mod diff;
+pub mod dsl;
+pub mod error;
+pub mod granularity;
+pub mod relation;
+pub mod switch;
+
+pub use arch::{ArchBuilder, ArchMeta, ArchSpec, ValidationIssue};
+pub use count::{Count, Extent, Many};
+pub use diff::{diff, structurally_equal, SpecDelta};
+pub use error::ModelError;
+pub use granularity::Granularity;
+pub use relation::{Connectivity, Relation};
+pub use switch::{Link, Switch, SwitchKind};
+
+/// Convenient glob-import surface: `use skilltax_model::prelude::*;`.
+pub mod prelude {
+    pub use crate::arch::{ArchBuilder, ArchSpec};
+    pub use crate::count::{Count, Extent};
+    pub use crate::granularity::Granularity;
+    pub use crate::relation::{Connectivity, Relation};
+    pub use crate::switch::{Link, Switch, SwitchKind};
+}

@@ -1,0 +1,229 @@
+//! The five connectivity relations and the [`Connectivity`] record.
+//!
+//! Skillicorn's original taxonomy considered four relations (IP–DP, IP–IM,
+//! DP–DM, DP–DP); the paper's first extension adds the **IP–IP** relation,
+//! which opens up the spatial-computing classes (13–14, 31–46 in Table I).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::switch::Link;
+
+/// One of the five pairwise connectivity relations between building blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Relation {
+    /// Instruction processor to instruction processor (the paper's
+    /// extension; enables spatial machines).
+    IpIp,
+    /// Instruction processor to data processor.
+    IpDp,
+    /// Instruction processor to instruction memory.
+    IpIm,
+    /// Data processor to data memory.
+    DpDm,
+    /// Data processor to data processor.
+    DpDp,
+}
+
+impl Relation {
+    /// All five relations, in the column order of the paper's tables:
+    /// IP-IP, IP-DP, IP-IM, DP-DM, DP-DP.
+    pub const ALL: [Relation; 5] = [
+        Relation::IpIp,
+        Relation::IpDp,
+        Relation::IpIm,
+        Relation::DpDm,
+        Relation::DpDp,
+    ];
+
+    /// Relations that involve the instruction side (meaningless in a pure
+    /// data-flow machine).
+    pub const INSTRUCTION_SIDE: [Relation; 3] =
+        [Relation::IpIp, Relation::IpDp, Relation::IpIm];
+
+    /// Relations that involve only the data side.
+    pub const DATA_SIDE: [Relation; 2] = [Relation::DpDm, Relation::DpDp];
+
+    /// Table-header label (`IP-IP`, `IP-DP`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Relation::IpIp => "IP-IP",
+            Relation::IpDp => "IP-DP",
+            Relation::IpIm => "IP-IM",
+            Relation::DpDm => "DP-DM",
+            Relation::DpDp => "DP-DP",
+        }
+    }
+
+    /// Does this relation involve an instruction processor?
+    pub fn touches_ip(&self) -> bool {
+        matches!(self, Relation::IpIp | Relation::IpDp | Relation::IpIm)
+    }
+
+    /// Index used by [`Connectivity`]'s dense storage.
+    fn idx(&self) -> usize {
+        match self {
+            Relation::IpIp => 0,
+            Relation::IpDp => 1,
+            Relation::IpIm => 2,
+            Relation::DpDm => 3,
+            Relation::DpDp => 4,
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The full interconnection record of an architecture: one [`Link`] per
+/// [`Relation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Connectivity {
+    links: [Link; 5],
+}
+
+impl Connectivity {
+    /// All-`none` connectivity.
+    pub fn none() -> Self {
+        Connectivity::default()
+    }
+
+    /// Build from explicit links in table-column order
+    /// (IP-IP, IP-DP, IP-IM, DP-DM, DP-DP).
+    pub fn new(ip_ip: Link, ip_dp: Link, ip_im: Link, dp_dm: Link, dp_dp: Link) -> Self {
+        Connectivity { links: [ip_ip, ip_dp, ip_im, dp_dm, dp_dp] }
+    }
+
+    /// Replace one relation's link, returning the updated connectivity
+    /// (builder style).
+    pub fn with(mut self, relation: Relation, link: Link) -> Self {
+        self.links[relation.idx()] = link;
+        self
+    }
+
+    /// The link on `relation`.
+    pub fn link(&self, relation: Relation) -> Link {
+        self.links[relation.idx()]
+    }
+
+    /// Iterate `(relation, link)` pairs in table-column order.
+    pub fn iter(&self) -> impl Iterator<Item = (Relation, Link)> + '_ {
+        Relation::ALL.iter().map(move |r| (*r, self.links[r.idx()]))
+    }
+
+    /// Number of crossbar (`x`) switches present — the quantity the paper's
+    /// flexibility scoring counts.
+    pub fn crossbar_count(&self) -> u32 {
+        self.links.iter().filter(|l| l.is_crossbar()).count() as u32
+    }
+
+    /// Number of relations with any switch present.
+    pub fn connected_count(&self) -> u32 {
+        self.links.iter().filter(|l| l.is_connected()).count() as u32
+    }
+
+    /// Relations whose link is a crossbar.
+    pub fn crossbar_relations(&self) -> Vec<Relation> {
+        Relation::ALL
+            .iter()
+            .copied()
+            .filter(|r| self.links[r.idx()].is_crossbar())
+            .collect()
+    }
+
+    /// Do any instruction-side relations carry a switch?
+    pub fn has_instruction_side(&self) -> bool {
+        Relation::INSTRUCTION_SIDE
+            .iter()
+            .any(|r| self.links[r.idx()].is_connected())
+    }
+}
+
+impl Index<Relation> for Connectivity {
+    type Output = Link;
+
+    fn index(&self, relation: Relation) -> &Link {
+        &self.links[relation.idx()]
+    }
+}
+
+impl IndexMut<Relation> for Connectivity {
+    fn index_mut(&mut self, relation: Relation) -> &mut Link {
+        &mut self.links[relation.idx()]
+    }
+}
+
+impl fmt::Display for Connectivity {
+    /// Prints the five-column tail of a Table III row:
+    /// `none | 1-64 | 1-1 | 64-1 | 64x64`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (_, link) in self.iter() {
+            if !first {
+                write!(f, " | ")?;
+            }
+            write!(f, "{link}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_order_matches_table_columns() {
+        let labels: Vec<&str> = Relation::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels, ["IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP"]);
+    }
+
+    #[test]
+    fn crossbar_count_counts_only_crossbars() {
+        let conn = Connectivity::none()
+            .with(Relation::IpDp, Link::direct_n_n())
+            .with(Relation::DpDp, Link::crossbar_n_n())
+            .with(Relation::DpDm, Link::crossbar_n_n());
+        assert_eq!(conn.crossbar_count(), 2);
+        assert_eq!(conn.connected_count(), 3);
+        assert_eq!(
+            conn.crossbar_relations(),
+            vec![Relation::DpDm, Relation::DpDp]
+        );
+    }
+
+    #[test]
+    fn index_and_with_agree() {
+        let mut conn = Connectivity::none();
+        conn[Relation::IpIp] = Link::crossbar_n_n();
+        assert_eq!(conn.link(Relation::IpIp), Link::crossbar_n_n());
+        let conn2 = Connectivity::none().with(Relation::IpIp, Link::crossbar_n_n());
+        assert_eq!(conn, conn2);
+    }
+
+    #[test]
+    fn instruction_side_detection() {
+        let dataflow = Connectivity::none()
+            .with(Relation::DpDm, Link::crossbar_n_n())
+            .with(Relation::DpDp, Link::crossbar_n_n());
+        assert!(!dataflow.has_instruction_side());
+        let instr = dataflow.with(Relation::IpDp, Link::direct_n_n());
+        assert!(instr.has_instruction_side());
+    }
+
+    #[test]
+    fn display_prints_row_tail() {
+        let conn = Connectivity::new(
+            Link::None,
+            Link::direct_between(1, 64),
+            Link::direct_between(1, 1),
+            Link::direct_between(64, 1),
+            Link::crossbar_between(64, 64),
+        );
+        assert_eq!(conn.to_string(), "none | 1-64 | 1-1 | 64-1 | 64x64");
+    }
+}

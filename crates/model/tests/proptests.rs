@@ -1,0 +1,96 @@
+//! Property tests for the description model: parse/print round-trips and
+//! structural invariants over generated values.
+
+use proptest::prelude::*;
+
+use skilltax_model::{Count, Extent, Link, Switch, SwitchKind};
+
+/// Strategy: arbitrary count tokens in the paper's notation space.
+fn count_strategy() -> impl Strategy<Value = Count> {
+    prop_oneof![
+        Just(Count::Zero),
+        Just(Count::One),
+        Just(Count::n()),
+        Just(Count::Variable),
+        (2u32..10_000).prop_map(Count::fixed),
+        (1u32..100).prop_map(Count::scaled_n),
+    ]
+}
+
+fn extent_strategy() -> impl Strategy<Value = Extent> {
+    prop_oneof![
+        Just(Extent::one()),
+        Just(Extent::n()),
+        Just(Extent::variable()),
+        (1u32..10_000).prop_map(Extent::fixed),
+        (1u32..100).prop_map(Extent::scaled_n),
+    ]
+}
+
+fn switch_strategy() -> impl Strategy<Value = Switch> {
+    (
+        prop_oneof![Just(SwitchKind::Direct), Just(SwitchKind::Crossbar)],
+        extent_strategy(),
+        extent_strategy(),
+    )
+        .prop_map(|(kind, left, right)| Switch::new(kind, left, right))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn count_display_parse_round_trip(count in count_strategy()) {
+        let text = count.to_string();
+        let parsed: Count = text.parse().unwrap();
+        prop_assert_eq!(parsed, count);
+    }
+
+    #[test]
+    fn switch_display_parse_round_trip(switch in switch_strategy()) {
+        let text = switch.to_string();
+        let parsed: Switch = text.parse().unwrap();
+        prop_assert_eq!(parsed, switch);
+    }
+
+    #[test]
+    fn link_display_parse_round_trip(switch in switch_strategy()) {
+        for link in [Link::None, Link::Connected(switch)] {
+            let text = link.to_string();
+            let parsed: Link = text.parse().unwrap();
+            prop_assert_eq!(parsed, link);
+        }
+    }
+
+    #[test]
+    fn count_rank_is_total_and_stable(a in count_strategy(), b in count_strategy()) {
+        // partial_cmp is actually total on the rank.
+        prop_assert!(a.partial_cmp(&b).is_some());
+        if a.rank() == b.rank() {
+            prop_assert_eq!(a.partial_cmp(&b), Some(std::cmp::Ordering::Equal));
+        }
+    }
+
+    #[test]
+    fn substitution_scales_by_coefficient(coeff in 1u32..100, n in 1u32..1000) {
+        let count = Count::scaled_n(coeff);
+        prop_assert_eq!(count.value_with_n(n), Some(coeff * n));
+        // Substitution never changes an already-resolved count.
+        let fixed = Count::fixed(coeff.max(2));
+        prop_assert_eq!(fixed.value_with_n(n), fixed.value());
+    }
+
+    #[test]
+    fn crosspoints_are_products(l in 1u32..1000, r in 1u32..1000) {
+        let sw = Switch::new(SwitchKind::Crossbar, Extent::fixed(l), Extent::fixed(r));
+        prop_assert_eq!(sw.crosspoints(), Some(u64::from(l) * u64::from(r)));
+        let sym = Switch::new(SwitchKind::Crossbar, Extent::n(), Extent::fixed(r));
+        prop_assert_eq!(sym.crosspoints(), None);
+        prop_assert_eq!(sym.crosspoints_with_n(l), Some(u64::from(l) * u64::from(r)));
+    }
+
+    #[test]
+    fn plural_iff_rank_at_least_two(count in count_strategy()) {
+        prop_assert_eq!(count.is_plural(), count.rank() >= 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Charts: ASCII bars for the terminal and a minimal SVG emitter for
+//! files — used to regenerate Fig 1 (trend lines) and Fig 7 (flexibility
+//! bars).
+
+/// One labelled bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Bar label.
+    pub label: String,
+    /// Bar value.
+    pub value: f64,
+}
+
+/// Render a horizontal ASCII bar chart (Fig 7 style).
+pub fn ascii_bar_chart(title: &str, bars: &[Bar], width: usize) -> String {
+    let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(1e-12);
+    let label_width = bars.iter().map(|b| b.label.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for bar in bars {
+        let filled = ((bar.value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:label_width$} | {}{} {}\n",
+            bar.label,
+            "#".repeat(filled),
+            " ".repeat(width.saturating_sub(filled)),
+            format_value(bar.value),
+        ));
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// One named series for a line chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render a compact ASCII multi-series view (one sparkline-style row per
+/// series, Fig 1 style).
+pub fn ascii_trend_chart(title: &str, series: &[Series]) -> String {
+    const GLYPHS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_width = series.iter().map(|s| s.label.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}  (peak = {})\n", format_value(max));
+    for s in series {
+        let mut row = String::new();
+        for &(_, y) in &s.points {
+            let idx = ((y / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            row.push(GLYPHS[idx.min(GLYPHS.len() - 1)]);
+        }
+        out.push_str(&format!("{:label_width$} | {row}\n", s.label));
+    }
+    out
+}
+
+/// Minimal SVG document builder.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl Svg {
+    /// An empty canvas.
+    pub fn new(width: u32, height: u32) -> Svg {
+        Svg { width, height, body: String::new() }
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"{fill}\"/>"
+        ));
+        self
+    }
+
+    /// A polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str) -> &mut Self {
+        let pts: Vec<String> =
+            points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+        self.body.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"2\"/>",
+            pts.join(" ")
+        ));
+        self
+    }
+
+    /// A text label.
+    pub fn text(&mut self, x: f64, y: f64, content: &str) -> &mut Self {
+        let escaped = content.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+        self.body.push_str(&format!(
+            "<text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"11\" font-family=\"sans-serif\">{escaped}</text>"
+        ));
+        self
+    }
+
+    /// Finish the document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">{}</svg>",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Default categorical palette for multi-series charts.
+pub const PALETTE: [&str; 6] =
+    ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2"];
+
+/// Emit an SVG bar chart (Fig 7).
+pub fn svg_bar_chart(title: &str, bars: &[Bar]) -> String {
+    let width = 720u32;
+    let bar_h = 16.0;
+    let gap = 6.0;
+    let label_w = 160.0;
+    let height = (40.0 + bars.len() as f64 * (bar_h + gap)) as u32;
+    let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(1e-12);
+    let mut svg = Svg::new(width, height);
+    svg.text(8.0, 18.0, title);
+    for (i, bar) in bars.iter().enumerate() {
+        let y = 32.0 + i as f64 * (bar_h + gap);
+        let w = (bar.value / max) * (f64::from(width) - label_w - 60.0);
+        svg.text(8.0, y + bar_h - 4.0, &bar.label);
+        svg.rect(label_w, y, w, bar_h, PALETTE[i % PALETTE.len()]);
+        svg.text(label_w + w + 6.0, y + bar_h - 4.0, &format_value(bar.value));
+    }
+    svg.finish()
+}
+
+/// Emit an SVG multi-series line chart (Fig 1).
+pub fn svg_line_chart(title: &str, series: &[Series]) -> String {
+    let (width, height) = (720u32, 360u32);
+    let (left, right, top, bottom) = (60.0, 150.0, 30.0, 30.0);
+    let plot_w = f64::from(width) - left - right;
+    let plot_h = f64::from(height) - top - bottom;
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let (xmin, xmax) = (
+        xs.iter().copied().fold(f64::INFINITY, f64::min),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let ymax = ys.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let mut svg = Svg::new(width, height);
+    svg.text(8.0, 18.0, title);
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .map(|&(x, y)| {
+                let px = left + (x - xmin) / (xmax - xmin).max(1e-12) * plot_w;
+                let py = top + plot_h - (y / ymax) * plot_h;
+                (px, py)
+            })
+            .collect();
+        svg.polyline(&pts, color);
+        svg.rect(f64::from(width) - right + 10.0, top + i as f64 * 18.0, 10.0, 10.0, color);
+        svg.text(f64::from(width) - right + 26.0, top + i as f64 * 18.0 + 9.0, &s.label);
+    }
+    svg.text(left, f64::from(height) - 8.0, &format!("{xmin:.0}"));
+    svg.text(left + plot_w - 30.0, f64::from(height) - 8.0, &format!("{xmax:.0}"));
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bars() -> Vec<Bar> {
+        vec![
+            Bar { label: "FPGA".into(), value: 8.0 },
+            Bar { label: "Matrix".into(), value: 7.0 },
+            Bar { label: "IUP".into(), value: 0.0 },
+        ]
+    }
+
+    #[test]
+    fn ascii_bars_scale_to_the_maximum() {
+        let text = ascii_bar_chart("Fig 7", &bars(), 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Fig 7");
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[1]), 40); // FPGA fills the width
+        assert!(count(lines[2]) < 40 && count(lines[2]) > 30);
+        assert_eq!(count(lines[3]), 0);
+        assert!(lines[1].ends_with('8'));
+    }
+
+    #[test]
+    fn trend_chart_has_one_row_per_series() {
+        let s = vec![
+            Series { label: "multicore".into(), points: vec![(1995.0, 1.0), (2010.0, 100.0)] },
+            Series { label: "fpga".into(), points: vec![(1995.0, 50.0), (2010.0, 80.0)] },
+        ];
+        let text = ascii_trend_chart("Fig 1", &s);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("multicore"));
+        // The last multicore glyph is the peak glyph.
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.ends_with('@'), "{row}");
+    }
+
+    #[test]
+    fn svg_documents_are_well_formed_enough() {
+        let svg = svg_bar_chart("Fig 7", &bars());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3);
+        let line = svg_line_chart(
+            "Fig 1",
+            &[Series { label: "a<b".into(), points: vec![(0.0, 1.0), (1.0, 2.0)] }],
+        );
+        assert!(line.contains("polyline"));
+        assert!(line.contains("a&lt;b"), "text must be escaped");
+    }
+
+    #[test]
+    fn zero_height_values_do_not_divide_by_zero() {
+        let flat = vec![Bar { label: "x".into(), value: 0.0 }];
+        let text = ascii_bar_chart("t", &flat, 10);
+        assert!(text.contains("x |"));
+        let _ = svg_bar_chart("t", &flat);
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal CSV emission (RFC 4180 quoting) — hand-rolled so the workspace
+//! stays inside its sanctioned dependency set.
+
+/// Quote a single field if needed.
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// A CSV document under construction.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    lines: Vec<String>,
+    columns: Option<usize>,
+}
+
+impl CsvWriter {
+    /// An empty document.
+    pub fn new() -> CsvWriter {
+        CsvWriter::default()
+    }
+
+    /// Write the header row (fixes the column count).
+    pub fn header<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.columns = Some(cells.len());
+        self.push_line(cells);
+        self
+    }
+
+    /// Write a data row.
+    ///
+    /// # Panics
+    /// Panics if a header was written and the column count differs.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        if let Some(n) = self.columns {
+            assert_eq!(cells.len(), n, "CSV row has {} cells, header has {n}", cells.len());
+        }
+        self.push_line(cells);
+        self
+    }
+
+    fn push_line<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let line: Vec<String> = cells.iter().map(|c| escape_field(c.as_ref())).collect();
+        self.lines.push(line.join(","));
+    }
+
+    /// Number of lines written (header included).
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The finished document (trailing newline included).
+    pub fn finish(&self) -> String {
+        let mut out = self.lines.join("\r\n");
+        out.push_str("\r\n");
+        out
+    }
+}
+
+/// Parse a CSV document produced by [`CsvWriter`] back into rows (used by
+/// tests and by the bench harness to validate its own emission).
+pub fn parse(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => quoted = true,
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {}
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_round_trip() {
+        let mut w = CsvWriter::new();
+        w.header(&["name", "flex"]).row(&["FPGA", "8"]).row(&["Matrix", "7"]);
+        let text = w.finish();
+        assert_eq!(
+            parse(&text),
+            vec![
+                vec!["name".to_owned(), "flex".to_owned()],
+                vec!["FPGA".to_owned(), "8".to_owned()],
+                vec!["Matrix".to_owned(), "7".to_owned()],
+            ]
+        );
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        let nasty = ["comma, inside", "quote \" inside", "line\nbreak", "plain"];
+        let mut w = CsvWriter::new();
+        w.row(&nasty);
+        let parsed = parse(&w.finish());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], nasty.to_vec());
+    }
+
+    #[test]
+    fn escape_only_when_needed() {
+        assert_eq!(escape_field("abc"), "abc");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "CSV row has 1 cells")]
+    fn ragged_rows_panic() {
+        let mut w = CsvWriter::new();
+        w.header(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn line_count_tracks_rows() {
+        let mut w = CsvWriter::new();
+        w.header(&["x"]);
+        w.row(&["1"]).row(&["2"]);
+        assert_eq!(w.line_count(), 3);
+    }
+}

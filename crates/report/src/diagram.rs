@@ -1,0 +1,161 @@
+//! ASCII block diagrams of architecture structures — the renderer behind
+//! the regenerated Figs 3–6 (machine organisations with their switches).
+
+use skilltax_model::{ArchSpec, Count, Link, Relation};
+
+/// How many block instances a row draws before eliding with `...`.
+const MAX_DRAWN: usize = 4;
+
+fn row_of_boxes(label: &str, count: Count) -> Vec<String> {
+    let (n, elide) = match count {
+        Count::Zero => (0, false),
+        Count::One => (1, false),
+        Count::Many(m) => match m.value() {
+            Some(v) if (v as usize) <= MAX_DRAWN => (v as usize, false),
+            _ => (MAX_DRAWN, true),
+        },
+        Count::Variable => (MAX_DRAWN, true),
+    };
+    if n == 0 {
+        return Vec::new();
+    }
+    let cell_top = "+----+ ".repeat(n);
+    let cell_mid: String = (0..n).map(|_| format!("|{label:^4}| ")).collect();
+    let suffix = if elide {
+        if count == Count::Variable {
+            "... (v: variable)"
+        } else {
+            "..."
+        }
+    } else {
+        ""
+    };
+    vec![
+        format!("{cell_top}{suffix}"),
+        cell_mid.trim_end().to_owned(),
+        cell_top.trim_end().to_owned(),
+    ]
+}
+
+fn relation_line(spec: &ArchSpec, relation: Relation) -> Option<String> {
+    match spec.connectivity.link(relation) {
+        Link::None => None,
+        Link::Connected(sw) => {
+            let kind = if sw.is_crossbar() { "crossbar" } else { "direct" };
+            Some(format!("   {}: {} ({})", relation.label(), sw, kind))
+        }
+    }
+}
+
+/// Render the block diagram of an architecture.
+pub fn diagram(spec: &ArchSpec) -> String {
+    let mut out = format!("{}  [{}]\n", spec.name, spec.granularity);
+    if !spec.is_dataflow() {
+        for line in row_of_boxes("IP", spec.ips) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if let Some(l) = relation_line(spec, Relation::IpIp) {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        if let Some(l) = relation_line(spec, Relation::IpIm) {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        if let Some(l) = relation_line(spec, Relation::IpDp) {
+            out.push_str(&l);
+            out.push('\n');
+        }
+    }
+    for line in row_of_boxes("DP", spec.dps) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if let Some(l) = relation_line(spec, Relation::DpDp) {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    if let Some(l) = relation_line(spec, Relation::DpDm) {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    // Memory row mirrors the DP count (the model ties DM instances to DPs).
+    if spec.connectivity.link(Relation::DpDm).is_connected() {
+        for line in row_of_boxes("DM", spec.dps) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render one figure's worth of sub-type diagrams (e.g. Fig 3 = the four
+/// DMP organisations): a titled sequence of diagrams.
+pub fn figure(title: &str, specs: &[ArchSpec]) -> String {
+    let mut out = format!("=== {title} ===\n\n");
+    for spec in specs {
+        out.push_str(&diagram(spec));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_model::dsl::parse_row;
+
+    #[test]
+    fn uniprocessor_diagram_has_one_of_each() {
+        let iup = parse_row("IUP", "1 | 1 | none | 1-1 | 1-1 | 1-1 | none").unwrap();
+        let d = diagram(&iup);
+        assert_eq!(d.matches("| IP |").count(), 1);
+        assert_eq!(d.matches("| DP |").count(), 1);
+        assert_eq!(d.matches("| DM |").count(), 1);
+        assert!(d.contains("IP-DP: 1-1 (direct)"));
+    }
+
+    #[test]
+    fn dataflow_diagram_has_no_ip_row() {
+        let colt = parse_row("Colt", "0 | 16 | none | none | none | 16x6 | 16x16").unwrap();
+        let d = diagram(&colt);
+        assert!(!d.contains("| IP |"));
+        assert!(d.contains("| DP |"));
+        assert!(d.contains("DP-DP: 16x16 (crossbar)"));
+        assert!(d.contains("...")); // 16 DPs elided to 4 boxes
+    }
+
+    #[test]
+    fn variable_counts_annotated() {
+        let fpga = parse_row("FPGA", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
+        let d = diagram(&fpga);
+        assert!(d.contains("(v: variable)"));
+        assert!(d.contains("LUTs"));
+    }
+
+    #[test]
+    fn figure_concatenates_subtypes() {
+        let specs: Vec<ArchSpec> = [
+            "0 | n | none | none | none | n-n | none",
+            "0 | n | none | none | none | n-n | nxn",
+            "0 | n | none | none | none | nxn | none",
+            "0 | n | none | none | none | nxn | nxn",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, row)| parse_row(&format!("DMP-{}", i + 1), row).unwrap())
+        .collect();
+        let f = figure("Fig 3: Data Flow Machine Sub-Types", &specs);
+        assert!(f.starts_with("=== Fig 3"));
+        assert_eq!(f.matches("DMP-").count(), 4);
+    }
+
+    #[test]
+    fn small_concrete_counts_draw_exactly() {
+        let duo = parse_row("Core2Duo", "2 | 2 | none | 2-2 | 2-2 | 2-2 | none").unwrap();
+        let d = diagram(&duo);
+        assert_eq!(d.matches("| IP |").count(), 2);
+        assert!(!d.contains("..."));
+    }
+}

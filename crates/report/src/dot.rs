@@ -1,0 +1,192 @@
+//! Graphviz DOT emission for tree and order structures (the Fig 2
+//! hierarchy and the morphing lattice render well under `dot -Tsvg`).
+
+/// A node in a DOT digraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotNode {
+    /// Stable identifier (must be unique within the graph).
+    pub id: String,
+    /// Display label.
+    pub label: String,
+    /// Optional fill colour (X11 name or `#rrggbb`).
+    pub fill: Option<String>,
+}
+
+/// A directed edge between node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotEdge {
+    /// Source node id.
+    pub from: String,
+    /// Destination node id.
+    pub to: String,
+    /// Optional edge label.
+    pub label: Option<String>,
+}
+
+/// A DOT digraph under construction.
+#[derive(Debug, Clone, Default)]
+pub struct DotGraph {
+    name: String,
+    nodes: Vec<DotNode>,
+    edges: Vec<DotEdge>,
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+impl DotGraph {
+    /// An empty digraph with the given name.
+    pub fn new(name: impl Into<String>) -> DotGraph {
+        DotGraph { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Add a node (id must be unique; enforced at emission).
+    pub fn node(&mut self, id: impl Into<String>, label: impl Into<String>) -> &mut Self {
+        self.nodes.push(DotNode { id: id.into(), label: label.into(), fill: None });
+        self
+    }
+
+    /// Add a filled node.
+    pub fn filled_node(
+        &mut self,
+        id: impl Into<String>,
+        label: impl Into<String>,
+        fill: impl Into<String>,
+    ) -> &mut Self {
+        self.nodes.push(DotNode { id: id.into(), label: label.into(), fill: Some(fill.into()) });
+        self
+    }
+
+    /// Add an edge.
+    pub fn edge(&mut self, from: impl Into<String>, to: impl Into<String>) -> &mut Self {
+        self.edges.push(DotEdge { from: from.into(), to: to.into(), label: None });
+        self
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Emit the DOT source.
+    ///
+    /// # Panics
+    /// Panics if node ids are not unique or an edge references a missing
+    /// node — these are construction bugs, not runtime conditions.
+    pub fn emit(&self) -> String {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in &self.nodes {
+            assert!(seen.insert(&n.id), "duplicate DOT node id {:?}", n.id);
+        }
+        for e in &self.edges {
+            assert!(seen.contains(&e.from), "edge from unknown node {:?}", e.from);
+            assert!(seen.contains(&e.to), "edge to unknown node {:?}", e.to);
+        }
+        let mut out = format!("digraph {} {{\n", quote(&self.name));
+        out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"sans-serif\"];\n");
+        for n in &self.nodes {
+            match &n.fill {
+                Some(fill) => out.push_str(&format!(
+                    "  {} [label={}, style=filled, fillcolor={}];\n",
+                    quote(&n.id),
+                    quote(&n.label),
+                    quote(fill)
+                )),
+                None => out.push_str(&format!(
+                    "  {} [label={}];\n",
+                    quote(&n.id),
+                    quote(&n.label)
+                )),
+            }
+        }
+        for e in &self.edges {
+            match &e.label {
+                Some(l) => out.push_str(&format!(
+                    "  {} -> {} [label={}];\n",
+                    quote(&e.from),
+                    quote(&e.to),
+                    quote(l)
+                )),
+                None => out.push_str(&format!("  {} -> {};\n", quote(&e.from), quote(&e.to))),
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Reduce a partial order (given as the full `leq` relation over `items`)
+/// to its Hasse covering edges: `a -> b` survives iff `a < b` with no `c`
+/// strictly between.
+pub fn hasse_edges<T: PartialEq + Copy>(
+    items: &[T],
+    leq: impl Fn(T, T) -> bool,
+) -> Vec<(T, T)> {
+    let lt = |a: T, b: T| a != b && leq(a, b);
+    let mut edges = Vec::new();
+    for &a in items {
+        for &b in items {
+            if !lt(a, b) {
+                continue;
+            }
+            let covered = items.iter().any(|&c| lt(a, c) && lt(c, b));
+            if !covered {
+                edges.push((a, b));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_well_formed_dot() {
+        let mut g = DotGraph::new("test");
+        g.node("a", "Alpha").filled_node("b", "Beta \"quoted\"", "lightblue").edge("a", "b");
+        let text = g.emit();
+        assert!(text.starts_with("digraph \"test\" {"));
+        assert!(text.contains("\"a\" [label=\"Alpha\"];"));
+        assert!(text.contains("fillcolor=\"lightblue\""));
+        assert!(text.contains("Beta \\\"quoted\\\""));
+        assert!(text.contains("\"a\" -> \"b\";"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate DOT node id")]
+    fn duplicate_ids_panic() {
+        let mut g = DotGraph::new("t");
+        g.node("x", "1").node("x", "2");
+        let _ = g.emit();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn dangling_edges_panic() {
+        let mut g = DotGraph::new("t");
+        g.node("x", "1").edge("x", "y");
+        let _ = g.emit();
+    }
+
+    #[test]
+    fn hasse_reduction_drops_transitive_edges() {
+        // Divisibility on {1, 2, 4, 8}: the chain 1->2->4->8.
+        let items = [1u32, 2, 4, 8];
+        let edges = hasse_edges(&items, |a, b| b % a == 0);
+        assert_eq!(edges, vec![(1, 2), (2, 4), (4, 8)]);
+        // Divisibility on {1, 2, 3, 6}: diamond.
+        let items = [1u32, 2, 3, 6];
+        let mut edges = hasse_edges(&items, |a, b| b % a == 0);
+        edges.sort();
+        assert_eq!(edges, vec![(1, 2), (1, 3), (2, 6), (3, 6)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! A minimal hand-rolled JSON emitter (no serde format crate is in the
+//! sanctioned dependency set) — enough for exporting tables and survey
+//! data to downstream tooling, with correct string escaping.
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (emitted via `f64`; integers stay exact up to 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an integer value.
+    pub fn int(v: i64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Convenience: an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Serialise compactly.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => emit_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    emit_string(key, out);
+                    out.push(':');
+                    value.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_emit_canonically() {
+        assert_eq!(Json::Null.emit(), "null");
+        assert_eq!(Json::Bool(true).emit(), "true");
+        assert_eq!(Json::int(42).emit(), "42");
+        assert_eq!(Json::Num(2.5).emit(), "2.5");
+        assert_eq!(Json::str("hi").emit(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape_correctly() {
+        assert_eq!(Json::str("a\"b\\c\nd").emit(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::str("\u{1}").emit(), "\"\\u0001\"");
+        assert_eq!(Json::str("unicode ok: é").emit(), "\"unicode ok: é\"");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = Json::obj(vec![
+            ("name", Json::str("FPGA")),
+            ("flexibility", Json::int(8)),
+            ("tags", Json::Arr(vec![Json::str("USP"), Json::Bool(false)])),
+        ]);
+        assert_eq!(
+            v.emit(),
+            "{\"name\":\"FPGA\",\"flexibility\":8,\"tags\":[\"USP\",false]}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).emit(), "[]");
+        assert_eq!(Json::Obj(vec![]).emit(), "{}");
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = Json::obj(vec![("z", Json::int(1)), ("a", Json::int(2))]);
+        assert_eq!(v.emit(), "{\"z\":1,\"a\":2}");
+    }
+}

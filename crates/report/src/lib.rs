@@ -1,0 +1,23 @@
+//! # skilltax-report
+//!
+//! Output rendering for the regenerated paper artifacts: boxed ASCII and
+//! markdown tables ([`table`]), RFC-4180 CSV ([`csv`]), ASCII/SVG bar and
+//! trend charts ([`chart`], for Fig 1 and Fig 7), and architecture block
+//! diagrams ([`mod@diagram`], for Figs 3–6).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod csv;
+pub mod diagram;
+pub mod dot;
+pub mod json;
+pub mod table;
+
+pub use chart::{ascii_bar_chart, ascii_trend_chart, svg_bar_chart, svg_line_chart, Bar, Series};
+pub use csv::CsvWriter;
+pub use diagram::{diagram, figure};
+pub use dot::{hasse_edges, DotGraph};
+pub use json::Json;
+pub use table::{Align, Table};

@@ -1,0 +1,196 @@
+//! ASCII / markdown table rendering for the regenerated paper tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (default).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+    /// Centred.
+    Center,
+}
+
+/// An in-memory table: headers plus rows of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// A table with the given headers (all left-aligned).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table { headers, aligns, rows: Vec::new(), title: None }
+    }
+
+    /// Set a caption printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Table {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Set per-column alignments (length must match the headers).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row (padded / truncated to the header width).
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let gap = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(gap)),
+            Align::Right => format!("{}{cell}", " ".repeat(gap)),
+            Align::Center => {
+                let left = gap / 2;
+                format!("{}{cell}{}", " ".repeat(left), " ".repeat(gap - left))
+            }
+        }
+    }
+
+    /// Render as a boxed ASCII table.
+    pub fn render_ascii(&self) -> String {
+        let widths = self.widths();
+        let sep: String = {
+            let parts: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+            format!("+{}+", parts.join("+"))
+        };
+        let render_cells = |cells: &[String]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .zip(&self.aligns)
+                .map(|((c, &w), &a)| format!(" {} ", Table::pad(c, w, a)))
+                .collect();
+            format!("|{}|", parts.join("|"))
+        };
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&render_cells(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_cells(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(&format!("**{title}**\n\n"));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        let marks: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":--",
+                Align::Right => "--:",
+                Align::Center => ":-:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", marks.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Arch", "Flex"])
+            .with_title("Survey")
+            .with_aligns(vec![Align::Left, Align::Right]);
+        t.push_row(vec!["FPGA", "8"]);
+        t.push_row(vec!["Matrix", "7"]);
+        t
+    }
+
+    #[test]
+    fn ascii_table_is_boxed_and_aligned() {
+        let text = sample().render_ascii();
+        assert!(text.starts_with("Survey\n+"));
+        assert!(text.contains("| Arch   | Flex |"));
+        assert!(text.contains("| FPGA   |    8 |"));
+        assert!(text.contains("| Matrix |    7 |"));
+        // All separator lines have the same width.
+        let widths: Vec<usize> =
+            text.lines().filter(|l| l.starts_with('+')).map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 3);
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn markdown_table_has_alignment_row() {
+        let md = sample().render_markdown();
+        assert!(md.contains("| Arch | Flex |"));
+        assert!(md.contains("| :-- | --: |"));
+        assert!(md.contains("| FPGA | 8 |"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["1"]);
+        assert_eq!(t.row_count(), 1);
+        let text = t.render_ascii();
+        assert!(text.contains("| 1 |   |   |"));
+    }
+
+    #[test]
+    fn center_alignment() {
+        let mut t = Table::new(vec!["head"]).with_aligns(vec![Align::Center]);
+        t.push_row(vec!["x"]);
+        assert!(t.render_ascii().contains("|  x   |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count mismatch")]
+    fn misaligned_aligns_panic() {
+        let _ = Table::new(vec!["a", "b"]).with_aligns(vec![Align::Left]);
+    }
+}

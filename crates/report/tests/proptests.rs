@@ -1,0 +1,92 @@
+//! Property tests for the renderers: CSV round-trips on arbitrary cell
+//! content and structural invariants of the table/chart output.
+
+use proptest::prelude::*;
+
+use skilltax_report::csv::{escape_field, parse, CsvWriter};
+use skilltax_report::{ascii_bar_chart, svg_bar_chart, Align, Bar, Table};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn csv_round_trips_arbitrary_cells(
+        rows in prop::collection::vec(
+            prop::collection::vec(".{0,24}", 1..5),
+            1..8,
+        )
+    ) {
+        // Normalise: writer requires rectangular rows if a header is set,
+        // so pad to the widest row.
+        let width = rows.iter().map(Vec::len).max().unwrap();
+        let rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(width, String::new());
+                r
+            })
+            .collect();
+        let mut w = CsvWriter::new();
+        for row in &rows {
+            w.row(row);
+        }
+        let parsed = parse(&w.finish());
+        prop_assert_eq!(parsed.len(), rows.len());
+        for (got, want) in parsed.iter().zip(&rows) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn escaped_fields_never_break_row_structure(field in ".{0,40}") {
+        let escaped = escape_field(&field);
+        let line = format!("{escaped},{escaped}\r\n");
+        let parsed = parse(&line);
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].len(), 2);
+        prop_assert_eq!(&parsed[0][0], &field);
+    }
+
+    #[test]
+    fn ascii_tables_have_rectangular_output(
+        headers in prop::collection::vec("[a-zA-Z]{1,10}", 1..5),
+        rows in prop::collection::vec(prop::collection::vec("[ -~]{0,12}", 1..5), 0..6),
+        width_align in 0usize..3,
+    ) {
+        let n = headers.len();
+        let align = [Align::Left, Align::Right, Align::Center][width_align];
+        let mut table = Table::new(headers).with_aligns(vec![align; n]);
+        for row in rows {
+            table.push_row(row);
+        }
+        let text = table.render_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        // All lines equally wide, framed by +...+ separators.
+        let width = lines[0].len();
+        for line in &lines {
+            prop_assert_eq!(line.len(), width, "{}", text);
+        }
+        prop_assert!(lines[0].starts_with('+') && lines[0].ends_with('+'));
+        prop_assert!(lines.last().unwrap().starts_with('+'));
+    }
+
+    #[test]
+    fn bar_charts_never_overflow_their_width(
+        values in prop::collection::vec(0.0f64..1e6, 1..10),
+        width in 5usize..60,
+    ) {
+        let bars: Vec<Bar> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Bar { label: format!("b{i}"), value: v })
+            .collect();
+        let text = ascii_bar_chart("t", &bars, width);
+        for line in text.lines().skip(1) {
+            prop_assert!(line.matches('#').count() <= width, "{line}");
+        }
+        // SVG emitter stays well-formed on the same data.
+        let svg = svg_bar_chart("t", &bars);
+        prop_assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        prop_assert_eq!(svg.matches("<rect").count(), bars.len());
+    }
+}

@@ -1,0 +1,460 @@
+//! The extended taxonomy table (Table I): all 47 classes, *generated* from
+//! the paper's enumeration rules rather than hard-coded.
+//!
+//! The enumeration follows Section II:
+//!
+//! | Serials | Family | Counts | Varying relations |
+//! |---------|--------|--------|-------------------|
+//! | 1       | DUP    | 0 IPs, 1 DP  | — |
+//! | 2–5     | DMP-I..IV | 0, n | DP–DM ∈ {`n-n`,`nxn`}, DP–DP ∈ {none,`nxn`} |
+//! | 6       | IUP    | 1, 1 | — |
+//! | 7–10    | IAP-I..IV | 1, n | DP–DM, DP–DP as above |
+//! | 11–14   | NI     | n, 1 | IP–IP ∈ {none,`nxn`}, IP–IM ∈ {`n-n`,`nxn`} |
+//! | 15–30   | IMP-I..XVI | n, n | IP–DP, IP–IM, DP–DM ∈ {direct,`x`}, DP–DP ∈ {none,`x`} |
+//! | 31–46   | ISP-I..XVI | n, n | same, plus IP–IP = `nxn` |
+//! | 47      | USP    | v, v (LUTs) | all five = `vxv` |
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use skilltax_model::{
+    ArchBuilder, ArchSpec, Connectivity, Count, Extent, Granularity, Link, Relation, Switch,
+    SwitchKind,
+};
+
+use crate::error::TaxonomyError;
+use crate::name::{ClassName, MachineType, ProcessingType, SubType};
+
+/// Whether a Table I row is a named, realisable class or one of the
+/// not-implementable rows (11–14: several IPs driving one DP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Designation {
+    /// A named class (the "Comments" column of Table I).
+    Named(ClassName),
+    /// Not implementable ("NI" in Table I).
+    NotImplementable,
+}
+
+impl Designation {
+    /// The class name, if the row is implementable.
+    pub fn name(&self) -> Option<&ClassName> {
+        match self {
+            Designation::Named(n) => Some(n),
+            Designation::NotImplementable => None,
+        }
+    }
+}
+
+impl fmt::Display for Designation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Designation::Named(n) => write!(f, "{n}"),
+            Designation::NotImplementable => write!(f, "NI"),
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyClass {
+    /// Serial number (the "S.N" column), 1..=47.
+    pub serial: u8,
+    /// Granularity column (`IP/DP` for 1–46, `LUTs` for 47).
+    pub granularity: Granularity,
+    /// Canonical IP count (`0`, `1`, `n` or `v`).
+    pub ips: Count,
+    /// Canonical DP count.
+    pub dps: Count,
+    /// Canonical connectivity (symbolic extents).
+    pub connectivity: Connectivity,
+    /// Name or NI.
+    pub designation: Designation,
+    /// Table I section header this row appears under.
+    pub section: &'static str,
+}
+
+impl TaxonomyClass {
+    /// The class name; errors for the NI rows.
+    pub fn name(&self) -> &ClassName {
+        self.designation
+            .name()
+            .expect("name() called on a not-implementable class; check designation first")
+    }
+
+    /// Is the row implementable?
+    pub fn is_implementable(&self) -> bool {
+        matches!(self.designation, Designation::Named(_))
+    }
+
+    /// A canonical [`ArchSpec`] template for this class, suitable for
+    /// feeding back into the classifier or into the cost estimators.
+    pub fn template_spec(&self) -> ArchSpec {
+        ArchBuilder::new(format!("class-{}", self.serial))
+            .granularity(self.granularity)
+            .ips(self.ips)
+            .dps(self.dps)
+            .connectivity(self.connectivity)
+            .build_unchecked()
+    }
+
+    /// The pipe-separated structural row (matches the paper's Table I
+    /// columns IPs..DP-DP).
+    pub fn row_notation(&self) -> String {
+        self.template_spec().row_notation()
+    }
+}
+
+impl fmt::Display for TaxonomyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}. [{}] {} => {}",
+            self.serial,
+            self.granularity,
+            self.row_notation(),
+            self.designation
+        )
+    }
+}
+
+/// The complete extended taxonomy (all 47 Table I rows).
+#[derive(Debug)]
+pub struct Taxonomy {
+    classes: Vec<TaxonomyClass>,
+}
+
+/// Direct symbolic `1-n` link (one IP broadcasting to n DPs).
+fn direct_1_n() -> Link {
+    Link::Connected(Switch::new(SwitchKind::Direct, Extent::one(), Extent::n()))
+}
+
+/// Direct symbolic `n-1` link (n IPs driving one DP; the NI rows).
+fn direct_n_1() -> Link {
+    Link::Connected(Switch::new(SwitchKind::Direct, Extent::n(), Extent::one()))
+}
+
+/// Pick `n-n` or `nxn` by a crossbar bit.
+fn n_n_or_x(crossbar: bool) -> Link {
+    if crossbar {
+        Link::crossbar_n_n()
+    } else {
+        Link::direct_n_n()
+    }
+}
+
+/// Pick `none` or `nxn` by a crossbar bit (relations whose direct form is
+/// absence, i.e. DP–DP).
+fn none_or_x(crossbar: bool) -> Link {
+    if crossbar {
+        Link::crossbar_n_n()
+    } else {
+        Link::None
+    }
+}
+
+impl Taxonomy {
+    /// The shared, lazily-constructed extended taxonomy.
+    pub fn extended() -> &'static Taxonomy {
+        static TABLE: OnceLock<Taxonomy> = OnceLock::new();
+        TABLE.get_or_init(Taxonomy::generate)
+    }
+
+    /// Generate all 47 rows from the enumeration rules.
+    fn generate() -> Taxonomy {
+        let mut classes = Vec::with_capacity(47);
+        let named = |machine, processing, sub| {
+            Designation::Named(
+                ClassName::new(machine, processing, sub).expect("generated names are valid"),
+            )
+        };
+
+        // 1. DUP — data-flow single processor.
+        classes.push(TaxonomyClass {
+            serial: 1,
+            granularity: Granularity::CoarseIpDp,
+            ips: Count::Zero,
+            dps: Count::One,
+            connectivity: Connectivity::none()
+                .with(Relation::DpDm, Link::direct_between(1, 1)),
+            designation: named(MachineType::DataFlow, ProcessingType::Uni, SubType::NONE),
+            section: "Data Flow Machines -> Single Processor",
+        });
+
+        // 2–5. DMP-I..IV — data-flow multi-processors.
+        for code in 0u8..4 {
+            let dp_dm_x = code & 0b10 != 0;
+            let dp_dp_x = code & 0b01 != 0;
+            classes.push(TaxonomyClass {
+                serial: 2 + code,
+                granularity: Granularity::CoarseIpDp,
+                ips: Count::Zero,
+                dps: Count::n(),
+                connectivity: Connectivity::none()
+                    .with(Relation::DpDm, n_n_or_x(dp_dm_x))
+                    .with(Relation::DpDp, none_or_x(dp_dp_x)),
+                designation: named(
+                    MachineType::DataFlow,
+                    ProcessingType::Multi,
+                    SubType::from_code(code),
+                ),
+                section: "Data Flow Machines -> Multi Processors",
+            });
+        }
+
+        // 6. IUP — instruction-flow uni-processor (Von Neumann).
+        classes.push(TaxonomyClass {
+            serial: 6,
+            granularity: Granularity::CoarseIpDp,
+            ips: Count::One,
+            dps: Count::One,
+            connectivity: Connectivity::none()
+                .with(Relation::IpDp, Link::direct_between(1, 1))
+                .with(Relation::IpIm, Link::direct_between(1, 1))
+                .with(Relation::DpDm, Link::direct_between(1, 1)),
+            designation: named(MachineType::InstructionFlow, ProcessingType::Uni, SubType::NONE),
+            section: "Instruction Flow -> Single Processor",
+        });
+
+        // 7–10. IAP-I..IV — array processors.
+        for code in 0u8..4 {
+            let dp_dm_x = code & 0b10 != 0;
+            let dp_dp_x = code & 0b01 != 0;
+            classes.push(TaxonomyClass {
+                serial: 7 + code,
+                granularity: Granularity::CoarseIpDp,
+                ips: Count::One,
+                dps: Count::n(),
+                connectivity: Connectivity::none()
+                    .with(Relation::IpDp, direct_1_n())
+                    .with(Relation::IpIm, Link::direct_between(1, 1))
+                    .with(Relation::DpDm, n_n_or_x(dp_dm_x))
+                    .with(Relation::DpDp, none_or_x(dp_dp_x)),
+                designation: named(
+                    MachineType::InstructionFlow,
+                    ProcessingType::Array,
+                    SubType::from_code(code),
+                ),
+                section: "Instruction Flow -> Array Processor",
+            });
+        }
+
+        // 11–14. NI — n IPs driving a single DP.
+        for code in 0u8..4 {
+            let ip_ip_x = code & 0b10 != 0;
+            let ip_im_x = code & 0b01 != 0;
+            classes.push(TaxonomyClass {
+                serial: 11 + code,
+                granularity: Granularity::CoarseIpDp,
+                ips: Count::n(),
+                dps: Count::One,
+                connectivity: Connectivity::none()
+                    .with(Relation::IpIp, none_or_x(ip_ip_x))
+                    .with(Relation::IpDp, direct_n_1())
+                    .with(Relation::IpIm, n_n_or_x(ip_im_x))
+                    .with(Relation::DpDm, Link::direct_between(1, 1)),
+                designation: Designation::NotImplementable,
+                section: "Instruction Flow -> Array Processor",
+            });
+        }
+
+        // 15–30 (IMP) and 31–46 (ISP).
+        for spatial in [false, true] {
+            for code in 0u8..16 {
+                let ip_dp_x = code & 0b1000 != 0;
+                let ip_im_x = code & 0b0100 != 0;
+                let dp_dm_x = code & 0b0010 != 0;
+                let dp_dp_x = code & 0b0001 != 0;
+                let serial = if spatial { 31 + code } else { 15 + code };
+                classes.push(TaxonomyClass {
+                    serial,
+                    granularity: Granularity::CoarseIpDp,
+                    ips: Count::n(),
+                    dps: Count::n(),
+                    connectivity: Connectivity::none()
+                        .with(Relation::IpIp, none_or_x(spatial))
+                        .with(Relation::IpDp, n_n_or_x(ip_dp_x))
+                        .with(Relation::IpIm, n_n_or_x(ip_im_x))
+                        .with(Relation::DpDm, n_n_or_x(dp_dm_x))
+                        .with(Relation::DpDp, none_or_x(dp_dp_x)),
+                    designation: named(
+                        MachineType::InstructionFlow,
+                        if spatial { ProcessingType::Spatial } else { ProcessingType::Multi },
+                        SubType::from_code(code),
+                    ),
+                    section: "Instruction Flow -> Multi Processor",
+                });
+            }
+        }
+
+        // 47. USP — universal flow spatial computing (FPGA).
+        classes.push(TaxonomyClass {
+            serial: 47,
+            granularity: Granularity::FineLut,
+            ips: Count::Variable,
+            dps: Count::Variable,
+            connectivity: Connectivity::new(
+                Link::crossbar_v_v(),
+                Link::crossbar_v_v(),
+                Link::crossbar_v_v(),
+                Link::crossbar_v_v(),
+                Link::crossbar_v_v(),
+            ),
+            designation: named(MachineType::UniversalFlow, ProcessingType::Spatial, SubType::NONE),
+            section: "Universal Flow Machine -> Spatial Computing",
+        });
+
+        debug_assert_eq!(classes.len(), 47);
+        Taxonomy { classes }
+    }
+
+    /// All rows, in serial order.
+    pub fn classes(&self) -> &[TaxonomyClass] {
+        &self.classes
+    }
+
+    /// Row by serial number (1..=47).
+    pub fn by_serial(&self, serial: u8) -> Result<&TaxonomyClass, TaxonomyError> {
+        if !(1..=47).contains(&serial) {
+            return Err(TaxonomyError::BadSerial { serial });
+        }
+        Ok(&self.classes[usize::from(serial) - 1])
+    }
+
+    /// Row by class name; `None` for names that do not exist.
+    pub fn by_name(&self, name: &ClassName) -> Option<&TaxonomyClass> {
+        self.classes
+            .iter()
+            .find(|c| c.designation.name() == Some(name))
+    }
+
+    /// Only the implementable (named) rows.
+    pub fn implementable(&self) -> impl Iterator<Item = &TaxonomyClass> {
+        self.classes.iter().filter(|c| c.is_implementable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_47_rows_in_serial_order() {
+        let t = Taxonomy::extended();
+        assert_eq!(t.classes().len(), 47);
+        for (i, c) in t.classes().iter().enumerate() {
+            assert_eq!(usize::from(c.serial), i + 1);
+        }
+    }
+
+    #[test]
+    fn four_rows_are_not_implementable() {
+        let t = Taxonomy::extended();
+        let ni: Vec<u8> = t
+            .classes()
+            .iter()
+            .filter(|c| !c.is_implementable())
+            .map(|c| c.serial)
+            .collect();
+        assert_eq!(ni, vec![11, 12, 13, 14]);
+        assert_eq!(t.implementable().count(), 43);
+    }
+
+    #[test]
+    fn spot_check_rows_against_paper() {
+        let t = Taxonomy::extended();
+        // Row 1: DUP — 0 | 1 | none | none | none | 1-1 | none.
+        assert_eq!(t.by_serial(1).unwrap().row_notation(), "0 | 1 | none | none | none | 1-1 | none");
+        // Row 3: DMP-II — 0 | n | none | none | none | n-n | nxn.
+        let r3 = t.by_serial(3).unwrap();
+        assert_eq!(r3.designation.to_string(), "DMP-II");
+        assert_eq!(r3.row_notation(), "0 | n | none | none | none | n-n | nxn");
+        // Row 6: IUP.
+        assert_eq!(t.by_serial(6).unwrap().row_notation(), "1 | 1 | none | 1-1 | 1-1 | 1-1 | none");
+        // Row 10: IAP-IV — 1 | n | none | 1-n | 1-1 | nxn | nxn.
+        let r10 = t.by_serial(10).unwrap();
+        assert_eq!(r10.designation.to_string(), "IAP-IV");
+        assert_eq!(r10.row_notation(), "1 | n | none | 1-n | 1-1 | nxn | nxn");
+        // Row 14: NI — n | 1 | nxn | n-1 | nxn | 1-1 | none.
+        let r14 = t.by_serial(14).unwrap();
+        assert_eq!(r14.designation.to_string(), "NI");
+        assert_eq!(r14.row_notation(), "n | 1 | nxn | n-1 | nxn | 1-1 | none");
+        // Row 28: IMP-XIV — n | n | none | nxn | nxn | n-n | nxn.
+        let r28 = t.by_serial(28).unwrap();
+        assert_eq!(r28.designation.to_string(), "IMP-XIV");
+        assert_eq!(r28.row_notation(), "n | n | none | nxn | nxn | n-n | nxn");
+        // Row 31: ISP-I — n | n | nxn | n-n | n-n | n-n | none.
+        let r31 = t.by_serial(31).unwrap();
+        assert_eq!(r31.designation.to_string(), "ISP-I");
+        assert_eq!(r31.row_notation(), "n | n | nxn | n-n | n-n | n-n | none");
+        // Row 46: ISP-XVI — everything crossbar.
+        let r46 = t.by_serial(46).unwrap();
+        assert_eq!(r46.designation.to_string(), "ISP-XVI");
+        assert_eq!(r46.row_notation(), "n | n | nxn | nxn | nxn | nxn | nxn");
+        // Row 47: USP on LUTs.
+        let r47 = t.by_serial(47).unwrap();
+        assert_eq!(r47.granularity, Granularity::FineLut);
+        assert_eq!(r47.row_notation(), "v | v | vxv | vxv | vxv | vxv | vxv");
+    }
+
+    #[test]
+    fn by_name_finds_every_named_class() {
+        let t = Taxonomy::extended();
+        for c in t.implementable() {
+            let found = t.by_name(c.name()).unwrap();
+            assert_eq!(found.serial, c.serial);
+        }
+    }
+
+    #[test]
+    fn by_serial_bounds_checked() {
+        let t = Taxonomy::extended();
+        assert!(t.by_serial(0).is_err());
+        assert!(t.by_serial(48).is_err());
+        assert!(t.by_serial(47).is_ok());
+    }
+
+    #[test]
+    fn template_specs_of_named_classes_are_valid() {
+        // Every named class's canonical spec should pass hard validation
+        // (the NI rows are excluded — they are the "impossible" shapes, but
+        // note their impossibility is semantic, not structural).
+        let t = Taxonomy::extended();
+        for c in t.implementable() {
+            let spec = c.template_spec();
+            spec.validate()
+                .unwrap_or_else(|e| panic!("class {} template invalid: {e}", c.serial));
+        }
+    }
+
+    #[test]
+    fn all_47_rows_are_structurally_distinct() {
+        let t = Taxonomy::extended();
+        for a in t.classes() {
+            for b in t.classes() {
+                if a.serial != b.serial {
+                    assert!(
+                        (a.ips, a.dps, a.connectivity, a.granularity)
+                            != (b.ips, b.dps, b.connectivity, b.granularity),
+                        "rows {} and {} coincide",
+                        a.serial,
+                        b.serial
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imp_and_isp_differ_only_in_ip_ip() {
+        let t = Taxonomy::extended();
+        for code in 0u8..16 {
+            let imp = t.by_serial(15 + code).unwrap();
+            let isp = t.by_serial(31 + code).unwrap();
+            assert_eq!(imp.connectivity.link(Relation::IpIp), Link::None);
+            assert_eq!(isp.connectivity.link(Relation::IpIp), Link::crossbar_n_n());
+            for r in [Relation::IpDp, Relation::IpIm, Relation::DpDm, Relation::DpDp] {
+                assert_eq!(imp.connectivity.link(r), isp.connectivity.link(r));
+            }
+        }
+    }
+}

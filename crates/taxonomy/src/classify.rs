@@ -1,0 +1,277 @@
+//! The classification engine: map an [`ArchSpec`] to its Table I class.
+//!
+//! Classification follows the decision procedure of Section II:
+//!
+//! 1. variable counts (fine-grained, role-exchangeable fabric) ⇒ Universal
+//!    Flow ⇒ **USP** (class 47);
+//! 2. zero IPs ⇒ Data Flow; one DP ⇒ **DUP**, `n` DPs ⇒ **DMP-(code+1)**;
+//! 3. otherwise Instruction Flow:
+//!    * 1 IP, 1 DP ⇒ **IUP**;
+//!    * 1 IP, `n` DPs ⇒ **IAP-(code+1)**;
+//!    * `n` IPs, 1 DP ⇒ **not implementable** (classes 11–14);
+//!    * `n` IPs, `n` DPs ⇒ **ISP** if IP–IP connectivity exists, else
+//!      **IMP**, sub-type from the 4-bit crossbar code.
+//!
+//! The *code* packs which relations are crossbars.  Following the paper's
+//! own practice in Table III (PADDI-2's direct `48-48` DP–DP maps to IMP-I,
+//! whose canonical DP–DP is `none`), a direct switch and an absent switch
+//! both contribute a 0 bit: only crossbars score.
+
+use skilltax_model::{ArchSpec, Count, Relation};
+
+use crate::class::{Designation, Taxonomy, TaxonomyClass};
+use crate::error::TaxonomyError;
+use crate::name::ClassName;
+
+/// The result of classifying an architecture: the matched Table I row plus
+/// a human-readable trace of the decisions taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    serial: u8,
+    name: ClassName,
+    trace: Vec<String>,
+}
+
+impl Classification {
+    /// Serial number of the matched Table I row.
+    pub fn serial(&self) -> u8 {
+        self.serial
+    }
+
+    /// The class name.
+    pub fn name(&self) -> ClassName {
+        self.name
+    }
+
+    /// The matched taxonomy row.
+    pub fn class(&self) -> &'static TaxonomyClass {
+        Taxonomy::extended()
+            .by_serial(self.serial)
+            .expect("classification serials are always valid")
+    }
+
+    /// The decision trace (one line per rule applied).
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+}
+
+/// The 2-bit data-side crossbar code (DP–DM, DP–DP), used by DMP and IAP.
+fn data_code(spec: &ArchSpec) -> u8 {
+    let mut code = 0u8;
+    if spec.connectivity.link(Relation::DpDm).is_crossbar() {
+        code |= 0b10;
+    }
+    if spec.connectivity.link(Relation::DpDp).is_crossbar() {
+        code |= 0b01;
+    }
+    code
+}
+
+/// The 4-bit crossbar code (IP–DP, IP–IM, DP–DM, DP–DP), used by IMP/ISP.
+fn full_code(spec: &ArchSpec) -> u8 {
+    let mut code = 0u8;
+    if spec.connectivity.link(Relation::IpDp).is_crossbar() {
+        code |= 0b1000;
+    }
+    if spec.connectivity.link(Relation::IpIm).is_crossbar() {
+        code |= 0b0100;
+    }
+    if spec.connectivity.link(Relation::DpDm).is_crossbar() {
+        code |= 0b0010;
+    }
+    if spec.connectivity.link(Relation::DpDp).is_crossbar() {
+        code |= 0b0001;
+    }
+    code
+}
+
+/// Classify an architecture description into its extended-taxonomy class.
+///
+/// Returns [`TaxonomyError::NotImplementable`] for the class 11–14 shapes
+/// and [`TaxonomyError::Unclassifiable`] for descriptions outside the model
+/// (e.g. no data processors at all).
+pub fn classify(spec: &ArchSpec) -> Result<Classification, TaxonomyError> {
+    let mut trace = Vec::new();
+    let taxonomy = Taxonomy::extended();
+
+    let done = |serial: u8, mut trace: Vec<String>| -> Result<Classification, TaxonomyError> {
+        let class = taxonomy.by_serial(serial)?;
+        match class.designation {
+            Designation::Named(name) => {
+                trace.push(format!("matched Table I class {serial} => {name}"));
+                Ok(Classification { serial, name, trace })
+            }
+            Designation::NotImplementable => Err(TaxonomyError::NotImplementable {
+                serial,
+                reason: "multiple instruction processors driving a single data processor \
+                         cannot exist in a real system (Table I rows 11-14)"
+                    .to_owned(),
+            }),
+        }
+    };
+
+    // 1. Universal flow?
+    if spec.is_universal() {
+        trace.push(format!(
+            "IP count {} / DP count {}: variable under reconfiguration => Universal Flow",
+            spec.ips, spec.dps
+        ));
+        return done(47, trace);
+    }
+
+    match (spec.ips, spec.dps) {
+        (_, Count::Zero) => Err(TaxonomyError::unclassifiable(
+            "no data processors: nothing in the machine processes data",
+        )),
+        // 2. Data flow.
+        (Count::Zero, Count::One) => {
+            trace.push("0 IPs => Data Flow; 1 DP => Uni Processor".to_owned());
+            done(1, trace)
+        }
+        (Count::Zero, Count::Many(_)) => {
+            let code = data_code(spec);
+            trace.push("0 IPs => Data Flow; n DPs => Multi Processor".to_owned());
+            trace.push(format!(
+                "crossbar code (DP-DM, DP-DP) = {:02b} => sub-type {}",
+                code,
+                code + 1
+            ));
+            done(2 + code, trace)
+        }
+        // 3. Instruction flow.
+        (Count::One, Count::One) => {
+            trace.push("1 IP, 1 DP => Instruction Flow Uni Processor".to_owned());
+            done(6, trace)
+        }
+        (Count::One, Count::Many(_)) => {
+            let code = data_code(spec);
+            trace.push("1 IP, n DPs => Instruction Flow Array Processor".to_owned());
+            trace.push(format!(
+                "crossbar code (DP-DM, DP-DP) = {:02b} => sub-type {}",
+                code,
+                code + 1
+            ));
+            done(7 + code, trace)
+        }
+        (Count::Many(_), Count::One) => {
+            let ip_ip = spec.connectivity.link(Relation::IpIp).is_connected();
+            let ip_im_x = spec.connectivity.link(Relation::IpIm).is_crossbar();
+            let serial = 11 + (u8::from(ip_ip) << 1) + u8::from(ip_im_x);
+            trace.push("n IPs, 1 DP => not implementable".to_owned());
+            done(serial, trace)
+        }
+        (Count::Many(_), Count::Many(_)) => {
+            let spatial = spec.connectivity.link(Relation::IpIp).is_connected();
+            let code = full_code(spec);
+            trace.push(if spatial {
+                "n IPs, n DPs with IP-IP connectivity => Spatial Processor".to_owned()
+            } else {
+                "n IPs, n DPs, no IP-IP => Multi Processor".to_owned()
+            });
+            trace.push(format!(
+                "crossbar code (IP-DP, IP-IM, DP-DM, DP-DP) = {:04b} => sub-type {}",
+                code,
+                code + 1
+            ));
+            done(if spatial { 31 + code } else { 15 + code }, trace)
+        }
+        // Remaining shapes have an IP but no DP counterpart in the model.
+        (Count::Zero, Count::Variable)
+        | (Count::One, Count::Variable)
+        | (Count::Many(_), Count::Variable)
+        | (Count::Variable, _) => unreachable!("variable counts handled by the universal branch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_model::dsl::parse_row;
+
+    fn classify_row(row: &str) -> Classification {
+        classify(&parse_row("test", row).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn every_named_template_classifies_to_itself() {
+        let t = Taxonomy::extended();
+        for class in t.implementable() {
+            let spec = class.template_spec();
+            let got = classify(&spec)
+                .unwrap_or_else(|e| panic!("class {} failed to classify: {e}", class.serial));
+            assert_eq!(got.serial(), class.serial, "class {}", class.serial);
+            assert_eq!(&got.name(), class.name());
+        }
+    }
+
+    #[test]
+    fn ni_templates_report_not_implementable_with_matching_serial() {
+        let t = Taxonomy::extended();
+        for serial in 11..=14u8 {
+            let spec = t.by_serial(serial).unwrap().template_spec();
+            match classify(&spec) {
+                Err(TaxonomyError::NotImplementable { serial: got, .. }) => {
+                    assert_eq!(got, serial)
+                }
+                other => panic!("expected NI for {serial}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concrete_counts_classify_like_symbolic_ones() {
+        // MorphoSys: 64 concrete DPs behave as `n`.
+        let c = classify_row("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64");
+        assert_eq!(c.name().to_string(), "IAP-II");
+        assert_eq!(c.serial(), 8);
+    }
+
+    #[test]
+    fn direct_dp_dp_scores_zero_bit() {
+        // PADDI-2: all-direct 48-processor MIMD machine => IMP-I.
+        let c = classify_row("48 | 48 | none | 48-48 | 48-48 | 48-48 | 48-48");
+        assert_eq!(c.name().to_string(), "IMP-I");
+    }
+
+    #[test]
+    fn limited_crossbars_count_as_crossbars() {
+        // DRRA: windowed (nx14) switches on IP-IP, DP-DM, DP-DP => ISP-IV.
+        let c = classify_row("n | n | nx14 | n-n | n-n | nx14 | nx14");
+        assert_eq!(c.name().to_string(), "ISP-IV");
+        assert_eq!(c.serial(), 34);
+    }
+
+    #[test]
+    fn fpga_classifies_as_usp() {
+        let c = classify_row("v | v | vxv | vxv | vxv | vxv | vxv");
+        assert_eq!(c.name().to_string(), "USP");
+        assert_eq!(c.serial(), 47);
+        assert!(c.trace().iter().any(|t| t.contains("Universal Flow")));
+    }
+
+    #[test]
+    fn zero_dps_is_unclassifiable() {
+        let spec = parse_row("no-dp", "1 | 0 | none | none | 1-1 | none | none").unwrap();
+        assert!(matches!(
+            classify(&spec),
+            Err(TaxonomyError::Unclassifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_explains_decisions() {
+        let c = classify_row("n | n | nxn | nxn | nxn | nxn | nxn");
+        assert_eq!(c.name().to_string(), "ISP-XVI");
+        let joined = c.trace().join("\n");
+        assert!(joined.contains("Spatial"));
+        assert!(joined.contains("1111"));
+    }
+
+    #[test]
+    fn classification_class_accessor_returns_row() {
+        let c = classify_row("0 | 16 | none | none | none | 16x6 | 16x16");
+        assert_eq!(c.name().to_string(), "DMP-IV");
+        assert_eq!(c.class().serial, 5);
+    }
+}

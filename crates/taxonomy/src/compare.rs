@@ -1,0 +1,219 @@
+//! Name-based architecture comparison (Section III-A).
+//!
+//! "By just looking at the names of the classes … one can compare two or
+//! more architectures in terms of similarities or differences."  The first
+//! letter gives the machine type, the second the processing type, and the
+//! numeral the interconnection pattern; two classes with the same numeral
+//! have the same IP–IM / DP–DM / DP–DP (and IP–DP) switch kinds.
+
+use std::fmt;
+
+use skilltax_model::Relation;
+
+use crate::flexibility::{comparable, flexibility_of_name};
+use crate::name::{ClassName, MachineType, ProcessingType};
+
+/// The crossbar relations implied by a class name's sub-type numeral.
+pub fn crossbar_relations_of(name: &ClassName) -> Vec<Relation> {
+    let mut rels = Vec::new();
+    if name.machine == MachineType::UniversalFlow {
+        return Relation::ALL.to_vec();
+    }
+    if name.processing == ProcessingType::Spatial {
+        rels.push(Relation::IpIp);
+    }
+    if let Some(code) = name.sub.code() {
+        match name.processing {
+            ProcessingType::Multi if name.machine == MachineType::DataFlow => {
+                if code & 0b10 != 0 {
+                    rels.push(Relation::DpDm);
+                }
+                if code & 0b01 != 0 {
+                    rels.push(Relation::DpDp);
+                }
+            }
+            ProcessingType::Array => {
+                if code & 0b10 != 0 {
+                    rels.push(Relation::DpDm);
+                }
+                if code & 0b01 != 0 {
+                    rels.push(Relation::DpDp);
+                }
+            }
+            ProcessingType::Multi | ProcessingType::Spatial => {
+                if code & 0b1000 != 0 {
+                    rels.push(Relation::IpDp);
+                }
+                if code & 0b0100 != 0 {
+                    rels.push(Relation::IpIm);
+                }
+                if code & 0b0010 != 0 {
+                    rels.push(Relation::DpDm);
+                }
+                if code & 0b0001 != 0 {
+                    rels.push(Relation::DpDp);
+                }
+            }
+            ProcessingType::Uni => {}
+        }
+    }
+    rels.sort();
+    rels
+}
+
+/// A structured similarity/difference report between two class names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameComparison {
+    /// Left-hand name.
+    pub a: ClassName,
+    /// Right-hand name.
+    pub b: ClassName,
+    /// Same machine type (first letter)?
+    pub same_machine: bool,
+    /// Same processing type (second letter)?
+    pub same_processing: bool,
+    /// Same sub-type numeral (⇒ same switch pattern)?
+    pub same_sub_type: bool,
+    /// Crossbar relations implied by both names.
+    pub shared_crossbars: Vec<Relation>,
+    /// Crossbar relations only `a` has.
+    pub only_in_a: Vec<Relation>,
+    /// Crossbar relations only `b` has.
+    pub only_in_b: Vec<Relation>,
+    /// Are the two flexibility numbers comparable (Section III-B)?
+    pub flexibility_comparable: bool,
+    /// Flexibility values, where the names exist in Table I.
+    pub flexibility: (Option<u32>, Option<u32>),
+}
+
+/// Compare two class names.
+pub fn compare_names(a: ClassName, b: ClassName) -> NameComparison {
+    let xa = crossbar_relations_of(&a);
+    let xb = crossbar_relations_of(&b);
+    let shared: Vec<Relation> = xa.iter().copied().filter(|r| xb.contains(r)).collect();
+    let only_a: Vec<Relation> = xa.iter().copied().filter(|r| !xb.contains(r)).collect();
+    let only_b: Vec<Relation> = xb.iter().copied().filter(|r| !xa.contains(r)).collect();
+    NameComparison {
+        a,
+        b,
+        same_machine: a.machine == b.machine,
+        same_processing: a.processing == b.processing,
+        same_sub_type: a.sub == b.sub,
+        shared_crossbars: shared,
+        only_in_a: only_a,
+        only_in_b: only_b,
+        flexibility_comparable: comparable(a.machine, b.machine),
+        flexibility: (flexibility_of_name(&a), flexibility_of_name(&b)),
+    }
+}
+
+impl fmt::Display for NameComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} vs {}", self.a, self.b)?;
+        writeln!(
+            f,
+            "  machine type:    {} / {} ({})",
+            self.a.machine,
+            self.b.machine,
+            if self.same_machine { "same" } else { "different" }
+        )?;
+        writeln!(
+            f,
+            "  processing type: {} / {} ({})",
+            self.a.processing,
+            self.b.processing,
+            if self.same_processing { "same" } else { "different" }
+        )?;
+        let fmt_rels = |rels: &[Relation]| -> String {
+            if rels.is_empty() {
+                "none".to_owned()
+            } else {
+                rels.iter().map(|r| r.label()).collect::<Vec<_>>().join(", ")
+            }
+        };
+        writeln!(f, "  shared crossbars: {}", fmt_rels(&self.shared_crossbars))?;
+        if !self.only_in_a.is_empty() {
+            writeln!(f, "  only {}: {}", self.a, fmt_rels(&self.only_in_a))?;
+        }
+        if !self.only_in_b.is_empty() {
+            writeln!(f, "  only {}: {}", self.b, fmt_rels(&self.only_in_b))?;
+        }
+        match (self.flexibility_comparable, self.flexibility) {
+            (true, (Some(fa), Some(fb))) => {
+                writeln!(f, "  flexibility: {fa} vs {fb} (comparable)")
+            }
+            (false, (Some(fa), Some(fb))) => writeln!(
+                f,
+                "  flexibility: {fa} vs {fb} (NOT comparable: the machines cannot substitute each other)"
+            ),
+            _ => writeln!(f, "  flexibility: unavailable"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> ClassName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn same_numeral_means_same_data_side_switches() {
+        // Section III-A: IAP-I and IMP-I share IP-IM, DP-DM, DP-DP kinds.
+        let cmp = compare_names(name("IAP-I"), name("IMP-I"));
+        assert!(cmp.same_sub_type);
+        assert!(cmp.shared_crossbars.is_empty());
+        assert!(cmp.only_in_a.is_empty());
+        assert!(cmp.only_in_b.is_empty());
+    }
+
+    #[test]
+    fn crossbar_relations_follow_the_code() {
+        assert_eq!(crossbar_relations_of(&name("IMP-I")), vec![]);
+        assert_eq!(
+            crossbar_relations_of(&name("IMP-XVI")),
+            vec![Relation::IpDp, Relation::IpIm, Relation::DpDm, Relation::DpDp]
+        );
+        assert_eq!(
+            crossbar_relations_of(&name("ISP-I")),
+            vec![Relation::IpIp]
+        );
+        assert_eq!(
+            crossbar_relations_of(&name("IAP-II")),
+            vec![Relation::DpDp]
+        );
+        assert_eq!(
+            crossbar_relations_of(&name("DMP-III")),
+            vec![Relation::DpDm]
+        );
+        assert_eq!(crossbar_relations_of(&name("USP")).len(), 5);
+        assert_eq!(crossbar_relations_of(&name("IUP")), vec![]);
+    }
+
+    #[test]
+    fn data_vs_instruction_flexibility_not_comparable() {
+        let cmp = compare_names(name("DMP-IV"), name("IMP-IV"));
+        assert!(!cmp.flexibility_comparable);
+        let cmp = compare_names(name("DMP-IV"), name("USP"));
+        assert!(cmp.flexibility_comparable);
+    }
+
+    #[test]
+    fn isp_adds_ip_ip_over_imp() {
+        let cmp = compare_names(name("ISP-VII"), name("IMP-VII"));
+        assert!(cmp.same_sub_type);
+        assert_eq!(cmp.only_in_a, vec![Relation::IpIp]);
+        assert!(cmp.only_in_b.is_empty());
+        assert_eq!(cmp.flexibility, (Some(5), Some(4)));
+    }
+
+    #[test]
+    fn display_report_is_readable() {
+        let text = compare_names(name("IAP-II"), name("DMP-II")).to_string();
+        assert!(text.contains("different"));
+        assert!(text.contains("NOT comparable"));
+        assert!(text.contains("DP-DP"));
+    }
+}

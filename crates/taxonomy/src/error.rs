@@ -1,0 +1,76 @@
+//! Typed errors for taxonomy operations.
+
+use std::fmt;
+
+/// Errors raised while naming or classifying architectures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// A Roman numeral could not be parsed.
+    RomanParse {
+        /// The offending token.
+        token: String,
+    },
+    /// A class name could not be parsed (e.g. `"IMP-XVII"`).
+    NameParse {
+        /// The offending token.
+        token: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The architecture falls in one of the not-implementable classes
+    /// (11–14 in Table I: multiple IPs driving a single DP).
+    NotImplementable {
+        /// The Table I serial number (11–14).
+        serial: u8,
+        /// Explanation of the structural contradiction.
+        reason: String,
+    },
+    /// The description does not match any class of the extended taxonomy.
+    Unclassifiable {
+        /// Explanation of which rule failed.
+        reason: String,
+    },
+    /// A serial number outside 1–47 was requested.
+    BadSerial {
+        /// The offending serial.
+        serial: u8,
+    },
+}
+
+impl TaxonomyError {
+    pub(crate) fn roman_parse(token: &str) -> Self {
+        TaxonomyError::RomanParse { token: token.to_owned() }
+    }
+
+    pub(crate) fn name_parse(token: &str, reason: impl Into<String>) -> Self {
+        TaxonomyError::NameParse { token: token.to_owned(), reason: reason.into() }
+    }
+
+    pub(crate) fn unclassifiable(reason: impl Into<String>) -> Self {
+        TaxonomyError::Unclassifiable { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxonomyError::RomanParse { token } => {
+                write!(f, "cannot parse Roman numeral {token:?}")
+            }
+            TaxonomyError::NameParse { token, reason } => {
+                write!(f, "cannot parse class name {token:?}: {reason}")
+            }
+            TaxonomyError::NotImplementable { serial, reason } => {
+                write!(f, "not implementable (Table I class {serial}): {reason}")
+            }
+            TaxonomyError::Unclassifiable { reason } => {
+                write!(f, "architecture does not fit the extended taxonomy: {reason}")
+            }
+            TaxonomyError::BadSerial { serial } => {
+                write!(f, "class serial {serial} is outside 1..=47")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}

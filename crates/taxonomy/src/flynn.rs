@@ -1,0 +1,153 @@
+//! Flynn's taxonomy (1966) — the oldest baseline the paper discusses.
+//!
+//! Flynn classifies by the multiplicity of instruction and data streams:
+//! SISD, SIMD, MISD, MIMD.  The paper's (and Skillicorn's) criticism is
+//! its *broadness*: radically different machines land in the same bucket.
+//! Implementing it lets us quantify that criticism — see
+//! [`flynn_partition`], which shows how many extended classes collapse
+//! into each Flynn class.
+
+use std::fmt;
+
+use skilltax_model::{ArchSpec, Count};
+
+use crate::class::Taxonomy;
+use crate::error::TaxonomyError;
+
+/// Flynn's four classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlynnClass {
+    /// Single instruction stream, single data stream.
+    Sisd,
+    /// Single instruction stream, multiple data streams.
+    Simd,
+    /// Multiple instruction streams, single data stream.
+    Misd,
+    /// Multiple instruction streams, multiple data streams.
+    Mimd,
+}
+
+impl FlynnClass {
+    /// All four classes.
+    pub const ALL: [FlynnClass; 4] =
+        [FlynnClass::Sisd, FlynnClass::Simd, FlynnClass::Misd, FlynnClass::Mimd];
+
+    /// The conventional acronym.
+    pub fn acronym(&self) -> &'static str {
+        match self {
+            FlynnClass::Sisd => "SISD",
+            FlynnClass::Simd => "SIMD",
+            FlynnClass::Misd => "MISD",
+            FlynnClass::Mimd => "MIMD",
+        }
+    }
+}
+
+impl fmt::Display for FlynnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.acronym())
+    }
+}
+
+/// Classify an architecture under Flynn's taxonomy.
+///
+/// Instruction-stream multiplicity follows the IP count (a data-flow
+/// machine has no instruction *stream* in Flynn's sense — Flynn predates
+/// dataflow; we follow the common convention of treating token-driven DPs
+/// as data-stream multiplicity with a single implicit control, i.e. 1 DP
+/// → SISD, n DPs → SIMD).  Variable fabrics are unclassifiable (Flynn has
+/// no `v`) — exactly the limitation the paper's extension addresses.
+pub fn classify_flynn(spec: &ArchSpec) -> Result<FlynnClass, TaxonomyError> {
+    if spec.is_universal() {
+        return Err(TaxonomyError::Unclassifiable {
+            reason: "Flynn's taxonomy has no class for fabrics whose instruction/data \
+                     stream counts change under reconfiguration (the paper's 'v')"
+                .to_owned(),
+        });
+    }
+    let multi_instr = spec.ips.is_plural();
+    let multi_data = spec.dps.is_plural();
+    if matches!(spec.dps, Count::Zero) {
+        return Err(TaxonomyError::Unclassifiable {
+            reason: "no data stream at all".to_owned(),
+        });
+    }
+    Ok(match (multi_instr, multi_data) {
+        (false, false) => FlynnClass::Sisd,
+        (false, true) => FlynnClass::Simd,
+        (true, false) => FlynnClass::Misd,
+        (true, true) => FlynnClass::Mimd,
+    })
+}
+
+/// How the 43 named extended classes distribute over Flynn's buckets —
+/// the broadness argument quantified.  Returns `(flynn, extended-class
+/// names)` pairs plus the classes Flynn cannot place at all.
+pub fn flynn_partition() -> (Vec<(FlynnClass, Vec<String>)>, Vec<String>) {
+    let mut buckets: Vec<(FlynnClass, Vec<String>)> =
+        FlynnClass::ALL.iter().map(|&f| (f, Vec::new())).collect();
+    let mut unplaced = Vec::new();
+    for class in Taxonomy::extended().implementable() {
+        let spec = class.template_spec();
+        match classify_flynn(&spec) {
+            Ok(f) => buckets
+                .iter_mut()
+                .find(|(b, _)| *b == f)
+                .expect("bucket exists")
+                .1
+                .push(class.name().to_string()),
+            Err(_) => unplaced.push(class.name().to_string()),
+        }
+    }
+    (buckets, unplaced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skilltax_model::dsl::parse_row;
+
+    fn flynn_of(row: &str) -> FlynnClass {
+        classify_flynn(&parse_row("t", row).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn canonical_machines_get_their_flynn_classes() {
+        assert_eq!(flynn_of("1 | 1 | none | 1-1 | 1-1 | 1-1 | none"), FlynnClass::Sisd);
+        assert_eq!(flynn_of("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64"), FlynnClass::Simd);
+        assert_eq!(flynn_of("n | 1 | none | n-1 | n-n | 1-1 | none"), FlynnClass::Misd);
+        assert_eq!(flynn_of("4 | 4 | none | 4-4 | 4-4 | 4-4 | none"), FlynnClass::Mimd);
+    }
+
+    #[test]
+    fn fpga_is_outside_flynns_reach() {
+        let fpga = parse_row("FPGA", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
+        assert!(classify_flynn(&fpga).is_err());
+    }
+
+    #[test]
+    fn flynn_collapses_the_extended_taxonomy() {
+        let (buckets, unplaced) = flynn_partition();
+        let mimd = buckets.iter().find(|(f, _)| *f == FlynnClass::Mimd).unwrap();
+        // All 32 IMP/ISP classes land in one MIMD bucket: the paper's
+        // broadness criticism, quantified.
+        assert_eq!(mimd.1.len(), 32);
+        let simd = buckets.iter().find(|(f, _)| *f == FlynnClass::Simd).unwrap();
+        // IAP-I..IV plus the four data-flow multiprocessors.
+        assert_eq!(simd.1.len(), 8);
+        let sisd = buckets.iter().find(|(f, _)| *f == FlynnClass::Sisd).unwrap();
+        assert_eq!(sisd.1.len(), 2); // DUP, IUP
+        // Only the USP is unplaceable.
+        assert_eq!(unplaced, vec!["USP".to_owned()]);
+        // Flynn's MISD bucket is empty of implementable machines —
+        // consistent with the paper marking n-IP/1-DP rows NI.
+        let misd = buckets.iter().find(|(f, _)| *f == FlynnClass::Misd).unwrap();
+        assert!(misd.1.is_empty());
+    }
+
+    #[test]
+    fn dataflow_machines_follow_the_data_stream_convention() {
+        assert_eq!(flynn_of("0 | 1 | none | none | none | 1-1 | none"), FlynnClass::Sisd);
+        assert_eq!(flynn_of("0 | 16 | none | none | none | 16x6 | 16x16"), FlynnClass::Simd);
+    }
+}

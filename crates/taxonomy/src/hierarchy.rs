@@ -1,0 +1,201 @@
+//! The naming hierarchy of Fig 2 as a data structure.
+//!
+//! Fig 2 draws the tree: *Computing Machines* splits into Data Flow,
+//! Instruction Flow and Universal Flow; each machine type splits into its
+//! processing types; each processing type carries its named classes.
+
+use crate::class::Taxonomy;
+use crate::name::{ClassName, MachineType, ProcessingType};
+
+/// A node in the hierarchy tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyNode {
+    /// Display label.
+    pub label: String,
+    /// Classes that live directly at this node (leaves carry them).
+    pub classes: Vec<ClassName>,
+    /// Child nodes.
+    pub children: Vec<HierarchyNode>,
+}
+
+impl HierarchyNode {
+    fn leaf(label: impl Into<String>, classes: Vec<ClassName>) -> Self {
+        HierarchyNode { label: label.into(), classes, children: Vec::new() }
+    }
+
+    fn branch(label: impl Into<String>, children: Vec<HierarchyNode>) -> Self {
+        HierarchyNode { label: label.into(), classes: Vec::new(), children }
+    }
+
+    /// Total number of classes in this subtree.
+    pub fn class_count(&self) -> usize {
+        self.classes.len() + self.children.iter().map(HierarchyNode::class_count).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(HierarchyNode::depth).max().unwrap_or(0)
+    }
+
+    /// Find the node for a processing type under a machine type, if present.
+    pub fn find(&self, label: &str) -> Option<&HierarchyNode> {
+        if self.label == label {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(label))
+    }
+
+    /// Render the subtree as an indented ASCII tree (Fig 2).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", true, true);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, is_last: bool, is_root: bool) {
+        if is_root {
+            out.push_str(&self.label);
+        } else {
+            out.push_str(prefix);
+            out.push_str(if is_last { "`-- " } else { "|-- " });
+            out.push_str(&self.label);
+        }
+        if !self.classes.is_empty() {
+            let names: Vec<String> = self.classes.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!("  [{}]", summarise(&names)));
+        }
+        out.push('\n');
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "    " } else { "|   " })
+        };
+        let n = self.children.len();
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(out, &child_prefix, i + 1 == n, false);
+        }
+    }
+}
+
+/// Compress `["IMP-I", ..., "IMP-XVI"]` into `"IMP-I..XVI"` for rendering.
+fn summarise(names: &[String]) -> String {
+    if names.len() <= 2 {
+        return names.join(", ");
+    }
+    let first = &names[0];
+    let last = names.last().unwrap();
+    match (first.split_once('-'), last.split_once('-')) {
+        (Some((stem_a, lo)), Some((stem_b, hi))) if stem_a == stem_b => {
+            format!("{stem_a}-{lo}..{hi}")
+        }
+        _ => names.join(", "),
+    }
+}
+
+/// Build the Fig 2 hierarchy from the extended taxonomy.
+pub fn hierarchy() -> HierarchyNode {
+    let taxonomy = Taxonomy::extended();
+    let classes_of = |machine: MachineType, processing: ProcessingType| -> Vec<ClassName> {
+        taxonomy
+            .implementable()
+            .map(|c| *c.name())
+            .filter(|n| n.machine == machine && n.processing == processing)
+            .collect()
+    };
+
+    let data = HierarchyNode::branch(
+        "Data Flow",
+        vec![
+            HierarchyNode::leaf(
+                "Uni Processor",
+                classes_of(MachineType::DataFlow, ProcessingType::Uni),
+            ),
+            HierarchyNode::leaf(
+                "Multi Processor",
+                classes_of(MachineType::DataFlow, ProcessingType::Multi),
+            ),
+        ],
+    );
+    let instruction = HierarchyNode::branch(
+        "Instruction Flow",
+        vec![
+            HierarchyNode::leaf(
+                "Uni Processor",
+                classes_of(MachineType::InstructionFlow, ProcessingType::Uni),
+            ),
+            HierarchyNode::leaf(
+                "Array Processor",
+                classes_of(MachineType::InstructionFlow, ProcessingType::Array),
+            ),
+            HierarchyNode::leaf(
+                "Multi Processor",
+                classes_of(MachineType::InstructionFlow, ProcessingType::Multi),
+            ),
+            HierarchyNode::leaf(
+                "Spatial Processor",
+                classes_of(MachineType::InstructionFlow, ProcessingType::Spatial),
+            ),
+        ],
+    );
+    let universal = HierarchyNode::branch(
+        "Universal Flow",
+        vec![HierarchyNode::leaf(
+            "Spatial Computing",
+            classes_of(MachineType::UniversalFlow, ProcessingType::Spatial),
+        )],
+    );
+    HierarchyNode::branch("Computing Machines", vec![data, instruction, universal])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_contains_all_named_classes() {
+        assert_eq!(hierarchy().class_count(), 43);
+    }
+
+    #[test]
+    fn hierarchy_shape_matches_fig_2() {
+        let root = hierarchy();
+        assert_eq!(root.children.len(), 3);
+        assert_eq!(root.depth(), 3);
+        let labels: Vec<&str> = root.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["Data Flow", "Instruction Flow", "Universal Flow"]);
+        assert_eq!(root.children[0].children.len(), 2); // Uni, Multi
+        assert_eq!(root.children[1].children.len(), 4); // Uni, Array, Multi, Spatial
+        assert_eq!(root.children[2].children.len(), 1); // Spatial
+    }
+
+    #[test]
+    fn find_locates_processing_nodes() {
+        let root = hierarchy();
+        let spatial = root.find("Spatial Processor").unwrap();
+        assert_eq!(spatial.classes.len(), 16);
+        assert!(root.find("Quantum Processor").is_none());
+    }
+
+    #[test]
+    fn render_produces_tree_with_ranges() {
+        let text = hierarchy().render();
+        assert!(text.starts_with("Computing Machines"));
+        assert!(text.contains("IMP-I..XVI"), "{text}");
+        assert!(text.contains("DUP"));
+        assert!(text.contains("USP"));
+        // Every line after the root is tree-drawn.
+        for line in text.lines().skip(1) {
+            assert!(
+                line.starts_with("|") || line.starts_with("`") || line.starts_with(' '),
+                "bad tree line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn summarise_compresses_runs() {
+        let names: Vec<String> = (1..=4).map(|i| format!("DMP-{}", crate::roman::to_roman(i))).collect();
+        assert_eq!(summarise(&names), "DMP-I..IV");
+        assert_eq!(summarise(&["DUP".to_owned()]), "DUP");
+    }
+}

@@ -1,0 +1,53 @@
+//! # skilltax-taxonomy
+//!
+//! The extended Skillicorn taxonomy of Shami & Hemani (IPPS 2012): the
+//! 47-class table (Table I), the hierarchical naming scheme (Fig 2), the
+//! classification engine, the flexibility scoring system (Table II) and
+//! name-based comparison (Section III-A).
+//!
+//! ```
+//! use skilltax_model::dsl::parse_row;
+//! use skilltax_taxonomy::{classify, flexibility_of_spec};
+//!
+//! let drra = parse_row("DRRA", "n | n | nx14 | n-n | n-n | nx14 | nx14").unwrap();
+//! let class = classify(&drra).unwrap();
+//! assert_eq!(class.name().to_string(), "ISP-IV");
+//! assert_eq!(flexibility_of_spec(&drra), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod class;
+pub mod classify;
+pub mod compare;
+pub mod error;
+pub mod flexibility;
+pub mod flynn;
+pub mod hierarchy;
+pub mod name;
+pub mod requirements;
+pub mod roman;
+pub mod skillicorn;
+
+pub use class::{Designation, Taxonomy, TaxonomyClass};
+pub use classify::{classify, Classification};
+pub use compare::{compare_names, crossbar_relations_of, NameComparison};
+pub use error::TaxonomyError;
+pub use flexibility::{
+    breakdown_of_spec, comparable, flexibility_of_class, flexibility_of_name,
+    flexibility_of_spec, flexibility_table, FlexibilityBreakdown, FlexibilityEntry,
+};
+pub use flynn::{classify_flynn, flynn_partition, FlynnClass};
+pub use hierarchy::{hierarchy, HierarchyNode};
+pub use requirements::{minimal_classes, provides, satisfying_classes, Capability};
+pub use name::{ClassName, MachineType, ProcessingType, SubType};
+pub use skillicorn::{new_classes, project, skillicorn_table, SkillicornClass};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::class::{Designation, Taxonomy, TaxonomyClass};
+    pub use crate::classify::{classify, Classification};
+    pub use crate::flexibility::{breakdown_of_spec, flexibility_of_spec, flexibility_table};
+    pub use crate::name::{ClassName, MachineType, ProcessingType, SubType};
+}

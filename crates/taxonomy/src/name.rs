@@ -1,0 +1,405 @@
+//! The hierarchical naming scheme (Section II-C, Fig 2).
+//!
+//! A class name has three parts:
+//!
+//! * **Machine Type** — Data Flow (`D`), Instruction Flow (`I`) or Universal
+//!   Flow (`U`), decided by the presence / absence / configurability of
+//!   instruction processors;
+//! * **Processing Type** — Uni (`U`), Array (`A`), Multi (`M`) or Spatial
+//!   (`S`) processor, decided by the counts of IPs and DPs (and, for
+//!   Spatial, the IP–IP connectivity);
+//! * **Sub-Processing Type** — a Roman numeral encoding *which* of the
+//!   variable connectivity relations are crossbars.  The numeral is
+//!   `1 + code` where `code` packs the crossbar bits in table order:
+//!   for Multi/Spatial processors, bit 3 = IP–DP, bit 2 = IP–IM,
+//!   bit 1 = DP–DM, bit 0 = DP–DP (sixteen sub-types); for Array and
+//!   data-flow Multi processors only the low two bits apply (four
+//!   sub-types).  Uni-processors have no sub-type.
+//!
+//! The resulting names — DUP, DMP-I..IV, IUP, IAP-I..IV, IMP-I..XVI,
+//! ISP-I..XVI, USP — are exactly the "Comments" column of Table I.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TaxonomyError;
+use crate::roman::{from_roman, to_roman};
+
+/// Primary branch of the naming hierarchy: how instructions reach data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MachineType {
+    /// No instruction processor: data elements carry their instructions and
+    /// fire on availability.
+    DataFlow,
+    /// Instruction processors fetch instructions that select the data to
+    /// process.
+    InstructionFlow,
+    /// Fine-grained fabric that can implement either paradigm (FPGA).
+    UniversalFlow,
+}
+
+impl MachineType {
+    /// The leading letter of class names (`D`, `I`, `U`).
+    pub fn letter(&self) -> char {
+        match self {
+            MachineType::DataFlow => 'D',
+            MachineType::InstructionFlow => 'I',
+            MachineType::UniversalFlow => 'U',
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MachineType::DataFlow => "Data Flow",
+            MachineType::InstructionFlow => "Instruction Flow",
+            MachineType::UniversalFlow => "Universal Flow",
+        }
+    }
+}
+
+impl fmt::Display for MachineType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Secondary branch: degree of parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProcessingType {
+    /// One processor (one DP, and for instruction flow one IP).
+    Uni,
+    /// One IP commanding `n` DPs (SIMD array).
+    Array,
+    /// `n` IPs and `n` DPs, no IP–IP connectivity (MIMD).
+    Multi,
+    /// IPs can connect to IPs: processors compose into larger processors.
+    Spatial,
+}
+
+impl ProcessingType {
+    /// The middle letter of class names (`U`, `A`, `M`, `S`).
+    pub fn letter(&self) -> char {
+        match self {
+            ProcessingType::Uni => 'U',
+            ProcessingType::Array => 'A',
+            ProcessingType::Multi => 'M',
+            ProcessingType::Spatial => 'S',
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcessingType::Uni => "Uni Processor",
+            ProcessingType::Array => "Array Processor",
+            ProcessingType::Multi => "Multi Processor",
+            ProcessingType::Spatial => "Spatial Processor",
+        }
+    }
+
+    /// Does this machine/processing combination exist in Table I?
+    ///
+    /// Data flow has only Uni and Multi processors; universal flow has only
+    /// the Spatial processor; instruction flow has all four.
+    pub fn exists_in(&self, machine: MachineType) -> bool {
+        match (machine, self) {
+            (MachineType::DataFlow, ProcessingType::Uni | ProcessingType::Multi) => true,
+            (MachineType::DataFlow, _) => false,
+            (MachineType::InstructionFlow, _) => true,
+            (MachineType::UniversalFlow, ProcessingType::Spatial) => true,
+            (MachineType::UniversalFlow, _) => false,
+        }
+    }
+
+    /// How many sub-types this processing type has in each machine type
+    /// (0 means "no numeral suffix").
+    pub fn subtype_cardinality(&self, machine: MachineType) -> u8 {
+        match (machine, self) {
+            (MachineType::UniversalFlow, _) => 0,
+            (_, ProcessingType::Uni) => 0,
+            (MachineType::DataFlow, ProcessingType::Multi) => 4,
+            (_, ProcessingType::Array) => 4,
+            (_, ProcessingType::Multi) => 16,
+            (_, ProcessingType::Spatial) => 16,
+        }
+    }
+}
+
+impl fmt::Display for ProcessingType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The sub-processing-type numeral: `SubType(k)` prints as the Roman
+/// numeral for `k` (1-based).  `SubType::NONE` means the class has no
+/// numeral (uni-processors, USP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubType(Option<u8>);
+
+impl SubType {
+    /// No sub-type numeral.
+    pub const NONE: SubType = SubType(None);
+
+    /// A 1-based sub-type index (1..=16).
+    pub fn new(index: u8) -> Result<Self, TaxonomyError> {
+        if (1..=16).contains(&index) {
+            Ok(SubType(Some(index)))
+        } else {
+            Err(TaxonomyError::name_parse(
+                &index.to_string(),
+                "sub-type index must be in 1..=16",
+            ))
+        }
+    }
+
+    /// Build from the crossbar bit-code (`index = code + 1`).
+    pub fn from_code(code: u8) -> Self {
+        SubType(Some(code + 1))
+    }
+
+    /// The 1-based index, if present.
+    pub fn index(&self) -> Option<u8> {
+        self.0
+    }
+
+    /// The crossbar bit-code (`index - 1`), if present.
+    pub fn code(&self) -> Option<u8> {
+        self.0.map(|i| i - 1)
+    }
+
+    /// Number of crossbar switches encoded by this sub-type (the popcount
+    /// of the code).  `None` sub-types encode zero.
+    pub fn crossbar_bits(&self) -> u8 {
+        self.code().map_or(0, |c| c.count_ones() as u8)
+    }
+}
+
+impl fmt::Display for SubType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => Ok(()),
+            Some(i) => write!(f, "{}", to_roman(u16::from(i))),
+        }
+    }
+}
+
+/// A full hierarchical class name (e.g. `IMP-XIV`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassName {
+    /// Machine type (first letter).
+    pub machine: MachineType,
+    /// Processing type (second letter; the paper's acronyms keep `P` for
+    /// "Processor" as the third letter).
+    pub processing: ProcessingType,
+    /// Sub-processing type (Roman suffix).
+    pub sub: SubType,
+}
+
+impl ClassName {
+    /// Build a name, checking that the sub-type is consistent with the
+    /// machine/processing pair (e.g. `IAP-V` does not exist).
+    pub fn new(
+        machine: MachineType,
+        processing: ProcessingType,
+        sub: SubType,
+    ) -> Result<Self, TaxonomyError> {
+        if !processing.exists_in(machine) {
+            return Err(TaxonomyError::name_parse(
+                &format!("{}{}P", machine.letter(), processing.letter()),
+                format!(
+                    "{} has no {} class in Table I",
+                    machine.label(),
+                    processing.label()
+                ),
+            ));
+        }
+        let cardinality = processing.subtype_cardinality(machine);
+        match (cardinality, sub.index()) {
+            (0, None) => Ok(ClassName { machine, processing, sub }),
+            (0, Some(_)) => Err(TaxonomyError::name_parse(
+                &format!("{}{}P-{}", machine.letter(), processing.letter(), sub),
+                "this class takes no sub-type numeral",
+            )),
+            (_, None) => Err(TaxonomyError::name_parse(
+                &format!("{}{}P", machine.letter(), processing.letter()),
+                "this class requires a sub-type numeral",
+            )),
+            (n, Some(i)) if i <= n => Ok(ClassName { machine, processing, sub }),
+            (n, Some(i)) => Err(TaxonomyError::name_parse(
+                &format!("{}{}P-{}", machine.letter(), processing.letter(), sub),
+                format!("sub-type {i} exceeds the {n} sub-types of this class"),
+            )),
+        }
+    }
+
+    /// The acronym without numeral (`DUP`, `IMP`, ...).
+    pub fn acronym(&self) -> String {
+        format!("{}{}P", self.machine.letter(), self.processing.letter())
+    }
+
+    /// The long-form reading of the name, mirroring the paper's
+    /// "Instruction Flow —> Multi Processor" phrasing.
+    pub fn long_form(&self) -> String {
+        match self.sub.index() {
+            None => format!("{} -> {}", self.machine.label(), self.processing.label()),
+            Some(_) => format!(
+                "{} -> {} (sub-type {})",
+                self.machine.label(),
+                self.processing.label(),
+                self.sub
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ClassName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sub.index() {
+            None => write!(f, "{}", self.acronym()),
+            Some(_) => write!(f, "{}-{}", self.acronym(), self.sub),
+        }
+    }
+}
+
+impl FromStr for ClassName {
+    type Err = TaxonomyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (acronym, numeral) = match s.split_once('-') {
+            Some((a, n)) => (a, Some(n)),
+            None => (s, None),
+        };
+        if acronym.len() != 3 || !acronym.ends_with('P') {
+            return Err(TaxonomyError::name_parse(
+                s,
+                "expected a three-letter acronym ending in P (e.g. IMP)",
+            ));
+        }
+        let mut chars = acronym.chars();
+        let machine = match chars.next().unwrap() {
+            'D' => MachineType::DataFlow,
+            'I' => MachineType::InstructionFlow,
+            'U' => MachineType::UniversalFlow,
+            c => {
+                return Err(TaxonomyError::name_parse(
+                    s,
+                    format!("unknown machine-type letter {c:?}"),
+                ))
+            }
+        };
+        let processing = match chars.next().unwrap() {
+            'U' => ProcessingType::Uni,
+            'A' => ProcessingType::Array,
+            'M' => ProcessingType::Multi,
+            'S' => ProcessingType::Spatial,
+            c => {
+                return Err(TaxonomyError::name_parse(
+                    s,
+                    format!("unknown processing-type letter {c:?}"),
+                ))
+            }
+        };
+        let sub = match numeral {
+            None => SubType::NONE,
+            Some(n) => {
+                let idx = from_roman(n)?;
+                if idx > 16 {
+                    return Err(TaxonomyError::name_parse(s, "sub-type above XVI"));
+                }
+                SubType::new(idx as u8)?
+            }
+        };
+        ClassName::new(machine, processing, sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_print_as_in_paper() {
+        let dup = ClassName::new(MachineType::DataFlow, ProcessingType::Uni, SubType::NONE)
+            .unwrap();
+        assert_eq!(dup.to_string(), "DUP");
+        let imp14 = ClassName::new(
+            MachineType::InstructionFlow,
+            ProcessingType::Multi,
+            SubType::new(14).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(imp14.to_string(), "IMP-XIV");
+        let usp = ClassName::new(
+            MachineType::UniversalFlow,
+            ProcessingType::Spatial,
+            SubType::NONE,
+        )
+        .unwrap();
+        assert_eq!(usp.to_string(), "USP");
+    }
+
+    #[test]
+    fn parse_round_trips_every_table_i_name() {
+        let mut names = vec!["DUP".to_owned(), "IUP".to_owned(), "USP".to_owned()];
+        for i in 1..=4u16 {
+            names.push(format!("DMP-{}", to_roman(i)));
+            names.push(format!("IAP-{}", to_roman(i)));
+        }
+        for i in 1..=16u16 {
+            names.push(format!("IMP-{}", to_roman(i)));
+            names.push(format!("ISP-{}", to_roman(i)));
+        }
+        assert_eq!(names.len(), 3 + 8 + 32);
+        for n in names {
+            let parsed: ClassName = n.parse().unwrap();
+            assert_eq!(parsed.to_string(), n, "round trip of {n}");
+        }
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        for bad in [
+            "IMP",       // missing required numeral
+            "IAP-V",     // only four array sub-types
+            "DMP-XVII",  // out of range
+            "DUP-I",     // uni processors take no numeral
+            "USP-I",     // universal flow takes no numeral
+            "XMP-I",     // unknown machine letter
+            "IQP-I",     // unknown processing letter
+            "IM-I",      // malformed acronym
+            "imp-i",     // case-sensitive
+            "DAP-I",     // data-flow array does not exist in Table I
+        ] {
+            // DAP-I parses structurally but has cardinality 0 in data flow.
+            assert!(bad.parse::<ClassName>().is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn subtype_crossbar_bits_popcount() {
+        assert_eq!(SubType::NONE.crossbar_bits(), 0);
+        assert_eq!(SubType::new(1).unwrap().crossbar_bits(), 0); // code 0000
+        assert_eq!(SubType::new(16).unwrap().crossbar_bits(), 4); // code 1111
+        assert_eq!(SubType::new(14).unwrap().crossbar_bits(), 3); // code 1101
+    }
+
+    #[test]
+    fn long_form_reads_like_the_paper() {
+        let iap2: ClassName = "IAP-II".parse().unwrap();
+        assert_eq!(
+            iap2.long_form(),
+            "Instruction Flow -> Array Processor (sub-type II)"
+        );
+    }
+
+    #[test]
+    fn same_subtype_means_same_connectivity_code() {
+        // Section III-A: "IAP-I and IMP-I will have same ... connectivity".
+        let iap1: ClassName = "IAP-I".parse().unwrap();
+        let imp1: ClassName = "IMP-I".parse().unwrap();
+        assert_eq!(iap1.sub.code(), imp1.sub.code());
+    }
+}

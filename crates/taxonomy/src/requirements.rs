@@ -1,0 +1,219 @@
+//! Application requirements → minimal class (the designer flow of the
+//! paper's conclusion).
+//!
+//! "By looking into this taxonomy, a designer can decide which computer
+//! class offers the required flexibility with minimum configuration
+//! overhead for single or set of target applications."  This module makes
+//! that lookup mechanical: an application is characterised by the
+//! *capabilities* it needs, each capability maps to a structural demand
+//! (a count class or a crossbar on a relation), and the classes that
+//! satisfy all demands are enumerated.
+
+use skilltax_model::Relation;
+
+use crate::class::{Taxonomy, TaxonomyClass};
+use crate::compare::crossbar_relations_of;
+use crate::name::{ClassName, MachineType, ProcessingType};
+
+/// A capability an application needs from its execution substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// More than one data processor working at once (any parallelism).
+    DataParallelism,
+    /// Several *different* instruction streams at the same time (MIMD).
+    MultipleInstructionStreams,
+    /// Data exchanged directly between processing elements (DP–DP switch).
+    LaneExchange,
+    /// Any processor reaching any memory (DP–DM crossbar).
+    SharedMemory,
+    /// Cores loading programs from a common store (IP–IM crossbar).
+    SharedProgramStore,
+    /// Any instruction processor driving any data processor (IP–DP
+    /// crossbar).
+    ProcessorRebinding,
+    /// Instruction processors composing into larger ones (IP–IP switch).
+    ProcessorComposition,
+    /// Execution driven purely by data availability (data-flow paradigm).
+    DataflowExecution,
+    /// Instruction-driven execution (fetch/decode control).
+    InstructionExecution,
+    /// Blocks that exchange roles under reconfiguration (fine-grained).
+    RoleExchange,
+}
+
+impl Capability {
+    /// All capabilities.
+    pub const ALL: [Capability; 10] = [
+        Capability::DataParallelism,
+        Capability::MultipleInstructionStreams,
+        Capability::LaneExchange,
+        Capability::SharedMemory,
+        Capability::SharedProgramStore,
+        Capability::ProcessorRebinding,
+        Capability::ProcessorComposition,
+        Capability::DataflowExecution,
+        Capability::InstructionExecution,
+        Capability::RoleExchange,
+    ];
+}
+
+/// Does a named class provide a capability?
+pub fn provides(name: &ClassName, capability: Capability) -> bool {
+    let crossbars = crossbar_relations_of(name);
+    let universal = name.machine == MachineType::UniversalFlow;
+    match capability {
+        Capability::DataParallelism => {
+            universal || name.processing != ProcessingType::Uni
+        }
+        Capability::MultipleInstructionStreams => {
+            universal
+                || (name.machine == MachineType::InstructionFlow
+                    && matches!(
+                        name.processing,
+                        ProcessingType::Multi | ProcessingType::Spatial
+                    ))
+        }
+        Capability::LaneExchange => universal || crossbars.contains(&Relation::DpDp),
+        Capability::SharedMemory => universal || crossbars.contains(&Relation::DpDm),
+        Capability::SharedProgramStore => universal || crossbars.contains(&Relation::IpIm),
+        Capability::ProcessorRebinding => universal || crossbars.contains(&Relation::IpDp),
+        Capability::ProcessorComposition => {
+            universal || name.processing == ProcessingType::Spatial
+        }
+        Capability::DataflowExecution => universal || name.machine == MachineType::DataFlow,
+        Capability::InstructionExecution => {
+            universal || name.machine == MachineType::InstructionFlow
+        }
+        Capability::RoleExchange => universal,
+    }
+}
+
+/// All Table I classes that provide *every* requested capability, in
+/// serial order.
+pub fn satisfying_classes(requirements: &[Capability]) -> Vec<&'static TaxonomyClass> {
+    Taxonomy::extended()
+        .implementable()
+        .filter(|class| requirements.iter().all(|&r| provides(class.name(), r)))
+        .collect()
+}
+
+/// The satisfying classes with the *lowest flexibility score* — the
+/// paper's "required flexibility with minimum configuration overhead"
+/// proxy at the taxonomy level (cost-aware refinement lives in
+/// `skilltax-estimate`).
+pub fn minimal_classes(requirements: &[Capability]) -> Vec<&'static TaxonomyClass> {
+    let candidates = satisfying_classes(requirements);
+    let min = candidates
+        .iter()
+        .map(|c| crate::flexibility::flexibility_of_class(c))
+        .min();
+    match min {
+        None => Vec::new(),
+        Some(m) => candidates
+            .into_iter()
+            .filter(|c| crate::flexibility::flexibility_of_class(c) == m)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(classes: &[&TaxonomyClass]) -> Vec<String> {
+        classes.iter().map(|c| c.name().to_string()).collect()
+    }
+
+    #[test]
+    fn no_requirements_admits_every_named_class() {
+        assert_eq!(satisfying_classes(&[]).len(), 43);
+    }
+
+    #[test]
+    fn usp_provides_everything() {
+        let usp: ClassName = "USP".parse().unwrap();
+        for cap in Capability::ALL {
+            assert!(provides(&usp, cap), "{cap:?}");
+        }
+    }
+
+    #[test]
+    fn role_exchange_filters_to_usp_only() {
+        assert_eq!(names(&satisfying_classes(&[Capability::RoleExchange])), vec!["USP"]);
+    }
+
+    #[test]
+    fn mimd_plus_shared_memory_picks_imp_iii_family() {
+        let reqs =
+            [Capability::MultipleInstructionStreams, Capability::SharedMemory];
+        let minimal = minimal_classes(&reqs);
+        // Cheapest classes with n IPs + DP-DM crossbar: IMP-III (flex 3).
+        assert_eq!(names(&minimal), vec!["IMP-III"]);
+        for class in satisfying_classes(&reqs) {
+            assert!(
+                provides(class.name(), Capability::SharedMemory),
+                "{}",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_and_instruction_flow_together_need_the_fpga() {
+        let reqs = [Capability::DataflowExecution, Capability::InstructionExecution];
+        assert_eq!(names(&satisfying_classes(&reqs)), vec!["USP"]);
+    }
+
+    #[test]
+    fn lane_exchange_alone_is_cheapest_in_data_flow() {
+        let minimal = minimal_classes(&[Capability::LaneExchange]);
+        // DMP-II and IAP-II both score 2; data-flow and array variants tie.
+        let got = names(&minimal);
+        assert!(got.contains(&"DMP-II".to_owned()), "{got:?}");
+        assert!(got.contains(&"IAP-II".to_owned()), "{got:?}");
+    }
+
+    #[test]
+    fn composition_requires_spatial_or_universal() {
+        for class in satisfying_classes(&[Capability::ProcessorComposition]) {
+            let n = class.name();
+            assert!(
+                n.processing == ProcessingType::Spatial
+                    || n.machine == MachineType::UniversalFlow,
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_combination_yields_empty_set() {
+        // Data-flow execution + multiple instruction streams: only USP,
+        // and adding a non-universal-only constraint that excludes it
+        // would empty the set — e.g. requiring instruction execution is
+        // still satisfied by USP, so use a stronger check: dataflow +
+        // processor rebinding has USP only; nothing non-universal.
+        let reqs = [Capability::DataflowExecution, Capability::ProcessorRebinding];
+        assert_eq!(names(&satisfying_classes(&reqs)), vec!["USP"]);
+    }
+
+    #[test]
+    fn minimal_classes_have_minimal_flexibility() {
+        use crate::flexibility::flexibility_of_class;
+        for combo in [
+            vec![Capability::DataParallelism],
+            vec![Capability::MultipleInstructionStreams, Capability::LaneExchange],
+            vec![Capability::SharedProgramStore, Capability::SharedMemory],
+        ] {
+            let all = satisfying_classes(&combo);
+            let minimal = minimal_classes(&combo);
+            assert!(!minimal.is_empty());
+            let min_flex = flexibility_of_class(minimal[0]);
+            for c in &all {
+                assert!(flexibility_of_class(c) >= min_flex);
+            }
+            for c in &minimal {
+                assert_eq!(flexibility_of_class(c), min_flex);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Roman-numeral helpers for sub-processing-type indices (I–XVI).
+//!
+//! The paper indexes sub-types with Roman numerals; only 1–16 ever occur
+//! (IMP/ISP have sixteen sub-types), but the converter is exact for 1–3999.
+
+use crate::error::TaxonomyError;
+
+/// Render a positive integer as an upper-case Roman numeral.
+///
+/// # Panics
+/// Panics if `value` is 0 or above 3999 (outside classical Roman range).
+pub fn to_roman(value: u16) -> String {
+    assert!(
+        (1..=3999).contains(&value),
+        "Roman numerals are defined for 1..=3999, got {value}"
+    );
+    const TABLE: [(u16, &str); 13] = [
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut remaining = value;
+    let mut out = String::new();
+    for (weight, symbol) in TABLE {
+        while remaining >= weight {
+            out.push_str(symbol);
+            remaining -= weight;
+        }
+    }
+    out
+}
+
+/// Parse an upper-case Roman numeral.
+pub fn from_roman(s: &str) -> Result<u16, TaxonomyError> {
+    if s.is_empty() {
+        return Err(TaxonomyError::roman_parse(s));
+    }
+    fn digit(c: char) -> Option<u16> {
+        Some(match c {
+            'I' => 1,
+            'V' => 5,
+            'X' => 10,
+            'L' => 50,
+            'C' => 100,
+            'D' => 500,
+            'M' => 1000,
+            _ => return None,
+        })
+    }
+    let mut total: i32 = 0;
+    let chars: Vec<char> = s.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let v = digit(c).ok_or_else(|| TaxonomyError::roman_parse(s))? as i32;
+        let next = chars
+            .get(i + 1)
+            .and_then(|&c2| digit(c2))
+            .unwrap_or(0) as i32;
+        if v < next {
+            total -= v;
+        } else {
+            total += v;
+        }
+    }
+    if total <= 0 || total > 3999 {
+        return Err(TaxonomyError::roman_parse(s));
+    }
+    let value = total as u16;
+    // Reject non-canonical spellings ("IIII", "IXI") by round-tripping.
+    if to_roman(value) != s {
+        return Err(TaxonomyError::roman_parse(s));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sixteen_match_paper_usage() {
+        let expected = [
+            "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII",
+            "XIV", "XV", "XVI",
+        ];
+        for (i, e) in expected.iter().enumerate() {
+            assert_eq!(to_roman(i as u16 + 1), *e);
+            assert_eq!(from_roman(e).unwrap(), i as u16 + 1);
+        }
+    }
+
+    #[test]
+    fn round_trip_full_range() {
+        for v in 1..=3999u16 {
+            assert_eq!(from_roman(&to_roman(v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_noncanonical_and_garbage() {
+        for bad in ["", "IIII", "IXI", "VX", "ABC", "iv"] {
+            assert!(from_roman(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_panics() {
+        let _ = to_roman(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Skillicorn's original taxonomy (1988) — the baseline the paper
+//! extends.
+//!
+//! Skillicorn classified by the counts of IPs and DPs (0, 1 or n) and by
+//! the structure of four relations: IP–DP, IP–IM, DP–DM and DP–DP.  The
+//! paper adds (a) the IP–IP relation and (b) the variable count `v`; the
+//! abstract counts **19 new classes** from those two extensions.  This
+//! module implements the baseline as a *projection*: every extended class
+//! either maps onto a Skillicorn class (dropping nothing) or is one of
+//! the 19 that did not exist in 1988.
+
+use std::fmt;
+
+use skilltax_model::{Connectivity, Count, Relation};
+
+use crate::class::{Taxonomy, TaxonomyClass};
+
+/// A class of the original 1988 taxonomy: counts plus the four original
+/// relations (no IP–IP, no `v`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SkillicornClass {
+    /// IP count (0, 1 or n — never `v`).
+    pub ips: Count,
+    /// DP count.
+    pub dps: Count,
+    /// The four original relations (IP–IP is always `none` here).
+    pub connectivity: Connectivity,
+}
+
+impl fmt::Display for SkillicornClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} | {} | {} | {}",
+            self.ips,
+            self.dps,
+            self.connectivity.link(Relation::IpDp),
+            self.connectivity.link(Relation::IpIm),
+            self.connectivity.link(Relation::DpDm),
+            self.connectivity.link(Relation::DpDp),
+        )
+    }
+}
+
+/// Project an extended class onto the original taxonomy.  Returns `None`
+/// for the classes Skillicorn could not express:
+///
+/// * any class with IP–IP connectivity (rows 13–14 and 31–46), and
+/// * the variable-count universal class (row 47).
+pub fn project(class: &TaxonomyClass) -> Option<SkillicornClass> {
+    if class.connectivity.link(Relation::IpIp).is_connected() {
+        return None;
+    }
+    if class.ips.is_variable() || class.dps.is_variable() {
+        return None;
+    }
+    Some(SkillicornClass {
+        ips: class.ips,
+        dps: class.dps,
+        connectivity: class.connectivity,
+    })
+}
+
+/// The baseline table: every extended row with a 1988 ancestor, as
+/// `(extended serial, projection)`.
+pub fn skillicorn_table() -> Vec<(u8, SkillicornClass)> {
+    Taxonomy::extended()
+        .classes()
+        .iter()
+        .filter_map(|c| project(c).map(|p| (c.serial, p)))
+        .collect()
+}
+
+/// The extended rows that have **no** 1988 ancestor — the paper's
+/// contribution, as `(serial, designation)` pairs.
+pub fn new_classes() -> Vec<(u8, String)> {
+    Taxonomy::extended()
+        .classes()
+        .iter()
+        .filter(|c| project(c).is_none())
+        .map(|c| (c.serial, c.designation.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_19_new_classes_as_the_abstract_claims() {
+        // "we extend the well known Skillicorn taxonomy to create new
+        // classes" — the abstract's count is 19.
+        let new = new_classes();
+        assert_eq!(new.len(), 19, "{new:?}");
+        let serials: Vec<u8> = new.iter().map(|(s, _)| *s).collect();
+        let expected: Vec<u8> = [13u8, 14].into_iter().chain(31..=47).collect();
+        assert_eq!(serials, expected);
+    }
+
+    #[test]
+    fn baseline_has_28_classes() {
+        // 47 extended - 19 new = 28 rows expressible in 1988.
+        assert_eq!(skillicorn_table().len(), 28);
+    }
+
+    #[test]
+    fn projections_preserve_every_original_column() {
+        for (serial, projection) in skillicorn_table() {
+            let class = Taxonomy::extended().by_serial(serial).unwrap();
+            assert_eq!(projection.ips, class.ips);
+            assert_eq!(projection.dps, class.dps);
+            for r in [Relation::IpDp, Relation::IpIm, Relation::DpDm, Relation::DpDp] {
+                assert_eq!(
+                    projection.connectivity.link(r),
+                    class.connectivity.link(r),
+                    "row {serial} {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_spatial_and_universal_classes_are_new() {
+        for (serial, name) in new_classes() {
+            let is_isp = name.starts_with("ISP");
+            let is_usp = name == "USP";
+            let is_ni = name == "NI" && (13..=14).contains(&serial);
+            assert!(is_isp || is_usp || is_ni, "{serial}: {name}");
+        }
+    }
+
+    #[test]
+    fn projections_are_distinct_rows() {
+        let table = skillicorn_table();
+        for (i, (_, a)) in table.iter().enumerate() {
+            for (_, b) in table.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate baseline row");
+            }
+        }
+    }
+
+    #[test]
+    fn display_prints_the_four_column_structure() {
+        let (serial, dup) = &skillicorn_table()[0];
+        assert_eq!(*serial, 1);
+        assert_eq!(dup.to_string(), "0 | 1 | none | none | 1-1 | none");
+    }
+}

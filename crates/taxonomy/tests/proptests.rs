@@ -1,0 +1,131 @@
+//! Property tests for the taxonomy: naming, classification and scoring
+//! invariants over the whole class space.
+
+use proptest::prelude::*;
+
+use skilltax_model::{Link, Relation};
+use skilltax_taxonomy::{
+    classify, compare_names, crossbar_relations_of, flexibility_of_class, flexibility_of_spec,
+    provides, satisfying_classes, Capability, ClassName, Taxonomy,
+};
+
+fn class_index() -> impl Strategy<Value = usize> {
+    0usize..43
+}
+
+fn named_class(i: usize) -> &'static skilltax_taxonomy::TaxonomyClass {
+    Taxonomy::extended().implementable().nth(i).expect("43 named classes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn every_name_parses_back_to_itself(i in class_index()) {
+        let name = *named_class(i).name();
+        let parsed: ClassName = name.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn subtype_numeral_encodes_exactly_the_crossbar_relations(i in class_index()) {
+        let class = named_class(i);
+        // The crossbar set derived from the *name* equals the crossbar set
+        // present in the canonical *structure*.
+        let from_name = crossbar_relations_of(class.name());
+        let mut from_structure: Vec<Relation> = class
+            .connectivity
+            .crossbar_relations();
+        from_structure.sort();
+        prop_assert_eq!(from_name, from_structure);
+    }
+
+    #[test]
+    fn flexibility_equals_crossbars_plus_count_points(i in class_index()) {
+        let class = named_class(i);
+        let spec = class.template_spec();
+        let expected = spec.connectivity.crossbar_count()
+            + u32::from(spec.ips.is_plural())
+            + u32::from(spec.dps.is_plural())
+            + u32::from(spec.is_universal());
+        prop_assert_eq!(flexibility_of_spec(&spec), expected);
+    }
+
+    #[test]
+    fn comparison_is_symmetric_in_structure(i in class_index(), j in class_index()) {
+        let (a, b) = (*named_class(i).name(), *named_class(j).name());
+        let ab = compare_names(a, b);
+        let ba = compare_names(b, a);
+        prop_assert_eq!(ab.same_machine, ba.same_machine);
+        prop_assert_eq!(ab.same_processing, ba.same_processing);
+        prop_assert_eq!(ab.same_sub_type, ba.same_sub_type);
+        prop_assert_eq!(ab.shared_crossbars, ba.shared_crossbars);
+        prop_assert_eq!(ab.only_in_a, ba.only_in_b);
+        prop_assert_eq!(ab.flexibility_comparable, ba.flexibility_comparable);
+    }
+
+    #[test]
+    fn downgrading_a_crossbar_lowers_or_keeps_class_flexibility(i in class_index(), which in 0usize..5) {
+        let class = named_class(i);
+        let spec = class.template_spec();
+        let relation = Relation::ALL[which];
+        if spec.is_universal() {
+            return Ok(()); // USP's links are variable; downgrades below cover coarse classes.
+        }
+        if let Link::Connected(sw) = spec.connectivity.link(relation) {
+            if sw.is_crossbar() {
+                let mut downgraded = spec.clone();
+                downgraded.connectivity = downgraded.connectivity.with(
+                    relation,
+                    Link::Connected(skilltax_model::Switch::new(
+                        skilltax_model::SwitchKind::Direct,
+                        sw.left,
+                        sw.right,
+                    )),
+                );
+                prop_assert!(flexibility_of_spec(&downgraded) < flexibility_of_spec(&spec));
+            }
+        }
+    }
+
+    #[test]
+    fn capability_filtering_is_monotone(i in class_index(), caps in prop::collection::vec(0usize..10, 0..4)) {
+        // Adding a requirement can only shrink the satisfying set.
+        let caps: Vec<Capability> = caps.into_iter().map(|c| Capability::ALL[c]).collect();
+        let full = satisfying_classes(&caps);
+        let mut extended = caps.clone();
+        extended.push(Capability::ALL[i % Capability::ALL.len()]);
+        let shrunk = satisfying_classes(&extended);
+        prop_assert!(shrunk.len() <= full.len());
+        for class in &shrunk {
+            prop_assert!(full.iter().any(|c| c.serial == class.serial));
+        }
+    }
+
+    #[test]
+    fn provided_capabilities_never_exceed_flexibility_rank(i in class_index()) {
+        // A class with zero flexibility provides no crossbar-backed
+        // capability; capability count grows with flexibility.
+        let class = named_class(i);
+        let crossbar_caps = [
+            Capability::LaneExchange,
+            Capability::SharedMemory,
+            Capability::SharedProgramStore,
+            Capability::ProcessorRebinding,
+        ];
+        let provided = crossbar_caps
+            .iter()
+            .filter(|&&c| provides(class.name(), c))
+            .count() as u32;
+        prop_assert!(provided <= flexibility_of_class(class));
+    }
+
+    #[test]
+    fn classify_is_deterministic(i in class_index()) {
+        let spec = named_class(i).template_spec();
+        let a = classify(&spec).unwrap();
+        let b = classify(&spec).unwrap();
+        prop_assert_eq!(a.serial(), b.serial());
+        prop_assert_eq!(a.name(), b.name());
+    }
+}

@@ -1,0 +1,172 @@
+//! The generated publication dataset and Fig 1 series.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::Topic;
+
+/// First year of the Fig 1 window.
+pub const FIRST_YEAR: u16 = 1995;
+/// Last year of the Fig 1 window (the paper covers "the last 15 years"
+/// from ~2010).
+pub const LAST_YEAR: u16 = 2010;
+
+/// One (topic, year) publication count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// The research topic.
+    pub topic: Topic,
+    /// Publication year.
+    pub year: u16,
+    /// Number of publications.
+    pub count: u32,
+}
+
+/// The synthetic stand-in for the IEEE database: deterministic for a given
+/// seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicationDatabase {
+    records: Vec<Record>,
+    seed: u64,
+}
+
+impl PublicationDatabase {
+    /// Generate the database: logistic expectation plus ±5% seeded noise.
+    pub fn generate(seed: u64) -> PublicationDatabase {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut records = Vec::new();
+        for topic in Topic::ALL {
+            let curve = topic.curve();
+            for year in FIRST_YEAR..=LAST_YEAR {
+                let expected = curve.value(year);
+                let noise = rng.gen_range(-0.05..=0.05);
+                let count = (expected * (1.0 + noise)).round().max(0.0) as u32;
+                records.push(Record { topic, year, count });
+            }
+        }
+        PublicationDatabase { records, seed }
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Count for one (topic, year) cell.
+    pub fn count(&self, topic: Topic, year: u16) -> Option<u32> {
+        self.records
+            .iter()
+            .find(|r| r.topic == topic && r.year == year)
+            .map(|r| r.count)
+    }
+
+    /// Per-year series for one topic, in year order.
+    pub fn series(&self, topic: Topic) -> Vec<(u16, u32)> {
+        self.records
+            .iter()
+            .filter(|r| r.topic == topic)
+            .map(|r| (r.year, r.count))
+            .collect()
+    }
+
+    /// Total publications for a topic over an inclusive year range.
+    pub fn total(&self, topic: Topic, from: u16, to: u16) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.topic == topic && (from..=to).contains(&r.year))
+            .map(|r| u64::from(r.count))
+            .sum()
+    }
+
+    /// Growth ratio: publications in the last five years of the window
+    /// divided by the five years before them (the paper's observation).
+    pub fn last_five_year_growth(&self, topic: Topic) -> f64 {
+        let late = self.total(topic, LAST_YEAR - 4, LAST_YEAR) as f64;
+        let earlier = self.total(topic, LAST_YEAR - 9, LAST_YEAR - 5) as f64;
+        if earlier == 0.0 {
+            f64::INFINITY
+        } else {
+            late / earlier
+        }
+    }
+
+    /// The complete Fig 1 data: `(topic, series)` for every topic.
+    pub fn fig1(&self) -> Vec<(Topic, Vec<(u16, u32)>)> {
+        Topic::ALL.iter().map(|&t| (t, self.series(t))).collect()
+    }
+}
+
+impl Default for PublicationDatabase {
+    /// The canonical dataset used by the figure regeneration (seed 2012,
+    /// the paper's year).
+    fn default() -> Self {
+        PublicationDatabase::generate(2012)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(PublicationDatabase::generate(7), PublicationDatabase::generate(7));
+        assert_ne!(
+            PublicationDatabase::generate(7).records(),
+            PublicationDatabase::generate(8).records()
+        );
+    }
+
+    #[test]
+    fn covers_every_topic_and_year() {
+        let db = PublicationDatabase::default();
+        let years = usize::from(LAST_YEAR - FIRST_YEAR) + 1;
+        assert_eq!(db.records().len(), Topic::ALL.len() * years);
+        for topic in Topic::ALL {
+            let series = db.series(topic);
+            assert_eq!(series.len(), years);
+            assert_eq!(series.first().unwrap().0, FIRST_YEAR);
+            assert_eq!(series.last().unwrap().0, LAST_YEAR);
+        }
+    }
+
+    #[test]
+    fn noise_stays_within_five_percent_of_the_curve() {
+        let db = PublicationDatabase::default();
+        for r in db.records() {
+            let expected = r.topic.curve().value(r.year);
+            let deviation = (f64::from(r.count) - expected).abs();
+            assert!(
+                deviation <= expected * 0.05 + 1.0,
+                "{} {}: {} vs {}",
+                r.topic,
+                r.year,
+                r.count,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn papers_growth_observation_holds_in_the_data() {
+        let db = PublicationDatabase::default();
+        assert!(db.last_five_year_growth(Topic::Multicore) > 5.0);
+        assert!(db.last_five_year_growth(Topic::ReconfigurableComputing) > 1.5);
+        // Established fields grow more modestly.
+        assert!(db.last_five_year_growth(Topic::Fpga) < 3.0);
+    }
+
+    #[test]
+    fn fig1_exposes_all_series() {
+        let db = PublicationDatabase::default();
+        let fig = db.fig1();
+        assert_eq!(fig.len(), 6);
+        assert!(db.count(Topic::Multicore, 2008).unwrap() > 0);
+        assert_eq!(db.count(Topic::Multicore, 1890), None);
+    }
+}

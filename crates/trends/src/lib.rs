@@ -1,0 +1,24 @@
+//! # skilltax-trends
+//!
+//! The stand-in for the paper's Fig 1 data source.  The paper compiled
+//! publication counts per parallel-computing topic (1995–2010) from the
+//! IEEE database; offline we substitute a deterministic generative model —
+//! logistic adoption curves per topic with documented parameters plus
+//! seeded ±5% noise — that reproduces the *shape* the paper reports (the
+//! sharp post-2005 rise of multicore and reconfigurable computing).
+//!
+//! ```
+//! use skilltax_trends::{PublicationDatabase, Topic};
+//!
+//! let db = PublicationDatabase::default();
+//! assert!(db.last_five_year_growth(Topic::Multicore) > 5.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod model;
+
+pub use dataset::{PublicationDatabase, Record, FIRST_YEAR, LAST_YEAR};
+pub use model::{LogisticCurve, Topic};

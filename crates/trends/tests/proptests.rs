@@ -1,0 +1,59 @@
+//! Property tests for the bibliometric model: determinism, bounds, and
+//! shape invariants for any seed.
+
+use proptest::prelude::*;
+
+use skilltax_trends::{PublicationDatabase, Topic, FIRST_YEAR, LAST_YEAR};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_seed_is_deterministic(seed in 0u64..10_000) {
+        let a = PublicationDatabase::generate(seed);
+        let b = PublicationDatabase::generate(seed);
+        prop_assert_eq!(a.records(), b.records());
+        prop_assert_eq!(a.seed(), seed);
+    }
+
+    #[test]
+    fn counts_track_their_curve_for_any_seed(seed in 0u64..10_000) {
+        let db = PublicationDatabase::generate(seed);
+        for r in db.records() {
+            let expected = r.topic.curve().value(r.year);
+            prop_assert!(
+                (f64::from(r.count) - expected).abs() <= expected * 0.05 + 1.0,
+                "{} {} deviates",
+                r.topic,
+                r.year
+            );
+        }
+    }
+
+    #[test]
+    fn the_papers_shape_claim_holds_for_any_seed(seed in 0u64..10_000) {
+        // Multicore rises far faster in the last five years than FPGA —
+        // noise never inverts the ordering.
+        let db = PublicationDatabase::generate(seed);
+        prop_assert!(
+            db.last_five_year_growth(Topic::Multicore)
+                > db.last_five_year_growth(Topic::Fpga)
+        );
+        prop_assert!(db.last_five_year_growth(Topic::Multicore) > 4.0);
+    }
+
+    #[test]
+    fn totals_are_consistent_with_series(seed in 0u64..10_000, topic_idx in 0usize..6) {
+        let topic = Topic::ALL[topic_idx];
+        let db = PublicationDatabase::generate(seed);
+        let from_series: u64 =
+            db.series(topic).iter().map(|(_, c)| u64::from(*c)).sum();
+        prop_assert_eq!(db.total(topic, FIRST_YEAR, LAST_YEAR), from_series);
+        // Sub-ranges partition the total.
+        let mid = (FIRST_YEAR + LAST_YEAR) / 2;
+        prop_assert_eq!(
+            db.total(topic, FIRST_YEAR, mid) + db.total(topic, mid + 1, LAST_YEAR),
+            from_series
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Re-derive the paper's survey: classify all 25 architectures of
+//! Table III from their structure alone, compare against the paper's
+//! printed classes, and draw the Fig 7 flexibility comparison.
+//!
+//! ```sh
+//! cargo run --example classify_survey
+//! ```
+
+use skilltax::catalog::{full_survey, regenerate_table_iii};
+use skilltax::report::{ascii_bar_chart, Bar};
+
+fn main() {
+    println!("Re-deriving Table III from structural descriptions...\n");
+    let mut agree = 0;
+    for row in regenerate_table_iii() {
+        let status = if row.class == row.paper.0 && row.flexibility == row.paper.1 {
+            agree += 1;
+            "ok"
+        } else if row.erratum.is_some() {
+            agree += 1;
+            "erratum"
+        } else {
+            "MISMATCH"
+        };
+        println!(
+            "  {:<12} {:<55} => {:<8} flex {}  [paper: {}/{}] {}",
+            row.name, row.structure, row.class, row.flexibility, row.paper.0, row.paper.1, status
+        );
+        if let Some(note) = row.erratum {
+            println!("               note: {note}");
+        }
+    }
+    println!("\n{agree}/25 rows agree with the paper (1 via documented erratum).\n");
+
+    // Fig 7: the flexibility comparison chart.
+    let bars: Vec<Bar> = regenerate_table_iii()
+        .into_iter()
+        .map(|row| Bar { label: row.name, value: f64::from(row.flexibility) })
+        .collect();
+    println!(
+        "{}",
+        ascii_bar_chart(
+            "Fig 7: Comparison of Published Architectures w.r.t their Relative Flexibility",
+            &bars,
+            48
+        )
+    );
+
+    // Section IV prose, straight from the catalog.
+    println!("Architecture notes (Section IV):");
+    for entry in full_survey().iter().take(3) {
+        println!("\n  {} {} ({:?})", entry.name(), entry.spec.meta.citation, entry.spec.meta.year);
+        println!("    {}", entry.spec.meta.description);
+    }
+    println!("\n  ... (22 more; see `skilltax::catalog`)");
+}

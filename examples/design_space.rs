@@ -1,0 +1,56 @@
+//! Design-space exploration: the paper's designer workflow.
+//!
+//! "By looking into this taxonomy, a designer can decide which computer
+//! class offers the required flexibility with minimum configuration
+//! overhead" — this example runs that query: sweep all 43 named classes
+//! under three cost-parameter presets, extract the Pareto front, answer
+//! flexibility-requirement queries, and scale the winner across
+//! technology nodes.
+//!
+//! ```sh
+//! cargo run --example design_space
+//! ```
+
+use skilltax::estimate::{
+    cheapest_with_flexibility, pareto_front, sweep_classes, CostParams, TechNode,
+};
+
+fn main() {
+    for (label, params) in [
+        ("small embedded (8-bit)", CostParams::small_embedded()),
+        ("default CGRA (32-bit)", CostParams::default()),
+        ("large HPC (64-bit)", CostParams::large_hpc()),
+    ] {
+        println!("=== {label} (n = {}) ===", params.n_default);
+        let points = sweep_classes(&params);
+        let front = pareto_front(&points);
+        println!("Pareto-optimal classes (max flexibility, min area, min config bits):");
+        let mut front_sorted = front.clone();
+        front_sorted.sort_by_key(|p| p.flexibility);
+        for p in &front_sorted {
+            println!(
+                "  {:<9} flex {}  area {:>9.0} GE  config {:>8} bits",
+                p.label, p.flexibility, p.area_ge, p.config_bits
+            );
+        }
+        for need in [2u32, 4, 6, 8] {
+            match cheapest_with_flexibility(&points, need) {
+                Some(pick) => println!(
+                    "  need flexibility >= {need}: pick {} ({} config bits)",
+                    pick.label, pick.config_bits
+                ),
+                None => println!("  need flexibility >= {need}: no class reaches it"),
+            }
+        }
+        println!();
+    }
+
+    // Technology scaling of one candidate across nodes (Eq 1 + density).
+    let params = CostParams::default();
+    let points = sweep_classes(&params);
+    let candidate = points.iter().find(|p| p.label == "IMP-XVI").expect("in the sweep");
+    println!("=== {} area across technology nodes ===", candidate.label);
+    for node in TechNode::ALL {
+        println!("  {:>7}: {:.3} mm2", node.to_string(), node.ge_to_mm2(candidate.area_ge));
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: describe an architecture, classify it, score its
+//! flexibility, and predict its area / configuration overhead.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use skilltax::estimate::{estimate_area, estimate_config_bits, CostParams, TechNode};
+use skilltax::model::dsl;
+use skilltax::report::diagram;
+use skilltax::taxonomy::{breakdown_of_spec, classify, compare_names};
+
+fn main() {
+    // 1. Describe a machine in the paper's Table III notation:
+    //    IPs | DPs | IP-IP | IP-DP | IP-IM | DP-DM | DP-DP
+    let my_cgra = dsl::parse_row("MyCGRA", "1 | 16 | none | 1-16 | 1-1 | 16x16 | 16x16")
+        .expect("well-formed row");
+
+    println!("{}", diagram(&my_cgra));
+
+    // 2. Classify it into the extended Skillicorn taxonomy.
+    let class = classify(&my_cgra).expect("classifiable");
+    println!("class: {} (Table I row {})", class.name(), class.serial());
+    for line in class.trace() {
+        println!("  because: {line}");
+    }
+
+    // 3. Score its flexibility (the Table II system).
+    let flex = breakdown_of_spec(&my_cgra);
+    println!(
+        "\nflexibility: {} ({} count points + {} crossbar points + {} variable bonus)",
+        flex.total(),
+        flex.count_points,
+        flex.crossbar_points,
+        flex.variable_bonus
+    );
+
+    // 4. Predict area (Eq 1) and configuration overhead (Eq 2).
+    let params = CostParams::default();
+    let area = estimate_area(&my_cgra, &params);
+    let cb = estimate_config_bits(&my_cgra, &params);
+    println!(
+        "\narea (Eq 1):        {:.0} kGE  ({:.2} mm2 at {})",
+        area.total() / 1_000.0,
+        TechNode::N90.ge_to_mm2(area.total()),
+        TechNode::N90
+    );
+    println!(
+        "config bits (Eq 2): {} bits  ({} of them in the interconnect)",
+        cb.total(),
+        cb.interconnect()
+    );
+
+    // 5. Compare against a surveyed architecture by name alone
+    //    (Section III-A: names predict similarity).
+    let morphosys = skilltax::catalog::by_name("MorphoSys").expect("in the survey");
+    let their_class = morphosys.classify().expect("classifiable");
+    println!("\n{}", compare_names(class.name(), their_class.name()));
+}

@@ -1,0 +1,68 @@
+//! Reconfiguration break-even analysis: the paper's flexibility/overhead
+//! trade-off as an operational decision.
+//!
+//! Scenario: a scalar core (IUP) is executing vector additions.  A
+//! reconfigurable fabric could be morphed into a 16-lane SIMD array that
+//! finishes each batch ~16x faster — but loading the array's
+//! configuration (Eq 2 bits through a 32-bit configuration port) costs
+//! cycles first.  How many batches until the reconfiguration pays off?
+//!
+//! ```sh
+//! cargo run --example reconfigure
+//! ```
+
+use skilltax::estimate::{estimate_config_bits, CostParams};
+use skilltax::machine::array::{ArrayMachine, ArraySubtype};
+use skilltax::machine::reconfig::{break_even, total_with_reconfig, ConfigPort};
+use skilltax::machine::workload::{run_vector_add_array, run_vector_add_uni};
+use skilltax::machine::Word;
+
+fn main() {
+    let n = 16usize;
+    let a: Vec<Word> = (0..n as Word).collect();
+    let b: Vec<Word> = (100..100 + n as Word).collect();
+
+    // Measure both options on the executable machines.
+    let uni = run_vector_add_uni(&a, &b).expect("IUP runs it");
+    let simd = run_vector_add_array(ArraySubtype::II, &a, &b).expect("IAP-II runs it");
+    println!("per-batch cycles: IUP = {}, IAP-II = {}", uni.stats.cycles, simd.stats.cycles);
+
+    // Price the reconfiguration with Eq 2.
+    let params = CostParams::default();
+    let array = ArrayMachine::new(ArraySubtype::II, n, 4);
+    let config_bits = estimate_config_bits(&array.spec(), &params).total();
+    for (label, port) in [
+        ("32-bit config bus", ConfigPort { bus_bits_per_cycle: 32, setup_cycles: 16 }),
+        ("8-bit config bus", ConfigPort { bus_bits_per_cycle: 8, setup_cycles: 16 }),
+        ("serial config (1-bit)", ConfigPort { bus_bits_per_cycle: 1, setup_cycles: 16 }),
+    ] {
+        let load = port.load_cycles(config_bits);
+        let be = break_even(load, simd.stats.cycles, uni.stats.cycles).expect("valid");
+        println!(
+            "\n{label}: {config_bits} bits load in {load} cycles; break-even after {} batches",
+            be.executions_to_amortize.map(|v| v.to_string()).unwrap_or_else(|| "never".into())
+        );
+        for batches in [1u64, 4, 16, 64] {
+            let with = total_with_reconfig(load, simd.stats.cycles, batches);
+            let without = uni.stats.cycles * batches;
+            println!(
+                "  {batches:>3} batches: reconfigure+SIMD = {with:>6} cycles, stay scalar = {without:>6} -> {}",
+                if with < without { "reconfigure" } else { "stay" }
+            );
+        }
+    }
+
+    // The same query against the FPGA shows the paper's "enormous
+    // overhead": flexibility is not free.
+    let fpga = skilltax::model::dsl::parse_row("FPGA", "v | v | vxv | vxv | vxv | vxv | vxv")
+        .expect("well formed");
+    let fpga_bits = estimate_config_bits(&fpga, &params).total();
+    let port = ConfigPort::default();
+    println!(
+        "\nfor comparison, a USP (FPGA) bitstream is {} bits -> {} cycles to load \
+         ({}x the CGRA's)",
+        fpga_bits,
+        port.load_cycles(fpga_bits),
+        port.load_cycles(fpga_bits) / port.load_cycles(config_bits).max(1)
+    );
+}

@@ -1,0 +1,52 @@
+//! # skilltax
+//!
+//! Umbrella crate for the `skilltax` workspace — a production-quality Rust
+//! reproduction of Shami & Hemani, *"Classification of Massively Parallel
+//! Computer Architectures"* (IPPS 2012).
+//!
+//! The workspace implements the paper's extended Skillicorn taxonomy and
+//! everything around it:
+//!
+//! * [`model`] — architecture descriptions (counts, switches, the five
+//!   connectivity relations, a text DSL),
+//! * [`taxonomy`] — the 47-class extended table (Table I), hierarchical
+//!   naming (Fig 2), the classification engine, and the flexibility scoring
+//!   system (Table II),
+//! * [`estimate`] — the area (Eq 1) and configuration-bit (Eq 2) predictive
+//!   models with parameterised component costs,
+//! * [`catalog`] — the 25 surveyed architectures of Table III,
+//! * [`machine`] — executable cycle-level machines for every implementable
+//!   class family, used to *demonstrate* the paper's flexibility claims,
+//! * [`trends`] — the synthetic bibliometric model behind Fig 1,
+//! * [`report`] — table/CSV/SVG/ASCII-chart rendering for regenerating every
+//!   table and figure.
+//!
+//! ```
+//! use skilltax::prelude::*;
+//!
+//! let spec = skilltax::model::dsl::parse_row(
+//!     "MorphoSys",
+//!     "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64",
+//! ).unwrap();
+//! let class = classify(&spec).unwrap();
+//! assert_eq!(class.name().to_string(), "IAP-II");
+//! assert_eq!(flexibility_of_spec(&spec), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use skilltax_catalog as catalog;
+pub use skilltax_estimate as estimate;
+pub use skilltax_machine as machine;
+pub use skilltax_model as model;
+pub use skilltax_report as report;
+pub use skilltax_taxonomy as taxonomy;
+pub use skilltax_trends as trends;
+
+/// One-stop import surface for applications.
+pub mod prelude {
+    pub use skilltax_estimate::prelude::*;
+    pub use skilltax_model::prelude::*;
+    pub use skilltax_taxonomy::prelude::*;
+}

@@ -1,0 +1,175 @@
+//! Cross-crate pipeline tests: model -> taxonomy -> estimate -> report,
+//! and machine <-> taxonomy cross-validation.
+
+use skilltax::estimate::{estimate_area, estimate_config_bits, CostParams};
+use skilltax::machine::array::{ArrayMachine, ArraySubtype};
+use skilltax::machine::dataflow::{DataflowMachine, DataflowSubtype};
+use skilltax::machine::interconnect::FabricTopology;
+use skilltax::machine::multi::{MultiMachine, MultiSubtype};
+use skilltax::machine::spatial::SpatialMachine;
+use skilltax::machine::universal::{LutFabric, UniversalMachine};
+use skilltax::model::dsl;
+use skilltax::report::{diagram, Table};
+use skilltax::taxonomy::{classify, flexibility_of_spec};
+
+#[test]
+fn dsl_to_report_pipeline() {
+    // Parse -> classify -> estimate -> render, end to end.
+    let spec = dsl::parse_row("Pipeline", "1 | 8 | none | 1-8 | 1-1 | 8x8 | 8x8").unwrap();
+    let class = classify(&spec).unwrap();
+    assert_eq!(class.name().to_string(), "IAP-IV");
+    let params = CostParams::default();
+    let area = estimate_area(&spec, &params);
+    let cb = estimate_config_bits(&spec, &params);
+    let mut table = Table::new(vec!["name", "class", "flex", "area", "cb"]);
+    table.push_row(vec![
+        spec.name.clone(),
+        class.name().to_string(),
+        flexibility_of_spec(&spec).to_string(),
+        format!("{:.0}", area.total()),
+        cb.total().to_string(),
+    ]);
+    let rendered = table.render_ascii();
+    assert!(rendered.contains("IAP-IV"));
+    assert!(diagram(&spec).contains("DP-DP: 8x8 (crossbar)"));
+}
+
+#[test]
+fn block_dsl_round_trips_through_classification() {
+    let text = r#"
+        arch "RoundTrip" {
+          granularity: IP/DP
+          ips: n
+          dps: n
+          ip-ip: nxn
+          ip-dp: n-n
+          ip-im: n-n
+          dp-dm: nxn
+          dp-dp: nxn
+        }
+    "#;
+    let specs = dsl::parse_blocks(text).unwrap();
+    assert_eq!(specs.len(), 1);
+    let class = classify(&specs[0]).unwrap();
+    assert_eq!(class.name().to_string(), "ISP-IV");
+    // Print and re-parse: same classification.
+    let printed = dsl::print_block(&specs[0]);
+    let reparsed = dsl::parse_blocks(&printed).unwrap();
+    assert_eq!(classify(&reparsed[0]).unwrap().name(), class.name());
+}
+
+#[test]
+fn every_executable_machine_family_classifies_to_its_own_class() {
+    // Array machines: IAP-I..IV.
+    for subtype in ArraySubtype::ALL {
+        let m = ArrayMachine::new(subtype, 8, 8);
+        assert_eq!(
+            classify(&m.spec()).unwrap().name().to_string(),
+            subtype.class_name()
+        );
+    }
+    // Multi machines: IMP-I..XVI.
+    for code in 0..16 {
+        let subtype = MultiSubtype::from_code(code).unwrap();
+        let m = MultiMachine::new(subtype, 4, 8);
+        assert_eq!(classify(&m.spec()).unwrap().name().to_string(), subtype.class_name());
+    }
+    // Spatial machines: ISP-I..XVI.
+    for code in [0u8, 5, 10, 15] {
+        let subtype = MultiSubtype::from_code(code).unwrap();
+        let m = SpatialMachine::new(subtype, FabricTopology::Crossbar, 4, 8).unwrap();
+        assert_eq!(classify(&m.spec()).unwrap().name().to_string(), m.class_name());
+    }
+    // Dataflow machines: DUP, DMP-I..IV.
+    let dup = DataflowMachine::new(DataflowSubtype::Uni, 1).unwrap();
+    assert_eq!(classify(&dup.spec()).unwrap().name().to_string(), "DUP");
+    for subtype in DataflowSubtype::MULTI {
+        let m = DataflowMachine::new(subtype, 4).unwrap();
+        assert_eq!(classify(&m.spec()).unwrap().name().to_string(), subtype.class_name());
+    }
+    // Universal machine: USP.
+    let usp = UniversalMachine::new(LutFabric::new(64, 4, 8));
+    assert_eq!(classify(&usp.spec()).unwrap().name().to_string(), "USP");
+}
+
+#[test]
+fn machine_flexibility_scores_match_their_class_scores() {
+    use skilltax::taxonomy::flexibility_of_name;
+    for subtype in ArraySubtype::ALL {
+        let m = ArrayMachine::new(subtype, 8, 8);
+        let name = classify(&m.spec()).unwrap().name();
+        assert_eq!(
+            flexibility_of_spec(&m.spec()),
+            flexibility_of_name(&name).unwrap(),
+            "{name}"
+        );
+    }
+    for code in 0..16 {
+        let m = MultiMachine::new(MultiSubtype::from_code(code).unwrap(), 4, 8);
+        let name = classify(&m.spec()).unwrap().name();
+        assert_eq!(
+            flexibility_of_spec(&m.spec()),
+            flexibility_of_name(&name).unwrap(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn estimates_rank_machine_families_consistently_with_flexibility() {
+    // Within the IMP family at fixed n, Eq 2 (extended) grows with the
+    // flexibility score — cost follows capability.
+    let params = CostParams::default();
+    let mut last_by_flex: std::collections::BTreeMap<u32, u64> = Default::default();
+    for code in 0..16 {
+        let m = MultiMachine::new(MultiSubtype::from_code(code).unwrap(), 4, 8);
+        let spec = m.spec();
+        let flex = flexibility_of_spec(&spec);
+        let cb = estimate_config_bits(&spec, &params).total_extended();
+        last_by_flex
+            .entry(flex)
+            .and_modify(|v| *v = (*v).min(cb))
+            .or_insert(cb);
+    }
+    let costs: Vec<u64> = last_by_flex.values().copied().collect();
+    for pair in costs.windows(2) {
+        assert!(pair[0] < pair[1], "config bits must rise with flexibility: {costs:?}");
+    }
+}
+
+#[test]
+fn catalog_entries_estimate_within_sane_bounds() {
+    // Every surveyed architecture gets a positive, finite area and the
+    // FPGA dominates every coarse-grained entry in configuration bits.
+    let params = CostParams::default();
+    let survey = skilltax::catalog::full_survey();
+    let fpga_cb = survey
+        .iter()
+        .find(|e| e.name() == "FPGA")
+        .map(|e| estimate_config_bits(&e.spec, &params).total())
+        .unwrap();
+    for entry in &survey {
+        let area = estimate_area(&entry.spec, &params).total();
+        assert!(area.is_finite() && area > 0.0, "{}", entry.name());
+        let cb = estimate_config_bits(&entry.spec, &params).total();
+        if entry.name() != "FPGA" {
+            assert!(fpga_cb > cb, "{}: {} !< {}", entry.name(), cb, fpga_cb);
+        }
+    }
+}
+
+#[test]
+fn trends_feed_the_fig1_renderer() {
+    use skilltax::report::{ascii_trend_chart, Series};
+    use skilltax::trends::{PublicationDatabase, Topic};
+    let db = PublicationDatabase::default();
+    let series: Vec<Series> = Topic::ALL
+        .iter()
+        .map(|&t| Series {
+            label: t.label().to_owned(),
+            points: db.series(t).into_iter().map(|(y, c)| (f64::from(y), f64::from(c))).collect(),
+        })
+        .collect();
+    let chart = ascii_trend_chart("Fig 1", &series);
+    assert_eq!(chart.lines().count(), 1 + Topic::ALL.len());
+}

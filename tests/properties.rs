@@ -1,0 +1,229 @@
+//! Property-based invariants spanning the workspace (proptest).
+
+use proptest::prelude::*;
+
+use skilltax::estimate::{estimate_area, estimate_config_bits, CostParams};
+use skilltax::machine::array::ArraySubtype;
+use skilltax::machine::dataflow::{
+    DataflowMachine, DataflowSubtype, GraphBuilder, OpKind, Placement,
+};
+use skilltax::machine::workload::{run_vector_add_array, vector_add_reference};
+use skilltax::model::{dsl, ArchSpec, Count, Link, Relation};
+use skilltax::taxonomy::{classify, flexibility_of_spec};
+
+/// Build a Table-I-shaped spec from a family selector and a sub-type code.
+fn spec_of(family: u8, code: u8, n: u32) -> (ArchSpec, &'static str, u8) {
+    let n = n.max(2);
+    let x = |bit: bool| if bit { Link::crossbar_between(n, n) } else { Link::direct_between(n, n) };
+    let opt = |bit: bool| if bit { Link::crossbar_between(n, n) } else { Link::None };
+    match family {
+        0 => {
+            // DMP (code 0..4)
+            let code = code % 4;
+            let spec = ArchSpec::builder("p")
+                .ips(Count::zero())
+                .dps(Count::fixed(n))
+                .link(Relation::DpDm, x(code & 0b10 != 0))
+                .link(Relation::DpDp, opt(code & 0b01 != 0))
+                .build_unchecked();
+            (spec, "DMP", 2 + code)
+        }
+        1 => {
+            // IAP (code 0..4)
+            let code = code % 4;
+            let spec = ArchSpec::builder("p")
+                .ips(Count::one())
+                .dps(Count::fixed(n))
+                .link(Relation::IpDp, Link::direct_between(1, n))
+                .link(Relation::IpIm, Link::direct_between(1, 1))
+                .link(Relation::DpDm, x(code & 0b10 != 0))
+                .link(Relation::DpDp, opt(code & 0b01 != 0))
+                .build_unchecked();
+            (spec, "IAP", 7 + code)
+        }
+        2 => {
+            // IMP (code 0..16)
+            let code = code % 16;
+            let spec = ArchSpec::builder("p")
+                .ips(Count::fixed(n))
+                .dps(Count::fixed(n))
+                .link(Relation::IpDp, x(code & 0b1000 != 0))
+                .link(Relation::IpIm, x(code & 0b0100 != 0))
+                .link(Relation::DpDm, x(code & 0b0010 != 0))
+                .link(Relation::DpDp, opt(code & 0b0001 != 0))
+                .build_unchecked();
+            (spec, "IMP", 15 + code)
+        }
+        _ => {
+            // ISP (code 0..16)
+            let code = code % 16;
+            let spec = ArchSpec::builder("p")
+                .ips(Count::fixed(n))
+                .dps(Count::fixed(n))
+                .link(Relation::IpIp, Link::crossbar_between(n, n))
+                .link(Relation::IpDp, x(code & 0b1000 != 0))
+                .link(Relation::IpIm, x(code & 0b0100 != 0))
+                .link(Relation::DpDm, x(code & 0b0010 != 0))
+                .link(Relation::DpDp, opt(code & 0b0001 != 0))
+                .build_unchecked();
+            (spec, "ISP", 31 + code)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn classification_matches_construction(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+        let (spec, stem, serial) = spec_of(family, code, n);
+        let c = classify(&spec).unwrap();
+        prop_assert_eq!(c.serial(), serial);
+        prop_assert!(c.name().to_string().starts_with(stem));
+    }
+
+    #[test]
+    fn flexibility_counts_plural_blocks_plus_crossbars(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+        let (spec, _, _) = spec_of(family, code, n);
+        let plural = u32::from(spec.ips.is_plural()) + u32::from(spec.dps.is_plural());
+        let crossbars = spec.crossbar_count();
+        prop_assert_eq!(flexibility_of_spec(&spec), plural + crossbars);
+    }
+
+    #[test]
+    fn upgrading_a_switch_to_crossbar_never_lowers_flexibility(
+        family in 0u8..4, code in 0u8..16, n in 2u32..32, which in 0usize..5
+    ) {
+        let (spec, _, _) = spec_of(family, code, n);
+        let relation = Relation::ALL[which];
+        let before = flexibility_of_spec(&spec);
+        let mut upgraded = spec.clone();
+        upgraded.connectivity = upgraded
+            .connectivity
+            .with(relation, Link::crossbar_between(n.max(2), n.max(2)));
+        prop_assert!(flexibility_of_spec(&upgraded) >= before);
+    }
+
+    #[test]
+    fn row_notation_round_trips_through_the_dsl(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+        let (spec, _, _) = spec_of(family, code, n);
+        let row = spec.row_notation();
+        let reparsed = dsl::parse_row(&spec.name, &row).unwrap();
+        prop_assert_eq!(reparsed.row_notation(), row);
+        prop_assert_eq!(reparsed.ips, spec.ips);
+        prop_assert_eq!(reparsed.dps, spec.dps);
+        prop_assert_eq!(reparsed.connectivity, spec.connectivity);
+    }
+
+    #[test]
+    fn block_format_round_trips(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+        let (spec, _, _) = spec_of(family, code, n);
+        let printed = dsl::print_block(&spec);
+        let parsed = dsl::parse_blocks(&printed).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0].connectivity, &spec.connectivity);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_n(family in 0u8..4, code in 0u8..16, n in 2u32..100) {
+        let (spec, _, _) = spec_of(family, code, 2);
+        // Template with symbolic counts so the params' n applies: rebuild
+        // with symbolic n.
+        let mut sym = spec.clone();
+        if sym.ips.is_plural() { sym.ips = Count::n(); }
+        if sym.dps.is_plural() { sym.dps = Count::n(); }
+        let small = CostParams::default().with_n(n);
+        let big = CostParams::default().with_n(n + 8);
+        prop_assert!(estimate_area(&sym, &big).total() >= estimate_area(&sym, &small).total());
+        prop_assert!(
+            estimate_config_bits(&sym, &big).total() >= estimate_config_bits(&sym, &small).total()
+        );
+    }
+
+    #[test]
+    fn area_never_decreases_when_a_switch_upgrades(
+        family in 0u8..4, code in 0u8..16, n in 2u32..32, which in 0usize..5
+    ) {
+        let (spec, _, _) = spec_of(family, code, n);
+        let relation = Relation::ALL[which];
+        // Only compare when the relation currently has a direct link with
+        // the same extents (upgrade in place).
+        if let Link::Connected(sw) = spec.connectivity.link(relation) {
+            if !sw.is_crossbar() {
+                let params = CostParams::default();
+                let before = estimate_area(&spec, &params);
+                let mut upgraded = spec.clone();
+                upgraded.connectivity = upgraded.connectivity.with(
+                    relation,
+                    Link::Connected(skilltax::model::Switch::new(
+                        skilltax::model::SwitchKind::Crossbar,
+                        sw.left,
+                        sw.right,
+                    )),
+                );
+                let after = estimate_area(&upgraded, &params);
+                prop_assert!(after.total_extended() >= before.total_extended());
+                let cb_before = estimate_config_bits(&spec, &params).total_extended();
+                let cb_after = estimate_config_bits(&upgraded, &params).total_extended();
+                prop_assert!(cb_after >= cb_before);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_machines_match_the_reference_on_random_vectors(
+        a in prop::collection::vec(-1000i64..1000, 1..12),
+        subtype_idx in 0usize..4,
+    ) {
+        let b: Vec<i64> = a.iter().map(|x| x * 3 - 7).collect();
+        let subtype = ArraySubtype::ALL[subtype_idx];
+        let run = run_vector_add_array(subtype, &a, &b).unwrap();
+        prop_assert_eq!(run.outputs, vector_add_reference(&a, &b));
+    }
+
+    #[test]
+    fn dataflow_engine_matches_reference_on_random_expression_dags(
+        ops in prop::collection::vec((0u8..5, 0usize..64, 0usize..64), 1..24),
+        inputs in prop::collection::vec(-100i64..100, 4),
+        dps in 2usize..6,
+    ) {
+        // Build a random DAG over 4 inputs: each op reads two existing
+        // nodes (indices reduced mod current length).
+        let mut g = GraphBuilder::new();
+        let mut nodes = vec![g.input(0), g.input(1), g.input(2), g.input(3)];
+        for (kind, ai, bi) in ops {
+            let a = nodes[ai % nodes.len()];
+            let b = nodes[bi % nodes.len()];
+            let op = match kind {
+                0 => OpKind::Add,
+                1 => OpKind::Sub,
+                2 => OpKind::Mul,
+                3 => OpKind::Min,
+                _ => OpKind::Max,
+            };
+            nodes.push(g.op(op, a, b));
+        }
+        let last = *nodes.last().unwrap();
+        g.output(0, last);
+        let graph = g.build().unwrap();
+        let reference = graph.eval_reference(&inputs).unwrap();
+        let machine = DataflowMachine::new(DataflowSubtype::IV, dps).unwrap();
+        for placement in [Placement::RoundRobin, Placement::Islands] {
+            let run = machine.run(&graph, &inputs, &placement).unwrap();
+            prop_assert_eq!(&run.outputs, &reference);
+        }
+    }
+
+    #[test]
+    fn window_fabric_routability_is_symmetric_and_bounded(
+        hops in 1usize..8, from in 0usize..32, to in 0usize..32
+    ) {
+        use skilltax::machine::interconnect::FabricTopology;
+        let t = FabricTopology::Window { hops };
+        let n = 32;
+        prop_assert_eq!(t.routable(from, to, n), t.routable(to, from, n));
+        if t.routable(from, to, n) {
+            prop_assert!(from.abs_diff(to) <= hops);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The capability matrix, end to end: every (machine family, workload)
+//! pair either produces the reference result or refuses with the typed
+//! error the taxonomy predicts.  This is the repository's single most
+//! condensed statement of the paper's thesis — flexibility differences
+//! between classes are *observable behaviours*.
+
+use skilltax::machine::array::ArraySubtype;
+use skilltax::machine::dataflow::DataflowSubtype;
+use skilltax::machine::multi::MultiSubtype;
+use skilltax::machine::workload::*;
+use skilltax::machine::MachineError;
+use skilltax::machine::Word;
+
+fn a() -> Vec<Word> {
+    (0..8).collect()
+}
+
+fn b() -> Vec<Word> {
+    (50..58).collect()
+}
+
+fn slices() -> Vec<Vec<Word>> {
+    (0..4).map(|c| ((c + 1)..(c + 5)).map(|v| v as Word).collect()).collect()
+}
+
+#[test]
+fn vector_add_matrix() {
+    let reference = vector_add_reference(&a(), &b());
+    // Runs everywhere: IUP, every IAP, every IMP (SIMD emulation).
+    assert_eq!(run_vector_add_uni(&a(), &b()).unwrap().outputs, reference);
+    for subtype in ArraySubtype::ALL {
+        assert_eq!(
+            run_vector_add_array(subtype, &a(), &b()).unwrap().outputs,
+            reference,
+            "{subtype:?}"
+        );
+    }
+    for code in 0..16 {
+        let subtype = MultiSubtype::from_code(code).unwrap();
+        assert_eq!(
+            run_vector_add_multi(subtype, &a(), &b()).unwrap().outputs,
+            reference,
+            "IMP code {code}"
+        );
+    }
+}
+
+#[test]
+fn mimd_mix_matrix() {
+    let reference = mimd_mix_reference(&slices());
+    // Runs on every IMP sub-type...
+    for code in 0..16 {
+        let subtype = MultiSubtype::from_code(code).unwrap();
+        assert_eq!(
+            run_mimd_mix_multi(subtype, &slices()).unwrap().outputs,
+            reference,
+            "IMP code {code}"
+        );
+    }
+    // ...and is refused by every array sub-type with the same typed error.
+    for subtype in ArraySubtype::ALL {
+        assert!(
+            matches!(
+                run_mimd_mix_array(subtype, &slices()),
+                Err(MachineError::WorkloadUnsupported { .. })
+            ),
+            "{subtype:?}"
+        );
+    }
+}
+
+#[test]
+fn sliding_fir_matrix() {
+    let taps: Vec<Word> = vec![1, -1, 2];
+    let signal: Vec<Word> = vec![3, 0, 1, -2, 4, 1, 0, 2];
+    let reference = fir_reference(&taps, &signal);
+    assert_eq!(run_fir_uni(&taps, &signal).unwrap().outputs, reference);
+    for subtype in [DataflowSubtype::II, DataflowSubtype::IV] {
+        assert_eq!(
+            run_fir_dataflow(subtype, 4, &taps, &signal).unwrap().outputs,
+            reference,
+            "{subtype:?}"
+        );
+    }
+    // The array split: shared-memory sub-types run it, private-bank ones
+    // refuse (overlapping windows are unreachable).
+    for subtype in [ArraySubtype::III, ArraySubtype::IV] {
+        assert_eq!(
+            run_fir_array(subtype, &taps, &signal).unwrap().outputs,
+            reference,
+            "{subtype:?}"
+        );
+    }
+    for subtype in [ArraySubtype::I, ArraySubtype::II] {
+        assert!(
+            matches!(
+                run_fir_array(subtype, &taps, &signal),
+                Err(MachineError::WorkloadUnsupported { .. })
+            ),
+            "{subtype:?}"
+        );
+    }
+}
+
+#[test]
+fn reduction_matrix() {
+    let data: Vec<Word> = (1..=20).collect();
+    let reference = reduce_sum_reference(&data);
+    assert_eq!(run_reduce_uni(&data).unwrap().outputs, vec![reference]);
+    assert_eq!(
+        run_reduce_dataflow(DataflowSubtype::Uni, 1, &data).unwrap().outputs,
+        vec![reference]
+    );
+    for subtype in DataflowSubtype::MULTI {
+        // The workload compiler picks the placement each sub-type can
+        // support: DMP-II spreads over its DP-DP crossbar, DMP-III
+        // serialises on one DP through its shared memory, DMP-IV does
+        // both.  DMP-I — no crossbar anywhere — cannot run a reduction
+        // tree over distributed inputs at all: the flexibility-1 class,
+        // observed as a routing refusal.
+        let result = run_reduce_dataflow(subtype, 4, &data);
+        match subtype {
+            DataflowSubtype::I => assert!(
+                matches!(
+                    result,
+                    Err(MachineError::RouteDenied { .. })
+                        | Err(MachineError::BankAccessDenied { .. })
+                ),
+                "{subtype:?}"
+            ),
+            _ => assert_eq!(result.unwrap().outputs, vec![reference], "{subtype:?}"),
+        }
+    }
+    // And the parallelism follows the switches: DMP-II (parallel) beats
+    // DMP-III (sequential-by-necessity) on the same machine size.
+    let par = run_reduce_dataflow(DataflowSubtype::II, 4, &data).unwrap().stats.cycles;
+    let seq = run_reduce_dataflow(DataflowSubtype::III, 4, &data).unwrap().stats.cycles;
+    assert!(par < seq, "DMP-II {par} vs DMP-III {seq}");
+}
+
+#[test]
+fn parallelism_speedups_are_ordered_as_the_taxonomy_suggests() {
+    // More parallel classes finish the same work in fewer cycles.
+    let n = 32usize;
+    let av: Vec<Word> = (0..n as Word).collect();
+    let bv: Vec<Word> = (0..n as Word).rev().collect();
+    let uni = run_vector_add_uni(&av, &bv).unwrap().stats.cycles;
+    let simd = run_vector_add_array(ArraySubtype::I, &av, &bv).unwrap().stats.cycles;
+    assert!(simd * 8 < uni, "SIMD {simd} vs scalar {uni}");
+
+    let data: Vec<Word> = (1..=64).collect();
+    let seq = run_reduce_dataflow(DataflowSubtype::Uni, 1, &data).unwrap().stats.cycles;
+    let par = run_reduce_dataflow(DataflowSubtype::IV, 16, &data).unwrap().stats.cycles;
+    assert!(par * 4 < seq, "parallel dataflow {par} vs sequential {seq}");
+}
