@@ -7,9 +7,7 @@
 //! * **LUT-arity ablation** — configuration cost and evaluation speed of
 //!   the universal fabric as k grows.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_bench::microbench::Harness;
 use skilltax_machine::dataflow::{graph::library, DataflowMachine, DataflowSubtype, Placement};
 use skilltax_machine::interconnect::{FabricTopology, Mailboxes};
 use skilltax_machine::noc::MeshNoc;
@@ -18,95 +16,78 @@ use skilltax_machine::Word;
 
 /// All-to-one traffic: 15 packets converging on node 5 of a 16-node
 /// fabric.
-fn bench_interconnect_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interconnect_ablation");
-    g.bench_function("crossbar_mailboxes", |b| {
-        b.iter(|| {
-            let mut mb = Mailboxes::new(16, FabricTopology::Crossbar);
-            for src in 0..16 {
-                if src != 5 {
-                    mb.send(src, 5, src as Word).unwrap();
+fn bench_interconnect_ablation(h: &mut Harness) {
+    h.bench("interconnect_ablation/crossbar_mailboxes", || {
+        let mut mb = Mailboxes::new(16, FabricTopology::Crossbar);
+        for src in 0..16 {
+            if src != 5 {
+                mb.send(src, 5, src as Word).unwrap();
+            }
+        }
+        let mut got = 0;
+        for src in 0..16 {
+            if src != 5 {
+                while mb.recv(5, src).unwrap().is_some() {
+                    got += 1;
                 }
             }
-            let mut got = 0;
-            for src in 0..16 {
-                if src != 5 {
-                    while mb.recv(5, src).unwrap().is_some() {
-                        got += 1;
-                    }
-                }
-            }
-            std::hint::black_box(got)
-        })
+        }
+        got
     });
-    g.bench_function("mesh_noc_4x4", |b| {
-        b.iter(|| {
-            let mut noc = MeshNoc::new(4, 4).unwrap();
-            for src in 0..16 {
-                if src != 5 {
-                    noc.inject(src, 5, src as Word).unwrap();
-                }
+    h.bench("interconnect_ablation/mesh_noc_4x4", || {
+        let mut noc = MeshNoc::new(4, 4).unwrap();
+        for src in 0..16 {
+            if src != 5 {
+                noc.inject(src, 5, src as Word).unwrap();
             }
-            std::hint::black_box(noc.drain(10_000).unwrap().len())
-        })
+        }
+        noc.drain(10_000).unwrap().len()
     });
-    g.bench_function("window_fabric_hops3", |b| {
-        b.iter(|| {
-            let mut mb = Mailboxes::new(16, FabricTopology::Window { hops: 3 });
-            let mut routable = 0;
-            for src in 0..16usize {
-                if src != 5 && mb.send(src, 5, src as Word).is_ok() {
-                    routable += 1;
-                }
+    h.bench("interconnect_ablation/window_fabric_hops3", || {
+        let mut mb = Mailboxes::new(16, FabricTopology::Window { hops: 3 });
+        let mut routable = 0;
+        for src in 0..16usize {
+            if src != 5 && mb.send(src, 5, src as Word).is_ok() {
+                routable += 1;
             }
-            std::hint::black_box(routable)
-        })
+        }
+        routable
     });
-    g.finish();
 }
 
-fn bench_placement_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataflow_placement");
+fn bench_placement_ablation(h: &mut Harness) {
     let graph = library::independent_chains(16);
     let inputs: Vec<Word> = (0..16).collect();
     let machine = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
-    for (label, placement) in
-        [("round_robin", Placement::RoundRobin), ("islands", Placement::Islands)]
-    {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &placement, |b, p| {
-            b.iter(|| std::hint::black_box(machine.run(&graph, &inputs, p).unwrap()))
+    for (label, placement) in [
+        ("round_robin", Placement::RoundRobin),
+        ("islands", Placement::Islands),
+    ] {
+        h.bench(&format!("dataflow_placement/{label}"), || {
+            machine.run(&graph, &inputs, &placement).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_lut_arity_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lut_arity");
+fn bench_lut_arity_ablation(h: &mut Harness) {
     for k in [3usize, 4, 6] {
         let fabric = LutFabric::new(256, k, 16);
         let bs = ripple_adder(&fabric, 8).unwrap();
         let configured = fabric.configure(&bs).unwrap();
         let inputs: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
-        g.bench_with_input(BenchmarkId::new("eval_adder", k), &configured, |b, f| {
-            b.iter(|| std::hint::black_box(f.eval(&inputs).unwrap()))
+        h.bench(&format!("lut_arity/eval_adder/{k}"), || {
+            configured.eval(&inputs).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("config_bits", k), &bs, |b, bs| {
-            b.iter(|| std::hint::black_box(bs.config_bits(&fabric)))
+        h.bench(&format!("lut_arity/config_bits/{k}"), || {
+            bs.config_bits(&fabric)
         });
     }
-    g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+fn main() {
+    let mut h = Harness::new();
+    bench_interconnect_ablation(&mut h);
+    bench_placement_ablation(&mut h);
+    bench_lut_arity_ablation(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_interconnect_ablation, bench_placement_ablation, bench_lut_arity_ablation
-}
-criterion_main!(benches);

@@ -1,15 +1,12 @@
 //! Benchmarks of the data-flow engine and the universal (LUT) fabric —
 //! the substrates behind the DMP and USP rows of the reproduction.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_bench::microbench::Harness;
 use skilltax_machine::dataflow::{graph::library, DataflowMachine, DataflowSubtype, Placement};
 use skilltax_machine::universal::{program_counter, ripple_adder, LutFabric};
 use skilltax_machine::Word;
 
-fn bench_dataflow(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataflow_tree_sum");
+fn bench_dataflow(h: &mut Harness) {
     let graph = library::tree_sum(64);
     let inputs: Vec<Word> = (0..64).collect();
     for dps in [1usize, 4, 16] {
@@ -18,55 +15,46 @@ fn bench_dataflow(c: &mut Criterion) {
         } else {
             DataflowMachine::new(DataflowSubtype::IV, dps).unwrap()
         };
-        g.bench_with_input(BenchmarkId::from_parameter(dps), &machine, |b, m| {
-            b.iter(|| {
-                std::hint::black_box(m.run(&graph, &inputs, &Placement::RoundRobin).unwrap())
-            })
+        h.bench(&format!("dataflow_tree_sum/{dps}"), || {
+            machine
+                .run(&graph, &inputs, &Placement::RoundRobin)
+                .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_fir_graph(c: &mut Criterion) {
+fn bench_fir_graph(h: &mut Harness) {
     let graph = library::fir(&[1, -2, 3, -4, 5, -6, 7, -8]);
     let window: Vec<Word> = (0..8).collect();
     let machine = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
-    c.bench_function("dataflow_fir_8tap", |b| {
-        b.iter(|| std::hint::black_box(machine.run(&graph, &window, &Placement::RoundRobin)))
+    h.bench("dataflow_fir_8tap", || {
+        machine.run(&graph, &window, &Placement::RoundRobin)
     });
 }
 
-fn bench_universal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lut_fabric");
+fn bench_universal(h: &mut Harness) {
     let fabric = LutFabric::new(256, 4, 32);
     let adder_bs = ripple_adder(&fabric, 8).unwrap();
-    g.bench_function("configure_8bit_adder", |b| {
-        b.iter(|| std::hint::black_box(fabric.configure(&adder_bs).unwrap()))
+    h.bench("lut_fabric/configure_8bit_adder", || {
+        fabric.configure(&adder_bs).unwrap()
     });
     let adder = fabric.configure(&adder_bs).unwrap();
     let inputs: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
-    g.bench_function("eval_8bit_adder", |b| {
-        b.iter(|| std::hint::black_box(adder.eval(&inputs).unwrap()))
+    h.bench("lut_fabric/eval_8bit_adder", || {
+        adder.eval(&inputs).unwrap()
     });
     let pc_bs = program_counter(&fabric, 8).unwrap();
     let mut pc = fabric.configure(&pc_bs).unwrap();
     let no_branch = vec![false; 9];
-    g.bench_function("step_8bit_program_counter", |b| {
-        b.iter(|| std::hint::black_box(pc.step(&no_branch).unwrap()))
+    h.bench("lut_fabric/step_8bit_program_counter", || {
+        pc.step(&no_branch).unwrap()
     });
-    g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+fn main() {
+    let mut h = Harness::new();
+    bench_dataflow(&mut h);
+    bench_fir_graph(&mut h);
+    bench_universal(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_dataflow, bench_fir_graph, bench_universal
-}
-criterion_main!(benches);

@@ -2,78 +2,59 @@
 //! (bench_area / bench_config_bits / bench_pareto), including the n-sweep
 //! that shows how predicted cost scales with machine size.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_bench::microbench::Harness;
 use skilltax_catalog::full_survey;
 use skilltax_estimate::{
     estimate_area, estimate_config_bits, pareto_front, sweep_classes, CostParams,
 };
 
-fn bench_area(c: &mut Criterion) {
+fn bench_area(h: &mut Harness) {
     let survey = full_survey();
     let params = CostParams::default();
-    c.bench_function("area_eq1_over_survey", |b| {
-        b.iter(|| {
-            for entry in &survey {
-                std::hint::black_box(estimate_area(&entry.spec, &params).total());
-            }
-        })
+    h.bench("area_eq1_over_survey", || {
+        for entry in &survey {
+            std::hint::black_box(estimate_area(&entry.spec, &params).total());
+        }
     });
 }
 
-fn bench_config_bits(c: &mut Criterion) {
+fn bench_config_bits(h: &mut Harness) {
     let survey = full_survey();
     let params = CostParams::default();
-    c.bench_function("config_bits_eq2_over_survey", |b| {
-        b.iter(|| {
-            for entry in &survey {
-                std::hint::black_box(estimate_config_bits(&entry.spec, &params).total());
-            }
-        })
+    h.bench("config_bits_eq2_over_survey", || {
+        for entry in &survey {
+            std::hint::black_box(estimate_config_bits(&entry.spec, &params).total());
+        }
     });
 }
 
-fn bench_n_sweep(c: &mut Criterion) {
+fn bench_n_sweep(h: &mut Harness) {
     // The designer's scaling question: how do Eq 1 / Eq 2 grow with n?
-    let mut g = c.benchmark_group("estimate_n_sweep");
-    let spec = skilltax_model::dsl::parse_row(
-        "IMP-XVI-template",
-        "n | n | none | nxn | nxn | nxn | nxn",
-    )
-    .unwrap();
+    let spec =
+        skilltax_model::dsl::parse_row("IMP-XVI-template", "n | n | none | nxn | nxn | nxn | nxn")
+            .unwrap();
     for n in [4u32, 16, 64, 256] {
         let params = CostParams::default().with_n(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, p| {
-            b.iter(|| {
-                std::hint::black_box(estimate_area(&spec, p).total());
-                std::hint::black_box(estimate_config_bits(&spec, p).total());
-            })
+        h.bench(&format!("estimate_n_sweep/{n}"), || {
+            std::hint::black_box(estimate_area(&spec, &params).total());
+            std::hint::black_box(estimate_config_bits(&spec, &params).total());
         });
     }
-    g.finish();
 }
 
-fn bench_pareto(c: &mut Criterion) {
+fn bench_pareto(h: &mut Harness) {
     let params = CostParams::default();
-    c.bench_function("pareto_sweep_and_front", |b| {
-        b.iter(|| {
-            let points = sweep_classes(&params);
-            std::hint::black_box(pareto_front(&points))
-        })
+    h.bench("pareto_sweep_and_front", || {
+        let points = sweep_classes(&params);
+        std::hint::black_box(pareto_front(&points))
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+fn main() {
+    let mut h = Harness::new();
+    bench_area(&mut h);
+    bench_config_bits(&mut h);
+    bench_n_sweep(&mut h);
+    bench_pareto(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_area, bench_config_bits, bench_n_sweep, bench_pareto
-}
-criterion_main!(benches);

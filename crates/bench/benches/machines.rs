@@ -2,9 +2,7 @@
 //! ablations): the same workload across class families, showing where the
 //! flexibility/parallelism trade-off lands in simulated cycles.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skilltax_bench::microbench::Harness;
 use skilltax_machine::array::ArraySubtype;
 use skilltax_machine::morph;
 use skilltax_machine::multi::MultiSubtype;
@@ -18,47 +16,33 @@ fn vectors(n: usize) -> (Vec<Word>, Vec<Word>) {
     ((0..n as Word).collect(), (0..n as Word).rev().collect())
 }
 
-fn bench_vector_add_families(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vector_add");
+fn bench_vector_add_families(h: &mut Harness) {
     for n in [8usize, 32, 128] {
         let (a, b) = vectors(n);
-        g.bench_with_input(BenchmarkId::new("IUP_sequential", n), &n, |bch, _| {
-            bch.iter(|| std::hint::black_box(run_vector_add_uni(&a, &b).unwrap()))
+        h.bench(&format!("vector_add/IUP_sequential/{n}"), || {
+            run_vector_add_uni(&a, &b).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("IAP-I_simd", n), &n, |bch, _| {
-            bch.iter(|| {
-                std::hint::black_box(run_vector_add_array(ArraySubtype::I, &a, &b).unwrap())
-            })
+        h.bench(&format!("vector_add/IAP-I_simd/{n}"), || {
+            run_vector_add_array(ArraySubtype::I, &a, &b).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("IMP-I_simd_emulated", n), &n, |bch, _| {
-            bch.iter(|| {
-                std::hint::black_box(
-                    run_vector_add_multi(MultiSubtype::from_index(1).unwrap(), &a, &b).unwrap(),
-                )
-            })
+        h.bench(&format!("vector_add/IMP-I_simd_emulated/{n}"), || {
+            run_vector_add_multi(MultiSubtype::from_index(1).unwrap(), &a, &b).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_mimd_mix(c: &mut Criterion) {
+fn bench_mimd_mix(h: &mut Harness) {
     let slices: Vec<Vec<Word>> = (0..8).map(|i| (i..i + 16).collect()).collect();
-    c.bench_function("mimd_mix_8_cores", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &slices).unwrap(),
-            )
-        })
+    h.bench("mimd_mix_8_cores", || {
+        run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &slices).unwrap()
     });
 }
 
-fn bench_morph(c: &mut Criterion) {
-    c.bench_function("morph_demonstrations", |b| {
-        b.iter(|| std::hint::black_box(morph::demonstrate().unwrap()))
-    });
+fn bench_morph(h: &mut Harness) {
+    h.bench("morph_demonstrations", || morph::demonstrate().unwrap());
 }
 
-fn bench_vliw(c: &mut Criterion) {
+fn bench_vliw(h: &mut Harness) {
     use skilltax_machine::vliw::{Bundle, VliwMachine, VliwProgram};
     use skilltax_machine::Instr;
     // An 8-lane heterogeneous bundle stream, Montium style.
@@ -82,44 +66,37 @@ fn bench_vliw(c: &mut Criterion) {
             control: None,
         });
     }
-    bundles.push(Bundle { slots: vec![None; lanes], control: Some(Instr::Halt) });
+    bundles.push(Bundle {
+        slots: vec![None; lanes],
+        control: Some(Instr::Halt),
+    });
     let program = VliwProgram::new(bundles, lanes).unwrap();
-    c.bench_function("vliw_8lane_32bundles", |b| {
-        b.iter(|| {
-            let mut m = VliwMachine::new(
-                skilltax_machine::array::ArraySubtype::I,
-                lanes,
-                4,
-            );
-            std::hint::black_box(m.run(&program).unwrap())
-        })
+    h.bench("vliw_8lane_32bundles", || {
+        let mut m = VliwMachine::new(skilltax_machine::array::ArraySubtype::I, lanes, 4);
+        m.run(&program).unwrap()
     });
 }
 
-fn bench_parallel_sweep(c: &mut Criterion) {
+fn bench_parallel_sweep(h: &mut Harness) {
     // The harness's own fan-out: many simulations across threads.
     let sizes: Vec<usize> = (2..=33).collect();
-    c.bench_function("parallel_sweep_32_simulations", |b| {
-        b.iter(|| {
-            let results = parallel_map(sizes.clone(), |&n| {
-                let (a, bv) = vectors(n);
-                run_vector_add_array(ArraySubtype::I, &a, &bv).unwrap().stats.cycles
-            });
-            std::hint::black_box(results)
+    h.bench("parallel_sweep_32_simulations", || {
+        parallel_map(sizes.clone(), |&n| {
+            let (a, bv) = vectors(n);
+            run_vector_add_array(ArraySubtype::I, &a, &bv)
+                .unwrap()
+                .stats
+                .cycles
         })
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .measurement_time(Duration::from_millis(900))
-        .warm_up_time(Duration::from_millis(200))
+fn main() {
+    let mut h = Harness::new();
+    bench_vector_add_families(&mut h);
+    bench_mimd_mix(&mut h);
+    bench_morph(&mut h);
+    bench_vliw(&mut h);
+    bench_parallel_sweep(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_vector_add_families, bench_mimd_mix, bench_morph, bench_vliw, bench_parallel_sweep
-}
-criterion_main!(benches);

@@ -1,88 +1,61 @@
 //! Benchmarks behind Tables I–III: table enumeration, classification and
 //! flexibility scoring (bench_table1 / bench_table2 / bench_table3).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use skilltax_bench::artifacts;
+use skilltax_bench::microbench::Harness;
 use skilltax_catalog::full_survey;
 use skilltax_taxonomy::{classify, flexibility_of_spec, flexibility_table, ClassName, Taxonomy};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.bench_function("enumerate_47_classes", |b| {
-        // The shared table is cached behind a OnceLock; measure the full
-        // render, which touches every row.
-        b.iter(|| std::hint::black_box(artifacts::table1()))
+fn bench_table1(h: &mut Harness) {
+    // The shared table is cached behind a OnceLock; measure the full
+    // render, which touches every row.
+    h.bench("table1/enumerate_47_classes", artifacts::table1);
+    let specs: Vec<_> = Taxonomy::extended()
+        .implementable()
+        .map(|c| c.template_spec())
+        .collect();
+    h.bench("table1/classify_all_templates", || {
+        for spec in &specs {
+            std::hint::black_box(classify(spec).unwrap());
+        }
     });
-    g.bench_function("classify_all_templates", |b| {
-        let specs: Vec<_> = Taxonomy::extended()
-            .implementable()
-            .map(|c| c.template_spec())
-            .collect();
-        b.iter(|| {
-            for spec in &specs {
-                std::hint::black_box(classify(spec).unwrap());
-            }
-        })
-    });
-    g.finish();
 }
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2");
-    g.bench_function("flexibility_table", |b| {
-        b.iter(|| std::hint::black_box(flexibility_table()))
-    });
-    g.bench_function("render", |b| b.iter(|| std::hint::black_box(artifacts::table2())));
-    g.finish();
+fn bench_table2(h: &mut Harness) {
+    h.bench("table2/flexibility_table", flexibility_table);
+    h.bench("table2/render", artifacts::table2);
 }
 
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3");
+fn bench_table3(h: &mut Harness) {
     let survey = full_survey();
-    g.bench_function("classify_25_survey_entries", |b| {
-        b.iter(|| {
-            for entry in &survey {
-                let _ = std::hint::black_box(entry.classify());
-                std::hint::black_box(flexibility_of_spec(&entry.spec));
-            }
-        })
+    h.bench("table3/classify_25_survey_entries", || {
+        for entry in &survey {
+            let _ = std::hint::black_box(entry.classify());
+            std::hint::black_box(flexibility_of_spec(&entry.spec));
+        }
     });
-    g.bench_function("regenerate_full_table", |b| {
-        b.iter(|| std::hint::black_box(artifacts::table3()))
-    });
-    g.bench_function("build_catalog", |b| {
-        b.iter_batched(full_survey, std::hint::black_box, BatchSize::SmallInput)
-    });
-    g.finish();
+    h.bench("table3/regenerate_full_table", artifacts::table3);
+    h.bench("table3/build_catalog", full_survey);
 }
 
-fn bench_names(c: &mut Criterion) {
+fn bench_names(h: &mut Harness) {
     let names: Vec<String> = Taxonomy::extended()
         .implementable()
         .map(|cl| cl.name().to_string())
         .collect();
-    c.bench_function("name_parse_round_trip_43", |b| {
-        b.iter(|| {
-            for n in &names {
-                let parsed: ClassName = n.parse().unwrap();
-                std::hint::black_box(parsed.to_string());
-            }
-        })
+    h.bench("name_parse_round_trip_43", || {
+        for n in &names {
+            let parsed: ClassName = n.parse().unwrap();
+            std::hint::black_box(parsed.to_string());
+        }
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+fn main() {
+    let mut h = Harness::new();
+    bench_table1(&mut h);
+    bench_table2(&mut h);
+    bench_table3(&mut h);
+    bench_names(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_table1, bench_table2, bench_table3, bench_names
-}
-criterion_main!(benches);

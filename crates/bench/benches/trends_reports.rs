@@ -1,55 +1,33 @@
 //! Benchmarks behind Fig 1 and Fig 7 regeneration (bench_fig1 /
 //! bench_fig7) and the report renderers.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use skilltax_bench::artifacts;
+use skilltax_bench::microbench::Harness;
 use skilltax_trends::PublicationDatabase;
 
-fn bench_fig1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1");
-    g.bench_function("generate_database", |b| {
-        b.iter(|| std::hint::black_box(PublicationDatabase::generate(2012)))
+fn bench_fig1(h: &mut Harness) {
+    h.bench("fig1/generate_database", || {
+        PublicationDatabase::generate(2012)
     });
-    g.bench_function("render_ascii", |b| {
-        b.iter(|| std::hint::black_box(artifacts::fig1_ascii()))
-    });
-    g.bench_function("render_svg", |b| b.iter(|| std::hint::black_box(artifacts::fig1_svg())));
-    g.finish();
+    h.bench("fig1/render_ascii", artifacts::fig1_ascii);
+    h.bench("fig1/render_svg", artifacts::fig1_svg);
 }
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    g.bench_function("render_ascii", |b| {
-        b.iter(|| std::hint::black_box(artifacts::fig7_ascii()))
-    });
-    g.bench_function("render_svg", |b| b.iter(|| std::hint::black_box(artifacts::fig7_svg())));
-    g.finish();
+fn bench_fig7(h: &mut Harness) {
+    h.bench("fig7/render_ascii", artifacts::fig7_ascii);
+    h.bench("fig7/render_svg", artifacts::fig7_svg);
 }
 
-fn bench_reports(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reports");
-    g.bench_function("estimates_report", |b| {
-        b.iter(|| std::hint::black_box(artifacts::estimates_report()))
-    });
-    g.bench_function("pareto_report", |b| {
-        b.iter(|| std::hint::black_box(artifacts::pareto_report()))
-    });
-    g.bench_function("fig2_hierarchy", |b| b.iter(|| std::hint::black_box(artifacts::fig2())));
-    g.finish();
+fn bench_reports(h: &mut Harness) {
+    h.bench("reports/estimates_report", artifacts::estimates_report);
+    h.bench("reports/pareto_report", artifacts::pareto_report);
+    h.bench("reports/fig2_hierarchy", artifacts::fig2);
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+fn main() {
+    let mut h = Harness::new();
+    bench_fig1(&mut h);
+    bench_fig7(&mut h);
+    bench_reports(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_fig1, bench_fig7, bench_reports
-}
-criterion_main!(benches);

@@ -11,8 +11,8 @@ use skilltax_machine::morph;
 use skilltax_model::dsl::parse_row;
 use skilltax_model::ArchSpec;
 use skilltax_report::{
-    ascii_bar_chart, ascii_trend_chart, diagram, figure, svg_bar_chart, svg_line_chart, Align,
-    Bar, CsvWriter, Series, Table,
+    ascii_bar_chart, ascii_trend_chart, diagram, figure, svg_bar_chart, svg_line_chart, Align, Bar,
+    CsvWriter, Series, Table,
 };
 use skilltax_taxonomy::{flexibility_table, hierarchy, Taxonomy};
 use skilltax_trends::{PublicationDatabase, Topic};
@@ -97,7 +97,11 @@ pub fn table3() -> String {
     ]);
     for row in regenerate_table_iii() {
         let paper = format!("{}/{}", row.paper.0, row.paper.1);
-        let note = if row.erratum.is_some() { "erratum: see EXPERIMENTS.md" } else { "" };
+        let note = if row.erratum.is_some() {
+            "erratum: see EXPERIMENTS.md"
+        } else {
+            ""
+        };
         table.push_row(vec![
             row.name,
             row.structure,
@@ -113,7 +117,14 @@ pub fn table3() -> String {
 /// Table III as CSV (for downstream tooling).
 pub fn table3_csv() -> String {
     let mut csv = CsvWriter::new();
-    csv.header(&["architecture", "structure", "class", "flexibility", "paper_class", "paper_flexibility"]);
+    csv.header(&[
+        "architecture",
+        "structure",
+        "class",
+        "flexibility",
+        "paper_class",
+        "paper_flexibility",
+    ]);
     for row in regenerate_table_iii() {
         csv.row(&[
             row.name.clone(),
@@ -163,12 +174,18 @@ pub fn fig1_ascii() -> String {
 
 /// Fig 1 — research trends (SVG).
 pub fn fig1_svg() -> String {
-    svg_line_chart("Fig 1: Research Trends in Parallel Computing (synthetic)", &fig1_series())
+    svg_line_chart(
+        "Fig 1: Research Trends in Parallel Computing (synthetic)",
+        &fig1_series(),
+    )
 }
 
 /// Fig 2 — the naming hierarchy tree.
 pub fn fig2() -> String {
-    format!("Fig 2: Hierarchy of Computing Machines\n\n{}", hierarchy().render())
+    format!(
+        "Fig 2: Hierarchy of Computing Machines\n\n{}",
+        hierarchy().render()
+    )
 }
 
 fn subtype_specs(rows: &[(&str, &str)]) -> Vec<ArchSpec> {
@@ -208,8 +225,14 @@ pub fn fig5() -> String {
     let mut out = figure(
         "Fig 5: An Illustration of Instruction Flow Spatial Processors",
         &subtype_specs(&[
-            ("ISP-I (IPs composable)", "n | n | nxn | n-n | n-n | n-n | none"),
-            ("ISP-XVI (everything switched)", "n | n | nxn | nxn | nxn | nxn | nxn"),
+            (
+                "ISP-I (IPs composable)",
+                "n | n | nxn | n-n | n-n | n-n | none",
+            ),
+            (
+                "ISP-XVI (everything switched)",
+                "n | n | nxn | nxn | nxn | nxn | nxn",
+            ),
         ]),
     );
     out.push_str(
@@ -238,7 +261,10 @@ pub fn fig6() -> String {
 fn fig7_bars() -> Vec<Bar> {
     regenerate_table_iii()
         .into_iter()
-        .map(|row| Bar { label: row.name, value: f64::from(row.flexibility) })
+        .map(|row| Bar {
+            label: row.name,
+            value: f64::from(row.flexibility),
+        })
         .collect()
 }
 
@@ -253,7 +279,10 @@ pub fn fig7_ascii() -> String {
 
 /// Fig 7 — SVG.
 pub fn fig7_svg() -> String {
-    svg_bar_chart("Fig 7: Relative flexibility of the surveyed architectures", &fig7_bars())
+    svg_bar_chart(
+        "Fig 7: Relative flexibility of the surveyed architectures",
+        &fig7_bars(),
+    )
 }
 
 /// Eq 1 / Eq 2 report: itemised area and configuration bits over the
@@ -306,9 +335,21 @@ pub fn pareto_report() -> String {
     let params = CostParams::default();
     let points = sweep_classes(&params);
     let front = pareto_front(&points);
-    let mut table = Table::new(vec!["Class", "Flexibility", "Area [kGE]", "Config bits", "Pareto"])
-        .with_title("Design-space sweep over the 43 named classes (n = 16 substitution)")
-        .with_aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Center]);
+    let mut table = Table::new(vec![
+        "Class",
+        "Flexibility",
+        "Area [kGE]",
+        "Config bits",
+        "Pareto",
+    ])
+    .with_title("Design-space sweep over the 43 named classes (n = 16 substitution)")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Center,
+    ]);
     for p in &points {
         let on_front = front.iter().any(|q| q.label == p.label);
         table.push_row(vec![
@@ -350,7 +391,8 @@ pub fn morph_report() -> String {
 /// motivation.
 pub fn baselines_report() -> String {
     use skilltax_taxonomy::{flynn_partition, new_classes, skillicorn_table};
-    let mut out = String::from("Baselines: Flynn (1966) and Skillicorn (1988) vs the extension\n\n");
+    let mut out =
+        String::from("Baselines: Flynn (1966) and Skillicorn (1988) vs the extension\n\n");
     let (buckets, unplaced) = flynn_partition();
     out.push_str("Flynn's four classes absorb the 43 named extended classes as:\n");
     for (flynn, members) in buckets {
@@ -372,7 +414,9 @@ pub fn baselines_report() -> String {
     out.push_str(&format!(
         "the IP-IP switch and the variable count add {} new classes: {:?}\n",
         new.len(),
-        new.iter().map(|(s, n)| format!("{s}:{n}")).collect::<Vec<_>>()
+        new.iter()
+            .map(|(s, n)| format!("{s}:{n}"))
+            .collect::<Vec<_>>()
     ));
     out
 }
@@ -390,9 +434,21 @@ fn summarize(names: &[String]) -> String {
 /// Beyond the paper: classify post-2012 architectures with the same
 /// engine (the taxonomy's predictive use).
 pub fn modern_report() -> String {
-    let mut table = Table::new(vec!["Architecture", "Structure", "Class", "Flex", "Rationale"])
-        .with_title("Beyond the paper: post-2012 architectures under the extended taxonomy")
-        .with_aligns(vec![Align::Left, Align::Left, Align::Left, Align::Right, Align::Left]);
+    let mut table = Table::new(vec![
+        "Architecture",
+        "Structure",
+        "Class",
+        "Flex",
+        "Rationale",
+    ])
+    .with_title("Beyond the paper: post-2012 architectures under the extended taxonomy")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+    ]);
     for case in skilltax_catalog::modern_cases() {
         let class = skilltax_taxonomy::classify(&case.spec)
             .map(|c| c.name().to_string())
@@ -424,10 +480,7 @@ pub fn table3_json() -> String {
                 ("flexibility", Json::int(i64::from(row.flexibility))),
                 ("paper_class", Json::str(row.paper.0)),
                 ("paper_flexibility", Json::int(i64::from(row.paper.1))),
-                (
-                    "erratum",
-                    row.erratum.map(Json::str).unwrap_or(Json::Null),
-                ),
+                ("erratum", row.erratum.map(Json::str).unwrap_or(Json::Null)),
             ])
         })
         .collect();
@@ -446,8 +499,10 @@ pub fn morph_lattice_dot() -> String {
     use skilltax_report::{hasse_edges, DotGraph};
     use skilltax_taxonomy::MachineType;
 
-    let names: Vec<skilltax_taxonomy::ClassName> =
-        Taxonomy::extended().implementable().map(|c| *c.name()).collect();
+    let names: Vec<skilltax_taxonomy::ClassName> = Taxonomy::extended()
+        .implementable()
+        .map(|c| *c.name())
+        .collect();
     let refs: Vec<&skilltax_taxonomy::ClassName> = names.iter().collect();
     let mut g = DotGraph::new("morph-lattice");
     for name in &names {
@@ -496,8 +551,8 @@ pub fn fig2_dot() -> String {
 
 /// A sample architecture diagram (for the quickstart docs).
 pub fn sample_diagram() -> String {
-    let spec = parse_row("MorphoSys", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64")
-        .expect("well formed");
+    let spec =
+        parse_row("MorphoSys", "1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64").expect("well formed");
     diagram(&spec)
 }
 
@@ -519,7 +574,9 @@ mod tests {
     #[test]
     fn table2_contains_the_key_scores() {
         let t = table2();
-        for needle in ["DUP", "DMP-IV", "IAP-II", "IMP-XVI", "ISP-XVI", "USP", "(+3)"] {
+        for needle in [
+            "DUP", "DMP-IV", "IAP-II", "IMP-XVI", "ISP-XVI", "USP", "(+3)",
+        ] {
             assert!(t.contains(needle), "missing {needle}");
         }
     }
@@ -527,7 +584,14 @@ mod tests {
     #[test]
     fn table3_reproduces_all_25_architectures() {
         let t = table3();
-        for name in ["ARM7TDMI", "MorphoSys", "PACT XPP", "DRRA", "Matrix", "FPGA"] {
+        for name in [
+            "ARM7TDMI",
+            "MorphoSys",
+            "PACT XPP",
+            "DRRA",
+            "Matrix",
+            "FPGA",
+        ] {
             assert!(t.contains(name), "missing {name}");
         }
         assert!(t.contains("erratum"));

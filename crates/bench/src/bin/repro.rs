@@ -13,8 +13,10 @@ use std::path::PathBuf;
 use skilltax_bench::artifacts;
 
 fn main() -> std::io::Result<()> {
-    let out: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "artifacts".to_owned()).into();
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "artifacts".to_owned())
+        .into();
     fs::create_dir_all(&out)?;
     let files: Vec<(&str, String)> = vec![
         ("table1.txt", artifacts::table1()),

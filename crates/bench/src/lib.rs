@@ -3,10 +3,11 @@
 //! The reproduction harness: [`artifacts`] has one generator per paper
 //! table and figure (Table I–III, Fig 1–7, plus the Eq 1/Eq 2 estimate,
 //! Pareto and morphing reports); the `table*`/`fig*` binaries print them,
-//! and the Criterion benches in `benches/` measure the engines behind
-//! them.
+//! and the dependency-free [`microbench`] harness drives the benches in
+//! `benches/` that measure the engines behind them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod artifacts;
+pub mod microbench;

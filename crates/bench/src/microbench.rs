@@ -1,0 +1,208 @@
+//! A small, dependency-free microbenchmark harness.
+//!
+//! The workspace builds hermetically (no external crates), so the bench
+//! targets in `benches/` use this module instead of Criterion: calibrate
+//! an iteration count against a target batch duration, take a fixed
+//! number of timed batches, and report min/median/mean nanoseconds per
+//! iteration in a plain-text table.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (group/function).
+    pub name: String,
+    /// Iterations per timed batch (after calibration).
+    pub iters_per_batch: u64,
+    /// Per-iteration nanoseconds, one entry per batch.
+    pub batch_ns: Vec<f64>,
+}
+
+impl Measurement {
+    /// Fastest observed batch, in ns per iteration.
+    pub fn min_ns(&self) -> f64 {
+        self.batch_ns.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Median batch, in ns per iteration.
+    pub fn median_ns(&self) -> f64 {
+        let mut sorted = self.batch_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 0 {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        }
+    }
+
+    /// Mean over all batches, in ns per iteration.
+    pub fn mean_ns(&self) -> f64 {
+        self.batch_ns.iter().sum::<f64>() / self.batch_ns.len() as f64
+    }
+}
+
+/// The harness: collects [`Measurement`]s and renders a report.
+#[derive(Debug)]
+pub struct Harness {
+    batches: usize,
+    batch_target: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness taking 12 batches of roughly 25 ms each per benchmark.
+    pub fn new() -> Harness {
+        Harness {
+            batches: 12,
+            batch_target: Duration::from_millis(25),
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the number of timed batches.
+    pub fn with_batches(mut self, batches: usize) -> Harness {
+        self.batches = batches.max(1);
+        self
+    }
+
+    /// Override the target duration of one timed batch.
+    pub fn with_batch_target(mut self, target: Duration) -> Harness {
+        self.batch_target = target;
+        self
+    }
+
+    /// Time `f`, storing and returning the measurement.
+    ///
+    /// The closure's return value is routed through
+    /// [`std::hint::black_box`] so the optimiser cannot delete the work.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Measurement {
+        // Calibrate: double the iteration count until one batch takes at
+        // least the target (capped so pathological cases still finish).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.batch_target || iters >= 1 << 24 {
+                break;
+            }
+            // Jump straight to the projected count when we have signal.
+            let factor = if elapsed.is_zero() {
+                8
+            } else {
+                (self.batch_target.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            iters = iters.saturating_mul(factor).min(1 << 24);
+        }
+
+        let mut batch_ns = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            batch_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.results.push(Measurement {
+            name: name.to_owned(),
+            iters_per_batch: iters,
+            batch_ns,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements so far, in insertion order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Render the collected measurements as an aligned text table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .results
+            .iter()
+            .map(|m| m.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!(
+            "{:width$}  {:>12}  {:>12}  {:>12}  {:>8}\n",
+            "name", "min ns/iter", "median", "mean", "iters"
+        ));
+        for m in &self.results {
+            out.push_str(&format!(
+                "{:width$}  {:>12.1}  {:>12.1}  {:>12.1}  {:>8}\n",
+                m.name,
+                m.min_ns(),
+                m.median_ns(),
+                m.mean_ns(),
+                m.iters_per_batch
+            ));
+        }
+        out
+    }
+
+    /// Print the report to stdout (the tail of every bench binary).
+    pub fn finish(&self) {
+        print!("{}", self.report());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_harness() -> Harness {
+        Harness::new()
+            .with_batches(3)
+            .with_batch_target(Duration::from_micros(200))
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        let mut h = fast_harness();
+        let m = h.bench("square", || std::hint::black_box(21u64).pow(2));
+        assert_eq!(m.batch_ns.len(), 3);
+        assert!(m.min_ns() > 0.0);
+        assert!(m.min_ns() <= m.mean_ns() + f64::EPSILON);
+        let report = h.report();
+        assert!(report.contains("square"));
+        assert!(report.contains("min ns/iter"));
+    }
+
+    #[test]
+    fn median_of_even_and_odd_sample_counts() {
+        let even = Measurement {
+            name: "e".into(),
+            iters_per_batch: 1,
+            batch_ns: vec![4.0, 1.0, 3.0, 2.0],
+        };
+        assert_eq!(even.median_ns(), 2.5);
+        let odd = Measurement {
+            name: "o".into(),
+            iters_per_batch: 1,
+            batch_ns: vec![5.0, 1.0, 3.0],
+        };
+        assert_eq!(odd.median_ns(), 3.0);
+    }
+
+    #[test]
+    fn results_accumulate_in_order() {
+        let mut h = fast_harness();
+        h.bench("a", || 1);
+        h.bench("b", || 2);
+        let names: Vec<&str> = h.results().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

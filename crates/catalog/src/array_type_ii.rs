@@ -125,7 +125,15 @@ mod tests {
 
     #[test]
     fn all_type_ii_arrays_classify_as_iap_ii() {
-        for entry in [imagine(), morphosys(), remarc(), rica(), paddi(), chimaera(), adres()] {
+        for entry in [
+            imagine(),
+            morphosys(),
+            remarc(),
+            rica(),
+            paddi(),
+            chimaera(),
+            adres(),
+        ] {
             assert_eq!(
                 entry.classify().unwrap().name().to_string(),
                 "IAP-II",

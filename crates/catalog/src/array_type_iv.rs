@@ -120,7 +120,13 @@ mod tests {
     fn montium_memory_crossbar_is_asymmetric() {
         use skilltax_model::Relation;
         let m = montium();
-        let sw = m.spec.connectivity.link(Relation::DpDm).switch().copied().unwrap();
+        let sw = m
+            .spec
+            .connectivity
+            .link(Relation::DpDm)
+            .switch()
+            .copied()
+            .unwrap();
         assert_eq!(sw.crosspoints(), Some(50)); // 5 DPs x 10 memories
     }
 }

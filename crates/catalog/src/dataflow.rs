@@ -61,7 +61,13 @@ mod tests {
     #[test]
     fn colt_io_crossbar_is_16_by_6() {
         use skilltax_model::Relation;
-        let sw = colt().spec.connectivity.link(Relation::DpDm).switch().copied().unwrap();
+        let sw = colt()
+            .spec
+            .connectivity
+            .link(Relation::DpDm)
+            .switch()
+            .copied()
+            .unwrap();
         assert_eq!(sw.crosspoints(), Some(96));
     }
 }

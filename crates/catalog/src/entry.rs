@@ -39,7 +39,12 @@ impl SurveyEntry {
         spec.meta.citation = citation.to_owned();
         spec.meta.year = Some(year);
         spec.meta.description = description.to_owned();
-        SurveyEntry { spec, paper_class, paper_flexibility, erratum }
+        SurveyEntry {
+            spec,
+            paper_class,
+            paper_flexibility,
+            erratum,
+        }
     }
 
     /// Architecture name.

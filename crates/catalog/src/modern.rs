@@ -36,7 +36,12 @@ impl ModernEntry {
         let mut spec = dsl::parse_row(name, row).expect("modern rows are well formed");
         spec.meta.year = Some(year);
         spec.meta.description = rationale.to_owned();
-        ModernEntry { spec, expected_class, expected_flexibility, rationale }
+        ModernEntry {
+            spec,
+            expected_class,
+            expected_flexibility,
+            rationale,
+        }
     }
 
     /// Does the engine agree with the documented analysis?
@@ -172,7 +177,9 @@ mod tests {
     fn modern_cases_span_both_paradigms() {
         let cases = modern_cases();
         assert!(cases.iter().any(|c| c.spec.is_dataflow()));
-        assert!(cases.iter().any(|c| !c.spec.is_dataflow() && !c.spec.is_universal()));
+        assert!(cases
+            .iter()
+            .any(|c| !c.spec.is_dataflow() && !c.spec.is_universal()));
         assert!(cases.iter().any(|c| c.spec.is_universal()));
     }
 

@@ -4,7 +4,7 @@ use crate::array_type_ii::{adres, chimaera, imagine, morphosys, paddi, remarc, r
 use crate::array_type_iv::{egra, elm, garp, montium, piperench};
 use crate::dataflow::{colt, redefine};
 use crate::entry::SurveyEntry;
-use crate::multiprocessors::{cortex_a9, core2duo, pact_xpp, paddi2, pleiades, rapid};
+use crate::multiprocessors::{core2duo, cortex_a9, pact_xpp, paddi2, pleiades, rapid};
 use crate::spatial::{drra, matrix};
 use crate::uniprocessors::{arm7tdmi, at89c51};
 use crate::universal::fpga;
@@ -167,7 +167,11 @@ mod tests {
     fn all_entries_have_descriptions_and_citations() {
         for entry in full_survey() {
             assert!(!entry.spec.meta.description.is_empty(), "{}", entry.name());
-            assert!(entry.spec.meta.citation.starts_with('['), "{}", entry.name());
+            assert!(
+                entry.spec.meta.citation.starts_with('['),
+                "{}",
+                entry.name()
+            );
             assert!(entry.spec.meta.year.is_some(), "{}", entry.name());
         }
     }
@@ -175,11 +179,13 @@ mod tests {
     #[test]
     fn survey_covers_eight_distinct_classes() {
         use std::collections::BTreeSet;
-        let classes: BTreeSet<String> =
-            regenerate_table_iii().into_iter().map(|r| r.class).collect();
+        let classes: BTreeSet<String> = regenerate_table_iii()
+            .into_iter()
+            .map(|r| r.class)
+            .collect();
         let expected: BTreeSet<String> = [
-            "IUP", "IAP-II", "IAP-IV", "IMP-I", "IMP-II", "IMP-XIV", "DMP-IV", "ISP-IV",
-            "ISP-XVI", "USP",
+            "IUP", "IAP-II", "IAP-IV", "IMP-I", "IMP-II", "IMP-XIV", "DMP-IV", "ISP-IV", "ISP-XVI",
+            "USP",
         ]
         .into_iter()
         .map(str::to_owned)

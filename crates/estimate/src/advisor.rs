@@ -26,7 +26,10 @@ pub fn recommend(requirements: &[Capability], params: &CostParams) -> Vec<Recomm
             let spec = class.template_spec();
             let mut point = DesignPoint::evaluate(&spec, params);
             point.label = class.name().to_string();
-            Recommendation { point, satisfies: requirements.to_vec() }
+            Recommendation {
+                point,
+                satisfies: requirements.to_vec(),
+            }
         })
         .collect();
     recs.sort_by(|a, b| {
@@ -65,7 +68,10 @@ mod tests {
     #[test]
     fn mimd_with_messaging_recommends_imp_ii() {
         let recs = recommend(
-            &[Capability::MultipleInstructionStreams, Capability::LaneExchange],
+            &[
+                Capability::MultipleInstructionStreams,
+                Capability::LaneExchange,
+            ],
             &CostParams::default(),
         );
         assert_eq!(recs[0].point.label, "IMP-II");
@@ -83,7 +89,11 @@ mod tests {
     #[test]
     fn dataflow_requirement_stays_in_the_dmp_family_when_cheap() {
         let recs = recommend(&[Capability::DataflowExecution], &CostParams::default());
-        assert!(recs[0].point.label.starts_with("D"), "{}", recs[0].point.label);
+        assert!(
+            recs[0].point.label.starts_with("D"),
+            "{}",
+            recs[0].point.label
+        );
     }
 
     #[test]

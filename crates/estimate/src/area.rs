@@ -90,9 +90,11 @@ pub(crate) fn resolve_count(count: Count, params: &CostParams) -> u64 {
     match count {
         Count::Zero => 0,
         Count::One => 1,
-        Count::Many(m) => {
-            u64::from(m.substitute(params.n_default).value().unwrap_or(params.n_default))
-        }
+        Count::Many(m) => u64::from(
+            m.substitute(params.n_default)
+                .value()
+                .unwrap_or(params.n_default),
+        ),
         Count::Variable => u64::from(params.v_default),
     }
 }

@@ -100,22 +100,41 @@ mod tests {
 
     #[test]
     fn block_area_grows_with_bitwidth() {
-        let b = BlockParams { base_ge: 100.0, per_bit_ge: 10.0, opcode_bits: 4, config_bits: 8 };
+        let b = BlockParams {
+            base_ge: 100.0,
+            per_bit_ge: 10.0,
+            opcode_bits: 4,
+            config_bits: 8,
+        };
         assert!(b.area(32) > b.area(8));
         assert!((b.area(8) - (100.0 + 80.0 + 64.0)).abs() < 1e-9);
     }
 
     #[test]
     fn memory_area_dominated_by_capacity() {
-        let small = MemoryParams { words: 256, word_bits: 8, ge_per_bit: 0.25, config_bits: 0 };
-        let big = MemoryParams { words: 4096, word_bits: 32, ge_per_bit: 0.25, config_bits: 0 };
+        let small = MemoryParams {
+            words: 256,
+            word_bits: 8,
+            ge_per_bit: 0.25,
+            config_bits: 0,
+        };
+        let big = MemoryParams {
+            words: 4096,
+            word_bits: 32,
+            ge_per_bit: 0.25,
+            config_bits: 0,
+        };
         assert!(big.area() > 16.0 * small.area() * 0.9);
         assert_eq!(big.capacity_bits(), 4096 * 32);
     }
 
     #[test]
     fn lut_config_word_is_table_plus_routing() {
-        let l = LutParams { inputs: 4, ge_per_cell: 120.0, routing_bits_per_cell: 48 };
+        let l = LutParams {
+            inputs: 4,
+            ge_per_cell: 120.0,
+            routing_bits_per_cell: 48,
+        };
         assert_eq!(l.table_bits(), 16);
         assert_eq!(l.config_word(), 64);
     }

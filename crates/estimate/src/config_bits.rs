@@ -133,7 +133,12 @@ mod tests {
         // of enormous reconfiguration overhead."
         let fpga = cb_of("v | v | vxv | vxv | vxv | vxv | vxv");
         let cgra = cb_of("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64");
-        assert!(fpga.total() > 50 * cgra.total(), "fpga={} cgra={}", fpga.total(), cgra.total());
+        assert!(
+            fpga.total() > 50 * cgra.total(),
+            "fpga={} cgra={}",
+            fpga.total(),
+            cgra.total()
+        );
     }
 
     #[test]

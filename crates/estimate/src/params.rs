@@ -39,11 +39,35 @@ pub struct CostParams {
 impl Default for CostParams {
     fn default() -> Self {
         CostParams {
-            ip: BlockParams { base_ge: 2_000.0, per_bit_ge: 60.0, opcode_bits: 8, config_bits: 32 },
-            dp: BlockParams { base_ge: 1_200.0, per_bit_ge: 220.0, opcode_bits: 5, config_bits: 24 },
-            im: MemoryParams { words: 1_024, word_bits: 32, ge_per_bit: 0.25, config_bits: 8 },
-            dm: MemoryParams { words: 2_048, word_bits: 32, ge_per_bit: 0.25, config_bits: 8 },
-            lut: LutParams { inputs: 4, ge_per_cell: 120.0, routing_bits_per_cell: 48 },
+            ip: BlockParams {
+                base_ge: 2_000.0,
+                per_bit_ge: 60.0,
+                opcode_bits: 8,
+                config_bits: 32,
+            },
+            dp: BlockParams {
+                base_ge: 1_200.0,
+                per_bit_ge: 220.0,
+                opcode_bits: 5,
+                config_bits: 24,
+            },
+            im: MemoryParams {
+                words: 1_024,
+                word_bits: 32,
+                ge_per_bit: 0.25,
+                config_bits: 8,
+            },
+            dm: MemoryParams {
+                words: 2_048,
+                word_bits: 32,
+                ge_per_bit: 0.25,
+                config_bits: 8,
+            },
+            lut: LutParams {
+                inputs: 4,
+                ge_per_cell: 120.0,
+                routing_bits_per_cell: 48,
+            },
             n_default: 16,
             v_default: 4_096,
             bitwidth: 32,
@@ -57,11 +81,35 @@ impl CostParams {
     /// Parameters for a small 8-bit embedded fabric.
     pub fn small_embedded() -> Self {
         CostParams {
-            ip: BlockParams { base_ge: 800.0, per_bit_ge: 40.0, opcode_bits: 6, config_bits: 16 },
-            dp: BlockParams { base_ge: 400.0, per_bit_ge: 120.0, opcode_bits: 4, config_bits: 12 },
-            im: MemoryParams { words: 256, word_bits: 16, ge_per_bit: 0.25, config_bits: 4 },
-            dm: MemoryParams { words: 512, word_bits: 8, ge_per_bit: 0.25, config_bits: 4 },
-            lut: LutParams { inputs: 3, ge_per_cell: 60.0, routing_bits_per_cell: 24 },
+            ip: BlockParams {
+                base_ge: 800.0,
+                per_bit_ge: 40.0,
+                opcode_bits: 6,
+                config_bits: 16,
+            },
+            dp: BlockParams {
+                base_ge: 400.0,
+                per_bit_ge: 120.0,
+                opcode_bits: 4,
+                config_bits: 12,
+            },
+            im: MemoryParams {
+                words: 256,
+                word_bits: 16,
+                ge_per_bit: 0.25,
+                config_bits: 4,
+            },
+            dm: MemoryParams {
+                words: 512,
+                word_bits: 8,
+                ge_per_bit: 0.25,
+                config_bits: 4,
+            },
+            lut: LutParams {
+                inputs: 3,
+                ge_per_cell: 60.0,
+                routing_bits_per_cell: 24,
+            },
             n_default: 8,
             v_default: 1_024,
             bitwidth: 8,
@@ -73,11 +121,35 @@ impl CostParams {
     /// Parameters for a large 64-bit HPC-style fabric.
     pub fn large_hpc() -> Self {
         CostParams {
-            ip: BlockParams { base_ge: 8_000.0, per_bit_ge: 120.0, opcode_bits: 10, config_bits: 64 },
-            dp: BlockParams { base_ge: 4_000.0, per_bit_ge: 500.0, opcode_bits: 7, config_bits: 48 },
-            im: MemoryParams { words: 8_192, word_bits: 64, ge_per_bit: 0.25, config_bits: 16 },
-            dm: MemoryParams { words: 16_384, word_bits: 64, ge_per_bit: 0.25, config_bits: 16 },
-            lut: LutParams { inputs: 6, ge_per_cell: 300.0, routing_bits_per_cell: 96 },
+            ip: BlockParams {
+                base_ge: 8_000.0,
+                per_bit_ge: 120.0,
+                opcode_bits: 10,
+                config_bits: 64,
+            },
+            dp: BlockParams {
+                base_ge: 4_000.0,
+                per_bit_ge: 500.0,
+                opcode_bits: 7,
+                config_bits: 48,
+            },
+            im: MemoryParams {
+                words: 8_192,
+                word_bits: 64,
+                ge_per_bit: 0.25,
+                config_bits: 16,
+            },
+            dm: MemoryParams {
+                words: 16_384,
+                word_bits: 64,
+                ge_per_bit: 0.25,
+                config_bits: 16,
+            },
+            lut: LutParams {
+                inputs: 6,
+                ge_per_cell: 300.0,
+                routing_bits_per_cell: 96,
+            },
             n_default: 64,
             v_default: 65_536,
             bitwidth: 64,

@@ -147,7 +147,12 @@ mod tests {
         let pick = cheapest_with_flexibility(&points, 3).unwrap();
         assert!(pick.flexibility >= 3);
         for p in points.iter().filter(|p| p.flexibility >= 3) {
-            assert!(pick.config_bits <= p.config_bits, "{} beat {}", p.label, pick.label);
+            assert!(
+                pick.config_bits <= p.config_bits,
+                "{} beat {}",
+                p.label,
+                pick.label
+            );
         }
         // Impossible requirement yields None.
         assert!(cheapest_with_flexibility(&points, 99).is_none());
@@ -179,8 +184,7 @@ mod tests {
                     // when comparing a superset pattern — verified pairwise
                     // through the dominance relation instead:
                     assert!(
-                        !(a.area_ge < b.area_ge && a.config_bits < b.config_bits)
-                            || a.dominates(b),
+                        !(a.area_ge < b.area_ge && a.config_bits < b.config_bits) || a.dominates(b),
                         "inconsistent dominance {} vs {}",
                         a.label,
                         b.label

@@ -95,7 +95,10 @@ mod tests {
     fn ge_to_mm2_inverse_of_density() {
         let node = TechNode::N65;
         let mm2 = node.ge_to_mm2(800_000.0);
-        assert!((mm2 - 1.0).abs() < 1e-9, "800 kGE at 65nm should be ~1 mm², got {mm2}");
+        assert!(
+            (mm2 - 1.0).abs() < 1e-9,
+            "800 kGE at 65nm should be ~1 mm², got {mm2}"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ fn resolve(extent: skilltax_model::Extent, params: &CostParams) -> u64 {
     match extent.count() {
         Count::Zero => 0,
         Count::One => 1,
-        Count::Many(m) => u64::from(m.substitute(params.n_default).value().unwrap_or(params.n_default)),
+        Count::Many(m) => u64::from(
+            m.substitute(params.n_default)
+                .value()
+                .unwrap_or(params.n_default),
+        ),
         Count::Variable => u64::from(params.v_default),
     }
 }
@@ -187,7 +191,7 @@ mod tests {
     fn config_bits_formula_matches_mux_model() {
         let p = params();
         let c = switch_cost(&sw("5x10"), &p); // Montium: 5 DPs x 10 DMs
-        // 10 sinks, each selecting one of 5 sources (+none) => 3 bits each.
+                                              // 10 sinks, each selecting one of 5 sources (+none) => 3 bits each.
         assert_eq!(c.config_bits, 10 * 3);
         assert_eq!(c.crosspoints, 50);
     }

@@ -1,28 +1,36 @@
-//! Property tests for the cost models: scaling, monotonicity and
+//! Property-style tests for the cost models: scaling, monotonicity and
 //! dominance invariants.
-
-use proptest::prelude::*;
+//!
+//! These run as deterministic seeded sweeps (`sweep_cases`) instead of
+//! `proptest` so the workspace builds hermetically.
 
 use skilltax_estimate::{
     clog2, estimate_area, estimate_config_bits, pareto_front, sweep_classes, switch_cost,
     CostParams, DesignPoint, TechNode,
 };
+use skilltax_model::rng::sweep_cases;
 use skilltax_model::{Extent, Switch, SwitchKind};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn clog2_is_the_ceiling_of_log2(x in 1u64..1_000_000) {
+#[test]
+fn clog2_is_the_ceiling_of_log2() {
+    sweep_cases(0xE50, 200, |case, rng| {
+        let x = rng.range_u64(1, 1_000_000);
         let bits = clog2(x);
-        prop_assert!(1u64.checked_shl(bits).is_none_or(|v| v >= x));
+        assert!(
+            1u64.checked_shl(bits).is_none_or(|v| v >= x),
+            "case {case} x {x}"
+        );
         if x > 1 {
-            prop_assert!(1u64 << (bits - 1) < x);
+            assert!(1u64 << (bits - 1) < x, "case {case} x {x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn crossbar_cost_dominates_direct_for_any_extents(l in 1u32..512, r in 1u32..512) {
+#[test]
+fn crossbar_cost_dominates_direct_for_any_extents() {
+    sweep_cases(0xE51, 200, |case, rng| {
+        let l = rng.range_u64(1, 512) as u32;
+        let r = rng.range_u64(1, 512) as u32;
         let params = CostParams::default();
         let direct = switch_cost(
             &Switch::new(SwitchKind::Direct, Extent::fixed(l), Extent::fixed(r)),
@@ -32,54 +40,75 @@ proptest! {
             &Switch::new(SwitchKind::Crossbar, Extent::fixed(l), Extent::fixed(r)),
             &params,
         );
-        prop_assert!(xbar.area_ge > direct.area_ge);
-        prop_assert!(xbar.config_bits >= direct.config_bits);
-        prop_assert_eq!(direct.config_bits, 0);
-    }
+        assert!(xbar.area_ge > direct.area_ge, "case {case} {l}x{r}");
+        assert!(
+            xbar.config_bits >= direct.config_bits,
+            "case {case} {l}x{r}"
+        );
+        assert_eq!(direct.config_bits, 0, "case {case}");
+    });
+}
 
-    #[test]
-    fn crossbar_cost_is_monotone_in_each_extent(l in 1u32..256, r in 1u32..256, dl in 1u32..32) {
+#[test]
+fn crossbar_cost_is_monotone_in_each_extent() {
+    sweep_cases(0xE52, 200, |case, rng| {
+        let l = rng.range_u64(1, 256) as u32;
+        let r = rng.range_u64(1, 256) as u32;
+        let dl = rng.range_u64(1, 32) as u32;
         let params = CostParams::default();
         let base = switch_cost(
             &Switch::new(SwitchKind::Crossbar, Extent::fixed(l), Extent::fixed(r)),
             &params,
         );
         let wider = switch_cost(
-            &Switch::new(SwitchKind::Crossbar, Extent::fixed(l + dl), Extent::fixed(r)),
+            &Switch::new(
+                SwitchKind::Crossbar,
+                Extent::fixed(l + dl),
+                Extent::fixed(r),
+            ),
             &params,
         );
-        prop_assert!(wider.area_ge > base.area_ge);
-        prop_assert!(wider.config_bits >= base.config_bits);
-        prop_assert!(wider.crosspoints > base.crosspoints);
-    }
+        assert!(wider.area_ge > base.area_ge, "case {case}");
+        assert!(wider.config_bits >= base.config_bits, "case {case}");
+        assert!(wider.crosspoints > base.crosspoints, "case {case}");
+    });
+}
 
-    #[test]
-    fn area_scales_down_on_newer_nodes(ge in 1.0f64..1e9) {
+#[test]
+fn area_scales_down_on_newer_nodes() {
+    sweep_cases(0xE53, 200, |case, rng| {
+        let ge = rng.range_f64(1.0, 1e9);
         let mut last = f64::INFINITY;
         for node in TechNode::ALL {
             let mm2 = node.ge_to_mm2(ge);
-            prop_assert!(mm2 > 0.0);
-            prop_assert!(mm2 < last, "{node}");
+            assert!(mm2 > 0.0, "case {case} {node}");
+            assert!(mm2 < last, "case {case} {node}");
             last = mm2;
         }
-    }
+    });
+}
 
-    #[test]
-    fn estimates_never_negative_for_any_survey_entry_and_n(n in 2u32..256) {
+#[test]
+fn estimates_never_negative_for_any_survey_entry_and_n() {
+    sweep_cases(0xE54, 64, |case, rng| {
+        let n = rng.range_u64(2, 256) as u32;
         let params = CostParams::default().with_n(n);
         for entry in skilltax_catalog::full_survey() {
             let area = estimate_area(&entry.spec, &params);
-            prop_assert!(area.total() > 0.0, "{}", entry.name());
-            prop_assert!(area.interconnect_fraction() >= 0.0);
-            prop_assert!(area.interconnect_fraction() <= 1.0);
+            assert!(area.total() > 0.0, "case {case} {}", entry.name());
+            assert!(area.interconnect_fraction() >= 0.0, "case {case}");
+            assert!(area.interconnect_fraction() <= 1.0, "case {case}");
             let cb = estimate_config_bits(&entry.spec, &params);
-            prop_assert!(cb.total_extended() >= cb.total());
+            assert!(cb.total_extended() >= cb.total(), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn pareto_front_is_stable_under_duplication(seed in 0u64..1000) {
+#[test]
+fn pareto_front_is_stable_under_duplication() {
+    sweep_cases(0xE55, 64, |case, rng| {
         // Duplicating points must not change which labels survive.
+        let seed = rng.below(1000);
         let params = CostParams::default().with_n(4 + (seed % 60) as u32);
         let points = sweep_classes(&params);
         let mut doubled: Vec<DesignPoint> = points.clone();
@@ -91,13 +120,16 @@ proptest! {
             .collect();
         // Each base label appears (twice) in the duplicated front.
         for label in &base {
-            prop_assert!(dup.contains(label));
+            assert!(dup.contains(label), "case {case} label {label}");
         }
-        prop_assert_eq!(dup.len(), base.len() * 2);
-    }
+        assert_eq!(dup.len(), base.len() * 2, "case {case}");
+    });
+}
 
-    #[test]
-    fn dominance_transitivity_on_the_sweep(n in 2u32..64) {
+#[test]
+fn dominance_transitivity_on_the_sweep() {
+    sweep_cases(0xE56, 32, |case, rng| {
+        let n = rng.range_u64(2, 64) as u32;
         let points = sweep_classes(&CostParams::default().with_n(n));
         for a in &points {
             for b in &points {
@@ -106,10 +138,16 @@ proptest! {
                 }
                 for c in &points {
                     if b.dominates(c) {
-                        prop_assert!(a.dominates(c), "{} > {} > {}", a.label, b.label, c.label);
+                        assert!(
+                            a.dominates(c),
+                            "case {case}: {} > {} > {}",
+                            a.label,
+                            b.label,
+                            c.label
+                        );
                     }
                 }
             }
         }
-    }
+    });
 }

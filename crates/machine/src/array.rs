@@ -20,6 +20,7 @@ use skilltax_model::{ArchSpec, Count, Link, Relation};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
+use crate::fault::{FaultPlan, RunOutcome};
 use crate::interconnect::FabricTopology;
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
@@ -41,8 +42,12 @@ pub enum ArraySubtype {
 
 impl ArraySubtype {
     /// All four sub-types.
-    pub const ALL: [ArraySubtype; 4] =
-        [ArraySubtype::I, ArraySubtype::II, ArraySubtype::III, ArraySubtype::IV];
+    pub const ALL: [ArraySubtype; 4] = [
+        ArraySubtype::I,
+        ArraySubtype::II,
+        ArraySubtype::III,
+        ArraySubtype::IV,
+    ];
 
     /// DP–DM topology of this sub-type.
     pub fn data_topology(&self) -> DataTopology {
@@ -149,15 +154,52 @@ impl ArrayMachine {
     /// broadcasts it to every lane.  Control flow is resolved on lane 0
     /// (the canonical SIMD "scalar unit" view).
     pub fn run(&mut self, program: &Program) -> Result<Stats, MachineError> {
+        let alive = vec![true; self.lanes.len()];
+        self.run_masked(program, &alive, None)
+            .map(|outcome| outcome.stats)
+    }
+
+    /// The broadcast loop with a lane-alive mask and optional fault plan.
+    /// Control flow follows the first alive lane; a stalled lane stalls the
+    /// whole lockstep broadcast for the cycle; exceeding the cycle budget
+    /// returns [`MachineError::WatchdogTimeout`] with partial statistics.
+    fn run_masked(
+        &mut self,
+        program: &Program,
+        alive: &[bool],
+        mut faults: Option<&mut FaultPlan>,
+    ) -> Result<RunOutcome, MachineError> {
         let mut stats = Stats::default();
         let mut pc = 0usize;
         let n = self.lanes.len();
+        let ctrl =
+            alive
+                .iter()
+                .position(|&a| a)
+                .ok_or_else(|| MachineError::DegradationImpossible {
+                    machine: format!("{} array machine", self.subtype.class_name()),
+                    reason: "every lane has failed".to_owned(),
+                })?;
+        let live = alive.iter().filter(|&&a| a).count() as u64;
         loop {
             if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
             }
-            let Some(instr) = program.fetch(pc) else { break };
+            let Some(instr) = program.fetch(pc) else {
+                break;
+            };
             stats.cycles += 1;
+            if let Some(plan) = faults.as_deref_mut() {
+                plan.maybe_flip_memory(&mut self.mem);
+                // Lockstep SIMD: one stalled lane holds back the broadcast.
+                if (0..n).any(|l| alive[l] && plan.dp_stalled(stats.cycles, l)) {
+                    stats.stalls += 1;
+                    continue;
+                }
+            }
             match instr {
                 Instr::Send(..) | Instr::Recv(..) => {
                     return Err(MachineError::unsupported(
@@ -171,7 +213,10 @@ impl ArrayMachine {
                     // SIMD semantics: every lane reads the *pre-instruction*
                     // value of its source lane's register.
                     let snapshot: Vec<Word> = self.lanes.iter().map(|l| l.reg(rs)).collect();
-                    for lane in 0..n {
+                    for (lane, &up) in alive.iter().enumerate() {
+                        if !up {
+                            continue;
+                        }
                         let src = self.lanes[lane].reg(lane_reg);
                         if src < 0 || src as usize >= n {
                             return Err(MachineError::RouteDenied {
@@ -187,26 +232,29 @@ impl ArrayMachine {
                         }
                         self.lanes[lane].set_reg(rd, snapshot[src]);
                     }
-                    stats.instructions += n as u64;
+                    stats.instructions += live;
                     pc += 1;
                 }
                 _ if instr.is_control() => {
-                    // The IP resolves control flow against lane 0.
+                    // The IP resolves control flow against the control lane.
                     stats.instructions += 1;
-                    match self.lanes[0].execute_local(instr, &mut self.mem)? {
+                    match self.lanes[ctrl].execute_local(instr, &mut self.mem)? {
                         LocalOutcome::Next => pc += 1,
                         LocalOutcome::Branch(t) => pc = t,
                         LocalOutcome::Halt => break,
                     }
                 }
                 _ => {
-                    for lane in &mut self.lanes {
-                        match lane.execute_local(instr, &mut self.mem)? {
+                    for (lane, dp) in self.lanes.iter_mut().enumerate() {
+                        if !alive[lane] {
+                            continue;
+                        }
+                        match dp.execute_local(instr, &mut self.mem)? {
                             LocalOutcome::Next => {}
                             other => unreachable!("non-control instr produced {other:?}"),
                         }
                     }
-                    stats.instructions += n as u64;
+                    stats.instructions += live;
                     pc += 1;
                 }
             }
@@ -217,6 +265,98 @@ impl ArrayMachine {
             stats.mem_reads += mr;
             stats.mem_writes += mw;
         }
+        let faults_injected = faults.as_ref().map_or(0, |p| p.injected());
+        Ok(RunOutcome {
+            stats,
+            faults_injected,
+            retries: 0,
+            degraded: false,
+        })
+    }
+
+    /// Run one SIMD program under a fault plan, degrading gracefully where
+    /// the sub-type's switches allow it.
+    ///
+    /// Lanes whose DP is marked failed sit out the broadcast.  Their work
+    /// is then *replayed*: a substitute DP adopts the failed lane's
+    /// identity and re-executes the program sequentially — but only when
+    /// DP–DM is a shared crossbar (IAP-III/IV), because the replay must
+    /// reach the failed lane's data through the global address space.  On
+    /// private-bank sub-types (IAP-I/II) the dead lane's bank is wired to
+    /// its dead DP alone, so the machine reports
+    /// [`MachineError::DegradationImpossible`].
+    pub fn run_resilient(
+        &mut self,
+        program: &Program,
+        mut plan: FaultPlan,
+    ) -> Result<RunOutcome, MachineError> {
+        let n = self.lanes.len();
+        let alive: Vec<bool> = (0..n).map(|i| !plan.dp_failed(i)).collect();
+        let failed: Vec<usize> = (0..n).filter(|&i| plan.dp_failed(i)).collect();
+        if !failed.is_empty() && self.subtype.data_topology() == DataTopology::PrivateBanks {
+            return Err(MachineError::DegradationImpossible {
+                machine: format!("{} array machine", self.subtype.class_name()),
+                reason: "DP-DM is a direct switch: a failed lane's private bank is \
+                         unreachable from any substitute DP"
+                    .to_owned(),
+            });
+        }
+        let mut fork = plan.fork();
+        let mut outcome = self.run_masked(program, &alive, Some(&mut fork))?;
+        outcome.faults_injected += failed.len() as u64;
+        if failed.is_empty() {
+            return Ok(outcome);
+        }
+        for &f in &failed {
+            let replay = self.replay_lane(program, f)?;
+            outcome.stats = outcome.stats.accumulate_sequential(replay);
+        }
+        outcome.degraded = true;
+        Ok(outcome)
+    }
+
+    /// Sequential degraded replay: a fresh substitute DP adopts lane `f`'s
+    /// identity and runs the whole program against shared memory.
+    fn replay_lane(&mut self, program: &Program, f: usize) -> Result<Stats, MachineError> {
+        let mut dp = DataProcessor::new(f);
+        let mut stats = Stats::default();
+        let mut pc = 0usize;
+        loop {
+            if stats.cycles >= self.cycle_limit {
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
+            }
+            let Some(instr) = program.fetch(pc) else {
+                break;
+            };
+            stats.cycles += 1;
+            match instr {
+                Instr::Send(..) | Instr::Recv(..) | Instr::GetLane(..) => {
+                    return Err(MachineError::unsupported(
+                        format!(
+                            "{} array machine (degraded replay)",
+                            self.subtype.class_name()
+                        ),
+                        "a degraded replay is lane-local; exchange instructions \
+                         need the full lockstep array",
+                    ));
+                }
+                _ => {
+                    stats.instructions += 1;
+                    match dp.execute_local(instr, &mut self.mem)? {
+                        LocalOutcome::Next => pc += 1,
+                        LocalOutcome::Branch(t) => pc = t,
+                        LocalOutcome::Halt => break,
+                    }
+                }
+            }
+        }
+        let (alu, mr, mw) = dp.counters();
+        stats.alu_ops += alu;
+        stats.mem_reads += mr;
+        stats.mem_writes += mw;
         Ok(stats)
     }
 }
@@ -253,7 +393,9 @@ mod tests {
             }
             let mut m = ArrayMachine::new(subtype, 4, 4);
             for lane in 0..4 {
-                m.memory_mut().bank_mut(lane).load(&[10 * lane as Word, 3, 0, 0]);
+                m.memory_mut()
+                    .bank_mut(lane)
+                    .load(&[10 * lane as Word, 3, 0, 0]);
             }
             let stats = m.run(&vector_add_private()).unwrap();
             for lane in 0..4 {
@@ -348,6 +490,67 @@ mod tests {
             let m = ArrayMachine::new(subtype, 8, 4);
             let c = classify(&m.spec()).unwrap();
             assert_eq!(c.name().to_string(), subtype.class_name());
+        }
+    }
+
+    #[test]
+    fn resilient_run_replays_the_failed_lane_on_shared_memory() {
+        use crate::fault::FaultPlan;
+        // IAP-III (shared crossbar): each lane writes 100 + lane to global
+        // address lane (bank layout: 1 word per bank not needed — use
+        // global addressing directly).
+        let mut m = ArrayMachine::new(ArraySubtype::III, 4, 4);
+        let mut asm = Assembler::new();
+        asm.emit(Instr::LaneId(0))
+            .movi(1, 100)
+            .emit(Instr::Add(1, 1, 0))
+            .emit(Instr::Store(0, 1)) // mem[lane] = 100 + lane
+            .emit(Instr::Halt);
+        let prog = asm.assemble().unwrap();
+        let outcome = m
+            .run_resilient(&prog, FaultPlan::seeded(0).fail_dp(2))
+            .unwrap();
+        assert!(outcome.degraded);
+        assert!(outcome.faults_injected >= 1);
+        // All four outputs present, including the replayed lane 2.
+        for lane in 0..4 {
+            assert_eq!(
+                m.memory().bank(0).contents()[lane],
+                100 + lane as Word,
+                "lane {lane}"
+            );
+        }
+        // The replay cost extra sequential cycles.
+        let clean = ArrayMachine::new(ArraySubtype::III, 4, 4)
+            .run(&prog)
+            .unwrap();
+        assert!(outcome.stats.cycles > clean.cycles);
+    }
+
+    #[test]
+    fn resilient_run_impossible_on_private_banks() {
+        use crate::fault::FaultPlan;
+        let mut m = ArrayMachine::new(ArraySubtype::I, 4, 4);
+        let err = m.run_resilient(&vector_add_private(), FaultPlan::seeded(0).fail_dp(2));
+        match err {
+            Err(MachineError::DegradationImpossible { machine, reason }) => {
+                assert!(machine.contains("IAP-I"));
+                assert!(reason.contains("private bank"));
+            }
+            other => panic!("expected DegradationImpossible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adversarial_stalls_trip_the_watchdog_with_partial_stats() {
+        use crate::fault::FaultPlan;
+        let mut m = ArrayMachine::new(ArraySubtype::I, 4, 4).with_cycle_limit(50);
+        match m.run_resilient(&vector_add_private(), FaultPlan::seeded(9).stall_dps(1.0)) {
+            Err(MachineError::WatchdogTimeout { limit: 50, partial }) => {
+                assert_eq!(partial.cycles, 50);
+                assert!(partial.stalls > 0);
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
         }
     }
 

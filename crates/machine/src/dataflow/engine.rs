@@ -22,6 +22,7 @@ use skilltax_model::{ArchSpec, Count, Link, Relation};
 
 use crate::error::MachineError;
 use crate::exec::Stats;
+use crate::fault::{FaultPlan, RunOutcome};
 use crate::isa::Word;
 
 use super::graph::{DataflowGraph, NodeId, OpKind};
@@ -111,14 +112,26 @@ impl DataflowMachine {
         match (subtype, n_dps) {
             (DataflowSubtype::Uni, 1) => {}
             (DataflowSubtype::Uni, n) => {
-                return Err(MachineError::config(format!("DUP has exactly one DP, got {n}")))
+                return Err(MachineError::config(format!(
+                    "DUP has exactly one DP, got {n}"
+                )))
             }
             (_, n) if n < 2 => {
                 return Err(MachineError::config("a DMP machine needs at least two DPs"))
             }
             _ => {}
         }
-        Ok(DataflowMachine { subtype, n_dps, cycle_limit: 10_000_000 })
+        Ok(DataflowMachine {
+            subtype,
+            n_dps,
+            cycle_limit: 10_000_000,
+        })
+    }
+
+    /// Override the livelock guard.
+    pub fn with_cycle_limit(mut self, limit: u64) -> DataflowMachine {
+        self.cycle_limit = limit;
+        self
     }
 
     /// The sub-type.
@@ -272,7 +285,86 @@ impl DataflowMachine {
         }
         let map = self.place(graph, placement);
         self.check_placement(graph, &map)?;
+        self.execute(graph, inputs, &map, None)
+    }
 
+    /// Run a graph under a fault plan, degrading around failed DPs.
+    ///
+    /// Nodes placed on a failed DP are remapped onto healthy substitutes
+    /// (all nodes of one failed DP move together, so island structure is
+    /// preserved).  Whether the remapped placement is still *feasible* is
+    /// exactly the sub-type's switch question: a crossbar on the violated
+    /// relation lets the run complete degraded, a direct link makes the
+    /// degradation impossible.
+    pub fn run_resilient(
+        &self,
+        graph: &DataflowGraph,
+        inputs: &[Word],
+        placement: &Placement,
+        mut plan: FaultPlan,
+    ) -> Result<(DataflowRun, RunOutcome), MachineError> {
+        if inputs.len() != graph.input_count() {
+            return Err(MachineError::config(format!(
+                "graph expects {} inputs, got {}",
+                graph.input_count(),
+                inputs.len()
+            )));
+        }
+        let mut map = self.place(graph, placement);
+        let failed: Vec<usize> = (0..self.n_dps).filter(|&d| plan.dp_failed(d)).collect();
+        let healthy: Vec<usize> = (0..self.n_dps).filter(|&d| !plan.dp_failed(d)).collect();
+        let mut degraded = false;
+        if !failed.is_empty() {
+            if healthy.is_empty() {
+                return Err(MachineError::DegradationImpossible {
+                    machine: self.subtype.class_name().to_owned(),
+                    reason: "every data processor has failed".to_owned(),
+                });
+            }
+            // Each failed DP gets one healthy substitute, so co-located
+            // nodes stay co-located after the remap.
+            let substitute: std::collections::BTreeMap<usize, usize> = failed
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| (f, healthy[i % healthy.len()]))
+                .collect();
+            let mut moved = false;
+            for slot in map.iter_mut() {
+                if let Some(&sub) = substitute.get(slot) {
+                    *slot = sub;
+                    moved = true;
+                }
+            }
+            if moved {
+                if let Err(err) = self.check_placement(graph, &map) {
+                    return Err(MachineError::DegradationImpossible {
+                        machine: self.subtype.class_name().to_owned(),
+                        reason: format!("remapping off the failed DPs is not routable: {err}"),
+                    });
+                }
+                degraded = true;
+            }
+        } else {
+            self.check_placement(graph, &map)?;
+        }
+        let run = self.execute(graph, inputs, &map, Some(&mut plan))?;
+        let outcome = RunOutcome {
+            stats: run.stats,
+            faults_injected: plan.injected() + failed.len() as u64,
+            retries: 0,
+            degraded,
+        };
+        Ok((run, outcome))
+    }
+
+    /// The token-driven firing loop over a checked placement.
+    fn execute(
+        &self,
+        graph: &DataflowGraph,
+        inputs: &[Word],
+        map: &[usize],
+        mut faults: Option<&mut FaultPlan>,
+    ) -> Result<DataflowRun, MachineError> {
         let consumers = graph.consumers();
         let mut pending: Vec<usize> = graph.nodes().iter().map(|n| n.op.arity()).collect();
         let mut value: Vec<Option<Word>> = vec![None; graph.len()];
@@ -289,12 +381,21 @@ impl DataflowMachine {
 
         while fired < graph.len() {
             if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
             }
             stats.cycles += 1;
             let mut fired_this_cycle: Vec<NodeId> = Vec::new();
             // Each DP fires at most one ready node per cycle.
-            for dp_ready in ready.iter_mut() {
+            for (dp, dp_ready) in ready.iter_mut().enumerate() {
+                if let Some(plan) = faults.as_deref_mut() {
+                    if plan.dp_stalled(stats.cycles, dp) {
+                        stats.stalls += 1;
+                        continue;
+                    }
+                }
                 if let Some(id) = dp_ready.pop() {
                     let node = &graph.nodes()[id];
                     let operands: Vec<Word> = node
@@ -436,7 +537,10 @@ mod tests {
         // that pops ready nodes LIFO, i.e. not in topological order).
         let m = DataflowMachine::new(DataflowSubtype::IV, 2).unwrap();
         let g = poly2();
-        for placement in [Placement::RoundRobin, Placement::Explicit(vec![0, 1, 0, 1, 0, 1])] {
+        for placement in [
+            Placement::RoundRobin,
+            Placement::Explicit(vec![0, 1, 0, 1, 0, 1]),
+        ] {
             let run = m.run(&g, &[9, 4], &placement).unwrap();
             assert_eq!(run.outputs, vec![(9 + 4) * (9 - 4)]);
         }
@@ -449,10 +553,68 @@ mod tests {
         let m = DataflowMachine::new(DataflowSubtype::IV, 2).unwrap();
         let g = poly2();
         assert!(m.run(&g, &[1], &Placement::RoundRobin).is_err()); // wrong input count
-        assert!(m
-            .check_placement(&g, &vec![5; g.len()])
-            .is_err()); // DP out of range
+        assert!(m.check_placement(&g, &vec![5; g.len()]).is_err()); // DP out of range
         assert!(m.check_placement(&g, &[0]).is_err()); // wrong length
+    }
+
+    #[test]
+    fn resilient_run_remaps_off_the_failed_dp() {
+        let m = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
+        let g = tree_sum(8);
+        let inputs: Vec<Word> = (1..=8).collect();
+        let plan = FaultPlan::seeded(11).fail_dp(1);
+        let (run, outcome) = m
+            .run_resilient(&g, &inputs, &Placement::RoundRobin, plan)
+            .unwrap();
+        assert_eq!(run.outputs, g.eval_reference(&inputs).unwrap());
+        assert!(outcome.degraded);
+        assert!(outcome.faults_injected >= 1);
+    }
+
+    #[test]
+    fn resilient_run_impossible_on_dmp_i() {
+        // Chain 2's I/O lives in bank 2; with DP 2 dead its nodes must move,
+        // but DMP-I's direct DP-DM link cannot reach a foreign bank.
+        let m = DataflowMachine::new(DataflowSubtype::I, 4).unwrap();
+        let g = independent_chains(4);
+        let plan = FaultPlan::seeded(12).fail_dp(2);
+        match m.run_resilient(&g, &[3, 1, 4, 1], &Placement::Islands, plan) {
+            Err(MachineError::DegradationImpossible { machine, reason }) => {
+                assert_eq!(machine, "DMP-I");
+                assert!(reason.contains("not routable"), "reason: {reason}");
+            }
+            other => panic!("expected DegradationImpossible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_all_on_one_survives_on_dmp_iii() {
+        // AllOnOne keeps everything co-located after the remap, and the
+        // DP-DM crossbar still reaches every bank from the substitute DP.
+        let m = DataflowMachine::new(DataflowSubtype::III, 2).unwrap();
+        let g = independent_chains(2);
+        let plan = FaultPlan::seeded(13).fail_dp(0);
+        let (run, outcome) = m
+            .run_resilient(&g, &[5, 6], &Placement::AllOnOne, plan)
+            .unwrap();
+        assert_eq!(run.outputs, g.eval_reference(&[5, 6]).unwrap());
+        assert!(outcome.degraded);
+    }
+
+    #[test]
+    fn adversarial_stalls_trip_the_watchdog_with_partial_stats() {
+        let m = DataflowMachine::new(DataflowSubtype::IV, 2)
+            .unwrap()
+            .with_cycle_limit(64);
+        let g = poly2();
+        let plan = FaultPlan::seeded(14).stall_dps(1.0);
+        match m.run_resilient(&g, &[1, 2], &Placement::RoundRobin, plan) {
+            Err(MachineError::WatchdogTimeout { limit: 64, partial }) => {
+                assert_eq!(partial.cycles, 64);
+                assert!(partial.stalls > 0);
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl OpKind {
 
     /// Does firing this node count as an ALU operation?
     pub fn is_alu(&self) -> bool {
-        matches!(self, OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Min | OpKind::Max)
+        matches!(
+            self,
+            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Min | OpKind::Max
+        )
     }
 }
 
@@ -163,7 +166,11 @@ impl DataflowGraph {
                 }
             }
         }
-        Ok(DataflowGraph { input_count: inputs.len(), output_count: outputs.len(), nodes })
+        Ok(DataflowGraph {
+            input_count: inputs.len(),
+            output_count: outputs.len(),
+            nodes,
+        })
     }
 
     /// The nodes, in topological order.
@@ -266,7 +273,10 @@ pub mod library {
     /// Balanced-tree reduction summing `n` inputs into `out[0]`
     /// (`n` must be a power of two).
     pub fn tree_sum(n: usize) -> DataflowGraph {
-        assert!(n.is_power_of_two() && n >= 2, "tree_sum needs a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "tree_sum needs a power of two >= 2"
+        );
         let mut g = GraphBuilder::new();
         let mut layer: Vec<NodeId> = (0..n).map(|i| g.input(i)).collect();
         while layer.len() > 1 {
@@ -329,16 +339,28 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let nodes = vec![Node { op: OpKind::Add, inputs: vec![] }];
+        let nodes = vec![Node {
+            op: OpKind::Add,
+            inputs: vec![],
+        }];
         assert!(DataflowGraph::new(nodes).is_err());
     }
 
     #[test]
     fn forward_references_rejected() {
         let nodes = vec![
-            Node { op: OpKind::Input(0), inputs: vec![] },
-            Node { op: OpKind::Add, inputs: vec![0, 2] }, // 2 does not precede
-            Node { op: OpKind::Const(1), inputs: vec![] },
+            Node {
+                op: OpKind::Input(0),
+                inputs: vec![],
+            },
+            Node {
+                op: OpKind::Add,
+                inputs: vec![0, 2],
+            }, // 2 does not precede
+            Node {
+                op: OpKind::Const(1),
+                inputs: vec![],
+            },
         ];
         assert!(DataflowGraph::new(nodes).is_err());
     }

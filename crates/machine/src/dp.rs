@@ -29,7 +29,13 @@ pub struct DataProcessor {
 impl DataProcessor {
     /// A zeroed processor with the given lane index.
     pub fn new(lane: usize) -> DataProcessor {
-        DataProcessor { regs: [0; NUM_REGS], lane, alu_ops: 0, mem_reads: 0, mem_writes: 0 }
+        DataProcessor {
+            regs: [0; NUM_REGS],
+            lane,
+            alu_ops: 0,
+            mem_reads: 0,
+            mem_writes: 0,
+        }
     }
 
     /// This processor's lane index.
@@ -63,7 +69,10 @@ impl DataProcessor {
         instr: Instr,
         mem: &mut BankedMemory,
     ) -> Result<LocalOutcome, MachineError> {
-        debug_assert!(!instr.uses_dp_dp(), "fabric instruction reached execute_local");
+        debug_assert!(
+            !instr.uses_dp_dp(),
+            "fabric instruction reached execute_local"
+        );
         match instr {
             Instr::Nop => Ok(LocalOutcome::Next),
             Instr::Halt => Ok(LocalOutcome::Halt),
@@ -179,10 +188,22 @@ mod tests {
         let mut m = mem();
         dp.set_reg(0, 1);
         dp.set_reg(1, 2);
-        assert_eq!(dp.execute_local(Instr::Blt(0, 1, 9), &mut m).unwrap(), LocalOutcome::Branch(9));
-        assert_eq!(dp.execute_local(Instr::Beq(0, 1, 9), &mut m).unwrap(), LocalOutcome::Next);
-        assert_eq!(dp.execute_local(Instr::Jmp(4), &mut m).unwrap(), LocalOutcome::Branch(4));
-        assert_eq!(dp.execute_local(Instr::Halt, &mut m).unwrap(), LocalOutcome::Halt);
+        assert_eq!(
+            dp.execute_local(Instr::Blt(0, 1, 9), &mut m).unwrap(),
+            LocalOutcome::Branch(9)
+        );
+        assert_eq!(
+            dp.execute_local(Instr::Beq(0, 1, 9), &mut m).unwrap(),
+            LocalOutcome::Next
+        );
+        assert_eq!(
+            dp.execute_local(Instr::Jmp(4), &mut m).unwrap(),
+            LocalOutcome::Branch(4)
+        );
+        assert_eq!(
+            dp.execute_local(Instr::Halt, &mut m).unwrap(),
+            LocalOutcome::Halt
+        );
     }
 
     #[test]

@@ -85,8 +85,16 @@ impl EnergyModel {
         crossbar_memory: bool,
         crossbar_messages: bool,
     ) -> EnergyEstimate {
-        let mem_factor = if crossbar_memory { self.crossbar_factor } else { 1.0 };
-        let msg_factor = if crossbar_messages { self.crossbar_factor } else { 1.0 };
+        let mem_factor = if crossbar_memory {
+            self.crossbar_factor
+        } else {
+            1.0
+        };
+        let msg_factor = if crossbar_messages {
+            self.crossbar_factor
+        } else {
+            1.0
+        };
         EnergyEstimate {
             alu_pj: stats.alu_ops as f64 * self.alu_pj,
             memory_pj: (stats.mem_reads as f64 * self.mem_read_pj
@@ -124,7 +132,11 @@ mod tests {
 
     #[test]
     fn crossbar_factor_taxes_flexible_machines() {
-        let stats = Stats { mem_reads: 100, messages: 100, ..Stats::default() };
+        let stats = Stats {
+            mem_reads: 100,
+            messages: 100,
+            ..Stats::default()
+        };
         let model = EnergyModel::default();
         let rigid = model.estimate(&stats, false, false);
         let flexible = model.estimate(&stats, true, true);

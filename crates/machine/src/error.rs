@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::exec::Stats;
+
 /// Errors raised while assembling programs or running machines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MachineError {
@@ -83,17 +85,56 @@ pub enum MachineError {
         /// Description.
         reason: String,
     },
+    /// An injected fault has taken a link down (transiently or permanently).
+    LinkDown {
+        /// Source endpoint.
+        from: usize,
+        /// Destination endpoint.
+        to: usize,
+        /// Cycle at which the failed send was attempted.
+        cycle: u64,
+    },
+    /// Bounded retry with exponential backoff gave up on a route.
+    RetryExhausted {
+        /// Source endpoint.
+        from: usize,
+        /// Destination endpoint.
+        to: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The run-loop watchdog fired: the machine exceeded its cycle budget
+    /// without completing, but the partial statistics survive.
+    WatchdogTimeout {
+        /// The budget that was exhausted.
+        limit: u64,
+        /// Statistics collected up to the timeout.
+        partial: Stats,
+    },
+    /// A fault demanded remapping that this machine's switch kinds cannot
+    /// express (the direct-switched `-` classes of the taxonomy).
+    DegradationImpossible {
+        /// Machine description.
+        machine: String,
+        /// Which structural constraint blocks the remap.
+        reason: String,
+    },
 }
 
 impl MachineError {
     /// Convenience constructor for workload-unsupported errors.
     pub fn unsupported(machine: impl Into<String>, reason: impl Into<String>) -> Self {
-        MachineError::WorkloadUnsupported { machine: machine.into(), reason: reason.into() }
+        MachineError::WorkloadUnsupported {
+            machine: machine.into(),
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for configuration errors.
     pub fn config(reason: impl Into<String>) -> Self {
-        MachineError::BadConfiguration { reason: reason.into() }
+        MachineError::BadConfiguration {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -106,13 +147,30 @@ impl fmt::Display for MachineError {
                 write!(f, "instruction {at} uses an out-of-range register: {instr}")
             }
             MachineError::BadBranchTarget { at, target, len } => {
-                write!(f, "instruction {at} branches to {target} but the program has {len} instructions")
+                write!(
+                    f,
+                    "instruction {at} branches to {target} but the program has {len} instructions"
+                )
             }
-            MachineError::MemoryOutOfBounds { processor, address, size } => {
-                write!(f, "processor {processor}: address {address} outside memory of {size} words")
+            MachineError::MemoryOutOfBounds {
+                processor,
+                address,
+                size,
+            } => {
+                write!(
+                    f,
+                    "processor {processor}: address {address} outside memory of {size} words"
+                )
             }
-            MachineError::BankAccessDenied { processor, bank, reason } => {
-                write!(f, "processor {processor}: cannot reach bank {bank}: {reason}")
+            MachineError::BankAccessDenied {
+                processor,
+                bank,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "processor {processor}: cannot reach bank {bank}: {reason}"
+                )
             }
             MachineError::RouteDenied { from, to, reason } => {
                 write!(f, "no route from processor {from} to {to}: {reason}")
@@ -124,13 +182,199 @@ impl fmt::Display for MachineError {
                 write!(f, "cycle limit of {limit} exceeded (livelock?)")
             }
             MachineError::Deadlock { cycle } => {
-                write!(f, "deadlock detected at cycle {cycle}: every processor blocked on recv")
+                write!(
+                    f,
+                    "deadlock detected at cycle {cycle}: every processor blocked on recv"
+                )
             }
             MachineError::BadConfiguration { reason } => {
                 write!(f, "bad configuration: {reason}")
+            }
+            MachineError::LinkDown { from, to, cycle } => {
+                write!(f, "link {from} -> {to} down at cycle {cycle}")
+            }
+            MachineError::RetryExhausted { from, to, attempts } => {
+                write!(
+                    f,
+                    "route {from} -> {to} still failing after {attempts} attempts"
+                )
+            }
+            MachineError::WatchdogTimeout { limit, partial } => {
+                write!(
+                    f,
+                    "watchdog fired after {limit} cycles (partial: {partial})"
+                )
+            }
+            MachineError::DegradationImpossible { machine, reason } => {
+                write!(f, "{machine} cannot degrade around the fault: {reason}")
             }
         }
     }
 }
 
 impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every variant, paired with a fragment its rendered
+    /// message must contain.
+    fn all_variants() -> Vec<(MachineError, &'static str)> {
+        vec![
+            (
+                MachineError::UndefinedLabel {
+                    label: "loop".into(),
+                },
+                "undefined label",
+            ),
+            (
+                MachineError::DuplicateLabel {
+                    label: "loop".into(),
+                },
+                "duplicate label",
+            ),
+            (
+                MachineError::BadRegister {
+                    at: 3,
+                    instr: "add r99, r0, r1".into(),
+                },
+                "out-of-range register",
+            ),
+            (
+                MachineError::BadBranchTarget {
+                    at: 2,
+                    target: 9,
+                    len: 4,
+                },
+                "branches to 9",
+            ),
+            (
+                MachineError::MemoryOutOfBounds {
+                    processor: 1,
+                    address: -5,
+                    size: 16,
+                },
+                "address -5 outside memory of 16 words",
+            ),
+            (
+                MachineError::BankAccessDenied {
+                    processor: 0,
+                    bank: 2,
+                    reason: "private banks".into(),
+                },
+                "cannot reach bank 2",
+            ),
+            (
+                MachineError::RouteDenied {
+                    from: 0,
+                    to: 3,
+                    reason: "no DP-DP switch".into(),
+                },
+                "no route from processor 0 to 3",
+            ),
+            (
+                MachineError::unsupported("IUP-I", "needs more DPs"),
+                "IUP-I cannot run this workload",
+            ),
+            (
+                MachineError::CycleLimitExceeded { limit: 64 },
+                "cycle limit of 64",
+            ),
+            (
+                MachineError::Deadlock { cycle: 7 },
+                "deadlock detected at cycle 7",
+            ),
+            (MachineError::config("LUT arity 0"), "bad configuration"),
+            (
+                MachineError::LinkDown {
+                    from: 1,
+                    to: 2,
+                    cycle: 5,
+                },
+                "link 1 -> 2 down at cycle 5",
+            ),
+            (
+                MachineError::RetryExhausted {
+                    from: 1,
+                    to: 2,
+                    attempts: 4,
+                },
+                "route 1 -> 2 still failing after 4 attempts",
+            ),
+            (
+                MachineError::WatchdogTimeout {
+                    limit: 100,
+                    partial: Stats::default(),
+                },
+                "watchdog fired after 100 cycles",
+            ),
+            (
+                MachineError::DegradationImpossible {
+                    machine: "IAP-I".into(),
+                    reason: "direct DP-DM switch".into(),
+                },
+                "IAP-I cannot degrade around the fault",
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_variant_displays_its_key_facts() {
+        for (err, fragment) in all_variants() {
+            let text = err.to_string();
+            assert!(text.contains(fragment), "{err:?} rendered as {text:?}");
+        }
+    }
+
+    #[test]
+    fn display_messages_are_distinct_per_variant() {
+        let rendered: Vec<String> = all_variants()
+            .into_iter()
+            .map(|(e, _)| e.to_string())
+            .collect();
+        for (i, a) in rendered.iter().enumerate() {
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_timeout_carries_its_partial_stats_in_the_message() {
+        let partial = Stats {
+            cycles: 100,
+            stalls: 42,
+            ..Stats::default()
+        };
+        let err = MachineError::WatchdogTimeout {
+            limit: 100,
+            partial,
+        };
+        let text = err.to_string();
+        assert!(text.contains("partial:"), "message: {text}");
+        assert!(text.contains("stalls=42"), "message: {text}");
+    }
+
+    #[test]
+    fn variants_work_through_the_error_trait() {
+        let err: Box<dyn std::error::Error> = Box::new(MachineError::LinkDown {
+            from: 0,
+            to: 1,
+            cycle: 3,
+        });
+        assert_eq!(err.to_string(), "link 0 -> 1 down at cycle 3");
+    }
+
+    #[test]
+    fn convenience_constructors_build_the_right_variants() {
+        assert!(matches!(
+            MachineError::unsupported("m", "r"),
+            MachineError::WorkloadUnsupported { .. }
+        ));
+        assert!(matches!(
+            MachineError::config("r"),
+            MachineError::BadConfiguration { .. }
+        ));
+    }
+}

@@ -1,7 +1,6 @@
 //! Execution statistics shared by every machine family.
 
 use std::fmt;
-use std::ops::{Add, AddAssign};
 
 /// Counters collected while running a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,14 +35,30 @@ impl Stats {
     pub fn mem_ops(&self) -> u64 {
         self.mem_reads + self.mem_writes
     }
-}
 
-impl Add for Stats {
-    type Output = Stats;
-
-    fn add(self, rhs: Stats) -> Stats {
+    /// Merge statistics from processors that ran *concurrently*: work
+    /// counters sum, but wall-clock cycles are the **max** across the
+    /// participants (they overlapped in time).
+    pub fn merge_parallel(self, rhs: Stats) -> Stats {
         Stats {
             cycles: self.cycles.max(rhs.cycles),
+            ..self.sum_work(rhs)
+        }
+    }
+
+    /// Accumulate statistics from phases that ran *one after another*:
+    /// everything sums, including cycles (the phases did not overlap).
+    pub fn accumulate_sequential(self, rhs: Stats) -> Stats {
+        Stats {
+            cycles: self.cycles + rhs.cycles,
+            ..self.sum_work(rhs)
+        }
+    }
+
+    /// Sum the work counters (everything except `cycles`).
+    fn sum_work(self, rhs: Stats) -> Stats {
+        Stats {
+            cycles: self.cycles,
             instructions: self.instructions + rhs.instructions,
             alu_ops: self.alu_ops + rhs.alu_ops,
             mem_reads: self.mem_reads + rhs.mem_reads,
@@ -51,12 +66,6 @@ impl Add for Stats {
             messages: self.messages + rhs.messages,
             stalls: self.stalls + rhs.stalls,
         }
-    }
-}
-
-impl AddAssign for Stats {
-    fn add_assign(&mut self, rhs: Stats) {
-        *self = *self + rhs;
     }
 }
 
@@ -84,15 +93,29 @@ mod tests {
     #[test]
     fn ipc_handles_zero_cycles() {
         assert_eq!(Stats::default().ipc(), 0.0);
-        let s = Stats { cycles: 10, instructions: 25, ..Stats::default() };
+        let s = Stats {
+            cycles: 10,
+            instructions: 25,
+            ..Stats::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
     }
 
     #[test]
-    fn addition_sums_work_and_maxes_cycles() {
-        let a = Stats { cycles: 10, instructions: 5, alu_ops: 3, ..Stats::default() };
-        let b = Stats { cycles: 7, instructions: 4, mem_reads: 2, ..Stats::default() };
-        let c = a + b;
+    fn parallel_merge_sums_work_and_maxes_cycles() {
+        let a = Stats {
+            cycles: 10,
+            instructions: 5,
+            alu_ops: 3,
+            ..Stats::default()
+        };
+        let b = Stats {
+            cycles: 7,
+            instructions: 4,
+            mem_reads: 2,
+            ..Stats::default()
+        };
+        let c = a.merge_parallel(b);
         assert_eq!(c.cycles, 10); // parallel processors: wall clock is the max
         assert_eq!(c.instructions, 9);
         assert_eq!(c.alu_ops, 3);
@@ -100,8 +123,29 @@ mod tests {
     }
 
     #[test]
+    fn sequential_accumulation_sums_cycles_too() {
+        let a = Stats {
+            cycles: 10,
+            instructions: 5,
+            ..Stats::default()
+        };
+        let b = Stats {
+            cycles: 7,
+            instructions: 4,
+            ..Stats::default()
+        };
+        let c = a.accumulate_sequential(b);
+        assert_eq!(c.cycles, 17); // phases back to back: wall clock adds
+        assert_eq!(c.instructions, 9);
+    }
+
+    #[test]
     fn display_mentions_all_counters() {
-        let s = Stats { cycles: 1, instructions: 1, ..Stats::default() };
+        let s = Stats {
+            cycles: 1,
+            instructions: 1,
+            ..Stats::default()
+        };
         let t = s.to_string();
         assert!(t.contains("cycles=1") && t.contains("msgs=0"));
     }

@@ -1,0 +1,380 @@
+//! Deterministic, seeded fault injection and the resilience report.
+//!
+//! The paper's flexibility argument (Section III) says flexible classes can
+//! route *around* structural constraints that rigid classes cannot.  This
+//! module makes that claim falsifiable: a [`FaultPlan`] schedules link
+//! failures, dropped/corrupted messages, DP stalls, permanent DP failures
+//! and transient memory bit-flips by cycle and component, and the machine
+//! families react according to their switch kinds — crossbar (`x`) classes
+//! degrade gracefully, direct (`-`) classes fail with a typed
+//! [`MachineError::DegradationImpossible`].
+//!
+//! Everything is driven by the in-repo xorshift PRNG
+//! ([`skilltax_model::rng::XorShift64`]); no external randomness, so every
+//! storm is reproducible from its seed.
+
+use std::collections::BTreeSet;
+
+use skilltax_model::rng::XorShift64;
+
+use crate::error::MachineError;
+use crate::exec::Stats;
+use crate::isa::Word;
+
+/// Default bound on send retries after repeated link failures.
+pub const DEFAULT_MAX_RETRIES: u32 = 8;
+
+/// Default packet time-to-live in the NoC (cycles in flight before the
+/// drain declares the packet lost).
+pub const DEFAULT_PACKET_TTL: u64 = 1_024;
+
+/// A scheduled window during which one directed link is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// Source endpoint.
+    pub from: usize,
+    /// Destination endpoint.
+    pub to: usize,
+    /// First cycle of the outage (inclusive).
+    pub from_cycle: u64,
+    /// Last cycle of the outage (inclusive); `u64::MAX` = permanent.
+    pub until_cycle: u64,
+}
+
+/// A deterministic fault schedule: permanent DP failures, link outage
+/// windows, and seeded per-cycle probabilistic faults (drops, corruption,
+/// stalls, bit-flips).
+///
+/// Cloning a plan clones the PRNG state, so two components holding clones
+/// roll decorrelated-but-reproducible streams (each query sequence is
+/// deterministic for a given seed).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: XorShift64,
+    failed_dps: BTreeSet<usize>,
+    outages: Vec<LinkOutage>,
+    drop_rate: f64,
+    corrupt_rate: f64,
+    stall_rate: f64,
+    bit_flip_rate: f64,
+    max_retries: u32,
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            rng: XorShift64::new(seed),
+            failed_dps: BTreeSet::new(),
+            outages: Vec::new(),
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            stall_rate: 0.0,
+            bit_flip_rate: 0.0,
+            max_retries: DEFAULT_MAX_RETRIES,
+            injected: 0,
+        }
+    }
+
+    /// Permanently fail data processor `dp`.
+    pub fn fail_dp(mut self, dp: usize) -> FaultPlan {
+        self.failed_dps.insert(dp);
+        self
+    }
+
+    /// Schedule a directed link outage.
+    pub fn fail_link(mut self, outage: LinkOutage) -> FaultPlan {
+        self.outages.push(outage);
+        self
+    }
+
+    /// Drop each in-flight message with probability `rate`.
+    pub fn drop_messages(mut self, rate: f64) -> FaultPlan {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Corrupt each delivered message payload with probability `rate`.
+    pub fn corrupt_messages(mut self, rate: f64) -> FaultPlan {
+        self.corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Stall each DP on each cycle with probability `rate`.
+    pub fn stall_dps(mut self, rate: f64) -> FaultPlan {
+        self.stall_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Flip one memory bit per cycle with probability `rate`.
+    pub fn flip_memory_bits(mut self, rate: f64) -> FaultPlan {
+        self.bit_flip_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Override the retry bound used by hardened senders.
+    pub fn with_max_retries(mut self, retries: u32) -> FaultPlan {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The retry bound hardened senders should honour.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// The set of permanently failed DPs.
+    pub fn failed_dps(&self) -> &BTreeSet<usize> {
+        &self.failed_dps
+    }
+
+    /// Is `dp` permanently failed?
+    pub fn dp_failed(&self, dp: usize) -> bool {
+        self.failed_dps.contains(&dp)
+    }
+
+    /// Faults actually injected so far (every query that fired counts).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Is the `from -> to` link down at `cycle`?
+    pub fn link_down(&mut self, cycle: u64, from: usize, to: usize) -> bool {
+        let down = self.outages.iter().any(|o| {
+            o.from == from && o.to == to && cycle >= o.from_cycle && cycle <= o.until_cycle
+        });
+        if down {
+            self.injected += 1;
+        }
+        down
+    }
+
+    /// Should the message in flight right now be dropped?
+    pub fn should_drop(&mut self) -> bool {
+        if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Maybe corrupt a payload (single random bit-flip).
+    pub fn corrupt(&mut self, value: Word) -> Word {
+        if self.corrupt_rate > 0.0 && self.rng.chance(self.corrupt_rate) {
+            self.injected += 1;
+            value ^ (1 << self.rng.below(63))
+        } else {
+            value
+        }
+    }
+
+    /// Is `dp` transiently stalled this cycle?
+    pub fn dp_stalled(&mut self, _cycle: u64, _dp: usize) -> bool {
+        if self.stall_rate > 0.0 && self.rng.chance(self.stall_rate) {
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Roll for a transient memory bit-flip this cycle: `(bank_choice,
+    /// addr_choice, bit)` as raw draws for the caller to reduce modulo its
+    /// own geometry.
+    pub fn memory_bit_flip(&mut self) -> Option<(u64, u64, u32)> {
+        if self.bit_flip_rate > 0.0 && self.rng.chance(self.bit_flip_rate) {
+            self.injected += 1;
+            Some((
+                self.rng.next_u64(),
+                self.rng.next_u64(),
+                self.rng.below(63) as u32,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Split off a child plan with the same schedule but a decorrelated
+    /// RNG stream and a fresh injection counter, so several components
+    /// (machine + interconnect) can each hold a plan for one run.
+    pub fn fork(&mut self) -> FaultPlan {
+        let mut child = self.clone();
+        child.rng = self.rng.fork();
+        child.injected = 0;
+        child
+    }
+
+    /// Apply a pending transient bit-flip (if any) to `mem`, reducing the
+    /// raw draws modulo the memory's geometry.
+    pub fn maybe_flip_memory(&mut self, mem: &mut crate::mem::BankedMemory) {
+        if let Some((bank_raw, addr_raw, bit)) = self.memory_bit_flip() {
+            let banks = mem.bank_count();
+            let words = mem.bank_size();
+            if banks == 0 || words == 0 {
+                return;
+            }
+            let bank = (bank_raw % banks as u64) as usize;
+            let addr = (addr_raw % words as u64) as usize;
+            let old = mem.bank(bank).contents()[addr];
+            mem.bank_mut(bank).write(addr, old ^ (1 << bit));
+        }
+    }
+}
+
+/// Per-core retry state for bounded exponential backoff on denied routes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryState {
+    /// Attempts made so far.
+    pub attempts: u32,
+    /// Cycle before which no retry will be attempted.
+    pub next_attempt: u64,
+}
+
+impl RetryState {
+    /// Record a failed attempt at `cycle`; returns the error when the
+    /// bound is exhausted.
+    pub fn back_off(
+        &mut self,
+        cycle: u64,
+        from: usize,
+        to: usize,
+        max_retries: u32,
+    ) -> Result<(), MachineError> {
+        self.attempts += 1;
+        if self.attempts > max_retries {
+            return Err(MachineError::RetryExhausted {
+                from,
+                to,
+                attempts: self.attempts,
+            });
+        }
+        // Exponential backoff: 1, 2, 4, ... cycles (capped well below any
+        // watchdog budget).
+        let delay = 1u64 << (self.attempts - 1).min(10);
+        self.next_attempt = cycle + delay;
+        Ok(())
+    }
+
+    /// May the caller retry at `cycle`?
+    pub fn ready(&self, cycle: u64) -> bool {
+        cycle >= self.next_attempt
+    }
+}
+
+/// The report of a fault-injected run: what it cost and how the machine
+/// coped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Execution statistics (including degraded-mode work).
+    pub stats: Stats,
+    /// Faults the plan actually injected.
+    pub faults_injected: u64,
+    /// Send retries performed (backoff round-trips).
+    pub retries: u64,
+    /// Did the machine have to remap work off failed components?
+    pub degraded: bool,
+}
+
+impl RunOutcome {
+    /// An outcome with no faults observed.
+    pub fn clean(stats: Stats) -> RunOutcome {
+        RunOutcome {
+            stats,
+            faults_injected: 0,
+            retries: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// One row of the cross-family resilience experiment (rendered by
+/// `skilltax-report`'s resilience table and asserted by the umbrella
+/// integration tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceRow {
+    /// Taxonomy class name (e.g. `IMP-IX`).
+    pub class_name: String,
+    /// The switch that decides the outcome, in row notation (e.g. `nxn`).
+    pub deciding_switch: String,
+    /// Faults injected during the trial.
+    pub faults_injected: u64,
+    /// Did the machine finish its workload?
+    pub completed: bool,
+    /// Did it have to degrade to finish?
+    pub degraded: bool,
+    /// The typed error when it could not finish.
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let mut a = FaultPlan::seeded(9).drop_messages(0.5);
+        let mut b = FaultPlan::seeded(9).drop_messages(0.5);
+        let da: Vec<bool> = (0..32).map(|_| a.should_drop()).collect();
+        let db: Vec<bool> = (0..32).map(|_| b.should_drop()).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0);
+    }
+
+    #[test]
+    fn link_outage_windows_are_inclusive() {
+        let mut plan = FaultPlan::seeded(0).fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 5,
+            until_cycle: 7,
+        });
+        assert!(!plan.link_down(4, 0, 1));
+        assert!(plan.link_down(5, 0, 1));
+        assert!(plan.link_down(7, 0, 1));
+        assert!(!plan.link_down(8, 0, 1));
+        assert!(!plan.link_down(6, 1, 0), "outages are directed");
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn retry_state_backs_off_exponentially_then_exhausts() {
+        let mut r = RetryState::default();
+        r.back_off(10, 0, 1, 3).unwrap();
+        assert!(!r.ready(10));
+        assert!(r.ready(11)); // +1
+        r.back_off(11, 0, 1, 3).unwrap();
+        assert!(r.ready(13)); // +2
+        r.back_off(13, 0, 1, 3).unwrap();
+        assert!(r.ready(17)); // +4
+        let err = r.back_off(17, 0, 1, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::RetryExhausted { attempts: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut plan = FaultPlan::seeded(3).corrupt_messages(1.0);
+        let v = plan.corrupt(0);
+        assert_eq!(v.count_ones(), 1);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn failed_dps_are_a_set() {
+        let plan = FaultPlan::seeded(0).fail_dp(2).fail_dp(2).fail_dp(5);
+        assert!(plan.dp_failed(2) && plan.dp_failed(5) && !plan.dp_failed(0));
+        assert_eq!(plan.failed_dps().len(), 2);
+    }
+
+    #[test]
+    fn clean_outcome_reports_no_faults() {
+        let o = RunOutcome::clean(Stats::default());
+        assert_eq!(o.faults_injected, 0);
+        assert!(!o.degraded);
+    }
+}

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use crate::error::MachineError;
+use crate::fault::FaultPlan;
 use crate::isa::Word;
 
 /// The runtime topology of one fabric.
@@ -88,18 +89,53 @@ impl FabricTopology {
 }
 
 /// Per-channel FIFO mailboxes for message transfers over a fabric.
+///
+/// When a [`FaultPlan`] is installed (via [`Mailboxes::with_faults`]) the
+/// send path is subject to injected link outages ([`MachineError::LinkDown`]),
+/// silent message drops and payload corruption; the owning machine advances
+/// the plan's notion of time with [`Mailboxes::set_cycle`].
 #[derive(Debug, Clone)]
 pub struct Mailboxes {
     n: usize,
     topology: FabricTopology,
     queues: Vec<VecDeque<Word>>, // indexed from * n + to
     delivered: u64,
+    faults: Option<FaultPlan>,
+    cycle: u64,
 }
 
 impl Mailboxes {
     /// Mailboxes for `n` endpoints over `topology`.
     pub fn new(n: usize, topology: FabricTopology) -> Mailboxes {
-        Mailboxes { n, topology, queues: vec![VecDeque::new(); n * n], delivered: 0 }
+        Mailboxes {
+            n,
+            topology,
+            queues: vec![VecDeque::new(); n * n],
+            delivered: 0,
+            faults: None,
+            cycle: 0,
+        }
+    }
+
+    /// Install a fault plan on the send path.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Mailboxes {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Install (or replace) a fault plan in place.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Tell the fault plan what cycle it is (for link-outage windows).
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    /// Faults the installed plan has injected on this fabric so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultPlan::injected)
     }
 
     /// The fabric topology.
@@ -108,9 +144,25 @@ impl Mailboxes {
     }
 
     /// Send `value` from `from` to `to` (fails if the fabric denies the
-    /// route).
+    /// route, or with [`MachineError::LinkDown`] when an injected outage
+    /// covers the link this cycle; an injected drop silently loses the
+    /// message, and injected corruption flips one payload bit).
     pub fn send(&mut self, from: usize, to: usize, value: Word) -> Result<(), MachineError> {
         self.topology.route(from, to, self.n)?;
+        let mut value = value;
+        if let Some(plan) = self.faults.as_mut() {
+            if plan.link_down(self.cycle, from, to) {
+                return Err(MachineError::LinkDown {
+                    from,
+                    to,
+                    cycle: self.cycle,
+                });
+            }
+            if plan.should_drop() {
+                return Ok(()); // lost in flight; the receiver keeps waiting
+            }
+            value = plan.corrupt(value);
+        }
         self.queues[from * self.n + to].push_back(value);
         Ok(())
     }
@@ -207,6 +259,52 @@ mod tests {
         assert!(mb.send(0, 5, 1).is_err());
         assert!(mb.send(0, 1, 1).is_ok());
         assert!(mb.recv(5, 0).is_err());
+    }
+
+    #[test]
+    fn injected_outage_turns_send_into_link_down() {
+        use crate::fault::{FaultPlan, LinkOutage};
+        let plan = FaultPlan::seeded(1).fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: 10,
+        });
+        let mut mb = Mailboxes::new(4, FabricTopology::Crossbar).with_faults(plan);
+        mb.set_cycle(5);
+        assert_eq!(
+            mb.send(0, 1, 7),
+            Err(MachineError::LinkDown {
+                from: 0,
+                to: 1,
+                cycle: 5
+            })
+        );
+        // Other links are unaffected, and the outage window ends.
+        assert!(mb.send(2, 1, 7).is_ok());
+        mb.set_cycle(11);
+        assert!(mb.send(0, 1, 7).is_ok());
+        assert_eq!(mb.faults_injected(), 1);
+    }
+
+    #[test]
+    fn injected_drops_lose_messages_silently() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::seeded(2).drop_messages(1.0);
+        let mut mb = Mailboxes::new(2, FabricTopology::Crossbar).with_faults(plan);
+        mb.send(0, 1, 42).unwrap();
+        assert_eq!(mb.recv(1, 0).unwrap(), None);
+        assert!(mb.faults_injected() >= 1);
+    }
+
+    #[test]
+    fn injected_corruption_flips_one_payload_bit() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::seeded(3).corrupt_messages(1.0);
+        let mut mb = Mailboxes::new(2, FabricTopology::Crossbar).with_faults(plan);
+        mb.send(0, 1, 0).unwrap();
+        let got = mb.recv(1, 0).unwrap().unwrap();
+        assert_eq!(got.count_ones(), 1, "exactly one bit flipped: {got:#x}");
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`universal`] — the USP LUT fabric that implements either paradigm;
 //! * [`workload`] — cross-family workloads with reference results;
 //! * [`morph`] — the emulation partial order, validated by running it;
-//! * [`sweep`] — parallel parameter sweeps for the benchmark harness.
+//! * [`sweep`] — parallel parameter sweeps for the benchmark harness;
+//! * [`fault`] — deterministic fault injection and graceful degradation,
+//!   which turns the flexibility ordering into a resilience experiment.
 //!
 //! ```
 //! use skilltax_machine::array::{ArrayMachine, ArraySubtype};
@@ -36,6 +38,7 @@ pub mod dp;
 pub mod energy;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod interconnect;
 pub mod isa;
 pub mod mem;
@@ -47,11 +50,12 @@ pub mod reconfig;
 pub mod spatial;
 pub mod sweep;
 pub mod uniprocessor;
-pub mod vliw;
 pub mod universal;
+pub mod vliw;
 pub mod workload;
 
 pub use error::MachineError;
 pub use exec::Stats;
+pub use fault::{FaultPlan, LinkOutage, ResilienceRow, RunOutcome};
 pub use isa::{Instr, Reg, Word};
 pub use program::{Assembler, Program};

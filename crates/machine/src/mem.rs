@@ -30,7 +30,11 @@ pub struct MemoryBank {
 impl MemoryBank {
     /// A zeroed bank of `size` words.
     pub fn new(size: usize) -> MemoryBank {
-        MemoryBank { words: vec![0; size], reads: 0, writes: 0 }
+        MemoryBank {
+            words: vec![0; size],
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Bank size in words.
@@ -164,11 +168,13 @@ impl BankedMemory {
     /// Load a word as seen by `lane`.
     pub fn read(&mut self, lane: usize, address: Word) -> Result<Word, MachineError> {
         let (bank, offset) = self.resolve(lane, address)?;
-        self.banks[bank].read(offset).ok_or(MachineError::MemoryOutOfBounds {
-            processor: lane,
-            address,
-            size: self.bank_size,
-        })
+        self.banks[bank]
+            .read(offset)
+            .ok_or(MachineError::MemoryOutOfBounds {
+                processor: lane,
+                address,
+                size: self.bank_size,
+            })
     }
 
     /// Store a word as seen by `lane`.
@@ -177,7 +183,11 @@ impl BankedMemory {
         if self.banks[bank].write(offset, value) {
             Ok(())
         } else {
-            Err(MachineError::MemoryOutOfBounds { processor: lane, address, size: self.bank_size })
+            Err(MachineError::MemoryOutOfBounds {
+                processor: lane,
+                address,
+                size: self.bank_size,
+            })
         }
     }
 

@@ -82,8 +82,7 @@ pub fn demonstrate() -> Result<Vec<MorphEvidence>, MachineError> {
     let a: Vec<Word> = (0..4).collect();
     let b: Vec<Word> = (40..44).collect();
     let expected = vector_add_reference(&a, &b);
-    let slices: Vec<Vec<Word>> =
-        vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9], vec![1, 1, 1]];
+    let slices: Vec<Vec<Word>> = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9], vec![1, 1, 1]];
     let mut evidence = Vec::new();
 
     // 1. IMP-I acts as an array processor (SIMD emulation).
@@ -151,12 +150,8 @@ fn demonstrate_spatial_fusion() -> Result<MorphEvidence, MachineError> {
     use crate::program::{Assembler, Program};
     use crate::spatial::SpatialMachine;
 
-    let mut machine = SpatialMachine::new(
-        MultiSubtype::from_code(0)?,
-        FabricTopology::Crossbar,
-        4,
-        8,
-    )?;
+    let mut machine =
+        SpatialMachine::new(MultiSubtype::from_code(0)?, FabricTopology::Crossbar, 4, 8)?;
     machine.fuse(0, 1)?;
     machine.fuse(0, 2)?;
     // Leader program: mem[0] = 500 + lane (broadcast over the fused DPs).
@@ -171,13 +166,15 @@ fn demonstrate_spatial_fusion() -> Result<MorphEvidence, MachineError> {
     let leader = leader.assemble()?;
     // Solo core 3 runs something different.
     let mut solo = Assembler::new();
-    solo.movi(0, 0).movi(1, 999).emit(Instr::Store(0, 1)).emit(Instr::Halt);
+    solo.movi(0, 0)
+        .movi(1, 999)
+        .emit(Instr::Store(0, 1))
+        .emit(Instr::Halt);
     let solo = solo.assemble()?;
     let idle = Program::new(vec![Instr::Halt])?;
     machine.run(&[leader, idle.clone(), idle, solo])?;
-    let group_ok = (0..3).all(|core| {
-        machine.memory().bank(core).contents()[0] == 500 + core as Word
-    });
+    let group_ok =
+        (0..3).all(|core| machine.memory().bank(core).contents()[0] == 500 + core as Word);
     let solo_ok = machine.memory().bank(3).contents()[0] == 999;
     let isp1: ClassName = "ISP-I".parse().expect("valid name");
     let iap1: ClassName = "IAP-I".parse().expect("valid name");
@@ -238,8 +235,10 @@ mod tests {
 
     #[test]
     fn emulation_is_a_partial_order() {
-        let classes: Vec<ClassName> =
-            Taxonomy::extended().implementable().map(|c| *c.name()).collect();
+        let classes: Vec<ClassName> = Taxonomy::extended()
+            .implementable()
+            .map(|c| *c.name())
+            .collect();
         // Reflexive.
         for c in &classes {
             assert!(can_emulate(c, c));
@@ -271,8 +270,10 @@ mod tests {
     fn emulation_implies_no_lower_flexibility_within_a_paradigm() {
         // If a ⊒ b (same machine type) then flexibility(a) >= flexibility(b):
         // the scoring system is consistent with the morphing order.
-        let classes: Vec<ClassName> =
-            Taxonomy::extended().implementable().map(|c| *c.name()).collect();
+        let classes: Vec<ClassName> = Taxonomy::extended()
+            .implementable()
+            .map(|c| *c.name())
+            .collect();
         for a in &classes {
             for b in &classes {
                 if a.machine == b.machine && can_emulate(a, b) {

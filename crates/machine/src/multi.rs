@@ -18,6 +18,7 @@ use skilltax_model::{ArchSpec, Count, Link, Relation};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
+use crate::fault::{FaultPlan, RetryState, RunOutcome, DEFAULT_MAX_RETRIES};
 use crate::interconnect::{FabricTopology, Mailboxes};
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
@@ -35,7 +36,9 @@ impl MultiSubtype {
         if code < 16 {
             Ok(MultiSubtype(code))
         } else {
-            Err(MachineError::config(format!("IMP sub-type code {code} out of range 0..16")))
+            Err(MachineError::config(format!(
+                "IMP sub-type code {code} out of range 0..16"
+            )))
         }
     }
 
@@ -44,7 +47,9 @@ impl MultiSubtype {
         if (1..=16).contains(&index) {
             Ok(MultiSubtype(index - 1))
         } else {
-            Err(MachineError::config(format!("IMP sub-type index {index} out of range 1..=16")))
+            Err(MachineError::config(format!(
+                "IMP sub-type index {index} out of range 1..=16"
+            )))
         }
     }
 
@@ -75,7 +80,10 @@ impl MultiSubtype {
 
     /// The taxonomy name, e.g. `IMP-XIV`.
     pub fn class_name(&self) -> String {
-        format!("IMP-{}", skilltax_taxonomy::roman::to_roman(u16::from(self.0) + 1))
+        format!(
+            "IMP-{}",
+            skilltax_taxonomy::roman::to_roman(u16::from(self.0) + 1)
+        )
     }
 }
 
@@ -194,7 +202,13 @@ impl MultiMachine {
     /// The structural [`ArchSpec`] of this machine.
     pub fn spec(&self) -> ArchSpec {
         let n = (self.cores.len() as u32).max(2);
-        let pick = |x: bool| if x { Link::crossbar_between(n, n) } else { Link::direct_between(n, n) };
+        let pick = |x: bool| {
+            if x {
+                Link::crossbar_between(n, n)
+            } else {
+                Link::direct_between(n, n)
+            }
+        };
         let dp_dp = if self.subtype.dp_dp_crossbar() {
             Link::crossbar_between(n, n)
         } else {
@@ -267,7 +281,30 @@ impl MultiMachine {
         self.run(&copies)
     }
 
-    fn execute(&mut self, library: &[Program], assignment: &[usize]) -> Result<Stats, MachineError> {
+    fn execute(
+        &mut self,
+        library: &[Program],
+        assignment: &[usize],
+    ) -> Result<Stats, MachineError> {
+        self.execute_with(library, assignment, None)
+            .map(|outcome| outcome.stats)
+    }
+
+    /// The fault-aware core loop.  A `FaultPlan` adds transient DP stalls,
+    /// memory bit-flips and (via a forked plan installed in the mailboxes)
+    /// link outages — which the sender survives with bounded exponential
+    /// backoff — plus drops and corruption.  Exceeding the cycle budget
+    /// returns [`MachineError::WatchdogTimeout`] carrying the partial
+    /// statistics.
+    fn execute_with(
+        &mut self,
+        library: &[Program],
+        assignment: &[usize],
+        mut faults: Option<FaultPlan>,
+    ) -> Result<RunOutcome, MachineError> {
+        if let Some(plan) = faults.as_mut() {
+            self.mailboxes.install_faults(plan.fork());
+        }
         for (core, &prog) in self.cores.iter_mut().zip(assignment) {
             core.pc = 0;
             core.program = prog;
@@ -275,18 +312,45 @@ impl MultiMachine {
             core.waiting = None;
         }
         let mut stats = Stats::default();
+        let mut retries: u64 = 0;
         let n = self.cores.len();
+        let mut retry = vec![RetryState::default(); n];
+        let max_retries = faults
+            .as_ref()
+            .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
         loop {
             if self.cores.iter().all(|c| c.halted) {
                 break;
             }
             if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
             }
             stats.cycles += 1;
+            self.mailboxes.set_cycle(stats.cycles);
+            if let Some(plan) = faults.as_mut() {
+                plan.maybe_flip_memory(&mut self.mem);
+            }
             let mut progress = false;
             for i in 0..n {
                 if self.cores[i].halted {
+                    continue;
+                }
+                // A transient injected stall consumes the cycle but is
+                // forward progress in the deadlock sense (it always ends).
+                if let Some(plan) = faults.as_mut() {
+                    if plan.dp_stalled(stats.cycles, self.binding[i]) {
+                        stats.stalls += 1;
+                        progress = true;
+                        continue;
+                    }
+                }
+                // A core backing off after a failed send waits its turn.
+                if !retry[i].ready(stats.cycles) {
+                    stats.stalls += 1;
+                    progress = true;
                     continue;
                 }
                 // A blocked receive retries before fetching anything new.
@@ -329,10 +393,24 @@ impl MultiMachine {
                             });
                         }
                         let value = self.cores[i].dp.reg(rs);
-                        self.mailboxes.send(self.binding[i], self.binding[dest], value)?;
-                        self.cores[i].pc += 1;
-                        stats.instructions += 1;
-                        progress = true;
+                        match self
+                            .mailboxes
+                            .send(self.binding[i], self.binding[dest], value)
+                        {
+                            Ok(()) => {
+                                retry[i] = RetryState::default();
+                                self.cores[i].pc += 1;
+                                stats.instructions += 1;
+                                progress = true;
+                            }
+                            Err(MachineError::LinkDown { from, to, .. }) => {
+                                retry[i].back_off(stats.cycles, from, to, max_retries)?;
+                                retries += 1;
+                                stats.stalls += 1;
+                                progress = true;
+                            }
+                            Err(other) => return Err(other),
+                        }
                     }
                     Instr::Recv(rd, src) => {
                         if src >= n {
@@ -364,7 +442,9 @@ impl MultiMachine {
                 }
             }
             if !progress {
-                return Err(MachineError::Deadlock { cycle: stats.cycles });
+                return Err(MachineError::Deadlock {
+                    cycle: stats.cycles,
+                });
             }
         }
         for core in &self.cores {
@@ -373,7 +453,95 @@ impl MultiMachine {
             stats.mem_reads += mr;
             stats.mem_writes += mw;
         }
-        Ok(stats)
+        let faults_injected =
+            faults.as_ref().map_or(0, FaultPlan::injected) + self.mailboxes.faults_injected();
+        Ok(RunOutcome {
+            stats,
+            faults_injected,
+            retries,
+            degraded: false,
+        })
+    }
+
+    /// Run one program per core under a fault plan, degrading gracefully
+    /// where the sub-type's switches allow it.
+    ///
+    /// Cores whose DP is marked failed in the plan sit out the main phase;
+    /// their programs are then *remapped*: each failed core's IP is rebound
+    /// (IP–DP crossbar required) to a healthy DP and its program replays
+    /// there, with statistics accumulated sequentially.  The replayed work
+    /// observes the substitute DP's lane identity, so its results land in
+    /// the substitute lane's bank — degraded, but complete.  Without the
+    /// IP–DP crossbar the machine reports
+    /// [`MachineError::DegradationImpossible`]: the direct-switched classes
+    /// of the paper's Table I cannot route around a dead DP.
+    pub fn run_resilient(
+        &mut self,
+        programs: &[Program],
+        mut plan: FaultPlan,
+    ) -> Result<RunOutcome, MachineError> {
+        if programs.len() != self.cores.len() {
+            return Err(MachineError::config(format!(
+                "{} programs for {} cores",
+                programs.len(),
+                self.cores.len()
+            )));
+        }
+        let n = self.cores.len();
+        let identity: Vec<usize> = (0..n).collect();
+        let failed: Vec<usize> = (0..n).filter(|&i| plan.dp_failed(i)).collect();
+        if failed.is_empty() {
+            return self.execute_with(programs, &identity, Some(plan));
+        }
+        if failed.len() == n {
+            return Err(MachineError::DegradationImpossible {
+                machine: self.subtype.class_name(),
+                reason: "every data processor has failed".to_owned(),
+            });
+        }
+        if !self.subtype.ip_dp_crossbar() {
+            return Err(MachineError::DegradationImpossible {
+                machine: self.subtype.class_name(),
+                reason: "IP-DP is a direct switch: the IP of a failed DP cannot be \
+                         rebound to a healthy one"
+                    .to_owned(),
+            });
+        }
+        let idle = Program::new(vec![Instr::Halt]).expect("halt program is valid");
+        // Main phase: healthy cores run their own programs.
+        let phase1: Vec<Program> = (0..n)
+            .map(|i| {
+                if plan.dp_failed(i) {
+                    idle.clone()
+                } else {
+                    programs[i].clone()
+                }
+            })
+            .collect();
+        let mut outcome = self.execute_with(&phase1, &identity, Some(plan.fork()))?;
+        outcome.faults_injected += failed.len() as u64;
+        // Replay phases: each failed core's program runs on a healthy DP.
+        let spare = (0..n)
+            .find(|&i| !plan.dp_failed(i))
+            .expect("a healthy DP exists");
+        for &f in &failed {
+            self.rebind(f, spare)?;
+            let phase: Vec<Program> = (0..n)
+                .map(|i| {
+                    if i == f {
+                        programs[f].clone()
+                    } else {
+                        idle.clone()
+                    }
+                })
+                .collect();
+            let replay = self.execute_with(&phase, &identity, Some(plan.fork()))?;
+            outcome.stats = outcome.stats.accumulate_sequential(replay.stats);
+            outcome.faults_injected += replay.faults_injected;
+            outcome.retries += replay.retries;
+        }
+        outcome.degraded = true;
+        Ok(outcome)
     }
 }
 
@@ -384,7 +552,10 @@ mod tests {
 
     fn store_const(addr: Word, value: Word) -> Program {
         let mut asm = Assembler::new();
-        asm.movi(0, addr).movi(1, value).emit(Instr::Store(0, 1)).emit(Instr::Halt);
+        asm.movi(0, addr)
+            .movi(1, value)
+            .emit(Instr::Store(0, 1))
+            .emit(Instr::Halt);
         asm.assemble().unwrap()
     }
 
@@ -392,8 +563,9 @@ mod tests {
     fn independent_cores_run_distinct_programs() {
         // IMP-I: n different programs at once — the capability IAP lacks.
         let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 4, 8);
-        let programs: Vec<Program> =
-            (0..4).map(|i| store_const(0, (i as Word + 1) * 11)).collect();
+        let programs: Vec<Program> = (0..4)
+            .map(|i| store_const(0, (i as Word + 1) * 11))
+            .collect();
         let stats = m.run(&programs).unwrap();
         for core in 0..4 {
             assert_eq!(m.memory().bank(core).contents()[0], (core as Word + 1) * 11);
@@ -442,7 +614,10 @@ mod tests {
 
         // IMP-I (no DP-DP): the send is a route error.
         let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4);
-        assert!(matches!(m.run(&send_recv), Err(MachineError::RouteDenied { .. })));
+        assert!(matches!(
+            m.run(&send_recv),
+            Err(MachineError::RouteDenied { .. })
+        ));
     }
 
     #[test]
@@ -528,7 +703,10 @@ mod tests {
         assert!(MultiSubtype::from_index(0).is_err());
         assert!(MultiSubtype::from_index(17).is_err());
         assert!(MultiSubtype::from_code(16).is_err());
-        assert_eq!(MultiSubtype::from_index(14).unwrap().class_name(), "IMP-XIV");
+        assert_eq!(
+            MultiSubtype::from_index(14).unwrap().class_name(),
+            "IMP-XIV"
+        );
     }
 
     #[test]
@@ -537,7 +715,116 @@ mod tests {
         for code in 0..16u8 {
             let m = MultiMachine::new(MultiSubtype::from_code(code).unwrap(), 4, 4);
             let c = classify(&m.spec()).unwrap();
-            assert_eq!(c.name().to_string(), m.subtype().class_name(), "code {code}");
+            assert_eq!(
+                c.name().to_string(),
+                m.subtype().class_name(),
+                "code {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_run_degrades_with_ip_dp_crossbar() {
+        use crate::fault::FaultPlan;
+        // IMP-IX (code 0b1000): IP-DP crossbar, everything else direct.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(9).unwrap(), 3, 8);
+        let programs: Vec<Program> = (0..3)
+            .map(|i| store_const(0, (i as Word + 1) * 5))
+            .collect();
+        let outcome = m
+            .run_resilient(&programs, FaultPlan::seeded(1).fail_dp(2))
+            .unwrap();
+        assert!(outcome.degraded);
+        // Healthy lanes keep their results; lane 2's work replayed on the
+        // spare (lane 0), overwriting its value — degraded but complete.
+        assert_eq!(m.memory().bank(1).contents()[0], 10);
+        assert_eq!(m.memory().bank(0).contents()[0], 15);
+    }
+
+    #[test]
+    fn resilient_run_impossible_without_ip_dp_crossbar() {
+        use crate::fault::FaultPlan;
+        // IMP-I: all switches direct — the rigid end of the ordering.
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 3, 8);
+        let programs: Vec<Program> = (0..3).map(|i| store_const(0, i as Word)).collect();
+        assert!(matches!(
+            m.run_resilient(&programs, FaultPlan::seeded(1).fail_dp(2)),
+            Err(MachineError::DegradationImpossible { .. })
+        ));
+    }
+
+    fn send_recv_pair() -> Vec<Program> {
+        let mut programs = Vec::new();
+        let mut asm = Assembler::new();
+        asm.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+        programs.push(asm.assemble().unwrap());
+        let mut asm = Assembler::new();
+        asm.emit(Instr::Recv(5, 0)).emit(Instr::Halt);
+        programs.push(asm.assemble().unwrap());
+        programs
+    }
+
+    #[test]
+    fn transient_link_outage_is_survived_by_backoff() {
+        use crate::fault::{FaultPlan, LinkOutage};
+        let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4);
+        let plan = FaultPlan::seeded(0).fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: 4,
+        });
+        let outcome = m.run_resilient(&send_recv_pair(), plan).unwrap();
+        assert_eq!(
+            m.core_reg(1, 5),
+            42,
+            "the message got through after the outage"
+        );
+        assert!(outcome.retries >= 1, "the sender had to retry");
+        assert!(outcome.faults_injected >= 1);
+        assert!(!outcome.degraded);
+    }
+
+    #[test]
+    fn permanent_link_outage_exhausts_retries() {
+        use crate::fault::{FaultPlan, LinkOutage};
+        let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4);
+        let plan = FaultPlan::seeded(0)
+            .fail_link(LinkOutage {
+                from: 0,
+                to: 1,
+                from_cycle: 0,
+                until_cycle: u64::MAX,
+            })
+            .with_max_retries(3);
+        assert!(matches!(
+            m.run_resilient(&send_recv_pair(), plan),
+            Err(MachineError::RetryExhausted {
+                from: 0,
+                to: 1,
+                attempts: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn adversarial_stalls_trip_the_watchdog_with_partial_stats() {
+        use crate::fault::FaultPlan;
+        let mut m =
+            MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4).with_cycle_limit(100);
+        let programs: Vec<Program> = (0..2).map(|i| store_const(0, i as Word)).collect();
+        match m.run_resilient(&programs, FaultPlan::seeded(5).stall_dps(1.0)) {
+            Err(MachineError::WatchdogTimeout {
+                limit: 100,
+                partial,
+            }) => {
+                assert_eq!(partial.cycles, 100);
+                assert!(
+                    partial.stalls > 0,
+                    "the stall storm shows up in partial stats"
+                );
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
         }
     }
 

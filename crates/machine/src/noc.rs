@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::error::MachineError;
+use crate::fault::{FaultPlan, DEFAULT_PACKET_TTL};
 use crate::isa::Word;
 
 /// A one-flit packet.
@@ -49,6 +50,12 @@ const NORTH: usize = 2;
 const SOUTH: usize = 3;
 
 /// A `width x height` mesh NoC.
+///
+/// Every packet carries a time-to-live: a packet still in flight after
+/// `ttl` cycles (default [`DEFAULT_PACKET_TTL`]) is declared lost and
+/// surfaces from [`MeshNoc::drain`] as [`MachineError::RetryExhausted`].
+/// An optional [`FaultPlan`] injects link outages (packets wait at the
+/// router, consuming TTL) and drops (packets vanish, counted as lost).
 #[derive(Debug, Clone)]
 pub struct MeshNoc {
     width: usize,
@@ -57,6 +64,10 @@ pub struct MeshNoc {
     cycle: u64,
     injected: u64,
     delivered: u64,
+    lost: u64,
+    ttl: u64,
+    faults: Option<FaultPlan>,
+    expired: Option<Packet>,
 }
 
 impl MeshNoc {
@@ -75,7 +86,33 @@ impl MeshNoc {
             cycle: 0,
             injected: 0,
             delivered: 0,
+            lost: 0,
+            ttl: DEFAULT_PACKET_TTL,
+            faults: None,
+            expired: None,
         })
+    }
+
+    /// Install a fault plan (link outages stall packets, drops lose them).
+    pub fn with_faults(mut self, plan: FaultPlan) -> MeshNoc {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the per-packet time-to-live (must be non-zero).
+    pub fn with_packet_ttl(mut self, ttl: u64) -> MeshNoc {
+        self.ttl = ttl.max(1);
+        self
+    }
+
+    /// Packets lost to injected drops or TTL expiry.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Faults the installed plan has injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultPlan::injected)
     }
 
     /// Number of nodes.
@@ -142,7 +179,12 @@ impl MeshNoc {
                 reason: format!("mesh has {} nodes", self.nodes()),
             });
         }
-        let packet = Packet { src, dst, payload, injected_at: self.cycle };
+        let packet = Packet {
+            src,
+            dst,
+            payload,
+            injected_at: self.cycle,
+        };
         self.injected += 1;
         match self.route(src, dst) {
             None => self.routers[src].local.push_back(packet),
@@ -153,15 +195,38 @@ impl MeshNoc {
 
     /// Advance one cycle: every router forwards at most one packet per
     /// output port.  Returns the packets delivered this cycle.
+    ///
+    /// Packets older than the TTL are declared lost; a link covered by an
+    /// injected outage holds its head-of-line packet in place (consuming
+    /// TTL), and an injected drop loses the packet mid-hop.
     pub fn step(&mut self) -> Vec<Delivery> {
         self.cycle += 1;
         // Collect moves first (synchronous update).
         let mut moves: Vec<(usize, Packet)> = Vec::new();
         for node in 0..self.nodes() {
             for port in 0..4 {
-                if let Some(packet) = self.routers[node].out[port].pop_front() {
-                    moves.push((self.neighbour(node, port), packet));
+                let Some(&head) = self.routers[node].out[port].front() else {
+                    continue;
+                };
+                if self.cycle - head.injected_at > self.ttl {
+                    self.routers[node].out[port].pop_front();
+                    self.lost += 1;
+                    self.expired.get_or_insert(head);
+                    continue;
                 }
+                let next = self.neighbour(node, port);
+                if let Some(plan) = self.faults.as_mut() {
+                    if plan.link_down(self.cycle, node, next) {
+                        continue; // head-of-line blocked; TTL keeps ticking
+                    }
+                    if plan.should_drop() {
+                        self.routers[node].out[port].pop_front();
+                        self.lost += 1;
+                        continue;
+                    }
+                }
+                self.routers[node].out[port].pop_front();
+                moves.push((next, head));
             }
         }
         let mut delivered = Vec::new();
@@ -174,24 +239,40 @@ impl MeshNoc {
             }
         }
         for node in 0..self.nodes() {
-            while let Some(packet) = self.routers[node].local.pop_front() {
+            while let Some(mut packet) = self.routers[node].local.pop_front() {
+                if let Some(plan) = self.faults.as_mut() {
+                    packet.payload = plan.corrupt(packet.payload);
+                }
                 self.delivered += 1;
-                delivered.push(Delivery { packet, latency: self.cycle - packet.injected_at });
+                delivered.push(Delivery {
+                    packet,
+                    latency: self.cycle - packet.injected_at,
+                });
             }
         }
         delivered
     }
 
-    /// Run until every in-flight packet is delivered (or the cycle budget
-    /// runs out).  Returns all deliveries in delivery order.
+    /// Run until every in-flight packet is delivered or lost (or the cycle
+    /// budget runs out).  Returns all deliveries in delivery order; the
+    /// first TTL-expired packet surfaces as
+    /// [`MachineError::RetryExhausted`], an exhausted budget as
+    /// [`MachineError::CycleLimitExceeded`].
     pub fn drain(&mut self, budget: u64) -> Result<Vec<Delivery>, MachineError> {
         let mut out = Vec::new();
         let start = self.cycle;
-        while self.injected > self.delivered {
+        while self.injected > self.delivered + self.lost {
             if self.cycle - start >= budget {
                 return Err(MachineError::CycleLimitExceeded { limit: budget });
             }
             out.extend(self.step());
+            if let Some(p) = self.expired.take() {
+                return Err(MachineError::RetryExhausted {
+                    from: p.src,
+                    to: p.dst,
+                    attempts: u32::try_from(self.ttl).unwrap_or(u32::MAX),
+                });
+            }
         }
         Ok(out)
     }
@@ -199,7 +280,13 @@ impl MeshNoc {
     /// Configuration bits: XY routing is algorithmic, so only each node's
     /// coordinate register needs programming.
     pub fn config_bits(&self) -> u64 {
-        let clog2 = |x: u64| if x <= 1 { 0 } else { u64::from(64 - (x - 1).leading_zeros()) };
+        let clog2 = |x: u64| {
+            if x <= 1 {
+                0
+            } else {
+                u64::from(64 - (x - 1).leading_zeros())
+            }
+        };
         self.nodes() as u64 * (clog2(self.width as u64) + clog2(self.height as u64))
     }
 }
@@ -239,7 +326,9 @@ mod tests {
         let payloads: Vec<Word> = deliveries.iter().map(|d| d.packet.payload).collect();
         assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
         // Serialised through one output port: one arrival per cycle.
-        assert!(deliveries.windows(2).all(|w| w[1].latency > w[0].latency - 1));
+        assert!(deliveries
+            .windows(2)
+            .all(|w| w[1].latency > w[0].latency - 1));
     }
 
     #[test]
@@ -259,7 +348,10 @@ mod tests {
             .map(|s| noc.hop_distance(s, 5) as u64)
             .max()
             .unwrap();
-        assert!(max_latency > max_distance, "{max_latency} vs {max_distance}");
+        assert!(
+            max_latency > max_distance,
+            "{max_latency} vs {max_distance}"
+        );
     }
 
     #[test]
@@ -299,6 +391,70 @@ mod tests {
     fn drain_budget_guards_against_runaway() {
         let mut noc = MeshNoc::new(4, 1).unwrap();
         noc.inject(0, 3, 1).unwrap();
-        assert!(matches!(noc.drain(1), Err(MachineError::CycleLimitExceeded { .. })));
+        assert!(matches!(
+            noc.drain(1),
+            Err(MachineError::CycleLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn link_outage_delays_but_does_not_lose_packets() {
+        use crate::fault::{FaultPlan, LinkOutage};
+        // 1x4 row; the 0 -> 1 link is down for cycles 1..=5.
+        let plan = FaultPlan::seeded(0).fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 1,
+            until_cycle: 5,
+        });
+        let mut noc = MeshNoc::new(4, 1).unwrap().with_faults(plan);
+        noc.inject(0, 3, 9).unwrap();
+        let deliveries = noc.drain(100).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert!(
+            deliveries[0].latency > noc.hop_distance(0, 3) as u64,
+            "outage must add latency: {}",
+            deliveries[0].latency
+        );
+        assert!(noc.faults_injected() >= 5);
+    }
+
+    #[test]
+    fn ttl_expiry_surfaces_as_retry_exhausted() {
+        use crate::fault::{FaultPlan, LinkOutage};
+        // Permanent outage on the only path: the packet can never advance.
+        let plan = FaultPlan::seeded(0).fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: u64::MAX,
+        });
+        let mut noc = MeshNoc::new(4, 1)
+            .unwrap()
+            .with_faults(plan)
+            .with_packet_ttl(8);
+        noc.inject(0, 3, 9).unwrap();
+        match noc.drain(1_000) {
+            Err(MachineError::RetryExhausted {
+                from: 0,
+                to: 3,
+                attempts: 8,
+            }) => {}
+            other => panic!("expected RetryExhausted, got {other:?}"),
+        }
+        assert_eq!(noc.lost(), 1);
+    }
+
+    #[test]
+    fn dropped_packets_do_not_wedge_the_drain() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::seeded(7).drop_messages(1.0);
+        let mut noc = MeshNoc::new(4, 1).unwrap().with_faults(plan);
+        for v in 0..4 {
+            noc.inject(0, 3, v).unwrap();
+        }
+        let deliveries = noc.drain(1_000).unwrap();
+        assert!(deliveries.is_empty());
+        assert_eq!(noc.lost(), 4);
     }
 }

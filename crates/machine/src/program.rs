@@ -17,7 +17,10 @@ impl Program {
     pub fn new(instrs: Vec<Instr>) -> Result<Program, MachineError> {
         for (at, instr) in instrs.iter().enumerate() {
             if !instr.registers_valid() {
-                return Err(MachineError::BadRegister { at, instr: instr.to_string() });
+                return Err(MachineError::BadRegister {
+                    at,
+                    instr: instr.to_string(),
+                });
             }
             let target = match *instr {
                 Instr::Beq(_, _, t) | Instr::Bne(_, _, t) | Instr::Blt(_, _, t) | Instr::Jmp(t) => {
@@ -27,7 +30,11 @@ impl Program {
             };
             if let Some(t) = target {
                 if t >= instrs.len() {
-                    return Err(MachineError::BadBranchTarget { at, target: t, len: instrs.len() });
+                    return Err(MachineError::BadBranchTarget {
+                        at,
+                        target: t,
+                        len: instrs.len(),
+                    });
                 }
             }
         }
@@ -107,7 +114,11 @@ impl Assembler {
     /// Define a label at the current position.
     pub fn label(&mut self, name: impl Into<String>) -> Result<&mut Self, MachineError> {
         let name = name.into();
-        if self.labels.insert(name.clone(), self.instrs.len()).is_some() {
+        if self
+            .labels
+            .insert(name.clone(), self.instrs.len())
+            .is_some()
+        {
             return Err(MachineError::DuplicateLabel { label: name });
         }
         Ok(self)
@@ -121,25 +132,42 @@ impl Assembler {
 
     /// `beq a, b, label`.
     pub fn beq(&mut self, a: Reg, b: Reg, label: impl Into<String>) -> &mut Self {
-        self.instrs.push(PendingInstr::Branch { kind: BranchKind::Eq, a, b, label: label.into() });
+        self.instrs.push(PendingInstr::Branch {
+            kind: BranchKind::Eq,
+            a,
+            b,
+            label: label.into(),
+        });
         self
     }
 
     /// `bne a, b, label`.
     pub fn bne(&mut self, a: Reg, b: Reg, label: impl Into<String>) -> &mut Self {
-        self.instrs.push(PendingInstr::Branch { kind: BranchKind::Ne, a, b, label: label.into() });
+        self.instrs.push(PendingInstr::Branch {
+            kind: BranchKind::Ne,
+            a,
+            b,
+            label: label.into(),
+        });
         self
     }
 
     /// `blt a, b, label`.
     pub fn blt(&mut self, a: Reg, b: Reg, label: impl Into<String>) -> &mut Self {
-        self.instrs.push(PendingInstr::Branch { kind: BranchKind::Lt, a, b, label: label.into() });
+        self.instrs.push(PendingInstr::Branch {
+            kind: BranchKind::Lt,
+            a,
+            b,
+            label: label.into(),
+        });
         self
     }
 
     /// `jmp label`.
     pub fn jmp(&mut self, label: impl Into<String>) -> &mut Self {
-        self.instrs.push(PendingInstr::Jump { label: label.into() });
+        self.instrs.push(PendingInstr::Jump {
+            label: label.into(),
+        });
         self
     }
 
@@ -154,7 +182,9 @@ impl Assembler {
             self.labels
                 .get(label)
                 .copied()
-                .ok_or_else(|| MachineError::UndefinedLabel { label: label.to_owned() })
+                .ok_or_else(|| MachineError::UndefinedLabel {
+                    label: label.to_owned(),
+                })
         };
         let mut out = Vec::with_capacity(self.instrs.len());
         for pending in &self.instrs {
@@ -182,7 +212,10 @@ mod tests {
     #[test]
     fn straight_line_program_assembles() {
         let mut asm = Assembler::new();
-        asm.movi(0, 5).movi(1, 7).emit(Instr::Add(2, 0, 1)).emit(Instr::Halt);
+        asm.movi(0, 5)
+            .movi(1, 7)
+            .emit(Instr::Add(2, 0, 1))
+            .emit(Instr::Halt);
         let prog = asm.assemble().unwrap();
         assert_eq!(prog.len(), 4);
         assert_eq!(prog.fetch(2), Some(Instr::Add(2, 0, 1)));
@@ -211,7 +244,9 @@ mod tests {
         asm.jmp("nowhere");
         assert_eq!(
             asm.assemble(),
-            Err(MachineError::UndefinedLabel { label: "nowhere".into() })
+            Err(MachineError::UndefinedLabel {
+                label: "nowhere".into()
+            })
         );
     }
 
@@ -231,7 +266,10 @@ mod tests {
     #[test]
     fn branch_targets_validated() {
         let err = Program::new(vec![Instr::Jmp(7), Instr::Halt]).unwrap_err();
-        assert!(matches!(err, MachineError::BadBranchTarget { target: 7, .. }));
+        assert!(matches!(
+            err,
+            MachineError::BadBranchTarget { target: 7, .. }
+        ));
     }
 
     #[test]

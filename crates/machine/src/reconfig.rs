@@ -23,7 +23,10 @@ pub struct ConfigPort {
 
 impl Default for ConfigPort {
     fn default() -> Self {
-        ConfigPort { bus_bits_per_cycle: 32, setup_cycles: 16 }
+        ConfigPort {
+            bus_bits_per_cycle: 32,
+            setup_cycles: 16,
+        }
     }
 }
 
@@ -57,7 +60,9 @@ pub fn break_even(
     incumbent_cycles: u64,
 ) -> Result<BreakEven, MachineError> {
     if candidate_cycles == 0 || incumbent_cycles == 0 {
-        return Err(MachineError::config("per-execution cycle counts must be positive"));
+        return Err(MachineError::config(
+            "per-execution cycle counts must be positive",
+        ));
     }
     let executions_to_amortize = if candidate_cycles >= incumbent_cycles {
         None // never: the candidate is not faster per execution.
@@ -88,7 +93,10 @@ mod tests {
 
     #[test]
     fn load_cycles_round_up_and_include_setup() {
-        let port = ConfigPort { bus_bits_per_cycle: 32, setup_cycles: 10 };
+        let port = ConfigPort {
+            bus_bits_per_cycle: 32,
+            setup_cycles: 10,
+        };
         assert_eq!(port.load_cycles(0), 10);
         assert_eq!(port.load_cycles(1), 11);
         assert_eq!(port.load_cycles(32), 11);
@@ -101,11 +109,17 @@ mod tests {
         let be = break_even(100, 40, 50).unwrap();
         assert_eq!(be.executions_to_amortize, Some(10));
         // Equal speed never amortizes.
-        assert_eq!(break_even(100, 50, 50).unwrap().executions_to_amortize, None);
+        assert_eq!(
+            break_even(100, 50, 50).unwrap().executions_to_amortize,
+            None
+        );
         // Slower never amortizes.
         assert_eq!(break_even(0, 60, 50).unwrap().executions_to_amortize, None);
         // Free reconfiguration amortizes immediately (0 executions).
-        assert_eq!(break_even(0, 40, 50).unwrap().executions_to_amortize, Some(0));
+        assert_eq!(
+            break_even(0, 40, 50).unwrap().executions_to_amortize,
+            Some(0)
+        );
         assert!(break_even(1, 0, 5).is_err());
     }
 

@@ -50,7 +50,9 @@ impl SpatialMachine {
         bank_words: usize,
     ) -> Result<SpatialMachine, MachineError> {
         if cores < 2 {
-            return Err(MachineError::config("a spatial machine needs at least two cores"));
+            return Err(MachineError::config(
+                "a spatial machine needs at least two cores",
+            ));
         }
         if ip_ip == FabricTopology::None {
             return Err(MachineError::config(
@@ -72,6 +74,12 @@ impl SpatialMachine {
             group: (0..cores).collect(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
         })
+    }
+
+    /// Override the livelock guard.
+    pub fn with_cycle_limit(mut self, limit: u64) -> SpatialMachine {
+        self.cycle_limit = limit;
+        self
     }
 
     /// The ISP class name corresponding to this machine's sub-type code.
@@ -102,7 +110,9 @@ impl SpatialMachine {
     /// the leader's lockstep broadcast — two IPs have become one bigger IP.
     pub fn fuse(&mut self, leader: usize, follower: usize) -> Result<(), MachineError> {
         if leader >= self.n || follower >= self.n || leader == follower {
-            return Err(MachineError::config(format!("cannot fuse {follower} into {leader}")));
+            return Err(MachineError::config(format!(
+                "cannot fuse {follower} into {leader}"
+            )));
         }
         let root = self.group[leader];
         self.ip_ip.route(root, follower, self.n)?;
@@ -133,16 +143,20 @@ impl SpatialMachine {
     /// The structural [`ArchSpec`] of this machine.
     pub fn spec(&self) -> ArchSpec {
         let n = (self.n as u32).max(2);
-        let pick = |x: bool| if x { Link::crossbar_between(n, n) } else { Link::direct_between(n, n) };
+        let pick = |x: bool| {
+            if x {
+                Link::crossbar_between(n, n)
+            } else {
+                Link::direct_between(n, n)
+            }
+        };
         let dp_dp = if self.subtype.dp_dp_crossbar() {
             Link::crossbar_between(n, n)
         } else {
             Link::None
         };
         let ip_ip = match self.ip_ip {
-            FabricTopology::Window { hops } => {
-                Link::crossbar_between(n, (2 * hops as u32).min(n))
-            }
+            FabricTopology::Window { hops } => Link::crossbar_between(n, (2 * hops as u32).min(n)),
             _ => Link::crossbar_between(n, n),
         };
         ArchSpec::builder(format!("spatial-{}x{}", self.class_name(), n))
@@ -177,7 +191,10 @@ impl SpatialMachine {
                 break;
             }
             if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
             }
             stats.cycles += 1;
             for (leader, members) in &groups {
@@ -264,10 +281,18 @@ mod tests {
         // Followers' programs are dummies that would store 9999 — they must
         // NOT run.
         let mut dummy = Assembler::new();
-        dummy.movi(0, 0).movi(1, 9999).emit(Instr::Store(0, 1)).emit(Instr::Halt);
+        dummy
+            .movi(0, 0)
+            .movi(1, 9999)
+            .emit(Instr::Store(0, 1))
+            .emit(Instr::Halt);
         let dummy = dummy.assemble().unwrap();
-        let progs =
-            vec![lane_tag_program(), dummy.clone(), dummy.clone(), lane_tag_program()];
+        let progs = vec![
+            lane_tag_program(),
+            dummy.clone(),
+            dummy.clone(),
+            lane_tag_program(),
+        ];
         m.run(&progs).unwrap();
         // Group {0,1,2} all executed the leader's program, each on its own
         // lane; core 3 ran solo.
@@ -281,8 +306,14 @@ mod tests {
         // DRRA-style 3-hop window.
         let mut m = machine(3, FabricTopology::Window { hops: 3 }, 16);
         m.fuse(5, 8).unwrap(); // 3 hops: allowed
-        assert!(matches!(m.fuse(5, 9), Err(MachineError::RouteDenied { .. })));
-        assert!(matches!(m.fuse(0, 12), Err(MachineError::RouteDenied { .. })));
+        assert!(matches!(
+            m.fuse(5, 9),
+            Err(MachineError::RouteDenied { .. })
+        ));
+        assert!(matches!(
+            m.fuse(0, 12),
+            Err(MachineError::RouteDenied { .. })
+        ));
     }
 
     #[test]
@@ -291,7 +322,10 @@ mod tests {
         m.fuse(0, 2).unwrap();
         // Fusing 4 into 2's group routes against the *root* (0): distance 4
         // exceeds the window even though |2-4| = 2.
-        assert!(matches!(m.fuse(2, 4), Err(MachineError::RouteDenied { .. })));
+        assert!(matches!(
+            m.fuse(2, 4),
+            Err(MachineError::RouteDenied { .. })
+        ));
         m.defuse_all();
         m.fuse(2, 4).unwrap();
     }

@@ -2,10 +2,10 @@
 //!
 //! The benchmark harness evaluates many `(machine, size)` points; each
 //! point is an independent simulation, so the sweep fans out over OS
-//! threads with `crossbeam`'s scoped threads.  Results come back in input
-//! order regardless of completion order.
+//! threads with `std::thread::scope`.  Results come back in input order
+//! regardless of completion order.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Run `f` over `items` in parallel (scoped threads, one queue, results in
 /// input order).  Falls back to sequential execution for tiny inputs.
@@ -16,7 +16,9 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     if n <= 1 || threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -27,11 +29,11 @@ where
         let slots = Mutex::new(&mut results);
         let items = &items;
         let f = &f;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let index = {
-                        let mut guard = next.lock();
+                        let mut guard = next.lock().expect("sweep queue poisoned");
                         let i = *guard;
                         if i >= n {
                             break;
@@ -40,13 +42,15 @@ where
                         i
                     };
                     let value = f(&items[index]);
-                    slots.lock()[index] = Some(value);
+                    slots.lock().expect("sweep slots poisoned")[index] = Some(value);
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
     }
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 /// A labelled sweep: run `f` over `params`, pairing each result with its
@@ -110,7 +114,10 @@ mod tests {
             let a: Vec<i64> = (0..n as i64).collect();
             let b: Vec<i64> = (0..n as i64).rev().collect();
             let got = run_vector_add_array(ArraySubtype::I, &a, &b).unwrap();
-            (got.outputs == vector_add_reference(&a, &b), got.stats.cycles)
+            (
+                got.outputs == vector_add_reference(&a, &b),
+                got.stats.cycles,
+            )
         });
         for (n, (ok, cycles)) in results {
             assert!(ok, "size {n}");

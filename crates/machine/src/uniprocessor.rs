@@ -60,7 +60,10 @@ impl UniProcessor {
         let mut pc = 0usize;
         loop {
             if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
             }
             let Some(instr) = program.fetch(pc) else {
                 // Running off the end is a clean stop.
@@ -133,20 +136,29 @@ mod tests {
     }
 
     #[test]
-    fn infinite_loop_hits_the_cycle_limit() {
+    fn infinite_loop_trips_the_watchdog_with_partial_stats() {
         let mut m = UniProcessor::new(8).with_cycle_limit(1_000);
         let prog = Program::new(vec![Instr::Jmp(0)]).unwrap();
-        assert_eq!(
-            m.run(&prog),
-            Err(MachineError::CycleLimitExceeded { limit: 1_000 })
-        );
+        match m.run(&prog) {
+            Err(MachineError::WatchdogTimeout {
+                limit: 1_000,
+                partial,
+            }) => {
+                assert_eq!(partial.cycles, 1_000);
+                assert_eq!(partial.instructions, 1_000);
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
+        }
     }
 
     #[test]
     fn fabric_instructions_are_route_denied() {
         let mut m = UniProcessor::new(8);
         let prog = Program::new(vec![Instr::Send(1, 0), Instr::Halt]).unwrap();
-        assert!(matches!(m.run(&prog), Err(MachineError::RouteDenied { .. })));
+        assert!(matches!(
+            m.run(&prog),
+            Err(MachineError::RouteDenied { .. })
+        ));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! machine), or both at once — the defining property of the USP class.
 
 use crate::error::MachineError;
+use crate::exec::Stats;
 
 use super::lut::LutCell;
 
@@ -83,7 +84,11 @@ pub struct LutFabric {
 impl LutFabric {
     /// A fabric of `n_cells` k-LUTs with `primary_inputs` input pads.
     pub fn new(n_cells: usize, k: usize, primary_inputs: usize) -> LutFabric {
-        LutFabric { n_cells, k, primary_inputs }
+        LutFabric {
+            n_cells,
+            k,
+            primary_inputs,
+        }
     }
 
     /// Validate a bitstream and produce a runnable configured fabric.
@@ -102,9 +107,12 @@ impl LutFabric {
         let n = bitstream.cells.len();
         let check_source = |src: &Source| -> Result<(), MachineError> {
             match *src {
-                Source::Primary(k) if k >= self.primary_inputs => Err(MachineError::config(
-                    format!("source references primary input {k} of {}", self.primary_inputs),
-                )),
+                Source::Primary(k) if k >= self.primary_inputs => {
+                    Err(MachineError::config(format!(
+                        "source references primary input {k} of {}",
+                        self.primary_inputs
+                    )))
+                }
                 Source::Cell(id) if id >= n => Err(MachineError::config(format!(
                     "source references cell {id} of {n}"
                 ))),
@@ -208,9 +216,9 @@ impl ConfiguredFabric {
         let mut value = vec![false; cells.len()];
         let resolve = |src: &Source, value: &[bool]| -> Result<bool, MachineError> {
             Ok(match *src {
-                Source::Primary(k) => *inputs.get(k).ok_or_else(|| {
-                    MachineError::config(format!("missing primary input {k}"))
-                })?,
+                Source::Primary(k) => *inputs
+                    .get(k)
+                    .ok_or_else(|| MachineError::config(format!("missing primary input {k}")))?,
                 Source::Cell(id) => {
                     if cells[id].registered {
                         self.state[id]
@@ -267,6 +275,33 @@ impl ConfiguredFabric {
             }
         }
         self.eval(inputs)
+    }
+
+    /// Clock the fabric until `done(outputs)` holds, with a cycle-budget
+    /// watchdog: a state machine that never satisfies the predicate comes
+    /// back as a typed [`MachineError::WatchdogTimeout`] with partial
+    /// [`Stats`] instead of hanging the caller.
+    pub fn run_until(
+        &mut self,
+        inputs: &[bool],
+        limit: u64,
+        mut done: impl FnMut(&[bool]) -> bool,
+    ) -> Result<(Vec<bool>, Stats), MachineError> {
+        let mut stats = Stats::default();
+        loop {
+            if stats.cycles >= limit {
+                return Err(MachineError::WatchdogTimeout {
+                    limit,
+                    partial: stats,
+                });
+            }
+            let out = self.step(inputs)?;
+            stats.cycles += 1;
+            stats.instructions += 1; // one fabric-wide evaluation per edge
+            if done(&out) {
+                return Ok((out, stats));
+            }
+        }
     }
 }
 
@@ -328,6 +363,46 @@ mod tests {
         assert_eq!(f.step(&[false]).unwrap(), vec![false]); // hold
         f.reset();
         assert_eq!(f.state(), &[false]);
+    }
+
+    #[test]
+    fn run_until_stops_when_the_predicate_holds() {
+        // The T flip-flop toggles every cycle; wait for it to read true.
+        let fabric = LutFabric::new(4, 2, 1);
+        let bs = Bitstream {
+            cells: vec![CellConfig {
+                lut: lut2(tables::XOR2),
+                inputs: vec![Source::Cell(0), Source::Primary(0)],
+                registered: true,
+            }],
+            outputs: vec![Source::Cell(0)],
+        };
+        let mut f = fabric.configure(&bs).unwrap();
+        let (out, stats) = f.run_until(&[true], 16, |o| o[0]).unwrap();
+        assert_eq!(out, vec![true]);
+        assert_eq!(stats.cycles, 1);
+    }
+
+    #[test]
+    fn run_until_trips_the_watchdog_on_a_stuck_machine() {
+        // With the toggle input held low the FF never changes, so the
+        // predicate can never hold.
+        let fabric = LutFabric::new(4, 2, 1);
+        let bs = Bitstream {
+            cells: vec![CellConfig {
+                lut: lut2(tables::XOR2),
+                inputs: vec![Source::Cell(0), Source::Primary(0)],
+                registered: true,
+            }],
+            outputs: vec![Source::Cell(0)],
+        };
+        let mut f = fabric.configure(&bs).unwrap();
+        match f.run_until(&[false], 32, |o| o[0]) {
+            Err(MachineError::WatchdogTimeout { limit: 32, partial }) => {
+                assert_eq!(partial.cycles, 32);
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
+        }
     }
 
     #[test]

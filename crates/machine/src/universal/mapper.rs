@@ -88,15 +88,30 @@ fn map_one(bs: &mut Bitstream, expr: &BoolExpr) -> Result<Source, MachineError> 
         BoolExpr::Const(true) => Source::One,
         BoolExpr::Not(a) => {
             let a = map_one(bs, a)?;
-            push_cell(bs, LutCell::from_fn(2, |b| !b[0])?, vec![a, Source::Zero], false)
+            push_cell(
+                bs,
+                LutCell::from_fn(2, |b| !b[0])?,
+                vec![a, Source::Zero],
+                false,
+            )
         }
         BoolExpr::And(a, b) => {
             let (a, b) = (map_one(bs, a)?, map_one(bs, b)?);
-            push_cell(bs, LutCell::from_fn(2, |x| x[0] && x[1])?, vec![a, b], false)
+            push_cell(
+                bs,
+                LutCell::from_fn(2, |x| x[0] && x[1])?,
+                vec![a, b],
+                false,
+            )
         }
         BoolExpr::Or(a, b) => {
             let (a, b) = (map_one(bs, a)?, map_one(bs, b)?);
-            push_cell(bs, LutCell::from_fn(2, |x| x[0] || x[1])?, vec![a, b], false)
+            push_cell(
+                bs,
+                LutCell::from_fn(2, |x| x[0] || x[1])?,
+                vec![a, b],
+                false,
+            )
         }
         BoolExpr::Xor(a, b) => {
             let (a, b) = (map_one(bs, a)?, map_one(bs, b)?);
@@ -106,7 +121,11 @@ fn map_one(bs: &mut Bitstream, expr: &BoolExpr) -> Result<Source, MachineError> 
 }
 
 fn push_cell(bs: &mut Bitstream, lut: LutCell, inputs: Vec<Source>, registered: bool) -> Source {
-    bs.cells.push(CellConfig { lut, inputs, registered });
+    bs.cells.push(CellConfig {
+        lut,
+        inputs,
+        registered,
+    });
     Source::Cell(bs.cells.len() - 1)
 }
 
@@ -195,10 +214,10 @@ pub fn program_counter(fabric: &LutFabric, bits: usize) -> Result<Bitstream, Mac
     #[allow(clippy::needless_range_loop)]
     for i in 0..bits {
         bs.cells[i].inputs = vec![
-            Source::Cell(i),          // pc_i (registered: reads own FF)
-            carries[i],               // carry into bit i
-            Source::Primary(0),       // branch
-            Source::Primary(1 + i),   // target_i
+            Source::Cell(i),        // pc_i (registered: reads own FF)
+            carries[i],             // carry into bit i
+            Source::Primary(0),     // branch
+            Source::Primary(1 + i), // target_i
         ];
     }
     bs.outputs = (0..bits).map(Source::Cell).collect();
@@ -262,7 +281,11 @@ pub fn alu_slice(fabric: &LutFabric, bits: usize) -> Result<Bitstream, MachineEr
         let r = push_cell(
             &mut bs,
             LutCell::from_fn(3, |x| if x[2] { x[0] ^ x[1] } else { x[0] && x[1] })?,
-            vec![Source::Primary(1 + i), Source::Primary(1 + bits + i), Source::Primary(0)],
+            vec![
+                Source::Primary(1 + i),
+                Source::Primary(1 + bits + i),
+                Source::Primary(0),
+            ],
             false,
         );
         outs.push(r);
@@ -279,7 +302,9 @@ mod tests {
     use super::*;
 
     fn bits_to_usize(bits: &[bool]) -> usize {
-        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (usize::from(b) << i))
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (usize::from(b) << i))
     }
 
     fn usize_to_bits(v: usize, n: usize) -> Vec<bool> {
@@ -376,7 +401,9 @@ mod tests {
     fn comparator_is_exhaustively_correct() {
         let bits = 3;
         let fabric = LutFabric::new(32, 2, 2 * bits);
-        let cfg = fabric.configure(&comparator(&fabric, bits).unwrap()).unwrap();
+        let cfg = fabric
+            .configure(&comparator(&fabric, bits).unwrap())
+            .unwrap();
         for a in 0..8usize {
             for b in 0..8usize {
                 let mut inputs = usize_to_bits(a, bits);
@@ -390,7 +417,9 @@ mod tests {
     fn alu_slice_switches_operations_at_runtime() {
         let bits = 4;
         let fabric = LutFabric::new(32, 3, 1 + 2 * bits);
-        let cfg = fabric.configure(&alu_slice(&fabric, bits).unwrap()).unwrap();
+        let cfg = fabric
+            .configure(&alu_slice(&fabric, bits).unwrap())
+            .unwrap();
         for a in 0..16usize {
             for b in 0..16usize {
                 for mode in [false, true] {

@@ -37,13 +37,19 @@ pub struct Bundle {
 impl Bundle {
     /// A bundle with every lane idle.
     pub fn nop(lanes: usize) -> Bundle {
-        Bundle { slots: vec![None; lanes], control: None }
+        Bundle {
+            slots: vec![None; lanes],
+            control: None,
+        }
     }
 
     /// A bundle carrying the same op in every slot (the SIMD special case
     /// of VLIW).
     pub fn broadcast(lanes: usize, instr: Instr) -> Bundle {
-        Bundle { slots: vec![Some(instr); lanes], control: None }
+        Bundle {
+            slots: vec![Some(instr); lanes],
+            control: None,
+        }
     }
 }
 
@@ -92,7 +98,9 @@ impl VliwProgram {
                     )));
                 }
                 let target = match *ctrl {
-                    Instr::Beq(_, _, t) | Instr::Bne(_, _, t) | Instr::Blt(_, _, t)
+                    Instr::Beq(_, _, t)
+                    | Instr::Bne(_, _, t)
+                    | Instr::Blt(_, _, t)
                     | Instr::Jmp(t) => Some(t),
                     _ => None,
                 };
@@ -140,6 +148,12 @@ impl VliwMachine {
             mem: BankedMemory::new(lanes, bank_words, subtype.data_topology()),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
         }
+    }
+
+    /// Override the livelock guard.
+    pub fn with_cycle_limit(mut self, limit: u64) -> VliwMachine {
+        self.cycle_limit = limit;
+        self
     }
 
     /// Number of lanes.
@@ -191,9 +205,14 @@ impl VliwMachine {
         let mut pc = 0usize;
         loop {
             if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::CycleLimitExceeded { limit: self.cycle_limit });
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
             }
-            let Some(bundle) = program.bundles.get(pc) else { break };
+            let Some(bundle) = program.bundles.get(pc) else {
+                break;
+            };
             stats.cycles += 1;
             for (lane, slot) in bundle.slots.iter().enumerate() {
                 if let Some(instr) = slot {
@@ -274,7 +293,10 @@ mod tests {
                 control: None,
             },
             // 1: r1 = loop counter on lane 0 only
-            Bundle { slots: vec![Some(Instr::MovI(1, 0)), None], control: None },
+            Bundle {
+                slots: vec![Some(Instr::MovI(1, 0)), None],
+                control: None,
+            },
             // 2: body — lane 0 += 1, lane 1 += 10
             Bundle {
                 slots: vec![Some(Instr::AddI(0, 0, 1)), Some(Instr::AddI(0, 0, 10))],
@@ -290,7 +312,10 @@ mod tests {
                 control: Some(Instr::Blt(1, 2, 2)),
             },
             // 5: r2 = 4 (bound), placed early so register 2 is ready
-            Bundle { slots: vec![None, None], control: Some(Instr::Halt) },
+            Bundle {
+                slots: vec![None, None],
+                control: Some(Instr::Halt),
+            },
         ];
         // Need the bound in lane 0's r2 before the loop test: set it in
         // bundle 1 instead of a late bundle.
@@ -335,7 +360,10 @@ mod tests {
 
     #[test]
     fn branch_targets_validated_against_bundle_count() {
-        let bundles = vec![Bundle { slots: vec![None], control: Some(Instr::Jmp(9)) }];
+        let bundles = vec![Bundle {
+            slots: vec![None],
+            control: Some(Instr::Jmp(9)),
+        }];
         assert!(matches!(
             VliwProgram::new(bundles, 1),
             Err(MachineError::BadBranchTarget { .. })
@@ -367,7 +395,10 @@ mod tests {
             Bundle::broadcast(lanes, Instr::Load(2, 0)),
             Bundle::broadcast(lanes, Instr::Load(3, 1)),
             Bundle::broadcast(lanes, Instr::Add(4, 2, 3)),
-            Bundle { slots: vec![None; lanes], control: Some(Instr::Halt) },
+            Bundle {
+                slots: vec![None; lanes],
+                control: Some(Instr::Halt),
+            },
         ];
         let program = VliwProgram::new(bundles, lanes).unwrap();
         m.run(&program).unwrap();

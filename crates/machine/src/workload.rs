@@ -120,7 +120,9 @@ pub fn run_vector_add_array(
         }
     };
     let stats = machine.run(&program)?;
-    let outputs = (0..n).map(|lane| machine.memory().bank(lane).contents()[2]).collect();
+    let outputs = (0..n)
+        .map(|lane| machine.memory().bank(lane).contents()[2])
+        .collect();
     Ok(WorkloadResult { outputs, stats })
 }
 
@@ -154,11 +156,15 @@ pub fn run_vector_add_multi(
             .emit(Instr::Store(2, 5))
             .emit(Instr::Halt);
         let stats = machine.run_simd(&asm.assemble()?)?;
-        let outputs = (0..n).map(|lane| machine.memory().bank(lane).contents()[2]).collect();
+        let outputs = (0..n)
+            .map(|lane| machine.memory().bank(lane).contents()[2])
+            .collect();
         return Ok(WorkloadResult { outputs, stats });
     }
     let stats = machine.run_simd(&vector_add_kernel())?;
-    let outputs = (0..n).map(|lane| machine.memory().bank(lane).contents()[2]).collect();
+    let outputs = (0..n)
+        .map(|lane| machine.memory().bank(lane).contents()[2])
+        .collect();
     Ok(WorkloadResult { outputs, stats })
 }
 
@@ -178,7 +184,11 @@ fn mimd_op(core: usize, slice: &[Word]) -> Word {
 
 /// Reference MIMD mix.
 pub fn mimd_mix_reference(slices: &[Vec<Word>]) -> Vec<Word> {
-    slices.iter().enumerate().map(|(i, s)| mimd_op(i, s)).collect()
+    slices
+        .iter()
+        .enumerate()
+        .map(|(i, s)| mimd_op(i, s))
+        .collect()
 }
 
 /// The per-core MIMD-mix program.  `base` is the core's address offset:
@@ -196,16 +206,26 @@ fn mimd_program(core: usize, len: usize, base: Word) -> Result<Program, MachineE
             };
             asm.movi(0, base).movi(1, base + len as Word).movi(2, init);
             asm.label("loop").unwrap();
-            asm.emit(Instr::Load(3, 0)).emit(op(2, 2, 3)).emit(Instr::AddI(0, 0, 1));
+            asm.emit(Instr::Load(3, 0))
+                .emit(op(2, 2, 3))
+                .emit(Instr::AddI(0, 0, 1));
             asm.blt(0, 1, "loop");
-            asm.movi(4, out_addr).emit(Instr::Store(4, 2)).emit(Instr::Halt);
+            asm.movi(4, out_addr)
+                .emit(Instr::Store(4, 2))
+                .emit(Instr::Halt);
         }
         _ => {
-            asm.movi(0, base).movi(1, base + len as Word).movi(2, Word::MIN);
+            asm.movi(0, base)
+                .movi(1, base + len as Word)
+                .movi(2, Word::MIN);
             asm.label("loop").unwrap();
-            asm.emit(Instr::Load(3, 0)).emit(Instr::Max(2, 2, 3)).emit(Instr::AddI(0, 0, 1));
+            asm.emit(Instr::Load(3, 0))
+                .emit(Instr::Max(2, 2, 3))
+                .emit(Instr::AddI(0, 0, 1));
             asm.blt(0, 1, "loop");
-            asm.movi(4, out_addr).emit(Instr::Store(4, 2)).emit(Instr::Halt);
+            asm.movi(4, out_addr)
+                .emit(Instr::Store(4, 2))
+                .emit(Instr::Halt);
         }
     }
     asm.assemble()
@@ -222,7 +242,9 @@ pub fn run_mimd_mix_multi(
     }
     let len = slices[0].len();
     if slices.iter().any(|s| s.len() != len) || len == 0 {
-        return Err(MachineError::config("slices must be equal-length and non-empty"));
+        return Err(MachineError::config(
+            "slices must be equal-length and non-empty",
+        ));
     }
     let mut machine = MultiMachine::new(subtype, cores, len + 1);
     for (core, slice) in slices.iter().enumerate() {
@@ -231,12 +253,18 @@ pub fn run_mimd_mix_multi(
     let bank_size = (len + 1) as Word;
     let programs: Result<Vec<Program>, MachineError> = (0..cores)
         .map(|c| {
-            let base = if subtype.dp_dm_crossbar() { c as Word * bank_size } else { 0 };
+            let base = if subtype.dp_dm_crossbar() {
+                c as Word * bank_size
+            } else {
+                0
+            };
             mimd_program(c, len, base)
         })
         .collect();
     let stats = machine.run(&programs?)?;
-    let outputs = (0..cores).map(|c| machine.memory().bank(c).contents()[len]).collect();
+    let outputs = (0..cores)
+        .map(|c| machine.memory().bank(c).contents()[len])
+        .collect();
     Ok(WorkloadResult { outputs, stats })
 }
 
@@ -254,7 +282,10 @@ pub fn run_mimd_mix_array(
         // Single-op mixes degenerate to a reduction; run it as SIMD by
         // reusing the multi-style kernel is out of scope here — report the
         // reference directly as this branch only exists for completeness.
-        return Ok(WorkloadResult { outputs: reference, stats: Stats::default() });
+        return Ok(WorkloadResult {
+            outputs: reference,
+            stats: Stats::default(),
+        });
     }
     Err(MachineError::unsupported(
         format!("{} array machine", subtype.class_name()),
@@ -307,7 +338,10 @@ pub fn run_reduce_dataflow(
         dataflow_placement(subtype)
     };
     let run = machine.run(&graph, &inputs, &placement)?;
-    Ok(WorkloadResult { outputs: run.outputs, stats: run.stats })
+    Ok(WorkloadResult {
+        outputs: run.outputs,
+        stats: run.stats,
+    })
 }
 
 /// Reduction on a uni-processor.
@@ -318,11 +352,18 @@ pub fn run_reduce_uni(data: &[Word]) -> Result<WorkloadResult, MachineError> {
     let mut asm = Assembler::new();
     asm.movi(0, 0).movi(1, n as Word).movi(2, 0);
     asm.label("loop").unwrap();
-    asm.emit(Instr::Load(3, 0)).emit(Instr::Add(2, 2, 3)).emit(Instr::AddI(0, 0, 1));
+    asm.emit(Instr::Load(3, 0))
+        .emit(Instr::Add(2, 2, 3))
+        .emit(Instr::AddI(0, 0, 1));
     asm.blt(0, 1, "loop");
-    asm.movi(4, n as Word).emit(Instr::Store(4, 2)).emit(Instr::Halt);
+    asm.movi(4, n as Word)
+        .emit(Instr::Store(4, 2))
+        .emit(Instr::Halt);
     let stats = machine.run(&asm.assemble()?)?;
-    Ok(WorkloadResult { outputs: vec![machine.memory().bank(0).contents()[n]], stats })
+    Ok(WorkloadResult {
+        outputs: vec![machine.memory().bank(0).contents()[n]],
+        stats,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -336,9 +377,9 @@ pub fn fir_reference(taps: &[Word], signal: &[Word]) -> Vec<Word> {
     }
     (0..=signal.len() - taps.len())
         .map(|j| {
-            taps.iter()
-                .enumerate()
-                .fold(0, |acc: Word, (k, &t)| acc.wrapping_add(t.wrapping_mul(signal[j + k])))
+            taps.iter().enumerate().fold(0, |acc: Word, (k, &t)| {
+                acc.wrapping_add(t.wrapping_mul(signal[j + k]))
+            })
         })
         .collect()
 }
@@ -367,13 +408,7 @@ pub fn run_fir_dataflow(
         let window = &signal[j..j + taps.len()];
         let run = machine.run(&graph, window, &placement)?;
         outputs.push(run.outputs[0]);
-        stats.cycles += run.stats.cycles;
-        stats.instructions += run.stats.instructions;
-        stats.alu_ops += run.stats.alu_ops;
-        stats.mem_reads += run.stats.mem_reads;
-        stats.mem_writes += run.stats.mem_writes;
-        stats.messages += run.stats.messages;
-        stats.stalls += run.stats.stalls;
+        stats = stats.accumulate_sequential(run.stats);
     }
     Ok(WorkloadResult { outputs, stats })
 }
@@ -437,7 +472,9 @@ pub fn run_fir_array(
     asm.blt(1, 2, "tap");
     asm.emit(Instr::Halt);
     let stats = machine.run(&asm.assemble()?)?;
-    let outputs = (0..out_count).map(|lane| machine.lane_reg(lane, 3)).collect();
+    let outputs = (0..out_count)
+        .map(|lane| machine.lane_reg(lane, 3))
+        .collect();
     Ok(WorkloadResult { outputs, stats })
 }
 
@@ -476,9 +513,9 @@ pub fn run_fir_uni(taps: &[Word], signal: &[Word]) -> Result<WorkloadResult, Mac
         .emit(Instr::Add(4, 4, 8))
         .emit(Instr::AddI(2, 2, 1));
     asm.blt(2, 3, "inner");
-    asm.emit(Instr::AddI(9, 0, (k + n) as Word)).emit(Instr::Store(9, 4)).emit(Instr::AddI(
-        0, 0, 1,
-    ));
+    asm.emit(Instr::AddI(9, 0, (k + n) as Word))
+        .emit(Instr::Store(9, 4))
+        .emit(Instr::AddI(0, 0, 1));
     asm.blt(0, 1, "outer");
     asm.emit(Instr::Halt);
     let stats = machine.run(&asm.assemble()?)?;
@@ -692,11 +729,15 @@ mod tests {
         assert_eq!(reference, 91);
         assert_eq!(run_reduce_uni(&data).unwrap().outputs, vec![91]);
         assert_eq!(
-            run_reduce_dataflow(DataflowSubtype::Uni, 1, &data).unwrap().outputs,
+            run_reduce_dataflow(DataflowSubtype::Uni, 1, &data)
+                .unwrap()
+                .outputs,
             vec![91]
         );
         assert_eq!(
-            run_reduce_dataflow(DataflowSubtype::IV, 4, &data).unwrap().outputs,
+            run_reduce_dataflow(DataflowSubtype::IV, 4, &data)
+                .unwrap()
+                .outputs,
             vec![91]
         );
     }
@@ -708,7 +749,9 @@ mod tests {
         let reference = fir_reference(&taps, &signal);
         assert_eq!(run_fir_uni(&taps, &signal).unwrap().outputs, reference);
         assert_eq!(
-            run_fir_dataflow(DataflowSubtype::IV, 4, &taps, &signal).unwrap().outputs,
+            run_fir_dataflow(DataflowSubtype::IV, 4, &taps, &signal)
+                .unwrap()
+                .outputs,
             reference
         );
     }
@@ -770,10 +813,9 @@ mod tests {
         assert!(run_vector_add_uni(&[1], &[1, 2]).is_err());
         assert!(run_vector_add_multi(MultiSubtype::from_index(1).unwrap(), &[1], &[1]).is_err());
         assert!(run_fir_uni(&[1, 2, 3], &[1]).is_err());
-        assert!(run_mimd_mix_multi(
-            MultiSubtype::from_index(1).unwrap(),
-            &[vec![1], vec![1, 2]]
-        )
-        .is_err());
+        assert!(
+            run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &[vec![1], vec![1, 2]])
+                .is_err()
+        );
     }
 }

@@ -1,10 +1,12 @@
-//! Property tests for the executable machines: the simulators against
-//! plain-Rust reference semantics on randomly generated programs and
-//! workloads.
-
-use proptest::prelude::*;
+//! Property-style tests for the executable machines: the simulators
+//! against plain-Rust reference semantics on randomly generated programs
+//! and workloads.
+//!
+//! These run as deterministic seeded sweeps (`sweep_cases`) instead of
+//! `proptest` so the workspace builds hermetically.
 
 use skilltax_machine::array::{ArrayMachine, ArraySubtype};
+use skilltax_machine::dataflow::DataflowSubtype;
 use skilltax_machine::isa::{Instr, Word, NUM_REGS};
 use skilltax_machine::multi::MultiSubtype;
 use skilltax_machine::program::Program;
@@ -13,22 +15,27 @@ use skilltax_machine::workload::{
     fir_reference, mimd_mix_reference, run_fir_dataflow, run_fir_uni, run_mimd_mix_multi,
     run_vector_add_multi, vector_add_reference,
 };
-use skilltax_machine::dataflow::DataflowSubtype;
+use skilltax_model::rng::{sweep_cases, XorShift64};
 
 /// A random straight-line ALU instruction (no control flow, no memory, no
 /// fabric) over the register file.
-fn alu_instr() -> impl Strategy<Value = Instr> {
-    let reg = 0u8..(NUM_REGS as u8);
-    prop_oneof![
-        (reg.clone(), -1000i64..1000).prop_map(|(rd, imm)| Instr::MovI(rd, imm)),
-        (reg.clone(), reg.clone()).prop_map(|(rd, rs)| Instr::Mov(rd, rs)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Add(d, a, b)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Sub(d, a, b)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Mul(d, a, b)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Min(d, a, b)),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Instr::Max(d, a, b)),
-        (reg.clone(), reg, -50i64..50).prop_map(|(rd, rs, imm)| Instr::AddI(rd, rs, imm)),
-    ]
+fn alu_instr(rng: &mut XorShift64) -> Instr {
+    let reg = |rng: &mut XorShift64| rng.below_usize(NUM_REGS) as u8;
+    match rng.below(8) {
+        0 => Instr::MovI(reg(rng), rng.range_i64(-1000, 1000)),
+        1 => Instr::Mov(reg(rng), reg(rng)),
+        2 => Instr::Add(reg(rng), reg(rng), reg(rng)),
+        3 => Instr::Sub(reg(rng), reg(rng), reg(rng)),
+        4 => Instr::Mul(reg(rng), reg(rng), reg(rng)),
+        5 => Instr::Min(reg(rng), reg(rng), reg(rng)),
+        6 => Instr::Max(reg(rng), reg(rng), reg(rng)),
+        _ => Instr::AddI(reg(rng), reg(rng), rng.range_i64(-50, 50)),
+    }
+}
+
+fn alu_block(rng: &mut XorShift64, max_len: usize) -> Vec<Instr> {
+    let len = rng.below_usize(max_len);
+    (0..len).map(|_| alu_instr(rng)).collect()
 }
 
 /// Reference interpreter for straight-line ALU programs.
@@ -49,22 +56,17 @@ fn reference_regs(instrs: &[Instr]) -> [Word; NUM_REGS] {
             }
             Instr::Min(d, a, b) => regs[d as usize] = regs[a as usize].min(regs[b as usize]),
             Instr::Max(d, a, b) => regs[d as usize] = regs[a as usize].max(regs[b as usize]),
-            Instr::AddI(rd, rs, imm) => {
-                regs[rd as usize] = regs[rs as usize].wrapping_add(imm)
-            }
-            _ => unreachable!("strategy only emits ALU instructions"),
+            Instr::AddI(rd, rs, imm) => regs[rd as usize] = regs[rs as usize].wrapping_add(imm),
+            _ => unreachable!("generator only emits ALU instructions"),
         }
     }
     regs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn uniprocessor_matches_the_reference_interpreter(
-        instrs in prop::collection::vec(alu_instr(), 0..64)
-    ) {
+#[test]
+fn uniprocessor_matches_the_reference_interpreter() {
+    sweep_cases(0xA10, 96, |case, rng| {
+        let instrs = alu_block(rng, 64);
         let mut with_halt = instrs.clone();
         with_halt.push(Instr::Halt);
         let program = Program::new(with_halt).unwrap();
@@ -73,19 +75,20 @@ proptest! {
         let expected = reference_regs(&instrs);
         #[allow(clippy::needless_range_loop)]
         for r in 0..NUM_REGS {
-            prop_assert_eq!(machine.reg(r as u8), expected[r], "r{}", r);
+            assert_eq!(machine.reg(r as u8), expected[r], "case {case} r{r}");
         }
-        prop_assert_eq!(stats.instructions, instrs.len() as u64 + 1);
-        prop_assert_eq!(stats.cycles, instrs.len() as u64 + 1);
-    }
+        assert_eq!(stats.instructions, instrs.len() as u64 + 1);
+        assert_eq!(stats.cycles, instrs.len() as u64 + 1);
+    });
+}
 
-    #[test]
-    fn simd_array_equals_per_lane_reference(
-        instrs in prop::collection::vec(alu_instr(), 0..32),
-        lanes in 1usize..8,
-    ) {
+#[test]
+fn simd_array_equals_per_lane_reference() {
+    sweep_cases(0xA11, 96, |case, rng| {
         // With a lane-id seed, each lane's register file should equal the
         // reference interpreter run with r0 preloaded to the lane index.
+        let instrs = alu_block(rng, 32);
+        let lanes = rng.range_usize(1, 8);
         let mut body = vec![Instr::LaneId(0)];
         body.extend(instrs.iter().copied());
         body.push(Instr::Halt);
@@ -97,53 +100,67 @@ proptest! {
             seeded.extend(instrs.iter().copied());
             let expected = reference_regs(&seeded);
             #[allow(clippy::needless_range_loop)]
-        for r in 0..NUM_REGS {
-                prop_assert_eq!(
+            for r in 0..NUM_REGS {
+                assert_eq!(
                     machine.lane_reg(lane, r as u8),
                     expected[r],
-                    "lane {} r{}",
-                    lane,
-                    r
+                    "case {case} lane {lane} r{r}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn simd_emulation_on_every_imp_subtype_matches_reference(
-        a in prop::collection::vec(-500i64..500, 2..10),
-        code in 0u8..16,
-    ) {
+#[test]
+fn simd_emulation_on_every_imp_subtype_matches_reference() {
+    sweep_cases(0xA12, 96, |case, rng| {
+        let len = rng.range_usize(2, 10);
+        let a: Vec<Word> = (0..len).map(|_| rng.range_i64(-500, 500)).collect();
+        let code = rng.below(16) as u8;
         let b: Vec<Word> = a.iter().map(|x| 1000 - x).collect();
         let subtype = MultiSubtype::from_code(code).unwrap();
         let run = run_vector_add_multi(subtype, &a, &b).unwrap();
-        prop_assert_eq!(run.outputs, vector_add_reference(&a, &b));
-    }
+        assert_eq!(
+            run.outputs,
+            vector_add_reference(&a, &b),
+            "case {case} code {code}"
+        );
+    });
+}
 
-    #[test]
-    fn mimd_mix_matches_reference_for_any_shape(
-        cores in 2usize..6,
-        len in 1usize..8,
-        seed in 0i64..1000,
-    ) {
+#[test]
+fn mimd_mix_matches_reference_for_any_shape() {
+    sweep_cases(0xA13, 96, |case, rng| {
+        let cores = rng.range_usize(2, 6);
+        let len = rng.range_usize(1, 8);
+        let seed = rng.range_i64(0, 1000);
         let slices: Vec<Vec<Word>> = (0..cores)
-            .map(|c| (0..len).map(|i| seed + (c * len + i) as Word % 7 - 3).collect())
+            .map(|c| {
+                (0..len)
+                    .map(|i| seed + (c * len + i) as Word % 7 - 3)
+                    .collect()
+            })
             .collect();
         let run = run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &slices).unwrap();
-        prop_assert_eq!(run.outputs, mimd_mix_reference(&slices));
-    }
+        assert_eq!(run.outputs, mimd_mix_reference(&slices), "case {case}");
+    });
+}
 
-    #[test]
-    fn fir_machines_agree_with_the_reference(
-        taps in prop::collection::vec(-5i64..5, 1..5),
-        extra in prop::collection::vec(-20i64..20, 0..8),
-    ) {
+#[test]
+fn fir_machines_agree_with_the_reference() {
+    sweep_cases(0xA14, 96, |case, rng| {
+        let taps: Vec<Word> = (0..rng.range_usize(1, 5))
+            .map(|_| rng.range_i64(-5, 5))
+            .collect();
+        let extra: Vec<Word> = (0..rng.below_usize(8))
+            .map(|_| rng.range_i64(-20, 20))
+            .collect();
         let mut signal = taps.clone(); // ensure signal >= taps
         signal.extend(extra);
         let reference = fir_reference(&taps, &signal);
         let uni = run_fir_uni(&taps, &signal).unwrap();
-        prop_assert_eq!(&uni.outputs, &reference);
+        assert_eq!(&uni.outputs, &reference, "case {case} (uni)");
         let df = run_fir_dataflow(DataflowSubtype::IV, 4, &taps, &signal).unwrap();
-        prop_assert_eq!(&df.outputs, &reference);
-    }
+        assert_eq!(&df.outputs, &reference, "case {case} (dataflow)");
+    });
 }

@@ -109,7 +109,8 @@ impl ArchSpec {
             }
         }
         if matches!(self.ips, Count::One) && c.link(Relation::IpIp).is_connected() {
-            reasons.push("a single IP cannot be connected to itself (IP-IP needs n IPs)".to_owned());
+            reasons
+                .push("a single IP cannot be connected to itself (IP-IP needs n IPs)".to_owned());
         }
         if !matches!(self.ips, Count::Zero)
             && !matches!(self.dps, Count::Zero)
@@ -151,7 +152,10 @@ impl ArchSpec {
         if reasons.is_empty() {
             Ok(())
         } else {
-            Err(ModelError::Invalid { arch: self.name.clone(), reasons })
+            Err(ModelError::Invalid {
+                arch: self.name.clone(),
+                reasons,
+            })
         }
     }
 
@@ -218,7 +222,13 @@ impl ArchSpec {
 
 impl fmt::Display for ArchSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: [{}] {}", self.name, self.granularity, self.row_notation())
+        write!(
+            f,
+            "{}: [{}] {}",
+            self.name,
+            self.granularity,
+            self.row_notation()
+        )
     }
 }
 

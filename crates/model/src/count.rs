@@ -36,17 +36,26 @@ pub struct Many {
 impl Many {
     /// A plain, unresolved symbolic `n`.
     pub const fn symbolic() -> Self {
-        Many { coeff: 1, resolved: None }
+        Many {
+            coeff: 1,
+            resolved: None,
+        }
     }
 
     /// A symbolic count scaled by `coeff` (GARP's `24xn`).
     pub const fn scaled(coeff: u32) -> Self {
-        Many { coeff, resolved: None }
+        Many {
+            coeff,
+            resolved: None,
+        }
     }
 
     /// A concrete plural count (e.g. `64`).
     pub const fn resolved(value: u32) -> Self {
-        Many { coeff: 1, resolved: Some(value) }
+        Many {
+            coeff: 1,
+            resolved: Some(value),
+        }
     }
 
     /// The concrete number of blocks, if known.  A scaled symbolic count is
@@ -60,7 +69,10 @@ impl Many {
     pub fn substitute(&self, n: u32) -> Many {
         match self.resolved {
             Some(_) => *self,
-            None => Many { coeff: self.coeff, resolved: Some(self.coeff.saturating_mul(n)) },
+            None => Many {
+                coeff: self.coeff,
+                resolved: Some(self.coeff.saturating_mul(n)),
+            },
         }
     }
 }
@@ -210,9 +222,7 @@ impl FromStr for Count {
                     .or_else(|| s.strip_suffix("xN"))
                     .or_else(|| s.strip_suffix("Xn"))
                 {
-                    let c: u32 = coeff
-                        .parse()
-                        .map_err(|_| ModelError::count_parse(s))?;
+                    let c: u32 = coeff.parse().map_err(|_| ModelError::count_parse(s))?;
                     if c == 0 {
                         return Err(ModelError::count_parse(s));
                     }

@@ -52,7 +52,12 @@ impl fmt::Display for SpecDelta {
             SpecDelta::CountChanged { block, left, right } => {
                 write!(f, "{block}: {left} vs {right}")
             }
-            SpecDelta::LinkChanged { relation, left, right, upgrade } => write!(
+            SpecDelta::LinkChanged {
+                relation,
+                left,
+                right,
+                upgrade,
+            } => write!(
                 f,
                 "{}: {} vs {}{}",
                 relation.label(),
@@ -78,16 +83,30 @@ fn link_rank(link: Link) -> u8 {
 pub fn diff(left: &ArchSpec, right: &ArchSpec) -> Vec<SpecDelta> {
     let mut deltas = Vec::new();
     if left.granularity != right.granularity {
-        deltas.push(SpecDelta::Granularity { left: left.granularity, right: right.granularity });
+        deltas.push(SpecDelta::Granularity {
+            left: left.granularity,
+            right: right.granularity,
+        });
     }
     if left.ips != right.ips {
-        deltas.push(SpecDelta::CountChanged { block: "IPs", left: left.ips, right: right.ips });
+        deltas.push(SpecDelta::CountChanged {
+            block: "IPs",
+            left: left.ips,
+            right: right.ips,
+        });
     }
     if left.dps != right.dps {
-        deltas.push(SpecDelta::CountChanged { block: "DPs", left: left.dps, right: right.dps });
+        deltas.push(SpecDelta::CountChanged {
+            block: "DPs",
+            left: left.dps,
+            right: right.dps,
+        });
     }
     for relation in Relation::ALL {
-        let (l, r) = (left.connectivity.link(relation), right.connectivity.link(relation));
+        let (l, r) = (
+            left.connectivity.link(relation),
+            right.connectivity.link(relation),
+        );
         if l != r {
             deltas.push(SpecDelta::LinkChanged {
                 relation,
@@ -126,7 +145,9 @@ mod tests {
         let deltas = diff(&base, &upgraded);
         assert_eq!(deltas.len(), 1);
         match &deltas[0] {
-            SpecDelta::LinkChanged { relation, upgrade, .. } => {
+            SpecDelta::LinkChanged {
+                relation, upgrade, ..
+            } => {
                 assert_eq!(*relation, Relation::DpDm);
                 assert!(upgrade);
             }
@@ -134,7 +155,10 @@ mod tests {
         }
         // The reverse direction is a downgrade.
         let back = diff(&upgraded, &base);
-        assert!(matches!(back[0], SpecDelta::LinkChanged { upgrade: false, .. }));
+        assert!(matches!(
+            back[0],
+            SpecDelta::LinkChanged { upgrade: false, .. }
+        ));
     }
 
     #[test]
@@ -142,11 +166,17 @@ mod tests {
         let small = parse_row("s", "1 | 8 | none | 1-8 | 1-1 | 8-1 | 8x8").unwrap();
         let big = parse_row("b", "n | n | none | n-n | n-n | n-n | nxn").unwrap();
         let deltas = diff(&small, &big);
-        assert!(deltas.iter().any(|d| matches!(d, SpecDelta::CountChanged { block: "IPs", .. })));
-        assert!(deltas.iter().any(|d| matches!(d, SpecDelta::CountChanged { block: "DPs", .. })));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, SpecDelta::CountChanged { block: "IPs", .. })));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, SpecDelta::CountChanged { block: "DPs", .. })));
         let fpga = parse_row("f", "v | v | vxv | vxv | vxv | vxv | vxv").unwrap();
         let deltas = diff(&small, &fpga);
-        assert!(deltas.iter().any(|d| matches!(d, SpecDelta::Granularity { .. })));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, SpecDelta::Granularity { .. })));
     }
 
     #[test]

@@ -135,7 +135,10 @@ pub fn parse_blocks(input: &str) -> Result<Vec<ArchSpec>, ModelError> {
         };
     }
     if current.is_some() {
-        return Err(ModelError::dsl(input.lines().count(), "unterminated `arch` block"));
+        return Err(ModelError::dsl(
+            input.lines().count(),
+            "unterminated `arch` block",
+        ));
     }
     Ok(specs)
 }
@@ -148,7 +151,11 @@ pub fn print_block(spec: &ArchSpec) -> String {
     out.push_str(&format!("  ips: {}\n", spec.ips));
     out.push_str(&format!("  dps: {}\n", spec.dps));
     for (rel, link) in spec.connectivity.iter() {
-        out.push_str(&format!("  {}: {}\n", rel.label().to_ascii_lowercase(), link));
+        out.push_str(&format!(
+            "  {}: {}\n",
+            rel.label().to_ascii_lowercase(),
+            link
+        ));
     }
     if !spec.meta.citation.is_empty() {
         out.push_str(&format!("  citation: {}\n", spec.meta.citation));

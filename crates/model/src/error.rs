@@ -41,20 +41,29 @@ pub enum ModelError {
 
 impl ModelError {
     pub(crate) fn count_parse(token: &str) -> Self {
-        ModelError::CountParse { token: token.to_owned() }
+        ModelError::CountParse {
+            token: token.to_owned(),
+        }
     }
 
     pub(crate) fn switch_parse(token: &str) -> Self {
-        ModelError::SwitchParse { token: token.to_owned() }
+        ModelError::SwitchParse {
+            token: token.to_owned(),
+        }
     }
 
     pub(crate) fn granularity_parse(token: &str) -> Self {
-        ModelError::GranularityParse { token: token.to_owned() }
+        ModelError::GranularityParse {
+            token: token.to_owned(),
+        }
     }
 
     /// A DSL error at `line` with a message.
     pub fn dsl(line: usize, message: impl Into<String>) -> Self {
-        ModelError::Dsl { line, message: message.into() }
+        ModelError::Dsl {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -62,13 +71,19 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::CountParse { token } => {
-                write!(f, "cannot parse count {token:?} (expected 0, 1, n, v, an integer, or <int>xn)")
+                write!(
+                    f,
+                    "cannot parse count {token:?} (expected 0, 1, n, v, an integer, or <int>xn)"
+                )
             }
             ModelError::SwitchParse { token } => {
                 write!(f, "cannot parse switch {token:?} (expected `a-b` or `axb`)")
             }
             ModelError::GranularityParse { token } => {
-                write!(f, "cannot parse granularity {token:?} (expected IP/DP or LUTs)")
+                write!(
+                    f,
+                    "cannot parse granularity {token:?} (expected IP/DP or LUTs)"
+                )
             }
             ModelError::ZeroExtent => write!(f, "switch extent cannot be zero"),
             ModelError::Invalid { arch, reasons } => {

@@ -69,8 +69,14 @@ mod tests {
 
     #[test]
     fn parse_accepts_synonyms() {
-        assert_eq!("IP/DP".parse::<Granularity>().unwrap(), Granularity::CoarseIpDp);
-        assert_eq!("coarse".parse::<Granularity>().unwrap(), Granularity::CoarseIpDp);
+        assert_eq!(
+            "IP/DP".parse::<Granularity>().unwrap(),
+            Granularity::CoarseIpDp
+        );
+        assert_eq!(
+            "coarse".parse::<Granularity>().unwrap(),
+            Granularity::CoarseIpDp
+        );
         assert_eq!("LUTs".parse::<Granularity>().unwrap(), Granularity::FineLut);
         assert_eq!("fine".parse::<Granularity>().unwrap(), Granularity::FineLut);
         assert!("medium".parse::<Granularity>().is_err());

@@ -57,6 +57,7 @@ pub mod dsl;
 pub mod error;
 pub mod granularity;
 pub mod relation;
+pub mod rng;
 pub mod switch;
 
 pub use arch::{ArchBuilder, ArchMeta, ArchSpec, ValidationIssue};
@@ -65,6 +66,7 @@ pub use diff::{diff, structurally_equal, SpecDelta};
 pub use error::ModelError;
 pub use granularity::Granularity;
 pub use relation::{Connectivity, Relation};
+pub use rng::XorShift64;
 pub use switch::{Link, Switch, SwitchKind};
 
 /// Convenient glob-import surface: `use skilltax_model::prelude::*;`.

@@ -38,8 +38,7 @@ impl Relation {
 
     /// Relations that involve the instruction side (meaningless in a pure
     /// data-flow machine).
-    pub const INSTRUCTION_SIDE: [Relation; 3] =
-        [Relation::IpIp, Relation::IpDp, Relation::IpIm];
+    pub const INSTRUCTION_SIDE: [Relation; 3] = [Relation::IpIp, Relation::IpDp, Relation::IpIm];
 
     /// Relations that involve only the data side.
     pub const DATA_SIDE: [Relation; 2] = [Relation::DpDm, Relation::DpDp];
@@ -94,7 +93,9 @@ impl Connectivity {
     /// Build from explicit links in table-column order
     /// (IP-IP, IP-DP, IP-IM, DP-DM, DP-DP).
     pub fn new(ip_ip: Link, ip_dp: Link, ip_im: Link, dp_dm: Link, dp_dp: Link) -> Self {
-        Connectivity { links: [ip_ip, ip_dp, ip_im, dp_dm, dp_dp] }
+        Connectivity {
+            links: [ip_ip, ip_dp, ip_im, dp_dm, dp_dp],
+        }
     }
 
     /// Replace one relation's link, returning the updated connectivity

@@ -1,96 +1,132 @@
-//! Property tests for the description model: parse/print round-trips and
-//! structural invariants over generated values.
+//! Property-style tests for the description model: parse/print round-trips
+//! and structural invariants over generated values.
+//!
+//! These run as deterministic seeded sweeps (`sweep_cases`) instead of
+//! `proptest` so the workspace builds hermetically.
 
-use proptest::prelude::*;
-
+use skilltax_model::rng::{sweep_cases, XorShift64};
 use skilltax_model::{Count, Extent, Link, Switch, SwitchKind};
 
-/// Strategy: arbitrary count tokens in the paper's notation space.
-fn count_strategy() -> impl Strategy<Value = Count> {
-    prop_oneof![
-        Just(Count::Zero),
-        Just(Count::One),
-        Just(Count::n()),
-        Just(Count::Variable),
-        (2u32..10_000).prop_map(Count::fixed),
-        (1u32..100).prop_map(Count::scaled_n),
-    ]
+/// An arbitrary count token in the paper's notation space.
+fn arb_count(rng: &mut XorShift64) -> Count {
+    match rng.below(6) {
+        0 => Count::Zero,
+        1 => Count::One,
+        2 => Count::n(),
+        3 => Count::Variable,
+        4 => Count::fixed(rng.range_u64(2, 10_000) as u32),
+        _ => Count::scaled_n(rng.range_u64(1, 100) as u32),
+    }
 }
 
-fn extent_strategy() -> impl Strategy<Value = Extent> {
-    prop_oneof![
-        Just(Extent::one()),
-        Just(Extent::n()),
-        Just(Extent::variable()),
-        (1u32..10_000).prop_map(Extent::fixed),
-        (1u32..100).prop_map(Extent::scaled_n),
-    ]
+fn arb_extent(rng: &mut XorShift64) -> Extent {
+    match rng.below(5) {
+        0 => Extent::one(),
+        1 => Extent::n(),
+        2 => Extent::variable(),
+        3 => Extent::fixed(rng.range_u64(1, 10_000) as u32),
+        _ => Extent::scaled_n(rng.range_u64(1, 100) as u32),
+    }
 }
 
-fn switch_strategy() -> impl Strategy<Value = Switch> {
-    (
-        prop_oneof![Just(SwitchKind::Direct), Just(SwitchKind::Crossbar)],
-        extent_strategy(),
-        extent_strategy(),
-    )
-        .prop_map(|(kind, left, right)| Switch::new(kind, left, right))
+fn arb_switch(rng: &mut XorShift64) -> Switch {
+    let kind = if rng.chance(0.5) {
+        SwitchKind::Direct
+    } else {
+        SwitchKind::Crossbar
+    };
+    let left = arb_extent(rng);
+    let right = arb_extent(rng);
+    Switch::new(kind, left, right)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn count_display_parse_round_trip(count in count_strategy()) {
+#[test]
+fn count_display_parse_round_trip() {
+    sweep_cases(0xC0D0, 256, |case, rng| {
+        let count = arb_count(rng);
         let text = count.to_string();
         let parsed: Count = text.parse().unwrap();
-        prop_assert_eq!(parsed, count);
-    }
+        assert_eq!(parsed, count, "case {case}: {text}");
+    });
+}
 
-    #[test]
-    fn switch_display_parse_round_trip(switch in switch_strategy()) {
+#[test]
+fn switch_display_parse_round_trip() {
+    sweep_cases(0xC0D1, 256, |case, rng| {
+        let switch = arb_switch(rng);
         let text = switch.to_string();
         let parsed: Switch = text.parse().unwrap();
-        prop_assert_eq!(parsed, switch);
-    }
+        assert_eq!(parsed, switch, "case {case}: {text}");
+    });
+}
 
-    #[test]
-    fn link_display_parse_round_trip(switch in switch_strategy()) {
+#[test]
+fn link_display_parse_round_trip() {
+    sweep_cases(0xC0D2, 256, |case, rng| {
+        let switch = arb_switch(rng);
         for link in [Link::None, Link::Connected(switch)] {
             let text = link.to_string();
             let parsed: Link = text.parse().unwrap();
-            prop_assert_eq!(parsed, link);
+            assert_eq!(parsed, link, "case {case}: {text}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_rank_is_total_and_stable(a in count_strategy(), b in count_strategy()) {
+#[test]
+fn count_rank_is_total_and_stable() {
+    sweep_cases(0xC0D3, 256, |case, rng| {
+        let a = arb_count(rng);
+        let b = arb_count(rng);
         // partial_cmp is actually total on the rank.
-        prop_assert!(a.partial_cmp(&b).is_some());
+        assert!(a.partial_cmp(&b).is_some(), "case {case}");
         if a.rank() == b.rank() {
-            prop_assert_eq!(a.partial_cmp(&b), Some(std::cmp::Ordering::Equal));
+            assert_eq!(
+                a.partial_cmp(&b),
+                Some(std::cmp::Ordering::Equal),
+                "case {case}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn substitution_scales_by_coefficient(coeff in 1u32..100, n in 1u32..1000) {
+#[test]
+fn substitution_scales_by_coefficient() {
+    sweep_cases(0xC0D4, 256, |case, rng| {
+        let coeff = rng.range_u64(1, 100) as u32;
+        let n = rng.range_u64(1, 1000) as u32;
         let count = Count::scaled_n(coeff);
-        prop_assert_eq!(count.value_with_n(n), Some(coeff * n));
+        assert_eq!(count.value_with_n(n), Some(coeff * n), "case {case}");
         // Substitution never changes an already-resolved count.
         let fixed = Count::fixed(coeff.max(2));
-        prop_assert_eq!(fixed.value_with_n(n), fixed.value());
-    }
+        assert_eq!(fixed.value_with_n(n), fixed.value(), "case {case}");
+    });
+}
 
-    #[test]
-    fn crosspoints_are_products(l in 1u32..1000, r in 1u32..1000) {
+#[test]
+fn crosspoints_are_products() {
+    sweep_cases(0xC0D5, 256, |case, rng| {
+        let l = rng.range_u64(1, 1000) as u32;
+        let r = rng.range_u64(1, 1000) as u32;
         let sw = Switch::new(SwitchKind::Crossbar, Extent::fixed(l), Extent::fixed(r));
-        prop_assert_eq!(sw.crosspoints(), Some(u64::from(l) * u64::from(r)));
+        assert_eq!(
+            sw.crosspoints(),
+            Some(u64::from(l) * u64::from(r)),
+            "case {case}"
+        );
         let sym = Switch::new(SwitchKind::Crossbar, Extent::n(), Extent::fixed(r));
-        prop_assert_eq!(sym.crosspoints(), None);
-        prop_assert_eq!(sym.crosspoints_with_n(l), Some(u64::from(l) * u64::from(r)));
-    }
+        assert_eq!(sym.crosspoints(), None, "case {case}");
+        assert_eq!(
+            sym.crosspoints_with_n(l),
+            Some(u64::from(l) * u64::from(r)),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn plural_iff_rank_at_least_two(count in count_strategy()) {
-        prop_assert_eq!(count.is_plural(), count.rank() >= 2);
-    }
+#[test]
+fn plural_iff_rank_at_least_two() {
+    sweep_cases(0xC0D6, 256, |case, rng| {
+        let count = arb_count(rng);
+        assert_eq!(count.is_plural(), count.rank() >= 2, "case {case}: {count}");
+    });
 }

@@ -13,8 +13,16 @@ pub struct Bar {
 
 /// Render a horizontal ASCII bar chart (Fig 7 style).
 pub fn ascii_bar_chart(title: &str, bars: &[Bar], width: usize) -> String {
-    let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(1e-12);
-    let label_width = bars.iter().map(|b| b.label.chars().count()).max().unwrap_or(0);
+    let max = bars
+        .iter()
+        .map(|b| b.value)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_width = bars
+        .iter()
+        .map(|b| b.label.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = format!("{title}\n");
     for bar in bars {
         let filled = ((bar.value / max) * width as f64).round() as usize;
@@ -55,7 +63,11 @@ pub fn ascii_trend_chart(title: &str, series: &[Series]) -> String {
         .flat_map(|s| s.points.iter().map(|p| p.1))
         .fold(0.0f64, f64::max)
         .max(1e-12);
-    let label_width = series.iter().map(|s| s.label.chars().count()).max().unwrap_or(0);
+    let label_width = series
+        .iter()
+        .map(|s| s.label.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = format!("{title}  (peak = {})\n", format_value(max));
     for s in series {
         let mut row = String::new();
@@ -79,7 +91,11 @@ pub struct Svg {
 impl Svg {
     /// An empty canvas.
     pub fn new(width: u32, height: u32) -> Svg {
-        Svg { width, height, body: String::new() }
+        Svg {
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     /// A filled rectangle.
@@ -92,8 +108,10 @@ impl Svg {
 
     /// A polyline through the given points.
     pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str) -> &mut Self {
-        let pts: Vec<String> =
-            points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
         self.body.push_str(&format!(
             "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"2\"/>",
             pts.join(" ")
@@ -103,7 +121,10 @@ impl Svg {
 
     /// A text label.
     pub fn text(&mut self, x: f64, y: f64, content: &str) -> &mut Self {
-        let escaped = content.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
         self.body.push_str(&format!(
             "<text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"11\" font-family=\"sans-serif\">{escaped}</text>"
         ));
@@ -120,8 +141,9 @@ impl Svg {
 }
 
 /// Default categorical palette for multi-series charts.
-pub const PALETTE: [&str; 6] =
-    ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2"];
+pub const PALETTE: [&str; 6] = [
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2",
+];
 
 /// Emit an SVG bar chart (Fig 7).
 pub fn svg_bar_chart(title: &str, bars: &[Bar]) -> String {
@@ -130,7 +152,11 @@ pub fn svg_bar_chart(title: &str, bars: &[Bar]) -> String {
     let gap = 6.0;
     let label_w = 160.0;
     let height = (40.0 + bars.len() as f64 * (bar_h + gap)) as u32;
-    let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(1e-12);
+    let max = bars
+        .iter()
+        .map(|b| b.value)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let mut svg = Svg::new(width, height);
     svg.text(8.0, 18.0, title);
     for (i, bar) in bars.iter().enumerate() {
@@ -149,8 +175,14 @@ pub fn svg_line_chart(title: &str, series: &[Series]) -> String {
     let (left, right, top, bottom) = (60.0, 150.0, 30.0, 30.0);
     let plot_w = f64::from(width) - left - right;
     let plot_h = f64::from(height) - top - bottom;
-    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
     let (xmin, xmax) = (
         xs.iter().copied().fold(f64::INFINITY, f64::min),
         xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -170,11 +202,25 @@ pub fn svg_line_chart(title: &str, series: &[Series]) -> String {
             })
             .collect();
         svg.polyline(&pts, color);
-        svg.rect(f64::from(width) - right + 10.0, top + i as f64 * 18.0, 10.0, 10.0, color);
-        svg.text(f64::from(width) - right + 26.0, top + i as f64 * 18.0 + 9.0, &s.label);
+        svg.rect(
+            f64::from(width) - right + 10.0,
+            top + i as f64 * 18.0,
+            10.0,
+            10.0,
+            color,
+        );
+        svg.text(
+            f64::from(width) - right + 26.0,
+            top + i as f64 * 18.0 + 9.0,
+            &s.label,
+        );
     }
     svg.text(left, f64::from(height) - 8.0, &format!("{xmin:.0}"));
-    svg.text(left + plot_w - 30.0, f64::from(height) - 8.0, &format!("{xmax:.0}"));
+    svg.text(
+        left + plot_w - 30.0,
+        f64::from(height) - 8.0,
+        &format!("{xmax:.0}"),
+    );
     svg.finish()
 }
 
@@ -184,9 +230,18 @@ mod tests {
 
     fn bars() -> Vec<Bar> {
         vec![
-            Bar { label: "FPGA".into(), value: 8.0 },
-            Bar { label: "Matrix".into(), value: 7.0 },
-            Bar { label: "IUP".into(), value: 0.0 },
+            Bar {
+                label: "FPGA".into(),
+                value: 8.0,
+            },
+            Bar {
+                label: "Matrix".into(),
+                value: 7.0,
+            },
+            Bar {
+                label: "IUP".into(),
+                value: 0.0,
+            },
         ]
     }
 
@@ -205,8 +260,14 @@ mod tests {
     #[test]
     fn trend_chart_has_one_row_per_series() {
         let s = vec![
-            Series { label: "multicore".into(), points: vec![(1995.0, 1.0), (2010.0, 100.0)] },
-            Series { label: "fpga".into(), points: vec![(1995.0, 50.0), (2010.0, 80.0)] },
+            Series {
+                label: "multicore".into(),
+                points: vec![(1995.0, 1.0), (2010.0, 100.0)],
+            },
+            Series {
+                label: "fpga".into(),
+                points: vec![(1995.0, 50.0), (2010.0, 80.0)],
+            },
         ];
         let text = ascii_trend_chart("Fig 1", &s);
         assert_eq!(text.lines().count(), 3);
@@ -224,7 +285,10 @@ mod tests {
         assert_eq!(svg.matches("<rect").count(), 3);
         let line = svg_line_chart(
             "Fig 1",
-            &[Series { label: "a<b".into(), points: vec![(0.0, 1.0), (1.0, 2.0)] }],
+            &[Series {
+                label: "a<b".into(),
+                points: vec![(0.0, 1.0), (1.0, 2.0)],
+            }],
         );
         assert!(line.contains("polyline"));
         assert!(line.contains("a&lt;b"), "text must be escaped");
@@ -232,7 +296,10 @@ mod tests {
 
     #[test]
     fn zero_height_values_do_not_divide_by_zero() {
-        let flat = vec![Bar { label: "x".into(), value: 0.0 }];
+        let flat = vec![Bar {
+            label: "x".into(),
+            value: 0.0,
+        }];
         let text = ascii_bar_chart("t", &flat, 10);
         assert!(text.contains("x |"));
         let _ = svg_bar_chart("t", &flat);

@@ -36,7 +36,12 @@ impl CsvWriter {
     /// Panics if a header was written and the column count differs.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
         if let Some(n) = self.columns {
-            assert_eq!(cells.len(), n, "CSV row has {} cells, header has {n}", cells.len());
+            assert_eq!(
+                cells.len(),
+                n,
+                "CSV row has {} cells, header has {n}",
+                cells.len()
+            );
         }
         self.push_line(cells);
         self
@@ -107,7 +112,9 @@ mod tests {
     #[test]
     fn plain_round_trip() {
         let mut w = CsvWriter::new();
-        w.header(&["name", "flex"]).row(&["FPGA", "8"]).row(&["Matrix", "7"]);
+        w.header(&["name", "flex"])
+            .row(&["FPGA", "8"])
+            .row(&["Matrix", "7"]);
         let text = w.finish();
         assert_eq!(
             parse(&text),

@@ -41,7 +41,11 @@ fn relation_line(spec: &ArchSpec, relation: Relation) -> Option<String> {
     match spec.connectivity.link(relation) {
         Link::None => None,
         Link::Connected(sw) => {
-            let kind = if sw.is_crossbar() { "crossbar" } else { "direct" };
+            let kind = if sw.is_crossbar() {
+                "crossbar"
+            } else {
+                "direct"
+            };
             Some(format!("   {}: {} ({})", relation.label(), sw, kind))
         }
     }

@@ -38,12 +38,20 @@ fn quote(s: &str) -> String {
 impl DotGraph {
     /// An empty digraph with the given name.
     pub fn new(name: impl Into<String>) -> DotGraph {
-        DotGraph { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+        DotGraph {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Add a node (id must be unique; enforced at emission).
     pub fn node(&mut self, id: impl Into<String>, label: impl Into<String>) -> &mut Self {
-        self.nodes.push(DotNode { id: id.into(), label: label.into(), fill: None });
+        self.nodes.push(DotNode {
+            id: id.into(),
+            label: label.into(),
+            fill: None,
+        });
         self
     }
 
@@ -54,13 +62,21 @@ impl DotGraph {
         label: impl Into<String>,
         fill: impl Into<String>,
     ) -> &mut Self {
-        self.nodes.push(DotNode { id: id.into(), label: label.into(), fill: Some(fill.into()) });
+        self.nodes.push(DotNode {
+            id: id.into(),
+            label: label.into(),
+            fill: Some(fill.into()),
+        });
         self
     }
 
     /// Add an edge.
     pub fn edge(&mut self, from: impl Into<String>, to: impl Into<String>) -> &mut Self {
-        self.edges.push(DotEdge { from: from.into(), to: to.into(), label: None });
+        self.edges.push(DotEdge {
+            from: from.into(),
+            to: to.into(),
+            label: None,
+        });
         self
     }
 
@@ -85,7 +101,11 @@ impl DotGraph {
             assert!(seen.insert(&n.id), "duplicate DOT node id {:?}", n.id);
         }
         for e in &self.edges {
-            assert!(seen.contains(&e.from), "edge from unknown node {:?}", e.from);
+            assert!(
+                seen.contains(&e.from),
+                "edge from unknown node {:?}",
+                e.from
+            );
             assert!(seen.contains(&e.to), "edge to unknown node {:?}", e.to);
         }
         let mut out = format!("digraph {} {{\n", quote(&self.name));
@@ -124,10 +144,7 @@ impl DotGraph {
 /// Reduce a partial order (given as the full `leq` relation over `items`)
 /// to its Hasse covering edges: `a -> b` survives iff `a < b` with no `c`
 /// strictly between.
-pub fn hasse_edges<T: PartialEq + Copy>(
-    items: &[T],
-    leq: impl Fn(T, T) -> bool,
-) -> Vec<(T, T)> {
+pub fn hasse_edges<T: PartialEq + Copy>(items: &[T], leq: impl Fn(T, T) -> bool) -> Vec<(T, T)> {
     let lt = |a: T, b: T| a != b && leq(a, b);
     let mut edges = Vec::new();
     for &a in items {
@@ -151,7 +168,9 @@ mod tests {
     #[test]
     fn emits_well_formed_dot() {
         let mut g = DotGraph::new("test");
-        g.node("a", "Alpha").filled_node("b", "Beta \"quoted\"", "lightblue").edge("a", "b");
+        g.node("a", "Alpha")
+            .filled_node("b", "Beta \"quoted\"", "lightblue")
+            .edge("a", "b");
         let text = g.emit();
         assert!(text.starts_with("digraph \"test\" {"));
         assert!(text.contains("\"a\" [label=\"Alpha\"];"));

@@ -2,8 +2,9 @@
 //!
 //! Output rendering for the regenerated paper artifacts: boxed ASCII and
 //! markdown tables ([`table`]), RFC-4180 CSV ([`csv`]), ASCII/SVG bar and
-//! trend charts ([`chart`], for Fig 1 and Fig 7), and architecture block
-//! diagrams ([`mod@diagram`], for Figs 3–6).
+//! trend charts ([`chart`], for Fig 1 and Fig 7), architecture block
+//! diagrams ([`mod@diagram`], for Figs 3–6), and the fault-injection
+//! degradation matrix ([`resilience`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -13,6 +14,7 @@ pub mod csv;
 pub mod diagram;
 pub mod dot;
 pub mod json;
+pub mod resilience;
 pub mod table;
 
 pub use chart::{ascii_bar_chart, ascii_trend_chart, svg_bar_chart, svg_line_chart, Bar, Series};
@@ -20,4 +22,5 @@ pub use csv::CsvWriter;
 pub use diagram::{diagram, figure};
 pub use dot::{hasse_edges, DotGraph};
 pub use json::Json;
+pub use resilience::{resilience_csv, resilience_table, ResilienceEntry};
 pub use table::{Align, Table};

@@ -1,0 +1,147 @@
+//! Rendering for fault-injection campaign results: the per-class
+//! degradation matrix behind the resilience experiments.
+//!
+//! The machine crate sits above the report crate, so the renderer takes a
+//! plain [`ResilienceEntry`] per `(class, fault scenario)` cell; callers
+//! map their typed run outcomes into entries.
+
+use crate::csv::CsvWriter;
+use crate::table::{Align, Table};
+
+/// One row of a resilience campaign: how a machine class behaved under an
+/// injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceEntry {
+    /// Taxonomy class name (e.g. `IMP-IX`).
+    pub class_name: String,
+    /// The switch that decides the outcome (e.g. `IP-DP crossbar`).
+    pub deciding_switch: String,
+    /// Number of faults injected during the run.
+    pub faults_injected: u64,
+    /// Did the workload complete (possibly degraded)?
+    pub completed: bool,
+    /// Did it complete in degraded mode?
+    pub degraded: bool,
+    /// The typed error, if the run failed.
+    pub error: Option<String>,
+}
+
+impl ResilienceEntry {
+    /// The single-word verdict used in the tables.
+    pub fn verdict(&self) -> &'static str {
+        match (self.completed, self.degraded) {
+            (true, true) => "degraded",
+            (true, false) => "completed",
+            (false, _) => "failed",
+        }
+    }
+}
+
+/// Render entries as a boxed [`Table`] (ready for `render_ascii` or
+/// `render_markdown`).
+pub fn resilience_table(entries: &[ResilienceEntry]) -> Table {
+    let mut table = Table::new(vec![
+        "class",
+        "deciding switch",
+        "faults",
+        "verdict",
+        "error",
+    ])
+    .with_title("Resilience under injected faults")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+        Align::Left,
+    ]);
+    for e in entries {
+        table.push_row(vec![
+            e.class_name.clone(),
+            e.deciding_switch.clone(),
+            e.faults_injected.to_string(),
+            e.verdict().to_owned(),
+            e.error.clone().unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+/// Render entries as CSV.
+pub fn resilience_csv(entries: &[ResilienceEntry]) -> String {
+    let mut w = CsvWriter::new();
+    w.header(&[
+        "class",
+        "deciding_switch",
+        "faults_injected",
+        "verdict",
+        "error",
+    ]);
+    for e in entries {
+        w.row(&[
+            e.class_name.as_str(),
+            e.deciding_switch.as_str(),
+            &e.faults_injected.to_string(),
+            e.verdict(),
+            e.error.as_deref().unwrap_or(""),
+        ]);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<ResilienceEntry> {
+        vec![
+            ResilienceEntry {
+                class_name: "IMP-IX".into(),
+                deciding_switch: "IP-DP crossbar".into(),
+                faults_injected: 3,
+                completed: true,
+                degraded: true,
+                error: None,
+            },
+            ResilienceEntry {
+                class_name: "IAP-I".into(),
+                deciding_switch: "DP-DM direct".into(),
+                faults_injected: 1,
+                completed: false,
+                degraded: false,
+                error: Some("degradation impossible".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn verdicts_reflect_completion_and_degradation() {
+        let e = entries();
+        assert_eq!(e[0].verdict(), "degraded");
+        assert_eq!(e[1].verdict(), "failed");
+        let clean = ResilienceEntry {
+            completed: true,
+            degraded: false,
+            ..e[0].clone()
+        };
+        assert_eq!(clean.verdict(), "completed");
+    }
+
+    #[test]
+    fn table_renders_every_entry() {
+        let text = resilience_table(&entries()).render_ascii();
+        assert!(text.contains("IMP-IX"));
+        assert!(text.contains("degraded"));
+        assert!(text.contains("IAP-I"));
+        assert!(text.contains("degradation impossible"));
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let csv = resilience_csv(&entries());
+        let parsed = crate::csv::parse(&csv);
+        assert_eq!(parsed.len(), 3); // header + 2 rows
+        assert_eq!(parsed[1][0], "IMP-IX");
+        assert_eq!(parsed[2][3], "failed");
+    }
+}

@@ -26,7 +26,12 @@ impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         let aligns = vec![Align::Left; headers.len()];
-        Table { headers, aligns, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Set a caption printed above the table.
@@ -158,8 +163,11 @@ mod tests {
         assert!(text.contains("| FPGA   |    8 |"));
         assert!(text.contains("| Matrix |    7 |"));
         // All separator lines have the same width.
-        let widths: Vec<usize> =
-            text.lines().filter(|l| l.starts_with('+')).map(|l| l.len()).collect();
+        let widths: Vec<usize> = text
+            .lines()
+            .filter(|l| l.starts_with('+'))
+            .map(|l| l.len())
+            .collect();
         assert_eq!(widths.len(), 3);
         assert!(widths.windows(2).all(|w| w[0] == w[1]));
     }

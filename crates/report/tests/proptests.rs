@@ -1,21 +1,50 @@
-//! Property tests for the renderers: CSV round-trips on arbitrary cell
-//! content and structural invariants of the table/chart output.
+//! Property-style tests for the renderers: CSV round-trips on arbitrary
+//! cell content and structural invariants of the table/chart output.
+//!
+//! These run as deterministic seeded sweeps (`sweep_cases`) instead of
+//! `proptest` so the workspace builds hermetically.
 
-use proptest::prelude::*;
-
+use skilltax_model::rng::{sweep_cases, XorShift64};
 use skilltax_report::csv::{escape_field, parse, CsvWriter};
 use skilltax_report::{ascii_bar_chart, svg_bar_chart, Align, Bar, Table};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A string of up to `max_len` characters that stresses the CSV escaper:
+/// letters plus commas, quotes, newlines and other punctuation.
+fn tricky_string(rng: &mut XorShift64, max_len: usize) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', ',', '"', '\'', '\n', '\r', '\t', ';', '|', '-',
+        '.', 'é', '→',
+    ];
+    let len = rng.below_usize(max_len + 1);
+    (0..len).map(|_| *rng.pick(ALPHABET)).collect()
+}
 
-    #[test]
-    fn csv_round_trips_arbitrary_cells(
-        rows in prop::collection::vec(
-            prop::collection::vec(".{0,24}", 1..5),
-            1..8,
-        )
-    ) {
+/// A printable-ASCII string of up to `max_len` characters.
+fn printable_string(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.below_usize(max_len + 1);
+    (0..len)
+        .map(|_| (rng.range_u64(0x20, 0x7F) as u8) as char)
+        .collect()
+}
+
+/// A non-empty alphabetic identifier.
+fn word(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.range_usize(1, max_len + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
+
+#[test]
+fn csv_round_trips_arbitrary_cells() {
+    sweep_cases(0x3E0, 256, |case, rng| {
+        let rows: Vec<Vec<String>> = (0..rng.range_usize(1, 8))
+            .map(|_| {
+                (0..rng.range_usize(1, 5))
+                    .map(|_| tricky_string(rng, 24))
+                    .collect()
+            })
+            .collect();
         // Normalise: writer requires rectangular rows if a header is set,
         // so pad to the widest row.
         let width = rows.iter().map(Vec::len).max().unwrap();
@@ -31,32 +60,37 @@ proptest! {
             w.row(row);
         }
         let parsed = parse(&w.finish());
-        prop_assert_eq!(parsed.len(), rows.len());
+        assert_eq!(parsed.len(), rows.len(), "case {case}");
         for (got, want) in parsed.iter().zip(&rows) {
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn escaped_fields_never_break_row_structure(field in ".{0,40}") {
+#[test]
+fn escaped_fields_never_break_row_structure() {
+    sweep_cases(0x3E1, 256, |case, rng| {
+        let field = tricky_string(rng, 40);
         let escaped = escape_field(&field);
         let line = format!("{escaped},{escaped}\r\n");
         let parsed = parse(&line);
-        prop_assert_eq!(parsed.len(), 1);
-        prop_assert_eq!(parsed[0].len(), 2);
-        prop_assert_eq!(&parsed[0][0], &field);
-    }
+        assert_eq!(parsed.len(), 1, "case {case}: {field:?}");
+        assert_eq!(parsed[0].len(), 2, "case {case}: {field:?}");
+        assert_eq!(&parsed[0][0], &field, "case {case}");
+    });
+}
 
-    #[test]
-    fn ascii_tables_have_rectangular_output(
-        headers in prop::collection::vec("[a-zA-Z]{1,10}", 1..5),
-        rows in prop::collection::vec(prop::collection::vec("[ -~]{0,12}", 1..5), 0..6),
-        width_align in 0usize..3,
-    ) {
+#[test]
+fn ascii_tables_have_rectangular_output() {
+    sweep_cases(0x3E2, 256, |case, rng| {
+        let headers: Vec<String> = (0..rng.range_usize(1, 5)).map(|_| word(rng, 10)).collect();
         let n = headers.len();
-        let align = [Align::Left, Align::Right, Align::Center][width_align];
+        let align = *rng.pick(&[Align::Left, Align::Right, Align::Center]);
         let mut table = Table::new(headers).with_aligns(vec![align; n]);
-        for row in rows {
+        for _ in 0..rng.below_usize(6) {
+            let row: Vec<String> = (0..rng.range_usize(1, 5))
+                .map(|_| printable_string(rng, 12))
+                .collect();
             table.push_row(row);
         }
         let text = table.render_ascii();
@@ -64,29 +98,36 @@ proptest! {
         // All lines equally wide, framed by +...+ separators.
         let width = lines[0].len();
         for line in &lines {
-            prop_assert_eq!(line.len(), width, "{}", text);
+            assert_eq!(line.len(), width, "case {case}:\n{text}");
         }
-        prop_assert!(lines[0].starts_with('+') && lines[0].ends_with('+'));
-        prop_assert!(lines.last().unwrap().starts_with('+'));
-    }
+        assert!(
+            lines[0].starts_with('+') && lines[0].ends_with('+'),
+            "case {case}"
+        );
+        assert!(lines.last().unwrap().starts_with('+'), "case {case}");
+    });
+}
 
-    #[test]
-    fn bar_charts_never_overflow_their_width(
-        values in prop::collection::vec(0.0f64..1e6, 1..10),
-        width in 5usize..60,
-    ) {
-        let bars: Vec<Bar> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| Bar { label: format!("b{i}"), value: v })
+#[test]
+fn bar_charts_never_overflow_their_width() {
+    sweep_cases(0x3E3, 256, |case, rng| {
+        let bars: Vec<Bar> = (0..rng.range_usize(1, 10))
+            .map(|i| Bar {
+                label: format!("b{i}"),
+                value: rng.range_f64(0.0, 1e6),
+            })
             .collect();
+        let width = rng.range_usize(5, 60);
         let text = ascii_bar_chart("t", &bars, width);
         for line in text.lines().skip(1) {
-            prop_assert!(line.matches('#').count() <= width, "{line}");
+            assert!(line.matches('#').count() <= width, "case {case}: {line}");
         }
         // SVG emitter stays well-formed on the same data.
         let svg = svg_bar_chart("t", &bars);
-        prop_assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
-        prop_assert_eq!(svg.matches("<rect").count(), bars.len());
-    }
+        assert!(
+            svg.starts_with("<svg") && svg.ends_with("</svg>"),
+            "case {case}"
+        );
+        assert_eq!(svg.matches("<rect").count(), bars.len(), "case {case}");
+    });
 }

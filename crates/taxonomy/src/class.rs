@@ -174,8 +174,7 @@ impl Taxonomy {
             granularity: Granularity::CoarseIpDp,
             ips: Count::Zero,
             dps: Count::One,
-            connectivity: Connectivity::none()
-                .with(Relation::DpDm, Link::direct_between(1, 1)),
+            connectivity: Connectivity::none().with(Relation::DpDm, Link::direct_between(1, 1)),
             designation: named(MachineType::DataFlow, ProcessingType::Uni, SubType::NONE),
             section: "Data Flow Machines -> Single Processor",
         });
@@ -211,7 +210,11 @@ impl Taxonomy {
                 .with(Relation::IpDp, Link::direct_between(1, 1))
                 .with(Relation::IpIm, Link::direct_between(1, 1))
                 .with(Relation::DpDm, Link::direct_between(1, 1)),
-            designation: named(MachineType::InstructionFlow, ProcessingType::Uni, SubType::NONE),
+            designation: named(
+                MachineType::InstructionFlow,
+                ProcessingType::Uni,
+                SubType::NONE,
+            ),
             section: "Instruction Flow -> Single Processor",
         });
 
@@ -278,7 +281,11 @@ impl Taxonomy {
                         .with(Relation::DpDp, none_or_x(dp_dp_x)),
                     designation: named(
                         MachineType::InstructionFlow,
-                        if spatial { ProcessingType::Spatial } else { ProcessingType::Multi },
+                        if spatial {
+                            ProcessingType::Spatial
+                        } else {
+                            ProcessingType::Multi
+                        },
                         SubType::from_code(code),
                     ),
                     section: "Instruction Flow -> Multi Processor",
@@ -299,7 +306,11 @@ impl Taxonomy {
                 Link::crossbar_v_v(),
                 Link::crossbar_v_v(),
             ),
-            designation: named(MachineType::UniversalFlow, ProcessingType::Spatial, SubType::NONE),
+            designation: named(
+                MachineType::UniversalFlow,
+                ProcessingType::Spatial,
+                SubType::NONE,
+            ),
             section: "Universal Flow Machine -> Spatial Computing",
         });
 
@@ -363,13 +374,19 @@ mod tests {
     fn spot_check_rows_against_paper() {
         let t = Taxonomy::extended();
         // Row 1: DUP — 0 | 1 | none | none | none | 1-1 | none.
-        assert_eq!(t.by_serial(1).unwrap().row_notation(), "0 | 1 | none | none | none | 1-1 | none");
+        assert_eq!(
+            t.by_serial(1).unwrap().row_notation(),
+            "0 | 1 | none | none | none | 1-1 | none"
+        );
         // Row 3: DMP-II — 0 | n | none | none | none | n-n | nxn.
         let r3 = t.by_serial(3).unwrap();
         assert_eq!(r3.designation.to_string(), "DMP-II");
         assert_eq!(r3.row_notation(), "0 | n | none | none | none | n-n | nxn");
         // Row 6: IUP.
-        assert_eq!(t.by_serial(6).unwrap().row_notation(), "1 | 1 | none | 1-1 | 1-1 | 1-1 | none");
+        assert_eq!(
+            t.by_serial(6).unwrap().row_notation(),
+            "1 | 1 | none | 1-1 | 1-1 | 1-1 | none"
+        );
         // Row 10: IAP-IV — 1 | n | none | 1-n | 1-1 | nxn | nxn.
         let r10 = t.by_serial(10).unwrap();
         assert_eq!(r10.designation.to_string(), "IAP-IV");
@@ -452,7 +469,12 @@ mod tests {
             let isp = t.by_serial(31 + code).unwrap();
             assert_eq!(imp.connectivity.link(Relation::IpIp), Link::None);
             assert_eq!(isp.connectivity.link(Relation::IpIp), Link::crossbar_n_n());
-            for r in [Relation::IpDp, Relation::IpIm, Relation::DpDm, Relation::DpDp] {
+            for r in [
+                Relation::IpDp,
+                Relation::IpIm,
+                Relation::DpDm,
+                Relation::DpDp,
+            ] {
                 assert_eq!(imp.connectivity.link(r), isp.connectivity.link(r));
             }
         }

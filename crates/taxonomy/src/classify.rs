@@ -100,7 +100,11 @@ pub fn classify(spec: &ArchSpec) -> Result<Classification, TaxonomyError> {
         match class.designation {
             Designation::Named(name) => {
                 trace.push(format!("matched Table I class {serial} => {name}"));
-                Ok(Classification { serial, name, trace })
+                Ok(Classification {
+                    serial,
+                    name,
+                    trace,
+                })
             }
             Designation::NotImplementable => Err(TaxonomyError::NotImplementable {
                 serial,

@@ -115,23 +115,38 @@ impl fmt::Display for NameComparison {
             "  machine type:    {} / {} ({})",
             self.a.machine,
             self.b.machine,
-            if self.same_machine { "same" } else { "different" }
+            if self.same_machine {
+                "same"
+            } else {
+                "different"
+            }
         )?;
         writeln!(
             f,
             "  processing type: {} / {} ({})",
             self.a.processing,
             self.b.processing,
-            if self.same_processing { "same" } else { "different" }
+            if self.same_processing {
+                "same"
+            } else {
+                "different"
+            }
         )?;
         let fmt_rels = |rels: &[Relation]| -> String {
             if rels.is_empty() {
                 "none".to_owned()
             } else {
-                rels.iter().map(|r| r.label()).collect::<Vec<_>>().join(", ")
+                rels.iter()
+                    .map(|r| r.label())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             }
         };
-        writeln!(f, "  shared crossbars: {}", fmt_rels(&self.shared_crossbars))?;
+        writeln!(
+            f,
+            "  shared crossbars: {}",
+            fmt_rels(&self.shared_crossbars)
+        )?;
         if !self.only_in_a.is_empty() {
             writeln!(f, "  only {}: {}", self.a, fmt_rels(&self.only_in_a))?;
         }
@@ -174,16 +189,15 @@ mod tests {
         assert_eq!(crossbar_relations_of(&name("IMP-I")), vec![]);
         assert_eq!(
             crossbar_relations_of(&name("IMP-XVI")),
-            vec![Relation::IpDp, Relation::IpIm, Relation::DpDm, Relation::DpDp]
+            vec![
+                Relation::IpDp,
+                Relation::IpIm,
+                Relation::DpDm,
+                Relation::DpDp
+            ]
         );
-        assert_eq!(
-            crossbar_relations_of(&name("ISP-I")),
-            vec![Relation::IpIp]
-        );
-        assert_eq!(
-            crossbar_relations_of(&name("IAP-II")),
-            vec![Relation::DpDp]
-        );
+        assert_eq!(crossbar_relations_of(&name("ISP-I")), vec![Relation::IpIp]);
+        assert_eq!(crossbar_relations_of(&name("IAP-II")), vec![Relation::DpDp]);
         assert_eq!(
             crossbar_relations_of(&name("DMP-III")),
             vec![Relation::DpDm]

@@ -39,15 +39,22 @@ pub enum TaxonomyError {
 
 impl TaxonomyError {
     pub(crate) fn roman_parse(token: &str) -> Self {
-        TaxonomyError::RomanParse { token: token.to_owned() }
+        TaxonomyError::RomanParse {
+            token: token.to_owned(),
+        }
     }
 
     pub(crate) fn name_parse(token: &str, reason: impl Into<String>) -> Self {
-        TaxonomyError::NameParse { token: token.to_owned(), reason: reason.into() }
+        TaxonomyError::NameParse {
+            token: token.to_owned(),
+            reason: reason.into(),
+        }
     }
 
     pub(crate) fn unclassifiable(reason: impl Into<String>) -> Self {
-        TaxonomyError::Unclassifiable { reason: reason.into() }
+        TaxonomyError::Unclassifiable {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -64,7 +71,10 @@ impl fmt::Display for TaxonomyError {
                 write!(f, "not implementable (Table I class {serial}): {reason}")
             }
             TaxonomyError::Unclassifiable { reason } => {
-                write!(f, "architecture does not fit the extended taxonomy: {reason}")
+                write!(
+                    f,
+                    "architecture does not fit the extended taxonomy: {reason}"
+                )
             }
             TaxonomyError::BadSerial { serial } => {
                 write!(f, "class serial {serial} is outside 1..=47")

@@ -45,11 +45,14 @@ impl FlexibilityBreakdown {
 
 /// Compute the itemised flexibility score of an architecture description.
 pub fn breakdown_of_spec(spec: &ArchSpec) -> FlexibilityBreakdown {
-    let count_points =
-        u32::from(spec.ips.is_plural()) + u32::from(spec.dps.is_plural());
+    let count_points = u32::from(spec.ips.is_plural()) + u32::from(spec.dps.is_plural());
     let variable_bonus = u32::from(spec.is_universal());
     let crossbar_points = spec.connectivity.crossbar_count();
-    FlexibilityBreakdown { count_points, variable_bonus, crossbar_points }
+    FlexibilityBreakdown {
+        count_points,
+        variable_bonus,
+        crossbar_points,
+    }
 }
 
 /// Total flexibility value of an architecture description.
@@ -204,14 +207,14 @@ mod tests {
     fn spec_level_scores_match_table_iii_spot_checks() {
         // (row, expected flexibility) from Table III.
         let rows = [
-            ("1 | 1 | none | 1-1 | 1-1 | 1-1 | none", 0),            // ARM7TDMI
-            ("1 | 6 | none | 1-6 | 1-1 | 6-1 | 6x6", 2),             // IMAGINE
-            ("1 | 5 | none | 1-5 | 1-1 | 5x10 | 5x5", 3),            // Montium
-            ("n | m | none | nxm | nxn | m-1 | mxm", 5),             // RaPiD (m≈n)
-            ("0 | 64 | none | none | none | 22x1 | 64x64", 3),       // Redefine
-            ("n | n | nx14 | n-n | n-n | nx14 | nx14", 5),           // DRRA
-            ("n | n | nxn | nxn | nxn | nxn | nxn", 7),              // Matrix
-            ("v | v | vxv | vxv | vxv | vxv | vxv", 8),              // FPGA
+            ("1 | 1 | none | 1-1 | 1-1 | 1-1 | none", 0), // ARM7TDMI
+            ("1 | 6 | none | 1-6 | 1-1 | 6-1 | 6x6", 2),  // IMAGINE
+            ("1 | 5 | none | 1-5 | 1-1 | 5x10 | 5x5", 3), // Montium
+            ("n | m | none | nxm | nxn | m-1 | mxm", 5),  // RaPiD (m≈n)
+            ("0 | 64 | none | none | none | 22x1 | 64x64", 3), // Redefine
+            ("n | n | nx14 | n-n | n-n | nx14 | nx14", 5), // DRRA
+            ("n | n | nxn | nxn | nxn | nxn | nxn", 7),   // Matrix
+            ("v | v | vxv | vxv | vxv | vxv | vxv", 8),   // FPGA
         ];
         for (row, expected) in rows {
             // RaPiD's `m` is a second symbol; our parser reads it as `n`

@@ -29,8 +29,12 @@ pub enum FlynnClass {
 
 impl FlynnClass {
     /// All four classes.
-    pub const ALL: [FlynnClass; 4] =
-        [FlynnClass::Sisd, FlynnClass::Simd, FlynnClass::Misd, FlynnClass::Mimd];
+    pub const ALL: [FlynnClass; 4] = [
+        FlynnClass::Sisd,
+        FlynnClass::Simd,
+        FlynnClass::Misd,
+        FlynnClass::Mimd,
+    ];
 
     /// The conventional acronym.
     pub fn acronym(&self) -> &'static str {
@@ -113,10 +117,22 @@ mod tests {
 
     #[test]
     fn canonical_machines_get_their_flynn_classes() {
-        assert_eq!(flynn_of("1 | 1 | none | 1-1 | 1-1 | 1-1 | none"), FlynnClass::Sisd);
-        assert_eq!(flynn_of("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64"), FlynnClass::Simd);
-        assert_eq!(flynn_of("n | 1 | none | n-1 | n-n | 1-1 | none"), FlynnClass::Misd);
-        assert_eq!(flynn_of("4 | 4 | none | 4-4 | 4-4 | 4-4 | none"), FlynnClass::Mimd);
+        assert_eq!(
+            flynn_of("1 | 1 | none | 1-1 | 1-1 | 1-1 | none"),
+            FlynnClass::Sisd
+        );
+        assert_eq!(
+            flynn_of("1 | 64 | none | 1-64 | 1-1 | 64-1 | 64x64"),
+            FlynnClass::Simd
+        );
+        assert_eq!(
+            flynn_of("n | 1 | none | n-1 | n-n | 1-1 | none"),
+            FlynnClass::Misd
+        );
+        assert_eq!(
+            flynn_of("4 | 4 | none | 4-4 | 4-4 | 4-4 | none"),
+            FlynnClass::Mimd
+        );
     }
 
     #[test]
@@ -128,26 +144,44 @@ mod tests {
     #[test]
     fn flynn_collapses_the_extended_taxonomy() {
         let (buckets, unplaced) = flynn_partition();
-        let mimd = buckets.iter().find(|(f, _)| *f == FlynnClass::Mimd).unwrap();
+        let mimd = buckets
+            .iter()
+            .find(|(f, _)| *f == FlynnClass::Mimd)
+            .unwrap();
         // All 32 IMP/ISP classes land in one MIMD bucket: the paper's
         // broadness criticism, quantified.
         assert_eq!(mimd.1.len(), 32);
-        let simd = buckets.iter().find(|(f, _)| *f == FlynnClass::Simd).unwrap();
+        let simd = buckets
+            .iter()
+            .find(|(f, _)| *f == FlynnClass::Simd)
+            .unwrap();
         // IAP-I..IV plus the four data-flow multiprocessors.
         assert_eq!(simd.1.len(), 8);
-        let sisd = buckets.iter().find(|(f, _)| *f == FlynnClass::Sisd).unwrap();
+        let sisd = buckets
+            .iter()
+            .find(|(f, _)| *f == FlynnClass::Sisd)
+            .unwrap();
         assert_eq!(sisd.1.len(), 2); // DUP, IUP
-        // Only the USP is unplaceable.
+                                     // Only the USP is unplaceable.
         assert_eq!(unplaced, vec!["USP".to_owned()]);
         // Flynn's MISD bucket is empty of implementable machines —
         // consistent with the paper marking n-IP/1-DP rows NI.
-        let misd = buckets.iter().find(|(f, _)| *f == FlynnClass::Misd).unwrap();
+        let misd = buckets
+            .iter()
+            .find(|(f, _)| *f == FlynnClass::Misd)
+            .unwrap();
         assert!(misd.1.is_empty());
     }
 
     #[test]
     fn dataflow_machines_follow_the_data_stream_convention() {
-        assert_eq!(flynn_of("0 | 1 | none | none | none | 1-1 | none"), FlynnClass::Sisd);
-        assert_eq!(flynn_of("0 | 16 | none | none | none | 16x6 | 16x16"), FlynnClass::Simd);
+        assert_eq!(
+            flynn_of("0 | 1 | none | none | none | 1-1 | none"),
+            FlynnClass::Sisd
+        );
+        assert_eq!(
+            flynn_of("0 | 16 | none | none | none | 16x6 | 16x16"),
+            FlynnClass::Simd
+        );
     }
 }

@@ -20,21 +20,39 @@ pub struct HierarchyNode {
 
 impl HierarchyNode {
     fn leaf(label: impl Into<String>, classes: Vec<ClassName>) -> Self {
-        HierarchyNode { label: label.into(), classes, children: Vec::new() }
+        HierarchyNode {
+            label: label.into(),
+            classes,
+            children: Vec::new(),
+        }
     }
 
     fn branch(label: impl Into<String>, children: Vec<HierarchyNode>) -> Self {
-        HierarchyNode { label: label.into(), classes: Vec::new(), children }
+        HierarchyNode {
+            label: label.into(),
+            classes: Vec::new(),
+            children,
+        }
     }
 
     /// Total number of classes in this subtree.
     pub fn class_count(&self) -> usize {
-        self.classes.len() + self.children.iter().map(HierarchyNode::class_count).sum::<usize>()
+        self.classes.len()
+            + self
+                .children
+                .iter()
+                .map(HierarchyNode::class_count)
+                .sum::<usize>()
     }
 
     /// Depth of the subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(HierarchyNode::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(HierarchyNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Find the node for a processing type under a machine type, if present.
@@ -194,7 +212,9 @@ mod tests {
 
     #[test]
     fn summarise_compresses_runs() {
-        let names: Vec<String> = (1..=4).map(|i| format!("DMP-{}", crate::roman::to_roman(i))).collect();
+        let names: Vec<String> = (1..=4)
+            .map(|i| format!("DMP-{}", crate::roman::to_roman(i)))
+            .collect();
         assert_eq!(summarise(&names), "DMP-I..IV");
         assert_eq!(summarise(&["DUP".to_owned()]), "DUP");
     }

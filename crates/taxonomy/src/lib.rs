@@ -35,13 +35,13 @@ pub use classify::{classify, Classification};
 pub use compare::{compare_names, crossbar_relations_of, NameComparison};
 pub use error::TaxonomyError;
 pub use flexibility::{
-    breakdown_of_spec, comparable, flexibility_of_class, flexibility_of_name,
-    flexibility_of_spec, flexibility_table, FlexibilityBreakdown, FlexibilityEntry,
+    breakdown_of_spec, comparable, flexibility_of_class, flexibility_of_name, flexibility_of_spec,
+    flexibility_table, FlexibilityBreakdown, FlexibilityEntry,
 };
 pub use flynn::{classify_flynn, flynn_partition, FlynnClass};
 pub use hierarchy::{hierarchy, HierarchyNode};
-pub use requirements::{minimal_classes, provides, satisfying_classes, Capability};
 pub use name::{ClassName, MachineType, ProcessingType, SubType};
+pub use requirements::{minimal_classes, provides, satisfying_classes, Capability};
 pub use skillicorn::{new_classes, project, skillicorn_table, SkillicornClass};
 
 /// Convenient glob-import surface.

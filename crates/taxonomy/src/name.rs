@@ -217,7 +217,11 @@ impl ClassName {
         }
         let cardinality = processing.subtype_cardinality(machine);
         match (cardinality, sub.index()) {
-            (0, None) => Ok(ClassName { machine, processing, sub }),
+            (0, None) => Ok(ClassName {
+                machine,
+                processing,
+                sub,
+            }),
             (0, Some(_)) => Err(TaxonomyError::name_parse(
                 &format!("{}{}P-{}", machine.letter(), processing.letter(), sub),
                 "this class takes no sub-type numeral",
@@ -226,7 +230,11 @@ impl ClassName {
                 &format!("{}{}P", machine.letter(), processing.letter()),
                 "this class requires a sub-type numeral",
             )),
-            (n, Some(i)) if i <= n => Ok(ClassName { machine, processing, sub }),
+            (n, Some(i)) if i <= n => Ok(ClassName {
+                machine,
+                processing,
+                sub,
+            }),
             (n, Some(i)) => Err(TaxonomyError::name_parse(
                 &format!("{}{}P-{}", machine.letter(), processing.letter(), sub),
                 format!("sub-type {i} exceeds the {n} sub-types of this class"),
@@ -322,8 +330,8 @@ mod tests {
 
     #[test]
     fn canonical_names_print_as_in_paper() {
-        let dup = ClassName::new(MachineType::DataFlow, ProcessingType::Uni, SubType::NONE)
-            .unwrap();
+        let dup =
+            ClassName::new(MachineType::DataFlow, ProcessingType::Uni, SubType::NONE).unwrap();
         assert_eq!(dup.to_string(), "DUP");
         let imp14 = ClassName::new(
             MachineType::InstructionFlow,
@@ -362,16 +370,16 @@ mod tests {
     #[test]
     fn invalid_names_rejected() {
         for bad in [
-            "IMP",       // missing required numeral
-            "IAP-V",     // only four array sub-types
-            "DMP-XVII",  // out of range
-            "DUP-I",     // uni processors take no numeral
-            "USP-I",     // universal flow takes no numeral
-            "XMP-I",     // unknown machine letter
-            "IQP-I",     // unknown processing letter
-            "IM-I",      // malformed acronym
-            "imp-i",     // case-sensitive
-            "DAP-I",     // data-flow array does not exist in Table I
+            "IMP",      // missing required numeral
+            "IAP-V",    // only four array sub-types
+            "DMP-XVII", // out of range
+            "DUP-I",    // uni processors take no numeral
+            "USP-I",    // universal flow takes no numeral
+            "XMP-I",    // unknown machine letter
+            "IQP-I",    // unknown processing letter
+            "IM-I",     // malformed acronym
+            "imp-i",    // case-sensitive
+            "DAP-I",    // data-flow array does not exist in Table I
         ] {
             // DAP-I parses structurally but has cardinality 0 in data flow.
             assert!(bad.parse::<ClassName>().is_err(), "{bad} should fail");

@@ -61,10 +61,7 @@ pub fn from_roman(s: &str) -> Result<u16, TaxonomyError> {
     let chars: Vec<char> = s.chars().collect();
     for (i, &c) in chars.iter().enumerate() {
         let v = digit(c).ok_or_else(|| TaxonomyError::roman_parse(s))? as i32;
-        let next = chars
-            .get(i + 1)
-            .and_then(|&c2| digit(c2))
-            .unwrap_or(0) as i32;
+        let next = chars.get(i + 1).and_then(|&c2| digit(c2)).unwrap_or(0) as i32;
         if v < next {
             total -= v;
         } else {

@@ -109,7 +109,12 @@ mod tests {
             let class = Taxonomy::extended().by_serial(serial).unwrap();
             assert_eq!(projection.ips, class.ips);
             assert_eq!(projection.dps, class.dps);
-            for r in [Relation::IpDp, Relation::IpIm, Relation::DpDm, Relation::DpDp] {
+            for r in [
+                Relation::IpDp,
+                Relation::IpIm,
+                Relation::DpDm,
+                Relation::DpDp,
+            ] {
                 assert_eq!(
                     projection.connectivity.link(r),
                     class.connectivity.link(r),

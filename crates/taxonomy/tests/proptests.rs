@@ -1,109 +1,134 @@
-//! Property tests for the taxonomy: naming, classification and scoring
-//! invariants over the whole class space.
+//! Property-style tests for the taxonomy: naming, classification and
+//! scoring invariants over the whole class space.
+//!
+//! These run as deterministic seeded sweeps (`sweep_cases`) instead of
+//! `proptest` so the workspace builds hermetically.
 
-use proptest::prelude::*;
-
+use skilltax_model::rng::{sweep_cases, XorShift64};
 use skilltax_model::{Link, Relation};
 use skilltax_taxonomy::{
     classify, compare_names, crossbar_relations_of, flexibility_of_class, flexibility_of_spec,
     provides, satisfying_classes, Capability, ClassName, Taxonomy,
 };
 
-fn class_index() -> impl Strategy<Value = usize> {
-    0usize..43
+fn class_index(rng: &mut XorShift64) -> usize {
+    rng.below_usize(43)
 }
 
 fn named_class(i: usize) -> &'static skilltax_taxonomy::TaxonomyClass {
-    Taxonomy::extended().implementable().nth(i).expect("43 named classes")
+    Taxonomy::extended()
+        .implementable()
+        .nth(i)
+        .expect("43 named classes")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn every_name_parses_back_to_itself(i in class_index()) {
+#[test]
+fn every_name_parses_back_to_itself() {
+    // The class space is small: just cover it exhaustively.
+    for i in 0..43 {
         let name = *named_class(i).name();
         let parsed: ClassName = name.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, name);
+        assert_eq!(parsed, name);
     }
+}
 
-    #[test]
-    fn subtype_numeral_encodes_exactly_the_crossbar_relations(i in class_index()) {
+#[test]
+fn subtype_numeral_encodes_exactly_the_crossbar_relations() {
+    for i in 0..43 {
         let class = named_class(i);
         // The crossbar set derived from the *name* equals the crossbar set
         // present in the canonical *structure*.
         let from_name = crossbar_relations_of(class.name());
-        let mut from_structure: Vec<Relation> = class
-            .connectivity
-            .crossbar_relations();
+        let mut from_structure: Vec<Relation> = class.connectivity.crossbar_relations();
         from_structure.sort();
-        prop_assert_eq!(from_name, from_structure);
+        assert_eq!(from_name, from_structure, "class {i}");
     }
+}
 
-    #[test]
-    fn flexibility_equals_crossbars_plus_count_points(i in class_index()) {
+#[test]
+fn flexibility_equals_crossbars_plus_count_points() {
+    for i in 0..43 {
         let class = named_class(i);
         let spec = class.template_spec();
         let expected = spec.connectivity.crossbar_count()
             + u32::from(spec.ips.is_plural())
             + u32::from(spec.dps.is_plural())
             + u32::from(spec.is_universal());
-        prop_assert_eq!(flexibility_of_spec(&spec), expected);
+        assert_eq!(flexibility_of_spec(&spec), expected, "class {i}");
     }
+}
 
-    #[test]
-    fn comparison_is_symmetric_in_structure(i in class_index(), j in class_index()) {
+#[test]
+fn comparison_is_symmetric_in_structure() {
+    sweep_cases(0x7A0, 200, |case, rng| {
+        let (i, j) = (class_index(rng), class_index(rng));
         let (a, b) = (*named_class(i).name(), *named_class(j).name());
         let ab = compare_names(a, b);
         let ba = compare_names(b, a);
-        prop_assert_eq!(ab.same_machine, ba.same_machine);
-        prop_assert_eq!(ab.same_processing, ba.same_processing);
-        prop_assert_eq!(ab.same_sub_type, ba.same_sub_type);
-        prop_assert_eq!(ab.shared_crossbars, ba.shared_crossbars);
-        prop_assert_eq!(ab.only_in_a, ba.only_in_b);
-        prop_assert_eq!(ab.flexibility_comparable, ba.flexibility_comparable);
-    }
+        assert_eq!(ab.same_machine, ba.same_machine, "case {case}");
+        assert_eq!(ab.same_processing, ba.same_processing, "case {case}");
+        assert_eq!(ab.same_sub_type, ba.same_sub_type, "case {case}");
+        assert_eq!(ab.shared_crossbars, ba.shared_crossbars, "case {case}");
+        assert_eq!(ab.only_in_a, ba.only_in_b, "case {case}");
+        assert_eq!(
+            ab.flexibility_comparable, ba.flexibility_comparable,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn downgrading_a_crossbar_lowers_or_keeps_class_flexibility(i in class_index(), which in 0usize..5) {
+#[test]
+fn downgrading_a_crossbar_lowers_or_keeps_class_flexibility() {
+    for i in 0..43 {
         let class = named_class(i);
         let spec = class.template_spec();
-        let relation = Relation::ALL[which];
         if spec.is_universal() {
-            return Ok(()); // USP's links are variable; downgrades below cover coarse classes.
+            continue; // USP's links are variable; downgrades below cover coarse classes.
         }
-        if let Link::Connected(sw) = spec.connectivity.link(relation) {
-            if sw.is_crossbar() {
-                let mut downgraded = spec.clone();
-                downgraded.connectivity = downgraded.connectivity.with(
-                    relation,
-                    Link::Connected(skilltax_model::Switch::new(
-                        skilltax_model::SwitchKind::Direct,
-                        sw.left,
-                        sw.right,
-                    )),
-                );
-                prop_assert!(flexibility_of_spec(&downgraded) < flexibility_of_spec(&spec));
+        for relation in Relation::ALL {
+            if let Link::Connected(sw) = spec.connectivity.link(relation) {
+                if sw.is_crossbar() {
+                    let mut downgraded = spec.clone();
+                    downgraded.connectivity = downgraded.connectivity.with(
+                        relation,
+                        Link::Connected(skilltax_model::Switch::new(
+                            skilltax_model::SwitchKind::Direct,
+                            sw.left,
+                            sw.right,
+                        )),
+                    );
+                    assert!(
+                        flexibility_of_spec(&downgraded) < flexibility_of_spec(&spec),
+                        "class {i} relation {relation:?}"
+                    );
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn capability_filtering_is_monotone(i in class_index(), caps in prop::collection::vec(0usize..10, 0..4)) {
+#[test]
+fn capability_filtering_is_monotone() {
+    sweep_cases(0x7A1, 200, |case, rng| {
         // Adding a requirement can only shrink the satisfying set.
-        let caps: Vec<Capability> = caps.into_iter().map(|c| Capability::ALL[c]).collect();
+        let i = class_index(rng);
+        let caps: Vec<Capability> = (0..rng.below_usize(4))
+            .map(|_| *rng.pick(&Capability::ALL))
+            .collect();
         let full = satisfying_classes(&caps);
         let mut extended = caps.clone();
         extended.push(Capability::ALL[i % Capability::ALL.len()]);
         let shrunk = satisfying_classes(&extended);
-        prop_assert!(shrunk.len() <= full.len());
+        assert!(shrunk.len() <= full.len(), "case {case}");
         for class in &shrunk {
-            prop_assert!(full.iter().any(|c| c.serial == class.serial));
+            assert!(full.iter().any(|c| c.serial == class.serial), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn provided_capabilities_never_exceed_flexibility_rank(i in class_index()) {
+#[test]
+fn provided_capabilities_never_exceed_flexibility_rank() {
+    for i in 0..43 {
         // A class with zero flexibility provides no crossbar-backed
         // capability; capability count grows with flexibility.
         let class = named_class(i);
@@ -117,15 +142,17 @@ proptest! {
             .iter()
             .filter(|&&c| provides(class.name(), c))
             .count() as u32;
-        prop_assert!(provided <= flexibility_of_class(class));
+        assert!(provided <= flexibility_of_class(class), "class {i}");
     }
+}
 
-    #[test]
-    fn classify_is_deterministic(i in class_index()) {
+#[test]
+fn classify_is_deterministic() {
+    for i in 0..43 {
         let spec = named_class(i).template_spec();
         let a = classify(&spec).unwrap();
         let b = classify(&spec).unwrap();
-        prop_assert_eq!(a.serial(), b.serial());
-        prop_assert_eq!(a.name(), b.name());
+        assert_eq!(a.serial(), b.serial());
+        assert_eq!(a.name(), b.name());
     }
 }

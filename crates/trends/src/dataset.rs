@@ -1,7 +1,6 @@
 //! The generated publication dataset and Fig 1 series.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use skilltax_model::XorShift64;
 
 use crate::model::Topic;
 
@@ -33,13 +32,13 @@ pub struct PublicationDatabase {
 impl PublicationDatabase {
     /// Generate the database: logistic expectation plus ±5% seeded noise.
     pub fn generate(seed: u64) -> PublicationDatabase {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShift64::new(seed);
         let mut records = Vec::new();
         for topic in Topic::ALL {
             let curve = topic.curve();
             for year in FIRST_YEAR..=LAST_YEAR {
                 let expected = curve.value(year);
-                let noise = rng.gen_range(-0.05..=0.05);
+                let noise = rng.range_f64(-0.05, 0.05);
                 let count = (expected * (1.0 + noise)).round().max(0.0) as u32;
                 records.push(Record { topic, year, count });
             }
@@ -115,7 +114,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        assert_eq!(PublicationDatabase::generate(7), PublicationDatabase::generate(7));
+        assert_eq!(
+            PublicationDatabase::generate(7),
+            PublicationDatabase::generate(7)
+        );
         assert_ne!(
             PublicationDatabase::generate(7).records(),
             PublicationDatabase::generate(8).records()

@@ -148,7 +148,10 @@ mod tests {
             for year in 1990..=2015 {
                 let v = curve.value(year);
                 assert!(v >= last, "{topic} dips at {year}");
-                assert!(v >= curve.baseline * 0.99 && v <= curve.ceiling * 1.01, "{topic} {year}");
+                assert!(
+                    v >= curve.baseline * 0.99 && v <= curve.ceiling * 1.01,
+                    "{topic} {year}"
+                );
                 last = v;
             }
         }

@@ -1,59 +1,76 @@
-//! Property tests for the bibliometric model: determinism, bounds, and
-//! shape invariants for any seed.
+//! Property-style tests for the bibliometric model: determinism, bounds,
+//! and shape invariants for any seed.
+//!
+//! These run as deterministic seeded sweeps (`sweep_cases`) instead of
+//! `proptest` so the workspace builds hermetically.
 
-use proptest::prelude::*;
-
+use skilltax_model::rng::sweep_cases;
 use skilltax_trends::{PublicationDatabase, Topic, FIRST_YEAR, LAST_YEAR};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn any_seed_is_deterministic(seed in 0u64..10_000) {
+#[test]
+fn any_seed_is_deterministic() {
+    sweep_cases(0x7E0, 64, |case, rng| {
+        let seed = rng.below(10_000);
         let a = PublicationDatabase::generate(seed);
         let b = PublicationDatabase::generate(seed);
-        prop_assert_eq!(a.records(), b.records());
-        prop_assert_eq!(a.seed(), seed);
-    }
+        assert_eq!(a.records(), b.records(), "case {case} seed {seed}");
+        assert_eq!(a.seed(), seed);
+    });
+}
 
-    #[test]
-    fn counts_track_their_curve_for_any_seed(seed in 0u64..10_000) {
+#[test]
+fn counts_track_their_curve_for_any_seed() {
+    sweep_cases(0x7E1, 64, |case, rng| {
+        let seed = rng.below(10_000);
         let db = PublicationDatabase::generate(seed);
         for r in db.records() {
             let expected = r.topic.curve().value(r.year);
-            prop_assert!(
+            assert!(
                 (f64::from(r.count) - expected).abs() <= expected * 0.05 + 1.0,
-                "{} {} deviates",
+                "case {case} seed {seed}: {} {} deviates",
                 r.topic,
                 r.year
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn the_papers_shape_claim_holds_for_any_seed(seed in 0u64..10_000) {
+#[test]
+fn the_papers_shape_claim_holds_for_any_seed() {
+    sweep_cases(0x7E2, 64, |case, rng| {
         // Multicore rises far faster in the last five years than FPGA —
         // noise never inverts the ordering.
+        let seed = rng.below(10_000);
         let db = PublicationDatabase::generate(seed);
-        prop_assert!(
-            db.last_five_year_growth(Topic::Multicore)
-                > db.last_five_year_growth(Topic::Fpga)
+        assert!(
+            db.last_five_year_growth(Topic::Multicore) > db.last_five_year_growth(Topic::Fpga),
+            "case {case} seed {seed}"
         );
-        prop_assert!(db.last_five_year_growth(Topic::Multicore) > 4.0);
-    }
+        assert!(
+            db.last_five_year_growth(Topic::Multicore) > 4.0,
+            "case {case} seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn totals_are_consistent_with_series(seed in 0u64..10_000, topic_idx in 0usize..6) {
-        let topic = Topic::ALL[topic_idx];
+#[test]
+fn totals_are_consistent_with_series() {
+    sweep_cases(0x7E3, 64, |case, rng| {
+        let seed = rng.below(10_000);
+        let topic = *rng.pick(&Topic::ALL);
         let db = PublicationDatabase::generate(seed);
-        let from_series: u64 =
-            db.series(topic).iter().map(|(_, c)| u64::from(*c)).sum();
-        prop_assert_eq!(db.total(topic, FIRST_YEAR, LAST_YEAR), from_series);
+        let from_series: u64 = db.series(topic).iter().map(|(_, c)| u64::from(*c)).sum();
+        assert_eq!(
+            db.total(topic, FIRST_YEAR, LAST_YEAR),
+            from_series,
+            "case {case}"
+        );
         // Sub-ranges partition the total.
         let mid = (FIRST_YEAR + LAST_YEAR) / 2;
-        prop_assert_eq!(
+        assert_eq!(
             db.total(topic, FIRST_YEAR, mid) + db.total(topic, mid + 1, LAST_YEAR),
-            from_series
+            from_series,
+            "case {case}"
         );
-    }
+    });
 }

@@ -36,7 +36,10 @@ fn main() {
     show("firmware control loop", &[Capability::InstructionExecution]);
     show(
         "image filter (same kernel on every pixel)",
-        &[Capability::DataParallelism, Capability::InstructionExecution],
+        &[
+            Capability::DataParallelism,
+            Capability::InstructionExecution,
+        ],
     );
     show(
         "multi-tenant packet processing (different flows, shared tables)",

@@ -35,7 +35,10 @@ fn main() {
     // Fig 7: the flexibility comparison chart.
     let bars: Vec<Bar> = regenerate_table_iii()
         .into_iter()
-        .map(|row| Bar { label: row.name, value: f64::from(row.flexibility) })
+        .map(|row| Bar {
+            label: row.name,
+            value: f64::from(row.flexibility),
+        })
         .collect();
     println!(
         "{}",
@@ -49,7 +52,12 @@ fn main() {
     // Section IV prose, straight from the catalog.
     println!("Architecture notes (Section IV):");
     for entry in full_survey().iter().take(3) {
-        println!("\n  {} {} ({:?})", entry.name(), entry.spec.meta.citation, entry.spec.meta.year);
+        println!(
+            "\n  {} {} ({:?})",
+            entry.name(),
+            entry.spec.meta.citation,
+            entry.spec.meta.year
+        );
         println!("    {}", entry.spec.meta.description);
     }
     println!("\n  ... (22 more; see `skilltax::catalog`)");

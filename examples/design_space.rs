@@ -48,9 +48,16 @@ fn main() {
     // Technology scaling of one candidate across nodes (Eq 1 + density).
     let params = CostParams::default();
     let points = sweep_classes(&params);
-    let candidate = points.iter().find(|p| p.label == "IMP-XVI").expect("in the sweep");
+    let candidate = points
+        .iter()
+        .find(|p| p.label == "IMP-XVI")
+        .expect("in the sweep");
     println!("=== {} area across technology nodes ===", candidate.label);
     for node in TechNode::ALL {
-        println!("  {:>7}: {:.3} mm2", node.to_string(), node.ge_to_mm2(candidate.area_ge));
+        println!(
+            "  {:>7}: {:.3} mm2",
+            node.to_string(),
+            node.ge_to_mm2(candidate.area_ge)
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use skilltax::machine::array::ArraySubtype;
-use skilltax::machine::dataflow::{DataflowSubtype};
+use skilltax::machine::dataflow::DataflowSubtype;
 use skilltax::machine::morph;
 use skilltax::machine::multi::MultiSubtype;
 use skilltax::machine::universal::{program_counter, ripple_adder, LutFabric};
@@ -25,7 +25,10 @@ fn main() {
 
     println!("== vector add (16 elements) across class families ==");
     let uni = run_vector_add_uni(&a, &b).expect("IUP runs it");
-    println!("  IUP    : {:>5} cycles (sequential loop)", uni.stats.cycles);
+    println!(
+        "  IUP    : {:>5} cycles (sequential loop)",
+        uni.stats.cycles
+    );
     for subtype in ArraySubtype::ALL {
         let run = run_vector_add_array(subtype, &a, &b).expect("arrays run it");
         assert_eq!(run.outputs, expected);
@@ -37,12 +40,18 @@ fn main() {
         );
     }
     let imp = run_vector_add_multi(MultiSubtype::from_index(1).unwrap(), &a, &b).unwrap();
-    println!("  IMP-I  : {:>5} cycles (morphed into an array: same program on every core)", imp.stats.cycles);
+    println!(
+        "  IMP-I  : {:>5} cycles (morphed into an array: same program on every core)",
+        imp.stats.cycles
+    );
 
     println!("\n== n different programs at once ==");
     let slices: Vec<Vec<Word>> = (0..4).map(|i| ((i + 1)..(i + 5)).collect()).collect();
     let mix = run_mimd_mix_multi(MultiSubtype::from_index(1).unwrap(), &slices).unwrap();
-    println!("  IMP-I  : outputs {:?} (sum / product / max / sum)", mix.outputs);
+    println!(
+        "  IMP-I  : outputs {:?} (sum / product / max / sum)",
+        mix.outputs
+    );
     match run_mimd_mix_array(ArraySubtype::IV, &slices) {
         Err(e) => println!("  IAP-IV : refused -- {e}"),
         Ok(_) => unreachable!("arrays cannot run this"),
@@ -53,20 +62,33 @@ fn main() {
     let dup = run_reduce_dataflow(DataflowSubtype::Uni, 1, &data).unwrap();
     let dmp = run_reduce_dataflow(DataflowSubtype::IV, 8, &data).unwrap();
     let iup = run_reduce_uni(&data).unwrap();
-    println!("  DUP    : sum {} in {:>4} cycles (one firing per cycle)", dup.outputs[0], dup.stats.cycles);
-    println!("  DMP-IV : sum {} in {:>4} cycles (8 DPs firing by availability)", dmp.outputs[0], dmp.stats.cycles);
-    println!("  IUP    : sum {} in {:>4} cycles (fetch-execute loop)", iup.outputs[0], iup.stats.cycles);
+    println!(
+        "  DUP    : sum {} in {:>4} cycles (one firing per cycle)",
+        dup.outputs[0], dup.stats.cycles
+    );
+    println!(
+        "  DMP-IV : sum {} in {:>4} cycles (8 DPs firing by availability)",
+        dmp.outputs[0], dmp.stats.cycles
+    );
+    println!(
+        "  IUP    : sum {} in {:>4} cycles (fetch-execute loop)",
+        iup.outputs[0], iup.stats.cycles
+    );
 
     println!("\n== 8x8 matrix multiply ==");
     let dim = 8usize;
     let ma: Vec<Word> = (0..(dim * dim) as Word).collect();
     let mb: Vec<Word> = (0..(dim * dim) as Word).map(|v| 3 - v % 7).collect();
     let m_uni = run_matmul_uni(&ma, &mb, dim).unwrap();
-    let m_arr = run_matmul_array(skilltax::machine::array::ArraySubtype::III, &ma, &mb, dim).unwrap();
+    let m_arr =
+        run_matmul_array(skilltax::machine::array::ArraySubtype::III, &ma, &mb, dim).unwrap();
     assert_eq!(m_uni.outputs, matmul_reference(&ma, &mb, dim));
     assert_eq!(m_arr.outputs, m_uni.outputs);
     println!("  IUP    : {:>6} cycles (triple loop)", m_uni.stats.cycles);
-    println!("  IAP-III: {:>6} cycles (one row per lane over shared memory)", m_arr.stats.cycles);
+    println!(
+        "  IAP-III: {:>6} cycles (one row per lane over shared memory)",
+        m_arr.stats.cycles
+    );
     match run_matmul_array(skilltax::machine::array::ArraySubtype::I, &ma, &mb, dim) {
         Err(e) => println!("  IAP-I  : refused -- {e}"),
         Ok(_) => unreachable!(),
@@ -74,20 +96,31 @@ fn main() {
 
     println!("\n== one LUT fabric, both paradigms (USP) ==");
     let fabric = LutFabric::new(128, 4, 16);
-    let adder = fabric.configure(&ripple_adder(&fabric, 4).unwrap()).unwrap();
+    let adder = fabric
+        .configure(&ripple_adder(&fabric, 4).unwrap())
+        .unwrap();
     let mut inputs = vec![false; 8];
     inputs[0] = true; // a = 1
     inputs[4] = true; // b = 1
     inputs.extend([false; 8]);
     let sum = adder.eval(&inputs[..8]).unwrap();
-    let value = sum.iter().enumerate().fold(0, |acc, (i, &bit)| acc | (usize::from(bit) << i));
+    let value = sum
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (i, &bit)| acc | (usize::from(bit) << i));
     println!("  as a datapath: 1 + 1 = {value} (combinational ripple adder)");
-    let mut pc = fabric.configure(&program_counter(&fabric, 4).unwrap()).unwrap();
+    let mut pc = fabric
+        .configure(&program_counter(&fabric, 4).unwrap())
+        .unwrap();
     let no_branch = vec![false; 5];
     let mut trace = Vec::new();
     for _ in 0..5 {
         let bits = pc.step(&no_branch).unwrap();
-        trace.push(bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (usize::from(b) << i)));
+        trace.push(
+            bits.iter()
+                .enumerate()
+                .fold(0, |acc, (i, &b)| acc | (usize::from(b) << i)),
+        );
     }
     println!("  as an instruction processor: pc trace {trace:?} (registered FSM)");
 

@@ -25,22 +25,45 @@ fn main() {
     // Measure both options on the executable machines.
     let uni = run_vector_add_uni(&a, &b).expect("IUP runs it");
     let simd = run_vector_add_array(ArraySubtype::II, &a, &b).expect("IAP-II runs it");
-    println!("per-batch cycles: IUP = {}, IAP-II = {}", uni.stats.cycles, simd.stats.cycles);
+    println!(
+        "per-batch cycles: IUP = {}, IAP-II = {}",
+        uni.stats.cycles, simd.stats.cycles
+    );
 
     // Price the reconfiguration with Eq 2.
     let params = CostParams::default();
     let array = ArrayMachine::new(ArraySubtype::II, n, 4);
     let config_bits = estimate_config_bits(&array.spec(), &params).total();
     for (label, port) in [
-        ("32-bit config bus", ConfigPort { bus_bits_per_cycle: 32, setup_cycles: 16 }),
-        ("8-bit config bus", ConfigPort { bus_bits_per_cycle: 8, setup_cycles: 16 }),
-        ("serial config (1-bit)", ConfigPort { bus_bits_per_cycle: 1, setup_cycles: 16 }),
+        (
+            "32-bit config bus",
+            ConfigPort {
+                bus_bits_per_cycle: 32,
+                setup_cycles: 16,
+            },
+        ),
+        (
+            "8-bit config bus",
+            ConfigPort {
+                bus_bits_per_cycle: 8,
+                setup_cycles: 16,
+            },
+        ),
+        (
+            "serial config (1-bit)",
+            ConfigPort {
+                bus_bits_per_cycle: 1,
+                setup_cycles: 16,
+            },
+        ),
     ] {
         let load = port.load_cycles(config_bits);
         let be = break_even(load, simd.stats.cycles, uni.stats.cycles).expect("valid");
         println!(
             "\n{label}: {config_bits} bits load in {load} cycles; break-even after {} batches",
-            be.executions_to_amortize.map(|v| v.to_string()).unwrap_or_else(|| "never".into())
+            be.executions_to_amortize
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "never".into())
         );
         for batches in [1u64, 4, 16, 64] {
             let with = total_with_reconfig(load, simd.stats.cycles, batches);

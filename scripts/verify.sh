@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md).  Everything runs offline:
+# the workspace is hermetic (DESIGN.md §5), so an empty cargo registry
+# must be sufficient.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --all-targets --offline -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -146,9 +146,22 @@ fn fig7_ranking_matches_the_papers_conclusion() {
     let flex = |n: &str| rows.iter().find(|r| r.name == n).unwrap().flexibility;
     let max = rows.iter().map(|r| r.flexibility).max().unwrap();
     assert_eq!(flex("FPGA"), max);
-    let second = rows.iter().filter(|r| r.name != "FPGA").map(|r| r.flexibility).max().unwrap();
+    let second = rows
+        .iter()
+        .filter(|r| r.name != "FPGA")
+        .map(|r| r.flexibility)
+        .max()
+        .unwrap();
     assert_eq!(flex("Matrix"), second);
-    assert!(flex("DRRA") >= rows.iter().filter(|r| !["FPGA", "Matrix", "DRRA", "RaPiD"].contains(&r.name.as_str())).map(|r| r.flexibility).max().unwrap());
+    assert!(
+        flex("DRRA")
+            >= rows
+                .iter()
+                .filter(|r| !["FPGA", "Matrix", "DRRA", "RaPiD"].contains(&r.name.as_str()))
+                .map(|r| r.flexibility)
+                .max()
+                .unwrap()
+    );
 }
 
 #[test]
@@ -158,8 +171,8 @@ fn every_survey_entry_audits_cleanly_or_with_known_notes() {
     // except ADRES's deliberate 8-1 register-file port row.
     for entry in full_survey() {
         for issue in entry.spec.audit() {
-            let benign = issue.message.contains("independent processors")
-                || entry.name() == "ADRES";
+            let benign =
+                issue.message.contains("independent processors") || entry.name() == "ADRES";
             assert!(benign, "{}: {}", entry.name(), issue.message);
         }
     }

@@ -72,20 +72,29 @@ fn every_executable_machine_family_classifies_to_its_own_class() {
     for code in 0..16 {
         let subtype = MultiSubtype::from_code(code).unwrap();
         let m = MultiMachine::new(subtype, 4, 8);
-        assert_eq!(classify(&m.spec()).unwrap().name().to_string(), subtype.class_name());
+        assert_eq!(
+            classify(&m.spec()).unwrap().name().to_string(),
+            subtype.class_name()
+        );
     }
     // Spatial machines: ISP-I..XVI.
     for code in [0u8, 5, 10, 15] {
         let subtype = MultiSubtype::from_code(code).unwrap();
         let m = SpatialMachine::new(subtype, FabricTopology::Crossbar, 4, 8).unwrap();
-        assert_eq!(classify(&m.spec()).unwrap().name().to_string(), m.class_name());
+        assert_eq!(
+            classify(&m.spec()).unwrap().name().to_string(),
+            m.class_name()
+        );
     }
     // Dataflow machines: DUP, DMP-I..IV.
     let dup = DataflowMachine::new(DataflowSubtype::Uni, 1).unwrap();
     assert_eq!(classify(&dup.spec()).unwrap().name().to_string(), "DUP");
     for subtype in DataflowSubtype::MULTI {
         let m = DataflowMachine::new(subtype, 4).unwrap();
-        assert_eq!(classify(&m.spec()).unwrap().name().to_string(), subtype.class_name());
+        assert_eq!(
+            classify(&m.spec()).unwrap().name().to_string(),
+            subtype.class_name()
+        );
     }
     // Universal machine: USP.
     let usp = UniversalMachine::new(LutFabric::new(64, 4, 8));
@@ -133,7 +142,10 @@ fn estimates_rank_machine_families_consistently_with_flexibility() {
     }
     let costs: Vec<u64> = last_by_flex.values().copied().collect();
     for pair in costs.windows(2) {
-        assert!(pair[0] < pair[1], "config bits must rise with flexibility: {costs:?}");
+        assert!(
+            pair[0] < pair[1],
+            "config bits must rise with flexibility: {costs:?}"
+        );
     }
 }
 
@@ -167,7 +179,11 @@ fn trends_feed_the_fig1_renderer() {
         .iter()
         .map(|&t| Series {
             label: t.label().to_owned(),
-            points: db.series(t).into_iter().map(|(y, c)| (f64::from(y), f64::from(c))).collect(),
+            points: db
+                .series(t)
+                .into_iter()
+                .map(|(y, c)| (f64::from(y), f64::from(c)))
+                .collect(),
         })
         .collect();
     let chart = ascii_trend_chart("Fig 1", &series);

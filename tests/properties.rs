@@ -1,6 +1,6 @@
-//! Property-based invariants spanning the workspace (proptest).
-
-use proptest::prelude::*;
+//! Property-style invariants spanning the workspace, run as deterministic
+//! seeded sweeps (`sweep_cases`) instead of `proptest` so the workspace
+//! builds hermetically.
 
 use skilltax::estimate::{estimate_area, estimate_config_bits, CostParams};
 use skilltax::machine::array::ArraySubtype;
@@ -8,14 +8,27 @@ use skilltax::machine::dataflow::{
     DataflowMachine, DataflowSubtype, GraphBuilder, OpKind, Placement,
 };
 use skilltax::machine::workload::{run_vector_add_array, vector_add_reference};
+use skilltax::model::rng::{sweep_cases, XorShift64};
 use skilltax::model::{dsl, ArchSpec, Count, Link, Relation};
 use skilltax::taxonomy::{classify, flexibility_of_spec};
 
 /// Build a Table-I-shaped spec from a family selector and a sub-type code.
 fn spec_of(family: u8, code: u8, n: u32) -> (ArchSpec, &'static str, u8) {
     let n = n.max(2);
-    let x = |bit: bool| if bit { Link::crossbar_between(n, n) } else { Link::direct_between(n, n) };
-    let opt = |bit: bool| if bit { Link::crossbar_between(n, n) } else { Link::None };
+    let x = |bit: bool| {
+        if bit {
+            Link::crossbar_between(n, n)
+        } else {
+            Link::direct_between(n, n)
+        }
+    };
+    let opt = |bit: bool| {
+        if bit {
+            Link::crossbar_between(n, n)
+        } else {
+            Link::None
+        }
+    };
     match family {
         0 => {
             // DMP (code 0..4)
@@ -71,81 +84,116 @@ fn spec_of(family: u8, code: u8, n: u32) -> (ArchSpec, &'static str, u8) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random (family, code, n) triple in the ranges the old strategies used.
+fn arb_shape(rng: &mut XorShift64, n_hi: u64) -> (u8, u8, u32) {
+    (
+        rng.below(4) as u8,
+        rng.below(16) as u8,
+        rng.range_u64(2, n_hi) as u32,
+    )
+}
 
-    #[test]
-    fn classification_matches_construction(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+#[test]
+fn classification_matches_construction() {
+    sweep_cases(0xF00, 128, |case, rng| {
+        let (family, code, n) = arb_shape(rng, 64);
         let (spec, stem, serial) = spec_of(family, code, n);
         let c = classify(&spec).unwrap();
-        prop_assert_eq!(c.serial(), serial);
-        prop_assert!(c.name().to_string().starts_with(stem));
-    }
+        assert_eq!(c.serial(), serial, "case {case}");
+        assert!(c.name().to_string().starts_with(stem), "case {case}");
+    });
+}
 
-    #[test]
-    fn flexibility_counts_plural_blocks_plus_crossbars(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+#[test]
+fn flexibility_counts_plural_blocks_plus_crossbars() {
+    sweep_cases(0xF01, 128, |case, rng| {
+        let (family, code, n) = arb_shape(rng, 64);
         let (spec, _, _) = spec_of(family, code, n);
         let plural = u32::from(spec.ips.is_plural()) + u32::from(spec.dps.is_plural());
         let crossbars = spec.crossbar_count();
-        prop_assert_eq!(flexibility_of_spec(&spec), plural + crossbars);
-    }
+        assert_eq!(
+            flexibility_of_spec(&spec),
+            plural + crossbars,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn upgrading_a_switch_to_crossbar_never_lowers_flexibility(
-        family in 0u8..4, code in 0u8..16, n in 2u32..32, which in 0usize..5
-    ) {
+#[test]
+fn upgrading_a_switch_to_crossbar_never_lowers_flexibility() {
+    sweep_cases(0xF02, 128, |case, rng| {
+        let (family, code, n) = arb_shape(rng, 32);
         let (spec, _, _) = spec_of(family, code, n);
-        let relation = Relation::ALL[which];
+        let relation = *rng.pick(&Relation::ALL);
         let before = flexibility_of_spec(&spec);
         let mut upgraded = spec.clone();
         upgraded.connectivity = upgraded
             .connectivity
             .with(relation, Link::crossbar_between(n.max(2), n.max(2)));
-        prop_assert!(flexibility_of_spec(&upgraded) >= before);
-    }
+        assert!(flexibility_of_spec(&upgraded) >= before, "case {case}");
+    });
+}
 
-    #[test]
-    fn row_notation_round_trips_through_the_dsl(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+#[test]
+fn row_notation_round_trips_through_the_dsl() {
+    sweep_cases(0xF03, 128, |case, rng| {
+        let (family, code, n) = arb_shape(rng, 64);
         let (spec, _, _) = spec_of(family, code, n);
         let row = spec.row_notation();
         let reparsed = dsl::parse_row(&spec.name, &row).unwrap();
-        prop_assert_eq!(reparsed.row_notation(), row);
-        prop_assert_eq!(reparsed.ips, spec.ips);
-        prop_assert_eq!(reparsed.dps, spec.dps);
-        prop_assert_eq!(reparsed.connectivity, spec.connectivity);
-    }
+        assert_eq!(reparsed.row_notation(), row, "case {case}");
+        assert_eq!(reparsed.ips, spec.ips, "case {case}");
+        assert_eq!(reparsed.dps, spec.dps, "case {case}");
+        assert_eq!(reparsed.connectivity, spec.connectivity, "case {case}");
+    });
+}
 
-    #[test]
-    fn block_format_round_trips(family in 0u8..4, code in 0u8..16, n in 2u32..64) {
+#[test]
+fn block_format_round_trips() {
+    sweep_cases(0xF04, 128, |case, rng| {
+        let (family, code, n) = arb_shape(rng, 64);
         let (spec, _, _) = spec_of(family, code, n);
         let printed = dsl::print_block(&spec);
         let parsed = dsl::parse_blocks(&printed).unwrap();
-        prop_assert_eq!(parsed.len(), 1);
-        prop_assert_eq!(&parsed[0].connectivity, &spec.connectivity);
-    }
+        assert_eq!(parsed.len(), 1, "case {case}");
+        assert_eq!(&parsed[0].connectivity, &spec.connectivity, "case {case}");
+    });
+}
 
-    #[test]
-    fn estimates_are_monotone_in_n(family in 0u8..4, code in 0u8..16, n in 2u32..100) {
+#[test]
+fn estimates_are_monotone_in_n() {
+    sweep_cases(0xF05, 128, |case, rng| {
+        let (family, code, _) = arb_shape(rng, 64);
+        let n = rng.range_u64(2, 100) as u32;
         let (spec, _, _) = spec_of(family, code, 2);
         // Template with symbolic counts so the params' n applies: rebuild
         // with symbolic n.
         let mut sym = spec.clone();
-        if sym.ips.is_plural() { sym.ips = Count::n(); }
-        if sym.dps.is_plural() { sym.dps = Count::n(); }
+        if sym.ips.is_plural() {
+            sym.ips = Count::n();
+        }
+        if sym.dps.is_plural() {
+            sym.dps = Count::n();
+        }
         let small = CostParams::default().with_n(n);
         let big = CostParams::default().with_n(n + 8);
-        prop_assert!(estimate_area(&sym, &big).total() >= estimate_area(&sym, &small).total());
-        prop_assert!(
-            estimate_config_bits(&sym, &big).total() >= estimate_config_bits(&sym, &small).total()
+        assert!(
+            estimate_area(&sym, &big).total() >= estimate_area(&sym, &small).total(),
+            "case {case}"
         );
-    }
+        assert!(
+            estimate_config_bits(&sym, &big).total() >= estimate_config_bits(&sym, &small).total(),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn area_never_decreases_when_a_switch_upgrades(
-        family in 0u8..4, code in 0u8..16, n in 2u32..32, which in 0usize..5
-    ) {
+#[test]
+fn area_never_decreases_when_a_switch_upgrades() {
+    sweep_cases(0xF06, 128, |case, rng| {
+        let (family, code, n) = arb_shape(rng, 32);
         let (spec, _, _) = spec_of(family, code, n);
-        let relation = Relation::ALL[which];
+        let relation = *rng.pick(&Relation::ALL);
         // Only compare when the relation currently has a direct link with
         // the same extents (upgrade in place).
         if let Link::Connected(sw) = spec.connectivity.link(relation) {
@@ -162,39 +210,42 @@ proptest! {
                     )),
                 );
                 let after = estimate_area(&upgraded, &params);
-                prop_assert!(after.total_extended() >= before.total_extended());
+                assert!(
+                    after.total_extended() >= before.total_extended(),
+                    "case {case}"
+                );
                 let cb_before = estimate_config_bits(&spec, &params).total_extended();
                 let cb_after = estimate_config_bits(&upgraded, &params).total_extended();
-                prop_assert!(cb_after >= cb_before);
+                assert!(cb_after >= cb_before, "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn simd_machines_match_the_reference_on_random_vectors(
-        a in prop::collection::vec(-1000i64..1000, 1..12),
-        subtype_idx in 0usize..4,
-    ) {
+#[test]
+fn simd_machines_match_the_reference_on_random_vectors() {
+    sweep_cases(0xF07, 128, |case, rng| {
+        let a: Vec<i64> = (0..rng.range_usize(1, 12))
+            .map(|_| rng.range_i64(-1000, 1000))
+            .collect();
         let b: Vec<i64> = a.iter().map(|x| x * 3 - 7).collect();
-        let subtype = ArraySubtype::ALL[subtype_idx];
+        let subtype = *rng.pick(&ArraySubtype::ALL);
         let run = run_vector_add_array(subtype, &a, &b).unwrap();
-        prop_assert_eq!(run.outputs, vector_add_reference(&a, &b));
-    }
+        assert_eq!(run.outputs, vector_add_reference(&a, &b), "case {case}");
+    });
+}
 
-    #[test]
-    fn dataflow_engine_matches_reference_on_random_expression_dags(
-        ops in prop::collection::vec((0u8..5, 0usize..64, 0usize..64), 1..24),
-        inputs in prop::collection::vec(-100i64..100, 4),
-        dps in 2usize..6,
-    ) {
+#[test]
+fn dataflow_engine_matches_reference_on_random_expression_dags() {
+    sweep_cases(0xF08, 128, |case, rng| {
         // Build a random DAG over 4 inputs: each op reads two existing
         // nodes (indices reduced mod current length).
         let mut g = GraphBuilder::new();
         let mut nodes = vec![g.input(0), g.input(1), g.input(2), g.input(3)];
-        for (kind, ai, bi) in ops {
-            let a = nodes[ai % nodes.len()];
-            let b = nodes[bi % nodes.len()];
-            let op = match kind {
+        for _ in 0..rng.range_usize(1, 24) {
+            let a = nodes[rng.below_usize(nodes.len())];
+            let b = nodes[rng.below_usize(nodes.len())];
+            let op = match rng.below(5) {
                 0 => OpKind::Add,
                 1 => OpKind::Sub,
                 2 => OpKind::Mul,
@@ -206,24 +257,33 @@ proptest! {
         let last = *nodes.last().unwrap();
         g.output(0, last);
         let graph = g.build().unwrap();
+        let inputs: Vec<i64> = (0..4).map(|_| rng.range_i64(-100, 100)).collect();
         let reference = graph.eval_reference(&inputs).unwrap();
+        let dps = rng.range_usize(2, 6);
         let machine = DataflowMachine::new(DataflowSubtype::IV, dps).unwrap();
         for placement in [Placement::RoundRobin, Placement::Islands] {
             let run = machine.run(&graph, &inputs, &placement).unwrap();
-            prop_assert_eq!(&run.outputs, &reference);
+            assert_eq!(&run.outputs, &reference, "case {case} ({placement:?})");
         }
-    }
+    });
+}
 
-    #[test]
-    fn window_fabric_routability_is_symmetric_and_bounded(
-        hops in 1usize..8, from in 0usize..32, to in 0usize..32
-    ) {
+#[test]
+fn window_fabric_routability_is_symmetric_and_bounded() {
+    sweep_cases(0xF09, 128, |case, rng| {
         use skilltax::machine::interconnect::FabricTopology;
+        let hops = rng.range_usize(1, 8);
+        let from = rng.below_usize(32);
+        let to = rng.below_usize(32);
         let t = FabricTopology::Window { hops };
         let n = 32;
-        prop_assert_eq!(t.routable(from, to, n), t.routable(to, from, n));
+        assert_eq!(
+            t.routable(from, to, n),
+            t.routable(to, from, n),
+            "case {case}"
+        );
         if t.routable(from, to, n) {
-            prop_assert!(from.abs_diff(to) <= hops);
+            assert!(from.abs_diff(to) <= hops, "case {case}");
         }
-    }
+    });
 }

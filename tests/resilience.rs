@@ -1,0 +1,304 @@
+//! Umbrella resilience tests: the acceptance criteria of the fault-injection
+//! subsystem, asserted across every machine family.
+//!
+//! The paper's switch argument, run under fire: with one DP failed, a
+//! crossbar-switched IMP configuration completes degraded while a
+//! direct-switched array configuration returns a typed
+//! `DegradationImpossible`; permanent outages exhaust the bounded retry
+//! budget; and no run loop can hang — every family converts an adversarial
+//! fault plan into `WatchdogTimeout` carrying partial statistics.
+
+use skilltax::machine::array::{ArrayMachine, ArraySubtype};
+use skilltax::machine::dataflow::graph::library::{independent_chains, tree_sum};
+use skilltax::machine::dataflow::{DataflowMachine, DataflowSubtype, Placement};
+use skilltax::machine::fault::{FaultPlan, LinkOutage};
+use skilltax::machine::interconnect::FabricTopology;
+use skilltax::machine::multi::{MultiMachine, MultiSubtype};
+use skilltax::machine::noc::MeshNoc;
+use skilltax::machine::spatial::SpatialMachine;
+use skilltax::machine::uniprocessor::UniProcessor;
+use skilltax::machine::universal::lut::{tables, LutCell};
+use skilltax::machine::universal::{Bitstream, CellConfig, LutFabric, Source};
+use skilltax::machine::vliw::{Bundle, VliwMachine, VliwProgram};
+use skilltax::machine::{Assembler, Instr, MachineError, Program};
+
+/// `mem[0] = value` in whichever bank the executing DP owns.
+fn store_const(value: i64) -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 0)
+        .movi(1, value)
+        .emit(Instr::Store(0, 1))
+        .emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+/// The headline acceptance test: the same single-DP failure splits the
+/// classes along their deciding switch.
+#[test]
+fn one_failed_dp_splits_crossbar_from_direct_classes() {
+    // IMP-IX (IP-DP crossbar, code 0b1000): core 1's program is rebound to
+    // a healthy DP and replayed — the run completes, degraded.
+    let crossbar = MultiSubtype::from_code(0b1000).unwrap();
+    let mut m = MultiMachine::new(crossbar, 3, 8);
+    let programs: Vec<Program> = (0..3).map(|i| store_const(10 + i)).collect();
+    let outcome = m
+        .run_resilient(&programs, FaultPlan::seeded(9).fail_dp(1))
+        .unwrap();
+    assert!(
+        outcome.degraded,
+        "the crossbar class completes, but degraded"
+    );
+    assert!(outcome.faults_injected >= 1);
+    // Core 1's store replayed on the substitute DP still executed.
+    assert!(outcome.stats.mem_writes >= 3, "all three stores happened");
+
+    // IAP-I (private banks, DP-DM direct): the dead lane's bank is
+    // unreachable from any substitute DP — a typed refusal.
+    let mut a = ArrayMachine::new(ArraySubtype::I, 4, 8);
+    match a.run_resilient(&store_const(7), FaultPlan::seeded(9).fail_dp(1)) {
+        Err(MachineError::DegradationImpossible { machine, reason }) => {
+            assert!(machine.contains("IAP-I"), "machine: {machine}");
+            assert!(reason.contains("direct switch"), "reason: {reason}");
+        }
+        other => panic!("expected DegradationImpossible, got {other:?}"),
+    }
+}
+
+#[test]
+fn dataflow_classes_split_the_same_way() {
+    // DMP-IV: remapping the failed DP's island onto a healthy DP stays
+    // routable through the crossbars.
+    let m = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
+    let g = tree_sum(8);
+    let inputs: Vec<i64> = (1..=8).collect();
+    let (run, outcome) = m
+        .run_resilient(
+            &g,
+            &inputs,
+            &Placement::RoundRobin,
+            FaultPlan::seeded(2).fail_dp(1),
+        )
+        .unwrap();
+    assert_eq!(run.outputs, g.eval_reference(&inputs).unwrap());
+    assert!(outcome.degraded);
+
+    // DMP-I: the direct DP-DM link cannot reach the moved island's bank.
+    let m = DataflowMachine::new(DataflowSubtype::I, 4).unwrap();
+    let g = independent_chains(4);
+    match m.run_resilient(
+        &g,
+        &[3, 1, 4, 1],
+        &Placement::Islands,
+        FaultPlan::seeded(2).fail_dp(2),
+    ) {
+        Err(MachineError::DegradationImpossible { machine, .. }) => {
+            assert_eq!(machine, "DMP-I");
+        }
+        other => panic!("expected DegradationImpossible, got {other:?}"),
+    }
+}
+
+#[test]
+fn permanent_outage_exhausts_the_bounded_retry_budget() {
+    let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4);
+    let mut sender = Assembler::new();
+    sender.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+    let mut receiver = Assembler::new();
+    receiver.emit(Instr::Recv(5, 0)).emit(Instr::Halt);
+    let pair = vec![sender.assemble().unwrap(), receiver.assemble().unwrap()];
+    let plan = FaultPlan::seeded(0)
+        .fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: u64::MAX,
+        })
+        .with_max_retries(2);
+    match m.run_resilient(&pair, plan) {
+        Err(MachineError::RetryExhausted {
+            from: 0,
+            to: 1,
+            attempts,
+        }) => {
+            assert_eq!(attempts, 3, "max_retries + the final attempt");
+        }
+        other => panic!("expected RetryExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn transient_outage_is_survived_by_backoff() {
+    let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4);
+    let mut sender = Assembler::new();
+    sender.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+    let mut receiver = Assembler::new();
+    receiver.emit(Instr::Recv(5, 0)).emit(Instr::Halt);
+    let pair = vec![sender.assemble().unwrap(), receiver.assemble().unwrap()];
+    let plan = FaultPlan::seeded(0).fail_link(LinkOutage {
+        from: 0,
+        to: 1,
+        from_cycle: 0,
+        until_cycle: 4,
+    });
+    let outcome = m.run_resilient(&pair, plan).unwrap();
+    assert_eq!(m.core_reg(1, 5), 42);
+    assert!(outcome.retries >= 1);
+    assert!(
+        !outcome.degraded,
+        "a survived outage is not degraded completion"
+    );
+}
+
+// --- no run loop can hang: one watchdog assertion per family ---
+
+#[test]
+fn uniprocessor_watchdog_converts_livelock() {
+    let mut m = UniProcessor::new(8).with_cycle_limit(200);
+    let prog = Program::new(vec![Instr::Jmp(0)]).unwrap();
+    match m.run(&prog) {
+        Err(MachineError::WatchdogTimeout {
+            limit: 200,
+            partial,
+        }) => {
+            assert_eq!(partial.cycles, 200);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn array_watchdog_converts_stall_storm() {
+    let mut a = ArrayMachine::new(ArraySubtype::III, 4, 8).with_cycle_limit(100);
+    match a.run_resilient(&store_const(1), FaultPlan::seeded(5).stall_dps(1.0)) {
+        Err(MachineError::WatchdogTimeout {
+            limit: 100,
+            partial,
+        }) => {
+            assert_eq!(partial.cycles, 100);
+            assert!(partial.stalls > 0, "the storm is visible in partial stats");
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn multi_watchdog_converts_stall_storm() {
+    let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 2, 4).with_cycle_limit(100);
+    let programs = vec![store_const(1), store_const(2)];
+    match m.run_resilient(&programs, FaultPlan::seeded(5).stall_dps(1.0)) {
+        Err(MachineError::WatchdogTimeout {
+            limit: 100,
+            partial,
+        }) => {
+            assert_eq!(partial.cycles, 100);
+            assert!(partial.stalls > 0);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn vliw_watchdog_converts_infinite_loop() {
+    let mut m = VliwMachine::new(ArraySubtype::I, 2, 4).with_cycle_limit(150);
+    let spin = Bundle {
+        slots: vec![None, None],
+        control: Some(Instr::Jmp(0)),
+    };
+    let prog = VliwProgram::new(vec![spin], 2).unwrap();
+    match m.run(&prog) {
+        Err(MachineError::WatchdogTimeout {
+            limit: 150,
+            partial,
+        }) => {
+            assert_eq!(partial.cycles, 150);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn spatial_watchdog_converts_infinite_loop() {
+    let mut m = SpatialMachine::new(
+        MultiSubtype::from_index(1).unwrap(),
+        FabricTopology::Crossbar,
+        2,
+        4,
+    )
+    .unwrap()
+    .with_cycle_limit(120);
+    let spin = Program::new(vec![Instr::Jmp(0)]).unwrap();
+    let halt = Program::new(vec![Instr::Halt]).unwrap();
+    match m.run(&[spin, halt]) {
+        Err(MachineError::WatchdogTimeout {
+            limit: 120,
+            partial,
+        }) => {
+            assert_eq!(partial.cycles, 120);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn dataflow_watchdog_converts_stall_storm() {
+    let m = DataflowMachine::new(DataflowSubtype::IV, 2)
+        .unwrap()
+        .with_cycle_limit(64);
+    let g = tree_sum(4);
+    match m.run_resilient(
+        &g,
+        &[1, 2, 3, 4],
+        &Placement::RoundRobin,
+        FaultPlan::seeded(8).stall_dps(1.0),
+    ) {
+        Err(MachineError::WatchdogTimeout { limit: 64, partial }) => {
+            assert_eq!(partial.cycles, 64);
+            assert!(partial.stalls > 0);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn noc_drain_budget_is_a_typed_error() {
+    // A permanently blocked first hop holds the packet in place; with the
+    // TTL out of reach the drain budget turns the would-be spin into a
+    // typed error instead of a hang.
+    let outage = LinkOutage {
+        from: 0,
+        to: 1,
+        from_cycle: 0,
+        until_cycle: u64::MAX,
+    };
+    let mut noc = MeshNoc::new(2, 2)
+        .unwrap()
+        .with_faults(FaultPlan::seeded(3).fail_link(outage))
+        .with_packet_ttl(10_000);
+    noc.inject(0, 3, 77).unwrap();
+    assert!(matches!(
+        noc.drain(16),
+        Err(MachineError::CycleLimitExceeded { limit: 16 })
+    ));
+}
+
+#[test]
+fn fabric_run_until_watchdog_on_stuck_predicate() {
+    // A registered XOR cell with its toggle input held low never fires the
+    // predicate.
+    let fabric = LutFabric::new(4, 2, 1);
+    let bs = Bitstream {
+        cells: vec![CellConfig {
+            lut: LutCell::new(2, tables::XOR2.to_vec()).unwrap(),
+            inputs: vec![Source::Cell(0), Source::Primary(0)],
+            registered: true,
+        }],
+        outputs: vec![Source::Cell(0)],
+    };
+    let mut f = fabric.configure(&bs).unwrap();
+    match f.run_until(&[false], 48, |o| o[0]) {
+        Err(MachineError::WatchdogTimeout { limit: 48, partial }) => {
+            assert_eq!(partial.cycles, 48);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+}

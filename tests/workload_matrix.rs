@@ -20,7 +20,9 @@ fn b() -> Vec<Word> {
 }
 
 fn slices() -> Vec<Vec<Word>> {
-    (0..4).map(|c| ((c + 1)..(c + 5)).map(|v| v as Word).collect()).collect()
+    (0..4)
+        .map(|c| ((c + 1)..(c + 5)).map(|v| v as Word).collect())
+        .collect()
 }
 
 #[test]
@@ -77,7 +79,9 @@ fn sliding_fir_matrix() {
     assert_eq!(run_fir_uni(&taps, &signal).unwrap().outputs, reference);
     for subtype in [DataflowSubtype::II, DataflowSubtype::IV] {
         assert_eq!(
-            run_fir_dataflow(subtype, 4, &taps, &signal).unwrap().outputs,
+            run_fir_dataflow(subtype, 4, &taps, &signal)
+                .unwrap()
+                .outputs,
             reference,
             "{subtype:?}"
         );
@@ -108,7 +112,9 @@ fn reduction_matrix() {
     let reference = reduce_sum_reference(&data);
     assert_eq!(run_reduce_uni(&data).unwrap().outputs, vec![reference]);
     assert_eq!(
-        run_reduce_dataflow(DataflowSubtype::Uni, 1, &data).unwrap().outputs,
+        run_reduce_dataflow(DataflowSubtype::Uni, 1, &data)
+            .unwrap()
+            .outputs,
         vec![reference]
     );
     for subtype in DataflowSubtype::MULTI {
@@ -133,8 +139,14 @@ fn reduction_matrix() {
     }
     // And the parallelism follows the switches: DMP-II (parallel) beats
     // DMP-III (sequential-by-necessity) on the same machine size.
-    let par = run_reduce_dataflow(DataflowSubtype::II, 4, &data).unwrap().stats.cycles;
-    let seq = run_reduce_dataflow(DataflowSubtype::III, 4, &data).unwrap().stats.cycles;
+    let par = run_reduce_dataflow(DataflowSubtype::II, 4, &data)
+        .unwrap()
+        .stats
+        .cycles;
+    let seq = run_reduce_dataflow(DataflowSubtype::III, 4, &data)
+        .unwrap()
+        .stats
+        .cycles;
     assert!(par < seq, "DMP-II {par} vs DMP-III {seq}");
 }
 
@@ -145,11 +157,20 @@ fn parallelism_speedups_are_ordered_as_the_taxonomy_suggests() {
     let av: Vec<Word> = (0..n as Word).collect();
     let bv: Vec<Word> = (0..n as Word).rev().collect();
     let uni = run_vector_add_uni(&av, &bv).unwrap().stats.cycles;
-    let simd = run_vector_add_array(ArraySubtype::I, &av, &bv).unwrap().stats.cycles;
+    let simd = run_vector_add_array(ArraySubtype::I, &av, &bv)
+        .unwrap()
+        .stats
+        .cycles;
     assert!(simd * 8 < uni, "SIMD {simd} vs scalar {uni}");
 
     let data: Vec<Word> = (1..=64).collect();
-    let seq = run_reduce_dataflow(DataflowSubtype::Uni, 1, &data).unwrap().stats.cycles;
-    let par = run_reduce_dataflow(DataflowSubtype::IV, 16, &data).unwrap().stats.cycles;
+    let seq = run_reduce_dataflow(DataflowSubtype::Uni, 1, &data)
+        .unwrap()
+        .stats
+        .cycles;
+    let par = run_reduce_dataflow(DataflowSubtype::IV, 16, &data)
+        .unwrap()
+        .stats
+        .cycles;
     assert!(par * 4 < seq, "parallel dataflow {par} vs sequential {seq}");
 }
