@@ -25,6 +25,7 @@ use crate::interconnect::FabricTopology;
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
 use crate::program::Program;
+use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
 use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
 
 /// The four array sub-types.
@@ -154,8 +155,18 @@ impl ArrayMachine {
     /// broadcasts it to every lane.  Control flow is resolved on lane 0
     /// (the canonical SIMD "scalar unit" view).
     pub fn run(&mut self, program: &Program) -> Result<Stats, MachineError> {
+        self.run_traced(program, &mut NullTracer)
+    }
+
+    /// [`ArrayMachine::run`] with observation hooks; with a [`NullTracer`]
+    /// this monomorphises back to the plain broadcast loop.
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+    ) -> Result<Stats, MachineError> {
         let alive = vec![true; self.lanes.len()];
-        self.run_masked(program, &alive, None)
+        self.run_masked(program, &alive, None, tracer)
             .map(|outcome| outcome.stats)
     }
 
@@ -163,11 +174,12 @@ impl ArrayMachine {
     /// Control flow follows the first alive lane; a stalled lane stalls the
     /// whole lockstep broadcast for the cycle; exceeding the cycle budget
     /// returns [`MachineError::WatchdogTimeout`] with partial statistics.
-    fn run_masked(
+    fn run_masked<T: Tracer>(
         &mut self,
         program: &Program,
         alive: &[bool],
         mut faults: Option<&mut FaultPlan>,
+        tracer: &mut T,
     ) -> Result<RunOutcome, MachineError> {
         let mut stats = Stats::default();
         let mut pc = 0usize;
@@ -181,8 +193,10 @@ impl ArrayMachine {
                     reason: "every lane has failed".to_owned(),
                 })?;
         let live = alive.iter().filter(|&&a| a).count() as u64;
+        let base: Vec<(u64, u64, u64)> = self.lanes.iter().map(|l| l.counters()).collect();
         loop {
             if stats.cycles >= self.cycle_limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
                 return Err(MachineError::WatchdogTimeout {
                     limit: self.cycle_limit,
                     partial: stats,
@@ -193,10 +207,13 @@ impl ArrayMachine {
             };
             stats.cycles += 1;
             if let Some(plan) = faults.as_deref_mut() {
-                plan.maybe_flip_memory(&mut self.mem);
+                if plan.maybe_flip_memory(&mut self.mem) {
+                    tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::BitFlip));
+                }
                 // Lockstep SIMD: one stalled lane holds back the broadcast.
                 if (0..n).any(|l| alive[l] && plan.dp_stalled(stats.cycles, l)) {
                     stats.stalls += 1;
+                    tracer.record(stats.cycles, EventKind::Stall);
                     continue;
                 }
             }
@@ -229,16 +246,31 @@ impl ArrayMachine {
                         if src != lane {
                             fabric.route(src, lane, n)?;
                             stats.messages += 1;
+                            tracer.record(
+                                stats.cycles,
+                                EventKind::Message {
+                                    from: src,
+                                    to: lane,
+                                },
+                            );
+                            tracer.record(stats.cycles, EventKind::CrossbarTraversal);
                         }
                         self.lanes[lane].set_reg(rd, snapshot[src]);
                     }
                     stats.instructions += live;
+                    tracer.record_many(stats.cycles, EventKind::Issue, live);
                     pc += 1;
                 }
                 _ if instr.is_control() => {
                     // The IP resolves control flow against the control lane.
                     stats.instructions += 1;
-                    match self.lanes[ctrl].execute_local(instr, &mut self.mem)? {
+                    tracer.record(stats.cycles, EventKind::Issue);
+                    match self.lanes[ctrl].execute_traced(
+                        instr,
+                        &mut self.mem,
+                        stats.cycles,
+                        tracer,
+                    )? {
                         LocalOutcome::Next => pc += 1,
                         LocalOutcome::Branch(t) => pc = t,
                         LocalOutcome::Halt => break,
@@ -249,21 +281,27 @@ impl ArrayMachine {
                         if !alive[lane] {
                             continue;
                         }
-                        match dp.execute_local(instr, &mut self.mem)? {
+                        match dp.execute_traced(instr, &mut self.mem, stats.cycles, tracer)? {
                             LocalOutcome::Next => {}
                             other => unreachable!("non-control instr produced {other:?}"),
                         }
                     }
                     stats.instructions += live;
+                    tracer.record_many(stats.cycles, EventKind::Issue, live);
                     pc += 1;
                 }
             }
         }
-        for lane in &self.lanes {
-            let (alu, mr, mw) = lane.counters();
-            stats.alu_ops += alu;
-            stats.mem_reads += mr;
-            stats.mem_writes += mw;
+        for (lane, dp) in self.lanes.iter().enumerate() {
+            let (alu, mr, mw) = dp.counters();
+            let (b_alu, b_mr, b_mw) = base[lane];
+            stats.alu_ops += alu - b_alu;
+            stats.mem_reads += mr - b_mr;
+            stats.mem_writes += mw - b_mw;
+            if tracer.enabled() && alive[lane] {
+                tracer.sample("dp.alu_ops", alu - b_alu);
+                tracer.sample("dp.mem_ops", (mr - b_mr) + (mw - b_mw));
+            }
         }
         let faults_injected = faults.as_ref().map_or(0, |p| p.injected());
         Ok(RunOutcome {
@@ -302,7 +340,7 @@ impl ArrayMachine {
             });
         }
         let mut fork = plan.fork();
-        let mut outcome = self.run_masked(program, &alive, Some(&mut fork))?;
+        let mut outcome = self.run_masked(program, &alive, Some(&mut fork), &mut NullTracer)?;
         outcome.faults_injected += failed.len() as u64;
         if failed.is_empty() {
             return Ok(outcome);

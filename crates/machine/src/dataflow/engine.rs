@@ -24,6 +24,7 @@ use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::fault::{FaultPlan, RunOutcome};
 use crate::isa::Word;
+use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
 
 use super::graph::{DataflowGraph, NodeId, OpKind};
 
@@ -285,7 +286,28 @@ impl DataflowMachine {
         }
         let map = self.place(graph, placement);
         self.check_placement(graph, &map)?;
-        self.execute(graph, inputs, &map, None)
+        self.execute(graph, inputs, &map, None, &mut NullTracer)
+    }
+
+    /// [`DataflowMachine::run`] with observation hooks; with a
+    /// [`NullTracer`] this monomorphises back to the plain firing loop.
+    pub fn run_traced<T: Tracer>(
+        &self,
+        graph: &DataflowGraph,
+        inputs: &[Word],
+        placement: &Placement,
+        tracer: &mut T,
+    ) -> Result<DataflowRun, MachineError> {
+        if inputs.len() != graph.input_count() {
+            return Err(MachineError::config(format!(
+                "graph expects {} inputs, got {}",
+                graph.input_count(),
+                inputs.len()
+            )));
+        }
+        let map = self.place(graph, placement);
+        self.check_placement(graph, &map)?;
+        self.execute(graph, inputs, &map, None, tracer)
     }
 
     /// Run a graph under a fault plan, degrading around failed DPs.
@@ -347,7 +369,7 @@ impl DataflowMachine {
         } else {
             self.check_placement(graph, &map)?;
         }
-        let run = self.execute(graph, inputs, &map, Some(&mut plan))?;
+        let run = self.execute(graph, inputs, &map, Some(&mut plan), &mut NullTracer)?;
         let outcome = RunOutcome {
             stats: run.stats,
             faults_injected: plan.injected() + failed.len() as u64,
@@ -358,12 +380,13 @@ impl DataflowMachine {
     }
 
     /// The token-driven firing loop over a checked placement.
-    fn execute(
+    fn execute<T: Tracer>(
         &self,
         graph: &DataflowGraph,
         inputs: &[Word],
         map: &[usize],
         mut faults: Option<&mut FaultPlan>,
+        tracer: &mut T,
     ) -> Result<DataflowRun, MachineError> {
         let consumers = graph.consumers();
         let mut pending: Vec<usize> = graph.nodes().iter().map(|n| n.op.arity()).collect();
@@ -381,6 +404,7 @@ impl DataflowMachine {
 
         while fired < graph.len() {
             if stats.cycles >= self.cycle_limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
                 return Err(MachineError::WatchdogTimeout {
                     limit: self.cycle_limit,
                     partial: stats,
@@ -390,9 +414,14 @@ impl DataflowMachine {
             let mut fired_this_cycle: Vec<NodeId> = Vec::new();
             // Each DP fires at most one ready node per cycle.
             for (dp, dp_ready) in ready.iter_mut().enumerate() {
+                if tracer.enabled() {
+                    tracer.sample("dataflow.ready_depth", dp_ready.len() as u64);
+                }
                 if let Some(plan) = faults.as_deref_mut() {
                     if plan.dp_stalled(stats.cycles, dp) {
                         stats.stalls += 1;
+                        tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
+                        tracer.record(stats.cycles, EventKind::Stall);
                         continue;
                     }
                 }
@@ -406,26 +435,31 @@ impl DataflowMachine {
                     let v = match node.op {
                         OpKind::Input(k) => {
                             stats.mem_reads += 1;
+                            tracer.record(stats.cycles, EventKind::MemRead);
                             inputs[k]
                         }
                         OpKind::Output(k) => {
                             stats.mem_writes += 1;
+                            tracer.record(stats.cycles, EventKind::MemWrite);
                             outputs[k] = operands[0];
                             operands[0]
                         }
                         other => {
                             if other.is_alu() {
                                 stats.alu_ops += 1;
+                                tracer.record(stats.cycles, EventKind::AluOp);
                             }
                             other.apply(&operands)
                         }
                     };
                     value[id] = Some(v);
                     stats.instructions += 1;
+                    tracer.record(stats.cycles, EventKind::Issue);
                     fired += 1;
                     fired_this_cycle.push(id);
                 } else {
                     stats.stalls += 1;
+                    tracer.record(stats.cycles, EventKind::Stall);
                 }
             }
             // Propagate tokens produced this cycle.
@@ -433,6 +467,14 @@ impl DataflowMachine {
                 for &consumer in &consumers[id] {
                     if map[consumer] != map[id] {
                         stats.messages += 1;
+                        tracer.record(
+                            stats.cycles,
+                            EventKind::Message {
+                                from: map[id],
+                                to: map[consumer],
+                            },
+                        );
+                        tracer.record(stats.cycles, EventKind::CrossbarTraversal);
                     }
                     pending[consumer] -= 1;
                     if pending[consumer] == 0 {

@@ -4,6 +4,7 @@
 use crate::error::MachineError;
 use crate::isa::{Instr, Reg, Word, NUM_REGS};
 use crate::mem::BankedMemory;
+use crate::telemetry::{EventKind, Tracer};
 
 /// What the processor should do after executing one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,29 @@ impl DataProcessor {
                 unreachable!("fabric instructions are intercepted by the machine")
             }
         }
+    }
+
+    /// [`DataProcessor::execute_local`] plus event emission: diffs the
+    /// internal counters across the call and records one `AluOp` /
+    /// `MemRead` / `MemWrite` event per increment.  With a disabled
+    /// tracer this is exactly `execute_local` (the diffing is skipped).
+    pub fn execute_traced<T: Tracer>(
+        &mut self,
+        instr: Instr,
+        mem: &mut BankedMemory,
+        cycle: u64,
+        tracer: &mut T,
+    ) -> Result<LocalOutcome, MachineError> {
+        if !tracer.enabled() {
+            return self.execute_local(instr, mem);
+        }
+        let before = self.counters();
+        let outcome = self.execute_local(instr, mem);
+        let after = self.counters();
+        tracer.record_many(cycle, EventKind::AluOp, after.0 - before.0);
+        tracer.record_many(cycle, EventKind::MemRead, after.1 - before.1);
+        tracer.record_many(cycle, EventKind::MemWrite, after.2 - before.2);
+        outcome
     }
 
     fn alu(&mut self, rd: Reg, value: Word) -> Result<LocalOutcome, MachineError> {

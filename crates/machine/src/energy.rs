@@ -9,6 +9,7 @@
 //! cost more than direct-wired ones.
 
 use crate::exec::Stats;
+use crate::telemetry::{EventClass, EventTrace};
 
 /// Per-event energy costs in picojoules.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +106,31 @@ impl EnergyModel {
             static_pj: stats.cycles as f64 * self.static_pj_per_cycle,
         }
     }
+
+    /// Price a run from its *traced* event counts instead of re-deriving
+    /// activity from [`Stats`].  Because the trace's per-class totals are
+    /// monotonic (independent of ring capacity) this agrees exactly with
+    /// [`EnergyModel::estimate`] whenever the trace reconciles with the
+    /// statistics; `cycles` is passed explicitly because elapsed time is a
+    /// clock property, not an event count.
+    pub fn estimate_from_trace(
+        &self,
+        trace: &EventTrace,
+        cycles: u64,
+        crossbar_memory: bool,
+        crossbar_messages: bool,
+    ) -> EnergyEstimate {
+        let stats = Stats {
+            cycles,
+            instructions: trace.count(EventClass::Issue),
+            alu_ops: trace.count(EventClass::AluOp),
+            mem_reads: trace.count(EventClass::MemRead),
+            mem_writes: trace.count(EventClass::MemWrite),
+            messages: trace.count(EventClass::Message),
+            stalls: trace.count(EventClass::Stall),
+        };
+        self.estimate(&stats, crossbar_memory, crossbar_messages)
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +183,29 @@ mod tests {
         let e_simd = model.estimate(&simd.stats, false, false);
         assert!(e_simd.static_pj < e_uni.static_pj);
         assert!(e_simd.per_instruction(&simd.stats) <= e_uni.per_instruction(&uni.stats) * 1.2);
+    }
+
+    #[test]
+    fn trace_based_estimate_matches_stats_based_estimate() {
+        use crate::program::{Assembler, Program};
+        use crate::telemetry::EventTrace;
+        use crate::uniprocessor::UniProcessor;
+        let mut asm = Assembler::new();
+        asm.movi(0, 2)
+            .movi(1, 3)
+            .emit(crate::isa::Instr::Add(2, 0, 1))
+            .movi(3, 0)
+            .emit(crate::isa::Instr::Store(3, 2))
+            .emit(crate::isa::Instr::Halt);
+        let prog: Program = asm.assemble().unwrap();
+        let mut m = UniProcessor::new(8);
+        let mut trace = EventTrace::new();
+        let stats = m.run_traced(&prog, &mut trace).unwrap();
+        let model = EnergyModel::default();
+        let from_stats = model.estimate(&stats, false, false);
+        let from_trace = model.estimate_from_trace(&trace, stats.cycles, false, false);
+        assert_eq!(from_stats, from_trace);
+        assert!(from_trace.total_pj() > 0.0);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::telemetry::{EventClass, EventTrace};
+
 /// Counters collected while running a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Stats {
@@ -53,6 +55,31 @@ impl Stats {
             cycles: self.cycles + rhs.cycles,
             ..self.sum_work(rhs)
         }
+    }
+
+    /// Check that an [`EventTrace`] recorded alongside this run accounts
+    /// for every counter exactly (the telemetry layer's correctness
+    /// contract, asserted for every machine family in the test suite).
+    /// Returns the first mismatch as `"<class>: trace=N stats=M"`.
+    pub fn reconcile(&self, trace: &EventTrace) -> Result<(), String> {
+        let pairs = [
+            (EventClass::Issue, self.instructions, "instructions"),
+            (EventClass::AluOp, self.alu_ops, "alu_ops"),
+            (EventClass::MemRead, self.mem_reads, "mem_reads"),
+            (EventClass::MemWrite, self.mem_writes, "mem_writes"),
+            (EventClass::Message, self.messages, "messages"),
+            (EventClass::Stall, self.stalls, "stalls"),
+        ];
+        for (class, counter, field) in pairs {
+            let traced = trace.count(class);
+            if traced != counter {
+                return Err(format!(
+                    "{field}: trace={traced} stats={counter} (class {})",
+                    class.label()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Sum the work counters (everything except `cycles`).
@@ -137,6 +164,26 @@ mod tests {
         let c = a.accumulate_sequential(b);
         assert_eq!(c.cycles, 17); // phases back to back: wall clock adds
         assert_eq!(c.instructions, 9);
+    }
+
+    #[test]
+    fn reconcile_accepts_exact_traces_and_names_the_first_mismatch() {
+        use crate::telemetry::EventKind;
+        let mut trace = EventTrace::new();
+        trace.push(1, EventKind::Issue);
+        trace.push(1, EventKind::AluOp);
+        trace.push(2, EventKind::Stall);
+        let stats = Stats {
+            cycles: 2,
+            instructions: 1,
+            alu_ops: 1,
+            stalls: 1,
+            ..Stats::default()
+        };
+        assert_eq!(stats.reconcile(&trace), Ok(()));
+        let short = Stats { stalls: 0, ..stats };
+        let err = short.reconcile(&trace).unwrap_err();
+        assert!(err.contains("stalls"), "err: {err}");
     }
 
     #[test]

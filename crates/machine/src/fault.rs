@@ -207,19 +207,22 @@ impl FaultPlan {
     }
 
     /// Apply a pending transient bit-flip (if any) to `mem`, reducing the
-    /// raw draws modulo the memory's geometry.
-    pub fn maybe_flip_memory(&mut self, mem: &mut crate::mem::BankedMemory) {
+    /// raw draws modulo the memory's geometry.  Returns `true` when a bit
+    /// was actually flipped (so callers can trace the injection).
+    pub fn maybe_flip_memory(&mut self, mem: &mut crate::mem::BankedMemory) -> bool {
         if let Some((bank_raw, addr_raw, bit)) = self.memory_bit_flip() {
             let banks = mem.bank_count();
             let words = mem.bank_size();
             if banks == 0 || words == 0 {
-                return;
+                return false;
             }
             let bank = (bank_raw % banks as u64) as usize;
             let addr = (addr_raw % words as u64) as usize;
             let old = mem.bank(bank).contents()[addr];
             mem.bank_mut(bank).write(addr, old ^ (1 << bit));
+            return true;
         }
+        false
     }
 }
 
@@ -233,15 +236,15 @@ pub struct RetryState {
 }
 
 impl RetryState {
-    /// Record a failed attempt at `cycle`; returns the error when the
-    /// bound is exhausted.
+    /// Record a failed attempt at `cycle`; returns the backoff delay in
+    /// cycles, or the error when the bound is exhausted.
     pub fn back_off(
         &mut self,
         cycle: u64,
         from: usize,
         to: usize,
         max_retries: u32,
-    ) -> Result<(), MachineError> {
+    ) -> Result<u64, MachineError> {
         self.attempts += 1;
         if self.attempts > max_retries {
             return Err(MachineError::RetryExhausted {
@@ -254,7 +257,7 @@ impl RetryState {
         // watchdog budget).
         let delay = 1u64 << (self.attempts - 1).min(10);
         self.next_attempt = cycle + delay;
-        Ok(())
+        Ok(delay)
     }
 
     /// May the caller retry at `cycle`?

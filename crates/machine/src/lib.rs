@@ -17,7 +17,9 @@
 //! * [`morph`] — the emulation partial order, validated by running it;
 //! * [`sweep`] — parallel parameter sweeps for the benchmark harness;
 //! * [`fault`] — deterministic fault injection and graceful degradation,
-//!   which turns the flexibility ordering into a resilience experiment.
+//!   which turns the flexibility ordering into a resilience experiment;
+//! * [`telemetry`] — cycle-level tracing and metrics, zero-cost when
+//!   disabled, threaded through every run loop.
 //!
 //! ```
 //! use skilltax_machine::array::{ArrayMachine, ArraySubtype};
@@ -49,6 +51,7 @@ pub mod program;
 pub mod reconfig;
 pub mod spatial;
 pub mod sweep;
+pub mod telemetry;
 pub mod uniprocessor;
 pub mod universal;
 pub mod vliw;
@@ -59,3 +62,7 @@ pub use exec::Stats;
 pub use fault::{FaultPlan, LinkOutage, ResilienceRow, RunOutcome};
 pub use isa::{Instr, Reg, Word};
 pub use program::{Assembler, Program};
+pub use telemetry::{
+    EventClass, EventKind, EventTrace, FaultKind, MetricsRegistry, NullTracer, Telemetry,
+    TraceEvent, Tracer,
+};

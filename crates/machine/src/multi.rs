@@ -23,6 +23,7 @@ use crate::interconnect::{FabricTopology, Mailboxes};
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
 use crate::program::Program;
+use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
 use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
 
 /// One of the sixteen IMP sub-types, identified by its 4-bit crossbar code
@@ -238,6 +239,25 @@ impl MultiMachine {
         self.execute(programs, &assignment)
     }
 
+    /// [`MultiMachine::run`] with observation hooks; with a [`NullTracer`]
+    /// this monomorphises back to the plain core loop.
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        programs: &[Program],
+        tracer: &mut T,
+    ) -> Result<Stats, MachineError> {
+        if programs.len() != self.cores.len() {
+            return Err(MachineError::config(format!(
+                "{} programs for {} cores",
+                programs.len(),
+                self.cores.len()
+            )));
+        }
+        let assignment: Vec<usize> = (0..self.cores.len()).collect();
+        self.execute_with(programs, &assignment, None, tracer)
+            .map(|outcome| outcome.stats)
+    }
+
     /// Run from a shared program library with an arbitrary core→program
     /// assignment — requires the IP–IM crossbar.  With a direct IP–IM the
     /// assignment must be the identity onto a library of exactly one
@@ -286,7 +306,7 @@ impl MultiMachine {
         library: &[Program],
         assignment: &[usize],
     ) -> Result<Stats, MachineError> {
-        self.execute_with(library, assignment, None)
+        self.execute_with(library, assignment, None, &mut NullTracer)
             .map(|outcome| outcome.stats)
     }
 
@@ -296,11 +316,12 @@ impl MultiMachine {
     /// backoff — plus drops and corruption.  Exceeding the cycle budget
     /// returns [`MachineError::WatchdogTimeout`] carrying the partial
     /// statistics.
-    fn execute_with(
+    fn execute_with<T: Tracer>(
         &mut self,
         library: &[Program],
         assignment: &[usize],
         mut faults: Option<FaultPlan>,
+        tracer: &mut T,
     ) -> Result<RunOutcome, MachineError> {
         if let Some(plan) = faults.as_mut() {
             self.mailboxes.install_faults(plan.fork());
@@ -318,11 +339,13 @@ impl MultiMachine {
         let max_retries = faults
             .as_ref()
             .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
+        let base: Vec<(u64, u64, u64)> = self.cores.iter().map(|c| c.dp.counters()).collect();
         loop {
             if self.cores.iter().all(|c| c.halted) {
                 break;
             }
             if stats.cycles >= self.cycle_limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
                 return Err(MachineError::WatchdogTimeout {
                     limit: self.cycle_limit,
                     partial: stats,
@@ -331,7 +354,9 @@ impl MultiMachine {
             stats.cycles += 1;
             self.mailboxes.set_cycle(stats.cycles);
             if let Some(plan) = faults.as_mut() {
-                plan.maybe_flip_memory(&mut self.mem);
+                if plan.maybe_flip_memory(&mut self.mem) {
+                    tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::BitFlip));
+                }
             }
             let mut progress = false;
             for i in 0..n {
@@ -343,6 +368,8 @@ impl MultiMachine {
                 if let Some(plan) = faults.as_mut() {
                     if plan.dp_stalled(stats.cycles, self.binding[i]) {
                         stats.stalls += 1;
+                        tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
+                        tracer.record(stats.cycles, EventKind::Stall);
                         progress = true;
                         continue;
                     }
@@ -350,22 +377,27 @@ impl MultiMachine {
                 // A core backing off after a failed send waits its turn.
                 if !retry[i].ready(stats.cycles) {
                     stats.stalls += 1;
+                    tracer.record(stats.cycles, EventKind::Stall);
                     progress = true;
                     continue;
                 }
                 // A blocked receive retries before fetching anything new.
                 if let Some((rd, src)) = self.cores[i].waiting {
                     let lane = self.binding[i];
-                    match self.mailboxes.recv(lane, self.binding[src])? {
+                    let from = self.binding[src];
+                    match self.mailboxes.recv(lane, from)? {
                         Some(v) => {
                             self.cores[i].dp.set_reg(rd, v);
                             self.cores[i].waiting = None;
                             self.cores[i].pc += 1;
                             stats.messages += 1;
+                            tracer.record(stats.cycles, EventKind::Message { from, to: lane });
+                            tracer.record(stats.cycles, EventKind::CrossbarTraversal);
                             progress = true;
                         }
                         None => {
                             stats.stalls += 1;
+                            tracer.record(stats.cycles, EventKind::Stall);
                         }
                     }
                     continue;
@@ -401,12 +433,22 @@ impl MultiMachine {
                                 retry[i] = RetryState::default();
                                 self.cores[i].pc += 1;
                                 stats.instructions += 1;
+                                tracer.record(stats.cycles, EventKind::Issue);
                                 progress = true;
                             }
                             Err(MachineError::LinkDown { from, to, .. }) => {
-                                retry[i].back_off(stats.cycles, from, to, max_retries)?;
+                                let delay =
+                                    retry[i].back_off(stats.cycles, from, to, max_retries)?;
                                 retries += 1;
                                 stats.stalls += 1;
+                                tracer.record(
+                                    stats.cycles,
+                                    EventKind::FaultInjected(FaultKind::LinkDown),
+                                );
+                                tracer.record(stats.cycles, EventKind::Retry);
+                                tracer.record(stats.cycles, EventKind::Stall);
+                                tracer.counter("retries", 1);
+                                tracer.sample("backoff.delay", delay);
                                 progress = true;
                             }
                             Err(other) => return Err(other),
@@ -428,11 +470,18 @@ impl MultiMachine {
                             .route(self.binding[src], self.binding[i], n)?;
                         self.cores[i].waiting = Some((rd, src));
                         stats.instructions += 1;
+                        tracer.record(stats.cycles, EventKind::Issue);
                         progress = true;
                     }
                     _ => {
                         stats.instructions += 1;
-                        match self.cores[i].dp.execute_local(instr, &mut self.mem)? {
+                        tracer.record(stats.cycles, EventKind::Issue);
+                        match self.cores[i].dp.execute_traced(
+                            instr,
+                            &mut self.mem,
+                            stats.cycles,
+                            tracer,
+                        )? {
                             LocalOutcome::Next => self.cores[i].pc += 1,
                             LocalOutcome::Branch(t) => self.cores[i].pc = t,
                             LocalOutcome::Halt => self.cores[i].halted = true,
@@ -447,11 +496,16 @@ impl MultiMachine {
                 });
             }
         }
-        for core in &self.cores {
+        for (i, core) in self.cores.iter().enumerate() {
             let (alu, mr, mw) = core.dp.counters();
-            stats.alu_ops += alu;
-            stats.mem_reads += mr;
-            stats.mem_writes += mw;
+            let (b_alu, b_mr, b_mw) = base[i];
+            stats.alu_ops += alu - b_alu;
+            stats.mem_reads += mr - b_mr;
+            stats.mem_writes += mw - b_mw;
+            if tracer.enabled() {
+                tracer.sample("dp.alu_ops", alu - b_alu);
+                tracer.sample("dp.mem_ops", (mr - b_mr) + (mw - b_mw));
+            }
         }
         let faults_injected =
             faults.as_ref().map_or(0, FaultPlan::injected) + self.mailboxes.faults_injected();
@@ -478,7 +532,19 @@ impl MultiMachine {
     pub fn run_resilient(
         &mut self,
         programs: &[Program],
+        plan: FaultPlan,
+    ) -> Result<RunOutcome, MachineError> {
+        self.run_resilient_traced(programs, plan, &mut NullTracer)
+    }
+
+    /// [`MultiMachine::run_resilient`] with observation hooks: the trace
+    /// additionally records one `FaultInjected(DpFailed)` per failed DP
+    /// and one `Degradation` event per replayed remap.
+    pub fn run_resilient_traced<T: Tracer>(
+        &mut self,
+        programs: &[Program],
         mut plan: FaultPlan,
+        tracer: &mut T,
     ) -> Result<RunOutcome, MachineError> {
         if programs.len() != self.cores.len() {
             return Err(MachineError::config(format!(
@@ -491,7 +557,10 @@ impl MultiMachine {
         let identity: Vec<usize> = (0..n).collect();
         let failed: Vec<usize> = (0..n).filter(|&i| plan.dp_failed(i)).collect();
         if failed.is_empty() {
-            return self.execute_with(programs, &identity, Some(plan));
+            return self.execute_with(programs, &identity, Some(plan), tracer);
+        }
+        for _ in &failed {
+            tracer.record(0, EventKind::FaultInjected(FaultKind::DpFailed));
         }
         if failed.len() == n {
             return Err(MachineError::DegradationImpossible {
@@ -518,7 +587,7 @@ impl MultiMachine {
                 }
             })
             .collect();
-        let mut outcome = self.execute_with(&phase1, &identity, Some(plan.fork()))?;
+        let mut outcome = self.execute_with(&phase1, &identity, Some(plan.fork()), tracer)?;
         outcome.faults_injected += failed.len() as u64;
         // Replay phases: each failed core's program runs on a healthy DP.
         let spare = (0..n)
@@ -526,6 +595,7 @@ impl MultiMachine {
             .expect("a healthy DP exists");
         for &f in &failed {
             self.rebind(f, spare)?;
+            tracer.record(outcome.stats.cycles, EventKind::Degradation);
             let phase: Vec<Program> = (0..n)
                 .map(|i| {
                     if i == f {
@@ -535,7 +605,7 @@ impl MultiMachine {
                     }
                 })
                 .collect();
-            let replay = self.execute_with(&phase, &identity, Some(plan.fork()))?;
+            let replay = self.execute_with(&phase, &identity, Some(plan.fork()), tracer)?;
             outcome.stats = outcome.stats.accumulate_sequential(replay.stats);
             outcome.faults_injected += replay.faults_injected;
             outcome.retries += replay.retries;

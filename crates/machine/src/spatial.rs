@@ -23,6 +23,7 @@ use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
 use crate::multi::MultiSubtype;
 use crate::program::Program;
+use crate::telemetry::{EventKind, NullTracer, Tracer};
 use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
 
 /// A spatial machine: MIMD cores plus an IP–IP fabric enabling fusion.
@@ -175,6 +176,16 @@ impl SpatialMachine {
     /// stream across its group's DPs in lockstep; control flow follows the
     /// leader's DP.
     pub fn run(&mut self, programs: &[Program]) -> Result<Stats, MachineError> {
+        self.run_traced(programs, &mut NullTracer)
+    }
+
+    /// [`SpatialMachine::run`] with observation hooks; with a
+    /// [`NullTracer`] this monomorphises back to the plain group loop.
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        programs: &[Program],
+        tracer: &mut T,
+    ) -> Result<Stats, MachineError> {
         if programs.len() != self.n {
             return Err(MachineError::config(format!(
                 "{} programs for {} cores",
@@ -186,11 +197,13 @@ impl SpatialMachine {
         let mut pcs = vec![0usize; self.n];
         let mut halted = vec![false; self.n]; // per leader
         let mut stats = Stats::default();
+        let base: Vec<(u64, u64, u64)> = self.dps.iter().map(|d| d.counters()).collect();
         loop {
             if groups.iter().all(|(leader, _)| halted[*leader]) {
                 break;
             }
             if stats.cycles >= self.cycle_limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
                 return Err(MachineError::WatchdogTimeout {
                     limit: self.cycle_limit,
                     partial: stats,
@@ -216,7 +229,13 @@ impl SpatialMachine {
                     }
                     _ if instr.is_control() => {
                         stats.instructions += 1;
-                        match self.dps[leader].execute_local(instr, &mut self.mem)? {
+                        tracer.record(stats.cycles, EventKind::Issue);
+                        match self.dps[leader].execute_traced(
+                            instr,
+                            &mut self.mem,
+                            stats.cycles,
+                            tracer,
+                        )? {
                             LocalOutcome::Next => pcs[leader] += 1,
                             LocalOutcome::Branch(t) => pcs[leader] = t,
                             LocalOutcome::Halt => halted[leader] = true,
@@ -224,19 +243,30 @@ impl SpatialMachine {
                     }
                     _ => {
                         for &m in members {
-                            self.dps[m].execute_local(instr, &mut self.mem)?;
+                            self.dps[m].execute_traced(
+                                instr,
+                                &mut self.mem,
+                                stats.cycles,
+                                tracer,
+                            )?;
                         }
                         stats.instructions += members.len() as u64;
+                        tracer.record_many(stats.cycles, EventKind::Issue, members.len() as u64);
                         pcs[leader] += 1;
                     }
                 }
             }
         }
-        for dp in &self.dps {
+        for (i, dp) in self.dps.iter().enumerate() {
             let (alu, mr, mw) = dp.counters();
-            stats.alu_ops += alu;
-            stats.mem_reads += mr;
-            stats.mem_writes += mw;
+            let (b_alu, b_mr, b_mw) = base[i];
+            stats.alu_ops += alu - b_alu;
+            stats.mem_reads += mr - b_mr;
+            stats.mem_writes += mw - b_mw;
+            if tracer.enabled() {
+                tracer.sample("dp.alu_ops", alu - b_alu);
+                tracer.sample("dp.mem_ops", (mr - b_mr) + (mw - b_mw));
+            }
         }
         Ok(stats)
     }

@@ -5,10 +5,16 @@
 //! threads with `std::thread::scope`.  Results come back in input order
 //! regardless of completion order.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Run `f` over `items` in parallel (scoped threads, one queue, results in
-/// input order).  Falls back to sequential execution for tiny inputs.
+/// Run `f` over `items` in parallel (scoped threads, one lock-free work
+/// queue, results in input order).  Falls back to sequential execution
+/// for tiny inputs.
+///
+/// Workers claim indices with a single `fetch_add` and buffer their
+/// results thread-locally, so no shared lock is held around either `f`
+/// or the result writes.  If any worker panics, the first panic payload
+/// is re-raised verbatim on the caller's thread.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -23,29 +29,45 @@ where
         return items.iter().map(&f).collect();
     }
     let threads = threads.min(n);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    {
-        let next = Mutex::new(0usize);
-        let slots = Mutex::new(&mut results);
-        let items = &items;
-        let f = &f;
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = {
-                        let mut guard = next.lock().expect("sweep queue poisoned");
-                        let i = *guard;
-                        if i >= n {
+    let next = AtomicUsize::new(0);
+    let items = &items;
+    let f = &f;
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
                             break;
                         }
-                        *guard += 1;
-                        i
-                    };
-                    let value = f(&items[index]);
-                    slots.lock().expect("sweep slots poisoned")[index] = Some(value);
-                });
+                        local.push((index, f(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut chunks = Vec::with_capacity(threads);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => chunks.push(chunk),
+                Err(payload) => {
+                    if panic.is_none() {
+                        panic = Some(payload);
+                    }
+                }
             }
-        });
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        chunks
+    });
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (index, value) in chunks.into_iter().flatten() {
+        results[index] = Some(value);
     }
     results
         .into_iter()
@@ -97,6 +119,28 @@ mod tests {
         let empty: Vec<u8> = parallel_map(Vec::<u8>::new(), |&x| x);
         assert!(empty.is_empty());
         assert_eq!(parallel_map(vec![7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_verbatim() {
+        // Regression: the old Mutex<&mut Vec<_>> version poisoned the slot
+        // lock on panic and surfaced "sweep slots poisoned" instead of the
+        // worker's own message.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map((0..64).collect::<Vec<i32>>(), |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .expect("panic payload is a string");
+        assert_eq!(message, "boom at 13");
     }
 
     #[test]

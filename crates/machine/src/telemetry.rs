@@ -1,0 +1,618 @@
+//! Cycle-level tracing and metrics for every machine family.
+//!
+//! The paper's argument is quantitative (flexibility scores, per-class
+//! trade-offs), so *why* a run cost what it did must be observable, not
+//! just the final [`Stats`](crate::exec::Stats) blob.  This module adds a
+//! zero-dependency observability layer:
+//!
+//! * [`Tracer`] — the hook trait every run loop is generic over.  All
+//!   methods have no-op defaults, and the loops are monomorphised per
+//!   tracer type, so a [`NullTracer`] compiles away entirely: tracing off
+//!   costs nothing on the hot path.
+//! * [`EventTrace`] — a bounded ring buffer of cycle-stamped
+//!   [`TraceEvent`]s.  Per-class totals are kept in monotonic counters
+//!   *outside* the ring, so event accounting stays exact even after the
+//!   buffer wraps and old events are overwritten.
+//! * [`MetricsRegistry`] — named monotonic counters plus log2-bucketed
+//!   [`Histogram`]s (per-DP utilisation, queue depths, backoff delays).
+//! * [`Telemetry`] — the everything-on combination of the two.
+//!
+//! The event taxonomy mirrors the [`Stats`](crate::exec::Stats) fields
+//! one-for-one (`Issue` ↔ `instructions`, `Stall` ↔ `stalls`, …), which is
+//! what lets `tests/telemetry.rs` reconcile traced counts against the
+//! counters exactly for every family.
+
+use std::collections::BTreeMap;
+
+/// Which kind of fault a [`EventKind::FaultInjected`] event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A directed link was down when a send was attempted.
+    LinkDown,
+    /// An in-flight message was dropped.
+    Dropped,
+    /// A delivered payload was corrupted.
+    Corrupted,
+    /// A DP was transiently stalled.
+    Stall,
+    /// A memory bit was flipped.
+    BitFlip,
+    /// A DP is permanently failed (recorded once per failed DP).
+    DpFailed,
+}
+
+/// One cycle-stamped event, as emitted by the machine run loops.
+///
+/// Every variant that mirrors a [`Stats`](crate::exec::Stats) counter is
+/// emitted exactly once per counter increment, so per-class trace totals
+/// reconcile with the final statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// One instruction issued (mirrors `Stats::instructions`).
+    Issue,
+    /// One ALU operation retired (mirrors `Stats::alu_ops`).
+    AluOp,
+    /// One data-memory read (mirrors `Stats::mem_reads`).
+    MemRead,
+    /// One data-memory write (mirrors `Stats::mem_writes`).
+    MemWrite,
+    /// One DP–DP transfer delivered (mirrors `Stats::messages`).
+    Message {
+        /// Source lane.
+        from: usize,
+        /// Destination lane.
+        to: usize,
+    },
+    /// A transfer crossed a crossbar switch (emitted alongside the
+    /// [`EventKind::Message`] it priced; not a `Stats` counter).
+    CrossbarTraversal,
+    /// A stalled processor-cycle (mirrors `Stats::stalls`).
+    Stall,
+    /// The fault plan fired (not a `Stats` counter).
+    FaultInjected(FaultKind),
+    /// A sender retried after a failed transfer.
+    Retry,
+    /// Work was remapped off a failed component.
+    Degradation,
+    /// The watchdog cycle budget tripped.
+    Watchdog,
+}
+
+/// The field-less classification of an [`EventKind`], used for counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventClass {
+    /// Instruction issue.
+    Issue,
+    /// ALU operation.
+    AluOp,
+    /// Memory read.
+    MemRead,
+    /// Memory write.
+    MemWrite,
+    /// DP–DP message.
+    Message,
+    /// Crossbar traversal.
+    CrossbarTraversal,
+    /// Stalled cycle.
+    Stall,
+    /// Injected fault.
+    FaultInjected,
+    /// Send retry.
+    Retry,
+    /// Degraded remap.
+    Degradation,
+    /// Watchdog trip.
+    Watchdog,
+}
+
+impl EventClass {
+    /// Every class, in display order.
+    pub const ALL: [EventClass; 11] = [
+        EventClass::Issue,
+        EventClass::AluOp,
+        EventClass::MemRead,
+        EventClass::MemWrite,
+        EventClass::Message,
+        EventClass::CrossbarTraversal,
+        EventClass::Stall,
+        EventClass::FaultInjected,
+        EventClass::Retry,
+        EventClass::Degradation,
+        EventClass::Watchdog,
+    ];
+
+    /// A short stable label (used in counter tables and CSV headers).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventClass::Issue => "issue",
+            EventClass::AluOp => "alu",
+            EventClass::MemRead => "mem.read",
+            EventClass::MemWrite => "mem.write",
+            EventClass::Message => "message",
+            EventClass::CrossbarTraversal => "crossbar",
+            EventClass::Stall => "stall",
+            EventClass::FaultInjected => "fault",
+            EventClass::Retry => "retry",
+            EventClass::Degradation => "degradation",
+            EventClass::Watchdog => "watchdog",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl EventKind {
+    /// The field-less class of this event.
+    pub fn class(&self) -> EventClass {
+        match self {
+            EventKind::Issue => EventClass::Issue,
+            EventKind::AluOp => EventClass::AluOp,
+            EventKind::MemRead => EventClass::MemRead,
+            EventKind::MemWrite => EventClass::MemWrite,
+            EventKind::Message { .. } => EventClass::Message,
+            EventKind::CrossbarTraversal => EventClass::CrossbarTraversal,
+            EventKind::Stall => EventClass::Stall,
+            EventKind::FaultInjected(_) => EventClass::FaultInjected,
+            EventKind::Retry => EventClass::Retry,
+            EventKind::Degradation => EventClass::Degradation,
+            EventKind::Watchdog => EventClass::Watchdog,
+        }
+    }
+}
+
+/// The observation hooks a machine run loop calls.
+///
+/// All methods default to no-ops and the run loops are generic over the
+/// tracer type, so running with [`NullTracer`] monomorphises every hook
+/// into nothing — the overhead-when-disabled guarantee.  Implementations
+/// that do record must override [`Tracer::enabled`] to return `true`: the
+/// run loops use it to skip work that exists only to feed the tracer
+/// (counter diffing, per-DP sampling).
+pub trait Tracer {
+    /// Does this tracer record anything?  Loops skip trace-only work
+    /// (e.g. ALU counter diffing) when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Record one cycle-stamped event.
+    fn record(&mut self, _cycle: u64, _kind: EventKind) {}
+
+    /// Record `n` identical events in one call (SIMD broadcasts issue one
+    /// instruction per live lane).
+    fn record_many(&mut self, cycle: u64, kind: EventKind, n: u64) {
+        for _ in 0..n {
+            self.record(cycle, kind);
+        }
+    }
+
+    /// Bump a named monotonic counter.
+    fn counter(&mut self, _name: &str, _delta: u64) {}
+
+    /// Record one observation of a named distribution (histogram).
+    fn sample(&mut self, _name: &str, _value: u64) {}
+}
+
+/// The do-nothing tracer: every hook inlines away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record_many(&mut self, _cycle: u64, _kind: EventKind, _n: u64) {}
+}
+
+/// One recorded event with its cycle stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The machine cycle the event occurred on.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Default ring-buffer capacity of [`EventTrace::new`] /
+/// [`Telemetry::new`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A bounded ring buffer of cycle-stamped events.
+///
+/// When the buffer is full the **oldest** event is overwritten (and
+/// [`EventTrace::dropped`] counts it), but the per-class totals are kept
+/// in monotonic counters outside the ring, so [`EventTrace::count`] is
+/// exact regardless of capacity.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Oldest slot once the buffer has wrapped.
+    head: usize,
+    counts: [u64; EventClass::ALL.len()],
+    dropped: u64,
+    last_cycle: u64,
+}
+
+impl EventTrace {
+    /// An empty trace bounded at [`DEFAULT_TRACE_CAPACITY`] events.
+    pub fn new() -> EventTrace {
+        EventTrace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty trace bounded at `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> EventTrace {
+        let capacity = capacity.max(1);
+        EventTrace {
+            capacity,
+            buf: Vec::new(),
+            head: 0,
+            counts: [0; EventClass::ALL.len()],
+            dropped: 0,
+            last_cycle: 0,
+        }
+    }
+
+    /// The ring-buffer bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one event.
+    pub fn push(&mut self, cycle: u64, kind: EventKind) {
+        self.counts[kind.class().index()] += 1;
+        self.last_cycle = self.last_cycle.max(cycle);
+        let event = TraceEvent { cycle, kind };
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Exact monotonic total for one event class (unaffected by ring
+    /// overwrites).
+    pub fn count(&self, class: EventClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Exact total over all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events currently held in the ring (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The highest cycle stamp recorded.
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// `(label, exact count)` for every class, in display order — the
+    /// plain-data form the report crate renders.
+    pub fn class_counts(&self) -> Vec<(String, u64)> {
+        EventClass::ALL
+            .iter()
+            .map(|c| (c.label().to_owned(), self.count(*c)))
+            .collect()
+    }
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        EventTrace::new()
+    }
+}
+
+impl Tracer for EventTrace {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        self.push(cycle, kind);
+    }
+}
+
+/// A log2-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 while empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `buckets[i]` counts values whose log2 floor is `i - 1` (bucket 0
+    /// holds zeros); the last bucket absorbs everything larger.
+    buckets: [u64; 17],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 17],
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(16)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Histogram::bucket_index(value)] += 1;
+    }
+
+    /// Mean observation (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The log2 bucket counts (index 0 = zeros).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Named monotonic counters and histograms sampled from the run loops.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Bump a named counter by `delta` (creating it at zero first).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// A counter's current value (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one observation in a named histogram.
+    pub fn sample(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// A histogram, if any observation was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name — plain data for reporting.
+    pub fn counter_list(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// All histograms as `(name, count, min, max, sum)`, sorted by name —
+    /// plain data for reporting.
+    pub fn histogram_list(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        self.histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.count, h.min, h.max, h.sum))
+            .collect()
+    }
+}
+
+/// The everything-on tracer: a bounded [`EventTrace`] plus a
+/// [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// The recorded event ring and exact per-class totals.
+    pub trace: EventTrace,
+    /// Counters and histograms.
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// Telemetry with the default ring capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Telemetry with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Telemetry {
+        Telemetry {
+            trace: EventTrace::with_capacity(capacity),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+}
+
+impl Tracer for Telemetry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        self.trace.push(cycle, kind);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.metrics.add(name, delta);
+    }
+
+    fn sample(&mut self, name: &str, value: u64) {
+        self.metrics.sample(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        assert!(!NullTracer.enabled());
+    }
+
+    #[test]
+    fn every_kind_maps_to_a_distinct_class_index() {
+        let kinds = [
+            EventKind::Issue,
+            EventKind::AluOp,
+            EventKind::MemRead,
+            EventKind::MemWrite,
+            EventKind::Message { from: 0, to: 1 },
+            EventKind::CrossbarTraversal,
+            EventKind::Stall,
+            EventKind::FaultInjected(FaultKind::BitFlip),
+            EventKind::Retry,
+            EventKind::Degradation,
+            EventKind::Watchdog,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            assert_eq!(kind.class(), EventClass::ALL[i]);
+            assert!(seen.insert(kind.class().index()));
+        }
+        assert_eq!(seen.len(), EventClass::ALL.len());
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest_but_counts_stay_exact() {
+        let mut trace = EventTrace::with_capacity(4);
+        for cycle in 1..=10u64 {
+            trace.push(cycle, EventKind::Issue);
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 6);
+        assert_eq!(trace.count(EventClass::Issue), 10, "counts survive wraps");
+        assert_eq!(trace.total(), 10);
+        assert_eq!(trace.last_cycle(), 10);
+        // Retained events are the newest four, oldest first.
+        let cycles: Vec<u64> = trace.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn class_counts_cover_every_class_in_order() {
+        let mut trace = EventTrace::new();
+        trace.push(1, EventKind::Stall);
+        trace.push(2, EventKind::Stall);
+        let counts = trace.class_counts();
+        assert_eq!(counts.len(), EventClass::ALL.len());
+        assert_eq!(counts[0], ("issue".to_owned(), 0));
+        assert!(counts.contains(&("stall".to_owned(), 2)));
+    }
+
+    #[test]
+    fn default_record_many_loops_record() {
+        let mut trace = EventTrace::new();
+        trace.record_many(3, EventKind::Issue, 5);
+        assert_eq!(trace.count(EventClass::Issue), 5);
+        assert!(trace.events().all(|e| e.cycle == 3));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets[3], 1); // 4
+        assert_eq!(buckets[11], 1); // 1024
+        assert_eq!(buckets[16], 1); // overflow bucket
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn registry_counters_and_histograms_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.add("retries", 1);
+        m.add("retries", 2);
+        m.sample("backoff.delay", 1);
+        m.sample("backoff.delay", 4);
+        assert_eq!(m.counter("retries"), 3);
+        assert_eq!(m.counter("absent"), 0);
+        let h = m.histogram("backoff.delay").unwrap();
+        assert_eq!((h.count, h.min, h.max, h.sum), (2, 1, 4, 5));
+        assert_eq!(m.counter_list(), vec![("retries".to_owned(), 3)]);
+        assert_eq!(
+            m.histogram_list(),
+            vec![("backoff.delay".to_owned(), 2, 1, 4, 5)]
+        );
+    }
+
+    #[test]
+    fn telemetry_routes_all_three_channels() {
+        let mut t = Telemetry::with_capacity(8);
+        assert!(t.enabled());
+        t.record(1, EventKind::AluOp);
+        t.record_many(2, EventKind::Issue, 3);
+        t.counter("runs", 1);
+        t.sample("dp.alu_ops", 9);
+        assert_eq!(t.trace.count(EventClass::AluOp), 1);
+        assert_eq!(t.trace.count(EventClass::Issue), 3);
+        assert_eq!(t.metrics.counter("runs"), 1);
+        assert_eq!(t.metrics.histogram("dp.alu_ops").unwrap().max, 9);
+    }
+}

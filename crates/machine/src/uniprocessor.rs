@@ -7,6 +7,7 @@ use crate::exec::Stats;
 use crate::isa::Word;
 use crate::mem::{BankedMemory, DataTopology};
 use crate::program::Program;
+use crate::telemetry::{EventKind, NullTracer, Tracer};
 
 /// Default cycle budget before a run is declared livelocked.
 pub const DEFAULT_CYCLE_LIMIT: u64 = 10_000_000;
@@ -56,10 +57,22 @@ impl UniProcessor {
     /// `getlane` instruction is a routing error — exactly the paper's point
     /// that an IUP "doesn't have enough DPs" to act as an array processor.
     pub fn run(&mut self, program: &Program) -> Result<Stats, MachineError> {
+        self.run_traced(program, &mut NullTracer)
+    }
+
+    /// [`UniProcessor::run`] with observation hooks; with a [`NullTracer`]
+    /// this monomorphises back to the plain run loop.
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+    ) -> Result<Stats, MachineError> {
         let mut stats = Stats::default();
         let mut pc = 0usize;
+        let base = self.dp.counters();
         loop {
             if stats.cycles >= self.cycle_limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
                 return Err(MachineError::WatchdogTimeout {
                     limit: self.cycle_limit,
                     partial: stats,
@@ -78,16 +91,24 @@ impl UniProcessor {
                 });
             }
             stats.instructions += 1;
-            match self.dp.execute_local(instr, &mut self.mem)? {
+            tracer.record(stats.cycles, EventKind::Issue);
+            match self
+                .dp
+                .execute_traced(instr, &mut self.mem, stats.cycles, tracer)?
+            {
                 LocalOutcome::Next => pc += 1,
                 LocalOutcome::Branch(t) => pc = t,
                 LocalOutcome::Halt => break,
             }
         }
         let (alu, mr, mw) = self.dp.counters();
-        stats.alu_ops = alu;
-        stats.mem_reads = mr;
-        stats.mem_writes = mw;
+        stats.alu_ops = alu - base.0;
+        stats.mem_reads = mr - base.1;
+        stats.mem_writes = mw - base.2;
+        if tracer.enabled() {
+            tracer.sample("dp.alu_ops", stats.alu_ops);
+            tracer.sample("dp.mem_ops", stats.mem_reads + stats.mem_writes);
+        }
         Ok(stats)
     }
 }

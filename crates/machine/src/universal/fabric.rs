@@ -8,6 +8,7 @@
 
 use crate::error::MachineError;
 use crate::exec::Stats;
+use crate::telemetry::{EventKind, NullTracer, Tracer};
 
 use super::lut::LutCell;
 
@@ -285,11 +286,26 @@ impl ConfiguredFabric {
         &mut self,
         inputs: &[bool],
         limit: u64,
+        done: impl FnMut(&[bool]) -> bool,
+    ) -> Result<(Vec<bool>, Stats), MachineError> {
+        self.run_until_traced(inputs, limit, done, &mut NullTracer)
+    }
+
+    /// [`ConfiguredFabric::run_until`] with observation hooks: one `Issue`
+    /// event per clock edge (the fabric-wide evaluation), a `Watchdog`
+    /// event if the budget trips.  With a [`NullTracer`] this
+    /// monomorphises back to the plain clock loop.
+    pub fn run_until_traced<T: Tracer>(
+        &mut self,
+        inputs: &[bool],
+        limit: u64,
         mut done: impl FnMut(&[bool]) -> bool,
+        tracer: &mut T,
     ) -> Result<(Vec<bool>, Stats), MachineError> {
         let mut stats = Stats::default();
         loop {
             if stats.cycles >= limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
                 return Err(MachineError::WatchdogTimeout {
                     limit,
                     partial: stats,
@@ -298,6 +314,7 @@ impl ConfiguredFabric {
             let out = self.step(inputs)?;
             stats.cycles += 1;
             stats.instructions += 1; // one fabric-wide evaluation per edge
+            tracer.record(stats.cycles, EventKind::Issue);
             if done(&out) {
                 return Ok((out, stats));
             }

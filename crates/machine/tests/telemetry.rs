@@ -1,0 +1,212 @@
+//! The telemetry layer's correctness contract, asserted end to end: for
+//! every machine family, the cycle-stamped event totals recorded by a
+//! tracer reconcile *exactly* with the run's [`Stats`] counters — on
+//! clean runs, on faulty resilient runs, and regardless of how small the
+//! trace's ring buffer is.
+
+use skilltax_machine::array::{ArrayMachine, ArraySubtype};
+use skilltax_machine::dataflow::graph::library::tree_sum;
+use skilltax_machine::dataflow::{DataflowMachine, DataflowSubtype, Placement};
+use skilltax_machine::energy::EnergyModel;
+use skilltax_machine::fault::{FaultPlan, LinkOutage};
+use skilltax_machine::interconnect::FabricTopology;
+use skilltax_machine::isa::Instr;
+use skilltax_machine::multi::{MultiMachine, MultiSubtype};
+use skilltax_machine::program::{Assembler, Program};
+use skilltax_machine::spatial::SpatialMachine;
+use skilltax_machine::telemetry::{EventClass, EventTrace, Telemetry};
+use skilltax_machine::uniprocessor::UniProcessor;
+use skilltax_machine::universal::lut::{tables, LutCell};
+use skilltax_machine::universal::{Bitstream, CellConfig, LutFabric, Source};
+
+/// `mem[0] = 2 + 3` with a load back — touches ALU, reads and writes.
+fn scalar_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 2)
+        .movi(1, 3)
+        .emit(Instr::Add(2, 0, 1))
+        .movi(3, 0)
+        .emit(Instr::Store(3, 2))
+        .emit(Instr::Load(4, 3))
+        .emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+/// Per-lane SIMD program where every lane reads lane 0's r1 (generates
+/// DP–DP messages on the lanes other than lane 0).
+fn lane_exchange_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.emit(Instr::LaneId(0))
+        .movi(1, 100)
+        .emit(Instr::Add(1, 1, 0))
+        .movi(3, 0)
+        .emit(Instr::GetLane(6, 3, 1))
+        .emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+/// Sender/receiver pair for a 2-core message-passing machine.
+fn send_recv_pair() -> Vec<Program> {
+    let mut sender = Assembler::new();
+    sender.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+    let mut receiver = Assembler::new();
+    receiver
+        .emit(Instr::Recv(5, 0))
+        .movi(6, 0)
+        .emit(Instr::Store(6, 5))
+        .emit(Instr::Halt);
+    vec![sender.assemble().unwrap(), receiver.assemble().unwrap()]
+}
+
+#[test]
+fn uniprocessor_trace_reconciles_with_stats() {
+    let mut m = UniProcessor::new(8);
+    let mut trace = EventTrace::new();
+    let stats = m.run_traced(&scalar_program(), &mut trace).unwrap();
+    stats.reconcile(&trace).unwrap();
+    assert!(stats.instructions > 0 && stats.mem_reads > 0);
+}
+
+#[test]
+fn array_trace_reconciles_and_records_lane_messages() {
+    // IAP-II: DP-DP crossbar, so the lane exchange is routable.
+    let mut m = ArrayMachine::new(ArraySubtype::II, 4, 4);
+    let mut trace = EventTrace::new();
+    let stats = m.run_traced(&lane_exchange_program(), &mut trace).unwrap();
+    stats.reconcile(&trace).unwrap();
+    // Lanes 1..3 each pulled a value from lane 0.
+    assert_eq!(stats.messages, 3);
+    assert_eq!(trace.count(EventClass::Message), 3);
+    assert_eq!(trace.count(EventClass::CrossbarTraversal), 3);
+}
+
+#[test]
+fn multi_trace_reconciles_over_the_message_fabric() {
+    // IMP with a DP-DP crossbar.
+    let subtype = MultiSubtype::from_code(0b0001).unwrap();
+    let mut m = MultiMachine::new(subtype, 2, 4);
+    let mut trace = EventTrace::new();
+    let stats = m.run_traced(&send_recv_pair(), &mut trace).unwrap();
+    stats.reconcile(&trace).unwrap();
+    assert_eq!(stats.messages, 1);
+}
+
+#[test]
+fn spatial_trace_reconciles_with_fused_groups() {
+    let mut m = SpatialMachine::new(
+        MultiSubtype::from_code(0).unwrap(),
+        FabricTopology::Crossbar,
+        4,
+        8,
+    )
+    .unwrap();
+    m.fuse(0, 1).unwrap();
+    let programs: Vec<Program> = (0..4).map(|_| scalar_program()).collect();
+    let mut trace = EventTrace::new();
+    let stats = m.run_traced(&programs, &mut trace).unwrap();
+    stats.reconcile(&trace).unwrap();
+    assert!(stats.instructions > 0);
+}
+
+#[test]
+fn dataflow_trace_reconciles_with_token_traffic() {
+    // DMP-IV: both crossbars, round-robin placement forces cross-DP tokens.
+    let m = DataflowMachine::new(DataflowSubtype::IV, 4).unwrap();
+    let g = tree_sum(8);
+    let inputs: Vec<i64> = (1..=8).collect();
+    let mut trace = EventTrace::new();
+    let run = m
+        .run_traced(&g, &inputs, &Placement::RoundRobin, &mut trace)
+        .unwrap();
+    assert_eq!(run.outputs, vec![36]);
+    run.stats.reconcile(&trace).unwrap();
+    assert!(trace.count(EventClass::Message) > 0);
+}
+
+#[test]
+fn fabric_trace_reconciles_per_clock_edge() {
+    // A registered XOR cell is a T flip-flop; wait for it to read true.
+    let fabric = LutFabric::new(4, 2, 1);
+    let bs = Bitstream {
+        cells: vec![CellConfig {
+            lut: LutCell::new(2, tables::XOR2.to_vec()).unwrap(),
+            inputs: vec![Source::Cell(0), Source::Primary(0)],
+            registered: true,
+        }],
+        outputs: vec![Source::Cell(0)],
+    };
+    let mut f = fabric.configure(&bs).unwrap();
+    let mut trace = EventTrace::new();
+    let (out, stats) = f
+        .run_until_traced(&[true], 16, |o| o[0], &mut trace)
+        .unwrap();
+    assert_eq!(out, vec![true]);
+    stats.reconcile(&trace).unwrap();
+    assert_eq!(trace.count(EventClass::Issue), stats.cycles);
+}
+
+#[test]
+fn faulty_resilient_run_reconciles_and_metrics_match_outcome() {
+    // IMP-X (IP-DP + DP-DP crossbars): transient link outage plus a dead
+    // DP — backoff retries and a degraded remap, all traced.
+    let subtype = MultiSubtype::from_code(0b1001).unwrap();
+    let mut m = MultiMachine::new(subtype, 3, 8);
+    let mut programs = send_recv_pair();
+    programs.push(scalar_program());
+    let plan = FaultPlan::seeded(11)
+        .fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: 6,
+        })
+        .fail_dp(2);
+    let mut telemetry = Telemetry::new();
+    let outcome = m
+        .run_resilient_traced(&programs, plan, &mut telemetry)
+        .unwrap();
+    assert!(outcome.degraded && outcome.retries > 0);
+    outcome.stats.reconcile(&telemetry.trace).unwrap();
+    // The metrics channel agrees with the outcome's own counters...
+    let counters = telemetry.metrics.counter_list();
+    let retries = counters.iter().find(|(n, _)| n == "retries").unwrap().1;
+    assert_eq!(retries, outcome.retries);
+    // ...and every backoff delay was sampled exactly once per retry.
+    let histograms = telemetry.metrics.histogram_list();
+    let backoff = histograms
+        .iter()
+        .find(|(n, ..)| n == "backoff.delay")
+        .unwrap();
+    assert_eq!(backoff.1, outcome.retries);
+    // Degradation and DP-failure events were recorded.
+    assert_eq!(telemetry.trace.count(EventClass::Degradation), 1);
+    assert!(telemetry.trace.count(EventClass::FaultInjected) >= 1);
+}
+
+#[test]
+fn energy_from_trace_equals_energy_from_stats_on_a_faulty_run() {
+    let subtype = MultiSubtype::from_code(0b1001).unwrap();
+    let mut m = MultiMachine::new(subtype, 3, 8);
+    let mut programs = send_recv_pair();
+    programs.push(scalar_program());
+    let mut telemetry = Telemetry::new();
+    let outcome = m
+        .run_resilient_traced(&programs, FaultPlan::seeded(5).fail_dp(2), &mut telemetry)
+        .unwrap();
+    let model = EnergyModel::default();
+    let from_stats = model.estimate(&outcome.stats, false, true);
+    let from_trace = model.estimate_from_trace(&telemetry.trace, outcome.stats.cycles, false, true);
+    assert_eq!(from_stats, from_trace);
+}
+
+#[test]
+fn tiny_ring_capacity_still_reconciles_exactly() {
+    // Per-class totals live outside the ring, so an overflowing buffer
+    // drops *events* but never *counts*.
+    let mut m = ArrayMachine::new(ArraySubtype::II, 4, 4);
+    let mut trace = EventTrace::with_capacity(2);
+    let stats = m.run_traced(&lane_exchange_program(), &mut trace).unwrap();
+    assert!(trace.dropped() > 0, "expected the tiny ring to overflow");
+    assert_eq!(trace.len(), 2);
+    stats.reconcile(&trace).unwrap();
+}

@@ -22,23 +22,39 @@ use crate::error::ModelError;
 /// A plural (`n`-class) count: `coeff * n`, optionally resolved to a
 /// concrete value.
 ///
-/// * `Many { coeff: 1, resolved: Some(64) }` prints as `64` (MorphoSys DPs).
-/// * `Many { coeff: 1, resolved: None }` prints as `n` (template archs).
-/// * `Many { coeff: 24, resolved: None }` prints as `24xn` (GARP DPs).
+/// * `Many { coeff: 1, resolved: Some(64), .. }` prints as `64` (MorphoSys
+///   DPs).
+/// * `Many { coeff: 1, resolved: None, symbol: 'n' }` prints as `n`
+///   (template archs).
+/// * `Many { coeff: 24, resolved: None, symbol: 'n' }` prints as `24xn`
+///   (GARP DPs).
+/// * `Many { coeff: 1, resolved: None, symbol: 'm' }` prints as `m` —
+///   Table III uses a second symbol when one row carries two independent
+///   design-time constants (RaPiD's `m` function units vs `n` cells).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Many {
-    /// Scale factor applied to the symbolic `n` (1 for a plain `n`).
+    /// Scale factor applied to the symbolic letter (1 for a plain `n`).
     pub coeff: u32,
     /// Concrete value if the architecture fixes it (e.g. 64), else `None`.
     pub resolved: Option<u32>,
+    /// The symbolic letter used in the paper's notation (usually `n`).
+    pub symbol: char,
 }
 
 impl Many {
     /// A plain, unresolved symbolic `n`.
     pub const fn symbolic() -> Self {
+        Many::named('n')
+    }
+
+    /// A plain symbolic count written with an arbitrary lowercase letter
+    /// (Table III's `m`).  All letters are the same `n` class; the symbol
+    /// only matters for faithful display.
+    pub const fn named(symbol: char) -> Self {
         Many {
             coeff: 1,
             resolved: None,
+            symbol,
         }
     }
 
@@ -47,6 +63,7 @@ impl Many {
         Many {
             coeff,
             resolved: None,
+            symbol: 'n',
         }
     }
 
@@ -55,6 +72,7 @@ impl Many {
         Many {
             coeff: 1,
             resolved: Some(value),
+            symbol: 'n',
         }
     }
 
@@ -70,8 +88,8 @@ impl Many {
         match self.resolved {
             Some(_) => *self,
             None => Many {
-                coeff: self.coeff,
                 resolved: Some(self.coeff.saturating_mul(n)),
+                ..*self
             },
         }
     }
@@ -81,8 +99,8 @@ impl fmt::Display for Many {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (self.coeff, self.resolved) {
             (_, Some(v)) => write!(f, "{v}"),
-            (1, None) => write!(f, "n"),
-            (c, None) => write!(f, "{c}xn"),
+            (1, None) => write!(f, "{}", self.symbol),
+            (c, None) => write!(f, "{c}x{}", self.symbol),
         }
     }
 }
@@ -208,25 +226,47 @@ impl FromStr for Count {
     type Err = ModelError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // A lowercase letter usable as a plural symbol: any letter except
+        // `v` (the variable class) and `x` (the scale separator).  Uppercase
+        // `N` is accepted as legacy input and normalised to `n`.
+        fn plural_symbol(c: char) -> Option<char> {
+            match c {
+                'N' => Some('n'),
+                'v' | 'x' => None,
+                c if c.is_ascii_lowercase() => Some(c),
+                _ => None,
+            }
+        }
         let s = s.trim();
         match s {
             "0" => Ok(Count::Zero),
             "1" => Ok(Count::One),
-            "n" | "N" => Ok(Count::n()),
             "v" | "V" => Ok(Count::Variable),
             _ => {
-                // `24xn` style scaled symbolic count.
-                if let Some(coeff) = s
-                    .strip_suffix("xn")
-                    .or_else(|| s.strip_suffix("XN"))
-                    .or_else(|| s.strip_suffix("xN"))
-                    .or_else(|| s.strip_suffix("Xn"))
-                {
-                    let c: u32 = coeff.parse().map_err(|_| ModelError::count_parse(s))?;
-                    if c == 0 {
-                        return Err(ModelError::count_parse(s));
+                let mut chars = s.chars();
+                if let (Some(c), None) = (chars.next(), chars.next()) {
+                    // Bare symbolic count: `n`, or Table III's `m`.
+                    if let Some(symbol) = plural_symbol(c) {
+                        return Ok(Count::Many(Many::named(symbol)));
                     }
-                    return Ok(Count::scaled_n(c));
+                }
+                // `24xn` style scaled symbolic count (any plural letter).
+                if let Some((coeff, last)) = s
+                    .char_indices()
+                    .last()
+                    .and_then(|(i, c)| Some((&s[..i], plural_symbol(c)?)))
+                {
+                    if let Some(coeff) = coeff.strip_suffix(['x', 'X']) {
+                        let c: u32 = coeff.parse().map_err(|_| ModelError::count_parse(s))?;
+                        if c == 0 {
+                            return Err(ModelError::count_parse(s));
+                        }
+                        return Ok(Count::Many(Many {
+                            coeff: c,
+                            resolved: None,
+                            symbol: last,
+                        }));
+                    }
                 }
                 let v: u32 = s.parse().map_err(|_| ModelError::count_parse(s))?;
                 Ok(Count::fixed(v))
@@ -314,10 +354,29 @@ mod tests {
 
     #[test]
     fn count_display_round_trips_paper_notation() {
-        for raw in ["0", "1", "n", "v", "64", "24xn", "48", "6"] {
+        for raw in ["0", "1", "n", "v", "64", "24xn", "48", "6", "m", "8xm"] {
             let c: Count = raw.parse().unwrap();
             assert_eq!(c.to_string(), raw, "round trip of {raw}");
         }
+    }
+
+    #[test]
+    fn any_lowercase_letter_is_a_plural_symbol() {
+        // Table III writes RaPiD's function-unit count as `m`; every such
+        // letter is the same `n` class, displayed with its own symbol.
+        let m: Count = "m".parse().unwrap();
+        assert_eq!(m, Count::Many(Many::named('m')));
+        assert!(m.is_plural());
+        assert_eq!(m.rank(), Count::n().rank());
+        assert_eq!(m.value_with_n(16), Some(16));
+        // Legacy uppercase `N` still normalises to `n`.
+        assert_eq!("N".parse::<Count>().unwrap(), Count::n());
+        assert_eq!("24xN".parse::<Count>().unwrap(), Count::scaled_n(24));
+        // `v` and `x` are never plural symbols.
+        assert_eq!("v".parse::<Count>().unwrap(), Count::Variable);
+        assert!("x".parse::<Count>().is_err());
+        assert!("3xx".parse::<Count>().is_err());
+        assert!("3xv".parse::<Count>().is_err());
     }
 
     #[test]

@@ -243,9 +243,9 @@ mod tests {
             "nx1", "2x2", "48-48", "16x6", "22x1", "nxm",
         ] {
             // "24nx1" in the paper means (24n) x 1 — our notation for the
-            // scaled extent is "24xn", so skip the two raw-paper spellings
-            // that use implicit multiplication and test the rest.
-            if raw == "24nx1" || raw == "nxm" {
+            // scaled extent is "24xn", so skip the one raw-paper spelling
+            // that uses implicit multiplication and test the rest.
+            if raw == "24nx1" {
                 continue;
             }
             let sw: Switch = raw.parse().unwrap();
@@ -298,9 +298,20 @@ mod tests {
     #[test]
     fn switch_parse_rejects_garbage() {
         assert!("".parse::<Switch>().is_err());
-        assert!("axb".parse::<Switch>().is_err());
+        assert!("AxB".parse::<Switch>().is_err());
         assert!("1+1".parse::<Switch>().is_err());
         assert!("0x4".parse::<Switch>().is_err());
+    }
+
+    #[test]
+    fn table_iii_second_symbol_parses_verbatim() {
+        // RaPiD's DP-DP relation is written `nxm` (n cells, m function
+        // units) — both sides are plural symbols, no substitution needed.
+        let sw: Switch = "nxm".parse().unwrap();
+        assert!(sw.is_crossbar());
+        assert_eq!(sw.left.count(), Count::n());
+        assert!(sw.right.count().is_plural());
+        assert_eq!(sw.to_string(), "nxm");
     }
 
     #[test]

@@ -2,8 +2,12 @@
 //! stays inside its sanctioned dependency set.
 
 /// Quote a single field if needed.
+///
+/// RFC 4180 requires quoting for embedded commas, quotes and line breaks;
+/// fields with leading/trailing whitespace are also quoted so consumers
+/// that trim unquoted fields cannot corrupt them.
 pub fn escape_field(field: &str) -> String {
-    if field.contains([',', '"', '\n', '\r']) {
+    if field.contains([',', '"', '\n', '\r']) || field != field.trim() {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_owned()
@@ -141,6 +145,29 @@ mod tests {
         assert_eq!(escape_field("abc"), "abc");
         assert_eq!(escape_field("a,b"), "\"a,b\"");
         assert_eq!(escape_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    fn embedded_line_breaks_are_quoted() {
+        assert_eq!(escape_field("a\nb"), "\"a\nb\"");
+        assert_eq!(escape_field("a\rb"), "\"a\rb\"");
+        assert_eq!(escape_field("a\r\nb"), "\"a\r\nb\"");
+        // And they survive a writer/parser round trip.
+        let mut w = CsvWriter::new();
+        w.row(&["a\nb", "a\r\nb"]);
+        let parsed = parse(&w.finish());
+        assert_eq!(parsed, vec![vec!["a\nb".to_owned(), "a\r\nb".to_owned()]]);
+    }
+
+    #[test]
+    fn leading_and_trailing_whitespace_is_quoted() {
+        assert_eq!(escape_field(" padded "), "\" padded \"");
+        assert_eq!(escape_field("\ttabbed"), "\"\ttabbed\"");
+        assert_eq!(escape_field("inner space ok"), "inner space ok");
+        let mut w = CsvWriter::new();
+        w.row(&[" a ", "b "]);
+        let parsed = parse(&w.finish());
+        assert_eq!(parsed, vec![vec![" a ".to_owned(), "b ".to_owned()]]);
     }
 
     #[test]

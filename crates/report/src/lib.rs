@@ -3,8 +3,9 @@
 //! Output rendering for the regenerated paper artifacts: boxed ASCII and
 //! markdown tables ([`table`]), RFC-4180 CSV ([`csv`]), ASCII/SVG bar and
 //! trend charts ([`chart`], for Fig 1 and Fig 7), architecture block
-//! diagrams ([`mod@diagram`], for Figs 3–6), and the fault-injection
-//! degradation matrix ([`resilience`]).
+//! diagrams ([`mod@diagram`], for Figs 3–6), the fault-injection
+//! degradation matrix ([`resilience`]), and per-run telemetry renderers
+//! ([`telemetry`]: cycle breakdowns, counter tables, CSV/JSON exports).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,6 +17,7 @@ pub mod dot;
 pub mod json;
 pub mod resilience;
 pub mod table;
+pub mod telemetry;
 
 pub use chart::{ascii_bar_chart, ascii_trend_chart, svg_bar_chart, svg_line_chart, Bar, Series};
 pub use csv::CsvWriter;
@@ -24,3 +26,7 @@ pub use dot::{hasse_edges, DotGraph};
 pub use json::Json;
 pub use resilience::{resilience_csv, resilience_table, ResilienceEntry};
 pub use table::{Align, Table};
+pub use telemetry::{
+    counter_table, cycle_breakdown, telemetry_csv, telemetry_json, telemetry_table,
+    HistogramSummary, TelemetrySummary,
+};

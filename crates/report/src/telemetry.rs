@@ -1,0 +1,354 @@
+//! Renderers for cycle-level telemetry captured by the machine crate.
+//!
+//! The report crate depends only on `skilltax-model`, so everything here
+//! takes *plain data* — the machine crate bridges its `EventTrace` and
+//! `MetricsRegistry` into a [`TelemetrySummary`] via their `class_counts`
+//! / `counter_list` / `histogram_list` accessors.  Three backends are
+//! offered, matching the rest of the crate: ASCII tables, CSV and JSON,
+//! plus a flamegraph-style per-class cycle breakdown.
+
+use crate::csv::CsvWriter;
+use crate::json::Json;
+use crate::table::{Align, Table};
+
+/// Summary statistics of one named histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Histogram name (e.g. `"backoff.delay"`).
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample (0 while empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Plain-data snapshot of one run's telemetry, ready for rendering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySummary {
+    /// Human label for the run (machine class, workload, ...).
+    pub run_label: String,
+    /// Machine cycles elapsed.
+    pub cycles: u64,
+    /// Per-event-class totals, in taxonomy order: `(label, count)`.
+    pub event_counts: Vec<(String, u64)>,
+    /// Named monotonic counters: `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Named histograms.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TelemetrySummary {
+    /// Build a summary from the machine crate's plain accessors:
+    /// `trace.class_counts()`, `metrics.counter_list()` and
+    /// `metrics.histogram_list()` (each histogram tuple is
+    /// `(name, count, min, max, sum)`).
+    pub fn new(
+        run_label: impl Into<String>,
+        cycles: u64,
+        event_counts: Vec<(String, u64)>,
+        counters: Vec<(String, u64)>,
+        histograms: Vec<(String, u64, u64, u64, u64)>,
+    ) -> TelemetrySummary {
+        TelemetrySummary {
+            run_label: run_label.into(),
+            cycles,
+            event_counts,
+            counters,
+            histograms: histograms
+                .into_iter()
+                .map(|(name, count, min, max, sum)| HistogramSummary {
+                    name,
+                    count,
+                    min,
+                    max,
+                    sum,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total events across all classes.
+    pub fn total_events(&self) -> u64 {
+        self.event_counts.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Per-class event totals as an ASCII table.
+pub fn telemetry_table(summary: &TelemetrySummary) -> Table {
+    let mut t = Table::new(vec!["event", "count"])
+        .with_title(format!(
+            "{} — {} cycles, {} events",
+            summary.run_label,
+            summary.cycles,
+            summary.total_events()
+        ))
+        .with_aligns(vec![Align::Left, Align::Right]);
+    for (label, count) in &summary.event_counts {
+        t.push_row(vec![label.clone(), count.to_string()]);
+    }
+    t
+}
+
+/// Named counters and histogram summaries as an ASCII table.
+pub fn counter_table(summary: &TelemetrySummary) -> Table {
+    let mut t = Table::new(vec!["metric", "count", "min", "max", "mean"])
+        .with_title(format!("{} — metrics", summary.run_label))
+        .with_aligns(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for (name, value) in &summary.counters {
+        t.push_row(vec![
+            name.clone(),
+            value.to_string(),
+            "-".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+        ]);
+    }
+    for h in &summary.histograms {
+        t.push_row(vec![
+            h.name.clone(),
+            h.count.to_string(),
+            h.min.to_string(),
+            h.max.to_string(),
+            format!("{:.1}", h.mean()),
+        ]);
+    }
+    t
+}
+
+/// Flamegraph-style per-class cycle breakdown: one horizontal bar per
+/// event class, scaled so the busiest class spans `width` characters,
+/// annotated with its share of all events.  Zero-count classes are
+/// skipped.
+pub fn cycle_breakdown(summary: &TelemetrySummary, width: usize) -> String {
+    let width = width.max(1);
+    let total = summary.total_events();
+    let peak = summary
+        .event_counts
+        .iter()
+        .map(|(_, n)| *n)
+        .max()
+        .unwrap_or(0);
+    let name_w = summary
+        .event_counts
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(label, _)| label.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = format!(
+        "{} — cycle breakdown ({} events over {} cycles)\n",
+        summary.run_label, total, summary.cycles
+    );
+    if peak == 0 {
+        out.push_str("  (no events recorded)\n");
+        return out;
+    }
+    for (label, count) in &summary.event_counts {
+        if *count == 0 {
+            continue;
+        }
+        let bar_len = ((count * width as u64).div_ceil(peak)) as usize;
+        let pct = 100.0 * *count as f64 / total as f64;
+        out.push_str(&format!(
+            "  {label:<name_w$} |{:<width$}| {count:>8} {pct:5.1}%\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Event and metric totals as CSV (`kind,name,count,min,max,sum`).
+pub fn telemetry_csv(summary: &TelemetrySummary) -> String {
+    let mut w = CsvWriter::new();
+    w.header(&["kind", "name", "count", "min", "max", "sum"]);
+    w.row(&[
+        "run".to_owned(),
+        summary.run_label.clone(),
+        summary.cycles.to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    for (label, count) in &summary.event_counts {
+        w.row(&[
+            "event".to_owned(),
+            label.clone(),
+            count.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    for (name, value) in &summary.counters {
+        w.row(&[
+            "counter".to_owned(),
+            name.clone(),
+            value.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    for h in &summary.histograms {
+        w.row(&[
+            "histogram".to_owned(),
+            h.name.clone(),
+            h.count.to_string(),
+            h.min.to_string(),
+            h.max.to_string(),
+            h.sum.to_string(),
+        ]);
+    }
+    w.finish()
+}
+
+/// The full summary as a JSON object.
+pub fn telemetry_json(summary: &TelemetrySummary) -> Json {
+    let events: Vec<Json> = summary
+        .event_counts
+        .iter()
+        .map(|(label, count)| {
+            Json::obj(vec![
+                ("event", Json::str(label.clone())),
+                ("count", Json::int(*count as i64)),
+            ])
+        })
+        .collect();
+    let counters: Vec<Json> = summary
+        .counters
+        .iter()
+        .map(|(name, value)| {
+            Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("value", Json::int(*value as i64)),
+            ])
+        })
+        .collect();
+    let histograms: Vec<Json> = summary
+        .histograms
+        .iter()
+        .map(|h| {
+            Json::obj(vec![
+                ("name", Json::str(h.name.clone())),
+                ("count", Json::int(h.count as i64)),
+                ("min", Json::int(h.min as i64)),
+                ("max", Json::int(h.max as i64)),
+                ("sum", Json::int(h.sum as i64)),
+                ("mean", Json::Num(h.mean())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("run", Json::str(summary.run_label.clone())),
+        ("cycles", Json::int(summary.cycles as i64)),
+        ("events", Json::Arr(events)),
+        ("counters", Json::Arr(counters)),
+        ("histograms", Json::Arr(histograms)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv;
+
+    fn sample() -> TelemetrySummary {
+        TelemetrySummary::new(
+            "IMP-X demo",
+            40,
+            vec![
+                ("issue".to_owned(), 20),
+                ("alu".to_owned(), 10),
+                ("stall".to_owned(), 0),
+                ("message".to_owned(), 5),
+            ],
+            vec![("retries".to_owned(), 2)],
+            vec![("backoff.delay".to_owned(), 2, 1, 3, 4)],
+        )
+    }
+
+    #[test]
+    fn histogram_mean_handles_empty() {
+        let empty = HistogramSummary {
+            name: "x".to_owned(),
+            count: 0,
+            min: 0,
+            max: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.mean(), 0.0);
+        assert!((sample().histograms[0].mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let s = sample();
+        let events = telemetry_table(&s);
+        assert_eq!(events.row_count(), 4);
+        let rendered = events.render_ascii();
+        assert!(rendered.contains("IMP-X demo"));
+        assert!(rendered.contains("issue"));
+        let metrics = counter_table(&s);
+        assert_eq!(metrics.row_count(), 2);
+        assert!(metrics.render_ascii().contains("backoff.delay"));
+    }
+
+    #[test]
+    fn cycle_breakdown_scales_bars_and_skips_zero_classes() {
+        let s = sample();
+        let art = cycle_breakdown(&s, 20);
+        // Busiest class spans the full width; zero class is absent.
+        assert!(art.contains(&"#".repeat(20)), "art:\n{art}");
+        assert!(!art.contains("stall"), "art:\n{art}");
+        assert!(art.contains("57.1%"), "art:\n{art}"); // 20 of 35 events
+        let empty = TelemetrySummary::new("idle", 0, vec![], vec![], vec![]);
+        assert!(cycle_breakdown(&empty, 20).contains("no events"));
+    }
+
+    #[test]
+    fn csv_round_trips_and_counts_lines() {
+        let s = sample();
+        let text = telemetry_csv(&s);
+        let rows = csv::parse(&text);
+        // header + run + 4 events + 1 counter + 1 histogram
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0][0], "kind");
+        assert!(rows.iter().any(|r| r[0] == "histogram" && r[5] == "4"));
+    }
+
+    #[test]
+    fn json_emits_all_sections() {
+        let text = telemetry_json(&sample()).emit();
+        for needle in [
+            "\"run\":\"IMP-X demo\"",
+            "\"cycles\":40",
+            "\"events\":[",
+            "\"counters\":[",
+            "\"histograms\":[",
+            "\"mean\":2",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

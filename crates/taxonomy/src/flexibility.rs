@@ -217,11 +217,7 @@ mod tests {
             ("v | v | vxv | vxv | vxv | vxv | vxv", 8),   // FPGA
         ];
         for (row, expected) in rows {
-            // RaPiD's `m` is a second symbol; our parser reads it as `n`
-            // via the DSL only if spelled n — spell it n here, the class
-            // and score are unchanged.
-            let row = row.replace('m', "n");
-            let spec = parse_row("spot", &row).unwrap();
+            let spec = parse_row("spot", row).unwrap();
             assert_eq!(flexibility_of_spec(&spec), expected, "{row}");
         }
     }

@@ -147,6 +147,40 @@ fn provided_capabilities_never_exceed_flexibility_rank() {
 }
 
 #[test]
+fn roman_numerals_round_trip_under_random_probing() {
+    use skilltax_taxonomy::roman::{from_roman, to_roman};
+    // Exhaustive round trip over the whole supported domain.
+    for n in 1..=3999u16 {
+        assert_eq!(from_roman(&to_roman(n)), Ok(n), "value {n}");
+    }
+    // Seeded sweep: random single-character mutations of valid numerals
+    // either fail to parse or parse to a value whose canonical spelling is
+    // exactly the mutated string (the parser accepts *only* canonical
+    // forms, never a sloppy variant).
+    sweep_cases(0x7A2, 300, |case, rng| {
+        let n = 1 + (rng.below(3999)) as u16;
+        let mut s: Vec<char> = to_roman(n).chars().collect();
+        let i = rng.below_usize(s.len());
+        s[i] = *rng.pick(&['I', 'V', 'X', 'L', 'C', 'D', 'M', 'Q']);
+        let mutated: String = s.iter().collect();
+        if let Ok(v) = from_roman(&mutated) {
+            assert_eq!(to_roman(v), mutated, "case {case}: non-canonical accept");
+        }
+    });
+}
+
+#[test]
+fn roman_parser_rejects_malformed_numerals() {
+    use skilltax_taxonomy::roman::from_roman;
+    for bad in [
+        "", "IIII", "VX", "IL", "IC", "XM", "IVX", "MMMM", "mcmxc", "iv", "MCMXC ", " I",
+    ] {
+        assert!(from_roman(bad).is_err(), "{bad:?} should be rejected");
+    }
+    assert_eq!(from_roman("MCMXC"), Ok(1990));
+}
+
+#[test]
 fn classify_is_deterministic() {
     for i in 0..43 {
         let spec = named_class(i).template_spec();

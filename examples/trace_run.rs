@@ -1,0 +1,114 @@
+//! Cycle-level telemetry on a faulty crossbar-class run.
+//!
+//! Traces an IMP-X machine (IP–DP and DP–DP crossbars) through a run with
+//! a transient link outage and a dead data processor: the DP–DP crossbar
+//! retries the blocked send with exponential backoff, and the IP–DP
+//! crossbar remaps the dead DP's program onto a healthy one.  Every
+//! event is cycle-stamped into a bounded ring buffer whose per-class
+//! totals reconcile *exactly* with the run's [`Stats`], so the energy
+//! model can price the run from the trace instead of re-deriving
+//! activity.
+//!
+//! Run with: `cargo run --release --example trace_run`
+
+use skilltax::machine::energy::EnergyModel;
+use skilltax::machine::fault::{FaultPlan, LinkOutage};
+use skilltax::machine::isa::Instr;
+use skilltax::machine::multi::{MultiMachine, MultiSubtype};
+use skilltax::machine::program::{Assembler, Program};
+use skilltax::machine::telemetry::Telemetry;
+use skilltax::report::telemetry::{
+    counter_table, cycle_breakdown, telemetry_csv, telemetry_json, telemetry_table,
+    TelemetrySummary,
+};
+
+fn main() {
+    // IMP-X: 4-bit code 0b1001 = IP-DP crossbar + DP-DP crossbar.
+    let subtype = MultiSubtype::from_code(0b1001).unwrap();
+    let mut machine = MultiMachine::new(subtype, 3, 8);
+
+    // Core 0 sends a value to core 1 across the DP-DP fabric; core 2 does
+    // local work — and its DP is dead, so the IP-DP crossbar must remap.
+    let mut sender = Assembler::new();
+    sender.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+    let mut receiver = Assembler::new();
+    receiver
+        .emit(Instr::Recv(5, 0))
+        .movi(6, 0)
+        .emit(Instr::Store(6, 5))
+        .emit(Instr::Halt);
+    let mut local = Assembler::new();
+    local
+        .movi(0, 1)
+        .movi(1, 2)
+        .emit(Instr::Add(2, 0, 1))
+        .movi(3, 0)
+        .emit(Instr::Store(3, 2))
+        .emit(Instr::Halt);
+    let programs: Vec<Program> = vec![
+        sender.assemble().unwrap(),
+        receiver.assemble().unwrap(),
+        local.assemble().unwrap(),
+    ];
+
+    // Transient outage on the 0 -> 1 link, plus a dead DP on core 2.
+    let plan = FaultPlan::seeded(11)
+        .fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: 6,
+        })
+        .fail_dp(2);
+
+    let mut telemetry = Telemetry::new();
+    let outcome = machine
+        .run_resilient_traced(&programs, plan, &mut telemetry)
+        .expect("crossbar class degrades instead of failing");
+
+    println!("class: {}  ({subtype:?})", subtype.class_name());
+    println!("stats: {}", outcome.stats);
+    println!(
+        "faults={} retries={} degraded={}",
+        outcome.faults_injected, outcome.retries, outcome.degraded
+    );
+
+    // The telemetry contract: traced per-class totals reconcile exactly
+    // with the statistics counters, for every machine family.
+    outcome
+        .stats
+        .reconcile(&telemetry.trace)
+        .expect("trace reconciles with stats");
+    println!(
+        "trace: {} events recorded, {} dropped from the ring (totals stay exact)",
+        telemetry.trace.total(),
+        telemetry.trace.dropped()
+    );
+    println!();
+
+    let summary = TelemetrySummary::new(
+        subtype.class_name(),
+        outcome.stats.cycles,
+        telemetry.trace.class_counts(),
+        telemetry.metrics.counter_list(),
+        telemetry.metrics.histogram_list(),
+    );
+
+    println!("{}", cycle_breakdown(&summary, 40));
+    println!("{}", telemetry_table(&summary).render_ascii());
+    println!("{}", counter_table(&summary).render_ascii());
+    println!("CSV:\n{}", telemetry_csv(&summary));
+    println!("JSON:\n{}", telemetry_json(&summary).emit());
+    println!();
+
+    // Price the run from the trace and from the stats: identical.
+    let model = EnergyModel::default();
+    let from_stats = model.estimate(&outcome.stats, false, true);
+    let from_trace = model.estimate_from_trace(&telemetry.trace, outcome.stats.cycles, false, true);
+    assert_eq!(from_stats, from_trace);
+    println!(
+        "energy: {:.1} pJ total ({:.1} pJ/instr), trace-priced == stats-priced",
+        from_trace.total_pj(),
+        from_trace.per_instruction(&outcome.stats)
+    );
+}

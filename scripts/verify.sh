@@ -17,4 +17,12 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Build and run every example so drift between the examples and the
+# library API fails tier-1 instead of rotting silently.
+for src in examples/*.rs; do
+    name="$(basename "$src" .rs)"
+    echo "==> cargo run --release --offline --example $name"
+    cargo run --release --offline --example "$name" >/dev/null
+done
+
 echo "verify: OK"
