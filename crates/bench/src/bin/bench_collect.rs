@@ -1,0 +1,72 @@
+//! Run the registered benchmark suite and write a `BENCH_<label>.json`
+//! artifact: robust wall-time statistics plus the deterministic
+//! counters the regression gate (`bench_compare`) gates hard on.
+//!
+//! ```text
+//! bench_collect [--quick | --deterministic-only] [--label NAME] [--out PATH]
+//! ```
+//!
+//! Defaults: full depth, label `local`, output `BENCH_<label>.json` in
+//! the current directory.  Batch depth also honours the
+//! `SKILLTAX_BENCH_BATCHES` / `SKILLTAX_BENCH_BATCH_MS` environment
+//! variables (see `skilltax-bench`'s microbench docs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skilltax_bench::artifact::CollectionMode;
+use skilltax_bench::collector;
+
+fn main() -> ExitCode {
+    let mut mode = CollectionMode::Full;
+    let mut label = "local".to_owned();
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => mode = CollectionMode::Quick,
+            "--deterministic-only" => mode = CollectionMode::DeterministicOnly,
+            "--label" => match args.next() {
+                Some(value) => label = value,
+                None => return usage("--label needs a value"),
+            },
+            "--out" => match args.next() {
+                Some(value) => out = Some(PathBuf::from(value)),
+                None => return usage("--out needs a value"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
+    eprintln!(
+        "collecting suite (mode: {}, label: {label}) ...",
+        mode.as_str()
+    );
+    let artifact = collector::collect(&label, mode);
+    if let Err(e) = artifact.write_file(&path) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} benchmarks, schema v{})",
+        path.display(),
+        artifact.benchmarks.len(),
+        artifact.schema_version
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: bench_collect [--quick | --deterministic-only] [--label NAME] [--out PATH]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

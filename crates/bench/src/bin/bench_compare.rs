@@ -1,0 +1,95 @@
+//! Diff a current bench artifact against a committed baseline and apply
+//! the regression gate: deterministic-counter deltas fail hard (exit
+//! code 1 — a real behavioral change that must be acknowledged),
+//! wall-time drift beyond the measured noise floor is flagged softly
+//! (exit code 0).
+//!
+//! ```text
+//! bench_compare [--baseline PATH] [--current PATH] [--full]
+//! ```
+//!
+//! Defaults: baseline `artifacts/BENCH_baseline.json`; when no
+//! `--current` artifact is given the suite is collected in-process in
+//! quick mode (`--full` goes deep instead).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skilltax_bench::artifact::{Artifact, CollectionMode};
+use skilltax_bench::collector;
+use skilltax_bench::compare::Comparison;
+
+const DEFAULT_BASELINE: &str = "artifacts/BENCH_baseline.json";
+
+fn main() -> ExitCode {
+    let mut baseline_path = PathBuf::from(DEFAULT_BASELINE);
+    let mut current_path: Option<PathBuf> = None;
+    let mut mode = CollectionMode::Quick;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(value) => baseline_path = PathBuf::from(value),
+                None => return usage("--baseline needs a value"),
+            },
+            "--current" => match args.next() {
+                Some(value) => current_path = Some(PathBuf::from(value)),
+                None => return usage("--current needs a value"),
+            },
+            "--full" => mode = CollectionMode::Full,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let baseline = match Artifact::read_file(&baseline_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match current_path {
+        Some(path) => match Artifact::read_file(&path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("collecting current suite (mode: {}) ...", mode.as_str());
+            collector::collect("current", mode)
+        }
+    };
+
+    println!(
+        "baseline: {} ({}, {} benchmarks)  vs  current: {} ({}, {} benchmarks)",
+        baseline.label,
+        baseline.mode.as_str(),
+        baseline.benchmarks.len(),
+        current.label,
+        current.mode.as_str(),
+        current.benchmarks.len()
+    );
+    let comparison = Comparison::between(&baseline, &current);
+    print!("{}", comparison.render());
+    if comparison.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: bench_compare [--baseline PATH] [--current PATH] [--full]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

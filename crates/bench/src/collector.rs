@@ -1,0 +1,481 @@
+//! The continuous-performance collector: a registered suite covering
+//! every engine family, each benchmark paired with deterministic
+//! counters.
+//!
+//! Every suite entry is one closure run two ways:
+//!
+//! * **traced** once with a [`Telemetry`] tracer — the run's total
+//!   cycles and per-event-class totals (plus domain work counters for
+//!   the non-machine engines) become the benchmark's *deterministic
+//!   counters*.  The engines are deterministic, so these are
+//!   byte-identical across runs and machines, and the regression gate
+//!   ([`crate::compare`]) gates **hard** on them;
+//! * **untraced** under the [`Harness`] for wall-clock timing — noisy,
+//!   machine-local, summarised robustly ([`crate::stats`]) and gated
+//!   **soft** against the measured noise floor.
+//!
+//! [`collect`] runs the whole suite and returns the artifact
+//! ([`crate::artifact`]) that `bench_collect` writes to
+//! `BENCH_<label>.json`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use skilltax_catalog::full_survey;
+use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
+use skilltax_machine::array::ArraySubtype;
+use skilltax_machine::dataflow::DataflowSubtype;
+use skilltax_machine::interconnect::FabricTopology;
+use skilltax_machine::multi::MultiSubtype;
+use skilltax_machine::spatial::SpatialMachine;
+use skilltax_machine::telemetry::{EventKind, Telemetry, Tracer};
+use skilltax_machine::universal::{program_counter, LutFabric};
+use skilltax_machine::workload::{
+    run_mimd_mix_multi_traced, run_reduce_dataflow_traced, run_vector_add_array_traced,
+    run_vector_add_multi_traced, run_vector_add_uni_traced,
+};
+use skilltax_machine::{Assembler, Instr, Program, Stats, Word};
+use skilltax_taxonomy::{classify, flexibility_of_spec, Taxonomy};
+
+use crate::artifact::{Artifact, BenchRecord, CollectionMode, EnvMeta, SCHEMA_VERSION};
+use crate::microbench::{
+    env_batch_target, env_batches, Harness, DEFAULT_BATCHES, DEFAULT_BATCH_TARGET,
+};
+
+/// The tracer a suite closure is handed: off for timing, on for counter
+/// capture.  A concrete enum (not a trait object) so the machine run
+/// loops stay monomorphised.
+#[derive(Debug, Default)]
+pub enum BenchTracer {
+    /// Timing mode: behave like a `NullTracer`.
+    #[default]
+    Off,
+    /// Counter-capture mode.
+    On(Telemetry),
+}
+
+impl BenchTracer {
+    /// The captured telemetry, if this tracer was on.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        match self {
+            BenchTracer::Off => None,
+            BenchTracer::On(t) => Some(t),
+        }
+    }
+}
+
+impl Tracer for BenchTracer {
+    fn enabled(&self) -> bool {
+        matches!(self, BenchTracer::On(_))
+    }
+
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        if let BenchTracer::On(t) = self {
+            t.record(cycle, kind);
+        }
+    }
+
+    fn record_many(&mut self, cycle: u64, kind: EventKind, n: u64) {
+        if let BenchTracer::On(t) = self {
+            t.record_many(cycle, kind, n);
+        }
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        if let BenchTracer::On(t) = self {
+            t.counter(name, delta);
+        }
+    }
+
+    fn sample(&mut self, name: &str, value: u64) {
+        if let BenchTracer::On(t) = self {
+            t.sample(name, value);
+        }
+    }
+}
+
+/// One registered suite entry: a name, its group, and the closure run
+/// both traced (counters) and untraced (timing).
+pub struct SuiteBench {
+    name: &'static str,
+    group: &'static str,
+    run: Box<dyn Fn(&mut BenchTracer) -> BTreeMap<String, u64>>,
+}
+
+impl SuiteBench {
+    fn new(
+        name: &'static str,
+        group: &'static str,
+        run: impl Fn(&mut BenchTracer) -> BTreeMap<String, u64> + 'static,
+    ) -> SuiteBench {
+        SuiteBench {
+            name,
+            group,
+            run: Box::new(run),
+        }
+    }
+
+    /// Stable benchmark name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Suite group (engine family).
+    pub fn group(&self) -> &'static str {
+        self.group
+    }
+
+    /// One traced run: the benchmark's deterministic counters.
+    pub fn capture_counters(&self) -> BTreeMap<String, u64> {
+        let mut tracer = BenchTracer::On(Telemetry::new());
+        let mut counters = (self.run)(&mut tracer);
+        if let Some(telemetry) = tracer.telemetry() {
+            for (label, count) in telemetry.trace.class_counts() {
+                counters.insert(format!("event.{label}"), count);
+            }
+        }
+        counters
+    }
+}
+
+/// Counters shared by every machine-family benchmark: total cycles (the
+/// event-class totals are appended by [`SuiteBench::capture_counters`]).
+fn stats_counters(stats: &Stats) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    m.insert("cycles".to_owned(), stats.cycles);
+    m.insert("instructions".to_owned(), stats.instructions);
+    m
+}
+
+/// Domain counters for text-rendering benchmarks: output size plus a
+/// byte-sum checksum (both exact and platform-independent).
+fn text_counters(rendered: &str) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    m.insert("work.bytes".to_owned(), rendered.len() as u64);
+    m.insert(
+        "work.checksum".to_owned(),
+        rendered.bytes().map(u64::from).sum(),
+    );
+    m
+}
+
+/// `x` in exact thousandths — the deterministic integer form of an `f64`
+/// model output (identical FP op order ⇒ identical value everywhere).
+fn milli(x: f64) -> u64 {
+    (x * 1000.0).round() as u64
+}
+
+fn vectors(n: usize) -> (Vec<Word>, Vec<Word>) {
+    ((0..n as Word).collect(), (0..n as Word).rev().collect())
+}
+
+/// `mem[0] = 2 + 3` with a load back — the spatial per-core program.
+fn scalar_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 2)
+        .movi(1, 3)
+        .emit(Instr::Add(2, 0, 1))
+        .movi(3, 0)
+        .emit(Instr::Store(3, 2))
+        .emit(Instr::Load(4, 3))
+        .emit(Instr::Halt);
+    asm.assemble().expect("scalar program is well formed")
+}
+
+/// The registered suite: every engine family behind the paper's tables
+/// and figures, in stable order.
+pub fn suite() -> Vec<SuiteBench> {
+    let mut benches = Vec::new();
+
+    // --- taxonomy: classification and flexibility (Tables I-III) -----
+    benches.push(SuiteBench::new(
+        "taxonomy/classify_templates",
+        "taxonomy",
+        |_| {
+            let specs: Vec<_> = Taxonomy::extended()
+                .implementable()
+                .map(|c| c.template_spec())
+                .collect();
+            let mut classified = 0u64;
+            for spec in &specs {
+                classify(spec).expect("template specs classify");
+                classified += 1;
+            }
+            let mut m = BTreeMap::new();
+            m.insert("work.classified".to_owned(), classified);
+            m
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "taxonomy/flexibility_survey",
+        "taxonomy",
+        |_| {
+            let survey = full_survey();
+            let flex_sum: u64 = survey
+                .iter()
+                .map(|e| u64::from(flexibility_of_spec(&e.spec)))
+                .sum();
+            let mut m = BTreeMap::new();
+            m.insert("work.entries".to_owned(), survey.len() as u64);
+            m.insert("work.flexibility_sum".to_owned(), flex_sum);
+            m
+        },
+    ));
+
+    // --- estimate: Eq 1 / Eq 2 sweeps --------------------------------
+    benches.push(SuiteBench::new(
+        "estimate/area_eq1_survey",
+        "estimate",
+        |_| {
+            let survey = full_survey();
+            let params = CostParams::default();
+            let area_sum: f64 = survey
+                .iter()
+                .map(|e| estimate_area(&e.spec, &params).total())
+                .sum();
+            let mut m = BTreeMap::new();
+            m.insert("work.entries".to_owned(), survey.len() as u64);
+            m.insert("work.area_sum_milli".to_owned(), milli(area_sum));
+            m
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "estimate/config_bits_eq2_sweep",
+        "estimate",
+        |_| {
+            let spec = skilltax_model::dsl::parse_row(
+                "IMP-XVI-template",
+                "n | n | none | nxn | nxn | nxn | nxn",
+            )
+            .expect("template row parses");
+            let mut bits_sum = 0u64;
+            let mut area_sum = 0.0f64;
+            for n in [4u32, 16, 64, 256] {
+                let params = CostParams::default().with_n(n);
+                bits_sum += estimate_config_bits(&spec, &params).total();
+                area_sum += estimate_area(&spec, &params).total();
+            }
+            let mut m = BTreeMap::new();
+            m.insert("work.config_bits_sum".to_owned(), bits_sum);
+            m.insert("work.area_sum_milli".to_owned(), milli(area_sum));
+            m
+        },
+    ));
+
+    // --- machine run loops: one per family ---------------------------
+    benches.push(SuiteBench::new(
+        "machine/vector_add/uni/64",
+        "machine.uni",
+        |tracer| {
+            let (a, b) = vectors(64);
+            let run = run_vector_add_uni_traced(&a, &b, tracer).expect("IUP runs vector add");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/vector_add/array-I/64",
+        "machine.array",
+        |tracer| {
+            let (a, b) = vectors(64);
+            let run = run_vector_add_array_traced(ArraySubtype::I, &a, &b, tracer)
+                .expect("IAP-I runs vector add");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/vector_add/multi-simd/8",
+        "machine.multi",
+        |tracer| {
+            let (a, b) = vectors(8);
+            let subtype = MultiSubtype::from_index(1).expect("IMP-I exists");
+            let run =
+                run_vector_add_multi_traced(subtype, &a, &b, tracer).expect("IMP emulates SIMD");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/mimd_mix/multi/8x16",
+        "machine.multi",
+        |tracer| {
+            let slices: Vec<Vec<Word>> = (0..8).map(|i| (i..i + 16).collect()).collect();
+            let subtype = MultiSubtype::from_index(1).expect("IMP-I exists");
+            let run =
+                run_mimd_mix_multi_traced(subtype, &slices, tracer).expect("IMP runs MIMD mix");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/spatial/fused_pair/4",
+        "machine.spatial",
+        |tracer| {
+            let mut machine = SpatialMachine::new(
+                MultiSubtype::from_code(0).expect("code 0 is ISP-I"),
+                FabricTopology::Crossbar,
+                4,
+                8,
+            )
+            .expect("spatial machine builds");
+            machine.fuse(0, 1).expect("crossbar IP-IP fuses");
+            let programs: Vec<Program> = (0..4).map(|_| scalar_program()).collect();
+            let stats = machine
+                .run_traced(&programs, tracer)
+                .expect("fused groups run");
+            stats_counters(&stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/dataflow/reduce/4dp/64",
+        "machine.dataflow",
+        |tracer| {
+            let data: Vec<Word> = (0..64).collect();
+            let run = run_reduce_dataflow_traced(DataflowSubtype::IV, 4, &data, tracer)
+                .expect("DMP-IV reduces");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/fabric/program_counter/8bit",
+        "machine.fabric",
+        |tracer| {
+            let fabric = LutFabric::new(256, 4, 32);
+            let bitstream = program_counter(&fabric, 8).expect("8-bit PC maps");
+            let mut pc = fabric.configure(&bitstream).expect("bitstream configures");
+            let no_branch = vec![false; 9];
+            let (_, stats) = pc
+                .run_until_traced(
+                    &no_branch,
+                    1_000,
+                    |out| {
+                        out.iter()
+                            .enumerate()
+                            .fold(0usize, |acc, (i, &b)| acc | (usize::from(b) << i))
+                            == 50
+                    },
+                    tracer,
+                )
+                .expect("PC reaches 50 inside the budget");
+            stats_counters(&stats)
+        },
+    ));
+
+    // --- report rendering --------------------------------------------
+    benches.push(SuiteBench::new("report/table3_render", "report", |_| {
+        text_counters(&crate::artifacts::table3())
+    }));
+    benches.push(SuiteBench::new("report/fig7_render", "report", |_| {
+        text_counters(&crate::artifacts::fig7_ascii())
+    }));
+
+    benches
+}
+
+/// Batch depth for a mode, with the `SKILLTAX_BENCH_*` environment
+/// variables taking precedence (the documented quick defaults keep the
+/// CI smoke step in the seconds range).
+pub fn depth_for(mode: CollectionMode) -> (usize, Duration) {
+    let default_batches = match mode {
+        CollectionMode::Full => DEFAULT_BATCHES,
+        CollectionMode::Quick => 3,
+        CollectionMode::DeterministicOnly => 2,
+    };
+    let default_target = match mode {
+        CollectionMode::Full => DEFAULT_BATCH_TARGET,
+        CollectionMode::Quick => Duration::from_millis(2),
+        CollectionMode::DeterministicOnly => Duration::from_millis(1),
+    };
+    (
+        env_batches().unwrap_or(default_batches),
+        env_batch_target().unwrap_or(default_target),
+    )
+}
+
+/// Run the full suite: one traced run per benchmark for the
+/// deterministic counters, then the timing batches, returning the
+/// artifact to write.
+pub fn collect(label: &str, mode: CollectionMode) -> Artifact {
+    let (batches, batch_target) = depth_for(mode);
+    let mut harness = Harness::new()
+        .with_batches(batches)
+        .with_batch_target(batch_target);
+    let mut records = Vec::new();
+    for bench in suite() {
+        let counters = bench.capture_counters();
+        let measurement = harness.bench(bench.name(), || {
+            let mut off = BenchTracer::Off;
+            (bench.run)(&mut off)
+        });
+        records.push(BenchRecord {
+            name: bench.name().to_owned(),
+            group: bench.group().to_owned(),
+            iters_per_batch: measurement.iters_per_batch,
+            wall_ns: measurement.robust(),
+            counters,
+        });
+    }
+    Artifact {
+        schema_version: SCHEMA_VERSION,
+        label: label.to_owned(),
+        mode,
+        env: EnvMeta::current(batches as u64, batch_target.as_millis() as u64),
+        benchmarks: records,
+    }
+}
+
+/// The deterministic half only — every benchmark's counters from one
+/// traced run each, with no timing batches (used by tests and tooling
+/// that only care about the hard-gated facts).
+pub fn collect_counters() -> Vec<(String, BTreeMap<String, u64>)> {
+    suite()
+        .iter()
+        .map(|b| (b.name().to_owned(), b.capture_counters()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_every_engine_family() {
+        let groups: std::collections::BTreeSet<&str> = suite().iter().map(|b| b.group()).collect();
+        for family in [
+            "taxonomy",
+            "estimate",
+            "machine.uni",
+            "machine.array",
+            "machine.multi",
+            "machine.spatial",
+            "machine.dataflow",
+            "machine.fabric",
+            "report",
+        ] {
+            assert!(groups.contains(family), "suite is missing {family}");
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let mut names: Vec<&str> = suite().iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn deterministic_counters_are_identical_across_runs() {
+        assert_eq!(collect_counters(), collect_counters());
+    }
+
+    #[test]
+    fn machine_benchmarks_capture_cycles_and_event_classes() {
+        let counters = suite()
+            .iter()
+            .find(|b| b.name() == "machine/vector_add/uni/64")
+            .expect("registered")
+            .capture_counters();
+        assert!(counters["cycles"] > 0);
+        assert!(counters["event.issue"] > 0);
+        assert!(counters.contains_key("event.stall"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The regression gate: diff a current artifact against a baseline.
+//!
+//! The gating policy has two tiers, matching what each measurement can
+//! actually promise:
+//!
+//! * **Deterministic counters gate hard.**  The engines are
+//!   deterministic, so any counter delta — more cycles, fewer messages,
+//!   a benchmark disappearing from the suite — is a real behavioral
+//!   change.  It must be acknowledged: either the change is a bug to
+//!   fix, or the baseline must be re-recorded alongside the PR that
+//!   explains it.  [`Comparison::is_clean`] is false and
+//!   `bench_compare` exits non-zero.
+//! * **Wall times gate soft.**  They are machine-local noise-bearing
+//!   observations; a p50 delta is only *flagged* when it exceeds the
+//!   measured noise floor of both runs, and never fails the gate.
+//!   Against a `deterministic-only` baseline (the committed one) wall
+//!   comparison is skipped entirely.
+
+use skilltax_report::{regression_summary, regression_table, RegressionRow, Severity};
+
+use crate::artifact::{Artifact, BenchRecord, CollectionMode};
+
+/// One deterministic counter that differs between baseline and current.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Counter key (`cycles`, `event.issue`, `work.checksum`, ...).
+    pub key: String,
+    /// Baseline value (`None` when the counter is new).
+    pub baseline: Option<u64>,
+    /// Current value (`None` when the counter disappeared).
+    pub current: Option<u64>,
+}
+
+/// The wall-time comparison of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallDelta {
+    /// Baseline p50, ns per iteration.
+    pub baseline_p50: f64,
+    /// Current p50, ns per iteration.
+    pub current_p50: f64,
+    /// Relative change `(current - baseline) / baseline`.
+    pub rel_change: f64,
+    /// The gate threshold: the larger of the two runs' noise floors.
+    pub floor: f64,
+    /// Did the delta exceed the floor?
+    pub flagged: bool,
+}
+
+/// One benchmark's comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Counters that differ (empty means deterministically unchanged).
+    pub counter_deltas: Vec<CounterDelta>,
+    /// Wall-time delta, when both sides carry comparable wall times.
+    pub wall: Option<WallDelta>,
+}
+
+/// The full diff of two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmarks in the baseline that the current run no longer has
+    /// (a suite regression — gated hard).
+    pub missing: Vec<String>,
+    /// Benchmarks new in the current run (informational; re-record the
+    /// baseline to start gating them).
+    pub added: Vec<String>,
+    /// Per-benchmark results for the common set, in baseline order.
+    pub benches: Vec<BenchComparison>,
+    /// False when wall comparison was skipped (deterministic-only side).
+    pub wall_compared: bool,
+}
+
+fn wall_delta(base: &BenchRecord, cur: &BenchRecord) -> Option<WallDelta> {
+    if base.wall_ns.p50 <= 0.0 {
+        return None;
+    }
+    let rel_change = (cur.wall_ns.p50 - base.wall_ns.p50) / base.wall_ns.p50;
+    let floor = base
+        .wall_ns
+        .noise_floor_frac
+        .max(cur.wall_ns.noise_floor_frac);
+    Some(WallDelta {
+        baseline_p50: base.wall_ns.p50,
+        current_p50: cur.wall_ns.p50,
+        rel_change,
+        floor,
+        flagged: rel_change.abs() > floor,
+    })
+}
+
+impl Comparison {
+    /// Diff `current` against `baseline`.
+    pub fn between(baseline: &Artifact, current: &Artifact) -> Comparison {
+        let wall_compared = baseline.mode != CollectionMode::DeterministicOnly
+            && current.mode != CollectionMode::DeterministicOnly;
+        let mut missing = Vec::new();
+        let mut benches = Vec::new();
+        for base in &baseline.benchmarks {
+            let Some(cur) = current.benchmark(&base.name) else {
+                missing.push(base.name.clone());
+                continue;
+            };
+            let mut counter_deltas = Vec::new();
+            let keys: std::collections::BTreeSet<&String> =
+                base.counters.keys().chain(cur.counters.keys()).collect();
+            for key in keys {
+                let b = base.counters.get(key).copied();
+                let c = cur.counters.get(key).copied();
+                if b != c {
+                    counter_deltas.push(CounterDelta {
+                        key: key.clone(),
+                        baseline: b,
+                        current: c,
+                    });
+                }
+            }
+            benches.push(BenchComparison {
+                name: base.name.clone(),
+                counter_deltas,
+                wall: if wall_compared {
+                    wall_delta(base, cur)
+                } else {
+                    None
+                },
+            });
+        }
+        let added = current
+            .benchmarks
+            .iter()
+            .filter(|b| baseline.benchmark(&b.name).is_none())
+            .map(|b| b.name.clone())
+            .collect();
+        Comparison {
+            missing,
+            added,
+            benches,
+            wall_compared,
+        }
+    }
+
+    /// Benchmarks with hard (deterministic) regressions: counter deltas
+    /// plus benchmarks missing from the current run.
+    pub fn hard_regressions(&self) -> Vec<&str> {
+        self.missing
+            .iter()
+            .map(String::as_str)
+            .chain(
+                self.benches
+                    .iter()
+                    .filter(|b| !b.counter_deltas.is_empty())
+                    .map(|b| b.name.as_str()),
+            )
+            .collect()
+    }
+
+    /// Benchmarks whose wall-time drift exceeds the noise floor.
+    pub fn soft_flags(&self) -> Vec<&str> {
+        self.benches
+            .iter()
+            .filter(|b| b.wall.as_ref().is_some_and(|w| w.flagged))
+            .map(|b| b.name.as_str())
+            .collect()
+    }
+
+    /// True when the gate passes (no hard regressions; soft drift is
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.hard_regressions().is_empty()
+    }
+
+    /// The report rows (plain data for [`skilltax_report::regression`]).
+    pub fn rows(&self) -> Vec<RegressionRow> {
+        let mut rows = Vec::new();
+        for name in &self.missing {
+            rows.push(RegressionRow {
+                benchmark: name.clone(),
+                metric: "benchmark".to_owned(),
+                baseline: "present".to_owned(),
+                current: "missing".to_owned(),
+                delta: "-".to_owned(),
+                severity: Severity::Hard,
+            });
+        }
+        for name in &self.added {
+            rows.push(RegressionRow {
+                benchmark: name.clone(),
+                metric: "benchmark".to_owned(),
+                baseline: "absent".to_owned(),
+                current: "new".to_owned(),
+                delta: "+".to_owned(),
+                severity: Severity::Info,
+            });
+        }
+        for bench in &self.benches {
+            for delta in &bench.counter_deltas {
+                let fmt = |v: Option<u64>| match v {
+                    Some(v) => v.to_string(),
+                    None => "(none)".to_owned(),
+                };
+                let diff = match (delta.baseline, delta.current) {
+                    (Some(b), Some(c)) => {
+                        let signed = c as i128 - b as i128;
+                        format!("{signed:+}")
+                    }
+                    _ => "±".to_owned(),
+                };
+                rows.push(RegressionRow {
+                    benchmark: bench.name.clone(),
+                    metric: format!("counter {}", delta.key),
+                    baseline: fmt(delta.baseline),
+                    current: fmt(delta.current),
+                    delta: diff,
+                    severity: Severity::Hard,
+                });
+            }
+            if let Some(wall) = bench.wall.as_ref().filter(|w| w.flagged) {
+                rows.push(RegressionRow {
+                    benchmark: bench.name.clone(),
+                    metric: "wall p50".to_owned(),
+                    baseline: format!("{:.1} ns", wall.baseline_p50),
+                    current: format!("{:.1} ns", wall.current_p50),
+                    delta: format!(
+                        "{:+.1}% (floor {:.1}%)",
+                        wall.rel_change * 100.0,
+                        wall.floor * 100.0
+                    ),
+                    severity: Severity::Soft,
+                });
+            }
+        }
+        if !self.wall_compared {
+            rows.push(RegressionRow {
+                benchmark: "(all)".to_owned(),
+                metric: "wall".to_owned(),
+                baseline: "machine-local".to_owned(),
+                current: "machine-local".to_owned(),
+                delta: "skipped".to_owned(),
+                severity: Severity::Info,
+            });
+        }
+        rows
+    }
+
+    /// Render the full ASCII report: the regression table (when anything
+    /// moved) and the verdict line.
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        let hard = self.hard_regressions().len();
+        let soft = self.soft_flags().len();
+        let info = rows.iter().filter(|r| r.severity == Severity::Info).count();
+        let mut out = String::new();
+        if !rows.is_empty() {
+            out.push_str(&regression_table(&rows).render_ascii());
+            out.push('\n');
+        }
+        out.push_str(&regression_summary(self.benches.len(), hard, soft, info));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{BenchRecord, EnvMeta, SCHEMA_VERSION};
+    use crate::stats::SampleStats;
+    use std::collections::BTreeMap;
+
+    fn record(name: &str, cycles: u64, p50: f64) -> BenchRecord {
+        let mut counters = BTreeMap::new();
+        counters.insert("cycles".to_owned(), cycles);
+        let samples = vec![p50 * 0.98, p50, p50 * 1.02];
+        BenchRecord {
+            name: name.to_owned(),
+            group: "test".to_owned(),
+            iters_per_batch: 100,
+            wall_ns: SampleStats::from_samples(&samples),
+            counters,
+        }
+    }
+
+    fn artifact(mode: CollectionMode, benchmarks: Vec<BenchRecord>) -> Artifact {
+        Artifact {
+            schema_version: SCHEMA_VERSION,
+            label: "test".to_owned(),
+            mode,
+            env: EnvMeta::current(3, 2),
+            benchmarks,
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_are_clean() {
+        let a = artifact(CollectionMode::Quick, vec![record("x", 100, 50.0)]);
+        let cmp = Comparison::between(&a, &a.clone());
+        assert!(cmp.is_clean());
+        assert!(cmp.soft_flags().is_empty());
+        assert!(cmp.render().contains("OK:"));
+    }
+
+    #[test]
+    fn counter_change_is_a_hard_regression_naming_the_benchmark() {
+        let base = artifact(CollectionMode::Quick, vec![record("x", 100, 50.0)]);
+        let cur = artifact(CollectionMode::Quick, vec![record("x", 200, 50.0)]);
+        let cmp = Comparison::between(&base, &cur);
+        assert!(!cmp.is_clean());
+        assert_eq!(cmp.hard_regressions(), vec!["x"]);
+        let report = cmp.render();
+        assert!(report.contains("FAIL"));
+        assert!(report.contains("counter cycles"));
+        assert!(report.contains("+100"));
+    }
+
+    #[test]
+    fn missing_benchmark_gates_hard_and_new_one_is_info() {
+        let base = artifact(CollectionMode::Quick, vec![record("old", 1, 50.0)]);
+        let cur = artifact(CollectionMode::Quick, vec![record("new", 1, 50.0)]);
+        let cmp = Comparison::between(&base, &cur);
+        assert_eq!(cmp.missing, vec!["old"]);
+        assert_eq!(cmp.added, vec!["new"]);
+        assert!(!cmp.is_clean());
+    }
+
+    #[test]
+    fn wall_drift_beyond_floor_is_soft_only() {
+        let base = artifact(CollectionMode::Quick, vec![record("x", 100, 50.0)]);
+        let cur = artifact(CollectionMode::Quick, vec![record("x", 100, 500.0)]);
+        let cmp = Comparison::between(&base, &cur);
+        assert!(cmp.is_clean(), "wall drift never gates hard");
+        assert_eq!(cmp.soft_flags(), vec!["x"]);
+        assert!(cmp.render().contains("OK (with drift)"));
+    }
+
+    #[test]
+    fn deterministic_only_baseline_skips_wall_comparison() {
+        let base = artifact(
+            CollectionMode::DeterministicOnly,
+            vec![record("x", 100, 50.0)],
+        );
+        let cur = artifact(CollectionMode::Quick, vec![record("x", 100, 500.0)]);
+        let cmp = Comparison::between(&base, &cur);
+        assert!(!cmp.wall_compared);
+        assert!(cmp.soft_flags().is_empty());
+        assert!(cmp.is_clean());
+    }
+}

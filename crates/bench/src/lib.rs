@@ -5,9 +5,27 @@
 //! Pareto and morphing reports); the `table*`/`fig*` binaries print them,
 //! and the dependency-free [`microbench`] harness drives the benches in
 //! `benches/` that measure the engines behind them.
+//!
+//! On top of the harness sits the continuous-performance collector
+//! (`bench_collect` / `bench_compare`):
+//!
+//! * [`stats`] — robust statistics over batch timings (percentiles, MAD,
+//!   outlier rejection, per-benchmark noise floor);
+//! * [`collector`] — a registered suite covering every engine family,
+//!   pairing wall-clock timings with deterministic telemetry counters;
+//! * [`artifact`] — the `BENCH_<label>.json` schema, writer and typed
+//!   reader (using the in-repo [`jsonio`] parser — the workspace stays
+//!   hermetic);
+//! * [`compare`] — the regression gate: deterministic counters gate
+//!   hard, wall times gate soft against the measured noise floor.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod artifacts;
+pub mod collector;
+pub mod compare;
+pub mod jsonio;
 pub mod microbench;
+pub mod stats;

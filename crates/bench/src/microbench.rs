@@ -3,10 +3,53 @@
 //! The workspace builds hermetically (no external crates), so the bench
 //! targets in `benches/` use this module instead of Criterion: calibrate
 //! an iteration count against a target batch duration, take a fixed
-//! number of timed batches, and report min/median/mean nanoseconds per
-//! iteration in a plain-text table.
+//! number of timed batches, and report robust per-iteration statistics
+//! (p10/p50/p90 and the MAD, via [`crate::stats`]) in a plain-text table.
+//!
+//! Batch depth is environment-configurable so CI smoke runs finish in
+//! seconds while local runs can go deep:
+//!
+//! * `SKILLTAX_BENCH_BATCHES` — timed batches per benchmark
+//!   (default **12**);
+//! * `SKILLTAX_BENCH_BATCH_MS` — target milliseconds per batch
+//!   (default **25**).
+//!
+//! Explicit [`Harness::with_batches`] / [`Harness::with_batch_target`]
+//! calls still override both.
 
 use std::time::{Duration, Instant};
+
+use crate::stats::SampleStats;
+
+/// Default number of timed batches (overridable via
+/// `SKILLTAX_BENCH_BATCHES`).
+pub const DEFAULT_BATCHES: usize = 12;
+
+/// Default target duration of one timed batch (overridable via
+/// `SKILLTAX_BENCH_BATCH_MS`).
+pub const DEFAULT_BATCH_TARGET: Duration = Duration::from_millis(25);
+
+/// `SKILLTAX_BENCH_BATCHES`, if set to a positive integer.
+pub fn env_batches() -> Option<usize> {
+    std::env::var("SKILLTAX_BENCH_BATCHES")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// `SKILLTAX_BENCH_BATCH_MS` as a [`Duration`], if set to a positive
+/// integer.
+pub fn env_batch_target() -> Option<Duration> {
+    let ms: u64 = std::env::var("SKILLTAX_BENCH_BATCH_MS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)?;
+    Some(Duration::from_millis(ms))
+}
 
 /// One benchmark's timing summary.
 #[derive(Debug, Clone)]
@@ -27,19 +70,18 @@ impl Measurement {
 
     /// Median batch, in ns per iteration.
     pub fn median_ns(&self) -> f64 {
-        let mut sorted = self.batch_ns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-        let mid = sorted.len() / 2;
-        if sorted.len() % 2 == 0 {
-            (sorted[mid - 1] + sorted[mid]) / 2.0
-        } else {
-            sorted[mid]
-        }
+        crate::stats::median(&self.batch_ns)
     }
 
     /// Mean over all batches, in ns per iteration.
     pub fn mean_ns(&self) -> f64 {
         self.batch_ns.iter().sum::<f64>() / self.batch_ns.len() as f64
+    }
+
+    /// The robust summary (outlier rejection, percentiles, MAD, noise
+    /// floor) — what the collector stores in the artifact.
+    pub fn robust(&self) -> SampleStats {
+        SampleStats::from_samples(&self.batch_ns)
     }
 }
 
@@ -58,25 +100,40 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// A harness taking 12 batches of roughly 25 ms each per benchmark.
+    /// A harness taking [`DEFAULT_BATCHES`] batches of roughly
+    /// [`DEFAULT_BATCH_TARGET`] each per benchmark, unless the
+    /// `SKILLTAX_BENCH_BATCHES` / `SKILLTAX_BENCH_BATCH_MS` environment
+    /// variables override the defaults.
     pub fn new() -> Harness {
         Harness {
-            batches: 12,
-            batch_target: Duration::from_millis(25),
+            batches: env_batches().unwrap_or(DEFAULT_BATCHES),
+            batch_target: env_batch_target().unwrap_or(DEFAULT_BATCH_TARGET),
             results: Vec::new(),
         }
     }
 
-    /// Override the number of timed batches.
+    /// Override the number of timed batches (takes precedence over the
+    /// environment).
     pub fn with_batches(mut self, batches: usize) -> Harness {
         self.batches = batches.max(1);
         self
     }
 
-    /// Override the target duration of one timed batch.
+    /// Override the target duration of one timed batch (takes precedence
+    /// over the environment).
     pub fn with_batch_target(mut self, target: Duration) -> Harness {
         self.batch_target = target;
         self
+    }
+
+    /// Timed batches per benchmark.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Target duration of one timed batch.
+    pub fn batch_target(&self) -> Duration {
+        self.batch_target
     }
 
     /// Time `f`, storing and returning the measurement.
@@ -126,7 +183,8 @@ impl Harness {
         &self.results
     }
 
-    /// Render the collected measurements as an aligned text table.
+    /// Render the collected measurements as an aligned text table of
+    /// robust statistics (ns per iteration).
     pub fn report(&self) -> String {
         let mut out = String::new();
         let width = self
@@ -137,16 +195,19 @@ impl Harness {
             .unwrap_or(4)
             .max(4);
         out.push_str(&format!(
-            "{:width$}  {:>12}  {:>12}  {:>12}  {:>8}\n",
-            "name", "min ns/iter", "median", "mean", "iters"
+            "{:width$}  {:>12}  {:>12}  {:>12}  {:>10}  {:>7}  {:>8}\n",
+            "name", "p10 ns/iter", "p50", "p90", "mad", "noise%", "iters"
         ));
         for m in &self.results {
+            let s = m.robust();
             out.push_str(&format!(
-                "{:width$}  {:>12.1}  {:>12.1}  {:>12.1}  {:>8}\n",
+                "{:width$}  {:>12.1}  {:>12.1}  {:>12.1}  {:>10.1}  {:>6.1}%  {:>8}\n",
                 m.name,
-                m.min_ns(),
-                m.median_ns(),
-                m.mean_ns(),
+                s.p10,
+                s.p50,
+                s.p90,
+                s.mad,
+                s.noise_floor_frac * 100.0,
                 m.iters_per_batch
             ));
         }
@@ -176,9 +237,11 @@ mod tests {
         assert_eq!(m.batch_ns.len(), 3);
         assert!(m.min_ns() > 0.0);
         assert!(m.min_ns() <= m.mean_ns() + f64::EPSILON);
+        let robust = m.robust();
+        assert!(robust.kept >= 2, "MAD filter keeps at least half of 3");
         let report = h.report();
         assert!(report.contains("square"));
-        assert!(report.contains("min ns/iter"));
+        assert!(report.contains("p50"));
     }
 
     #[test]
@@ -204,5 +267,14 @@ mod tests {
         h.bench("b", || 2);
         let names: Vec<&str> = h.results().iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn explicit_overrides_beat_defaults() {
+        let h = Harness::new()
+            .with_batches(5)
+            .with_batch_target(Duration::from_millis(1));
+        assert_eq!(h.batches(), 5);
+        assert_eq!(h.batch_target(), Duration::from_millis(1));
     }
 }

@@ -1,0 +1,227 @@
+//! Robust statistics over batch timings.
+//!
+//! Wall-clock timings are noisy: a single scheduler hiccup can make
+//! `min`/`mean` misleading.  This module replaces the bare
+//! min/median/mean summary the microbenchmark harness started with by
+//! the robust pipeline a continuous-performance collector needs:
+//!
+//! 1. interpolated percentiles (p10/p50/p90),
+//! 2. the median absolute deviation (MAD) as a robust spread measure,
+//! 3. MAD-based outlier rejection (samples further than
+//!    [`OUTLIER_MAD_MULTIPLIER`] MADs from the median are discarded —
+//!    by construction at least half the samples always survive),
+//! 4. a per-benchmark *noise floor*: the relative wall-time change that
+//!    cannot be distinguished from measurement noise.  The regression
+//!    gate only soft-flags wall-time deltas beyond this floor.
+
+/// Samples further than this many MADs from the median are rejected.
+///
+/// 3.5 is the conventional cut-off for the modified z-score; because the
+/// MAD is itself the median of the deviations, at least half the samples
+/// are within one MAD of the median and can never be rejected.
+pub const OUTLIER_MAD_MULTIPLIER: f64 = 3.5;
+
+/// The smallest relative noise floor ever reported.
+///
+/// Even a perfectly quiet series cannot resolve wall-time changes below
+/// a few percent across machines and runs, so the floor is clamped here.
+pub const MIN_NOISE_FLOOR_FRAC: f64 = 0.05;
+
+/// Multiplier from relative MAD to noise floor: a delta is only
+/// distinguishable from noise when it exceeds a few spreads.
+pub const NOISE_FLOOR_MAD_MULTIPLIER: f64 = 3.0;
+
+/// Interpolated percentile of an **ascending-sorted** slice.
+///
+/// Uses linear interpolation between closest ranks (the `C = 1` variant):
+/// the rank of percentile `p` over `n` samples is `p/100 * (n-1)`.  A
+/// one-element slice returns that element for every `p`; an empty slice
+/// returns 0.0.  `p` is clamped to `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let frac = rank - lo as f64;
+    if frac == 0.0 || lo + 1 >= sorted.len() {
+        sorted[lo]
+    } else {
+        sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+    }
+}
+
+fn sorted_copy(samples: &[f64]) -> Vec<f64> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    sorted
+}
+
+/// Median of an unsorted slice (0.0 when empty).
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(&sorted_copy(samples), 50.0)
+}
+
+/// Median absolute deviation around the median (0.0 when empty; exactly
+/// 0.0 for a constant series).
+pub fn mad(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// The samples within [`OUTLIER_MAD_MULTIPLIER`] MADs of the median.
+///
+/// Because the MAD is the median of the deviations, at least half the
+/// samples are always kept — a pathological series can never reject its
+/// own bulk.  A zero-MAD series keeps exactly the samples equal to the
+/// median (still at least half of them).
+pub fn reject_outliers(samples: &[f64]) -> Vec<f64> {
+    if samples.len() <= 2 {
+        return samples.to_vec();
+    }
+    let m = median(samples);
+    let spread = mad(samples);
+    let cutoff = OUTLIER_MAD_MULTIPLIER * spread;
+    samples
+        .iter()
+        .copied()
+        .filter(|x| (x - m).abs() <= cutoff)
+        .collect()
+}
+
+/// The relative wall-time change indistinguishable from noise for this
+/// series: `max(MIN_NOISE_FLOOR_FRAC, 3 * MAD / median)`.
+///
+/// Monotone in the sample spread — scaling all deviations up can only
+/// raise the floor — and never below [`MIN_NOISE_FLOOR_FRAC`].
+pub fn noise_floor_frac(samples: &[f64]) -> f64 {
+    let m = median(samples);
+    if m <= 0.0 {
+        return MIN_NOISE_FLOOR_FRAC;
+    }
+    (NOISE_FLOOR_MAD_MULTIPLIER * mad(samples) / m).max(MIN_NOISE_FLOOR_FRAC)
+}
+
+/// The robust summary of one benchmark's batch timings — what goes into
+/// the `BENCH_*.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Raw sample count, before outlier rejection.
+    pub samples: usize,
+    /// Samples surviving MAD-based outlier rejection (≥ `samples / 2`).
+    pub kept: usize,
+    /// Minimum of the kept samples.
+    pub min: f64,
+    /// Maximum of the kept samples.
+    pub max: f64,
+    /// Mean of the kept samples.
+    pub mean: f64,
+    /// 10th percentile of the kept samples.
+    pub p10: f64,
+    /// Median of the kept samples.
+    pub p50: f64,
+    /// 90th percentile of the kept samples.
+    pub p90: f64,
+    /// Median absolute deviation of the kept samples.
+    pub mad: f64,
+    /// Relative noise floor of the *raw* series (see
+    /// [`noise_floor_frac`]).
+    pub noise_floor_frac: f64,
+}
+
+impl Default for SampleStats {
+    fn default() -> Self {
+        SampleStats {
+            samples: 0,
+            kept: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            p10: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            mad: 0.0,
+            noise_floor_frac: MIN_NOISE_FLOOR_FRAC,
+        }
+    }
+}
+
+impl SampleStats {
+    /// Summarise a series of samples: reject outliers, then compute the
+    /// percentiles and spread of the survivors.  The noise floor is taken
+    /// over the raw series so a wild run *widens* the gate instead of
+    /// silently tightening it.
+    pub fn from_samples(samples: &[f64]) -> SampleStats {
+        if samples.is_empty() {
+            return SampleStats::default();
+        }
+        let floor = noise_floor_frac(samples);
+        let kept = sorted_copy(&reject_outliers(samples));
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        SampleStats {
+            samples: samples.len(),
+            kept: kept.len(),
+            min: kept[0],
+            max: kept[kept.len() - 1],
+            mean,
+            p10: percentile(&kept, 10.0),
+            p50: percentile(&kept, 50.0),
+            p90: percentile(&kept, 90.0),
+            mad: mad(&kept),
+            noise_floor_frac: floor,
+        }
+    }
+
+    /// Outliers discarded by the MAD filter.
+    pub fn rejected(&self) -> usize {
+        self.samples - self.kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_of_singleton_is_the_element() {
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[7.5], 100.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_two_elements() {
+        let s = [10.0, 20.0];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 50.0), 15.0);
+        assert_eq!(percentile(&s, 90.0), 19.0);
+        assert_eq!(percentile(&s, 100.0), 20.0);
+    }
+
+    #[test]
+    fn percentile_matches_median_for_even_and_odd_lengths() {
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn mad_of_constant_series_is_zero() {
+        assert_eq!(mad(&[4.2; 9]), 0.0);
+    }
+
+    #[test]
+    fn stats_of_empty_series_are_all_zero() {
+        let s = SampleStats::from_samples(&[]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.noise_floor_frac, MIN_NOISE_FLOOR_FRAC);
+    }
+}

@@ -1,0 +1,112 @@
+//! Contract tests for `bench::stats`, the robust-statistics layer the
+//! continuous-performance collector summarises wall timings with.
+
+use skilltax_bench::stats::{
+    mad, median, noise_floor_frac, percentile, reject_outliers, SampleStats, MIN_NOISE_FLOOR_FRAC,
+    OUTLIER_MAD_MULTIPLIER,
+};
+
+#[test]
+fn percentile_of_length_one_is_that_sample_for_every_p() {
+    for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+        assert_eq!(percentile(&[3.25], p), 3.25);
+    }
+}
+
+#[test]
+fn percentile_of_length_two_interpolates_linearly() {
+    let s = [100.0, 200.0];
+    assert_eq!(percentile(&s, 0.0), 100.0);
+    assert_eq!(percentile(&s, 10.0), 110.0);
+    assert_eq!(percentile(&s, 50.0), 150.0);
+    assert_eq!(percentile(&s, 90.0), 190.0);
+    assert_eq!(percentile(&s, 100.0), 200.0);
+}
+
+#[test]
+fn percentile_handles_even_and_odd_lengths() {
+    // Odd: the median is an element; p10/p90 interpolate.
+    let odd = [1.0, 2.0, 3.0, 4.0, 5.0];
+    assert_eq!(percentile(&odd, 50.0), 3.0);
+    assert!((percentile(&odd, 10.0) - 1.4).abs() < 1e-12);
+    assert!((percentile(&odd, 90.0) - 4.6).abs() < 1e-12);
+    // Even: the median interpolates between the two middle elements.
+    let even = [1.0, 2.0, 3.0, 4.0];
+    assert_eq!(percentile(&even, 50.0), 2.5);
+    // Out-of-range p is clamped rather than panicking.
+    assert_eq!(percentile(&even, -5.0), 1.0);
+    assert_eq!(percentile(&even, 150.0), 4.0);
+}
+
+#[test]
+fn mad_of_a_constant_series_is_exactly_zero() {
+    for len in [1usize, 2, 7, 100] {
+        let series = vec![42.5; len];
+        assert_eq!(mad(&series), 0.0, "constant series of len {len}");
+    }
+}
+
+#[test]
+fn outlier_rejection_keeps_at_least_half_the_samples() {
+    let adversarial: Vec<Vec<f64>> = vec![
+        vec![1.0, 1.0, 1.0, 1000.0, 2000.0, 3000.0],
+        vec![5.0; 10],
+        (0..50).map(|i| (i * i) as f64).collect(),
+        vec![1.0, 2.0],
+        vec![-100.0, 0.0, 100.0],
+    ];
+    for series in adversarial {
+        let kept = reject_outliers(&series);
+        assert!(
+            kept.len() * 2 >= series.len(),
+            "kept {}/{} of {series:?}",
+            kept.len(),
+            series.len()
+        );
+        // Everything kept is within the documented cut-off.
+        let m = median(&series);
+        let cutoff = OUTLIER_MAD_MULTIPLIER * mad(&series);
+        if series.len() > 2 {
+            for x in &kept {
+                assert!((x - m).abs() <= cutoff);
+            }
+        }
+    }
+}
+
+#[test]
+fn noise_floor_is_monotone_in_sample_spread() {
+    // Same median, progressively wider spread around it: the floor must
+    // never decrease as the spread grows.
+    let mut previous = 0.0;
+    for spread in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0] {
+        let series = [
+            100.0 - 2.0 * spread,
+            100.0 - spread,
+            100.0,
+            100.0 + spread,
+            100.0 + 2.0 * spread,
+        ];
+        let floor = noise_floor_frac(&series);
+        assert!(
+            floor >= previous,
+            "floor {floor} shrank from {previous} at spread {spread}"
+        );
+        assert!(floor >= MIN_NOISE_FLOOR_FRAC);
+        previous = floor;
+    }
+}
+
+#[test]
+fn sample_stats_summarise_and_reject_consistently() {
+    // A well-behaved series plus one wild outlier.
+    let series = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 10.3, 9.7, 10.1, 500.0];
+    let stats = SampleStats::from_samples(&series);
+    assert_eq!(stats.samples, 10);
+    assert_eq!(stats.kept, 9, "the 500.0 outlier is rejected");
+    assert_eq!(stats.rejected(), 1);
+    assert!(stats.max < 500.0);
+    assert!(stats.p10 <= stats.p50 && stats.p50 <= stats.p90);
+    assert!(stats.min <= stats.p10 && stats.p90 <= stats.max);
+    assert!(stats.noise_floor_frac >= MIN_NOISE_FLOOR_FRAC);
+}

@@ -297,8 +297,18 @@ impl MultiMachine {
     /// program" — and works on every sub-type because each core's own IM
     /// simply holds the same contents.
     pub fn run_simd(&mut self, program: &Program) -> Result<Stats, MachineError> {
+        self.run_simd_traced(program, &mut NullTracer)
+    }
+
+    /// [`MultiMachine::run_simd`] with observation hooks; with a
+    /// [`NullTracer`] this monomorphises back to the plain core loop.
+    pub fn run_simd_traced<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+    ) -> Result<Stats, MachineError> {
         let copies: Vec<Program> = (0..self.cores.len()).map(|_| program.clone()).collect();
-        self.run(&copies)
+        self.run_traced(&copies, tracer)
     }
 
     fn execute(

@@ -14,6 +14,7 @@ use crate::exec::Stats;
 use crate::isa::{Instr, Word};
 use crate::multi::{MultiMachine, MultiSubtype};
 use crate::program::{Assembler, Program};
+use crate::telemetry::{NullTracer, Tracer};
 use crate::uniprocessor::UniProcessor;
 
 /// Outputs plus statistics from one workload run.
@@ -52,6 +53,16 @@ fn vector_add_kernel() -> Program {
 /// Vector addition on a uni-processor: a sequential loop.  Memory layout:
 /// `a` at 0.., `b` at n.., `c` at 2n...
 pub fn run_vector_add_uni(a: &[Word], b: &[Word]) -> Result<WorkloadResult, MachineError> {
+    run_vector_add_uni_traced(a, b, &mut NullTracer)
+}
+
+/// [`run_vector_add_uni`] with observation hooks — the counter-capture
+/// entry point the continuous-performance collector records through.
+pub fn run_vector_add_uni_traced<T: Tracer>(
+    a: &[Word],
+    b: &[Word],
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
     let n = a.len();
     if b.len() != n {
         return Err(MachineError::config("vector lengths differ"));
@@ -79,7 +90,7 @@ pub fn run_vector_add_uni(a: &[Word], b: &[Word]) -> Result<WorkloadResult, Mach
         .emit(Instr::AddI(0, 0, 1));
     asm.blt(0, 1, "loop");
     asm.emit(Instr::Halt);
-    let stats = machine.run(&asm.assemble()?)?;
+    let stats = machine.run_traced(&asm.assemble()?, tracer)?;
     let outputs = machine.memory().bank(0).contents()[2 * n..3 * n].to_vec();
     Ok(WorkloadResult { outputs, stats })
 }
@@ -89,6 +100,17 @@ pub fn run_vector_add_array(
     subtype: ArraySubtype,
     a: &[Word],
     b: &[Word],
+) -> Result<WorkloadResult, MachineError> {
+    run_vector_add_array_traced(subtype, a, b, &mut NullTracer)
+}
+
+/// [`run_vector_add_array`] with observation hooks — the counter-capture
+/// entry point the continuous-performance collector records through.
+pub fn run_vector_add_array_traced<T: Tracer>(
+    subtype: ArraySubtype,
+    a: &[Word],
+    b: &[Word],
+    tracer: &mut T,
 ) -> Result<WorkloadResult, MachineError> {
     let n = a.len();
     if b.len() != n || n == 0 {
@@ -119,7 +141,7 @@ pub fn run_vector_add_array(
             asm.assemble()?
         }
     };
-    let stats = machine.run(&program)?;
+    let stats = machine.run_traced(&program, tracer)?;
     let outputs = (0..n)
         .map(|lane| machine.memory().bank(lane).contents()[2])
         .collect();
@@ -132,6 +154,17 @@ pub fn run_vector_add_multi(
     subtype: MultiSubtype,
     a: &[Word],
     b: &[Word],
+) -> Result<WorkloadResult, MachineError> {
+    run_vector_add_multi_traced(subtype, a, b, &mut NullTracer)
+}
+
+/// [`run_vector_add_multi`] with observation hooks — the counter-capture
+/// entry point the continuous-performance collector records through.
+pub fn run_vector_add_multi_traced<T: Tracer>(
+    subtype: MultiSubtype,
+    a: &[Word],
+    b: &[Word],
+    tracer: &mut T,
 ) -> Result<WorkloadResult, MachineError> {
     let n = a.len();
     if b.len() != n || n < 2 {
@@ -155,13 +188,13 @@ pub fn run_vector_add_multi(
             .emit(Instr::Add(5, 3, 4))
             .emit(Instr::Store(2, 5))
             .emit(Instr::Halt);
-        let stats = machine.run_simd(&asm.assemble()?)?;
+        let stats = machine.run_simd_traced(&asm.assemble()?, tracer)?;
         let outputs = (0..n)
             .map(|lane| machine.memory().bank(lane).contents()[2])
             .collect();
         return Ok(WorkloadResult { outputs, stats });
     }
-    let stats = machine.run_simd(&vector_add_kernel())?;
+    let stats = machine.run_simd_traced(&vector_add_kernel(), tracer)?;
     let outputs = (0..n)
         .map(|lane| machine.memory().bank(lane).contents()[2])
         .collect();
@@ -236,6 +269,16 @@ pub fn run_mimd_mix_multi(
     subtype: MultiSubtype,
     slices: &[Vec<Word>],
 ) -> Result<WorkloadResult, MachineError> {
+    run_mimd_mix_multi_traced(subtype, slices, &mut NullTracer)
+}
+
+/// [`run_mimd_mix_multi`] with observation hooks — the counter-capture
+/// entry point the continuous-performance collector records through.
+pub fn run_mimd_mix_multi_traced<T: Tracer>(
+    subtype: MultiSubtype,
+    slices: &[Vec<Word>],
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
     let cores = slices.len();
     if cores < 2 {
         return Err(MachineError::config("need at least two slices"));
@@ -261,7 +304,7 @@ pub fn run_mimd_mix_multi(
             mimd_program(c, len, base)
         })
         .collect();
-    let stats = machine.run(&programs?)?;
+    let stats = machine.run_traced(&programs?, tracer)?;
     let outputs = (0..cores)
         .map(|c| machine.memory().bank(c).contents()[len])
         .collect();
@@ -327,6 +370,17 @@ pub fn run_reduce_dataflow(
     n_dps: usize,
     data: &[Word],
 ) -> Result<WorkloadResult, MachineError> {
+    run_reduce_dataflow_traced(subtype, n_dps, data, &mut NullTracer)
+}
+
+/// [`run_reduce_dataflow`] with observation hooks — the counter-capture
+/// entry point the continuous-performance collector records through.
+pub fn run_reduce_dataflow_traced<T: Tracer>(
+    subtype: DataflowSubtype,
+    n_dps: usize,
+    data: &[Word],
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
     let padded = data.len().next_power_of_two().max(2);
     let mut inputs = data.to_vec();
     inputs.resize(padded, 0);
@@ -337,7 +391,7 @@ pub fn run_reduce_dataflow(
     } else {
         dataflow_placement(subtype)
     };
-    let run = machine.run(&graph, &inputs, &placement)?;
+    let run = machine.run_traced(&graph, &inputs, &placement, tracer)?;
     Ok(WorkloadResult {
         outputs: run.outputs,
         stats: run.stats,

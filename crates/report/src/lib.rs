@@ -4,8 +4,9 @@
 //! markdown tables ([`table`]), RFC-4180 CSV ([`csv`]), ASCII/SVG bar and
 //! trend charts ([`chart`], for Fig 1 and Fig 7), architecture block
 //! diagrams ([`mod@diagram`], for Figs 3–6), the fault-injection
-//! degradation matrix ([`resilience`]), and per-run telemetry renderers
-//! ([`telemetry`]: cycle breakdowns, counter tables, CSV/JSON exports).
+//! degradation matrix ([`resilience`]), per-run telemetry renderers
+//! ([`telemetry`]: cycle breakdowns, counter tables, CSV/JSON exports),
+//! and the bench regression-gate report ([`regression`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,6 +16,7 @@ pub mod csv;
 pub mod diagram;
 pub mod dot;
 pub mod json;
+pub mod regression;
 pub mod resilience;
 pub mod table;
 pub mod telemetry;
@@ -24,6 +26,7 @@ pub use csv::CsvWriter;
 pub use diagram::{diagram, figure};
 pub use dot::{hasse_edges, DotGraph};
 pub use json::Json;
+pub use regression::{regression_summary, regression_table, RegressionRow, Severity};
 pub use resilience::{resilience_csv, resilience_table, ResilienceEntry};
 pub use table::{Align, Table};
 pub use telemetry::{

@@ -1,0 +1,159 @@
+//! Rendering for the bench regression gate.
+//!
+//! The bench crate diffs two `BENCH_*.json` artifacts and reduces the
+//! result to plain [`RegressionRow`]s; this module renders them as the
+//! ASCII/markdown report `bench_compare` prints.  Severity semantics
+//! (the gating policy, see EXPERIMENTS.md):
+//!
+//! * **hard** — a deterministic counter changed.  The engines are
+//!   deterministic, so this is a real behavioral change that must be
+//!   acknowledged (by fixing it or re-recording the baseline);
+//!   `bench_compare` exits non-zero.
+//! * **soft** — a wall-time delta beyond the measured noise floor.
+//!   Flagged for a human, never fails the gate on its own.
+//! * **info** — context (new benchmarks, machine-local wall notes).
+
+use crate::table::{Align, Table};
+
+/// How serious one regression row is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Deterministic change — fails the gate.
+    Hard,
+    /// Wall-time drift beyond the noise floor — flagged only.
+    Soft,
+    /// Informational.
+    Info,
+}
+
+impl Severity {
+    /// Stable label used in the report column.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Hard => "HARD",
+            Severity::Soft => "soft",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// One row of the regression report — plain data, pre-formatted values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegressionRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Metric that moved (`counter cycles`, `wall p50`, ...).
+    pub metric: String,
+    /// Baseline value, already formatted.
+    pub baseline: String,
+    /// Current value, already formatted.
+    pub current: String,
+    /// Delta, already formatted (`+12`, `-3.1%`, ...).
+    pub delta: String,
+    /// Gate severity.
+    pub severity: Severity,
+}
+
+/// The regression report table, hard rows first.
+pub fn regression_table(rows: &[RegressionRow]) -> Table {
+    let mut sorted: Vec<&RegressionRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.severity
+            .cmp(&b.severity)
+            .then_with(|| a.benchmark.cmp(&b.benchmark))
+            .then_with(|| a.metric.cmp(&b.metric))
+    });
+    let mut table = Table::new(vec![
+        "severity",
+        "benchmark",
+        "metric",
+        "baseline",
+        "current",
+        "delta",
+    ])
+    .with_title("bench regression report")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for row in sorted {
+        table.push_row(vec![
+            row.severity.label().to_owned(),
+            row.benchmark.clone(),
+            row.metric.clone(),
+            row.baseline.clone(),
+            row.current.clone(),
+            row.delta.clone(),
+        ]);
+    }
+    table
+}
+
+/// The one-line verdict under the table.
+pub fn regression_summary(benchmarks: usize, hard: usize, soft: usize, info: usize) -> String {
+    if hard == 0 && soft == 0 {
+        format!(
+            "OK: {benchmarks} benchmarks, deterministic counters unchanged, \
+             wall times within noise ({info} notes)"
+        )
+    } else if hard == 0 {
+        format!(
+            "OK (with drift): {benchmarks} benchmarks, counters unchanged; \
+             {soft} wall-time deltas beyond the noise floor ({info} notes)"
+        )
+    } else {
+        format!(
+            "FAIL: {hard} hard (deterministic) regressions over {benchmarks} benchmarks; \
+             {soft} wall-time flags ({info} notes) — fix the change or re-record the baseline"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(severity: Severity, benchmark: &str, metric: &str) -> RegressionRow {
+        RegressionRow {
+            benchmark: benchmark.into(),
+            metric: metric.into(),
+            baseline: "1".into(),
+            current: "2".into(),
+            delta: "+1".into(),
+            severity,
+        }
+    }
+
+    #[test]
+    fn hard_rows_sort_first() {
+        let rows = vec![
+            row(Severity::Info, "b", "note"),
+            row(Severity::Hard, "z", "counter cycles"),
+            row(Severity::Soft, "a", "wall p50"),
+        ];
+        let rendered = regression_table(&rows).render_ascii();
+        let hard_at = rendered.find("HARD").unwrap();
+        let soft_at = rendered.find("soft").unwrap();
+        let info_at = rendered.find("info").unwrap();
+        assert!(hard_at < soft_at && soft_at < info_at);
+        assert!(rendered.contains("counter cycles"));
+    }
+
+    #[test]
+    fn summary_states_the_verdict() {
+        assert!(regression_summary(12, 0, 0, 0).starts_with("OK:"));
+        assert!(regression_summary(12, 0, 2, 1).starts_with("OK (with drift)"));
+        let fail = regression_summary(12, 3, 1, 0);
+        assert!(fail.starts_with("FAIL: 3 hard"));
+    }
+
+    #[test]
+    fn markdown_backend_renders_too() {
+        let table = regression_table(&[row(Severity::Hard, "m", "counter cycles")]);
+        assert!(table.render_markdown().contains("| HARD"));
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Continuous-performance collector entry points (see EXPERIMENTS.md).
+#
+#   scripts/bench.sh record    — re-record the committed baseline
+#                                (deterministic counters only; commit the
+#                                result alongside the PR that changed them)
+#   scripts/bench.sh compare   — collect a quick run and gate it against
+#                                the committed baseline (non-zero exit on
+#                                any deterministic-counter regression)
+#   scripts/bench.sh full      — deep local collection to BENCH_local.json
+#
+# Batch depth is tunable via SKILLTAX_BENCH_BATCHES / SKILLTAX_BENCH_BATCH_MS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=artifacts/BENCH_baseline.json
+
+case "${1:-compare}" in
+    record)
+        cargo run --release --offline -p skilltax-bench --bin bench_collect -- \
+            --deterministic-only --label baseline --out "$BASELINE"
+        echo "baseline recorded: $BASELINE (commit it with the change that explains it)"
+        ;;
+    compare)
+        cargo run --release --offline -p skilltax-bench --bin bench_compare -- \
+            --baseline "$BASELINE"
+        ;;
+    full)
+        cargo run --release --offline -p skilltax-bench --bin bench_collect -- \
+            --label local
+        ;;
+    *)
+        echo "usage: scripts/bench.sh [record|compare|full]" >&2
+        exit 2
+        ;;
+esac

@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace
+echo "==> cargo build --release --offline (including bench targets)"
+cargo build --release --offline --workspace --benches
 
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
@@ -24,5 +24,12 @@ for src in examples/*.rs; do
     echo "==> cargo run --release --offline --example $name"
     cargo run --release --offline --example "$name" >/dev/null
 done
+
+# Bench smoke: run the continuous-performance collector in quick mode
+# and gate the deterministic counters against the committed baseline.
+echo "==> bench collector smoke (quick mode + regression gate)"
+SKILLTAX_BENCH_BATCHES=3 SKILLTAX_BENCH_BATCH_MS=2 \
+    cargo run --release --offline -p skilltax-bench --bin bench_compare -- \
+    --baseline artifacts/BENCH_baseline.json
 
 echo "verify: OK"
