@@ -3,7 +3,7 @@
 //! counters the regression gate (`bench_compare`) gates hard on.
 //!
 //! ```text
-//! bench_collect [--quick | --deterministic-only] [--label NAME] [--out PATH]
+//! bench_collect [--quick | --deterministic-only] [--label NAME] [--out PATH] [--filter SUBSTR]
 //! ```
 //!
 //! Defaults: full depth, label `local`, output `BENCH_<label>.json` in
@@ -21,6 +21,7 @@ fn main() -> ExitCode {
     let mut mode = CollectionMode::Full;
     let mut label = "local".to_owned();
     let mut out: Option<PathBuf> = None;
+    let mut filter: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,6 +36,10 @@ fn main() -> ExitCode {
                 Some(value) => out = Some(PathBuf::from(value)),
                 None => return usage("--out needs a value"),
             },
+            "--filter" => match args.next() {
+                Some(value) => filter = Some(value),
+                None => return usage("--filter needs a value"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument '{other}'")),
         }
@@ -45,7 +50,7 @@ fn main() -> ExitCode {
         "collecting suite (mode: {}, label: {label}) ...",
         mode.as_str()
     );
-    let artifact = collector::collect(&label, mode);
+    let artifact = collector::collect_filtered(&label, mode, filter.as_deref());
     if let Err(e) = artifact.write_file(&path) {
         eprintln!("error: cannot write {}: {e}", path.display());
         return ExitCode::FAILURE;
@@ -63,7 +68,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: bench_collect [--quick | --deterministic-only] [--label NAME] [--out PATH]");
+    eprintln!(
+        "usage: bench_collect [--quick | --deterministic-only] [--label NAME] [--out PATH] \
+         [--filter SUBSTR]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -5,12 +5,14 @@
 //! (exit code 0).
 //!
 //! ```text
-//! bench_compare [--baseline PATH] [--current PATH] [--full]
+//! bench_compare [--baseline PATH] [--current PATH] [--full] [--filter SUBSTR]
 //! ```
 //!
 //! Defaults: baseline `artifacts/BENCH_baseline.json`; when no
 //! `--current` artifact is given the suite is collected in-process in
-//! quick mode (`--full` goes deep instead).
+//! quick mode (`--full` goes deep instead).  `--filter` restricts the
+//! comparison — and the in-process collection — to benchmark names
+//! containing the substring.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let mut baseline_path = PathBuf::from(DEFAULT_BASELINE);
     let mut current_path: Option<PathBuf> = None;
     let mut mode = CollectionMode::Quick;
+    let mut filter: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,19 +41,23 @@ fn main() -> ExitCode {
                 None => return usage("--current needs a value"),
             },
             "--full" => mode = CollectionMode::Full,
+            "--filter" => match args.next() {
+                Some(value) => filter = Some(value),
+                None => return usage("--filter needs a value"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
 
-    let baseline = match Artifact::read_file(&baseline_path) {
+    let mut baseline = match Artifact::read_file(&baseline_path) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let current = match current_path {
+    let mut current = match current_path {
         Some(path) => match Artifact::read_file(&path) {
             Ok(a) => a,
             Err(e) => {
@@ -60,9 +67,15 @@ fn main() -> ExitCode {
         },
         None => {
             eprintln!("collecting current suite (mode: {}) ...", mode.as_str());
-            collector::collect("current", mode)
+            collector::collect_filtered("current", mode, filter.as_deref())
         }
     };
+    if let Some(f) = filter.as_deref() {
+        // Restrict both sides so out-of-scope benches neither gate nor
+        // show up as missing/added noise.
+        baseline.benchmarks.retain(|b| b.name.contains(f));
+        current.benchmarks.retain(|b| b.name.contains(f));
+    }
 
     println!(
         "baseline: {} ({}, {} benchmarks)  vs  current: {} ({}, {} benchmarks)",
@@ -86,7 +99,7 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: bench_compare [--baseline PATH] [--current PATH] [--full]");
+    eprintln!("usage: bench_compare [--baseline PATH] [--current PATH] [--full] [--filter SUBSTR]");
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

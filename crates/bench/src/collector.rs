@@ -31,8 +31,9 @@ use skilltax_machine::spatial::SpatialMachine;
 use skilltax_machine::telemetry::{EventKind, Telemetry, Tracer};
 use skilltax_machine::universal::{program_counter, LutFabric};
 use skilltax_machine::workload::{
-    run_mimd_mix_multi_traced, run_reduce_dataflow_traced, run_vector_add_array_traced,
-    run_vector_add_multi_traced, run_vector_add_uni_traced,
+    run_backoff_storm_multi_traced, run_mimd_mix_multi_traced, run_mimd_stagger_multi_traced,
+    run_reduce_dataflow_traced, run_reduce_dataflow_with, run_stagger_spatial_traced,
+    run_vector_add_array_traced, run_vector_add_multi_traced, run_vector_add_uni_traced,
 };
 use skilltax_machine::{Assembler, Instr, Program, Stats, Word};
 use skilltax_taxonomy::{classify, flexibility_of_spec, Taxonomy};
@@ -358,6 +359,88 @@ pub fn suite() -> Vec<SuiteBench> {
         },
     ));
 
+    // --- event-driven scheduler vs dense reference twins -------------
+    //
+    // Each workload below appears twice: the default event-driven
+    // scheduler and its `/dense` twin forcing the per-cycle reference
+    // loop.  Deterministic counters are identical by construction
+    // (enforced by the scheduler-identity suite); only wall time
+    // differs, which is exactly what EXPERIMENTS.md X7 records.
+    benches.push(SuiteBench::new(
+        "machine/mimd_stagger/multi/256",
+        "machine.multi",
+        |tracer| {
+            let run = run_mimd_stagger_multi_traced(256, 4096, false, tracer)
+                .expect("staggered MIMD runs");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/mimd_stagger/multi/256/dense",
+        "machine.multi",
+        |tracer| {
+            let run = run_mimd_stagger_multi_traced(256, 4096, true, tracer)
+                .expect("staggered MIMD runs");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/spatial_stagger/64",
+        "machine.spatial",
+        |tracer| {
+            let run =
+                run_stagger_spatial_traced(64, 4096, false, tracer).expect("staggered ISP runs");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/spatial_stagger/64/dense",
+        "machine.spatial",
+        |tracer| {
+            let run =
+                run_stagger_spatial_traced(64, 4096, true, tracer).expect("staggered ISP runs");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/dataflow/reduce/8dp/2048",
+        "machine.dataflow",
+        |tracer| {
+            let data: Vec<Word> = (0..2048).collect();
+            let run = run_reduce_dataflow_with(DataflowSubtype::IV, 8, &data, false, tracer)
+                .expect("DMP-IV reduces");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/dataflow/reduce/8dp/2048/dense",
+        "machine.dataflow",
+        |tracer| {
+            let data: Vec<Word> = (0..2048).collect();
+            let run = run_reduce_dataflow_with(DataflowSubtype::IV, 8, &data, true, tracer)
+                .expect("DMP-IV reduces");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/backoff_storm/multi/60k",
+        "machine.multi",
+        |tracer| {
+            let run = run_backoff_storm_multi_traced(60_000, 80, false, tracer)
+                .expect("the storm delivers");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/backoff_storm/multi/60k/dense",
+        "machine.multi",
+        |tracer| {
+            let run = run_backoff_storm_multi_traced(60_000, 80, true, tracer)
+                .expect("the storm delivers");
+            stats_counters(&run.stats)
+        },
+    ));
+
     // --- report rendering --------------------------------------------
     benches.push(SuiteBench::new("report/table3_render", "report", |_| {
         text_counters(&crate::artifacts::table3())
@@ -393,12 +476,21 @@ pub fn depth_for(mode: CollectionMode) -> (usize, Duration) {
 /// deterministic counters, then the timing batches, returning the
 /// artifact to write.
 pub fn collect(label: &str, mode: CollectionMode) -> Artifact {
+    collect_filtered(label, mode, None)
+}
+
+/// [`collect`] restricted to suite entries whose name contains `filter`
+/// (case-sensitive substring; `None` runs everything).
+pub fn collect_filtered(label: &str, mode: CollectionMode, filter: Option<&str>) -> Artifact {
     let (batches, batch_target) = depth_for(mode);
     let mut harness = Harness::new()
         .with_batches(batches)
         .with_batch_target(batch_target);
     let mut records = Vec::new();
-    for bench in suite() {
+    for bench in suite()
+        .into_iter()
+        .filter(|b| filter.is_none_or(|f| b.name().contains(f)))
+    {
         let counters = bench.capture_counters();
         let measurement = harness.bench(bench.name(), || {
             let mut off = BenchTracer::Off;
@@ -465,6 +557,40 @@ mod tests {
     #[test]
     fn deterministic_counters_are_identical_across_runs() {
         assert_eq!(collect_counters(), collect_counters());
+    }
+
+    #[test]
+    fn scheduler_twins_report_identical_counters() {
+        let suite = suite();
+        let find = |name: &str| {
+            suite
+                .iter()
+                .find(|b| b.name() == name)
+                .expect("registered")
+                .capture_counters()
+        };
+        for base in [
+            "machine/mimd_stagger/multi/256",
+            "machine/spatial_stagger/64",
+            "machine/dataflow/reduce/8dp/2048",
+            "machine/backoff_storm/multi/60k",
+        ] {
+            assert_eq!(find(base), find(&format!("{base}/dense")), "{base}");
+        }
+    }
+
+    #[test]
+    fn filtered_collection_restricts_the_suite() {
+        let artifact = collect_filtered(
+            "test",
+            CollectionMode::DeterministicOnly,
+            Some("vector_add"),
+        );
+        assert!(!artifact.benchmarks.is_empty());
+        assert!(artifact
+            .benchmarks
+            .iter()
+            .all(|b| b.name.contains("vector_add")));
     }
 
     #[test]

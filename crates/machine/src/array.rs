@@ -84,6 +84,7 @@ pub struct ArrayMachine {
     lanes: Vec<DataProcessor>,
     mem: BankedMemory,
     cycle_limit: u64,
+    dense_reference: bool,
 }
 
 impl ArrayMachine {
@@ -95,12 +96,21 @@ impl ArrayMachine {
             lanes: (0..lanes).map(DataProcessor::new).collect(),
             mem: BankedMemory::new(lanes, bank_words, subtype.data_topology()),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            dense_reference: false,
         }
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> ArrayMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Re-test the alive mask on every lane visit (the dense reference)
+    /// instead of iterating the precomputed live-lane set (see DESIGN.md
+    /// §9); the two are counter-identical.
+    pub fn with_dense_reference(mut self, dense: bool) -> ArrayMachine {
+        self.dense_reference = dense;
         self
     }
 
@@ -192,7 +202,13 @@ impl ArrayMachine {
                     machine: format!("{} array machine", self.subtype.class_name()),
                     reason: "every lane has failed".to_owned(),
                 })?;
-        let live = alive.iter().filter(|&&a| a).count() as u64;
+        // The live-lane set is static for the whole run, so the lockstep
+        // loops iterate it directly instead of re-testing `alive` per
+        // lane per cycle.  Ascending order keeps the broadcast order —
+        // and the stall roll's short-circuit RNG order — identical to
+        // the dense mask scan.
+        let live_lanes: Vec<usize> = (0..n).filter(|&l| alive[l]).collect();
+        let live = live_lanes.len() as u64;
         let base: Vec<(u64, u64, u64)> = self.lanes.iter().map(|l| l.counters()).collect();
         loop {
             if stats.cycles >= self.cycle_limit {
@@ -211,7 +227,12 @@ impl ArrayMachine {
                     tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::BitFlip));
                 }
                 // Lockstep SIMD: one stalled lane holds back the broadcast.
-                if (0..n).any(|l| alive[l] && plan.dp_stalled(stats.cycles, l)) {
+                let stalled = if self.dense_reference {
+                    (0..n).any(|l| alive[l] && plan.dp_stalled(stats.cycles, l))
+                } else {
+                    live_lanes.iter().any(|&l| plan.dp_stalled(stats.cycles, l))
+                };
+                if stalled {
                     stats.stalls += 1;
                     tracer.record(stats.cycles, EventKind::Stall);
                     continue;
@@ -230,10 +251,7 @@ impl ArrayMachine {
                     // SIMD semantics: every lane reads the *pre-instruction*
                     // value of its source lane's register.
                     let snapshot: Vec<Word> = self.lanes.iter().map(|l| l.reg(rs)).collect();
-                    for (lane, &up) in alive.iter().enumerate() {
-                        if !up {
-                            continue;
-                        }
+                    for &lane in &live_lanes {
                         let src = self.lanes[lane].reg(lane_reg);
                         if src < 0 || src as usize >= n {
                             return Err(MachineError::RouteDenied {
@@ -277,11 +295,13 @@ impl ArrayMachine {
                     }
                 }
                 _ => {
-                    for (lane, dp) in self.lanes.iter_mut().enumerate() {
-                        if !alive[lane] {
-                            continue;
-                        }
-                        match dp.execute_traced(instr, &mut self.mem, stats.cycles, tracer)? {
+                    for &lane in &live_lanes {
+                        match self.lanes[lane].execute_traced(
+                            instr,
+                            &mut self.mem,
+                            stats.cycles,
+                            tracer,
+                        )? {
                             LocalOutcome::Next => {}
                             other => unreachable!("non-control instr produced {other:?}"),
                         }

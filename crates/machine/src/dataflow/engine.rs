@@ -104,6 +104,7 @@ pub struct DataflowMachine {
     subtype: DataflowSubtype,
     n_dps: usize,
     cycle_limit: u64,
+    dense_reference: bool,
 }
 
 impl DataflowMachine {
@@ -126,12 +127,21 @@ impl DataflowMachine {
             subtype,
             n_dps,
             cycle_limit: 10_000_000,
+            dense_reference: false,
         })
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> DataflowMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Force the dense per-cycle firing loop (the reference scheduler)
+    /// instead of the event-driven active-DP loop.  Both produce
+    /// identical outputs, [`Stats`] and event-class totals.
+    pub fn with_dense_reference(mut self, dense: bool) -> DataflowMachine {
+        self.dense_reference = dense;
         self
     }
 
@@ -380,7 +390,29 @@ impl DataflowMachine {
     }
 
     /// The token-driven firing loop over a checked placement.
+    ///
+    /// Dispatches to the event-driven scheduler unless the dense
+    /// reference loop is forced or the fault plan draws per-cycle
+    /// randomness (per-DP stall rolls), which only the dense loop
+    /// replays faithfully.
     fn execute<T: Tracer>(
+        &self,
+        graph: &DataflowGraph,
+        inputs: &[Word],
+        map: &[usize],
+        faults: Option<&mut FaultPlan>,
+        tracer: &mut T,
+    ) -> Result<DataflowRun, MachineError> {
+        if self.dense_reference || faults.as_ref().is_some_and(|p| p.has_per_cycle_rolls()) {
+            self.execute_dense(graph, inputs, map, faults, tracer)
+        } else {
+            self.execute_event(graph, inputs, map, tracer)
+        }
+    }
+
+    /// The dense reference scheduler: every DP is visited every cycle,
+    /// idle DPs record a stall each.
+    fn execute_dense<T: Tracer>(
         &self,
         graph: &DataflowGraph,
         inputs: &[Word],
@@ -479,6 +511,123 @@ impl DataflowMachine {
                     pending[consumer] -= 1;
                     if pending[consumer] == 0 {
                         ready[map[consumer]].push(consumer);
+                    }
+                }
+            }
+        }
+        Ok(DataflowRun { outputs, stats })
+    }
+
+    /// The event-driven scheduler: only DPs holding ready tokens are
+    /// visited, the idle remainder is bulk-accounted as stalls via
+    /// [`Tracer::record_many`], and a fully quiescent (livelocked)
+    /// machine warps straight to the watchdog limit instead of spinning
+    /// cycle by cycle.  Counter-identical to [`execute_dense`] by
+    /// construction: `active` is exactly the set of DPs whose ready
+    /// stack is non-empty at cycle start, visited in the same ascending
+    /// DP order, popping the same LIFO stacks.
+    fn execute_event<T: Tracer>(
+        &self,
+        graph: &DataflowGraph,
+        inputs: &[Word],
+        map: &[usize],
+        tracer: &mut T,
+    ) -> Result<DataflowRun, MachineError> {
+        let consumers = graph.consumers();
+        let mut pending: Vec<usize> = graph.nodes().iter().map(|n| n.op.arity()).collect();
+        let mut value: Vec<Option<Word>> = vec![None; graph.len()];
+        let mut ready: Vec<Vec<NodeId>> = vec![Vec::new(); self.n_dps];
+        for (id, node) in graph.nodes().iter().enumerate() {
+            if node.op.arity() == 0 {
+                ready[map[id]].push(id);
+            }
+        }
+        let mut outputs = vec![0; graph.output_count()];
+        let mut fired = 0usize;
+        let mut stats = Stats::default();
+        let mut active: Vec<usize> = (0..self.n_dps).filter(|&d| !ready[d].is_empty()).collect();
+        let mut fired_this_cycle: Vec<NodeId> = Vec::new();
+
+        while fired < graph.len() {
+            if active.is_empty() {
+                // No token can ever arrive again; the dense loop would
+                // stall every DP each cycle until the watchdog fires.
+                let span = self.cycle_limit.saturating_sub(stats.cycles);
+                stats.stalls += span * self.n_dps as u64;
+                tracer.record_many(self.cycle_limit, EventKind::Stall, span * self.n_dps as u64);
+                stats.cycles = self.cycle_limit;
+            }
+            if stats.cycles >= self.cycle_limit {
+                tracer.record(stats.cycles, EventKind::Watchdog);
+                return Err(MachineError::WatchdogTimeout {
+                    limit: self.cycle_limit,
+                    partial: stats,
+                });
+            }
+            stats.cycles += 1;
+            let idle = (self.n_dps - active.len()) as u64;
+            stats.stalls += idle;
+            tracer.record_many(stats.cycles, EventKind::Stall, idle);
+            fired_this_cycle.clear();
+            for &dp in &active {
+                if tracer.enabled() {
+                    tracer.sample("dataflow.ready_depth", ready[dp].len() as u64);
+                }
+                let id = ready[dp].pop().expect("active DP has a ready token");
+                let node = &graph.nodes()[id];
+                let operands: Vec<Word> = node
+                    .inputs
+                    .iter()
+                    .map(|&src| value[src].expect("operand fired before consumer"))
+                    .collect();
+                let v = match node.op {
+                    OpKind::Input(k) => {
+                        stats.mem_reads += 1;
+                        tracer.record(stats.cycles, EventKind::MemRead);
+                        inputs[k]
+                    }
+                    OpKind::Output(k) => {
+                        stats.mem_writes += 1;
+                        tracer.record(stats.cycles, EventKind::MemWrite);
+                        outputs[k] = operands[0];
+                        operands[0]
+                    }
+                    other => {
+                        if other.is_alu() {
+                            stats.alu_ops += 1;
+                            tracer.record(stats.cycles, EventKind::AluOp);
+                        }
+                        other.apply(&operands)
+                    }
+                };
+                value[id] = Some(v);
+                stats.instructions += 1;
+                tracer.record(stats.cycles, EventKind::Issue);
+                fired += 1;
+                fired_this_cycle.push(id);
+            }
+            active.retain(|&dp| !ready[dp].is_empty());
+            for &id in &fired_this_cycle {
+                for &consumer in &consumers[id] {
+                    if map[consumer] != map[id] {
+                        stats.messages += 1;
+                        tracer.record(
+                            stats.cycles,
+                            EventKind::Message {
+                                from: map[id],
+                                to: map[consumer],
+                            },
+                        );
+                        tracer.record(stats.cycles, EventKind::CrossbarTraversal);
+                    }
+                    pending[consumer] -= 1;
+                    if pending[consumer] == 0 {
+                        let dp = map[consumer];
+                        if ready[dp].is_empty() {
+                            let pos = active.partition_point(|&d| d < dp);
+                            active.insert(pos, dp);
+                        }
+                        ready[dp].push(consumer);
                     }
                 }
             }

@@ -139,6 +139,18 @@ impl FaultPlan {
         self.injected
     }
 
+    /// Does this plan roll the PRNG on every simulated cycle?
+    ///
+    /// Per-cycle DP stalls and memory bit-flips consume one random draw
+    /// per cycle (or per core per cycle), so an event-driven scheduler
+    /// that skips idle cycles would desynchronise the stream.  Engines
+    /// use this to fall back to their dense reference loop; drops,
+    /// corruption and link outages only roll on actual sends, which the
+    /// event path replays at identical cycles in identical order.
+    pub fn has_per_cycle_rolls(&self) -> bool {
+        self.stall_rate > 0.0 || self.bit_flip_rate > 0.0
+    }
+
     /// Is the `from -> to` link down at `cycle`?
     pub fn link_down(&mut self, cycle: u64, from: usize, to: usize) -> bool {
         let down = self.outages.iter().any(|o| {

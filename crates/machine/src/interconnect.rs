@@ -99,6 +99,7 @@ pub struct Mailboxes {
     n: usize,
     topology: FabricTopology,
     queues: Vec<VecDeque<Word>>, // indexed from * n + to
+    non_empty: usize,            // channels with at least one queued message
     delivered: u64,
     faults: Option<FaultPlan>,
     cycle: u64,
@@ -111,6 +112,7 @@ impl Mailboxes {
             n,
             topology,
             queues: vec![VecDeque::new(); n * n],
+            non_empty: 0,
             delivered: 0,
             faults: None,
             cycle: 0,
@@ -163,7 +165,11 @@ impl Mailboxes {
             }
             value = plan.corrupt(value);
         }
-        self.queues[from * self.n + to].push_back(value);
+        let queue = &mut self.queues[from * self.n + to];
+        queue.push_back(value);
+        if queue.len() == 1 {
+            self.non_empty += 1;
+        }
         Ok(())
     }
 
@@ -171,9 +177,13 @@ impl Mailboxes {
     /// no value has arrived yet (the caller stalls).
     pub fn recv(&mut self, to: usize, from: usize) -> Result<Option<Word>, MachineError> {
         self.topology.route(from, to, self.n)?;
-        let v = self.queues[from * self.n + to].pop_front();
+        let queue = &mut self.queues[from * self.n + to];
+        let v = queue.pop_front();
         if v.is_some() {
             self.delivered += 1;
+            if queue.is_empty() {
+                self.non_empty -= 1;
+            }
         }
         Ok(v)
     }
@@ -183,9 +193,15 @@ impl Mailboxes {
         self.delivered
     }
 
-    /// Are any messages still in flight?
+    /// Are any messages still in flight?  O(1): the non-empty-channel
+    /// count is maintained incrementally by `send`/`recv`.
     pub fn any_pending(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
+        debug_assert_eq!(
+            self.non_empty > 0,
+            self.queues.iter().any(|q| !q.is_empty()),
+            "incremental non-empty count diverged from the channel scan"
+        );
+        self.non_empty > 0
     }
 }
 
@@ -305,6 +321,24 @@ mod tests {
         mb.send(0, 1, 0).unwrap();
         let got = mb.recv(1, 0).unwrap().unwrap();
         assert_eq!(got.count_ones(), 1, "exactly one bit flipped: {got:#x}");
+    }
+
+    #[test]
+    fn any_pending_tracks_interleaved_sends_and_recvs() {
+        let mut mb = Mailboxes::new(3, FabricTopology::Crossbar);
+        assert!(!mb.any_pending());
+        mb.send(0, 1, 1).unwrap();
+        mb.send(0, 1, 2).unwrap();
+        mb.send(2, 1, 3).unwrap();
+        assert!(mb.any_pending());
+        assert_eq!(mb.recv(1, 0).unwrap(), Some(1));
+        assert!(mb.any_pending(), "one channel drained, one still loaded");
+        assert_eq!(mb.recv(1, 0).unwrap(), Some(2));
+        assert!(mb.any_pending());
+        assert_eq!(mb.recv(1, 2).unwrap(), Some(3));
+        assert!(!mb.any_pending());
+        assert_eq!(mb.recv(1, 2).unwrap(), None);
+        assert!(!mb.any_pending());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * **IP–DP `x`** — rebinding: instruction processor *i* can drive a data
 //!   processor other than *i* (a lane permutation).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use skilltax_model::{ArchSpec, Count, Link, Relation};
 
 use crate::dp::{DataProcessor, LocalOutcome};
@@ -109,6 +112,7 @@ pub struct MultiMachine {
     mem: BankedMemory,
     mailboxes: Mailboxes,
     cycle_limit: u64,
+    dense_reference: bool,
 }
 
 impl MultiMachine {
@@ -140,12 +144,21 @@ impl MultiMachine {
             mem: BankedMemory::new(cores, bank_words, topology),
             mailboxes: Mailboxes::new(cores, fabric),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            dense_reference: false,
         }
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> MultiMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Force the dense reference loop instead of the event-driven
+    /// scheduler (see DESIGN.md §9).  The two are counter-identical; the
+    /// knob exists for the identity suite and as an escape hatch.
+    pub fn with_dense_reference(mut self, dense: bool) -> MultiMachine {
+        self.dense_reference = dense;
         self
     }
 
@@ -307,8 +320,11 @@ impl MultiMachine {
         program: &Program,
         tracer: &mut T,
     ) -> Result<Stats, MachineError> {
-        let copies: Vec<Program> = (0..self.cores.len()).map(|_| program.clone()).collect();
-        self.run_traced(&copies, tracer)
+        // A single-entry library with an all-zeros assignment: every core
+        // fetches the same `Program` without cloning it per core.
+        let assignment = vec![0; self.cores.len()];
+        self.execute_with(std::slice::from_ref(program), &assignment, None, tracer)
+            .map(|outcome| outcome.stats)
     }
 
     fn execute(
@@ -326,7 +342,29 @@ impl MultiMachine {
     /// backoff — plus drops and corruption.  Exceeding the cycle budget
     /// returns [`MachineError::WatchdogTimeout`] carrying the partial
     /// statistics.
+    ///
+    /// Dispatches to the event-driven scheduler unless the dense
+    /// reference loop was requested or the plan rolls the PRNG on every
+    /// cycle (which skipping cycles would desynchronise).
     fn execute_with<T: Tracer>(
+        &mut self,
+        library: &[Program],
+        assignment: &[usize],
+        faults: Option<FaultPlan>,
+        tracer: &mut T,
+    ) -> Result<RunOutcome, MachineError> {
+        if self.dense_reference || faults.as_ref().is_some_and(FaultPlan::has_per_cycle_rolls) {
+            self.execute_dense(library, assignment, faults, tracer)
+        } else {
+            self.execute_event(library, assignment, faults, tracer)
+        }
+    }
+
+    /// The dense reference loop: every core is visited on every cycle.
+    /// This is the semantic ground truth the event scheduler must
+    /// reproduce counter-for-counter; it also remains the execution
+    /// path for plans with per-cycle random rolls.
+    fn execute_dense<T: Tracer>(
         &mut self,
         library: &[Program],
         assignment: &[usize],
@@ -527,6 +565,352 @@ impl MultiMachine {
         })
     }
 
+    /// The event-driven scheduler: counter-identical to
+    /// [`MultiMachine::execute_dense`] (same `Stats`, same per-class
+    /// event totals, same errors at the same cycles) but it only visits
+    /// cores that can act.  The non-halted cores are partitioned into
+    /// three disjoint pools:
+    ///
+    /// * `active` — cores that may act this cycle, kept sorted
+    ///   ascending so within-cycle effects replay in dense core order;
+    /// * `sleeping` — cores in retry backoff, keyed by their
+    ///   deterministic wake cycle (a min-heap on `next_attempt`);
+    /// * `blocked` — cores parked on an empty receive, woken by the
+    ///   next matching send; their one-stall-per-cycle accounting is
+    ///   deferred and settled in bulk from `blocked_since`.
+    ///
+    /// When `active` drains, the cycle counter time-warps straight to
+    /// the earliest wake and the skipped stall cycles are bulk-recorded
+    /// with [`Tracer::record_many`], so the dense loop's counters are
+    /// reproduced exactly (see DESIGN.md §9 for the invariants).
+    fn execute_event<T: Tracer>(
+        &mut self,
+        library: &[Program],
+        assignment: &[usize],
+        mut faults: Option<FaultPlan>,
+        tracer: &mut T,
+    ) -> Result<RunOutcome, MachineError> {
+        if let Some(plan) = faults.as_mut() {
+            self.mailboxes.install_faults(plan.fork());
+        }
+        for (core, &prog) in self.cores.iter_mut().zip(assignment) {
+            core.pc = 0;
+            core.program = prog;
+            core.halted = false;
+            core.waiting = None;
+        }
+        let mut stats = Stats::default();
+        let mut retries: u64 = 0;
+        let n = self.cores.len();
+        let mut retry = vec![RetryState::default(); n];
+        let max_retries = faults
+            .as_ref()
+            .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
+        let base: Vec<(u64, u64, u64)> = self.cores.iter().map(|c| c.dp.counters()).collect();
+        let limit = self.cycle_limit;
+
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut sleeping: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut blocked: Vec<(usize, u64)> = Vec::new();
+
+        loop {
+            if active.is_empty() && sleeping.is_empty() && blocked.is_empty() {
+                break; // every core halted
+            }
+            // The next cycle where the dense loop would do real work:
+            // the very next one while anything is runnable, otherwise
+            // the earliest backoff wake.
+            let next = if let Some(&Reverse((wake, _))) = sleeping.peek() {
+                if active.is_empty() {
+                    wake
+                } else {
+                    stats.cycles + 1
+                }
+            } else if active.is_empty() {
+                // Only blocked receivers remain.  Dense stalls them once
+                // per cycle with no progress: watchdog if the budget is
+                // already spent, deadlock on the very next cycle else.
+                if stats.cycles >= limit {
+                    flush_blocked_through(&blocked, limit, &mut stats, tracer);
+                    tracer.record(stats.cycles, EventKind::Watchdog);
+                    return Err(MachineError::WatchdogTimeout {
+                        limit,
+                        partial: stats,
+                    });
+                }
+                let cycle = stats.cycles + 1;
+                flush_blocked_through(&blocked, cycle, &mut stats, tracer);
+                return Err(MachineError::Deadlock { cycle });
+            } else {
+                stats.cycles + 1
+            };
+            if next > limit {
+                // Dense burns the rest of the budget stalling the
+                // sleepers and blocked receivers, then trips the
+                // watchdog.
+                let span = limit - stats.cycles;
+                let dormant = sleeping.len() as u64;
+                if span > 0 && dormant > 0 {
+                    stats.stalls += span * dormant;
+                    tracer.record_many(limit, EventKind::Stall, span * dormant);
+                }
+                flush_blocked_through(&blocked, limit, &mut stats, tracer);
+                stats.cycles = limit;
+                tracer.record(limit, EventKind::Watchdog);
+                return Err(MachineError::WatchdogTimeout {
+                    limit,
+                    partial: stats,
+                });
+            }
+            // Time-warp over the cycles nobody can use; dense stalls
+            // every sleeping core once per skipped cycle.
+            let skipped = next - stats.cycles - 1;
+            if skipped > 0 {
+                let dormant = sleeping.len() as u64;
+                stats.stalls += skipped * dormant;
+                tracer.record_many(next - 1, EventKind::Stall, skipped * dormant);
+            }
+            stats.cycles = next;
+            self.mailboxes.set_cycle(next);
+            while let Some(&Reverse((wake, core))) = sleeping.peek() {
+                if wake > next {
+                    break;
+                }
+                sleeping.pop();
+                let pos = active.partition_point(|&c| c < core);
+                active.insert(pos, core);
+            }
+            // Cores still backing off stall this cycle (dense `!ready`),
+            // which also counts as forward progress there.
+            let dormant = sleeping.len() as u64;
+            let mut progress = dormant > 0;
+            if dormant > 0 {
+                stats.stalls += dormant;
+                tracer.record_many(next, EventKind::Stall, dormant);
+            }
+            let cycle = stats.cycles;
+            let mut idx = 0;
+            while idx < active.len() {
+                let i = active[idx];
+                // A blocked receive retries before fetching anything new.
+                if let Some((rd, src)) = self.cores[i].waiting {
+                    let lane = self.binding[i];
+                    let from = self.binding[src];
+                    match self.mailboxes.recv(lane, from) {
+                        Ok(Some(v)) => {
+                            self.cores[i].dp.set_reg(rd, v);
+                            self.cores[i].waiting = None;
+                            self.cores[i].pc += 1;
+                            stats.messages += 1;
+                            tracer.record(cycle, EventKind::Message { from, to: lane });
+                            tracer.record(cycle, EventKind::CrossbarTraversal);
+                            progress = true;
+                            idx += 1;
+                        }
+                        Ok(None) => {
+                            // Park until a matching send; this cycle's
+                            // stall is charged live, later ones lazily.
+                            stats.stalls += 1;
+                            tracer.record(cycle, EventKind::Stall);
+                            active.remove(idx);
+                            blocked.push((i, cycle + 1));
+                        }
+                        Err(e) => {
+                            flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                            return Err(e);
+                        }
+                    }
+                    continue;
+                }
+                let program = &library[self.cores[i].program];
+                let Some(instr) = program.fetch(self.cores[i].pc) else {
+                    self.cores[i].halted = true;
+                    progress = true;
+                    active.remove(idx);
+                    continue;
+                };
+                match instr {
+                    Instr::GetLane(..) => {
+                        flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                        return Err(MachineError::unsupported(
+                            self.subtype.class_name(),
+                            "getlane is a lockstep-SIMD exchange; independent cores \
+                             communicate with send/recv",
+                        ));
+                    }
+                    Instr::Send(dest, rs) => {
+                        if dest >= n {
+                            flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                            return Err(MachineError::RouteDenied {
+                                from: i,
+                                to: dest,
+                                reason: format!("destination {dest} out of range"),
+                            });
+                        }
+                        let value = self.cores[i].dp.reg(rs);
+                        let from = self.binding[i];
+                        let to = self.binding[dest];
+                        match self.mailboxes.send(from, to, value) {
+                            Ok(()) => {
+                                retry[i] = RetryState::default();
+                                self.cores[i].pc += 1;
+                                stats.instructions += 1;
+                                tracer.record(cycle, EventKind::Issue);
+                                progress = true;
+                                // Wake receivers parked on this channel,
+                                // settling the stalls dense charged them
+                                // while parked.  Even when the plan
+                                // dropped the message this is right: the
+                                // woken core re-checks, stalls once live
+                                // and parks again — exactly dense.
+                                let mut b = 0;
+                                while b < blocked.len() {
+                                    let (w, since) = blocked[b];
+                                    let listening = self.cores[w]
+                                        .waiting
+                                        .is_some_and(|(_, wsrc)| self.binding[wsrc] == from)
+                                        && self.binding[w] == to;
+                                    if !listening {
+                                        b += 1;
+                                        continue;
+                                    }
+                                    blocked.swap_remove(b);
+                                    if since <= cycle {
+                                        // Cores before the sender also
+                                        // stalled earlier this cycle.
+                                        let owed = (cycle - since) + u64::from(w < i);
+                                        if owed > 0 {
+                                            stats.stalls += owed;
+                                            tracer.record_many(cycle, EventKind::Stall, owed);
+                                        }
+                                    }
+                                    let pos = active.partition_point(|&c| c < w);
+                                    active.insert(pos, w);
+                                    if pos <= idx {
+                                        // Inserted behind the scan head:
+                                        // first re-checked next cycle,
+                                        // as in the dense order.
+                                        idx += 1;
+                                    }
+                                }
+                                idx += 1;
+                            }
+                            Err(MachineError::LinkDown { from, to, .. }) => {
+                                let delay = match retry[i].back_off(cycle, from, to, max_retries) {
+                                    Ok(delay) => delay,
+                                    Err(e) => {
+                                        flush_blocked_on_error(
+                                            &blocked, i, cycle, &mut stats, tracer,
+                                        );
+                                        return Err(e);
+                                    }
+                                };
+                                retries += 1;
+                                stats.stalls += 1;
+                                tracer.record(cycle, EventKind::FaultInjected(FaultKind::LinkDown));
+                                tracer.record(cycle, EventKind::Retry);
+                                tracer.record(cycle, EventKind::Stall);
+                                tracer.counter("retries", 1);
+                                tracer.sample("backoff.delay", delay);
+                                progress = true;
+                                if retry[i].next_attempt > cycle + 1 {
+                                    // The deterministic wake cycle comes
+                                    // straight from the backoff state —
+                                    // never re-rolled.
+                                    active.remove(idx);
+                                    sleeping.push(Reverse((retry[i].next_attempt, i)));
+                                } else {
+                                    idx += 1;
+                                }
+                            }
+                            Err(other) => {
+                                flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                                return Err(other);
+                            }
+                        }
+                    }
+                    Instr::Recv(rd, src) => {
+                        if src >= n {
+                            flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                            return Err(MachineError::RouteDenied {
+                                from: src,
+                                to: i,
+                                reason: format!("source {src} out of range"),
+                            });
+                        }
+                        // Route feasibility is checked immediately so a
+                        // missing DP-DP switch fails fast instead of
+                        // deadlocking.
+                        if let Err(e) =
+                            self.mailboxes
+                                .topology()
+                                .route(self.binding[src], self.binding[i], n)
+                        {
+                            flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                            return Err(e);
+                        }
+                        self.cores[i].waiting = Some((rd, src));
+                        stats.instructions += 1;
+                        tracer.record(cycle, EventKind::Issue);
+                        progress = true;
+                        idx += 1;
+                    }
+                    _ => {
+                        stats.instructions += 1;
+                        tracer.record(cycle, EventKind::Issue);
+                        match self.cores[i]
+                            .dp
+                            .execute_traced(instr, &mut self.mem, cycle, tracer)
+                        {
+                            Ok(LocalOutcome::Next) => {
+                                self.cores[i].pc += 1;
+                                idx += 1;
+                            }
+                            Ok(LocalOutcome::Branch(t)) => {
+                                self.cores[i].pc = t;
+                                idx += 1;
+                            }
+                            Ok(LocalOutcome::Halt) => {
+                                self.cores[i].halted = true;
+                                active.remove(idx);
+                            }
+                            Err(e) => {
+                                flush_blocked_on_error(&blocked, i, cycle, &mut stats, tracer);
+                                return Err(e);
+                            }
+                        }
+                        progress = true;
+                    }
+                }
+            }
+            if !progress {
+                // Just-parked cores carry `since == cycle + 1`: their
+                // stall this cycle was already charged live.
+                flush_blocked_through(&blocked, cycle, &mut stats, tracer);
+                return Err(MachineError::Deadlock { cycle });
+            }
+        }
+        for (i, core) in self.cores.iter().enumerate() {
+            let (alu, mr, mw) = core.dp.counters();
+            let (b_alu, b_mr, b_mw) = base[i];
+            stats.alu_ops += alu - b_alu;
+            stats.mem_reads += mr - b_mr;
+            stats.mem_writes += mw - b_mw;
+            if tracer.enabled() {
+                tracer.sample("dp.alu_ops", alu - b_alu);
+                tracer.sample("dp.mem_ops", (mr - b_mr) + (mw - b_mw));
+            }
+        }
+        let faults_injected =
+            faults.as_ref().map_or(0, FaultPlan::injected) + self.mailboxes.faults_injected();
+        Ok(RunOutcome {
+            stats,
+            faults_injected,
+            retries,
+            degraded: false,
+        })
+    }
+
     /// Run one program per core under a fault plan, degrading gracefully
     /// where the sub-type's switches allow it.
     ///
@@ -622,6 +1006,44 @@ impl MultiMachine {
         }
         outcome.degraded = true;
         Ok(outcome)
+    }
+}
+
+/// Settle the deferred stalls of every blocked receiver for the cycles
+/// `blocked_since..=through` (dense charges one stall per parked cycle).
+fn flush_blocked_through<T: Tracer>(
+    blocked: &[(usize, u64)],
+    through: u64,
+    stats: &mut Stats,
+    tracer: &mut T,
+) {
+    for &(_, since) in blocked {
+        let owed = (through + 1).saturating_sub(since);
+        if owed > 0 {
+            stats.stalls += owed;
+            tracer.record_many(through, EventKind::Stall, owed);
+        }
+    }
+}
+
+/// [`flush_blocked_through`] for an error raised by core `err_core` at
+/// `cycle`: dense visits cores in ascending order, so receivers before
+/// the erroring core have already stalled this cycle while later ones
+/// were never reached.
+fn flush_blocked_on_error<T: Tracer>(
+    blocked: &[(usize, u64)],
+    err_core: usize,
+    cycle: u64,
+    stats: &mut Stats,
+    tracer: &mut T,
+) {
+    for &(w, since) in blocked {
+        let through = if w < err_core { cycle } else { cycle - 1 };
+        let owed = (through + 1).saturating_sub(since);
+        if owed > 0 {
+            stats.stalls += owed;
+            tracer.record_many(cycle, EventKind::Stall, owed);
+        }
     }
 }
 

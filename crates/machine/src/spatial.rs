@@ -37,6 +37,7 @@ pub struct SpatialMachine {
     /// `group[i]` is the leader of core `i`'s fused group (itself if solo).
     group: Vec<usize>,
     cycle_limit: u64,
+    dense_reference: bool,
 }
 
 impl SpatialMachine {
@@ -74,12 +75,20 @@ impl SpatialMachine {
             mem: BankedMemory::new(cores, bank_words, topology),
             group: (0..cores).collect(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            dense_reference: false,
         })
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> SpatialMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Force the dense reference loop instead of the active-set
+    /// scheduler (see DESIGN.md §9); the two are counter-identical.
+    pub fn with_dense_reference(mut self, dense: bool) -> SpatialMachine {
+        self.dense_reference = dense;
         self
     }
 
@@ -198,61 +207,70 @@ impl SpatialMachine {
         let mut halted = vec![false; self.n]; // per leader
         let mut stats = Stats::default();
         let base: Vec<(u64, u64, u64)> = self.dps.iter().map(|d| d.counters()).collect();
-        loop {
-            if groups.iter().all(|(leader, _)| halted[*leader]) {
-                break;
-            }
-            if stats.cycles >= self.cycle_limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
-            }
-            stats.cycles += 1;
-            for (leader, members) in &groups {
-                let leader = *leader;
-                if halted[leader] {
-                    continue;
+        if self.dense_reference {
+            // Dense reference loop: every group is visited every cycle.
+            loop {
+                if groups.iter().all(|(leader, _)| halted[*leader]) {
+                    break;
                 }
-                let Some(instr) = programs[leader].fetch(pcs[leader]) else {
-                    halted[leader] = true;
-                    continue;
-                };
-                match instr {
-                    Instr::Send(..) | Instr::Recv(..) | Instr::GetLane(..) => {
-                        return Err(MachineError::unsupported(
-                            self.class_name(),
-                            "fused-group broadcast does not combine with explicit \
-                             message instructions in this model",
-                        ));
+                if stats.cycles >= self.cycle_limit {
+                    tracer.record(stats.cycles, EventKind::Watchdog);
+                    return Err(MachineError::WatchdogTimeout {
+                        limit: self.cycle_limit,
+                        partial: stats,
+                    });
+                }
+                stats.cycles += 1;
+                for (leader, members) in &groups {
+                    if halted[*leader] {
+                        continue;
                     }
-                    _ if instr.is_control() => {
-                        stats.instructions += 1;
-                        tracer.record(stats.cycles, EventKind::Issue);
-                        match self.dps[leader].execute_traced(
-                            instr,
-                            &mut self.mem,
-                            stats.cycles,
-                            tracer,
-                        )? {
-                            LocalOutcome::Next => pcs[leader] += 1,
-                            LocalOutcome::Branch(t) => pcs[leader] = t,
-                            LocalOutcome::Halt => halted[leader] = true,
-                        }
-                    }
-                    _ => {
-                        for &m in members {
-                            self.dps[m].execute_traced(
-                                instr,
-                                &mut self.mem,
-                                stats.cycles,
-                                tracer,
-                            )?;
-                        }
-                        stats.instructions += members.len() as u64;
-                        tracer.record_many(stats.cycles, EventKind::Issue, members.len() as u64);
-                        pcs[leader] += 1;
+                    self.step_group(
+                        programs,
+                        *leader,
+                        members,
+                        &mut pcs,
+                        &mut halted,
+                        &mut stats,
+                        tracer,
+                    )?;
+                }
+            }
+        } else {
+            // Active-set scheduler: halted groups drop out of the scan
+            // entirely (see DESIGN.md §9).  `groups()` yields groups in
+            // ascending leader order and the ordered remove preserves
+            // it, so the within-cycle step order matches the dense loop
+            // exactly.
+            let mut active: Vec<usize> = (0..groups.len()).collect();
+            loop {
+                if active.is_empty() {
+                    break;
+                }
+                if stats.cycles >= self.cycle_limit {
+                    tracer.record(stats.cycles, EventKind::Watchdog);
+                    return Err(MachineError::WatchdogTimeout {
+                        limit: self.cycle_limit,
+                        partial: stats,
+                    });
+                }
+                stats.cycles += 1;
+                let mut idx = 0;
+                while idx < active.len() {
+                    let (leader, members) = &groups[active[idx]];
+                    self.step_group(
+                        programs,
+                        *leader,
+                        members,
+                        &mut pcs,
+                        &mut halted,
+                        &mut stats,
+                        tracer,
+                    )?;
+                    if halted[*leader] {
+                        active.remove(idx);
+                    } else {
+                        idx += 1;
                     }
                 }
             }
@@ -269,6 +287,53 @@ impl SpatialMachine {
             }
         }
         Ok(stats)
+    }
+
+    /// One cycle of one live group: fetch the leader's instruction and
+    /// either retire the group, execute control flow on the leader's DP,
+    /// or broadcast across every member DP in lockstep.
+    #[allow(clippy::too_many_arguments)]
+    fn step_group<T: Tracer>(
+        &mut self,
+        programs: &[Program],
+        leader: usize,
+        members: &[usize],
+        pcs: &mut [usize],
+        halted: &mut [bool],
+        stats: &mut Stats,
+        tracer: &mut T,
+    ) -> Result<(), MachineError> {
+        let Some(instr) = programs[leader].fetch(pcs[leader]) else {
+            halted[leader] = true;
+            return Ok(());
+        };
+        match instr {
+            Instr::Send(..) | Instr::Recv(..) | Instr::GetLane(..) => {
+                return Err(MachineError::unsupported(
+                    self.class_name(),
+                    "fused-group broadcast does not combine with explicit \
+                     message instructions in this model",
+                ));
+            }
+            _ if instr.is_control() => {
+                stats.instructions += 1;
+                tracer.record(stats.cycles, EventKind::Issue);
+                match self.dps[leader].execute_traced(instr, &mut self.mem, stats.cycles, tracer)? {
+                    LocalOutcome::Next => pcs[leader] += 1,
+                    LocalOutcome::Branch(t) => pcs[leader] = t,
+                    LocalOutcome::Halt => halted[leader] = true,
+                }
+            }
+            _ => {
+                for &m in members {
+                    self.dps[m].execute_traced(instr, &mut self.mem, stats.cycles, tracer)?;
+                }
+                stats.instructions += members.len() as u64;
+                tracer.record_many(stats.cycles, EventKind::Issue, members.len() as u64);
+                pcs[leader] += 1;
+            }
+        }
+        Ok(())
     }
 }
 

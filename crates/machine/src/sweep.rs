@@ -11,10 +11,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// queue, results in input order).  Falls back to sequential execution
 /// for tiny inputs.
 ///
-/// Workers claim indices with a single `fetch_add` and buffer their
-/// results thread-locally, so no shared lock is held around either `f`
-/// or the result writes.  If any worker panics, the first panic payload
-/// is re-raised verbatim on the caller's thread.
+/// Workers claim contiguous chunks of indices with one `fetch_add` per
+/// chunk (chunk size `n / (threads * 8)`, min 1 — small enough to keep
+/// the tail balanced, large enough that the shared counter is off the
+/// hot path) and buffer their results thread-locally, so no shared lock
+/// is held around either `f` or the result writes.  If any worker
+/// panics, the first panic payload is re-raised verbatim on the
+/// caller's thread.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -29,6 +32,7 @@ where
         return items.iter().map(&f).collect();
     }
     let threads = threads.min(n);
+    let chunk = (n / (threads * 8)).max(1);
     let next = AtomicUsize::new(0);
     let items = &items;
     let f = &f;
@@ -38,11 +42,14 @@ where
                 scope.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= n {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        local.push((index, f(&items[index])));
+                        let end = (start + chunk).min(n);
+                        for (index, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((index, f(item)));
+                        }
                     }
                     local
                 })

@@ -11,9 +11,12 @@ use crate::array::{ArrayMachine, ArraySubtype};
 use crate::dataflow::{graph::library, DataflowMachine, DataflowSubtype, Placement};
 use crate::error::MachineError;
 use crate::exec::Stats;
+use crate::fault::{FaultPlan, LinkOutage};
+use crate::interconnect::FabricTopology;
 use crate::isa::{Instr, Word};
 use crate::multi::{MultiMachine, MultiSubtype};
 use crate::program::{Assembler, Program};
+use crate::spatial::SpatialMachine;
 use crate::telemetry::{NullTracer, Tracer};
 use crate::uniprocessor::UniProcessor;
 
@@ -381,11 +384,24 @@ pub fn run_reduce_dataflow_traced<T: Tracer>(
     data: &[Word],
     tracer: &mut T,
 ) -> Result<WorkloadResult, MachineError> {
+    run_reduce_dataflow_with(subtype, n_dps, data, false, tracer)
+}
+
+/// [`run_reduce_dataflow_traced`] with an explicit scheduler choice:
+/// `dense` forces the per-cycle reference firing loop (the benchmark
+/// twin of the event-driven default).
+pub fn run_reduce_dataflow_with<T: Tracer>(
+    subtype: DataflowSubtype,
+    n_dps: usize,
+    data: &[Word],
+    dense: bool,
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
     let padded = data.len().next_power_of_two().max(2);
     let mut inputs = data.to_vec();
     inputs.resize(padded, 0);
     let graph = library::tree_sum(padded);
-    let machine = DataflowMachine::new(subtype, n_dps)?;
+    let machine = DataflowMachine::new(subtype, n_dps)?.with_dense_reference(dense);
     let placement = if subtype == DataflowSubtype::Uni {
         Placement::RoundRobin
     } else {
@@ -712,6 +728,107 @@ pub fn run_matmul_array(
     Ok(WorkloadResult { outputs, stats })
 }
 
+// ---------------------------------------------------------------------------
+// Staggered-halt workloads: a few long-running cores among many short ones.
+//
+// These are the scheduler stress shapes: the dense per-cycle loop keeps
+// visiting every halted core until the last one finishes, while the
+// event-driven scheduler's active set shrinks as cores halt.  Both produce
+// identical outputs and counters; only wall time differs.
+// ---------------------------------------------------------------------------
+
+/// A count-to-`iters` loop that stores the final count at address 0.
+fn count_loop_program(iters: Word) -> Result<Program, MachineError> {
+    let mut asm = Assembler::new();
+    asm.movi(0, 0).movi(1, iters);
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.movi(2, 0).emit(Instr::Store(2, 0)).emit(Instr::Halt);
+    asm.assemble()
+}
+
+/// Staggered MIMD on an IMP-I multi-processor: every 32nd core counts to
+/// `long_iters`, the rest count to 8 and halt early.  Outputs are the
+/// per-core final counts.
+pub fn run_mimd_stagger_multi_traced<T: Tracer>(
+    cores: usize,
+    long_iters: Word,
+    dense: bool,
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
+    if cores < 2 {
+        return Err(MachineError::config("need at least two cores"));
+    }
+    let mut machine =
+        MultiMachine::new(MultiSubtype::from_index(1)?, cores, 4).with_dense_reference(dense);
+    let programs: Result<Vec<Program>, MachineError> = (0..cores)
+        .map(|c| count_loop_program(if c.is_multiple_of(32) { long_iters } else { 8 }))
+        .collect();
+    let stats = machine.run_traced(&programs?, tracer)?;
+    let outputs = (0..cores)
+        .map(|c| machine.memory().bank(c).contents()[0])
+        .collect();
+    Ok(WorkloadResult { outputs, stats })
+}
+
+/// Staggered compute on an unfused spatial machine (every core leads its
+/// own group): every 16th core counts to `long_iters`, the rest to 8.
+pub fn run_stagger_spatial_traced<T: Tracer>(
+    cores: usize,
+    long_iters: Word,
+    dense: bool,
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
+    let mut machine = SpatialMachine::new(
+        MultiSubtype::from_index(1)?,
+        FabricTopology::Crossbar,
+        cores,
+        4,
+    )?
+    .with_dense_reference(dense);
+    let programs: Result<Vec<Program>, MachineError> = (0..cores)
+        .map(|c| count_loop_program(if c.is_multiple_of(16) { long_iters } else { 8 }))
+        .collect();
+    let stats = machine.run_traced(&programs?, tracer)?;
+    let outputs = (0..cores).map(|c| machine.core_reg(c, 0)).collect();
+    Ok(WorkloadResult { outputs, stats })
+}
+
+/// A two-core send/recv pair across a link that is down until
+/// `outage_until`: the sender backs off exponentially and the receiver
+/// blocks, so almost every cycle of the outage window is dead time.  The
+/// event-driven scheduler warps across the backoff gaps; the dense loop
+/// walks them cycle by cycle.  The output is the receiver's delivered
+/// value (42).
+pub fn run_backoff_storm_multi_traced<T: Tracer>(
+    outage_until: u64,
+    max_retries: u32,
+    dense: bool,
+    tracer: &mut T,
+) -> Result<WorkloadResult, MachineError> {
+    let mut machine =
+        MultiMachine::new(MultiSubtype::from_index(2)?, 2, 4).with_dense_reference(dense);
+    let mut sender = Assembler::new();
+    sender.movi(0, 42).emit(Instr::Send(1, 0)).emit(Instr::Halt);
+    let mut receiver = Assembler::new();
+    receiver.emit(Instr::Recv(5, 0)).emit(Instr::Halt);
+    let programs = vec![sender.assemble()?, receiver.assemble()?];
+    let plan = FaultPlan::seeded(0)
+        .fail_link(LinkOutage {
+            from: 0,
+            to: 1,
+            from_cycle: 0,
+            until_cycle: outage_until,
+        })
+        .with_max_retries(max_retries);
+    let outcome = machine.run_resilient_traced(&programs, plan, tracer)?;
+    Ok(WorkloadResult {
+        outputs: vec![machine.core_reg(1, 5)],
+        stats: outcome.stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -859,6 +976,26 @@ mod tests {
                 run_fir_array(subtype, &taps, &signal),
                 Err(MachineError::WorkloadUnsupported { .. })
             ));
+        }
+    }
+
+    #[test]
+    fn stagger_runners_count_to_their_targets() {
+        for dense in [false, true] {
+            let multi = run_mimd_stagger_multi_traced(8, 40, dense, &mut NullTracer).unwrap();
+            let expected: Vec<Word> = (0..8).map(|c| if c == 0 { 40 } else { 8 }).collect();
+            assert_eq!(multi.outputs, expected, "dense={dense}");
+            let spatial = run_stagger_spatial_traced(4, 25, dense, &mut NullTracer).unwrap();
+            assert_eq!(spatial.outputs, vec![25, 8, 8, 8], "dense={dense}");
+        }
+    }
+
+    #[test]
+    fn backoff_storm_delivers_after_the_outage() {
+        for dense in [false, true] {
+            let run = run_backoff_storm_multi_traced(500, 40, dense, &mut NullTracer).unwrap();
+            assert_eq!(run.outputs, vec![42], "dense={dense}");
+            assert!(run.stats.cycles > 500, "dense={dense}: {:?}", run.stats);
         }
     }
 

@@ -9,28 +9,36 @@
 #                                any deterministic-counter regression)
 #   scripts/bench.sh full      — deep local collection to BENCH_local.json
 #
+# An optional second argument narrows any mode to benchmarks whose name
+# contains the substring, e.g. `scripts/bench.sh compare dataflow`.
+#
 # Batch depth is tunable via SKILLTAX_BENCH_BATCHES / SKILLTAX_BENCH_BATCH_MS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=artifacts/BENCH_baseline.json
+FILTER="${2:-}"
+FILTER_ARGS=()
+if [ -n "$FILTER" ]; then
+    FILTER_ARGS=(--filter "$FILTER")
+fi
 
 case "${1:-compare}" in
     record)
         cargo run --release --offline -p skilltax-bench --bin bench_collect -- \
-            --deterministic-only --label baseline --out "$BASELINE"
+            --deterministic-only --label baseline --out "$BASELINE" "${FILTER_ARGS[@]}"
         echo "baseline recorded: $BASELINE (commit it with the change that explains it)"
         ;;
     compare)
         cargo run --release --offline -p skilltax-bench --bin bench_compare -- \
-            --baseline "$BASELINE"
+            --baseline "$BASELINE" "${FILTER_ARGS[@]}"
         ;;
     full)
         cargo run --release --offline -p skilltax-bench --bin bench_collect -- \
-            --label local
+            --label local "${FILTER_ARGS[@]}"
         ;;
     *)
-        echo "usage: scripts/bench.sh [record|compare|full]" >&2
+        echo "usage: scripts/bench.sh [record|compare|full] [FILTER]" >&2
         exit 2
         ;;
 esac

@@ -25,6 +25,12 @@ for src in examples/*.rs; do
     cargo run --release --offline --example "$name" >/dev/null
 done
 
+# Scheduler identity: the event-driven engines must stay counter-exact
+# twins of the dense reference loops (DESIGN.md §9).  Release mode — the
+# suite includes multi-hundred-core staggered runs.
+echo "==> cargo test --release --offline -p skilltax-machine --test scheduler_identity"
+cargo test --release --offline -p skilltax-machine --test scheduler_identity -q
+
 # Bench smoke: run the continuous-performance collector in quick mode
 # and gate the deterministic counters against the committed baseline.
 echo "==> bench collector smoke (quick mode + regression gate)"
