@@ -151,6 +151,17 @@ impl FaultPlan {
         self.stall_rate > 0.0 || self.bit_flip_rate > 0.0
     }
 
+    /// Does this plan roll the PRNG on message sends?
+    ///
+    /// Drops and corruption consume one random draw per send in global
+    /// send order, which a shard-parallel runner (one forked plan per
+    /// shard) cannot reproduce.  Link outages are schedule-driven and
+    /// roll no randomness, so they shard fine.  Engines use this to fall
+    /// back to the single-threaded scheduler.
+    pub fn has_message_rolls(&self) -> bool {
+        self.drop_rate > 0.0 || self.corrupt_rate > 0.0
+    }
+
     /// Is the `from -> to` link down at `cycle`?
     pub fn link_down(&mut self, cycle: u64, from: usize, to: usize) -> bool {
         let down = self.outages.iter().any(|o| {

@@ -49,6 +49,7 @@ pub mod multi;
 pub mod noc;
 pub mod program;
 pub mod reconfig;
+pub mod shard;
 pub mod spatial;
 pub mod sweep;
 pub mod telemetry;
@@ -62,6 +63,7 @@ pub use exec::Stats;
 pub use fault::{FaultPlan, LinkOutage, ResilienceRow, RunOutcome};
 pub use isa::{Instr, Reg, Word};
 pub use program::{Assembler, Program};
+pub use shard::configured_threads;
 pub use telemetry::{
     EventClass, EventKind, EventTrace, FaultKind, MetricsRegistry, NullTracer, Telemetry,
     TraceEvent, Tracer,

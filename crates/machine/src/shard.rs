@@ -1,0 +1,289 @@
+//! Shard-parallel execution support: thread-count resolution, the
+//! sense-reversing slice barrier, deterministic cut planning, and the
+//! staged tracer that lets worker threads replay observations into the
+//! caller's [`Tracer`] in exact single-threaded order.
+//!
+//! The shard runners in [`crate::multi`], [`crate::spatial`] and
+//! [`crate::universal::fabric`] partition a machine into contiguous
+//! shards, advance every shard one cycle-slice at a time under
+//! `std::thread::scope`, and stage inter-shard messages at the barrier so
+//! `Stats`, telemetry per-class totals and fault behaviour are
+//! bit-identical to the single-threaded schedulers (DESIGN.md §10).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::telemetry::{EventKind, Tracer};
+
+/// Resolve the worker-thread count honouring the `SKILLTAX_THREADS`
+/// environment override: a positive value forces that many threads, `0`,
+/// unset or unparsable falls back to [`std::thread::available_parallelism`].
+///
+/// Both [`crate::sweep::parallel_map`] and the sharded machine runners go
+/// through this, so one knob pins the whole process for CI reproducibility
+/// (documented next to the `SKILLTAX_BENCH_*` knobs in the README).
+pub fn configured_threads() -> usize {
+    match std::env::var("SKILLTAX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Resolve a `with_shards(..)` knob value: `0` means "auto" (the
+/// [`configured_threads`] count), anything else is taken literally.
+pub(crate) fn resolve_shards(requested: usize) -> usize {
+    if requested == 0 {
+        configured_threads()
+    } else {
+        requested
+    }
+}
+
+/// A lightweight sense-reversing barrier for the cycle-slice protocol.
+///
+/// All `parties` threads call [`SenseBarrier::wait`] with their own local
+/// sense flag; the last arrival flips the shared sense and releases the
+/// rest.  Waiters spin briefly and then yield, which keeps the
+/// slice-to-slice latency low without burning a core when the host is
+/// oversubscribed.
+#[derive(Debug)]
+pub(crate) struct SenseBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SenseBarrier {
+    /// A barrier for `parties` participants.
+    pub(crate) fn new(parties: usize) -> SenseBarrier {
+        SenseBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Block until all parties have arrived.  `local_sense` must be a
+    /// per-thread flag initialised to `false` and reused across calls.
+    pub(crate) fn wait(&self, local_sense: &mut bool) {
+        let target = !*local_sense;
+        *local_sense = target;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(target, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != target {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Plan `shards` contiguous cuts over `n` units given a per-boundary
+/// legality mask: `allowed[c]` says the cut *before* unit `c` is legal
+/// (boundaries `1..n`).  Returns the shard start indices (always
+/// beginning with 0) with at least two shards, or `None` when no legal
+/// multi-shard partition exists.
+///
+/// Cuts are chosen greedily nearest to the ideal balanced positions
+/// `s * n / shards`, keeping the partition deterministic for a given
+/// `(n, shards, allowed)` triple.
+pub(crate) fn plan_cuts(n: usize, shards: usize, allowed: &[bool]) -> Option<Vec<usize>> {
+    if shards < 2 || n < 2 {
+        return None;
+    }
+    debug_assert_eq!(allowed.len(), n);
+    let shards = shards.min(n);
+    let mut bounds = vec![0usize];
+    for s in 1..shards {
+        let ideal = (s * n) / shards;
+        let floor = *bounds.last().expect("bounds is non-empty") + 1;
+        // Nearest legal boundary to `ideal` within (floor, n).
+        let mut best: Option<usize> = None;
+        for (c, &ok) in allowed.iter().enumerate().take(n).skip(floor) {
+            if !ok {
+                continue;
+            }
+            match best {
+                Some(b) if c.abs_diff(ideal) >= b.abs_diff(ideal) => {}
+                _ => best = Some(c),
+            }
+        }
+        match best {
+            Some(c) => bounds.push(c),
+            None => break,
+        }
+    }
+    if bounds.len() < 2 {
+        None
+    } else {
+        Some(bounds)
+    }
+}
+
+/// One tracer call staged by a worker thread, replayed later into the
+/// caller's real tracer in deterministic shard order.
+#[derive(Debug, Clone)]
+pub(crate) enum StagedOp {
+    /// `record` / `record_many` (n = 1 for plain `record`).
+    Event {
+        /// Cycle the event happened on.
+        cycle: u64,
+        /// Event kind.
+        kind: EventKind,
+        /// Multiplicity.
+        n: u64,
+    },
+    /// `counter(name, delta)`.
+    Counter(String, u64),
+    /// `sample(name, value)`.
+    Sample(String, u64),
+}
+
+/// A [`Tracer`] that stages every call into a buffer instead of observing
+/// it.  When the destination tracer is disabled, staging is skipped
+/// entirely so the hot path stays allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct StageTracer {
+    /// Mirrors the destination tracer's `enabled()`.
+    pub(crate) live: bool,
+    /// The staged calls, in issue order.
+    pub(crate) ops: Vec<StagedOp>,
+}
+
+impl StageTracer {
+    /// Replay `ops` into `tracer` verbatim.
+    pub(crate) fn replay<T: Tracer>(ops: &[StagedOp], tracer: &mut T) {
+        for op in ops {
+            match op {
+                StagedOp::Event { cycle, kind, n } => {
+                    if *n == 1 {
+                        tracer.record(*cycle, *kind);
+                    } else {
+                        tracer.record_many(*cycle, *kind, *n);
+                    }
+                }
+                StagedOp::Counter(name, delta) => tracer.counter(name, *delta),
+                StagedOp::Sample(name, value) => tracer.sample(name, *value),
+            }
+        }
+    }
+}
+
+impl Tracer for StageTracer {
+    fn enabled(&self) -> bool {
+        self.live
+    }
+
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        if self.live {
+            self.ops.push(StagedOp::Event { cycle, kind, n: 1 });
+        }
+    }
+
+    fn record_many(&mut self, cycle: u64, kind: EventKind, n: u64) {
+        if self.live && n > 0 {
+            self.ops.push(StagedOp::Event { cycle, kind, n });
+        }
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        if self.live {
+            self.ops.push(StagedOp::Counter(name.to_owned(), delta));
+        }
+    }
+
+    fn sample(&mut self, name: &str, value: u64) {
+        if self.live {
+            self.ops.push(StagedOp::Sample(name.to_owned(), value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{EventClass, EventTrace};
+
+    #[test]
+    fn plan_cuts_balances_when_everything_is_allowed() {
+        let mut allowed = vec![true; 16];
+        allowed[0] = false; // boundary 0 is never a cut
+        let bounds = plan_cuts(16, 4, &allowed).unwrap();
+        assert_eq!(bounds, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn plan_cuts_respects_forbidden_boundaries() {
+        // Only one legal boundary: the partition collapses to two shards.
+        let mut allowed = vec![false; 8];
+        allowed[5] = true;
+        assert_eq!(plan_cuts(8, 4, &allowed).unwrap(), vec![0, 5]);
+        // No legal boundary at all: no partition.
+        assert!(plan_cuts(8, 4, &[false; 8]).is_none());
+        assert!(plan_cuts(8, 1, &[true; 8]).is_none());
+    }
+
+    #[test]
+    fn plan_cuts_never_exceeds_unit_count() {
+        let bounds = plan_cuts(3, 8, &[false, true, true]).unwrap();
+        assert_eq!(bounds, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sense_barrier_synchronises_threads() {
+        let barrier = SenseBarrier::new(3);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut sense = false;
+                    for round in 1..=5usize {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        // After the barrier every thread of this round has
+                        // contributed.
+                        assert!(hits.load(Ordering::Relaxed) >= round * 3);
+                        barrier.wait(&mut sense);
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn stage_tracer_replays_into_the_destination() {
+        let mut stage = StageTracer {
+            live: true,
+            ops: Vec::new(),
+        };
+        stage.record(3, EventKind::Issue);
+        stage.record_many(3, EventKind::Stall, 4);
+        stage.record_many(3, EventKind::Stall, 0); // dropped: no-op on replay
+        stage.counter("retries", 1);
+        stage.sample("backoff.delay", 2);
+        let mut trace = EventTrace::new();
+        StageTracer::replay(&stage.ops, &mut trace);
+        assert_eq!(trace.count(EventClass::Issue), 1);
+        assert_eq!(trace.count(EventClass::Stall), 4);
+    }
+
+    #[test]
+    fn disabled_stage_tracer_stages_nothing() {
+        let mut stage = StageTracer::default();
+        stage.record(1, EventKind::Issue);
+        stage.counter("retries", 1);
+        assert!(stage.ops.is_empty());
+    }
+}

@@ -11,23 +11,34 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// queue, results in input order).  Falls back to sequential execution
 /// for tiny inputs.
 ///
-/// Workers claim contiguous chunks of indices with one `fetch_add` per
-/// chunk (chunk size `n / (threads * 8)`, min 1 — small enough to keep
-/// the tail balanced, large enough that the shared counter is off the
-/// hot path) and buffer their results thread-locally, so no shared lock
-/// is held around either `f` or the result writes.  If any worker
-/// panics, the first panic payload is re-raised verbatim on the
-/// caller's thread.
+/// The worker count honours the `SKILLTAX_THREADS` environment override
+/// (via [`crate::shard::configured_threads`]; `0`/unset =
+/// `available_parallelism`).  Workers claim contiguous chunks of indices
+/// with one `fetch_add` per chunk (chunk size `n / (threads * 8)`, min 1
+/// — small enough to keep the tail balanced, large enough that the
+/// shared counter is off the hot path) and buffer their results
+/// thread-locally, so no shared lock is held around either `f` or the
+/// result writes.  If any worker panics, the first panic payload is
+/// re-raised verbatim on the caller's thread.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, f, crate::shard::configured_threads())
+}
+
+/// [`parallel_map`] with an explicit worker count (the testable core:
+/// edge-case tests pin `threads` instead of racing on the process
+/// environment).
+pub(crate) fn parallel_map_with<T, R, F>(items: Vec<T>, f: F, threads: usize) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
     if n <= 1 || threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -148,6 +159,71 @@ mod tests {
             .or_else(|| caught.downcast_ref::<&str>().map(|s| (*s).to_owned()))
             .expect("panic payload is a string");
         assert_eq!(message, "boom at 13");
+    }
+
+    #[test]
+    fn fewer_items_than_threads_still_covers_everything() {
+        // n < threads: the thread count clamps to n and no worker spins
+        // on an empty queue.
+        let count = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            (0..3).collect::<Vec<u64>>(),
+            |&x| {
+                count.fetch_add(1, Ordering::Relaxed);
+                x + 100
+            },
+            16,
+        );
+        assert_eq!(out, vec![100, 101, 102]);
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn chunk_size_one_tail_stays_balanced() {
+        // 9 items over 8 threads: chunk = max(9 / 64, 1) = 1, so the tail
+        // item is claimed individually and exactly once.
+        let count = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            (0..9).collect::<Vec<usize>>(),
+            |&x| {
+                count.fetch_add(1, Ordering::Relaxed);
+                x * 2
+            },
+            8,
+        );
+        assert_eq!(out, (0..9).map(|x| x * 2).collect::<Vec<usize>>());
+        assert_eq!(count.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn panic_payload_survives_a_forced_two_thread_run() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_with(
+                (0..32).collect::<Vec<i32>>(),
+                |&x| {
+                    if x == 7 {
+                        panic!("two-thread boom at {x}");
+                    }
+                    x
+                },
+                2,
+            )
+        }))
+        .unwrap_err();
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a string");
+        assert_eq!(message, "two-thread boom at 7");
+    }
+
+    #[test]
+    fn input_order_preserved_under_forced_two_threads() {
+        // The order contract the SKILLTAX_THREADS=2 CI leg relies on:
+        // results land by input index no matter which worker ran them.
+        let items: Vec<u64> = (0..101).rev().collect();
+        let out = parallel_map_with(items.clone(), |&x| x * 3, 2);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Steady-state allocation discipline for the sharded runners.
+//!
+//! The slice protocol recycles every buffer it owns (staged-op vectors,
+//! outboxes, report slots swap via `mem::take`; the std `Mutex` lock is
+//! allocation-free), so once a run is warm the per-cycle cost of the
+//! barrier protocol is zero heap traffic.  This test pins that down with
+//! a counting global allocator: quadrupling the cycle count of an
+//! untraced sharded run must not change the allocation count at all —
+//! every allocation is setup/teardown, none are per-cycle.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use skilltax_machine::workload::run_mimd_stagger_multi_sharded;
+use skilltax_machine::NullTracer;
+
+/// The system allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY-free wrapper: delegates every call to `System` verbatim and only
+// adds a relaxed counter bump on the allocation paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations attributable to one full sharded run of the staggered
+/// workload with `long_iters` loop iterations on the long cores.
+fn allocs_for(long_iters: i64) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let run = run_mimd_stagger_multi_sharded(16, long_iters, 2, &mut NullTracer).unwrap();
+    assert!(run.stats.cycles > long_iters as u64);
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn sharded_steady_state_allocates_nothing_per_cycle() {
+    // Warm up: thread-stack caches, environment lookups, lazy statics.
+    for _ in 0..3 {
+        allocs_for(400);
+    }
+    let short = allocs_for(400);
+    let long = allocs_for(1_600);
+    assert_eq!(
+        short, long,
+        "allocation count grew with cycle count: the slice loop is allocating per cycle"
+    );
+}

@@ -1,0 +1,301 @@
+//! Differential tests for the shard-parallel runners (DESIGN.md §10):
+//! every machine family that shards must produce exactly the same
+//! [`Stats`], the same errors (including embedded partial stats), and the
+//! same per-event-class totals whether it runs single-threaded or split
+//! across worker shards — on success paths, fault paths, and error paths
+//! alike.
+//!
+//! `with_shards(1)` is the single-threaded baseline; `2` and `8` force
+//! fixed shard counts, and `0` resolves through `SKILLTAX_THREADS` /
+//! `available_parallelism` — the CI harness re-runs this binary with the
+//! override pinned to 1, 2 and 8 (scripts/verify.sh) so "auto" is
+//! exercised at several widths regardless of the host.
+
+use skilltax_machine::interconnect::FabricTopology;
+use skilltax_machine::multi::{MultiMachine, MultiSubtype};
+use skilltax_machine::spatial::SpatialMachine;
+use skilltax_machine::workload::{
+    run_backoff_storm_backward_multi_sharded, run_fabric_counters_traced,
+    run_mimd_stagger_multi_sharded, run_ring_shift_multi_traced, run_stagger_spatial_sharded,
+};
+use skilltax_machine::{
+    Assembler, Instr, MachineError, NullTracer, Program, Stats, Telemetry, Word,
+};
+
+/// Shard widths compared against the single-threaded baseline.
+const WIDTHS: [usize; 3] = [2, 8, 0];
+
+/// Run a closure once single-threaded and once per shard width, asserting
+/// identical outcomes: equal [`Stats`] on success, equal errors on
+/// failure, and equal event-class totals either way.
+fn assert_shard_twin<F>(label: &str, mut run: F)
+where
+    F: FnMut(usize, &mut Telemetry) -> Result<Stats, MachineError>,
+{
+    let mut base_telemetry = Telemetry::new();
+    let base = run(1, &mut base_telemetry);
+    for shards in WIDTHS {
+        let mut sharded_telemetry = Telemetry::new();
+        let sharded = run(shards, &mut sharded_telemetry);
+        match (&base, &sharded) {
+            (Ok(b), Ok(s)) => assert_eq!(b, s, "{label} x{shards}: stats diverged"),
+            _ => assert_eq!(
+                format!("{base:?}"),
+                format!("{sharded:?}"),
+                "{label} x{shards}: outcomes diverged"
+            ),
+        }
+        assert_eq!(
+            base_telemetry.trace.class_counts(),
+            sharded_telemetry.trace.class_counts(),
+            "{label} x{shards}: event-class totals diverged"
+        );
+    }
+}
+
+/// Count to `iters` and halt (no memory traffic).
+fn spin_program(iters: Word) -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 0).movi(1, iters);
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+// -------------------------------------------------------------------------
+// Multi-processor (IMP)
+// -------------------------------------------------------------------------
+
+#[test]
+fn multi_stagger_shard_identity_across_sizes() {
+    for cores in [4usize, 16, 64] {
+        assert_shard_twin(&format!("multi stagger {cores}"), |shards, t| {
+            run_mimd_stagger_multi_sharded(cores, 200, shards, t).map(|r| r.stats)
+        });
+    }
+}
+
+#[test]
+fn multi_stagger_shard_outputs_identical() {
+    let base = run_mimd_stagger_multi_sharded(16, 120, 1, &mut NullTracer).unwrap();
+    for shards in WIDTHS {
+        let sharded = run_mimd_stagger_multi_sharded(16, 120, shards, &mut NullTracer).unwrap();
+        assert_eq!(base, sharded, "x{shards}");
+    }
+}
+
+#[test]
+fn multi_ring_shift_delivers_across_shard_boundaries() {
+    for cores in [4usize, 16, 48] {
+        assert_shard_twin(&format!("ring shift {cores}"), |shards, t| {
+            run_ring_shift_multi_traced(cores, shards, t).map(|r| r.stats)
+        });
+        // Every core but the last receives its upstream neighbour's value
+        // no matter how the ring is cut.
+        for shards in WIDTHS {
+            let run = run_ring_shift_multi_traced(cores, shards, &mut NullTracer).unwrap();
+            for (i, &v) in run.outputs.iter().enumerate() {
+                let expected = if i + 1 == cores {
+                    0
+                } else {
+                    100 + (i as Word) + 1
+                };
+                assert_eq!(v, expected, "core {i} of {cores} x{shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_backoff_storm_shard_identity() {
+    // The 1→0 outage makes the sender back off and retry under the
+    // barrier protocol: the fault path (link_down, retries, backoff
+    // samples, faults_injected) must shard bit-identically.
+    assert_shard_twin("backward backoff storm", |shards, t| {
+        run_backoff_storm_backward_multi_sharded(3_000, 60, shards, t).map(|r| r.stats)
+    });
+    // A permanent outage exhausts the retry budget: error path.
+    assert_shard_twin("backward retry exhausted", |shards, t| {
+        run_backoff_storm_backward_multi_sharded(u64::MAX, 5, shards, t).map(|r| r.stats)
+    });
+}
+
+#[test]
+fn multi_watchdog_shard_identity_with_partial_stats() {
+    assert_shard_twin("watchdog all running", |shards, t| {
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 4, 4)
+            .with_cycle_limit(100)
+            .with_shards(shards);
+        m.run_traced(&vec![spin_program(10_000); 4], t)
+    });
+    // One core spinning, one parked on a receive that never comes: the
+    // blocked waiter's stall backlog must be settled through the limit.
+    // The receive edge points backward (core 1 waits on core 0), so the
+    // pair still shards.
+    assert_shard_twin("watchdog with blocked waiter", |shards, t| {
+        let mut m = MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4)
+            .with_cycle_limit(64)
+            .with_shards(shards);
+        let mut recv = Assembler::new();
+        recv.emit(Instr::Recv(2, 0)).emit(Instr::Halt);
+        m.run_traced(&[spin_program(10_000), recv.assemble().unwrap()], t)
+    });
+}
+
+#[test]
+fn multi_deadlock_shard_identity() {
+    // Mutual receives with no send anywhere: both schedulers must report
+    // the same deadlock cycle.  Receive edges never forbid cuts, so the
+    // pair splits across shards.
+    assert_shard_twin("mutual recv deadlock", |shards, t| {
+        let mut m =
+            MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4).with_shards(shards);
+        let programs: Vec<Program> = (0..2)
+            .map(|i| {
+                let mut asm = Assembler::new();
+                asm.emit(Instr::Recv(1, 1 - i)).emit(Instr::Halt);
+                asm.assemble().unwrap()
+            })
+            .collect();
+        m.run_traced(&programs, t)
+    });
+}
+
+#[test]
+fn multi_forward_edges_fall_back_identically() {
+    // Even cores send to their odd neighbour (forward edges), which
+    // forbids every cut of a 2-core machine: `with_shards` must quietly
+    // fall back to the event scheduler and still agree with the baseline.
+    let pair_programs = |n: usize| -> Vec<Program> {
+        (0..n)
+            .map(|i| {
+                let peer = i ^ 1;
+                let mut asm = Assembler::new();
+                if i % 2 == 0 {
+                    asm.movi(2, i as Word);
+                    asm.emit(Instr::Send(peer, 2)).emit(Instr::Halt);
+                } else {
+                    asm.emit(Instr::Recv(2, peer)).emit(Instr::Halt);
+                }
+                asm.assemble().unwrap()
+            })
+            .collect()
+    };
+    assert_shard_twin("forward send fallback", |shards, t| {
+        let mut m =
+            MultiMachine::new(MultiSubtype::from_index(2).unwrap(), 2, 4).with_shards(shards);
+        m.run_traced(&pair_programs(2), t)
+    });
+}
+
+// -------------------------------------------------------------------------
+// Spatial (ISP)
+// -------------------------------------------------------------------------
+
+#[test]
+fn spatial_stagger_shard_identity_across_sizes() {
+    for cores in [4usize, 16, 48] {
+        assert_shard_twin(&format!("spatial stagger {cores}"), |shards, t| {
+            run_stagger_spatial_sharded(cores, 300, shards, t).map(|r| r.stats)
+        });
+    }
+}
+
+#[test]
+fn spatial_fused_groups_shard_identity() {
+    // Two fused pairs with contiguous lanes: the group boundary is a
+    // legal cut, so each pair runs on its own worker.
+    assert_shard_twin("spatial fused pairs", |shards, t| {
+        let mut m = SpatialMachine::new(
+            MultiSubtype::from_index(1).unwrap(),
+            FabricTopology::Crossbar,
+            4,
+            4,
+        )
+        .unwrap()
+        .with_shards(shards);
+        m.fuse(0, 1).unwrap();
+        m.fuse(2, 3).unwrap();
+        let programs = vec![
+            spin_program(10),
+            spin_program(1), // follower: ignored
+            spin_program(40),
+            spin_program(1), // follower: ignored
+        ];
+        m.run_traced(&programs, t)
+    });
+}
+
+#[test]
+fn spatial_watchdog_shard_identity() {
+    assert_shard_twin("spatial watchdog", |shards, t| {
+        let mut m = SpatialMachine::new(
+            MultiSubtype::from_index(1).unwrap(),
+            FabricTopology::Crossbar,
+            4,
+            4,
+        )
+        .unwrap()
+        .with_cycle_limit(30)
+        .with_shards(shards);
+        m.run_traced(&vec![spin_program(1_000); 4], t)
+    });
+}
+
+#[test]
+fn spatial_unsupported_instruction_shard_identity() {
+    // A fused group whose leader issues an explicit Send errors out; the
+    // error (and how much of the cycle committed before it) must not
+    // depend on which worker found it.
+    assert_shard_twin("spatial unsupported send", |shards, t| {
+        let mut m = SpatialMachine::new(
+            MultiSubtype::from_index(2).unwrap(),
+            FabricTopology::Crossbar,
+            4,
+            4,
+        )
+        .unwrap()
+        .with_shards(shards);
+        m.fuse(0, 1).unwrap();
+        m.fuse(2, 3).unwrap();
+        let mut bad = Assembler::new();
+        bad.movi(0, 1).emit(Instr::Send(3, 0)).emit(Instr::Halt);
+        let programs = vec![
+            spin_program(10),
+            spin_program(1),
+            bad.assemble().unwrap(),
+            spin_program(1),
+        ];
+        m.run_traced(&programs, t)
+    });
+}
+
+// -------------------------------------------------------------------------
+// Universal fabric (USP)
+// -------------------------------------------------------------------------
+
+#[test]
+fn fabric_counters_shard_identity() {
+    for regions in [2usize, 5, 9] {
+        assert_shard_twin(&format!("fabric counters {regions}"), |shards, t| {
+            run_fabric_counters_traced(regions, shards, 1_000, t).map(|r| r.stats)
+        });
+        // Outputs: every region's chain has gone high.
+        for shards in WIDTHS {
+            let run = run_fabric_counters_traced(regions, shards, 1_000, &mut NullTracer).unwrap();
+            assert_eq!(run.outputs, vec![1; regions], "x{shards}");
+            assert_eq!(run.stats.cycles, regions as u64, "x{shards}");
+        }
+    }
+}
+
+#[test]
+fn fabric_watchdog_shard_identity() {
+    // A limit below the longest chain's depth trips the watchdog with
+    // identical partial stats at every shard width.
+    assert_shard_twin("fabric watchdog", |shards, t| {
+        run_fabric_counters_traced(6, shards, 4, t).map(|r| r.stats)
+    });
+}

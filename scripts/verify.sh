@@ -31,6 +31,17 @@ done
 echo "==> cargo test --release --offline -p skilltax-machine --test scheduler_identity"
 cargo test --release --offline -p skilltax-machine --test scheduler_identity -q
 
+# Shard identity: the shard-parallel runners must stay counter-exact
+# twins of the single-threaded schedulers (DESIGN.md §10) at every
+# thread width, so the suite repeats under a pinned SKILLTAX_THREADS —
+# 1 (auto collapses to single-threaded), 2 and 8 (oversubscribed on
+# small hosts, which is exactly the stress the barrier must survive).
+for threads in 1 2 8; do
+    echo "==> SKILLTAX_THREADS=$threads cargo test --release --offline -p skilltax-machine --test shard_identity"
+    SKILLTAX_THREADS=$threads \
+        cargo test --release --offline -p skilltax-machine --test shard_identity -q
+done
+
 # Bench smoke: run the continuous-performance collector in quick mode
 # and gate the deterministic counters against the committed baseline.
 echo "==> bench collector smoke (quick mode + regression gate)"
