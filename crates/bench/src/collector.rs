@@ -37,7 +37,12 @@ use skilltax_machine::workload::{
     run_stagger_spatial_traced, run_vector_add_array_traced, run_vector_add_multi_traced,
     run_vector_add_uni_traced,
 };
-use skilltax_machine::{Assembler, Instr, Program, Stats, Word};
+use skilltax_machine::{Assembler, CancelToken, Instr, Program, Stats, Word};
+use skilltax_service::admission::{DrrQueue, QueuedJob};
+use skilltax_service::{
+    run_chaos, ChaosConfig, Engine, EngineConfig, JobKind, JobOutcome, JobRequest,
+    Scheduler as ServiceScheduler,
+};
 use skilltax_taxonomy::{classify, flexibility_of_spec, Taxonomy};
 
 use crate::artifact::{Artifact, BenchRecord, CollectionMode, EnvMeta, SCHEMA_VERSION};
@@ -509,6 +514,97 @@ pub fn suite() -> Vec<SuiteBench> {
         text_counters(&crate::artifacts::fig7_ascii())
     }));
 
+    // --- job service -------------------------------------------------
+    //
+    // The multi-tenant service layer.  Its deterministic counters come
+    // from the same cycle-exact engines as the machine entries plus the
+    // chaos harness's scripted admission clock, so they are gated hard
+    // like everything else; wall time here is the service overhead
+    // (queueing, dispatch, pooling) around the simulation itself.
+    benches.push(SuiteBench::new(
+        "service/admission/drr/1k",
+        "service",
+        |_| {
+            let mut queue = DrrQueue::new(1024, 4);
+            let tenants = ["a", "b", "c", "d"];
+            for i in 0..1024u64 {
+                let tenant = tenants[(i % 4) as usize];
+                let cost = 1 + i % 7;
+                queue
+                    .push(tenant, QueuedJob { payload: i, cost })
+                    .expect("under capacity");
+            }
+            let mut pops = 0u64;
+            let mut order_checksum = 0u64;
+            while let Some(job) = queue.pop() {
+                pops += 1;
+                // FNV-style fold kept in 32 bits so the counter survives
+                // the JSON round-trip exactly.
+                order_checksum = (order_checksum
+                    .wrapping_mul(0x0100_01B3)
+                    .wrapping_add(job.payload))
+                    & 0xFFFF_FFFF;
+            }
+            let mut m = BTreeMap::new();
+            m.insert("work.pops".to_owned(), pops);
+            m.insert("work.order_checksum".to_owned(), order_checksum);
+            m
+        },
+    ));
+    {
+        let engine = std::sync::Arc::new(Engine::new(EngineConfig::default()));
+        engine.pool().prewarm(1);
+        benches.push(SuiteBench::new(
+            "service/pooled_request/uni/400",
+            "service",
+            move |_| {
+                let request = JobRequest {
+                    tenant: "bench".to_owned(),
+                    kind: JobKind::Simulate {
+                        cores: 1,
+                        iters: 400,
+                        scheduler: ServiceScheduler::Event,
+                        fault_seed: None,
+                    },
+                    deadline_cycles: None,
+                };
+                let outcome = engine.execute(&request, &CancelToken::new());
+                let stats = match &outcome {
+                    JobOutcome::Completed {
+                        stats: Some(stats), ..
+                    } => stats,
+                    other => panic!("warm pooled request completes: {other:?}"),
+                };
+                stats_counters(stats)
+            },
+        ));
+    }
+    benches.push(SuiteBench::new(
+        "service/chaos/soak/3rounds",
+        "service",
+        |_| {
+            let report = run_chaos(&ChaosConfig {
+                rounds: 3,
+                workers: 2,
+                queue_capacity: 8,
+                ..ChaosConfig::default()
+            });
+            assert!(report.passed(), "the bench soak holds its invariants");
+            let mut m = BTreeMap::new();
+            m.insert("work.submitted".to_owned(), report.submitted);
+            m.insert("work.admitted".to_owned(), report.admitted);
+            m.insert("work.peak_depth".to_owned(), report.peak_depth as u64);
+            m.insert(
+                "work.rejections".to_owned(),
+                report.rejections.values().sum(),
+            );
+            for (label, count) in &report.outcomes {
+                m.insert(format!("work.outcome.{label}"), *count);
+            }
+            m
+        },
+    ));
+
     benches
 }
 
@@ -600,6 +696,7 @@ mod tests {
             "machine.dataflow",
             "machine.fabric",
             "report",
+            "service",
         ] {
             assert!(groups.contains(family), "suite is missing {family}");
         }

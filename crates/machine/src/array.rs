@@ -17,6 +17,7 @@
 
 use skilltax_model::{ArchSpec, Count, Link, Relation};
 
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
@@ -85,6 +86,7 @@ pub struct ArrayMachine {
     mem: BankedMemory,
     cycle_limit: u64,
     dense_reference: bool,
+    cancel: CancelToken,
 }
 
 impl ArrayMachine {
@@ -97,12 +99,20 @@ impl ArrayMachine {
             mem: BankedMemory::new(lanes, bank_words, subtype.data_topology()),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             dense_reference: false,
+            cancel: CancelToken::new(),
         }
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> ArrayMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Install a cancellation token for subsequent runs (deadline cycles
+    /// stop deterministically; the flag stops promptly).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ArrayMachine {
+        self.cancel = cancel;
         self
     }
 
@@ -205,18 +215,18 @@ impl ArrayMachine {
         // The live-lane set is static for the whole run, so the lockstep
         // loops iterate it directly instead of re-testing `alive` per
         // lane per cycle.  Ascending order keeps the broadcast order —
-        // and the stall roll's short-circuit RNG order — identical to
-        // the dense mask scan.
+        // and the stall roll's short-circuit order — identical to the
+        // dense mask scan.
         let live_lanes: Vec<usize> = (0..n).filter(|&l| alive[l]).collect();
         let live = live_lanes.len() as u64;
         let base: Vec<(u64, u64, u64)> = self.lanes.iter().map(|l| l.counters()).collect();
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         loop {
-            if stats.cycles >= self.cycle_limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, tracer));
             }
             let Some(instr) = program.fetch(pc) else {
                 break;
@@ -379,12 +389,13 @@ impl ArrayMachine {
         let mut dp = DataProcessor::new(f);
         let mut stats = Stats::default();
         let mut pc = 0usize;
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         loop {
-            if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, &mut NullTracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, &mut NullTracer));
             }
             let Some(instr) = program.fetch(pc) else {
                 break;

@@ -20,6 +20,7 @@
 
 use skilltax_model::{ArchSpec, Count, Link, Relation};
 
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::fault::{FaultPlan, RunOutcome};
@@ -105,6 +106,7 @@ pub struct DataflowMachine {
     n_dps: usize,
     cycle_limit: u64,
     dense_reference: bool,
+    cancel: CancelToken,
 }
 
 impl DataflowMachine {
@@ -128,12 +130,20 @@ impl DataflowMachine {
             n_dps,
             cycle_limit: 10_000_000,
             dense_reference: false,
+            cancel: CancelToken::new(),
         })
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> DataflowMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Install a cancellation token for subsequent runs (deadline cycles
+    /// stop deterministically; the flag stops promptly).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> DataflowMachine {
+        self.cancel = cancel;
         self
     }
 
@@ -392,9 +402,9 @@ impl DataflowMachine {
     /// The token-driven firing loop over a checked placement.
     ///
     /// Dispatches to the event-driven scheduler unless the dense
-    /// reference loop is forced or the fault plan draws per-cycle
-    /// randomness (per-DP stall rolls), which only the dense loop
-    /// replays faithfully.
+    /// reference loop is forced.  Stall plans run on either scheduler:
+    /// the stall decision is a pure hash of `(cycle, dp)` queried only
+    /// for DPs holding a ready token, a set both loops agree on.
     fn execute<T: Tracer>(
         &self,
         graph: &DataflowGraph,
@@ -403,10 +413,10 @@ impl DataflowMachine {
         faults: Option<&mut FaultPlan>,
         tracer: &mut T,
     ) -> Result<DataflowRun, MachineError> {
-        if self.dense_reference || faults.as_ref().is_some_and(|p| p.has_per_cycle_rolls()) {
+        if self.dense_reference {
             self.execute_dense(graph, inputs, map, faults, tracer)
         } else {
-            self.execute_event(graph, inputs, map, tracer)
+            self.execute_event(graph, inputs, map, faults, tracer)
         }
     }
 
@@ -434,13 +444,13 @@ impl DataflowMachine {
         let mut fired = 0usize;
         let mut stats = Stats::default();
 
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         while fired < graph.len() {
-            if stats.cycles >= self.cycle_limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, tracer));
             }
             stats.cycles += 1;
             let mut fired_this_cycle: Vec<NodeId> = Vec::new();
@@ -449,12 +459,17 @@ impl DataflowMachine {
                 if tracer.enabled() {
                     tracer.sample("dataflow.ready_depth", dp_ready.len() as u64);
                 }
-                if let Some(plan) = faults.as_deref_mut() {
-                    if plan.dp_stalled(stats.cycles, dp) {
-                        stats.stalls += 1;
-                        tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
-                        tracer.record(stats.cycles, EventKind::Stall);
-                        continue;
+                // The stall roll is queried only for DPs that hold a
+                // ready token — the set the event scheduler visits — so
+                // both loops ask the same (cycle, dp) questions.
+                if !dp_ready.is_empty() {
+                    if let Some(plan) = faults.as_deref_mut() {
+                        if plan.dp_stalled(stats.cycles, dp) {
+                            stats.stalls += 1;
+                            tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
+                            tracer.record(stats.cycles, EventKind::Stall);
+                            continue;
+                        }
                     }
                 }
                 if let Some(id) = dp_ready.pop() {
@@ -531,6 +546,7 @@ impl DataflowMachine {
         graph: &DataflowGraph,
         inputs: &[Word],
         map: &[usize],
+        mut faults: Option<&mut FaultPlan>,
         tracer: &mut T,
     ) -> Result<DataflowRun, MachineError> {
         let consumers = graph.consumers();
@@ -548,21 +564,22 @@ impl DataflowMachine {
         let mut active: Vec<usize> = (0..self.n_dps).filter(|&d| !ready[d].is_empty()).collect();
         let mut fired_this_cycle: Vec<NodeId> = Vec::new();
 
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         while fired < graph.len() {
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
+            }
             if active.is_empty() {
                 // No token can ever arrive again; the dense loop would
-                // stall every DP each cycle until the watchdog fires.
-                let span = self.cycle_limit.saturating_sub(stats.cycles);
+                // stall every DP each cycle until the budget runs out.
+                let ceiling = budget.limit();
+                let span = ceiling.saturating_sub(stats.cycles);
                 stats.stalls += span * self.n_dps as u64;
-                tracer.record_many(self.cycle_limit, EventKind::Stall, span * self.n_dps as u64);
-                stats.cycles = self.cycle_limit;
+                tracer.record_many(ceiling, EventKind::Stall, span * self.n_dps as u64);
+                stats.cycles = ceiling;
             }
-            if stats.cycles >= self.cycle_limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, tracer));
             }
             stats.cycles += 1;
             let idle = (self.n_dps - active.len()) as u64;
@@ -572,6 +589,16 @@ impl DataflowMachine {
             for &dp in &active {
                 if tracer.enabled() {
                     tracer.sample("dataflow.ready_depth", ready[dp].len() as u64);
+                }
+                // Same fetch-stage stall query as the dense loop: active
+                // is exactly the DPs with a ready token this cycle.
+                if let Some(plan) = faults.as_deref_mut() {
+                    if plan.dp_stalled(stats.cycles, dp) {
+                        stats.stalls += 1;
+                        tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
+                        tracer.record(stats.cycles, EventKind::Stall);
+                        continue;
+                    }
                 }
                 let id = ready[dp].pop().expect("active DP has a ready token");
                 let node = &graph.nodes()[id];

@@ -59,6 +59,15 @@ impl DataProcessor {
         (self.alu_ops, self.mem_reads, self.mem_writes)
     }
 
+    /// Zero the register file and operation counters, keeping the lane
+    /// identity — a pooled machine reuses the processor across requests.
+    pub fn reset(&mut self) {
+        self.regs = [0; NUM_REGS];
+        self.alu_ops = 0;
+        self.mem_reads = 0;
+        self.mem_writes = 0;
+    }
+
     /// Execute one *local* instruction (everything except the DP–DP fabric
     /// instructions, which need machine-level context).
     ///

@@ -111,6 +111,15 @@ pub enum MachineError {
         /// Statistics collected up to the timeout.
         partial: Stats,
     },
+    /// The run was cancelled — by a deadline cycle or an asynchronous
+    /// cancellation flag — before it completed; the partial statistics
+    /// survive, exactly as they do for a watchdog timeout.
+    Cancelled {
+        /// Cycle at which the cancellation took effect.
+        at_cycle: u64,
+        /// Statistics collected up to the cancellation.
+        partial: Stats,
+    },
     /// A fault demanded remapping that this machine's switch kinds cannot
     /// express (the direct-switched `-` classes of the taxonomy).
     DegradationImpossible {
@@ -204,6 +213,9 @@ impl fmt::Display for MachineError {
                     f,
                     "watchdog fired after {limit} cycles (partial: {partial})"
                 )
+            }
+            MachineError::Cancelled { at_cycle, partial } => {
+                write!(f, "cancelled at cycle {at_cycle} (partial: {partial})")
             }
             MachineError::DegradationImpossible { machine, reason } => {
                 write!(f, "{machine} cannot degrade around the fault: {reason}")
@@ -308,6 +320,13 @@ mod tests {
                     partial: Stats::default(),
                 },
                 "watchdog fired after 100 cycles",
+            ),
+            (
+                MachineError::Cancelled {
+                    at_cycle: 12,
+                    partial: Stats::default(),
+                },
+                "cancelled at cycle 12",
             ),
             (
                 MachineError::DegradationImpossible {

@@ -51,6 +51,11 @@ pub struct LinkOutage {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     rng: XorShift64,
+    /// The construction seed, kept verbatim: per-cycle stall decisions
+    /// hash it with `(cycle, dp)` so they are order-independent — every
+    /// fork and clone of a plan agrees on the stall schedule no matter
+    /// which scheduler (dense, event, sharded) asks, or in what order.
+    stall_seed: u64,
     failed_dps: BTreeSet<usize>,
     outages: Vec<LinkOutage>,
     drop_rate: f64,
@@ -66,6 +71,7 @@ impl FaultPlan {
     pub fn seeded(seed: u64) -> FaultPlan {
         FaultPlan {
             rng: XorShift64::new(seed),
+            stall_seed: seed,
             failed_dps: BTreeSet::new(),
             outages: Vec::new(),
             drop_rate: 0.0,
@@ -141,14 +147,17 @@ impl FaultPlan {
 
     /// Does this plan roll the PRNG on every simulated cycle?
     ///
-    /// Per-cycle DP stalls and memory bit-flips consume one random draw
-    /// per cycle (or per core per cycle), so an event-driven scheduler
-    /// that skips idle cycles would desynchronise the stream.  Engines
-    /// use this to fall back to their dense reference loop; drops,
-    /// corruption and link outages only roll on actual sends, which the
-    /// event path replays at identical cycles in identical order.
+    /// Memory bit-flips consume one random draw per cycle, so an
+    /// event-driven scheduler that skips idle cycles would desynchronise
+    /// the stream.  Engines use this to fall back to their dense
+    /// reference loop.  DP stalls do *not* roll: they hash
+    /// `(seed, cycle, dp)` and are therefore order-independent — dense,
+    /// event and sharded interleavings all see the same stall schedule.
+    /// Drops, corruption and link outages only roll on actual sends,
+    /// which the event path replays at identical cycles in identical
+    /// order.
     pub fn has_per_cycle_rolls(&self) -> bool {
-        self.stall_rate > 0.0 || self.bit_flip_rate > 0.0
+        self.bit_flip_rate > 0.0
     }
 
     /// Does this plan roll the PRNG on message sends?
@@ -194,8 +203,17 @@ impl FaultPlan {
     }
 
     /// Is `dp` transiently stalled this cycle?
-    pub fn dp_stalled(&mut self, _cycle: u64, _dp: usize) -> bool {
-        if self.stall_rate > 0.0 && self.rng.chance(self.stall_rate) {
+    ///
+    /// The decision is a pure function of `(seed, cycle, dp)` — no PRNG
+    /// stream is consumed — so stall outcomes are order-independent:
+    /// identical under dense, event-driven and shard-parallel
+    /// interleavings, and across forks of the same plan.  Only queries
+    /// that actually fire count toward [`FaultPlan::injected`], so the
+    /// totals agree too as long as every scheduler queries the same
+    /// `(cycle, dp)` set (the run loops query exactly the processors
+    /// that would otherwise act this cycle).
+    pub fn dp_stalled(&mut self, cycle: u64, dp: usize) -> bool {
+        if self.stall_rate > 0.0 && stall_hash(self.stall_seed, cycle, dp) < self.stall_rate {
             self.injected += 1;
             true
         } else {
@@ -249,6 +267,21 @@ impl FaultPlan {
     }
 }
 
+/// The order-independent stall draw: a splitmix64-style finalizer over
+/// `(seed, cycle, dp)` reduced to `[0, 1)`.  Pure, so every scheduler
+/// and every fork of a plan computes the same answer.
+fn stall_hash(seed: u64, cycle: u64, dp: usize) -> f64 {
+    let mut x = seed
+        ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (dp as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Per-core retry state for bounded exponential backoff on denied routes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RetryState {
@@ -268,18 +301,23 @@ impl RetryState {
         to: usize,
         max_retries: u32,
     ) -> Result<u64, MachineError> {
-        self.attempts += 1;
-        if self.attempts > max_retries {
+        // A counter pegged at u32::MAX has lost count: treat saturation
+        // as exhaustion rather than silently granting infinite retries.
+        let saturated = self.attempts == u32::MAX;
+        self.attempts = self.attempts.saturating_add(1);
+        if saturated || self.attempts > max_retries {
             return Err(MachineError::RetryExhausted {
                 from,
                 to,
                 attempts: self.attempts,
             });
         }
-        // Exponential backoff: 1, 2, 4, ... cycles (capped well below any
-        // watchdog budget).
+        // Exponential backoff: 1, 2, 4, ... cycles.  The exponent is
+        // clamped (a shift of >= 64 would overflow; attempt 63+ must not
+        // wrap back to short delays) and the wake cycle saturates so a
+        // caller near the end of a u64 budget cannot overflow either.
         let delay = 1u64 << (self.attempts - 1).min(10);
-        self.next_attempt = cycle + delay;
+        self.next_attempt = cycle.saturating_add(delay);
         Ok(delay)
     }
 
@@ -380,6 +418,88 @@ mod tests {
             err,
             MachineError::RetryExhausted { attempts: 4, .. }
         ));
+    }
+
+    #[test]
+    fn back_off_survives_huge_attempt_counts_without_overflow() {
+        // Regression: with an unbounded retry budget the attempt counter
+        // reaches the shift-width region (attempt >= 63).  The delay must
+        // stay clamped at 2^10 and never overflow the shift or the wake
+        // cycle.
+        let mut r = RetryState::default();
+        let mut cycle = 0u64;
+        for attempt in 1..=200u32 {
+            let delay = r.back_off(cycle, 0, 1, u32::MAX).unwrap();
+            assert!(delay <= 1 << 10, "attempt {attempt}: delay {delay}");
+            assert_eq!(r.attempts, attempt);
+            cycle = r.next_attempt;
+        }
+        // Saturating wake cycle: backing off at the end of the u64 range
+        // clamps instead of wrapping to a cycle in the past.
+        let mut edge = RetryState {
+            attempts: 62,
+            next_attempt: 0,
+        };
+        edge.back_off(u64::MAX - 1, 0, 1, u32::MAX).unwrap();
+        assert_eq!(edge.next_attempt, u64::MAX);
+        assert!(!edge.ready(u64::MAX - 1));
+        // Attempt-counter saturation: a state already at u32::MAX reports
+        // exhaustion instead of wrapping to attempt 0.
+        let mut maxed = RetryState {
+            attempts: u32::MAX,
+            next_attempt: 0,
+        };
+        let err = maxed.back_off(0, 0, 1, u32::MAX).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::RetryExhausted {
+                attempts: u32::MAX,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stall_decisions_are_order_independent() {
+        // The same (cycle, dp) query answers identically regardless of
+        // query order, interleaving, or fork lineage.
+        let mut forward = FaultPlan::seeded(42).stall_dps(0.3);
+        let mut backward = FaultPlan::seeded(42).stall_dps(0.3);
+        let mut forked = forward.clone().fork();
+        let queries: Vec<(u64, usize)> = (1..=32u64)
+            .flat_map(|c| (0..4).map(move |d| (c, d)))
+            .collect();
+        let a: Vec<bool> = queries
+            .iter()
+            .map(|&(c, d)| forward.dp_stalled(c, d))
+            .collect();
+        let b: Vec<bool> = queries
+            .iter()
+            .rev()
+            .map(|&(c, d)| backward.dp_stalled(c, d))
+            .collect();
+        let mut b = b;
+        b.reverse();
+        assert_eq!(a, b);
+        assert_eq!(forward.injected(), backward.injected());
+        let f: Vec<bool> = queries
+            .iter()
+            .map(|&(c, d)| forked.dp_stalled(c, d))
+            .collect();
+        assert_eq!(a, f, "forks share the stall schedule");
+        assert!(
+            a.iter().any(|&s| s),
+            "a 30% rate fires somewhere in 128 draws"
+        );
+        assert!(!a.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stall_plans_no_longer_force_the_dense_scheduler() {
+        let stall_only = FaultPlan::seeded(1).stall_dps(0.5);
+        assert!(!stall_only.has_per_cycle_rolls());
+        let flips = FaultPlan::seeded(1).flip_memory_bits(0.01);
+        assert!(flips.has_per_cycle_rolls());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`sweep`] — parallel parameter sweeps for the benchmark harness;
 //! * [`fault`] — deterministic fault injection and graceful degradation,
 //!   which turns the flexibility ordering into a resilience experiment;
+//! * [`cancel`] — cooperative cancellation (deadline cycles and
+//!   asynchronous flags) composed with the watchdog budgets, so a
+//!   long-running service can stop compute mid-slice with partial stats;
 //! * [`telemetry`] — cycle-level tracing and metrics, zero-cost when
 //!   disabled, threaded through every run loop.
 //!
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod array;
+pub mod cancel;
 pub mod dataflow;
 pub mod dp;
 pub mod energy;
@@ -58,6 +62,7 @@ pub mod universal;
 pub mod vliw;
 pub mod workload;
 
+pub use cancel::CancelToken;
 pub use error::MachineError;
 pub use exec::Stats;
 pub use fault::{FaultPlan, LinkOutage, ResilienceRow, RunOutcome};

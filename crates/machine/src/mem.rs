@@ -82,6 +82,14 @@ impl MemoryBank {
         let n = data.len().min(self.words.len());
         self.words[..n].copy_from_slice(&data[..n]);
     }
+
+    /// Zero every word and the traffic counters, keeping the capacity —
+    /// a pooled machine scrubs tenant data without reallocating.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.reads = 0;
+        self.writes = 0;
+    }
 }
 
 /// A banked data memory shared by the lanes of a machine.
@@ -228,6 +236,12 @@ impl BankedMemory {
                 size: self.bank_size,
             })
         }
+    }
+
+    /// Zero every bank in place (words and traffic counters), keeping
+    /// all capacity — the pooled-machine scrub between tenants.
+    pub fn clear(&mut self) {
+        self.banks.iter_mut().for_each(MemoryBank::clear);
     }
 
     /// Direct bank access for workload setup and result checking.

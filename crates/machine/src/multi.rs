@@ -19,6 +19,7 @@ use std::sync::Mutex;
 
 use skilltax_model::{ArchSpec, Count, Link, Relation};
 
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
@@ -116,6 +117,7 @@ pub struct MultiMachine {
     cycle_limit: u64,
     dense_reference: bool,
     shards: usize,
+    cancel: CancelToken,
 }
 
 impl MultiMachine {
@@ -149,6 +151,7 @@ impl MultiMachine {
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             dense_reference: false,
             shards: 1,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -169,6 +172,17 @@ impl MultiMachine {
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> MultiMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Install a cancellation token for subsequent runs.  A deadline
+    /// stops the run after exactly that many simulated cycles, with
+    /// partial [`Stats`] bit-identical across the dense, event and
+    /// sharded schedulers; the asynchronous flag stops promptly (dense
+    /// and event loops poll it per cycle, the shard coordinator once per
+    /// slice).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> MultiMachine {
+        self.cancel = cancel;
         self
     }
 
@@ -474,16 +488,16 @@ impl MultiMachine {
             .as_ref()
             .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
         let base: Vec<(u64, u64, u64)> = self.cores.iter().map(|c| c.dp.counters()).collect();
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         loop {
             if self.cores.iter().all(|c| c.halted) {
                 break;
             }
-            if stats.cycles >= self.cycle_limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, tracer));
             }
             stats.cycles += 1;
             self.mailboxes.set_cycle(stats.cycles);
@@ -496,17 +510,6 @@ impl MultiMachine {
             for i in 0..n {
                 if self.cores[i].halted {
                     continue;
-                }
-                // A transient injected stall consumes the cycle but is
-                // forward progress in the deadlock sense (it always ends).
-                if let Some(plan) = faults.as_mut() {
-                    if plan.dp_stalled(stats.cycles, self.binding[i]) {
-                        stats.stalls += 1;
-                        tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
-                        tracer.record(stats.cycles, EventKind::Stall);
-                        progress = true;
-                        continue;
-                    }
                 }
                 // A core backing off after a failed send waits its turn.
                 if !retry[i].ready(stats.cycles) {
@@ -535,6 +538,23 @@ impl MultiMachine {
                         }
                     }
                     continue;
+                }
+                // A transient injected stall holds the core at its fetch
+                // stage for the cycle; it counts as forward progress in
+                // the deadlock sense (it always ends).  The query sits
+                // exactly here — after the backoff and blocked-receive
+                // checks — so every scheduler asks the same (cycle, dp)
+                // set: the stall roll is a pure hash, and dense, event
+                // and sharded runs all reach this point for exactly the
+                // cores that are about to fetch.
+                if let Some(plan) = faults.as_mut() {
+                    if plan.dp_stalled(stats.cycles, self.binding[i]) {
+                        stats.stalls += 1;
+                        tracer.record(stats.cycles, EventKind::FaultInjected(FaultKind::Stall));
+                        tracer.record(stats.cycles, EventKind::Stall);
+                        progress = true;
+                        continue;
+                    }
                 }
                 let program = &library[self.cores[i].program];
                 let Some(instr) = program.fetch(self.cores[i].pc) else {
@@ -693,7 +713,8 @@ impl MultiMachine {
             .as_ref()
             .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
         let base: Vec<(u64, u64, u64)> = self.cores.iter().map(|c| c.dp.counters()).collect();
-        let limit = self.cycle_limit;
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        let limit = budget.limit();
 
         let mut active: Vec<usize> = (0..n).collect();
         let mut sleeping: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -702,6 +723,9 @@ impl MultiMachine {
         loop {
             if active.is_empty() && sleeping.is_empty() && blocked.is_empty() {
                 break; // every core halted
+            }
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
             }
             // The next cycle where the dense loop would do real work:
             // the very next one while anything is runnable, otherwise
@@ -718,11 +742,7 @@ impl MultiMachine {
                 // already spent, deadlock on the very next cycle else.
                 if stats.cycles >= limit {
                     flush_blocked_through(&blocked, limit, &mut stats, tracer);
-                    tracer.record(stats.cycles, EventKind::Watchdog);
-                    return Err(MachineError::WatchdogTimeout {
-                        limit,
-                        partial: stats,
-                    });
+                    return Err(budget.trip(stats.cycles, stats, tracer));
                 }
                 let cycle = stats.cycles + 1;
                 flush_blocked_through(&blocked, cycle, &mut stats, tracer);
@@ -742,11 +762,7 @@ impl MultiMachine {
                 }
                 flush_blocked_through(&blocked, limit, &mut stats, tracer);
                 stats.cycles = limit;
-                tracer.record(limit, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit,
-                    partial: stats,
-                });
+                return Err(budget.trip(limit, stats, tracer));
             }
             // Time-warp over the cycles nobody can use; dense stalls
             // every sleeping core once per skipped cycle.
@@ -807,6 +823,19 @@ impl MultiMachine {
                         }
                     }
                     continue;
+                }
+                // Same fetch-stage stall query as the dense loop: the
+                // active set holds exactly the cores dense would walk to
+                // this point, so the (cycle, dp) query set matches.
+                if let Some(plan) = faults.as_mut() {
+                    if plan.dp_stalled(cycle, self.binding[i]) {
+                        stats.stalls += 1;
+                        tracer.record(cycle, EventKind::FaultInjected(FaultKind::Stall));
+                        tracer.record(cycle, EventKind::Stall);
+                        progress = true;
+                        idx += 1;
+                        continue;
+                    }
                 }
                 let program = &library[self.cores[i].program];
                 let Some(instr) = program.fetch(self.cores[i].pc) else {
@@ -1057,7 +1086,9 @@ impl MultiMachine {
         let max_retries = faults
             .as_ref()
             .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
-        let limit = self.cycle_limit;
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        let limit = budget.limit();
+        let cancel = self.cancel.clone();
         let subtype = self.subtype;
         let live = tracer.enabled();
 
@@ -1071,6 +1102,7 @@ impl MultiMachine {
             &'m mut [RetryState],
             BankedMemory,
             Mailboxes,
+            Option<FaultPlan>,
         );
         let mut seats: Vec<Seat<'_>> = Vec::with_capacity(k);
         {
@@ -1085,7 +1117,12 @@ impl MultiMachine {
                 retry_rest = retry_tail;
                 let mem = self.mem.split_lanes(start..end);
                 let mb = self.mailboxes.split_inbound(start..end, plan);
-                seats.push((start, cores_here, retry_here, mem, mb));
+                // Each seat gets its own fork for the fetch-stage stall
+                // query: the stall decision is a pure hash of the seed
+                // and `(cycle, dp)`, so the forks agree with the dense
+                // loop's single plan; their injected counts sum to it.
+                let stall_plan = faults.as_mut().map(FaultPlan::fork);
+                seats.push((start, cores_here, retry_here, mem, mb, stall_plan));
             }
         }
         let barrier = SenseBarrier::new(k + 1);
@@ -1099,236 +1136,258 @@ impl MultiMachine {
             let handles: Vec<_> = seats
                 .into_iter()
                 .enumerate()
-                .map(|(s, (base, cores, retry_slice, mut mem, mut mb))| {
-                    let barrier = &barrier;
-                    let decision = &decision;
-                    let slot = &slots[s];
-                    let staging_slot = &staging[s];
-                    scope.spawn(move || {
-                        let mut sense = false;
-                        let mut stage = StageTracer {
-                            live,
-                            ops: Vec::new(),
-                        };
-                        let shard_len = cores.len();
-                        loop {
-                            barrier.wait(&mut sense);
-                            let SliceDecision::Run { cycle, skipped } =
-                                *decision.lock().expect("decision lock")
-                            else {
-                                break;
+                .map(
+                    |(s, (base, cores, retry_slice, mut mem, mut mb, mut stall_plan))| {
+                        let barrier = &barrier;
+                        let decision = &decision;
+                        let slot = &slots[s];
+                        let staging_slot = &staging[s];
+                        scope.spawn(move || {
+                            let mut sense = false;
+                            let mut stage = StageTracer {
+                                live,
+                                ops: Vec::new(),
                             };
-                            {
-                                let mut inbound = staging_slot.lock().expect("staging lock");
-                                for (from, to, value) in inbound.drain(..) {
-                                    mb.deposit(from, to, value);
-                                }
-                            }
-                            let mut report = slot.lock().expect("report lock");
-                            stage.ops = std::mem::take(&mut report.ops);
-                            let mut outbox = std::mem::take(&mut report.outbox);
-                            let mut pre_stalls = 0u64;
-                            if skipped > 0 {
-                                let dormant = cores.iter().filter(|c| !c.halted).count() as u64;
-                                if dormant > 0 {
-                                    pre_stalls = skipped * dormant;
-                                    stage.record_many(cycle - 1, EventKind::Stall, pre_stalls);
-                                }
-                            }
-                            let pre_len = stage.ops.len();
-                            mb.set_cycle(cycle);
-                            let mut scan = Stats::default();
-                            let mut retries = 0u64;
-                            let mut progress = false;
-                            let mut error: Option<MachineError> = None;
-                            'scan: for j in 0..shard_len {
-                                let i = base + j;
-                                if cores[j].halted {
-                                    continue;
-                                }
-                                if !retry_slice[j].ready(cycle) {
-                                    scan.stalls += 1;
-                                    stage.record(cycle, EventKind::Stall);
-                                    progress = true;
-                                    continue;
-                                }
-                                if let Some((rd, src)) = cores[j].waiting {
-                                    match mb.recv(i, src) {
-                                        Ok(Some(v)) => {
-                                            cores[j].dp.set_reg(rd, v);
-                                            cores[j].waiting = None;
-                                            cores[j].pc += 1;
-                                            scan.messages += 1;
-                                            stage.record(
-                                                cycle,
-                                                EventKind::Message { from: src, to: i },
-                                            );
-                                            stage.record(cycle, EventKind::CrossbarTraversal);
-                                            progress = true;
-                                        }
-                                        Ok(None) => {
-                                            scan.stalls += 1;
-                                            stage.record(cycle, EventKind::Stall);
-                                        }
-                                        Err(e) => {
-                                            error = Some(e);
-                                            break 'scan;
-                                        }
-                                    }
-                                    continue;
-                                }
-                                let program = library[cores[j].program];
-                                let Some(instr) = program.fetch(cores[j].pc) else {
-                                    cores[j].halted = true;
-                                    progress = true;
-                                    continue;
+                            let shard_len = cores.len();
+                            loop {
+                                barrier.wait(&mut sense);
+                                let SliceDecision::Run { cycle, skipped } =
+                                    *decision.lock().expect("decision lock")
+                                else {
+                                    break;
                                 };
-                                match instr {
-                                    Instr::GetLane(..) => {
-                                        error = Some(MachineError::unsupported(
-                                            subtype.class_name(),
-                                            "getlane is a lockstep-SIMD exchange; independent \
-                                             cores communicate with send/recv",
-                                        ));
-                                        break 'scan;
+                                {
+                                    let mut inbound = staging_slot.lock().expect("staging lock");
+                                    for (from, to, value) in inbound.drain(..) {
+                                        mb.deposit(from, to, value);
                                     }
-                                    Instr::Send(dest, rs) => {
-                                        if dest >= n {
-                                            error = Some(MachineError::RouteDenied {
-                                                from: i,
-                                                to: dest,
-                                                reason: format!("destination {dest} out of range"),
-                                            });
-                                            break 'scan;
-                                        }
-                                        let value = cores[j].dp.reg(rs);
-                                        let sent = if dest >= base && dest < base + shard_len {
-                                            mb.send(i, dest, value)
-                                        } else {
-                                            // Cross-shard: run the send-path
-                                            // checks locally, stage delivery
-                                            // for the barrier.
-                                            mb.prepare_send(i, dest, value).map(|staged| {
-                                                if let Some(v) = staged {
-                                                    outbox.push((i, dest, v));
-                                                }
-                                            })
-                                        };
-                                        match sent {
-                                            Ok(()) => {
-                                                retry_slice[j] = RetryState::default();
+                                }
+                                let mut report = slot.lock().expect("report lock");
+                                stage.ops = std::mem::take(&mut report.ops);
+                                let mut outbox = std::mem::take(&mut report.outbox);
+                                let mut pre_stalls = 0u64;
+                                if skipped > 0 {
+                                    let dormant = cores.iter().filter(|c| !c.halted).count() as u64;
+                                    if dormant > 0 {
+                                        pre_stalls = skipped * dormant;
+                                        stage.record_many(cycle - 1, EventKind::Stall, pre_stalls);
+                                    }
+                                }
+                                let pre_len = stage.ops.len();
+                                mb.set_cycle(cycle);
+                                let mut scan = Stats::default();
+                                let mut retries = 0u64;
+                                let mut progress = false;
+                                let mut error: Option<MachineError> = None;
+                                'scan: for j in 0..shard_len {
+                                    let i = base + j;
+                                    if cores[j].halted {
+                                        continue;
+                                    }
+                                    if !retry_slice[j].ready(cycle) {
+                                        scan.stalls += 1;
+                                        stage.record(cycle, EventKind::Stall);
+                                        progress = true;
+                                        continue;
+                                    }
+                                    if let Some((rd, src)) = cores[j].waiting {
+                                        match mb.recv(i, src) {
+                                            Ok(Some(v)) => {
+                                                cores[j].dp.set_reg(rd, v);
+                                                cores[j].waiting = None;
                                                 cores[j].pc += 1;
-                                                scan.instructions += 1;
-                                                stage.record(cycle, EventKind::Issue);
+                                                scan.messages += 1;
+                                                stage.record(
+                                                    cycle,
+                                                    EventKind::Message { from: src, to: i },
+                                                );
+                                                stage.record(cycle, EventKind::CrossbarTraversal);
                                                 progress = true;
                                             }
-                                            Err(MachineError::LinkDown { from, to, .. }) => {
-                                                match retry_slice[j].back_off(
-                                                    cycle,
-                                                    from,
-                                                    to,
-                                                    max_retries,
-                                                ) {
-                                                    Ok(delay) => {
-                                                        retries += 1;
-                                                        scan.stalls += 1;
-                                                        stage.record(
-                                                            cycle,
-                                                            EventKind::FaultInjected(
-                                                                FaultKind::LinkDown,
-                                                            ),
-                                                        );
-                                                        stage.record(cycle, EventKind::Retry);
-                                                        stage.record(cycle, EventKind::Stall);
-                                                        stage.counter("retries", 1);
-                                                        stage.sample("backoff.delay", delay);
-                                                        progress = true;
-                                                    }
-                                                    Err(e) => {
-                                                        error = Some(e);
-                                                        break 'scan;
-                                                    }
-                                                }
+                                            Ok(None) => {
+                                                scan.stalls += 1;
+                                                stage.record(cycle, EventKind::Stall);
                                             }
-                                            Err(other) => {
-                                                error = Some(other);
-                                                break 'scan;
-                                            }
-                                        }
-                                    }
-                                    Instr::Recv(rd, src) => {
-                                        if src >= n {
-                                            error = Some(MachineError::RouteDenied {
-                                                from: src,
-                                                to: i,
-                                                reason: format!("source {src} out of range"),
-                                            });
-                                            break 'scan;
-                                        }
-                                        if let Err(e) = mb.topology().route(src, i, n) {
-                                            error = Some(e);
-                                            break 'scan;
-                                        }
-                                        cores[j].waiting = Some((rd, src));
-                                        scan.instructions += 1;
-                                        stage.record(cycle, EventKind::Issue);
-                                        progress = true;
-                                    }
-                                    _ => {
-                                        scan.instructions += 1;
-                                        stage.record(cycle, EventKind::Issue);
-                                        match cores[j]
-                                            .dp
-                                            .execute_traced(instr, &mut mem, cycle, &mut stage)
-                                        {
-                                            Ok(LocalOutcome::Next) => cores[j].pc += 1,
-                                            Ok(LocalOutcome::Branch(t)) => cores[j].pc = t,
-                                            Ok(LocalOutcome::Halt) => cores[j].halted = true,
                                             Err(e) => {
                                                 error = Some(e);
                                                 break 'scan;
                                             }
                                         }
+                                        continue;
+                                    }
+                                    // Same fetch-stage stall query as the
+                                    // dense loop (sharding binds lane i to
+                                    // core i, so `i` is the dp index).
+                                    if let Some(plan) = stall_plan.as_mut() {
+                                        if plan.dp_stalled(cycle, i) {
+                                            scan.stalls += 1;
+                                            stage.record(
+                                                cycle,
+                                                EventKind::FaultInjected(FaultKind::Stall),
+                                            );
+                                            stage.record(cycle, EventKind::Stall);
+                                            progress = true;
+                                            continue;
+                                        }
+                                    }
+                                    let program = library[cores[j].program];
+                                    let Some(instr) = program.fetch(cores[j].pc) else {
+                                        cores[j].halted = true;
                                         progress = true;
+                                        continue;
+                                    };
+                                    match instr {
+                                        Instr::GetLane(..) => {
+                                            error = Some(MachineError::unsupported(
+                                                subtype.class_name(),
+                                                "getlane is a lockstep-SIMD exchange; independent \
+                                             cores communicate with send/recv",
+                                            ));
+                                            break 'scan;
+                                        }
+                                        Instr::Send(dest, rs) => {
+                                            if dest >= n {
+                                                error = Some(MachineError::RouteDenied {
+                                                    from: i,
+                                                    to: dest,
+                                                    reason: format!(
+                                                        "destination {dest} out of range"
+                                                    ),
+                                                });
+                                                break 'scan;
+                                            }
+                                            let value = cores[j].dp.reg(rs);
+                                            let sent = if dest >= base && dest < base + shard_len {
+                                                mb.send(i, dest, value)
+                                            } else {
+                                                // Cross-shard: run the send-path
+                                                // checks locally, stage delivery
+                                                // for the barrier.
+                                                mb.prepare_send(i, dest, value).map(|staged| {
+                                                    if let Some(v) = staged {
+                                                        outbox.push((i, dest, v));
+                                                    }
+                                                })
+                                            };
+                                            match sent {
+                                                Ok(()) => {
+                                                    retry_slice[j] = RetryState::default();
+                                                    cores[j].pc += 1;
+                                                    scan.instructions += 1;
+                                                    stage.record(cycle, EventKind::Issue);
+                                                    progress = true;
+                                                }
+                                                Err(MachineError::LinkDown {
+                                                    from, to, ..
+                                                }) => {
+                                                    match retry_slice[j].back_off(
+                                                        cycle,
+                                                        from,
+                                                        to,
+                                                        max_retries,
+                                                    ) {
+                                                        Ok(delay) => {
+                                                            retries += 1;
+                                                            scan.stalls += 1;
+                                                            stage.record(
+                                                                cycle,
+                                                                EventKind::FaultInjected(
+                                                                    FaultKind::LinkDown,
+                                                                ),
+                                                            );
+                                                            stage.record(cycle, EventKind::Retry);
+                                                            stage.record(cycle, EventKind::Stall);
+                                                            stage.counter("retries", 1);
+                                                            stage.sample("backoff.delay", delay);
+                                                            progress = true;
+                                                        }
+                                                        Err(e) => {
+                                                            error = Some(e);
+                                                            break 'scan;
+                                                        }
+                                                    }
+                                                }
+                                                Err(other) => {
+                                                    error = Some(other);
+                                                    break 'scan;
+                                                }
+                                            }
+                                        }
+                                        Instr::Recv(rd, src) => {
+                                            if src >= n {
+                                                error = Some(MachineError::RouteDenied {
+                                                    from: src,
+                                                    to: i,
+                                                    reason: format!("source {src} out of range"),
+                                                });
+                                                break 'scan;
+                                            }
+                                            if let Err(e) = mb.topology().route(src, i, n) {
+                                                error = Some(e);
+                                                break 'scan;
+                                            }
+                                            cores[j].waiting = Some((rd, src));
+                                            scan.instructions += 1;
+                                            stage.record(cycle, EventKind::Issue);
+                                            progress = true;
+                                        }
+                                        _ => {
+                                            scan.instructions += 1;
+                                            stage.record(cycle, EventKind::Issue);
+                                            match cores[j]
+                                                .dp
+                                                .execute_traced(instr, &mut mem, cycle, &mut stage)
+                                            {
+                                                Ok(LocalOutcome::Next) => cores[j].pc += 1,
+                                                Ok(LocalOutcome::Branch(t)) => cores[j].pc = t,
+                                                Ok(LocalOutcome::Halt) => cores[j].halted = true,
+                                                Err(e) => {
+                                                    error = Some(e);
+                                                    break 'scan;
+                                                }
+                                            }
+                                            progress = true;
+                                        }
                                     }
                                 }
-                            }
-                            let mut can_act = false;
-                            let mut min_wake: Option<u64> = None;
-                            let mut non_halted = 0u64;
-                            for (j, core) in cores.iter().enumerate() {
-                                if core.halted {
-                                    continue;
-                                }
-                                non_halted += 1;
-                                if let Some((_, src)) = core.waiting {
-                                    if mb.has_pending(base + j, src) {
+                                let mut can_act = false;
+                                let mut min_wake: Option<u64> = None;
+                                let mut non_halted = 0u64;
+                                for (j, core) in cores.iter().enumerate() {
+                                    if core.halted {
+                                        continue;
+                                    }
+                                    non_halted += 1;
+                                    if let Some((_, src)) = core.waiting {
+                                        if mb.has_pending(base + j, src) {
+                                            can_act = true;
+                                        }
+                                    } else if retry_slice[j].ready(cycle + 1) {
                                         can_act = true;
+                                    } else {
+                                        let wake = retry_slice[j].next_attempt;
+                                        min_wake =
+                                            Some(min_wake.map_or(wake, |w: u64| w.min(wake)));
                                     }
-                                } else if retry_slice[j].ready(cycle + 1) {
-                                    can_act = true;
-                                } else {
-                                    let wake = retry_slice[j].next_attempt;
-                                    min_wake = Some(min_wake.map_or(wake, |w: u64| w.min(wake)));
                                 }
+                                report.pre_len = pre_len;
+                                report.pre_stalls = pre_stalls;
+                                report.scan = scan;
+                                report.retries = retries;
+                                report.progress = progress;
+                                report.error = error;
+                                report.can_act = can_act;
+                                report.min_wake = min_wake;
+                                report.non_halted = non_halted;
+                                report.ops = std::mem::take(&mut stage.ops);
+                                report.outbox = outbox;
+                                drop(report);
+                                barrier.wait(&mut sense);
                             }
-                            report.pre_len = pre_len;
-                            report.pre_stalls = pre_stalls;
-                            report.scan = scan;
-                            report.retries = retries;
-                            report.progress = progress;
-                            report.error = error;
-                            report.can_act = can_act;
-                            report.min_wake = min_wake;
-                            report.non_halted = non_halted;
-                            report.ops = std::mem::take(&mut stage.ops);
-                            report.outbox = outbox;
-                            drop(report);
-                            barrier.wait(&mut sense);
-                        }
-                        (mem, mb)
-                    })
-                })
+                            (mem, mb, stall_plan)
+                        })
+                    },
+                )
                 .collect();
 
             let mut sense = false;
@@ -1350,12 +1409,14 @@ impl MultiMachine {
                 if agg_all_halted {
                     break Ok(());
                 }
+                // Only the single-threaded coordinator polls the flag —
+                // once per slice decision — so workers stay deterministic
+                // within a slice.
+                if cancel.flag_raised() {
+                    break Err(flag_trip(stats.cycles, stats, tracer));
+                }
                 if stats.cycles >= limit {
-                    tracer.record(stats.cycles, EventKind::Watchdog);
-                    break Err(MachineError::WatchdogTimeout {
-                        limit,
-                        partial: stats,
-                    });
+                    break Err(budget.trip(stats.cycles, stats, tracer));
                 }
                 let (next, skipped) = if agg_can_act || agg_staged {
                     (stats.cycles + 1, 0)
@@ -1369,11 +1430,7 @@ impl MultiMachine {
                             tracer.record_many(limit, EventKind::Stall, span * agg_non_halted);
                         }
                         stats.cycles = limit;
-                        tracer.record(limit, EventKind::Watchdog);
-                        break Err(MachineError::WatchdogTimeout {
-                            limit,
-                            partial: stats,
-                        });
+                        break Err(budget.trip(limit, stats, tracer));
                     }
                     (wake, wake - stats.cycles - 1)
                 } else {
@@ -1439,7 +1496,7 @@ impl MultiMachine {
             };
             *decision.lock().expect("decision lock") = SliceDecision::Stop;
             barrier.wait(&mut sense);
-            let children: Vec<(BankedMemory, Mailboxes)> = handles
+            let children: Vec<(BankedMemory, Mailboxes, Option<FaultPlan>)> = handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect();
@@ -1451,8 +1508,9 @@ impl MultiMachine {
         // last slice land in their destination queues (the dense loop
         // would have enqueued them directly).
         let mut mailbox_faults = 0u64;
-        for (mem_child, mb_child) in children {
+        for (mem_child, mb_child, stall_plan) in children {
             mailbox_faults += mb_child.faults_injected();
+            mailbox_faults += stall_plan.map_or(0, |p| p.injected());
             self.mem.absorb_lanes(mem_child);
             self.mailboxes.absorb(mb_child);
         }

@@ -17,6 +17,7 @@ use std::sync::Mutex;
 
 use skilltax_model::{ArchSpec, Count, Link, Relation};
 
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
@@ -42,6 +43,7 @@ pub struct SpatialMachine {
     cycle_limit: u64,
     dense_reference: bool,
     shards: usize,
+    cancel: CancelToken,
 }
 
 impl SpatialMachine {
@@ -81,6 +83,7 @@ impl SpatialMachine {
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             dense_reference: false,
             shards: 1,
+            cancel: CancelToken::new(),
         })
     }
 
@@ -99,6 +102,14 @@ impl SpatialMachine {
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> SpatialMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Install a cancellation token for subsequent runs (deadline cycles
+    /// stop deterministically across all schedulers; the flag stops
+    /// promptly — per cycle single-threaded, per slice when sharded).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> SpatialMachine {
+        self.cancel = cancel;
         self
     }
 
@@ -229,18 +240,18 @@ impl SpatialMachine {
         let mut halted = vec![false; self.n]; // per leader
         let mut stats = Stats::default();
         let base: Vec<(u64, u64, u64)> = self.dps.iter().map(|d| d.counters()).collect();
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         if self.dense_reference {
             // Dense reference loop: every group is visited every cycle.
             loop {
                 if groups.iter().all(|(leader, _)| halted[*leader]) {
                     break;
                 }
-                if stats.cycles >= self.cycle_limit {
-                    tracer.record(stats.cycles, EventKind::Watchdog);
-                    return Err(MachineError::WatchdogTimeout {
-                        limit: self.cycle_limit,
-                        partial: stats,
-                    });
+                if self.cancel.flag_raised() {
+                    return Err(flag_trip(stats.cycles, stats, tracer));
+                }
+                if stats.cycles >= budget.limit() {
+                    return Err(budget.trip(stats.cycles, stats, tracer));
                 }
                 stats.cycles += 1;
                 for (leader, members) in &groups {
@@ -269,12 +280,11 @@ impl SpatialMachine {
                 if active.is_empty() {
                     break;
                 }
-                if stats.cycles >= self.cycle_limit {
-                    tracer.record(stats.cycles, EventKind::Watchdog);
-                    return Err(MachineError::WatchdogTimeout {
-                        limit: self.cycle_limit,
-                        partial: stats,
-                    });
+                if self.cancel.flag_raised() {
+                    return Err(flag_trip(stats.cycles, stats, tracer));
+                }
+                if stats.cycles >= budget.limit() {
+                    return Err(budget.trip(stats.cycles, stats, tracer));
                 }
                 stats.cycles += 1;
                 let mut idx = 0;
@@ -373,7 +383,9 @@ impl SpatialMachine {
         let n = self.n;
         let g = groups.len();
         let k = cuts.len();
-        let limit = self.cycle_limit;
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        let limit = budget.limit();
+        let cancel = self.cancel.clone();
         let live = tracer.enabled();
         let class_name = self.class_name();
         let base: Vec<(u64, u64, u64)> = self.dps.iter().map(|d| d.counters()).collect();
@@ -532,12 +544,13 @@ impl SpatialMachine {
                 if agg_all_halted {
                     break Ok(());
                 }
+                // The single-threaded coordinator polls the flag once per
+                // slice decision; workers stay deterministic mid-slice.
+                if cancel.flag_raised() {
+                    break Err(flag_trip(stats.cycles, stats, tracer));
+                }
                 if stats.cycles >= limit {
-                    tracer.record(stats.cycles, EventKind::Watchdog);
-                    break Err(MachineError::WatchdogTimeout {
-                        limit,
-                        partial: stats,
-                    });
+                    break Err(budget.trip(stats.cycles, stats, tracer));
                 }
                 let next = stats.cycles + 1;
                 *decision.lock().expect("decision lock") = GroupDecision::Run { cycle: next };

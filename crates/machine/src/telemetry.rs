@@ -76,6 +76,8 @@ pub enum EventKind {
     Degradation,
     /// The watchdog cycle budget tripped.
     Watchdog,
+    /// The run was cancelled (deadline cycle or asynchronous flag).
+    Cancelled,
 }
 
 /// The field-less classification of an [`EventKind`], used for counting.
@@ -103,11 +105,13 @@ pub enum EventClass {
     Degradation,
     /// Watchdog trip.
     Watchdog,
+    /// Cancellation.
+    Cancelled,
 }
 
 impl EventClass {
     /// Every class, in display order.
-    pub const ALL: [EventClass; 11] = [
+    pub const ALL: [EventClass; 12] = [
         EventClass::Issue,
         EventClass::AluOp,
         EventClass::MemRead,
@@ -119,6 +123,7 @@ impl EventClass {
         EventClass::Retry,
         EventClass::Degradation,
         EventClass::Watchdog,
+        EventClass::Cancelled,
     ];
 
     /// A short stable label (used in counter tables and CSV headers).
@@ -135,6 +140,7 @@ impl EventClass {
             EventClass::Retry => "retry",
             EventClass::Degradation => "degradation",
             EventClass::Watchdog => "watchdog",
+            EventClass::Cancelled => "cancelled",
         }
     }
 
@@ -158,6 +164,7 @@ impl EventKind {
             EventKind::Retry => EventClass::Retry,
             EventKind::Degradation => EventClass::Degradation,
             EventKind::Watchdog => EventClass::Watchdog,
+            EventKind::Cancelled => EventClass::Cancelled,
         }
     }
 }
@@ -521,6 +528,7 @@ mod tests {
             EventKind::Retry,
             EventKind::Degradation,
             EventKind::Watchdog,
+            EventKind::Cancelled,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (i, kind) in kinds.iter().enumerate() {

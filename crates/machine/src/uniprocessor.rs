@@ -1,6 +1,7 @@
 //! The instruction-flow uni-processor (IUP): one IP, one DP, direct links —
 //! the Von Neumann baseline every other machine is compared against.
 
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
@@ -18,6 +19,7 @@ pub struct UniProcessor {
     dp: DataProcessor,
     mem: BankedMemory,
     cycle_limit: u64,
+    cancel: CancelToken,
 }
 
 impl UniProcessor {
@@ -27,6 +29,7 @@ impl UniProcessor {
             dp: DataProcessor::new(0),
             mem: BankedMemory::new(1, mem_words, DataTopology::PrivateBanks),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -34,6 +37,32 @@ impl UniProcessor {
     pub fn with_cycle_limit(mut self, limit: u64) -> UniProcessor {
         self.cycle_limit = limit;
         self
+    }
+
+    /// Install a cancellation token for subsequent runs (deadline cycles
+    /// stop deterministically; the flag stops promptly).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> UniProcessor {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Install a cancellation token without consuming the machine (for
+    /// pooled instances that are reset and reused between requests).
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// Scrub architectural state — registers, counters, every memory
+    /// word — without a single allocation, so a pooled instance can be
+    /// reused across tenants at zero steady-state heap cost.
+    ///
+    /// The cancellation token is deliberately left in place (replacing
+    /// it would allocate): cancellation is per-request state, so a pool
+    /// that installed a request token must swap in a fresh one with
+    /// [`UniProcessor::set_cancel`] before the next checkout.
+    pub fn reset(&mut self) {
+        self.dp.reset();
+        self.mem.clear();
     }
 
     /// The data memory (for workload setup and result checks).
@@ -70,13 +99,13 @@ impl UniProcessor {
         let mut stats = Stats::default();
         let mut pc = 0usize;
         let base = self.dp.counters();
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         loop {
-            if stats.cycles >= self.cycle_limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, tracer));
             }
             let Some(instr) = program.fetch(pc) else {
                 // Running off the end is a clean stop.

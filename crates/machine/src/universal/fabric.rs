@@ -8,6 +8,7 @@
 
 use std::sync::Mutex;
 
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::shard::{plan_cuts, resolve_shards, SenseBarrier};
@@ -170,6 +171,7 @@ impl LutFabric {
             cache_valid: false,
             dense_reference: false,
             shards: 1,
+            cancel: CancelToken::new(),
         })
     }
 }
@@ -224,6 +226,7 @@ pub struct ConfiguredFabric {
     cache_valid: bool,
     dense_reference: bool,
     shards: usize,
+    cancel: CancelToken,
 }
 
 impl ConfiguredFabric {
@@ -252,6 +255,15 @@ impl ConfiguredFabric {
     /// one connected region simply fall back to it.
     pub fn with_shards(mut self, shards: usize) -> ConfiguredFabric {
         self.shards = shards;
+        self
+    }
+
+    /// Attach a cancellation token to [`ConfiguredFabric::run_until`]: a
+    /// deadline stops the run after that exact number of clock edges
+    /// (identically on the single-threaded and shard-parallel paths); a
+    /// raised flag stops it at the next edge poll.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ConfiguredFabric {
+        self.cancel = cancel;
         self
     }
 
@@ -445,14 +457,14 @@ impl ConfiguredFabric {
         if let Some(regions) = self.shard_regions(inputs) {
             return self.run_until_sharded(inputs, limit, done, tracer, &regions);
         }
+        let budget = RunBudget::resolve(limit, &self.cancel);
         let mut stats = Stats::default();
         loop {
-            if stats.cycles >= limit {
-                tracer.record(stats.cycles, EventKind::Watchdog);
-                return Err(MachineError::WatchdogTimeout {
-                    limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, tracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, tracer));
             }
             let out = self.step(inputs)?;
             stats.cycles += 1;
@@ -561,6 +573,9 @@ impl ConfiguredFabric {
         tracer: &mut T,
         regions: &[Vec<usize>],
     ) -> Result<(Vec<bool>, Stats), MachineError> {
+        let budget = RunBudget::resolve(limit, &self.cancel);
+        let limit = budget.limit();
+        let cancel = self.cancel.clone();
         let k = regions.len();
         let n = self.bitstream.cells.len();
         let mut shard_of = vec![usize::MAX; n];
@@ -619,12 +634,11 @@ impl ConfiguredFabric {
             let mut sense = false;
             let mut stats = Stats::default();
             let run_result: Result<Option<Vec<bool>>, MachineError> = loop {
+                if cancel.flag_raised() {
+                    break Err(flag_trip(stats.cycles, stats, tracer));
+                }
                 if stats.cycles >= limit {
-                    tracer.record(stats.cycles, EventKind::Watchdog);
-                    break Err(MachineError::WatchdogTimeout {
-                        limit,
-                        partial: stats,
-                    });
+                    break Err(budget.trip(stats.cycles, stats, tracer));
                 }
                 *decision.lock().expect("decision lock") = EdgeDecision::Run;
                 barrier.wait(&mut sense); // release the edge

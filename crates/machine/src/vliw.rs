@@ -16,11 +16,13 @@
 use skilltax_model::{ArchSpec, Count, Link, Relation};
 
 use crate::array::ArraySubtype;
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::dp::{DataProcessor, LocalOutcome};
 use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::isa::{Instr, Word};
 use crate::mem::BankedMemory;
+use crate::telemetry::NullTracer;
 use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
 
 /// One VLIW bundle: one slot per lane plus an optional sequencer action.
@@ -136,6 +138,7 @@ pub struct VliwMachine {
     lanes: Vec<DataProcessor>,
     mem: BankedMemory,
     cycle_limit: u64,
+    cancel: CancelToken,
 }
 
 impl VliwMachine {
@@ -147,12 +150,20 @@ impl VliwMachine {
             lanes: (0..lanes).map(DataProcessor::new).collect(),
             mem: BankedMemory::new(lanes, bank_words, subtype.data_topology()),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            cancel: CancelToken::new(),
         }
     }
 
     /// Override the livelock guard.
     pub fn with_cycle_limit(mut self, limit: u64) -> VliwMachine {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Attach a cancellation token: a deadline stops the run after that
+    /// exact bundle count; a raised flag stops it at the next cycle poll.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> VliwMachine {
+        self.cancel = cancel;
         self
     }
 
@@ -201,14 +212,15 @@ impl VliwMachine {
 
     /// Run a VLIW program.
     pub fn run(&mut self, program: &VliwProgram) -> Result<Stats, MachineError> {
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
         let mut stats = Stats::default();
         let mut pc = 0usize;
         loop {
-            if stats.cycles >= self.cycle_limit {
-                return Err(MachineError::WatchdogTimeout {
-                    limit: self.cycle_limit,
-                    partial: stats,
-                });
+            if self.cancel.flag_raised() {
+                return Err(flag_trip(stats.cycles, stats, &mut NullTracer));
+            }
+            if stats.cycles >= budget.limit() {
+                return Err(budget.trip(stats.cycles, stats, &mut NullTracer));
             }
             let Some(bundle) = program.bundles.get(pc) else {
                 break;

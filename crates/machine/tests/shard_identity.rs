@@ -11,6 +11,7 @@
 //! override pinned to 1, 2 and 8 (scripts/verify.sh) so "auto" is
 //! exercised at several widths regardless of the host.
 
+use skilltax_machine::fault::FaultPlan;
 use skilltax_machine::interconnect::FabricTopology;
 use skilltax_machine::multi::{MultiMachine, MultiSubtype};
 use skilltax_machine::spatial::SpatialMachine;
@@ -142,6 +143,70 @@ fn multi_watchdog_shard_identity_with_partial_stats() {
         recv.emit(Instr::Recv(2, 0)).emit(Instr::Halt);
         m.run_traced(&[spin_program(10_000), recv.assemble().unwrap()], t)
     });
+}
+
+#[test]
+fn multi_stall_storm_shard_identity() {
+    // Transient stalls are a pure hash of (stall_seed, cycle, core), so
+    // the dense reference, the single-threaded event scheduler and every
+    // shard width must agree on the full RunOutcome — Stats including the
+    // stall total, faults_injected — and on the per-event-class telemetry.
+    let programs: Vec<Program> = (0..8).map(|i| spin_program(20 + 15 * i as Word)).collect();
+    for rate in [0.2, 0.9] {
+        let run = |dense: bool, shards: usize, t: &mut Telemetry| {
+            let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 8, 4)
+                .with_dense_reference(dense)
+                .with_shards(shards);
+            m.run_resilient_traced(&programs, FaultPlan::seeded(21).stall_dps(rate), t)
+        };
+        let mut base_telemetry = Telemetry::new();
+        let base = run(true, 1, &mut base_telemetry);
+        for (dense, shards) in [(false, 1), (false, 2), (false, 8), (false, 0)] {
+            let mut telemetry = Telemetry::new();
+            let outcome = run(dense, shards, &mut telemetry);
+            assert_eq!(
+                format!("{base:?}"),
+                format!("{outcome:?}"),
+                "stall rate {rate} x{shards}: outcomes diverged"
+            );
+            assert_eq!(
+                base_telemetry.trace.class_counts(),
+                telemetry.trace.class_counts(),
+                "stall rate {rate} x{shards}: event-class totals diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_stall_watchdog_shard_identity() {
+    // Stalls held through a watchdog trip: the partial stats embedded in
+    // the error must carry identical stall totals at every width.
+    let programs = vec![spin_program(10_000); 8];
+    let run = |dense: bool, shards: usize, t: &mut Telemetry| {
+        let mut m = MultiMachine::new(MultiSubtype::from_index(1).unwrap(), 8, 4)
+            .with_cycle_limit(60)
+            .with_dense_reference(dense)
+            .with_shards(shards);
+        m.run_resilient_traced(&programs, FaultPlan::seeded(33).stall_dps(0.5), t)
+    };
+    let mut base_telemetry = Telemetry::new();
+    let base = run(true, 1, &mut base_telemetry);
+    assert!(matches!(base, Err(MachineError::WatchdogTimeout { .. })));
+    for (dense, shards) in [(false, 1), (false, 2), (false, 8), (false, 0)] {
+        let mut telemetry = Telemetry::new();
+        let outcome = run(dense, shards, &mut telemetry);
+        assert_eq!(
+            format!("{base:?}"),
+            format!("{outcome:?}"),
+            "x{shards}: watchdog partials diverged"
+        );
+        assert_eq!(
+            base_telemetry.trace.class_counts(),
+            telemetry.trace.class_counts(),
+            "x{shards}: event-class totals diverged"
+        );
+    }
 }
 
 #[test]

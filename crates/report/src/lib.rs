@@ -6,7 +6,8 @@
 //! diagrams ([`mod@diagram`], for Figs 3–6), the fault-injection
 //! degradation matrix ([`resilience`]), per-run telemetry renderers
 //! ([`telemetry`]: cycle breakdowns, counter tables, CSV/JSON exports),
-//! and the bench regression-gate report ([`regression`]).
+//! the bench regression-gate report ([`regression`]), and the job
+//! service's per-tenant operational ledger ([`service`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +19,7 @@ pub mod dot;
 pub mod json;
 pub mod regression;
 pub mod resilience;
+pub mod service;
 pub mod table;
 pub mod telemetry;
 
@@ -28,6 +30,7 @@ pub use dot::{hasse_edges, DotGraph};
 pub use json::Json;
 pub use regression::{regression_summary, regression_table, RegressionRow, Severity};
 pub use resilience::{resilience_csv, resilience_table, ResilienceEntry};
+pub use service::{service_csv, service_table, ServiceTenantRow};
 pub use table::{Align, Table};
 pub use telemetry::{
     counter_table, cycle_breakdown, telemetry_csv, telemetry_json, telemetry_table,

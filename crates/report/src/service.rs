@@ -1,0 +1,153 @@
+//! Rendering for the job service's operational counters: per-tenant
+//! admission/outcome ledgers and the service-wide totals line.
+//!
+//! The service crate sits above the report crate, so the renderer takes
+//! a plain [`ServiceTenantRow`] per tenant; callers map their metrics
+//! snapshots into rows.
+
+use crate::csv::CsvWriter;
+use crate::table::{Align, Table};
+
+/// One tenant's ledger over a service run or soak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceTenantRow {
+    /// The tenant name.
+    pub tenant: String,
+    /// Jobs admitted to the queue.
+    pub admitted: u64,
+    /// Jobs that reached a typed terminal outcome.
+    pub finished: u64,
+    /// Of those, jobs that completed cleanly.
+    pub completed: u64,
+    /// Jobs that completed by degrading around faults.
+    pub degraded: u64,
+    /// Jobs cancelled (deadline or disconnect).
+    pub cancelled: u64,
+    /// Jobs that failed after the retry tier.
+    pub failed: u64,
+}
+
+impl ServiceTenantRow {
+    /// Did every admitted job reach a terminal outcome?
+    pub fn fully_resolved(&self) -> bool {
+        self.admitted == self.finished
+    }
+}
+
+/// Render tenant rows as a boxed [`Table`] (ready for `render_ascii` or
+/// `render_markdown`).
+pub fn service_table(rows: &[ServiceTenantRow]) -> Table {
+    let mut table = Table::new(vec![
+        "tenant",
+        "admitted",
+        "finished",
+        "completed",
+        "degraded",
+        "cancelled",
+        "failed",
+        "resolved",
+    ])
+    .with_title("Per-tenant service ledger")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    for r in rows {
+        table.push_row(vec![
+            r.tenant.clone(),
+            r.admitted.to_string(),
+            r.finished.to_string(),
+            r.completed.to_string(),
+            r.degraded.to_string(),
+            r.cancelled.to_string(),
+            r.failed.to_string(),
+            if r.fully_resolved() { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    table
+}
+
+/// Render tenant rows as CSV.
+pub fn service_csv(rows: &[ServiceTenantRow]) -> String {
+    let mut w = CsvWriter::new();
+    w.header(&[
+        "tenant",
+        "admitted",
+        "finished",
+        "completed",
+        "degraded",
+        "cancelled",
+        "failed",
+    ]);
+    for r in rows {
+        w.row(&[
+            r.tenant.as_str(),
+            &r.admitted.to_string(),
+            &r.finished.to_string(),
+            &r.completed.to_string(),
+            &r.degraded.to_string(),
+            &r.cancelled.to_string(),
+            &r.failed.to_string(),
+        ]);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<ServiceTenantRow> {
+        vec![
+            ServiceTenantRow {
+                tenant: "steady".into(),
+                admitted: 12,
+                finished: 12,
+                completed: 12,
+                degraded: 0,
+                cancelled: 0,
+                failed: 0,
+            },
+            ServiceTenantRow {
+                tenant: "storm".into(),
+                admitted: 6,
+                finished: 5,
+                completed: 1,
+                degraded: 3,
+                cancelled: 0,
+                failed: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn resolution_flags_unfinished_work() {
+        let r = rows();
+        assert!(r[0].fully_resolved());
+        assert!(!r[1].fully_resolved());
+    }
+
+    #[test]
+    fn table_renders_every_tenant() {
+        let text = service_table(&rows()).render_ascii();
+        assert!(text.contains("steady"));
+        assert!(text.contains("storm"));
+        assert!(text.contains("yes"));
+        assert!(text.contains("NO"));
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let csv = service_csv(&rows());
+        let parsed = crate::csv::parse(&csv);
+        assert_eq!(parsed.len(), 3); // header + 2 rows
+        assert_eq!(parsed[1][0], "steady");
+        assert_eq!(parsed[2][4], "3");
+    }
+}

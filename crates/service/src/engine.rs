@@ -1,0 +1,591 @@
+//! The execution engine: maps an admitted [`JobRequest`] onto the
+//! model / taxonomy / estimate / machine crates and always produces a
+//! typed [`JobOutcome`].
+//!
+//! Three resilience tiers compose here (DESIGN.md §11):
+//!
+//! 1. the *run* itself, cancellation-aware and watchdog-bounded at every
+//!    machine loop;
+//! 2. a *whole-job retry* tier using the machine crate's [`RetryState`]
+//!    bounded exponential backoff — each attempt re-runs the trial with
+//!    a larger in-run retry budget, so transient fault storms that
+//!    exhaust one attempt can clear on the next;
+//! 3. *graceful degradation* inside `run_resilient`, which remaps work
+//!    off failed components where the taxonomy says a crossbar exists.
+//!
+//! Single-core simulations run on pooled machines (zero steady-state
+//! allocations — see [`UniPool`]); multi-core machines are built per
+//! request, the documented cold tier.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
+use skilltax_machine::fault::{FaultPlan, LinkOutage, RetryState};
+use skilltax_machine::multi::{MultiMachine, MultiSubtype};
+use skilltax_machine::{Assembler, CancelToken, Instr, MachineError, Program, Stats, Word};
+use skilltax_model::dsl::parse_row;
+use skilltax_taxonomy::classify;
+
+use crate::pool::UniPool;
+use crate::proto::{JobKind, JobOutcome, JobRequest, RequestLimits, Scheduler};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The hard caps requests were validated against (the watchdog
+    /// budget for simulate jobs is `limits.max_cycles`).
+    pub limits: RequestLimits,
+    /// Data-memory words per pooled uni-processor.
+    pub mem_words: usize,
+    /// Idle machines the pool may park.
+    pub pool_capacity: usize,
+    /// Whole-job retry budget for transient faults (tier 2).
+    pub max_job_retries: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            limits: RequestLimits::default(),
+            mem_words: 64,
+            pool_capacity: 8,
+            max_job_retries: 4,
+        }
+    }
+}
+
+/// The stateless-per-request execution engine (the pool and program
+/// cache are shared, warm state).
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    pool: UniPool,
+    /// Spin programs keyed by iteration count: the steady state hands
+    /// out `Arc` clones, so repeat requests assemble nothing.
+    programs: Mutex<HashMap<i64, Arc<Program>>>,
+}
+
+/// Count to `iters` and halt — the service's canonical spin workload.
+fn spin_program(iters: Word) -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 0).movi(1, iters);
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+/// Backward ring-shift programs (core `i > 0` sends to `i - 1`): the
+/// message traffic gives link outages something to break.
+fn ring_programs(cores: usize) -> Vec<Program> {
+    (0..cores)
+        .map(|i| {
+            let mut asm = Assembler::new();
+            if i + 1 == cores {
+                asm.movi(0, 100 + i as Word).emit(Instr::Send(i - 1, 0));
+            } else if i == 0 {
+                asm.emit(Instr::Recv(5, 1));
+            } else {
+                asm.movi(0, 100 + i as Word)
+                    .emit(Instr::Send(i - 1, 0))
+                    .emit(Instr::Recv(5, i + 1));
+            }
+            asm.emit(Instr::Halt);
+            asm.assemble().expect("ring program assembles")
+        })
+        .collect()
+}
+
+fn add_stats(acc: &mut Stats, s: &Stats) {
+    acc.cycles += s.cycles;
+    acc.instructions += s.instructions;
+    acc.alu_ops += s.alu_ops;
+    acc.mem_reads += s.mem_reads;
+    acc.mem_writes += s.mem_writes;
+    acc.messages += s.messages;
+    acc.stalls += s.stalls;
+}
+
+/// Is this error worth a whole-job retry under a reseeded environment?
+fn is_transient(error: &MachineError) -> bool {
+    matches!(
+        error,
+        MachineError::RetryExhausted { .. } | MachineError::LinkDown { .. }
+    )
+}
+
+impl Engine {
+    /// An engine with a cold pool under `config`.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            pool: UniPool::new(config.pool_capacity, config.mem_words),
+            config,
+            programs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The machine pool (exposed for warm-up and allocation tests).
+    pub fn pool(&self) -> &UniPool {
+        &self.pool
+    }
+
+    /// The spin program for `iters`, cached so the steady state is an
+    /// `Arc` clone (no assembly, no allocation).
+    fn spin(&self, iters: i64) -> Arc<Program> {
+        let mut cache = self.programs.lock().expect("program cache poisoned");
+        cache
+            .entry(iters)
+            .or_insert_with(|| Arc::new(spin_program(iters)))
+            .clone()
+    }
+
+    /// The effective cancellation token for a request: the job token,
+    /// with the request deadline folded in.
+    fn request_token(&self, cancel: &CancelToken, deadline: Option<u64>) -> CancelToken {
+        match deadline {
+            Some(d) => cancel.clone().with_deadline(d),
+            None => cancel.clone(),
+        }
+    }
+
+    /// Execute an admitted request to its typed terminal outcome.
+    /// `cancel` is the job's token: raising its flag (client disconnect,
+    /// shutdown) stops the run promptly with a `Cancelled` outcome.
+    pub fn execute(&self, request: &JobRequest, cancel: &CancelToken) -> JobOutcome {
+        let token = self.request_token(cancel, request.deadline_cycles);
+        match &request.kind {
+            JobKind::Classify { name, row } => Self::classify_job(name, row),
+            JobKind::Estimate { name, row } => Self::estimate_job(name, row),
+            JobKind::Simulate {
+                cores,
+                iters,
+                scheduler,
+                fault_seed,
+            } => match fault_seed {
+                Some(seed) if *cores >= 2 => {
+                    self.faulted_simulate(*cores, *iters, *scheduler, *seed, &token)
+                }
+                // Fault plans live on the multi-core fabric; a 1-core
+                // request with a seed runs the plain pooled path.
+                _ => self.plain_simulate(*cores, *iters, *scheduler, &token),
+            },
+            JobKind::Sweep { cores, iters } => self.sweep(cores, *iters, &token),
+        }
+    }
+
+    fn classify_job(name: &str, row: &str) -> JobOutcome {
+        let spec = match parse_row(name, row) {
+            Ok(spec) => spec,
+            Err(e) => {
+                return JobOutcome::Failed {
+                    error: e.to_string(),
+                    retries: 0,
+                }
+            }
+        };
+        match classify(&spec) {
+            Ok(c) => JobOutcome::Completed {
+                summary: format!("{name}: class {} (serial {})", c.name(), c.serial()),
+                stats: None,
+            },
+            Err(e) => JobOutcome::Failed {
+                error: e.to_string(),
+                retries: 0,
+            },
+        }
+    }
+
+    fn estimate_job(name: &str, row: &str) -> JobOutcome {
+        let spec = match parse_row(name, row) {
+            Ok(spec) => spec,
+            Err(e) => {
+                return JobOutcome::Failed {
+                    error: e.to_string(),
+                    retries: 0,
+                }
+            }
+        };
+        let params = CostParams::default();
+        let area = estimate_area(&spec, &params);
+        let bits = estimate_config_bits(&spec, &params);
+        JobOutcome::Completed {
+            summary: format!(
+                "{name}: area={:.0}, config_bits={}",
+                area.total(),
+                bits.total()
+            ),
+            stats: None,
+        }
+    }
+
+    fn build_multi(&self, cores: usize, subtype: u8, scheduler: Scheduler) -> MultiMachine {
+        let m = MultiMachine::new(
+            MultiSubtype::from_index(subtype).expect("engine subtypes are valid"),
+            cores,
+            self.config.mem_words,
+        )
+        .with_cycle_limit(self.config.limits.max_cycles);
+        match scheduler {
+            Scheduler::Dense => m.with_dense_reference(true),
+            Scheduler::Event => m,
+            Scheduler::Sharded(n) => m.with_shards(n),
+        }
+    }
+
+    fn plain_simulate(
+        &self,
+        cores: usize,
+        iters: i64,
+        scheduler: Scheduler,
+        token: &CancelToken,
+    ) -> JobOutcome {
+        let program = self.spin(iters);
+        if cores <= 1 {
+            let result = self
+                .pool
+                .run(self.config.limits.max_cycles, token.clone(), |m| {
+                    m.run(&program)
+                });
+            return match result {
+                Ok(stats) => JobOutcome::Completed {
+                    // `String::new` allocates nothing; clients read stats.
+                    summary: String::new(),
+                    stats: Some(stats),
+                },
+                Err(e) => JobOutcome::from_error(e, 0),
+            };
+        }
+        let mut m = self
+            .build_multi(cores, 1, scheduler)
+            .with_cancel(token.clone());
+        let programs = vec![(*program).clone(); cores];
+        match m.run(&programs) {
+            Ok(stats) => JobOutcome::Completed {
+                summary: String::new(),
+                stats: Some(stats),
+            },
+            Err(e) => JobOutcome::from_error(e, 0),
+        }
+    }
+
+    /// One fault trial: the workload, plan, and machine sub-type for a
+    /// given seed and whole-job attempt number.  Reseeding by attempt
+    /// models a transient environment; the in-run retry budget grows
+    /// with the attempt so tier 2 genuinely escalates.
+    fn fault_trial(
+        &self,
+        seed: u64,
+        cores: usize,
+        iters: i64,
+        attempt: u32,
+    ) -> (Vec<Program>, FaultPlan, u8) {
+        let attempt_seed = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match seed % 3 {
+            // A stall storm on a plain shared-nothing multi.
+            0 => {
+                let rate = 0.1 + 0.2 * ((seed / 3) % 4) as f64;
+                let plan = FaultPlan::seeded(attempt_seed).stall_dps(rate);
+                (vec![(*self.spin(iters)).clone(); cores], plan, 1)
+            }
+            // A dead DP on an IP–DP-crossbar machine: degradation remaps
+            // the work and the job completes `Degraded`.
+            1 => {
+                let plan = FaultPlan::seeded(attempt_seed)
+                    .stall_dps(0.1)
+                    .fail_dp((seed / 3) as usize % cores);
+                (vec![(*self.spin(iters)).clone(); cores], plan, 10)
+            }
+            // A link outage under ring traffic on a DP–DP machine: the
+            // in-run backoff must outlast the outage, so early attempts
+            // can exhaust (`RetryExhausted`) and later ones clear.
+            _ => {
+                let outage_until = 4 + seed % 32;
+                let plan = FaultPlan::seeded(attempt_seed)
+                    .fail_link(LinkOutage {
+                        from: 1,
+                        to: 0,
+                        from_cycle: 0,
+                        until_cycle: outage_until,
+                    })
+                    .with_max_retries(1 + 2 * attempt);
+                (ring_programs(cores), plan, 2)
+            }
+        }
+    }
+
+    fn faulted_simulate(
+        &self,
+        cores: usize,
+        iters: i64,
+        scheduler: Scheduler,
+        seed: u64,
+        token: &CancelToken,
+    ) -> JobOutcome {
+        let mut retry = RetryState::default();
+        loop {
+            let (programs, plan, subtype) = self.fault_trial(seed, cores, iters, retry.attempts);
+            let mut m = self
+                .build_multi(cores, subtype, scheduler)
+                .with_cancel(token.clone());
+            match m.run_resilient(&programs, plan) {
+                Ok(out) => {
+                    return if out.degraded || out.faults_injected > 0 {
+                        JobOutcome::Degraded {
+                            stats: out.stats,
+                            faults_injected: out.faults_injected,
+                            retries: retry.attempts,
+                        }
+                    } else {
+                        JobOutcome::Completed {
+                            summary: String::new(),
+                            stats: Some(out.stats),
+                        }
+                    };
+                }
+                Err(e) if is_transient(&e) => {
+                    // Tier 2: bounded backoff, then a fresh attempt.  The
+                    // delay is in simulated cycles — the service does not
+                    // sleep, the bound is what matters.
+                    if retry
+                        .back_off(0, 0, 0, self.config.max_job_retries)
+                        .is_err()
+                    {
+                        return JobOutcome::from_error(e, retry.attempts);
+                    }
+                }
+                Err(e) => return JobOutcome::from_error(e, retry.attempts),
+            }
+        }
+    }
+
+    fn sweep(&self, cores: &[usize], iters: i64, token: &CancelToken) -> JobOutcome {
+        let mut total = Stats::default();
+        let mut points = String::new();
+        for &c in cores {
+            let outcome = self.plain_simulate(c, iters, Scheduler::Event, token);
+            match outcome {
+                JobOutcome::Completed {
+                    stats: Some(stats), ..
+                } => {
+                    if !points.is_empty() {
+                        points.push(' ');
+                    }
+                    points.push_str(&format!("{c}:{}", stats.cycles));
+                    add_stats(&mut total, &stats);
+                }
+                // The first point that does not complete ends the sweep
+                // with that point's typed outcome.
+                other => return other,
+            }
+        }
+        JobOutcome::Completed {
+            summary: points,
+            stats: Some(total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    fn request(kind: JobKind, deadline: Option<u64>) -> JobRequest {
+        JobRequest {
+            tenant: "t".into(),
+            kind,
+            deadline_cycles: deadline,
+        }
+    }
+
+    #[test]
+    fn classify_and_estimate_complete_with_summaries() {
+        let e = engine();
+        let token = CancelToken::new();
+        let row = "1 | 16 | none | none | 1-n | none | none";
+        let out = e.execute(
+            &request(
+                JobKind::Classify {
+                    name: "SIMD".into(),
+                    row: row.into(),
+                },
+                None,
+            ),
+            &token,
+        );
+        match &out {
+            JobOutcome::Completed { summary, stats } => {
+                assert!(summary.contains("class"), "summary {summary:?}");
+                assert!(stats.is_none());
+            }
+            other => panic!("classify: {other:?}"),
+        }
+        let out = e.execute(
+            &request(
+                JobKind::Estimate {
+                    name: "SIMD".into(),
+                    row: row.into(),
+                },
+                None,
+            ),
+            &token,
+        );
+        match &out {
+            JobOutcome::Completed { summary, .. } => {
+                assert!(summary.contains("area="), "summary {summary:?}");
+            }
+            other => panic!("estimate: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_rows_fail_with_a_typed_error() {
+        let out = engine().execute(
+            &request(
+                JobKind::Classify {
+                    name: "x".into(),
+                    row: "not a row".into(),
+                },
+                None,
+            ),
+            &CancelToken::new(),
+        );
+        assert!(matches!(out, JobOutcome::Failed { retries: 0, .. }));
+    }
+
+    #[test]
+    fn pooled_simulate_completes_with_stats() {
+        let e = engine();
+        let out = e.execute(
+            &request(
+                JobKind::Simulate {
+                    cores: 1,
+                    iters: 50,
+                    scheduler: Scheduler::Event,
+                    fault_seed: None,
+                },
+                None,
+            ),
+            &CancelToken::new(),
+        );
+        match out {
+            JobOutcome::Completed {
+                stats: Some(stats), ..
+            } => assert!(stats.cycles > 50),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.pool().idle(), 1, "machine returned to the pool");
+    }
+
+    #[test]
+    fn deadline_cancels_a_simulate_deterministically() {
+        let e = engine();
+        let run = || {
+            e.execute(
+                &request(
+                    JobKind::Simulate {
+                        cores: 4,
+                        iters: 1_000_000,
+                        scheduler: Scheduler::Event,
+                        fault_seed: None,
+                    },
+                    Some(25),
+                ),
+                &CancelToken::new(),
+            )
+        };
+        match run() {
+            JobOutcome::Cancelled { at_cycle, partial } => {
+                assert_eq!(at_cycle, 25);
+                assert_eq!(partial.cycles, 25);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(run(), run(), "deadline outcomes replay bit-identically");
+    }
+
+    #[test]
+    fn scheduler_choices_agree_on_the_answer() {
+        let e = engine();
+        let run = |s: Scheduler| {
+            e.execute(
+                &request(
+                    JobKind::Simulate {
+                        cores: 4,
+                        iters: 100,
+                        scheduler: s,
+                        fault_seed: None,
+                    },
+                    None,
+                ),
+                &CancelToken::new(),
+            )
+        };
+        let dense = run(Scheduler::Dense);
+        assert_eq!(dense, run(Scheduler::Event));
+        assert_eq!(dense, run(Scheduler::Sharded(2)));
+        assert_eq!(dense, run(Scheduler::Sharded(0)));
+    }
+
+    #[test]
+    fn fault_seeds_reach_typed_outcomes_deterministically() {
+        let e = engine();
+        for seed in 0..12u64 {
+            let run = || {
+                e.execute(
+                    &request(
+                        JobKind::Simulate {
+                            cores: 4,
+                            iters: 60,
+                            scheduler: Scheduler::Event,
+                            fault_seed: Some(seed),
+                        },
+                        None,
+                    ),
+                    &CancelToken::new(),
+                )
+            };
+            let first = run();
+            assert_eq!(first, run(), "seed {seed} not deterministic");
+            match seed % 3 {
+                1 => assert!(
+                    matches!(first, JobOutcome::Degraded { .. }),
+                    "seed {seed}: dead DP should degrade, got {first:?}"
+                ),
+                _ => assert!(
+                    !matches!(first, JobOutcome::TimedOut { .. }),
+                    "seed {seed}: unexpected watchdog, got {first:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_reports_cycles_per_point() {
+        let out = engine().execute(
+            &request(
+                JobKind::Sweep {
+                    cores: vec![1, 2, 4],
+                    iters: 40,
+                },
+                None,
+            ),
+            &CancelToken::new(),
+        );
+        match out {
+            JobOutcome::Completed {
+                summary,
+                stats: Some(_),
+            } => {
+                assert_eq!(summary.split(' ').count(), 3, "summary {summary:?}");
+                assert!(summary.starts_with("1:"), "summary {summary:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

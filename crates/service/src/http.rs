@@ -1,0 +1,319 @@
+//! A hand-rolled HTTP/1.1 front end over [`std::net::TcpListener`] — no
+//! framework, no new dependencies, and defensive by construction: every
+//! connection carries a read and a write timeout, the request head and
+//! body are capped, and a slow-loris client times out on its own
+//! connection thread without ever pinning a job worker.
+//!
+//! Routes:
+//!
+//! * `POST /jobs` — a `key=value&…` body ([`crate::proto::parse_request`]);
+//!   replies `200` with the outcome JSON, or a typed 4xx with a
+//!   `Retry-After` header where retrying helps.
+//! * `GET /metrics` — counter snapshot as JSON.
+//! * `GET /healthz` — liveness probe.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::proto::{outcome_json, parse_request, rejection_json, Rejection};
+use crate::service::{Service, ServiceMetrics};
+
+/// Environment knob for the listen address.
+pub const ADDR_ENV: &str = "SKILLTAX_SERVICE_ADDR";
+
+/// HTTP front-end configuration.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Listen address (`SKILLTAX_SERVICE_ADDR` overrides the default
+    /// `127.0.0.1:0` when [`HttpConfig::default`] builds the config).
+    pub addr: String,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Cap on the request line plus headers.
+    pub max_header_bytes: usize,
+    /// Cap on the request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> HttpConfig {
+        HttpConfig {
+            addr: std::env::var(ADDR_ENV).unwrap_or_else(|_| "127.0.0.1:0".to_string()),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// A running HTTP server; dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop.
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// The bound address (useful with the `:0` ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting connections and join the accept loop.  In-flight
+    /// connection threads finish on their own timeouts.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `service` over HTTP.  Returns once the socket is bound and the
+/// accept loop is running.
+pub fn serve(service: Arc<Service>, config: HttpConfig) -> io::Result<HttpServer> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let epoch = Instant::now();
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&service);
+            let config = config.clone();
+            // One short-lived thread per connection: its lifetime is
+            // bounded by the read/write timeouts, and it never borrows a
+            // job worker, so a stalled client cannot stall the queue.
+            std::thread::spawn(move || {
+                let _ = handle_connection(&service, &config, epoch, stream);
+            });
+        }
+    });
+    Ok(HttpServer {
+        local_addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn metrics_json(m: &ServiceMetrics) -> String {
+    let outcomes: Vec<String> = m
+        .outcomes
+        .iter()
+        .map(|(label, count)| format!("\"{label}\":{count}"))
+        .collect();
+    format!(
+        "{{\"submitted\":{},\"admitted\":{},\"rejected\":{},\"finished\":{},\
+         \"in_flight\":{},\"peak_depth\":{},\"outcomes\":{{{}}}}}",
+        m.submitted,
+        m.admitted,
+        m.rejected(),
+        m.finished(),
+        m.in_flight,
+        m.peak_depth,
+        outcomes.join(",")
+    )
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    retry_after_ms: Option<u64>,
+    body: &str,
+) -> io::Result<()> {
+    let retry_header = match retry_after_ms {
+        // Retry-After is in whole seconds; round up so "soon" is never 0.
+        Some(ms) => format!("Retry-After: {}\r\n", ms.div_ceil(1_000).max(1)),
+        None => String::new(),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\n{retry_header}\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn rejection_response(stream: &mut TcpStream, rejection: &Rejection) -> io::Result<()> {
+    let status = match rejection {
+        Rejection::QueueFull { .. } | Rejection::QuotaExhausted { .. } => "429 Too Many Requests",
+        Rejection::Oversized { .. } => "413 Payload Too Large",
+        Rejection::Malformed(_) => "400 Bad Request",
+        Rejection::ShuttingDown => "503 Service Unavailable",
+    };
+    write_response(
+        stream,
+        status,
+        rejection.retry_after_ms(),
+        &rejection_json(rejection),
+    )
+}
+
+fn plain_error(stream: &mut TcpStream, status: &str, message: &str) -> io::Result<()> {
+    write_response(
+        stream,
+        status,
+        None,
+        &format!("{{\"error\":\"{message}\"}}"),
+    )
+}
+
+/// Read until the end of the header block, enforcing the header cap.
+/// Returns the raw bytes read so far (head plus any body prefix) and the
+/// offset where the body starts.
+fn read_head(
+    stream: &mut TcpStream,
+    max_header_bytes: usize,
+) -> io::Result<Result<(Vec<u8>, usize), &'static str>> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = find_header_end(&buf) {
+            return Ok(Ok((buf, pos)));
+        }
+        if buf.len() > max_header_bytes {
+            return Ok(Err("431 Request Header Fields Too Large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            // Peer closed mid-header.
+            return Ok(Err("400 Bad Request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn handle_connection(
+    service: &Service,
+    config: &HttpConfig,
+    epoch: Instant,
+    mut stream: TcpStream,
+) -> io::Result<()> {
+    let result = serve_once(service, config, epoch, &mut stream);
+    // Graceful close: signal EOF to the peer first, then drain whatever
+    // request bytes are still in flight (bounded by the read timeout),
+    // so a capped request sees the error response instead of a reset.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    result
+}
+
+fn serve_once(
+    service: &Service,
+    config: &HttpConfig,
+    epoch: Instant,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let (buf, body_start) = match read_head(stream, config.max_header_bytes) {
+        Ok(Ok(head)) => head,
+        Ok(Err(status)) => return plain_error(stream, status, "bad request head"),
+        // A read timeout is the slow-loris case: answer 408 and hang up.
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            return plain_error(stream, "408 Request Timeout", "request head timed out");
+        }
+        Err(e) => return Err(e),
+    };
+    let head = String::from_utf8_lossy(&buf[..body_start]).to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (
+        parts.next().unwrap_or_default().to_string(),
+        parts.next().unwrap_or_default().to_string(),
+    );
+    let content_length: usize = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => write_response(stream, "200 OK", None, "{\"ok\":true}"),
+        ("GET", "/metrics") => {
+            let body = metrics_json(&service.metrics());
+            write_response(stream, "200 OK", None, &body)
+        }
+        ("POST", "/jobs") => {
+            if content_length > config.max_body_bytes {
+                return plain_error(stream, "413 Payload Too Large", "body over cap");
+            }
+            let mut body = buf[body_start..].to_vec();
+            while body.len() < content_length {
+                let mut chunk = [0u8; 1024];
+                let n = match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        // Slow-loris body: typed timeout, connection done.
+                        return plain_error(
+                            stream,
+                            "408 Request Timeout",
+                            "request body timed out",
+                        );
+                    }
+                    Err(e) => return Err(e),
+                };
+                body.extend_from_slice(&chunk[..n]);
+            }
+            body.truncate(content_length);
+            let body = String::from_utf8_lossy(&body).to_string();
+            let request = match parse_request(&body) {
+                Ok(request) => request,
+                Err(rejection) => return rejection_response(stream, &rejection),
+            };
+            let now_ms = epoch.elapsed().as_millis() as u64;
+            match service.submit(now_ms, request) {
+                Ok(ticket) => {
+                    let outcome = ticket.wait();
+                    write_response(stream, "200 OK", None, &outcome_json(&outcome))
+                }
+                Err(rejection) => rejection_response(stream, &rejection),
+            }
+        }
+        _ => plain_error(stream, "404 Not Found", "no such route"),
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-tenant token buckets.
+//!
+//! Every quota decision runs on a *caller-supplied* millisecond clock:
+//! the HTTP layer feeds wall time, the chaos harness feeds a scripted
+//! virtual clock, so admission decisions replay bit-identically under
+//! any worker count.
+
+use std::collections::HashMap;
+
+/// Token-bucket parameters shared by every tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Bucket capacity in tokens (the burst budget).
+    pub capacity: u64,
+    /// Tokens refilled per millisecond, expressed as a rational
+    /// `refill_num / refill_den` so the arithmetic stays exact.
+    pub refill_num: u64,
+    /// Denominator of the refill rate (milliseconds per `refill_num`
+    /// tokens).
+    pub refill_den: u64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> QuotaConfig {
+        // 64-token burst, one token per 10 ms (100 jobs/second steady).
+        QuotaConfig {
+            capacity: 64,
+            refill_num: 1,
+            refill_den: 10,
+        }
+    }
+}
+
+/// One tenant's bucket: exact integer accounting, no floats, no drift.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// Tokens available, scaled by `refill_den` (so refills of
+    /// `refill_num` per ms stay integral).
+    scaled_tokens: u64,
+    /// Last refill timestamp.
+    at_ms: u64,
+}
+
+/// The quota ledger across tenants.
+#[derive(Debug)]
+pub struct QuotaLedger {
+    config: QuotaConfig,
+    buckets: HashMap<String, Bucket>,
+}
+
+impl QuotaLedger {
+    /// An empty ledger under the given config.
+    pub fn new(config: QuotaConfig) -> QuotaLedger {
+        QuotaLedger {
+            config,
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn scaled_capacity(&self) -> u64 {
+        self.config.capacity.saturating_mul(self.config.refill_den)
+    }
+
+    /// Refill `bucket` up to `now_ms` (idempotent for equal timestamps;
+    /// a caller clock that steps backwards is clamped, never panics).
+    fn refill(&self, bucket: &mut Bucket, now_ms: u64) {
+        let elapsed = now_ms.saturating_sub(bucket.at_ms);
+        let gained = elapsed.saturating_mul(self.config.refill_num);
+        bucket.scaled_tokens =
+            (bucket.scaled_tokens.saturating_add(gained)).min(self.scaled_capacity());
+        bucket.at_ms = bucket.at_ms.max(now_ms);
+    }
+
+    /// Try to charge `tokens` to `tenant` at `now_ms`.  On refusal,
+    /// returns the milliseconds until the bucket will hold that many
+    /// tokens (the client's `Retry-After` hint).
+    pub fn charge(&mut self, tenant: &str, tokens: u64, now_ms: u64) -> Result<(), u64> {
+        let capacity = self.scaled_capacity();
+        let mut bucket = *self.buckets.get(tenant).unwrap_or(&Bucket {
+            scaled_tokens: capacity,
+            at_ms: now_ms,
+        });
+        self.refill(&mut bucket, now_ms);
+        let need = tokens.saturating_mul(self.config.refill_den);
+        if need > capacity {
+            // A single job bigger than the whole bucket can never pass:
+            // report a full-refill wait so the client backs off hard.
+            let wait = capacity.div_ceil(self.config.refill_num.max(1));
+            self.buckets.insert(tenant.to_string(), bucket);
+            return Err(wait.max(1));
+        }
+        if bucket.scaled_tokens >= need {
+            bucket.scaled_tokens -= need;
+            self.buckets.insert(tenant.to_string(), bucket);
+            Ok(())
+        } else {
+            let deficit = need - bucket.scaled_tokens;
+            let wait = deficit.div_ceil(self.config.refill_num.max(1));
+            self.buckets.insert(tenant.to_string(), bucket);
+            Err(wait.max(1))
+        }
+    }
+
+    /// Tokens currently available to `tenant` at `now_ms` (whole tokens).
+    pub fn available(&mut self, tenant: &str, now_ms: u64) -> u64 {
+        let capacity = self.scaled_capacity();
+        let mut bucket = *self.buckets.get(tenant).unwrap_or(&Bucket {
+            scaled_tokens: capacity,
+            at_ms: now_ms,
+        });
+        self.refill(&mut bucket, now_ms);
+        self.buckets.insert(tenant.to_string(), bucket);
+        bucket.scaled_tokens / self.config.refill_den.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> QuotaLedger {
+        QuotaLedger::new(QuotaConfig {
+            capacity: 4,
+            refill_num: 1,
+            refill_den: 10,
+        })
+    }
+
+    #[test]
+    fn burst_spends_the_bucket_then_refuses_with_a_hint() {
+        let mut q = ledger();
+        for _ in 0..4 {
+            q.charge("acme", 1, 0).unwrap();
+        }
+        let wait = q.charge("acme", 1, 0).unwrap_err();
+        assert_eq!(wait, 10, "one token refills in 10 ms");
+    }
+
+    #[test]
+    fn refill_restores_tokens_over_time() {
+        let mut q = ledger();
+        for _ in 0..4 {
+            q.charge("acme", 1, 0).unwrap();
+        }
+        assert!(q.charge("acme", 1, 5).is_err(), "half a token is not one");
+        q.charge("acme", 1, 10).unwrap();
+        assert_eq!(q.available("acme", 10), 0);
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let mut q = ledger();
+        for _ in 0..4 {
+            q.charge("noisy", 1, 0).unwrap();
+        }
+        assert!(q.charge("noisy", 1, 0).is_err());
+        q.charge("quiet", 1, 0).unwrap();
+    }
+
+    #[test]
+    fn job_bigger_than_the_bucket_reports_a_full_refill_wait() {
+        let mut q = ledger();
+        let wait = q.charge("acme", 100, 0).unwrap_err();
+        assert_eq!(wait, 40, "a 4-token bucket refills in 40 ms");
+    }
+
+    #[test]
+    fn backwards_clock_is_clamped() {
+        let mut q = ledger();
+        q.charge("acme", 4, 100).unwrap();
+        // Clock steps back: no refill, no panic, refusal with a hint.
+        assert!(q.charge("acme", 1, 50).is_err());
+        // Forward again: refill resumes from the furthest point seen.
+        q.charge("acme", 1, 110).unwrap();
+    }
+}

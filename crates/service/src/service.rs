@@ -1,0 +1,536 @@
+//! The service core: a bounded worker pool draining the DRR queue, with
+//! admission control at `submit` and a typed terminal outcome delivered
+//! to every admitted job's ticket.
+//!
+//! All admission decisions run on a caller-supplied millisecond clock
+//! (the HTTP layer feeds wall time, the chaos harness a scripted virtual
+//! clock), so they replay bit-identically under any worker count.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use skilltax_machine::{configured_threads, CancelToken};
+
+use crate::admission::{DrrQueue, QueuedJob};
+use crate::engine::{Engine, EngineConfig};
+use crate::proto::{validate, JobOutcome, JobRequest, Rejection};
+use crate::quota::{QuotaConfig, QuotaLedger};
+
+/// Environment knob for the bounded queue depth.
+pub const QUEUE_ENV: &str = "SKILLTAX_SERVICE_QUEUE";
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Bounded job-queue depth (`SKILLTAX_SERVICE_QUEUE` overrides the
+    /// default 64 when [`ServiceConfig::default`] builds the config).
+    pub queue_capacity: usize,
+    /// DRR quantum (deficit granted per lane visit).
+    pub drr_quantum: u64,
+    /// Worker threads draining the queue (defaults to
+    /// [`configured_threads`], i.e. the `SKILLTAX_THREADS` knob).
+    pub workers: usize,
+    /// Per-tenant token-bucket parameters.
+    pub quota: QuotaConfig,
+    /// Engine tuning (request limits, pool size, retry budget).
+    pub engine: EngineConfig,
+    /// Milliseconds of estimated service time per queued job, used for
+    /// the queue-full `Retry-After` hint.
+    pub est_ms_per_job: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let queue_capacity = std::env::var(QUEUE_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ServiceConfig {
+            queue_capacity,
+            drr_quantum: 1,
+            workers: configured_threads(),
+            quota: QuotaConfig::default(),
+            engine: EngineConfig::default(),
+            est_ms_per_job: 5,
+        }
+    }
+}
+
+/// Counters the service keeps (snapshot via [`Service::metrics`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Requests offered to `submit`.
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Refused: queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Refused: tenant bucket empty.
+    pub rejected_quota: u64,
+    /// Refused: over a hard size cap.
+    pub rejected_oversized: u64,
+    /// Refused: service draining.
+    pub rejected_shutdown: u64,
+    /// Terminal outcomes by label.
+    pub outcomes: BTreeMap<&'static str, u64>,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Deepest the queue has been.
+    pub peak_depth: usize,
+    /// Per-tenant `(admitted, finished)` counts.
+    pub per_tenant: BTreeMap<String, (u64, u64)>,
+}
+
+impl ServiceMetrics {
+    /// Total refusals across rejection kinds.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_quota
+            + self.rejected_oversized
+            + self.rejected_shutdown
+    }
+
+    /// Terminal outcomes delivered in total.
+    pub fn finished(&self) -> u64 {
+        self.outcomes.values().sum()
+    }
+}
+
+type OutcomeSlot = Arc<(Mutex<Option<JobOutcome>>, Condvar)>;
+
+/// One admitted job as it travels the queue.
+struct Job {
+    request: JobRequest,
+    cancel: CancelToken,
+    slot: OutcomeSlot,
+}
+
+/// The caller's handle to an admitted job.
+#[derive(Debug, Clone)]
+pub struct JobTicket {
+    id: u64,
+    cancel: CancelToken,
+    slot: OutcomeSlot,
+}
+
+impl JobTicket {
+    /// The job id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Raise the job's cancellation flag (client disconnect, impatient
+    /// caller): a queued job resolves `Cancelled` without running; a
+    /// running job stops at the next cycle poll.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Block until the job reaches its typed terminal outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let (lock, cv) = &*self.slot;
+        let mut slot = lock.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = cv.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    /// [`JobTicket::wait`] with a bound; `None` when the timeout expires
+    /// first (the chaos harness uses this to turn a would-be deadlock
+    /// into a reported violation instead of a hung test).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        let (lock, cv) = &*self.slot;
+        let mut slot = lock.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let (guard, result) = cv
+                .wait_timeout(slot, timeout)
+                .expect("ticket lock poisoned");
+            slot = guard;
+            if result.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+
+    /// The outcome if the job already finished.
+    pub fn try_wait(&self) -> Option<JobOutcome> {
+        self.slot.0.lock().expect("ticket lock poisoned").clone()
+    }
+}
+
+struct DispatchState {
+    queue: DrrQueue<Job>,
+    quotas: QuotaLedger,
+    metrics: ServiceMetrics,
+    next_id: u64,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    state: Mutex<DispatchState>,
+    work_ready: Condvar,
+    engine: Engine,
+}
+
+/// The multi-tenant job service.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.inner.config.workers)
+            .field("queue_capacity", &self.inner.config.queue_capacity)
+            .finish()
+    }
+}
+
+fn deliver(slot: &OutcomeSlot, outcome: JobOutcome) {
+    let (lock, cv) = &**slot;
+    *lock.lock().expect("ticket lock poisoned") = Some(outcome);
+    cv.notify_all();
+}
+
+impl Service {
+    /// Start the service: spawns the worker pool and prewarms the
+    /// machine pool so the first requests hit the zero-allocation path.
+    pub fn start(config: ServiceConfig) -> Service {
+        let workers = config.workers.max(1);
+        let engine = Engine::new(config.engine);
+        engine
+            .pool()
+            .prewarm(workers.min(config.engine.pool_capacity));
+        let inner = Arc::new(Inner {
+            state: Mutex::new(DispatchState {
+                queue: DrrQueue::new(config.queue_capacity, config.drr_quantum),
+                quotas: QuotaLedger::new(config.quota),
+                metrics: ServiceMetrics::default(),
+                next_id: 0,
+                paused: false,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            engine,
+            config,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || Service::worker(&inner))
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    fn worker(inner: &Inner) {
+        loop {
+            let job = {
+                let mut state = inner.state.lock().expect("service lock poisoned");
+                loop {
+                    if state.shutdown && state.queue.depth() == 0 {
+                        return;
+                    }
+                    if !state.paused {
+                        if let Some(queued) = state.queue.pop() {
+                            state.metrics.in_flight += 1;
+                            break queued.payload;
+                        }
+                    }
+                    state = inner.work_ready.wait(state).expect("service lock poisoned");
+                }
+            };
+            let outcome = if job.cancel.is_cancelled() {
+                // Cancelled while queued: resolve without running.
+                JobOutcome::Cancelled {
+                    at_cycle: 0,
+                    partial: Default::default(),
+                }
+            } else {
+                inner.engine.execute(&job.request, &job.cancel)
+            };
+            {
+                let mut state = inner.state.lock().expect("service lock poisoned");
+                state.metrics.in_flight -= 1;
+                *state.metrics.outcomes.entry(outcome.label()).or_insert(0) += 1;
+                state
+                    .metrics
+                    .per_tenant
+                    .entry(job.request.tenant.clone())
+                    .or_insert((0, 0))
+                    .1 += 1;
+            }
+            deliver(&job.slot, outcome);
+        }
+    }
+
+    /// Offer a request at `now_ms` on the caller's clock.  Admission is
+    /// all-or-nothing: a typed [`Rejection`] (with a retry hint where
+    /// retrying helps) or a [`JobTicket`] that is guaranteed a typed
+    /// terminal outcome.
+    pub fn submit(&self, now_ms: u64, request: JobRequest) -> Result<JobTicket, Rejection> {
+        let mut state = self.inner.state.lock().expect("service lock poisoned");
+        state.metrics.submitted += 1;
+        if state.shutdown {
+            state.metrics.rejected_shutdown += 1;
+            return Err(Rejection::ShuttingDown);
+        }
+        if let Err(rejection) = validate(&request, &self.inner.config.engine.limits) {
+            state.metrics.rejected_oversized += 1;
+            return Err(rejection);
+        }
+        // Queue check before the quota charge, so a full queue does not
+        // also drain the tenant's bucket.
+        let depth = state.queue.depth();
+        let capacity = state.queue.capacity();
+        if depth >= capacity {
+            state.metrics.rejected_queue_full += 1;
+            return Err(Rejection::QueueFull {
+                depth,
+                capacity,
+                retry_after_ms: self.inner.config.est_ms_per_job * (depth as u64 + 1),
+            });
+        }
+        let cost = request.kind.cost();
+        if let Err(wait_ms) = state.quotas.charge(&request.tenant, cost, now_ms) {
+            state.metrics.rejected_quota += 1;
+            return Err(Rejection::QuotaExhausted {
+                needed: cost,
+                retry_after_ms: wait_ms,
+            });
+        }
+        state.next_id += 1;
+        let id = state.next_id;
+        let cancel = CancelToken::new();
+        let slot: OutcomeSlot = Arc::new((Mutex::new(None), Condvar::new()));
+        let tenant = request.tenant.clone();
+        let job = QueuedJob {
+            payload: Job {
+                request,
+                cancel: cancel.clone(),
+                slot: Arc::clone(&slot),
+            },
+            cost,
+        };
+        state
+            .queue
+            .push(&tenant, job)
+            .unwrap_or_else(|_| unreachable!("depth checked under the same lock"));
+        state.metrics.admitted += 1;
+        state.metrics.peak_depth = state.queue.peak_depth();
+        state.metrics.per_tenant.entry(tenant).or_insert((0, 0)).0 += 1;
+        drop(state);
+        self.inner.work_ready.notify_one();
+        Ok(JobTicket { id, cancel, slot })
+    }
+
+    /// Stop dispatching (queued jobs stay queued).  The chaos harness
+    /// uses this to make queue-full shedding exactly reproducible.
+    pub fn pause(&self) {
+        self.inner
+            .state
+            .lock()
+            .expect("service lock poisoned")
+            .paused = true;
+    }
+
+    /// Resume dispatching.
+    pub fn resume(&self) {
+        self.inner
+            .state
+            .lock()
+            .expect("service lock poisoned")
+            .paused = false;
+        self.inner.work_ready.notify_all();
+    }
+
+    /// A snapshot of the counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let state = self.inner.state.lock().expect("service lock poisoned");
+        let mut metrics = state.metrics.clone();
+        metrics.peak_depth = state.queue.peak_depth();
+        metrics
+    }
+
+    /// The engine (pool inspection for tests and warm-up).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Drain and stop: refuse new work, let the workers finish every
+    /// queued job (each still reaches its typed outcome), then join the
+    /// pool.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("service lock poisoned");
+            state.shutdown = true;
+            state.paused = false;
+        }
+        self.inner.work_ready.notify_all();
+        let mut workers = self.workers.lock().expect("worker handles poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::JobKind;
+
+    fn config(queue: usize, workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            queue_capacity: queue,
+            workers,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn simulate(tenant: &str, iters: i64) -> JobRequest {
+        JobRequest {
+            tenant: tenant.into(),
+            kind: JobKind::Simulate {
+                cores: 1,
+                iters,
+                scheduler: crate::proto::Scheduler::Event,
+                fault_seed: None,
+            },
+            deadline_cycles: None,
+        }
+    }
+
+    #[test]
+    fn a_submitted_job_completes() {
+        let service = Service::start(config(8, 2));
+        let ticket = service.submit(0, simulate("acme", 40)).unwrap();
+        match ticket.wait() {
+            JobOutcome::Completed {
+                stats: Some(stats), ..
+            } => assert!(stats.cycles > 40),
+            other => panic!("{other:?}"),
+        }
+        let metrics = service.metrics();
+        assert_eq!((metrics.admitted, metrics.finished()), (1, 1));
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_full_is_a_typed_rejection_with_a_hint() {
+        let service = Service::start(config(2, 1));
+        service.pause();
+        let _first = service.submit(0, simulate("acme", 10)).unwrap();
+        let _second = service.submit(0, simulate("acme", 10)).unwrap();
+        match service.submit(0, simulate("acme", 10)) {
+            Err(Rejection::QueueFull {
+                depth: 2,
+                capacity: 2,
+                retry_after_ms,
+            }) => assert!(retry_after_ms > 0),
+            other => panic!("{other:?}"),
+        }
+        service.resume();
+        service.shutdown();
+        assert_eq!(service.metrics().rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn quota_exhaustion_rejects_with_a_refill_hint() {
+        let mut cfg = config(64, 1);
+        cfg.quota = QuotaConfig {
+            capacity: 2,
+            refill_num: 1,
+            refill_den: 10,
+        };
+        let service = Service::start(cfg);
+        service.submit(0, simulate("acme", 10)).unwrap();
+        service.submit(0, simulate("acme", 10)).unwrap();
+        match service.submit(0, simulate("acme", 10)) {
+            Err(Rejection::QuotaExhausted { retry_after_ms, .. }) => {
+                assert_eq!(retry_after_ms, 10)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Another tenant is unaffected; time refills the bucket.
+        service.submit(0, simulate("other", 10)).unwrap();
+        service.submit(20, simulate("acme", 10)).unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_resolves_it_without_running() {
+        let service = Service::start(config(8, 1));
+        service.pause();
+        let ticket = service.submit(0, simulate("acme", 1_000_000)).unwrap();
+        ticket.cancel();
+        service.resume();
+        match ticket.wait() {
+            JobOutcome::Cancelled { at_cycle: 0, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs_then_refuses() {
+        let service = Service::start(config(8, 1));
+        service.pause();
+        let tickets: Vec<JobTicket> = (0..4)
+            .map(|_| service.submit(0, simulate("acme", 20)).unwrap())
+            .collect();
+        service.resume();
+        service.shutdown();
+        for ticket in &tickets {
+            assert!(
+                matches!(ticket.wait(), JobOutcome::Completed { .. }),
+                "drained job lost its outcome"
+            );
+        }
+        assert!(matches!(
+            service.submit(0, simulate("acme", 10)),
+            Err(Rejection::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn oversized_requests_never_reach_the_queue() {
+        let service = Service::start(config(8, 1));
+        let request = JobRequest {
+            tenant: "t".into(),
+            kind: JobKind::Simulate {
+                cores: 100_000,
+                iters: 10,
+                scheduler: crate::proto::Scheduler::Event,
+                fault_seed: None,
+            },
+            deadline_cycles: None,
+        };
+        assert!(matches!(
+            service.submit(0, request),
+            Err(Rejection::Oversized { .. })
+        ));
+        assert_eq!(service.metrics().admitted, 0);
+        service.shutdown();
+    }
+}

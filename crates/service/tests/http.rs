@@ -1,0 +1,198 @@
+//! End-to-end tests of the hand-rolled HTTP front end over a real
+//! loopback socket: happy-path jobs, typed 4xx mappings with
+//! `Retry-After`, header/body caps, and the slow-loris defences.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use skilltax_service::{serve, HttpConfig, Service, ServiceConfig};
+
+fn start(queue: usize, workers: usize) -> (Arc<Service>, skilltax_service::HttpServer) {
+    let service = Arc::new(Service::start(ServiceConfig {
+        queue_capacity: queue,
+        workers,
+        ..ServiceConfig::default()
+    }));
+    let server = serve(
+        Arc::clone(&service),
+        HttpConfig {
+            addr: "127.0.0.1:0".into(),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(300),
+            max_header_bytes: 2048,
+            max_body_bytes: 4096,
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    (service, server)
+}
+
+/// Send raw bytes, read the whole response (the server always closes).
+fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn post_jobs(addr: SocketAddr, body: &str) -> String {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /jobs HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn a_job_round_trips_to_a_completed_outcome() {
+    let (_service, server) = start(8, 2);
+    let response = post_jobs(
+        server.local_addr(),
+        "tenant=acme&kind=simulate&cores=1&iters=50",
+    );
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("\"outcome\":\"completed\""), "{response}");
+    assert!(response.contains("\"cycles\":"), "{response}");
+}
+
+#[test]
+fn classify_and_metrics_and_health_respond() {
+    let (_service, server) = start(8, 2);
+    let addr = server.local_addr();
+    let response = post_jobs(
+        addr,
+        "tenant=acme&kind=classify&name=SIMD&row=1 %7C 16 %7C none %7C none %7C 1-n %7C none %7C none",
+    );
+    assert!(response.contains("\"outcome\":\"completed\""), "{response}");
+    assert!(response.contains("class"), "{response}");
+    let health = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.contains("\"ok\":true"), "{health}");
+    let metrics = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(metrics.contains("\"submitted\":"), "{metrics}");
+}
+
+#[test]
+fn malformed_and_oversized_map_to_typed_4xx() {
+    let (_service, server) = start(8, 1);
+    let addr = server.local_addr();
+    let response = post_jobs(addr, "tenant=t&kind=warp");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(
+        response.contains("\"rejected\":\"malformed\""),
+        "{response}"
+    );
+    let response = post_jobs(addr, "tenant=t&kind=simulate&cores=100000");
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    assert!(
+        response.contains("\"rejected\":\"oversized\""),
+        "{response}"
+    );
+    let response = roundtrip(addr, "GET /nowhere HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+}
+
+#[test]
+fn a_full_queue_is_429_with_a_retry_after_header() {
+    let (service, server) = start(2, 1);
+    service.pause();
+    let addr = server.local_addr();
+    // Fill the queue directly (paused dispatch keeps it full).
+    for _ in 0..2 {
+        let request =
+            skilltax_service::proto::parse_request("tenant=t&kind=simulate&iters=10").unwrap();
+        service.submit(0, request).unwrap();
+    }
+    let response = post_jobs(addr, "tenant=t&kind=simulate&iters=10");
+    assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+    assert!(response.contains("Retry-After:"), "{response}");
+    assert!(
+        response.contains("\"rejected\":\"queue-full\""),
+        "{response}"
+    );
+    service.resume();
+}
+
+#[test]
+fn slow_loris_headers_time_out_without_blocking_real_clients() {
+    let (_service, server) = start(8, 1);
+    let addr = server.local_addr();
+    // The loris: opens a connection and sends half a request line, then
+    // stalls.  Its connection thread must answer 408 on its own timeout.
+    let mut loris = TcpStream::connect(addr).expect("connect loris");
+    loris.write_all(b"POST /jobs HTTP/1.1\r\nContent-").unwrap();
+    // Meanwhile a well-behaved client gets served immediately.
+    let response = post_jobs(addr, "tenant=polite&kind=simulate&iters=20");
+    assert!(response.contains("\"outcome\":\"completed\""), "{response}");
+    // Now collect the loris's fate: a typed 408 once the read times out.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut fate = String::new();
+    loris.read_to_string(&mut fate).expect("read loris fate");
+    assert!(fate.starts_with("HTTP/1.1 408"), "{fate}");
+}
+
+#[test]
+fn slow_loris_bodies_time_out_too() {
+    let (_service, server) = start(8, 1);
+    let mut loris = TcpStream::connect(server.local_addr()).expect("connect");
+    // Full header promising a body that never arrives.
+    loris
+        .write_all(b"POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 500\r\n\r\ntenant=")
+        .unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut fate = String::new();
+    loris.read_to_string(&mut fate).expect("read fate");
+    assert!(fate.starts_with("HTTP/1.1 408"), "{fate}");
+}
+
+#[test]
+fn oversized_heads_and_bodies_are_capped() {
+    let (_service, server) = start(8, 1);
+    let addr = server.local_addr();
+    // A header block that never ends and exceeds the cap.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let huge = format!("POST /jobs HTTP/1.1\r\nX-Pad: {}\r\n", "a".repeat(4000));
+    stream.write_all(huge.as_bytes()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+    // A declared body over the cap is refused before it is read.
+    let response = roundtrip(
+        addr,
+        "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 999999\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+}
+
+#[test]
+fn shutdown_stops_accepting() {
+    let (_service, mut server) = start(8, 1);
+    let addr = server.local_addr();
+    server.shutdown();
+    // The listener is gone: connecting either fails outright or the
+    // connection is never served.
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(!out.contains("\"ok\":true"), "served after shutdown");
+    }
+}

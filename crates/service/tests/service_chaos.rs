@@ -1,0 +1,76 @@
+//! The chaos soak as an integration gate: a seeded hostile tenant mix
+//! against a real service, with every invariant a *reported* violation.
+//!
+//! The headline assertion is worker-count independence: because the
+//! harness scripts its virtual clock, drains between phases, and
+//! freezes dispatch while measuring shedding, the entire report —
+//! admissions, rejections by kind, outcomes by label, per-tenant
+//! ledgers, peak depth — is bit-identical whether the service runs one
+//! worker or eight.  That is the service-level twin of the machine
+//! crate's scheduler-identity contract.
+
+use skilltax_service::{run_chaos, ChaosConfig};
+
+#[test]
+fn the_soak_passes_and_exercises_every_rejection_path() {
+    let report = run_chaos(&ChaosConfig {
+        rounds: 6,
+        ..ChaosConfig::default()
+    });
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(report.admitted > 0);
+    // The hostile cast really did get refused in a typed way.
+    assert!(report.rejections.contains_key("oversized"), "{report:?}");
+    assert!(report.rejections.contains_key("queue-full"), "{report:?}");
+    // And the admitted work really did hit the typed terminal outcomes.
+    assert!(report.outcomes.contains_key("completed"), "{report:?}");
+    assert!(report.outcomes.contains_key("cancelled"), "{report:?}");
+    // The bounded queue stayed bounded, and was actually filled.
+    assert_eq!(report.peak_depth, ChaosConfig::default().queue_capacity);
+}
+
+#[test]
+fn the_report_is_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        run_chaos(&ChaosConfig {
+            rounds: 6,
+            workers,
+            ..ChaosConfig::default()
+        })
+    };
+    let base = run(1);
+    assert!(base.passed(), "violations: {:#?}", base.violations);
+    for workers in [2usize, 8] {
+        let report = run(workers);
+        assert_eq!(
+            base, report,
+            "chaos report diverged between 1 and {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn the_report_replays_bit_identically_for_a_fixed_seed() {
+    let config = ChaosConfig {
+        rounds: 4,
+        seed: 0xDEAD_BEEF,
+        ..ChaosConfig::default()
+    };
+    assert_eq!(run_chaos(&config), run_chaos(&config));
+}
+
+#[test]
+fn different_seeds_still_satisfy_the_invariants() {
+    for seed in [1u64, 7, 42] {
+        let report = run_chaos(&ChaosConfig {
+            rounds: 3,
+            seed,
+            ..ChaosConfig::default()
+        });
+        assert!(
+            report.passed(),
+            "seed {seed} violations: {:#?}",
+            report.violations
+        );
+    }
+}

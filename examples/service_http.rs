@@ -1,0 +1,44 @@
+//! Stand up the multi-tenant job service behind its HTTP/1.1 front end.
+//!
+//! Binds the address in `SKILLTAX_SERVICE_ADDR` (default `127.0.0.1:0`,
+//! an ephemeral port printed on startup) and serves for
+//! `SKILLTAX_SERVE_SECONDS` (default 2 — long enough to demo, short
+//! enough that the tier-1 example sweep never blocks; set it higher to
+//! poke the service with `curl` from another terminal).
+//!
+//! Run with: `cargo run --release --example service_http`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skilltax::service::{serve, HttpConfig, Service, ServiceConfig};
+
+fn main() {
+    let seconds: u64 = std::env::var("SKILLTAX_SERVE_SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let mut server =
+        serve(Arc::clone(&service), HttpConfig::default()).expect("bind HTTP listener");
+    let addr = server.local_addr();
+
+    println!("serving on http://{addr} for {seconds}s");
+    println!();
+    println!("  curl http://{addr}/healthz");
+    println!("  curl http://{addr}/metrics");
+    println!("  curl -d 'tenant=demo&kind=simulate&cores=4&iters=200' http://{addr}/jobs");
+    println!();
+
+    std::thread::sleep(Duration::from_secs(seconds));
+
+    server.shutdown();
+    let metrics = service.metrics();
+    println!(
+        "shutting down: {} submitted, {} admitted, {} rejected",
+        metrics.submitted,
+        metrics.admitted,
+        metrics.rejected()
+    );
+}

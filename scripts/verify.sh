@@ -42,6 +42,14 @@ for threads in 1 2 8; do
         cargo test --release --offline -p skilltax-machine --test shard_identity -q
 done
 
+# Chaos soak: the multi-tenant service under a seeded hostile tenant
+# mix (DESIGN.md §11).  SKILLTAX_SOAK_SECONDS maps deterministically to
+# a round count, so this short gate replays bit-identically; the
+# example exits non-zero on any robustness-invariant violation.
+echo "==> SKILLTAX_SOAK_SECONDS=2 cargo run --release --offline --example service_soak"
+SKILLTAX_SOAK_SECONDS=2 \
+    cargo run --release --offline --example service_soak >/dev/null
+
 # Bench smoke: run the continuous-performance collector in quick mode
 # and gate the deterministic counters against the committed baseline.
 echo "==> bench collector smoke (quick mode + regression gate)"

@@ -19,7 +19,11 @@
 //!   class family, used to *demonstrate* the paper's flexibility claims,
 //! * [`trends`] — the synthetic bibliometric model behind Fig 1,
 //! * [`report`] — table/CSV/SVG/ASCII-chart rendering for regenerating every
-//!   table and figure.
+//!   table and figure,
+//! * [`service`] — a multi-tenant job service over the crates above:
+//!   admission control with per-tenant quotas, deadlines and cancellation,
+//!   machine pooling, a hand-rolled HTTP/1.1 front end, and a deterministic
+//!   chaos-soak harness.
 //!
 //! ```
 //! use skilltax::prelude::*;
@@ -41,6 +45,7 @@ pub use skilltax_estimate as estimate;
 pub use skilltax_machine as machine;
 pub use skilltax_model as model;
 pub use skilltax_report as report;
+pub use skilltax_service as service;
 pub use skilltax_taxonomy as taxonomy;
 pub use skilltax_trends as trends;
 
