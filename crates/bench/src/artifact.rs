@@ -26,6 +26,43 @@ use crate::stats::SampleStats;
 /// the reader rejects every other version with a typed error.
 pub const SCHEMA_VERSION: i64 = 1;
 
+/// Longest label (or history commit id) accepted by [`validate_label`].
+pub const MAX_LABEL_LEN: usize = 64;
+
+/// Validate a label that will be interpolated into a file name
+/// (`BENCH_<label>.json`, `artifacts/history/<label>/…`).
+///
+/// Accepted: 1–[`MAX_LABEL_LEN`] characters from `[A-Za-z0-9._-]`, with
+/// at least one character that is not a dot (so `.` and `..` — path
+/// traversal once a label names a directory — are rejected).  Everything
+/// else is a typed [`ArtifactError::InvalidLabel`]: labels reach this
+/// code from service requests, so `/`, `..` and friends must die at
+/// write time, not escape the artifacts directory.
+pub fn validate_label(label: &str) -> Result<(), ArtifactError> {
+    let invalid = |reason: &str| {
+        Err(ArtifactError::InvalidLabel {
+            label: label.to_owned(),
+            reason: reason.to_owned(),
+        })
+    };
+    if label.is_empty() {
+        return invalid("empty");
+    }
+    if label.len() > MAX_LABEL_LEN {
+        return invalid("longer than 64 characters");
+    }
+    if !label
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return invalid("characters outside [A-Za-z0-9._-]");
+    }
+    if label.bytes().all(|b| b == b'.') {
+        return invalid("only dots (path traversal)");
+    }
+    Ok(())
+}
+
 /// How deep the collection that produced an artifact went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectionMode {
@@ -142,6 +179,14 @@ pub enum ArtifactError {
         /// What was wrong with it.
         reason: String,
     },
+    /// The artifact label cannot safely name a file (see
+    /// [`validate_label`]).
+    InvalidLabel {
+        /// The offending label.
+        label: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -158,6 +203,13 @@ impl fmt::Display for ArtifactError {
             ),
             ArtifactError::Malformed { field, reason } => {
                 write!(f, "artifact field '{field}' is malformed: {reason}")
+            }
+            ArtifactError::InvalidLabel { label, reason } => {
+                write!(
+                    f,
+                    "artifact label {label:?} cannot name a file ({reason}); \
+                     use 1-64 characters from [A-Za-z0-9._-]"
+                )
             }
         }
     }
@@ -178,6 +230,7 @@ fn num(v: f64) -> Json {
 fn stats_to_json(s: &SampleStats) -> Json {
     Json::obj(vec![
         ("samples", Json::int(s.samples as i64)),
+        ("non_finite", Json::int(s.non_finite as i64)),
         ("kept", Json::int(s.kept as i64)),
         ("min", num(s.min)),
         ("max", num(s.max)),
@@ -247,9 +300,17 @@ impl Artifact {
         out
     }
 
-    /// Write to `path` (see [`Artifact::emit`]).
-    pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.emit())
+    /// Write to `path` (see [`Artifact::emit`]), first rejecting labels
+    /// that cannot safely name a file ([`validate_label`]): the label is
+    /// interpolated into `BENCH_<label>.json`-style paths by every
+    /// caller, so a `/` or `..` smuggled in by a service request must be
+    /// a typed error here, not a file outside the artifacts directory.
+    pub fn write_file(&self, path: &Path) -> Result<(), ArtifactError> {
+        validate_label(&self.label)?;
+        std::fs::write(path, self.emit()).map_err(|e| ArtifactError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
     }
 
     /// Parse artifact text, rejecting unknown schema versions with a
@@ -300,6 +361,9 @@ impl Artifact {
             let wall_obj = as_obj(wall_json, &format!("{field}.wall_ns"))?;
             let wall_ns = SampleStats {
                 samples: get_u64(wall_obj, "wall_ns.samples")? as usize,
+                // Absent in artifacts written before the non-finite
+                // filter existed; default 0 keeps them readable.
+                non_finite: get_u64_or(wall_obj, "wall_ns.non_finite", 0)? as usize,
                 kept: get_u64(wall_obj, "wall_ns.kept")? as usize,
                 min: get_f64(wall_obj, "wall_ns.min")?,
                 max: get_f64(wall_obj, "wall_ns.max")?,
@@ -390,6 +454,16 @@ fn get_u64(obj: &[(String, Json)], field: &str) -> Result<u64, ArtifactError> {
     to_u64(get(obj, field)?, field)
 }
 
+/// Like [`get_u64`], but a *missing* field yields `default` (present
+/// fields of the wrong shape still error).
+fn get_u64_or(obj: &[(String, Json)], field: &str, default: u64) -> Result<u64, ArtifactError> {
+    let key = field.rsplit('.').next().expect("split is non-empty");
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, value)) => to_u64(value, field),
+        None => Ok(default),
+    }
+}
+
 fn get_i64(obj: &[(String, Json)], field: &str) -> Result<i64, ArtifactError> {
     match get(obj, field)? {
         Json::Num(n) if n.fract() == 0.0 => Ok(*n as i64),
@@ -448,5 +522,49 @@ mod tests {
             Err(ArtifactError::Malformed { field, .. }) => assert_eq!(field, "label"),
             other => panic!("expected Malformed error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn labels_that_escape_the_artifacts_directory_are_rejected() {
+        for bad in [
+            "",
+            ".",
+            "..",
+            "...",
+            "../evil",
+            "a/b",
+            "a\\b",
+            "a b",
+            "a\nb",
+            "label\0",
+            &"x".repeat(65),
+        ] {
+            assert!(
+                matches!(validate_label(bad), Err(ArtifactError::InvalidLabel { .. })),
+                "{bad:?} should be rejected"
+            );
+        }
+        for good in ["baseline", "pr-7", "v1.2.3", "a", "release_candidate.1"] {
+            assert!(validate_label(good).is_ok(), "{good:?} should be accepted");
+        }
+    }
+
+    #[test]
+    fn write_file_refuses_a_traversal_label() {
+        let mut artifact = sample_artifact();
+        artifact.label = "../escape".to_owned();
+        let path = std::env::temp_dir().join("skilltax_should_never_exist.json");
+        match artifact.write_file(&path) {
+            Err(ArtifactError::InvalidLabel { label, .. }) => assert_eq!(label, "../escape"),
+            other => panic!("expected InvalidLabel, got {other:?}"),
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn artifacts_without_the_non_finite_field_still_parse() {
+        let text = sample_artifact().emit().replace("\"non_finite\":0,", "");
+        let parsed = Artifact::parse(&text).expect("pre-non_finite artifacts stay readable");
+        assert_eq!(parsed.benchmarks[0].wall_ns.non_finite, 0);
     }
 }

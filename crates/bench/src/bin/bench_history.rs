@@ -1,0 +1,322 @@
+//! Query and grow the perf-history store: the CLI over
+//! `skilltax_bench::history`.
+//!
+//! ```text
+//! bench_history record      --store DIR --commit C [--artifact PATH]
+//!                           [--label L] [--full] [--filter SUBSTR]
+//! bench_history list        --store DIR [--label L]
+//! bench_history trajectory  --store DIR --bench NAME --counter KEY
+//!                           [--label L] [--csv | --markdown]
+//! bench_history compare     --store DIR --from C --to C [--label L] [--json]
+//! ```
+//!
+//! `record` appends one artifact under its label at a commit id —
+//! either a pre-collected `BENCH_*.json` (`--artifact`) or an in-process
+//! collection (quick unless `--full`; `--filter` restricts by benchmark
+//! name).  `trajectory` answers "how did counter KEY of benchmark NAME
+//! move across stored commits", each step significance-classified;
+//! `compare` prints the triaged diff of two commits.  Exit code is 1 on
+//! any store or query error, never a panic — a corrupt stored artifact
+//! is a diagnosable message.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skilltax_bench::artifact::{Artifact, CollectionMode};
+use skilltax_bench::collector;
+use skilltax_bench::history::HistoryStore;
+use skilltax_report::{trajectory_csv, trajectory_table};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = match args.next() {
+        Some(c) => c,
+        None => return usage("missing subcommand"),
+    };
+    let rest: Vec<String> = args.collect();
+    match command.as_str() {
+        "record" => record(&rest),
+        "list" => list(&rest),
+        "trajectory" => trajectory(&rest),
+        "compare" => compare(&rest),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Tiny flag cursor over a subcommand's arguments: every flag takes a
+/// value, strangers are errors.
+struct Flags<'a> {
+    args: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Flags<'a> {
+        Flags { args: args.iter() }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.args.next().map(String::as_str)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+}
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut commit: Option<String> = None;
+    let mut artifact_path: Option<PathBuf> = None;
+    let mut label = "history".to_owned();
+    let mut mode = CollectionMode::Quick;
+    let mut filter: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--store" => match flags.value(flag) {
+                Ok(v) => store = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--commit" => match flags.value(flag) {
+                Ok(v) => commit = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--artifact" => match flags.value(flag) {
+                Ok(v) => artifact_path = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--label" => match flags.value(flag) {
+                Ok(v) => label = v.to_owned(),
+                Err(e) => return usage(&e),
+            },
+            "--full" => mode = CollectionMode::Full,
+            "--filter" => match flags.value(flag) {
+                Ok(v) => filter = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(store), Some(commit)) = (store, commit) else {
+        return usage("record needs --store and --commit");
+    };
+    let artifact = match artifact_path {
+        Some(path) => match Artifact::read_file(&path) {
+            Ok(mut a) => {
+                // The store files under the artifact's own label; an
+                // explicit --label overrides what the file carries.
+                if label != "history" {
+                    a.label = label;
+                }
+                a
+            }
+            Err(e) => return fail(e),
+        },
+        None => {
+            eprintln!("collecting suite (mode: {}) ...", mode.as_str());
+            collector::collect_filtered(&label, mode, filter.as_deref())
+        }
+    };
+    match HistoryStore::open(store).append(&commit, &artifact) {
+        Ok(entry) => {
+            println!(
+                "recorded {} benchmark(s) as {}/{}-{}",
+                artifact.benchmarks.len(),
+                artifact.label,
+                entry.seq_str(),
+                entry.commit
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn list(args: &[String]) -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut label: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--store" => match flags.value(flag) {
+                Ok(v) => store = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--label" => match flags.value(flag) {
+                Ok(v) => label = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(store) = store else {
+        return usage("list needs --store");
+    };
+    let store = HistoryStore::open(store);
+    let labels = match label {
+        Some(l) => vec![l],
+        None => match store.labels() {
+            Ok(labels) => labels,
+            Err(e) => return fail(e),
+        },
+    };
+    if labels.is_empty() {
+        println!("(empty store)");
+        return ExitCode::SUCCESS;
+    }
+    for label in labels {
+        let entries = match store.entries(&label) {
+            Ok(entries) => entries,
+            Err(e) => return fail(e),
+        };
+        println!("{label}: {} entr(ies)", entries.len());
+        for entry in entries {
+            println!("  {}-{}", entry.seq_str(), entry.commit);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn trajectory(args: &[String]) -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut label: Option<String> = None;
+    let mut bench: Option<String> = None;
+    let mut counter: Option<String> = None;
+    let mut csv = false;
+    let mut markdown = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--store" => match flags.value(flag) {
+                Ok(v) => store = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--label" => match flags.value(flag) {
+                Ok(v) => label = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--bench" => match flags.value(flag) {
+                Ok(v) => bench = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--counter" => match flags.value(flag) {
+                Ok(v) => counter = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--csv" => csv = true,
+            "--markdown" => markdown = true,
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(store), Some(bench), Some(counter)) = (store, bench, counter) else {
+        return usage("trajectory needs --store, --bench and --counter");
+    };
+    let store = HistoryStore::open(store);
+    let label = match store.resolve_label(label.as_deref()) {
+        Ok(label) => label,
+        Err(e) => return fail(e),
+    };
+    let trajectory = match store.trajectory(&label, &bench, &counter) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let rows = trajectory.rows();
+    if csv {
+        print!("{}", trajectory_csv(&bench, &counter, &rows));
+    } else if markdown {
+        print!(
+            "{}",
+            trajectory_table(&bench, &counter, &rows).render_markdown()
+        );
+    } else {
+        print!(
+            "{}",
+            trajectory_table(&bench, &counter, &rows).render_ascii()
+        );
+        println!(
+            "overall: {} ({} point(s), {})",
+            trajectory.relevance().label(),
+            trajectory.points.len(),
+            if trajectory.deterministic {
+                "deterministic counter"
+            } else {
+                "wall pseudo-counter, noise-gated"
+            }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn compare(args: &[String]) -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut label: Option<String> = None;
+    let mut from: Option<String> = None;
+    let mut to: Option<String> = None;
+    let mut json = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--store" => match flags.value(flag) {
+                Ok(v) => store = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--label" => match flags.value(flag) {
+                Ok(v) => label = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--from" => match flags.value(flag) {
+                Ok(v) => from = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--to" => match flags.value(flag) {
+                Ok(v) => to = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(store), Some(from), Some(to)) = (store, from, to) else {
+        return usage("compare needs --store, --from and --to");
+    };
+    let store = HistoryStore::open(store);
+    let label = match store.resolve_label(label.as_deref()) {
+        Ok(label) => label,
+        Err(e) => return fail(e),
+    };
+    let triaged = match store.compare(&label, &from, &to) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    if json {
+        println!("{}", triaged.to_json(&label, &from, &to).emit());
+    } else {
+        print!("{}", triaged.comparison.render());
+        println!("{}", triaged.summary());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: bench_history <record|list|trajectory|compare> ...\n\
+         \x20 record      --store DIR --commit C [--artifact PATH] [--label L] [--full] [--filter SUBSTR]\n\
+         \x20 list        --store DIR [--label L]\n\
+         \x20 trajectory  --store DIR --bench NAME --counter KEY [--label L] [--csv | --markdown]\n\
+         \x20 compare     --store DIR --from C --to C [--label L] [--json]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

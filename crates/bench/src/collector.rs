@@ -102,12 +102,15 @@ impl Tracer for BenchTracer {
     }
 }
 
+/// The boxed workload a suite entry runs, traced or untraced.
+type BenchFn = Box<dyn Fn(&mut BenchTracer) -> BTreeMap<String, u64>>;
+
 /// One registered suite entry: a name, its group, and the closure run
 /// both traced (counters) and untraced (timing).
 pub struct SuiteBench {
     name: &'static str,
     group: &'static str,
-    run: Box<dyn Fn(&mut BenchTracer) -> BTreeMap<String, u64>>,
+    run: BenchFn,
 }
 
 impl SuiteBench {

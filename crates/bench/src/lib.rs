@@ -17,7 +17,13 @@
 //!   reader (using the in-repo [`jsonio`] parser — the workspace stays
 //!   hermetic);
 //! * [`compare`] — the regression gate: deterministic counters gate
-//!   hard, wall times gate soft against the measured noise floor.
+//!   hard, wall times gate soft against the measured noise floor;
+//! * [`history`] — the append-only perf-history store (`bench_history`):
+//!   artifacts indexed by label and commit, answering trajectory and
+//!   comparison queries, mounted read-only behind the service's
+//!   `GET /perf/*` endpoints;
+//! * [`triage`] — the significance classifier over those queries
+//!   (relevant / probably-relevant / noise, rustc-perf style).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +32,8 @@ pub mod artifact;
 pub mod artifacts;
 pub mod collector;
 pub mod compare;
+pub mod history;
 pub mod jsonio;
 pub mod microbench;
 pub mod stats;
+pub mod triage;

@@ -57,7 +57,10 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn sorted_copy(samples: &[f64]) -> Vec<f64> {
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    // total_cmp never panics: a stray NaN sorts to the end instead of
+    // aborting the collector mid-run.  `from_samples` filters non-finite
+    // values out before they reach the percentile math.
+    sorted.sort_by(f64::total_cmp);
     sorted
 }
 
@@ -114,9 +117,15 @@ pub fn noise_floor_frac(samples: &[f64]) -> f64 {
 /// the `BENCH_*.json` artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleStats {
-    /// Raw sample count, before outlier rejection.
+    /// Raw sample count, before non-finite filtering and outlier
+    /// rejection.
     pub samples: usize,
-    /// Samples surviving MAD-based outlier rejection (≥ `samples / 2`).
+    /// Non-finite samples (NaN, ±inf) filtered before any statistics —
+    /// counted here rather than silently dropped, so a broken timer
+    /// shows up in the artifact instead of skewing the percentiles.
+    pub non_finite: usize,
+    /// Finite samples surviving MAD-based outlier rejection (≥ half the
+    /// finite samples).
     pub kept: usize,
     /// Minimum of the kept samples.
     pub min: f64,
@@ -141,6 +150,7 @@ impl Default for SampleStats {
     fn default() -> Self {
         SampleStats {
             samples: 0,
+            non_finite: 0,
             kept: 0,
             min: 0.0,
             max: 0.0,
@@ -155,19 +165,28 @@ impl Default for SampleStats {
 }
 
 impl SampleStats {
-    /// Summarise a series of samples: reject outliers, then compute the
-    /// percentiles and spread of the survivors.  The noise floor is taken
-    /// over the raw series so a wild run *widens* the gate instead of
-    /// silently tightening it.
+    /// Summarise a series of samples: filter non-finite values (counted
+    /// in [`SampleStats::non_finite`], never silently dropped), reject
+    /// outliers, then compute the percentiles and spread of the
+    /// survivors.  The noise floor is taken over the full finite series
+    /// so a wild run *widens* the gate instead of silently tightening
+    /// it.
     pub fn from_samples(samples: &[f64]) -> SampleStats {
-        if samples.is_empty() {
-            return SampleStats::default();
+        let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        let non_finite = samples.len() - finite.len();
+        if finite.is_empty() {
+            return SampleStats {
+                samples: samples.len(),
+                non_finite,
+                ..SampleStats::default()
+            };
         }
-        let floor = noise_floor_frac(samples);
-        let kept = sorted_copy(&reject_outliers(samples));
+        let floor = noise_floor_frac(&finite);
+        let kept = sorted_copy(&reject_outliers(&finite));
         let mean = kept.iter().sum::<f64>() / kept.len() as f64;
         SampleStats {
             samples: samples.len(),
+            non_finite,
             kept: kept.len(),
             min: kept[0],
             max: kept[kept.len() - 1],
@@ -180,9 +199,10 @@ impl SampleStats {
         }
     }
 
-    /// Outliers discarded by the MAD filter.
+    /// Finite outliers discarded by the MAD filter (non-finite samples
+    /// are counted separately in [`SampleStats::non_finite`]).
     pub fn rejected(&self) -> usize {
-        self.samples - self.kept
+        self.samples - self.non_finite - self.kept
     }
 }
 
@@ -221,6 +241,28 @@ mod tests {
     fn stats_of_empty_series_are_all_zero() {
         let s = SampleStats::from_samples(&[]);
         assert_eq!(s.samples, 0);
+        assert_eq!(s.non_finite, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.noise_floor_frac, MIN_NOISE_FLOOR_FRAC);
+    }
+
+    #[test]
+    fn non_finite_samples_are_counted_not_propagated() {
+        let s = SampleStats::from_samples(&[10.0, f64::NAN, 11.0, f64::INFINITY, 12.0]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.non_finite, 2);
+        assert_eq!(s.kept, 3);
+        assert_eq!(s.rejected(), 0);
+        assert_eq!(s.p50, 11.0);
+        assert!(s.mean.is_finite() && s.min.is_finite() && s.max.is_finite());
+    }
+
+    #[test]
+    fn all_non_finite_series_degrades_to_the_empty_summary() {
+        let s = SampleStats::from_samples(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.non_finite, 2);
+        assert_eq!(s.kept, 0);
         assert_eq!(s.p50, 0.0);
         assert_eq!(s.noise_floor_frac, MIN_NOISE_FLOOR_FRAC);
     }

@@ -1,0 +1,444 @@
+//! Significance-aware triage of artifact comparisons.
+//!
+//! A port of rustc-perf's `compare.js` triage classification onto this
+//! crate's robust statistics.  rustc-perf classifies every per-test
+//! delta by its *significance factor* — the magnitude of the relative
+//! change divided by a per-test significance threshold derived from
+//! historical noise — and buckets the result for a human triager:
+//! clearly **relevant**, **probably relevant**, or **noise**.  Here the
+//! per-benchmark threshold is already measured: [`crate::stats`]'s
+//! MAD-derived noise-floor fraction, stored in every artifact.
+//!
+//! * wall-time deltas use `factor = |rel_change| / noise_floor`, where
+//!   the floor is the larger of the two runs' floors (a wild run widens
+//!   the gate on both sides);
+//! * deterministic counters have no noise: any delta is exact, so a
+//!   changed counter is always [`Relevance::Relevant`].
+//!
+//! The magnitude scale (very small → very large) mirrors compare.js's
+//! banding of relative changes and is orthogonal to relevance: a 30 %
+//! swing on a hopelessly noisy benchmark is *very large* but still
+//! *noise*; a 6 % swing on a quiet one is *medium* and *relevant*.
+
+use skilltax_report::Json;
+
+use crate::compare::{BenchComparison, Comparison};
+
+/// Significance factors at the bucket boundaries (the compare.js
+/// relevance thresholds): at least [`PROBABLY_RELEVANT_FACTOR`] floors
+/// of movement to leave the noise bucket, at least
+/// [`RELEVANT_FACTOR`] floors to be clearly relevant.
+pub const PROBABLY_RELEVANT_FACTOR: f64 = 1.0;
+/// See [`PROBABLY_RELEVANT_FACTOR`].
+pub const RELEVANT_FACTOR: f64 = 2.0;
+
+/// Relative-change boundaries of the magnitude bands, ascending:
+/// very small < 1 % ≤ small < 4 % ≤ medium < 10 % ≤ large < 20 % ≤
+/// very large.
+pub const MAGNITUDE_BANDS: [f64; 4] = [0.01, 0.04, 0.10, 0.20];
+
+/// How big a relative change is, ignoring whether it is significant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Magnitude {
+    /// `|rel| < 1 %`.
+    VerySmall,
+    /// `1 % ≤ |rel| < 4 %`.
+    Small,
+    /// `4 % ≤ |rel| < 10 %`.
+    Medium,
+    /// `10 % ≤ |rel| < 20 %`.
+    Large,
+    /// `|rel| ≥ 20 %`.
+    VeryLarge,
+}
+
+impl Magnitude {
+    /// Band a relative change (sign ignored).
+    pub fn of(rel_change: f64) -> Magnitude {
+        let magnitude = rel_change.abs();
+        if magnitude < MAGNITUDE_BANDS[0] {
+            Magnitude::VerySmall
+        } else if magnitude < MAGNITUDE_BANDS[1] {
+            Magnitude::Small
+        } else if magnitude < MAGNITUDE_BANDS[2] {
+            Magnitude::Medium
+        } else if magnitude < MAGNITUDE_BANDS[3] {
+            Magnitude::Large
+        } else {
+            Magnitude::VeryLarge
+        }
+    }
+
+    /// Stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Magnitude::VerySmall => "very-small",
+            Magnitude::Small => "small",
+            Magnitude::Medium => "medium",
+            Magnitude::Large => "large",
+            Magnitude::VeryLarge => "very-large",
+        }
+    }
+}
+
+/// The triage bucket: is this delta worth a human's attention?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Relevance {
+    /// At least [`RELEVANT_FACTOR`] noise floors of movement (or any
+    /// deterministic-counter change) — act on it.
+    Relevant,
+    /// Between one and [`RELEVANT_FACTOR`] floors — look if the trend
+    /// repeats.
+    ProbablyRelevant,
+    /// Under one floor — indistinguishable from measurement noise.
+    Noise,
+}
+
+impl Relevance {
+    /// Stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Relevance::Relevant => "relevant",
+            Relevance::ProbablyRelevant => "probably-relevant",
+            Relevance::Noise => "noise",
+        }
+    }
+}
+
+/// Which way a metric moved (all tracked metrics are
+/// smaller-is-better: wall nanoseconds, cycles, stalls, messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The metric grew.
+    Regression,
+    /// The metric shrank.
+    Improvement,
+    /// No change.
+    Flat,
+}
+
+impl Direction {
+    fn of(rel_change: f64) -> Direction {
+        if rel_change > 0.0 {
+            Direction::Regression
+        } else if rel_change < 0.0 {
+            Direction::Improvement
+        } else {
+            Direction::Flat
+        }
+    }
+
+    /// Stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Direction::Regression => "regression",
+            Direction::Improvement => "improvement",
+            Direction::Flat => "flat",
+        }
+    }
+}
+
+/// One classified delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triage {
+    /// Relative change `(to - from) / from`.
+    pub rel_change: f64,
+    /// Significance factor `|rel_change| / threshold` (infinite for a
+    /// changed deterministic counter — the threshold is zero).
+    pub factor: f64,
+    /// Magnitude band of the change.
+    pub magnitude: Magnitude,
+    /// Triage bucket.
+    pub relevance: Relevance,
+    /// Which way the metric moved.
+    pub direction: Direction,
+}
+
+/// Classify a noisy (wall-time) delta against its noise floor.
+///
+/// `floor` must be positive; artifact floors are clamped to
+/// [`crate::stats::MIN_NOISE_FLOOR_FRAC`], so a zero floor can only
+/// come from a hand-built summary and is treated as that clamp.
+pub fn classify_wall(rel_change: f64, floor: f64) -> Triage {
+    let floor = if floor > 0.0 {
+        floor
+    } else {
+        crate::stats::MIN_NOISE_FLOOR_FRAC
+    };
+    let factor = rel_change.abs() / floor;
+    let relevance = if factor >= RELEVANT_FACTOR {
+        Relevance::Relevant
+    } else if factor >= PROBABLY_RELEVANT_FACTOR {
+        Relevance::ProbablyRelevant
+    } else {
+        Relevance::Noise
+    };
+    Triage {
+        rel_change,
+        factor,
+        magnitude: Magnitude::of(rel_change),
+        relevance,
+        direction: Direction::of(rel_change),
+    }
+}
+
+/// Classify a deterministic-counter delta: the engines are exact, so
+/// any change is relevant regardless of size; an appearing or
+/// disappearing counter is a very large relevant change.
+pub fn classify_counter(from: Option<u64>, to: Option<u64>) -> Triage {
+    let (rel_change, magnitude) = match (from, to) {
+        (Some(f), Some(t)) if f > 0 => {
+            let rel = (t as f64 - f as f64) / f as f64;
+            (rel, Magnitude::of(rel))
+        }
+        (Some(_), Some(t)) => {
+            let rel = if t > 0 { 1.0 } else { 0.0 };
+            (rel, Magnitude::of(rel))
+        }
+        (None, _) => (1.0, Magnitude::VeryLarge),
+        (_, None) => (-1.0, Magnitude::VeryLarge),
+    };
+    if from == to {
+        return Triage {
+            rel_change: 0.0,
+            factor: 0.0,
+            magnitude: Magnitude::VerySmall,
+            relevance: Relevance::Noise,
+            direction: Direction::Flat,
+        };
+    }
+    Triage {
+        rel_change,
+        factor: f64::INFINITY,
+        magnitude,
+        relevance: Relevance::Relevant,
+        direction: Direction::of(rel_change),
+    }
+}
+
+/// One benchmark's triaged result in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriagedBench {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-counter triage (only counters that changed).
+    pub counters: Vec<(String, Triage)>,
+    /// Wall-time triage, when both sides carried comparable wall times.
+    pub wall: Option<Triage>,
+}
+
+impl TriagedBench {
+    /// The benchmark's overall bucket: the most relevant of its rows.
+    pub fn relevance(&self) -> Relevance {
+        let mut best = Relevance::Noise;
+        for (_, t) in &self.counters {
+            best = best.min(t.relevance);
+        }
+        if let Some(w) = &self.wall {
+            best = best.min(w.relevance);
+        }
+        best
+    }
+}
+
+/// Bucket counts over a triaged comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriageCounts {
+    /// Benchmarks in the relevant bucket.
+    pub relevant: usize,
+    /// Benchmarks in the probably-relevant bucket.
+    pub probably_relevant: usize,
+    /// Benchmarks in the noise bucket (including unchanged ones).
+    pub noise: usize,
+}
+
+/// A [`Comparison`] with every delta significance-classified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriagedComparison {
+    /// The underlying diff (missing/added lists, raw deltas).
+    pub comparison: Comparison,
+    /// Per-benchmark triage, in baseline order.
+    pub benches: Vec<TriagedBench>,
+}
+
+fn triage_bench(bench: &BenchComparison) -> TriagedBench {
+    TriagedBench {
+        name: bench.name.clone(),
+        counters: bench
+            .counter_deltas
+            .iter()
+            .map(|d| (d.key.clone(), classify_counter(d.baseline, d.current)))
+            .collect(),
+        wall: bench
+            .wall
+            .as_ref()
+            .map(|w| classify_wall(w.rel_change, w.floor)),
+    }
+}
+
+impl TriagedComparison {
+    /// Classify every delta of `comparison`.
+    pub fn of(comparison: Comparison) -> TriagedComparison {
+        let benches = comparison.benches.iter().map(triage_bench).collect();
+        TriagedComparison {
+            comparison,
+            benches,
+        }
+    }
+
+    /// Bucket counts over the common benchmarks (missing benchmarks are
+    /// counted as relevant — a vanished benchmark is always news).
+    pub fn counts(&self) -> TriageCounts {
+        let mut counts = TriageCounts {
+            relevant: self.comparison.missing.len(),
+            ..TriageCounts::default()
+        };
+        for bench in &self.benches {
+            match bench.relevance() {
+                Relevance::Relevant => counts.relevant += 1,
+                Relevance::ProbablyRelevant => counts.probably_relevant += 1,
+                Relevance::Noise => counts.noise += 1,
+            }
+        }
+        counts
+    }
+
+    /// The comparison as the JSON body `GET /perf/compare` returns.
+    pub fn to_json(&self, label: &str, from: &str, to: &str) -> Json {
+        let counts = self.counts();
+        let benches: Vec<Json> = self
+            .benches
+            .iter()
+            // Only benchmarks carrying signal: a changed counter or a
+            // wall drift above the noise bucket.  A triager reads the
+            // short list; the bucket counts still cover everything.
+            .filter(|b| {
+                !b.counters.is_empty() || b.wall.is_some_and(|w| w.relevance != Relevance::Noise)
+            })
+            .map(|b| {
+                let counters: Vec<Json> = b
+                    .counters
+                    .iter()
+                    .map(|(key, t)| triage_json(t, Some(key)))
+                    .collect();
+                let mut fields = vec![
+                    ("name", Json::str(&b.name)),
+                    ("relevance", Json::str(b.relevance().label())),
+                    ("counters", Json::Arr(counters)),
+                ];
+                if let Some(w) = &b.wall {
+                    fields.push(("wall", triage_json(w, None)));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::obj(vec![
+            ("label", Json::str(label)),
+            ("from", Json::str(from)),
+            ("to", Json::str(to)),
+            (
+                "buckets",
+                Json::obj(vec![
+                    ("relevant", Json::int(counts.relevant as i64)),
+                    (
+                        "probably_relevant",
+                        Json::int(counts.probably_relevant as i64),
+                    ),
+                    ("noise", Json::int(counts.noise as i64)),
+                ]),
+            ),
+            (
+                "missing",
+                Json::Arr(self.comparison.missing.iter().map(Json::str).collect()),
+            ),
+            (
+                "added",
+                Json::Arr(self.comparison.added.iter().map(Json::str).collect()),
+            ),
+            ("benchmarks", Json::Arr(benches)),
+        ])
+    }
+
+    /// One-line human verdict (the `bench_history compare` footer).
+    pub fn summary(&self) -> String {
+        let counts = self.counts();
+        format!(
+            "triage: {} relevant, {} probably relevant, {} noise over {} benchmarks",
+            counts.relevant,
+            counts.probably_relevant,
+            counts.noise,
+            self.benches.len() + self.comparison.missing.len()
+        )
+    }
+}
+
+fn triage_json(triage: &Triage, counter: Option<&str>) -> Json {
+    let mut fields = Vec::with_capacity(6);
+    if let Some(key) = counter {
+        fields.push(("counter", Json::str(key)));
+    }
+    fields.extend([
+        ("rel_change", Json::Num(triage.rel_change)),
+        (
+            "factor",
+            if triage.factor.is_finite() {
+                Json::Num(triage.factor)
+            } else {
+                Json::str("exact")
+            },
+        ),
+        ("magnitude", Json::str(triage.magnitude.label())),
+        ("relevance", Json::str(triage.relevance.label())),
+        ("direction", Json::str(triage.direction.label())),
+    ]);
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_bands_match_the_documented_boundaries() {
+        assert_eq!(Magnitude::of(0.005), Magnitude::VerySmall);
+        assert_eq!(Magnitude::of(-0.02), Magnitude::Small);
+        assert_eq!(Magnitude::of(0.05), Magnitude::Medium);
+        assert_eq!(Magnitude::of(-0.15), Magnitude::Large);
+        assert_eq!(Magnitude::of(0.5), Magnitude::VeryLarge);
+    }
+
+    #[test]
+    fn wall_relevance_is_the_significance_factor_against_the_floor() {
+        // 6 % change on a 5 % floor: factor 1.2 — probably relevant.
+        let t = classify_wall(0.06, 0.05);
+        assert_eq!(t.relevance, Relevance::ProbablyRelevant);
+        assert!((t.factor - 1.2).abs() < 1e-9);
+        // 12 % change on a 5 % floor: factor 2.4 — relevant.
+        assert_eq!(classify_wall(-0.12, 0.05).relevance, Relevance::Relevant);
+        // 3 % change on a 5 % floor: noise, however it is banded.
+        let t = classify_wall(0.03, 0.05);
+        assert_eq!(t.relevance, Relevance::Noise);
+        assert_eq!(t.magnitude, Magnitude::Small);
+        assert_eq!(t.direction, Direction::Regression);
+    }
+
+    #[test]
+    fn deterministic_counter_changes_are_always_relevant() {
+        let t = classify_counter(Some(1_000_000), Some(1_000_001));
+        assert_eq!(t.relevance, Relevance::Relevant);
+        assert_eq!(t.magnitude, Magnitude::VerySmall);
+        assert!(t.factor.is_infinite());
+        assert_eq!(
+            classify_counter(Some(5), Some(5)).relevance,
+            Relevance::Noise
+        );
+        assert_eq!(
+            classify_counter(None, Some(5)).magnitude,
+            Magnitude::VeryLarge
+        );
+        assert_eq!(
+            classify_counter(Some(5), None).direction,
+            Direction::Improvement
+        );
+    }
+}

@@ -6,8 +6,9 @@
 //! diagrams ([`mod@diagram`], for Figs 3–6), the fault-injection
 //! degradation matrix ([`resilience`]), per-run telemetry renderers
 //! ([`telemetry`]: cycle breakdowns, counter tables, CSV/JSON exports),
-//! the bench regression-gate report ([`regression`]), and the job
-//! service's per-tenant operational ledger ([`service`]).
+//! the bench regression-gate report ([`regression`]), perf-history
+//! trajectory tables and CSV ([`trajectory`]), and the job service's
+//! per-tenant operational ledger ([`service`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +23,7 @@ pub mod resilience;
 pub mod service;
 pub mod table;
 pub mod telemetry;
+pub mod trajectory;
 
 pub use chart::{ascii_bar_chart, ascii_trend_chart, svg_bar_chart, svg_line_chart, Bar, Series};
 pub use csv::CsvWriter;
@@ -36,3 +38,4 @@ pub use telemetry::{
     counter_table, cycle_breakdown, telemetry_csv, telemetry_json, telemetry_table,
     HistogramSummary, TelemetrySummary,
 };
+pub use trajectory::{trajectory_csv, trajectory_table, TrajectoryRow};

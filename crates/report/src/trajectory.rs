@@ -1,0 +1,120 @@
+//! Rendering for perf-history trajectory and triage reports.
+//!
+//! The bench crate's history store reduces "counter X of benchmark Y
+//! across all stored commits" to plain pre-formatted [`TrajectoryRow`]s
+//! (same pattern as [`crate::regression`]); this module renders them as
+//! the ASCII/markdown table and RFC-4180 CSV that `bench_history`
+//! prints.
+
+use crate::csv::CsvWriter;
+use crate::table::{Align, Table};
+
+/// One commit's point on a trajectory — plain data, pre-formatted
+/// values (`value` is `-` when the benchmark or counter is absent from
+/// that artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryRow {
+    /// Append sequence number in the store (`000042`).
+    pub seq: String,
+    /// Commit id the artifact was recorded at.
+    pub commit: String,
+    /// The counter value at that commit, formatted.
+    pub value: String,
+    /// Delta against the previous point, formatted (`+1.2%`, `-3`,
+    /// `-` for the first point).
+    pub delta: String,
+    /// Triage bucket of that delta (`relevant`, `probably-relevant`,
+    /// `noise`, `-` for the first point).
+    pub triage: String,
+}
+
+/// The trajectory report table.
+pub fn trajectory_table(benchmark: &str, counter: &str, rows: &[TrajectoryRow]) -> Table {
+    let mut table = Table::new(vec!["seq", "commit", "value", "delta", "triage"])
+        .with_title(format!("trajectory of {counter} for {benchmark}"))
+        .with_aligns(vec![
+            Align::Right,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Left,
+        ]);
+    for row in rows {
+        table.push_row(vec![
+            row.seq.clone(),
+            row.commit.clone(),
+            row.value.clone(),
+            row.delta.clone(),
+            row.triage.clone(),
+        ]);
+    }
+    table
+}
+
+/// The trajectory as CSV (header + one line per stored commit).
+pub fn trajectory_csv(benchmark: &str, counter: &str, rows: &[TrajectoryRow]) -> String {
+    let mut csv = CsvWriter::new();
+    csv.header(&[
+        "benchmark",
+        "counter",
+        "seq",
+        "commit",
+        "value",
+        "delta",
+        "triage",
+    ]);
+    for row in rows {
+        csv.row(&[
+            benchmark,
+            counter,
+            &row.seq,
+            &row.commit,
+            &row.value,
+            &row.delta,
+            &row.triage,
+        ]);
+    }
+    csv.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<TrajectoryRow> {
+        vec![
+            TrajectoryRow {
+                seq: "000001".into(),
+                commit: "aaa".into(),
+                value: "100".into(),
+                delta: "-".into(),
+                triage: "-".into(),
+            },
+            TrajectoryRow {
+                seq: "000002".into(),
+                commit: "bbb".into(),
+                value: "120".into(),
+                delta: "+20.0%".into(),
+                triage: "relevant".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn table_titles_the_query_and_lists_every_point() {
+        let rendered = trajectory_table("machine/x", "cycles", &rows()).render_ascii();
+        assert!(rendered.contains("trajectory of cycles for machine/x"));
+        assert!(rendered.contains("000002"));
+        assert!(rendered.contains("relevant"));
+        let markdown = trajectory_table("machine/x", "cycles", &rows()).render_markdown();
+        assert!(markdown.contains("| 000001"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_point() {
+        let csv = trajectory_csv("machine/x", "cycles", &rows());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("benchmark,counter,seq,"));
+        assert!(csv.contains("machine/x,cycles,000002,bbb,120,+20.0%,relevant"));
+    }
+}

@@ -11,6 +11,9 @@
 //!   `Retry-After` header where retrying helps.
 //! * `GET /metrics` — counter snapshot as JSON.
 //! * `GET /healthz` — liveness probe.
+//! * `GET /perf/*` — read-only perf-history queries, served when a
+//!   [`PerfSource`] is mounted via [`serve_with_perf`] (see
+//!   [`crate::perf`]); 404 otherwise.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -19,6 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::perf::{self, PerfSource};
 use crate::proto::{outcome_json, parse_request, rejection_json, Rejection};
 use crate::service::{Service, ServiceMetrics};
 
@@ -98,6 +102,17 @@ impl Drop for HttpServer {
 /// Serve `service` over HTTP.  Returns once the socket is bound and the
 /// accept loop is running.
 pub fn serve(service: Arc<Service>, config: HttpConfig) -> io::Result<HttpServer> {
+    serve_with_perf(service, config, None)
+}
+
+/// Like [`serve`], additionally mounting the read-only `GET /perf/*`
+/// endpoints on `perf` (see [`crate::perf`]).  With `None` the perf
+/// routes answer 404, keeping the job-only deployment unchanged.
+pub fn serve_with_perf(
+    service: Arc<Service>,
+    config: HttpConfig,
+    perf: Option<Arc<dyn PerfSource>>,
+) -> io::Result<HttpServer> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -111,11 +126,12 @@ pub fn serve(service: Arc<Service>, config: HttpConfig) -> io::Result<HttpServer
             let Ok(stream) = stream else { continue };
             let service = Arc::clone(&service);
             let config = config.clone();
+            let perf = perf.clone();
             // One short-lived thread per connection: its lifetime is
             // bounded by the read/write timeouts, and it never borrows a
             // job worker, so a stalled client cannot stall the queue.
             std::thread::spawn(move || {
-                let _ = handle_connection(&service, &config, epoch, stream);
+                let _ = handle_connection(&service, &config, epoch, perf.as_deref(), stream);
             });
         }
     });
@@ -217,13 +233,45 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
+/// Strict `Content-Length` extraction over the parsed header lines.
+///
+/// Absent means 0 (a GET without a body).  Anything else malformed is a
+/// hard error, never a silent default: a non-digit value (including a
+/// negative sign), a value that overflows `usize`, or duplicated
+/// headers that disagree — the classic request-smuggling shapes — all
+/// reject with the reason the 400 body carries.
+fn parse_content_length<'a>(lines: impl Iterator<Item = &'a str>) -> Result<usize, &'static str> {
+    let mut length: Option<usize> = None;
+    for line in lines {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        if !key.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let value = value.trim();
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err("malformed Content-Length");
+        }
+        let parsed: usize = value.parse().map_err(|_| "Content-Length overflows")?;
+        match length {
+            Some(previous) if previous != parsed => {
+                return Err("conflicting Content-Length headers");
+            }
+            _ => length = Some(parsed),
+        }
+    }
+    Ok(length.unwrap_or(0))
+}
+
 fn handle_connection(
     service: &Service,
     config: &HttpConfig,
     epoch: Instant,
+    perf: Option<&dyn PerfSource>,
     mut stream: TcpStream,
 ) -> io::Result<()> {
-    let result = serve_once(service, config, epoch, &mut stream);
+    let result = serve_once(service, config, epoch, perf, &mut stream);
     // Graceful close: signal EOF to the peer first, then drain whatever
     // request bytes are still in flight (bounded by the read timeout),
     // so a capped request sees the error response instead of a reset.
@@ -242,6 +290,7 @@ fn serve_once(
     service: &Service,
     config: &HttpConfig,
     epoch: Instant,
+    perf: Option<&dyn PerfSource>,
     stream: &mut TcpStream,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(config.read_timeout))?;
@@ -263,11 +312,20 @@ fn serve_once(
         parts.next().unwrap_or_default().to_string(),
         parts.next().unwrap_or_default().to_string(),
     );
-    let content_length: usize = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse().ok())
-        .unwrap_or(0);
+    let content_length = match parse_content_length(lines) {
+        Ok(n) => n,
+        Err(reason) => return plain_error(stream, "400 Bad Request", reason),
+    };
+    if path == "/perf" || path.starts_with("/perf/") || path.starts_with("/perf?") {
+        return match (method.as_str(), perf) {
+            ("GET", Some(source)) => {
+                let (status, body) = perf::respond(source, &path);
+                write_response(stream, status, None, &body)
+            }
+            (_, Some(_)) => plain_error(stream, "405 Method Not Allowed", "perf routes are GET"),
+            (_, None) => plain_error(stream, "404 Not Found", "no perf store mounted"),
+        };
+    }
     match (method.as_str(), path.as_str()) {
         ("GET", "/healthz") => write_response(stream, "200 OK", None, "{\"ok\":true}"),
         ("GET", "/metrics") => {

@@ -19,8 +19,10 @@
 //!
 //! The [`http`] module is a hand-rolled HTTP/1.1 front end over
 //! `std::net` (connection timeouts, header/body caps, slow-loris safe),
-//! and [`chaos`] is the deterministic soak harness that proves the
-//! invariants hold under a hostile tenant mix.
+//! [`perf`] defines the pluggable read-only `GET /perf/*` query surface
+//! the bench crate's history store mounts behind it, and [`chaos`] is
+//! the deterministic soak harness that proves the invariants hold under
+//! a hostile tenant mix.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +31,7 @@ pub mod admission;
 pub mod chaos;
 pub mod engine;
 pub mod http;
+pub mod perf;
 pub mod pool;
 pub mod proto;
 pub mod quota;
@@ -36,7 +39,8 @@ pub mod service;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::{Engine, EngineConfig};
-pub use http::{serve, HttpConfig, HttpServer};
+pub use http::{serve, serve_with_perf, HttpConfig, HttpServer};
+pub use perf::{PerfError, PerfSource};
 pub use pool::UniPool;
 pub use proto::{JobKind, JobOutcome, JobRequest, Rejection, RequestLimits, Scheduler};
 pub use quota::{QuotaConfig, QuotaLedger};

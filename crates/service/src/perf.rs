@@ -1,0 +1,254 @@
+//! Read-only performance endpoints for the HTTP front end.
+//!
+//! The perf-history store lives in `skilltax-bench` (which depends on
+//! this crate — the collector benches the service), so the service
+//! cannot name the store directly.  Instead the front end mounts any
+//! [`PerfSource`]: a read-only provider that answers the three queries
+//! as ready-to-send JSON bodies.  `skilltax-bench::history` implements
+//! it over the append-only artifact store; tests stub it.
+//!
+//! Routes (all `GET`, mapped by [`respond`]):
+//!
+//! * `/perf/benchmarks` — the labels and benchmark/counter inventory.
+//! * `/perf/trajectory?bench=…&counter=…[&label=…]` — one counter's
+//!   value at every stored commit, significance-classified.
+//! * `/perf/compare?from=…&to=…[&label=…]` — the triaged diff of two
+//!   stored commits (relevant / probably-relevant / noise buckets).
+//!
+//! Query strings are parsed strictly: percent-escapes must be valid,
+//! duplicated keys are rejected, and missing required parameters are a
+//! typed 400 — the same no-silent-defaults policy the front door
+//! applies to `Content-Length`.
+
+use std::fmt;
+
+/// Why a perf query failed.  [`respond`] maps these onto HTTP statuses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// The query is malformed (bad escape, duplicate key, missing or
+    /// unknown parameter) — 400.
+    BadRequest(String),
+    /// The store has no such label, commit, benchmark or counter — 404.
+    NotFound(String),
+    /// The store itself failed (unreadable or corrupt artifact) — 500.
+    Internal(String),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::BadRequest(why) => write!(f, "bad perf query: {why}"),
+            PerfError::NotFound(why) => write!(f, "not found: {why}"),
+            PerfError::Internal(why) => write!(f, "perf store error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+/// A read-only provider of perf-history answers, each a complete JSON
+/// body.  Implementations must be cheap to query concurrently — the
+/// front end calls them from per-connection threads.
+pub trait PerfSource: Send + Sync {
+    /// The store inventory: labels, benchmarks, counters.
+    fn benchmarks(&self, label: Option<&str>) -> Result<String, PerfError>;
+    /// The trajectory of `counter` for `bench` across stored commits.
+    fn trajectory(
+        &self,
+        label: Option<&str>,
+        bench: &str,
+        counter: &str,
+    ) -> Result<String, PerfError>;
+    /// The significance-triaged comparison of two stored commits.
+    fn compare(&self, label: Option<&str>, from: &str, to: &str) -> Result<String, PerfError>;
+}
+
+/// Decode one percent-encoded query component (`+` is a space).
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|pair| std::str::from_utf8(pair).ok())
+                    .and_then(|pair| u8::from_str_radix(pair, 16).ok())
+                    .ok_or_else(|| format!("bad percent-escape in {s:?}"))?;
+                out.push(hex);
+                i += 2;
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8(out).map_err(|_| format!("query component {s:?} is not UTF-8"))
+}
+
+/// Parse `key=value&…` strictly: every pair needs `=`, escapes must
+/// decode, and a duplicated key is an error (never a silent
+/// first-or-last-wins).
+fn parse_query(query: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("query field without '=': {pair:?}"))?;
+        let key = percent_decode(key)?;
+        let value = percent_decode(value)?;
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate query parameter {key:?}"));
+        }
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Look up the parameters a route allows, rejecting strangers so typos
+/// fail loudly instead of silently querying the default.
+fn take<'a>(
+    pairs: &'a [(String, String)],
+    allowed: &[&str],
+) -> Result<impl Fn(&str) -> Option<&'a str>, String> {
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown query parameter {key:?}"));
+        }
+    }
+    Ok(move |name: &str| {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    })
+}
+
+/// Answer one `GET /perf/...` request: returns the HTTP status line and
+/// the JSON body.  `path` is the raw request path including any query
+/// string.
+pub fn respond(source: &dyn PerfSource, path: &str) -> (&'static str, String) {
+    let (route, query) = path.split_once('?').unwrap_or((path, ""));
+    let pairs = match parse_query(query) {
+        Ok(pairs) => pairs,
+        Err(why) => return error_response(&PerfError::BadRequest(why)),
+    };
+    let result = match route {
+        "/perf/benchmarks" => match take(&pairs, &["label"]) {
+            Ok(get) => source.benchmarks(get("label")),
+            Err(why) => Err(PerfError::BadRequest(why)),
+        },
+        "/perf/trajectory" => match take(&pairs, &["label", "bench", "counter"]) {
+            Ok(get) => match (get("bench"), get("counter")) {
+                (Some(bench), Some(counter)) => source.trajectory(get("label"), bench, counter),
+                (None, _) => Err(PerfError::BadRequest("missing parameter 'bench'".into())),
+                (_, None) => Err(PerfError::BadRequest("missing parameter 'counter'".into())),
+            },
+            Err(why) => Err(PerfError::BadRequest(why)),
+        },
+        "/perf/compare" => match take(&pairs, &["label", "from", "to"]) {
+            Ok(get) => match (get("from"), get("to")) {
+                (Some(from), Some(to)) => source.compare(get("label"), from, to),
+                (None, _) => Err(PerfError::BadRequest("missing parameter 'from'".into())),
+                (_, None) => Err(PerfError::BadRequest("missing parameter 'to'".into())),
+            },
+            Err(why) => Err(PerfError::BadRequest(why)),
+        },
+        _ => Err(PerfError::NotFound(format!("no perf route {route:?}"))),
+    };
+    match result {
+        Ok(body) => ("200 OK", body),
+        Err(error) => error_response(&error),
+    }
+}
+
+fn error_response(error: &PerfError) -> (&'static str, String) {
+    let status = match error {
+        PerfError::BadRequest(_) => "400 Bad Request",
+        PerfError::NotFound(_) => "404 Not Found",
+        PerfError::Internal(_) => "500 Internal Server Error",
+    };
+    (
+        status,
+        format!(
+            "{{\"error\":\"{}\"}}",
+            crate::proto::json_escape(&error.to_string())
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub source that echoes what it was asked.
+    struct Echo;
+
+    impl PerfSource for Echo {
+        fn benchmarks(&self, label: Option<&str>) -> Result<String, PerfError> {
+            Ok(format!("{{\"benchmarks\":\"{}\"}}", label.unwrap_or("*")))
+        }
+
+        fn trajectory(
+            &self,
+            label: Option<&str>,
+            bench: &str,
+            counter: &str,
+        ) -> Result<String, PerfError> {
+            if bench == "ghost" {
+                return Err(PerfError::NotFound("no benchmark 'ghost'".into()));
+            }
+            Ok(format!(
+                "{{\"label\":\"{}\",\"bench\":\"{bench}\",\"counter\":\"{counter}\"}}",
+                label.unwrap_or("*")
+            ))
+        }
+
+        fn compare(&self, _: Option<&str>, from: &str, to: &str) -> Result<String, PerfError> {
+            Ok(format!("{{\"from\":\"{from}\",\"to\":\"{to}\"}}"))
+        }
+    }
+
+    #[test]
+    fn routes_dispatch_with_decoded_parameters() {
+        let (status, body) = respond(&Echo, "/perf/benchmarks");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"*\""));
+        let (status, body) = respond(
+            &Echo,
+            "/perf/trajectory?bench=machine%2Fvector_add&counter=cycles",
+        );
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("machine/vector_add"), "{body}");
+        let (status, body) = respond(&Echo, "/perf/compare?from=a1&to=b2");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"from\":\"a1\""));
+    }
+
+    #[test]
+    fn missing_and_duplicate_parameters_are_400() {
+        for path in [
+            "/perf/trajectory?bench=x",
+            "/perf/trajectory?counter=cycles",
+            "/perf/compare?from=a",
+            "/perf/compare?from=a&to=b&from=c",
+            "/perf/trajectory?bench=x&counter=y&verbose",
+            "/perf/benchmarks?label=%zz",
+            "/perf/benchmarks?mystery=1",
+        ] {
+            let (status, body) = respond(&Echo, path);
+            assert_eq!(status, "400 Bad Request", "{path} -> {body}");
+            assert!(body.starts_with("{\"error\":"), "{body}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_entities_are_404() {
+        let (status, _) = respond(&Echo, "/perf/unknown");
+        assert_eq!(status, "404 Not Found");
+        let (status, body) = respond(&Echo, "/perf/trajectory?bench=ghost&counter=cycles");
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("ghost"));
+    }
+}

@@ -406,7 +406,7 @@ pub fn validate(request: &JobRequest, limits: &RequestLimits) -> Result<(), Reje
 }
 
 /// Minimal JSON string escaping for response bodies.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

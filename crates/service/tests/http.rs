@@ -180,6 +180,118 @@ fn oversized_heads_and_bodies_are_capped() {
 }
 
 #[test]
+fn malformed_content_length_is_rejected_not_defaulted() {
+    let (_service, server) = start(8, 1);
+    let addr = server.local_addr();
+    // Before the fix these all fell through `parse().ok()` to a silent
+    // zero-length body; now each is an explicit 400.
+    for bad in [
+        "Content-Length: abc",
+        "Content-Length: -5",
+        "Content-Length: 1x",
+        "Content-Length:",
+        "Content-Length: 99999999999999999999999999",
+        "Content-Length: 7\r\nContent-Length: 9",
+    ] {
+        let response = roundtrip(
+            addr,
+            &format!("POST /jobs HTTP/1.1\r\nHost: t\r\n{bad}\r\n\r\nbody"),
+        );
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "{bad:?} -> {response}"
+        );
+        assert!(response.contains("Content-Length"), "{bad:?} -> {response}");
+    }
+    // Duplicated but *identical* declarations stay acceptable.
+    let body = "tenant=t&kind=simulate&iters=10";
+    let response = roundtrip(
+        addr,
+        &format!(
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {n}\r\nContent-Length: {n}\r\n\r\n{body}",
+            n = body.len()
+        ),
+    );
+    assert!(response.contains("\"outcome\":\"completed\""), "{response}");
+}
+
+/// A perf stub: enough to prove the front end routes `/perf/*` through
+/// a mounted [`skilltax_service::PerfSource`].
+struct StubPerf;
+
+impl skilltax_service::PerfSource for StubPerf {
+    fn benchmarks(&self, _label: Option<&str>) -> Result<String, skilltax_service::PerfError> {
+        Ok("{\"labels\":[\"stub\"]}".into())
+    }
+
+    fn trajectory(
+        &self,
+        _label: Option<&str>,
+        bench: &str,
+        _counter: &str,
+    ) -> Result<String, skilltax_service::PerfError> {
+        if bench == "ghost" {
+            return Err(skilltax_service::PerfError::NotFound(
+                "no benchmark 'ghost'".into(),
+            ));
+        }
+        Ok(format!("{{\"bench\":\"{bench}\"}}"))
+    }
+
+    fn compare(
+        &self,
+        _label: Option<&str>,
+        from: &str,
+        to: &str,
+    ) -> Result<String, skilltax_service::PerfError> {
+        Ok(format!("{{\"from\":\"{from}\",\"to\":\"{to}\"}}"))
+    }
+}
+
+#[test]
+fn perf_endpoints_route_through_a_mounted_source() {
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = skilltax_service::serve_with_perf(
+        Arc::clone(&service),
+        HttpConfig {
+            addr: "127.0.0.1:0".into(),
+            ..HttpConfig::default()
+        },
+        Some(Arc::new(StubPerf)),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let response = roundtrip(addr, "GET /perf/benchmarks HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("\"stub\""), "{response}");
+    let response = roundtrip(
+        addr,
+        "GET /perf/trajectory?bench=machine%2Fx&counter=cycles HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert!(response.contains("machine/x"), "{response}");
+    let response = roundtrip(
+        addr,
+        "GET /perf/trajectory?bench=ghost&counter=cycles HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    let response = roundtrip(addr, "GET /perf/compare?from=a HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    let response = roundtrip(addr, "POST /perf/compare HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+}
+
+#[test]
+fn perf_routes_without_a_mounted_store_are_404() {
+    let (_service, server) = start(8, 1);
+    let response = roundtrip(
+        server.local_addr(),
+        "GET /perf/benchmarks HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    assert!(response.contains("no perf store"), "{response}");
+}
+
+#[test]
 fn shutdown_stops_accepting() {
     let (_service, mut server) = start(8, 1);
     let addr = server.local_addr();

@@ -1,0 +1,169 @@
+//! Record a short perf history and query it over HTTP.
+//!
+//! The self-contained tour of the perf-history pipeline:
+//!
+//! 1. collect one real (quick, filtered) bench artifact in-process;
+//! 2. record it into a temporary history store at three synthetic
+//!    commits, perturbing the copies so the triage classifier has all
+//!    three buckets to show (an exact counter change, a wall drift);
+//! 3. print the `bench_history`-style trajectory table for one counter;
+//! 4. mount the store behind the job service's HTTP front end and hit
+//!    `GET /perf/benchmarks`, `/perf/trajectory` and `/perf/compare`
+//!    with a real client socket, including one malformed query that
+//!    must come back `400 Bad Request`.
+//!
+//! Exits non-zero if any response deviates — the tier-1 example sweep
+//! runs this, so the `/perf/*` contract is smoke-checked on every
+//! verify.
+//!
+//! Run with: `cargo run --release --example perf_history`
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use skilltax::bench::artifact::CollectionMode;
+use skilltax::bench::collector;
+use skilltax::bench::history::{HistoryPerfSource, HistoryStore};
+use skilltax::report::trajectory_table;
+use skilltax::service::{serve_with_perf, HttpConfig, Service, ServiceConfig};
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n").as_bytes())
+        .expect("write request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .trim_start_matches("HTTP/1.1 ")
+        .to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn expect(what: &str, got: &str, want: &str) {
+    if got != want {
+        eprintln!("FAIL: {what}: expected {want:?}, got {got:?}");
+        std::process::exit(1);
+    }
+    println!("  {what}: {got}");
+}
+
+fn main() {
+    let store_root =
+        std::env::temp_dir().join(format!("skilltax-perf-history-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let store = HistoryStore::open(&store_root);
+
+    // 1. One real artifact: the taxonomy benches in quick mode keep the
+    //    example fast while exercising the genuine collector path.
+    println!("collecting taxonomy benches (quick mode) ...");
+    let base = collector::collect_filtered("demo", CollectionMode::Quick, Some("taxonomy"));
+    let bench_name = base.benchmarks[0].name.clone();
+
+    // 2. Three commits: the base, an identical re-run (pure noise), and
+    //    a perturbed run (a deterministic counter regression the triage
+    //    must flag as relevant).
+    store.append("aaa1111", &base).expect("record commit 1");
+    store.append("bbb2222", &base).expect("record commit 2");
+    let mut perturbed = base.clone();
+    for counter in perturbed.benchmarks[0].counters.values_mut() {
+        *counter = *counter + *counter / 5; // +20%
+    }
+    store
+        .append("ccc3333", &perturbed)
+        .expect("record commit 3");
+
+    // 3. The trajectory query, straight through the store.
+    // Any non-zero deterministic counter shows the +20% perturbation.
+    let counter = base.benchmarks[0]
+        .counters
+        .iter()
+        .find(|(_, v)| **v > 0)
+        .map(|(k, _)| k.clone())
+        .expect("collector records a non-zero counter");
+    let trajectory = store
+        .trajectory("demo", &bench_name, &counter)
+        .expect("trajectory query");
+    print!(
+        "{}",
+        trajectory_table(&bench_name, &counter, &trajectory.rows()).render_ascii()
+    );
+    expect(
+        "trajectory relevance",
+        trajectory.relevance().label(),
+        "relevant",
+    );
+
+    // 4. The same data over HTTP.
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let mut server = serve_with_perf(
+        Arc::clone(&service),
+        HttpConfig::default(),
+        Some(Arc::new(HistoryPerfSource::new(store))),
+    )
+    .expect("bind HTTP listener");
+    let addr = server.local_addr();
+    println!();
+    println!("serving the store on http://{addr}");
+    println!("  curl http://{addr}/perf/benchmarks");
+    println!(
+        "  curl 'http://{addr}/perf/trajectory?bench={}&counter={counter}'",
+        bench_name.replace('/', "%2F")
+    );
+    println!("  curl 'http://{addr}/perf/compare?from=bbb2222&to=ccc3333'");
+    println!();
+
+    let (status, body) = get(addr, "/perf/benchmarks");
+    expect("GET /perf/benchmarks", &status, "200 OK");
+    if !body.contains("\"demo\"") {
+        eprintln!("FAIL: inventory does not list the label: {body}");
+        std::process::exit(1);
+    }
+
+    let path = format!(
+        "/perf/trajectory?bench={}&counter={counter}",
+        bench_name.replace('/', "%2F")
+    );
+    let (status, body) = get(addr, &path);
+    expect("GET /perf/trajectory", &status, "200 OK");
+    if !body.contains("\"relevance\":\"relevant\"") {
+        eprintln!("FAIL: trajectory body lost the triage verdict: {body}");
+        std::process::exit(1);
+    }
+
+    let (status, body) = get(addr, "/perf/compare?from=bbb2222&to=ccc3333");
+    expect("GET /perf/compare", &status, "200 OK");
+    if !body.contains("\"buckets\"") {
+        eprintln!("FAIL: compare body has no triage buckets: {body}");
+        std::process::exit(1);
+    }
+    println!("  compare body: {}", &body[..body.len().min(120)]);
+
+    // Input validation holds on the live socket: a missing required
+    // parameter and a hostile commit id are typed 400s, not defaults.
+    let (status, _) = get(addr, "/perf/trajectory?bench=missing-counter");
+    expect(
+        "GET /perf/trajectory (malformed)",
+        &status,
+        "400 Bad Request",
+    );
+    let (status, _) = get(addr, "/perf/compare?from=..%2Fetc&to=ccc3333");
+    expect("GET /perf/compare (hostile id)", &status, "400 Bad Request");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_root);
+    println!();
+    println!("perf-history example passed");
+}

@@ -8,9 +8,15 @@
 #                                the committed baseline (non-zero exit on
 #                                any deterministic-counter regression)
 #   scripts/bench.sh full      — deep local collection to BENCH_local.json
+#   scripts/bench.sh history … — pass-through to the bench_history CLI
+#                                against the default store
+#                                artifacts/history (record / list /
+#                                trajectory / compare subcommands; add
+#                                --store DIR to use another store)
 #
-# An optional second argument narrows any mode to benchmarks whose name
-# contains the substring, e.g. `scripts/bench.sh compare dataflow`.
+# An optional second argument narrows record/compare/full to benchmarks
+# whose name contains the substring, e.g. `scripts/bench.sh compare
+# dataflow`.
 #
 # Batch depth is tunable via SKILLTAX_BENCH_BATCHES / SKILLTAX_BENCH_BATCH_MS.
 set -euo pipefail
@@ -37,8 +43,26 @@ case "${1:-compare}" in
         cargo run --release --offline -p skilltax-bench --bin bench_collect -- \
             --label local "${FILTER_ARGS[@]}"
         ;;
+    history)
+        shift
+        if [ $# -eq 0 ]; then
+            echo "usage: scripts/bench.sh history <record|list|trajectory|compare> [flags]" >&2
+            exit 2
+        fi
+        sub="$1"
+        shift
+        # Default to the in-repo store unless the caller named one.
+        store_args=(--store artifacts/history)
+        for arg in "$@"; do
+            if [ "$arg" = "--store" ]; then
+                store_args=()
+            fi
+        done
+        cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+            "$sub" ${store_args[@]+"${store_args[@]}"} "$@"
+        ;;
     *)
-        echo "usage: scripts/bench.sh [record|compare|full] [FILTER]" >&2
+        echo "usage: scripts/bench.sh [record|compare|full|history] [FILTER]" >&2
         exit 2
         ;;
 esac

@@ -57,4 +57,23 @@ SKILLTAX_BENCH_BATCHES=3 SKILLTAX_BENCH_BATCH_MS=2 \
     cargo run --release --offline -p skilltax-bench --bin bench_compare -- \
     --baseline artifacts/BENCH_baseline.json
 
+# Perf-history smoke: record two commits into a throwaway store, then
+# answer a trajectory query and a triaged comparison through the
+# bench_history CLI.  (The perf_history example above already drove the
+# /perf/* HTTP endpoints end-to-end over a real socket.)
+echo "==> perf-history smoke (record x2 + trajectory + compare)"
+HISTORY_STORE="$(mktemp -d)"
+trap 'rm -rf "$HISTORY_STORE"' EXIT
+SKILLTAX_BENCH_BATCHES=3 SKILLTAX_BENCH_BATCH_MS=2 \
+    cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+    record --store "$HISTORY_STORE" --commit smoke1 --label smoke --filter taxonomy >/dev/null
+SKILLTAX_BENCH_BATCHES=3 SKILLTAX_BENCH_BATCH_MS=2 \
+    cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+    record --store "$HISTORY_STORE" --commit smoke2 --label smoke --filter taxonomy >/dev/null
+cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+    trajectory --store "$HISTORY_STORE" \
+    --bench taxonomy/classify_templates --counter work.classified
+cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+    compare --store "$HISTORY_STORE" --from smoke1 --to smoke2
+
 echo "verify: OK"

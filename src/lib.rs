@@ -23,7 +23,11 @@
 //! * [`service`] — a multi-tenant job service over the crates above:
 //!   admission control with per-tenant quotas, deadlines and cancellation,
 //!   machine pooling, a hand-rolled HTTP/1.1 front end, and a deterministic
-//!   chaos-soak harness.
+//!   chaos-soak harness,
+//! * [`bench`] — the continuous-performance harness: the collector and
+//!   regression gate, plus the append-only perf-history store with
+//!   significance-aware triage, mounted read-only behind the service's
+//!   `GET /perf/*` endpoints.
 //!
 //! ```
 //! use skilltax::prelude::*;
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use skilltax_bench as bench;
 pub use skilltax_catalog as catalog;
 pub use skilltax_estimate as estimate;
 pub use skilltax_machine as machine;
