@@ -27,6 +27,7 @@ use skilltax_machine::array::ArraySubtype;
 use skilltax_machine::dataflow::DataflowSubtype;
 use skilltax_machine::interconnect::FabricTopology;
 use skilltax_machine::multi::MultiSubtype;
+use skilltax_machine::profile::{NullProfiler, Phase, SpanProfile};
 use skilltax_machine::spatial::SpatialMachine;
 use skilltax_machine::telemetry::{EventKind, Telemetry, Tracer};
 use skilltax_machine::universal::{program_counter, LutFabric};
@@ -99,6 +100,53 @@ impl Tracer for BenchTracer {
         if let BenchTracer::On(t) = self {
             t.sample(name, value);
         }
+    }
+}
+
+/// Forks the tracer hooks the way [`skilltax_machine::Profiled`] does,
+/// but over a borrowed suite tracer: counters and events keep flowing to
+/// the [`BenchTracer`], span hooks go to `profiler`.  The run loops
+/// monomorphise over the pair, so with a [`NullProfiler`] every span
+/// hook is a deleted no-op and the loop is the baseline loop — which is
+/// what the `/nullprofiler` overhead twin exists to demonstrate.
+struct SpanFork<'a, P> {
+    inner: &'a mut BenchTracer,
+    profiler: P,
+}
+
+impl<P: Tracer> Tracer for SpanFork<'_, P> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        self.inner.record(cycle, kind);
+        self.profiler.record(cycle, kind);
+    }
+
+    fn record_many(&mut self, cycle: u64, kind: EventKind, n: u64) {
+        self.inner.record_many(cycle, kind, n);
+        self.profiler.record_many(cycle, kind, n);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.inner.counter(name, delta);
+    }
+
+    fn sample(&mut self, name: &str, value: u64) {
+        self.inner.sample(name, value);
+    }
+
+    fn span_enter(&mut self, cycle: u64, phase: Phase) {
+        self.profiler.span_enter(cycle, phase);
+    }
+
+    fn span_exit(&mut self, cycle: u64) {
+        self.profiler.span_exit(cycle);
+    }
+
+    fn span_mark(&mut self, cycle: u64, phase: Phase) {
+        self.profiler.span_mark(cycle, phase);
     }
 }
 
@@ -509,6 +557,48 @@ pub fn suite() -> Vec<SuiteBench> {
         },
     ));
 
+    // --- span-profiler overhead twins --------------------------------
+    //
+    // `/nullprofiler` forks the span hooks into a [`NullProfiler`] —
+    // all no-ops the monomorphiser deletes, so this is the compiled
+    // proof that a disabled profiler costs nothing: its wall time must
+    // sit in the baseline's noise floor.  `/profiled` forks into a live
+    // [`SpanProfile`], pricing the enabled profiler.  Both twins'
+    // deterministic counters are gated hard identical to the baseline
+    // entry (profiling observes a run, it never perturbs one).
+    benches.push(SuiteBench::new(
+        "machine/mimd_stagger/multi/256/nullprofiler",
+        "machine.multi",
+        |tracer| {
+            let mut fork = SpanFork {
+                inner: tracer,
+                profiler: NullProfiler,
+            };
+            let run = run_mimd_stagger_multi_traced(256, 4096, false, &mut fork)
+                .expect("staggered MIMD runs");
+            stats_counters(&run.stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/mimd_stagger/multi/256/profiled",
+        "machine.multi",
+        |tracer| {
+            let mut fork = SpanFork {
+                inner: tracer,
+                profiler: SpanProfile::new(),
+            };
+            let run = run_mimd_stagger_multi_traced(256, 4096, false, &mut fork)
+                .expect("staggered MIMD runs");
+            fork.profiler.seal();
+            assert_eq!(
+                fork.profiler.leaf_cycle_total(),
+                run.stats.cycles,
+                "profiled twin leaves must tile the run"
+            );
+            stats_counters(&run.stats)
+        },
+    ));
+
     // --- report rendering --------------------------------------------
     benches.push(SuiteBench::new("report/table3_render", "report", |_| {
         text_counters(&crate::artifacts::table3())
@@ -757,6 +847,29 @@ mod tests {
         ] {
             assert_eq!(find(base), find(&format!("{base}/sharded")), "{base}");
         }
+    }
+
+    #[test]
+    fn profiler_twins_report_identical_counters() {
+        let suite = suite();
+        let find = |name: &str| {
+            suite
+                .iter()
+                .find(|b| b.name() == name)
+                .expect("registered")
+                .capture_counters()
+        };
+        let baseline = find("machine/mimd_stagger/multi/256");
+        assert_eq!(
+            baseline,
+            find("machine/mimd_stagger/multi/256/nullprofiler"),
+            "a disabled profiler must not change a single counter"
+        );
+        assert_eq!(
+            baseline,
+            find("machine/mimd_stagger/multi/256/profiled"),
+            "an enabled profiler observes the run, it never perturbs it"
+        );
     }
 
     #[test]

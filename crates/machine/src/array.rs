@@ -25,6 +25,7 @@ use crate::fault::{FaultPlan, RunOutcome};
 use crate::interconnect::FabricTopology;
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
+use crate::profile::Phase;
 use crate::program::Program;
 use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
 use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
@@ -221,6 +222,10 @@ impl ArrayMachine {
         let live = live_lanes.len() as u64;
         let base: Vec<(u64, u64, u64)> = self.lanes.iter().map(|l| l.counters()).collect();
         let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Lanes);
         loop {
             if self.cancel.flag_raised() {
                 return Err(flag_trip(stats.cycles, stats, tracer));
@@ -322,6 +327,8 @@ impl ArrayMachine {
                 }
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         for (lane, dp) in self.lanes.iter().enumerate() {
             let (alu, mr, mw) = dp.counters();
             let (b_alu, b_mr, b_mw) = base[lane];

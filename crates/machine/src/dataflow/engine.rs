@@ -25,6 +25,7 @@ use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::fault::{FaultPlan, RunOutcome};
 use crate::isa::Word;
+use crate::profile::Phase;
 use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
 
 use super::graph::{DataflowGraph, NodeId, OpKind};
@@ -445,6 +446,10 @@ impl DataflowMachine {
         let mut stats = Stats::default();
 
         let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         while fired < graph.len() {
             if self.cancel.flag_raised() {
                 return Err(flag_trip(stats.cycles, stats, tracer));
@@ -530,6 +535,8 @@ impl DataflowMachine {
                 }
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         Ok(DataflowRun { outputs, stats })
     }
 
@@ -565,6 +572,10 @@ impl DataflowMachine {
         let mut fired_this_cycle: Vec<NodeId> = Vec::new();
 
         let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         while fired < graph.len() {
             if self.cancel.flag_raised() {
                 return Err(flag_trip(stats.cycles, stats, tracer));
@@ -659,6 +670,8 @@ impl DataflowMachine {
                 }
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         Ok(DataflowRun { outputs, stats })
     }
 }

@@ -22,7 +22,10 @@
 //!   asynchronous flags) composed with the watchdog budgets, so a
 //!   long-running service can stop compute mid-slice with partial stats;
 //! * [`telemetry`] — cycle-level tracing and metrics, zero-cost when
-//!   disabled, threaded through every run loop.
+//!   disabled, threaded through every run loop;
+//! * [`profile`] — hierarchical phase spans (decode / slice / warp /
+//!   lanes …) layered on the same tracer hooks: zero-cost when disabled,
+//!   leaf extents reconcile exactly with `Stats` cycle totals.
 //!
 //! ```
 //! use skilltax_machine::array::{ArrayMachine, ArraySubtype};
@@ -51,6 +54,7 @@ pub mod mem;
 pub mod morph;
 pub mod multi;
 pub mod noc;
+pub mod profile;
 pub mod program;
 pub mod reconfig;
 pub mod shard;
@@ -67,9 +71,10 @@ pub use error::MachineError;
 pub use exec::Stats;
 pub use fault::{FaultPlan, LinkOutage, ResilienceRow, RunOutcome};
 pub use isa::{Instr, Reg, Word};
+pub use profile::{Mark, NullProfiler, Phase, Profiled, Span, SpanProfile};
 pub use program::{Assembler, Program};
 pub use shard::configured_threads;
 pub use telemetry::{
-    EventClass, EventKind, EventTrace, FaultKind, MetricsRegistry, NullTracer, Telemetry,
-    TraceEvent, Tracer,
+    EventClass, EventKind, EventTrace, FaultKind, Histogram, MetricsRegistry, NullTracer,
+    Telemetry, TraceEvent, Tracer,
 };

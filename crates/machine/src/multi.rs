@@ -27,6 +27,7 @@ use crate::fault::{FaultPlan, RetryState, RunOutcome, DEFAULT_MAX_RETRIES};
 use crate::interconnect::{FabricTopology, Mailboxes};
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
+use crate::profile::Phase;
 use crate::program::Program;
 use crate::shard::{plan_cuts, resolve_shards, SenseBarrier, StageTracer, StagedOp};
 use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
@@ -489,6 +490,10 @@ impl MultiMachine {
             .map_or(DEFAULT_MAX_RETRIES, FaultPlan::max_retries);
         let base: Vec<(u64, u64, u64)> = self.cores.iter().map(|c| c.dp.counters()).collect();
         let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         loop {
             if self.cores.iter().all(|c| c.halted) {
                 break;
@@ -530,6 +535,7 @@ impl MultiMachine {
                             stats.messages += 1;
                             tracer.record(stats.cycles, EventKind::Message { from, to: lane });
                             tracer.record(stats.cycles, EventKind::CrossbarTraversal);
+                            tracer.span_mark(stats.cycles, Phase::Delivery);
                             progress = true;
                         }
                         None => {
@@ -601,6 +607,7 @@ impl MultiMachine {
                                 );
                                 tracer.record(stats.cycles, EventKind::Retry);
                                 tracer.record(stats.cycles, EventKind::Stall);
+                                tracer.span_mark(stats.cycles, Phase::Retry);
                                 tracer.counter("retries", 1);
                                 tracer.sample("backoff.delay", delay);
                                 progress = true;
@@ -650,6 +657,8 @@ impl MultiMachine {
                 });
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         for (i, core) in self.cores.iter().enumerate() {
             let (alu, mr, mw) = core.dp.counters();
             let (b_alu, b_mr, b_mw) = base[i];
@@ -720,6 +729,10 @@ impl MultiMachine {
         let mut sleeping: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         let mut blocked: Vec<(usize, u64)> = Vec::new();
 
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         loop {
             if active.is_empty() && sleeping.is_empty() && blocked.is_empty() {
                 break; // every core halted
@@ -771,6 +784,12 @@ impl MultiMachine {
                 let dormant = sleeping.len() as u64;
                 stats.stalls += skipped * dormant;
                 tracer.record_many(next - 1, EventKind::Stall, skipped * dormant);
+                // The warped-over cycles are their own leaf span, so the
+                // Slice/Warp alternation still tiles [0, cycles] exactly.
+                tracer.span_exit(stats.cycles);
+                tracer.span_enter(stats.cycles, Phase::Warp);
+                tracer.span_exit(next - 1);
+                tracer.span_enter(next - 1, Phase::Slice);
             }
             stats.cycles = next;
             self.mailboxes.set_cycle(next);
@@ -806,6 +825,7 @@ impl MultiMachine {
                             stats.messages += 1;
                             tracer.record(cycle, EventKind::Message { from, to: lane });
                             tracer.record(cycle, EventKind::CrossbarTraversal);
+                            tracer.span_mark(cycle, Phase::Delivery);
                             progress = true;
                             idx += 1;
                         }
@@ -925,6 +945,7 @@ impl MultiMachine {
                                 tracer.record(cycle, EventKind::FaultInjected(FaultKind::LinkDown));
                                 tracer.record(cycle, EventKind::Retry);
                                 tracer.record(cycle, EventKind::Stall);
+                                tracer.span_mark(cycle, Phase::Retry);
                                 tracer.counter("retries", 1);
                                 tracer.sample("backoff.delay", delay);
                                 progress = true;
@@ -1005,6 +1026,8 @@ impl MultiMachine {
                 return Err(MachineError::Deadlock { cycle });
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         for (i, core) in self.cores.iter().enumerate() {
             let (alu, mr, mw) = core.dp.counters();
             let (b_alu, b_mr, b_mw) = base[i];
@@ -1405,6 +1428,12 @@ impl MultiMachine {
             let mut agg_min_wake: Option<u64> = None;
             let mut agg_all_halted = false;
             let mut agg_non_halted = n as u64;
+            // Spans are coordinator-side only: workers stage their tracer
+            // calls, so the coordinator owns the one coherent timeline.
+            tracer.span_enter(0, Phase::Run);
+            tracer.span_enter(0, Phase::Decode);
+            tracer.span_exit(0);
+            tracer.span_enter(0, Phase::Slice);
             let run_result: Result<(), MachineError> = loop {
                 if agg_all_halted {
                     break Ok(());
@@ -1439,12 +1468,21 @@ impl MultiMachine {
                     // like the dense loop's no-progress check.
                     (stats.cycles + 1, 0)
                 };
+                if skipped > 0 {
+                    // Same Slice/Warp alternation as the event scheduler,
+                    // so leaves tile [0, cycles] under sharding too.
+                    tracer.span_exit(stats.cycles);
+                    tracer.span_enter(stats.cycles, Phase::Warp);
+                    tracer.span_exit(next - 1);
+                    tracer.span_enter(next - 1, Phase::Slice);
+                }
                 *decision.lock().expect("decision lock") = SliceDecision::Run {
                     cycle: next,
                     skipped,
                 };
                 barrier.wait(&mut sense); // release the slice
                 barrier.wait(&mut sense); // all reports are in
+                tracer.span_mark(next, Phase::Barrier);
                 stats.cycles = next;
                 agg_can_act = false;
                 agg_staged = false;
@@ -1494,6 +1532,10 @@ impl MultiMachine {
                     break Err(MachineError::Deadlock { cycle: next });
                 }
             };
+            if run_result.is_ok() {
+                tracer.span_exit(stats.cycles);
+                tracer.span_exit(stats.cycles);
+            }
             *decision.lock().expect("decision lock") = SliceDecision::Stop;
             barrier.wait(&mut sense);
             let children: Vec<(BankedMemory, Mailboxes, Option<FaultPlan>)> = handles
@@ -1621,6 +1663,7 @@ impl MultiMachine {
         for &f in &failed {
             self.rebind(f, spare)?;
             tracer.record(outcome.stats.cycles, EventKind::Degradation);
+            tracer.span_mark(outcome.stats.cycles, Phase::Degrade);
             let phase: Vec<usize> = (0..n).map(|i| if i == f { f } else { n }).collect();
             let replay = self.execute_with(&library, &phase, Some(plan.fork()), tracer)?;
             outcome.stats = outcome.stats.accumulate_sequential(replay.stats);

@@ -25,6 +25,7 @@ use crate::interconnect::FabricTopology;
 use crate::isa::{Instr, Word};
 use crate::mem::{BankedMemory, DataTopology};
 use crate::multi::MultiSubtype;
+use crate::profile::Phase;
 use crate::program::Program;
 use crate::shard::{plan_cuts, resolve_shards, SenseBarrier, StageTracer, StagedOp};
 use crate::telemetry::{EventKind, NullTracer, Tracer};
@@ -241,6 +242,10 @@ impl SpatialMachine {
         let mut stats = Stats::default();
         let base: Vec<(u64, u64, u64)> = self.dps.iter().map(|d| d.counters()).collect();
         let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         if self.dense_reference {
             // Dense reference loop: every group is visited every cycle.
             loop {
@@ -307,6 +312,8 @@ impl SpatialMachine {
                 }
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         for (i, dp) in self.dps.iter().enumerate() {
             let (alu, mr, mw) = dp.counters();
             let (b_alu, b_mr, b_mw) = base[i];
@@ -540,6 +547,11 @@ impl SpatialMachine {
             let mut sense = false;
             let mut stats = Stats::default();
             let mut agg_all_halted = false;
+            // Coordinator-side spans: one coherent timeline per run.
+            tracer.span_enter(0, Phase::Run);
+            tracer.span_enter(0, Phase::Decode);
+            tracer.span_exit(0);
+            tracer.span_enter(0, Phase::Slice);
             let run_result: Result<(), MachineError> = loop {
                 if agg_all_halted {
                     break Ok(());
@@ -556,6 +568,7 @@ impl SpatialMachine {
                 *decision.lock().expect("decision lock") = GroupDecision::Run { cycle: next };
                 barrier.wait(&mut sense); // release the slice
                 barrier.wait(&mut sense); // all reports are in
+                tracer.span_mark(next, Phase::Barrier);
                 stats.cycles = next;
                 agg_all_halted = true;
                 let mut error: Option<MachineError> = None;
@@ -574,6 +587,10 @@ impl SpatialMachine {
                     break Err(e);
                 }
             };
+            if run_result.is_ok() {
+                tracer.span_exit(stats.cycles);
+                tracer.span_exit(stats.cycles);
+            }
             *decision.lock().expect("decision lock") = GroupDecision::Stop;
             barrier.wait(&mut sense);
             let children: Vec<BankedMemory> = handles

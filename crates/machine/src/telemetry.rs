@@ -200,6 +200,18 @@ pub trait Tracer {
 
     /// Record one observation of a named distribution (histogram).
     fn sample(&mut self, _name: &str, _value: u64) {}
+
+    /// Open a hierarchical phase span at `cycle` (see
+    /// [`profile`](crate::profile)).  Defaults to a no-op so span hooks,
+    /// like every other hook, compile away under [`NullTracer`].
+    fn span_enter(&mut self, _cycle: u64, _phase: crate::profile::Phase) {}
+
+    /// Close the innermost open phase span at `cycle`.
+    fn span_exit(&mut self, _cycle: u64) {}
+
+    /// Record an instantaneous phase marker at `cycle` (barrier crossings,
+    /// deliveries, retries — events with no duration of their own).
+    fn span_mark(&mut self, _cycle: u64, _phase: crate::profile::Phase) {}
 }
 
 /// The do-nothing tracer: every hook inlines away.
@@ -590,6 +602,42 @@ mod tests {
         assert_eq!(buckets[11], 1); // 1024
         assert_eq!(buckets[16], 1); // overflow bucket
         assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_edges_are_well_defined() {
+        // Empty: mean is 0.0, not NaN, and min/max stay at their
+        // documented zero placeholders.
+        let empty = Histogram::default();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!((empty.count, empty.min, empty.max, empty.sum), (0, 0, 0, 0));
+
+        // A lone zero is a real observation, distinct from empty.
+        let mut zero = Histogram::default();
+        zero.record(0);
+        assert_eq!((zero.count, zero.min, zero.max, zero.sum), (1, 0, 0, 0));
+        assert_eq!(zero.mean(), 0.0);
+        assert_eq!(zero.bucket_counts()[0], 1);
+        assert_eq!(zero.bucket_counts()[1..].iter().sum::<u64>(), 0);
+
+        // u64::MAX lands in the overflow bucket and the sum saturates
+        // instead of wrapping when recorded repeatedly.
+        let mut max = Histogram::default();
+        max.record(u64::MAX);
+        max.record(u64::MAX);
+        assert_eq!(max.count, 2);
+        assert_eq!(max.sum, u64::MAX);
+        assert_eq!(max.max, u64::MAX);
+        assert_eq!(max.bucket_counts()[16], 2);
+        assert!(max.mean().is_finite());
+
+        // Bucket boundaries: 2^15 - 1 is the last finite bucket's top;
+        // 2^15 spills into the overflow bucket.
+        let mut edge = Histogram::default();
+        edge.record((1 << 15) - 1);
+        edge.record(1 << 15);
+        assert_eq!(edge.bucket_counts()[15], 1);
+        assert_eq!(edge.bucket_counts()[16], 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::isa::Word;
 use crate::mem::{BankedMemory, DataTopology};
+use crate::profile::Phase;
 use crate::program::Program;
 use crate::telemetry::{EventKind, NullTracer, Tracer};
 
@@ -100,6 +101,10 @@ impl UniProcessor {
         let mut pc = 0usize;
         let base = self.dp.counters();
         let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         loop {
             if self.cancel.flag_raised() {
                 return Err(flag_trip(stats.cycles, stats, tracer));
@@ -130,6 +135,8 @@ impl UniProcessor {
                 LocalOutcome::Halt => break,
             }
         }
+        tracer.span_exit(stats.cycles);
+        tracer.span_exit(stats.cycles);
         let (alu, mr, mw) = self.dp.counters();
         stats.alu_ops = alu - base.0;
         stats.mem_reads = mr - base.1;

@@ -11,6 +11,7 @@ use std::sync::Mutex;
 use crate::cancel::{flag_trip, CancelToken, RunBudget};
 use crate::error::MachineError;
 use crate::exec::Stats;
+use crate::profile::Phase;
 use crate::shard::{plan_cuts, resolve_shards, SenseBarrier};
 use crate::telemetry::{EventKind, NullTracer, Tracer};
 
@@ -459,6 +460,10 @@ impl ConfiguredFabric {
         }
         let budget = RunBudget::resolve(limit, &self.cancel);
         let mut stats = Stats::default();
+        tracer.span_enter(0, Phase::Run);
+        tracer.span_enter(0, Phase::Decode);
+        tracer.span_exit(0);
+        tracer.span_enter(0, Phase::Slice);
         loop {
             if self.cancel.flag_raised() {
                 return Err(flag_trip(stats.cycles, stats, tracer));
@@ -471,6 +476,8 @@ impl ConfiguredFabric {
             stats.instructions += 1; // one fabric-wide evaluation per edge
             tracer.record(stats.cycles, EventKind::Issue);
             if done(&out) {
+                tracer.span_exit(stats.cycles);
+                tracer.span_exit(stats.cycles);
                 return Ok((out, stats));
             }
         }
@@ -633,6 +640,11 @@ impl ConfiguredFabric {
 
             let mut sense = false;
             let mut stats = Stats::default();
+            // Coordinator-side spans: one coherent timeline per run.
+            tracer.span_enter(0, Phase::Run);
+            tracer.span_enter(0, Phase::Decode);
+            tracer.span_exit(0);
+            tracer.span_enter(0, Phase::Slice);
             let run_result: Result<Option<Vec<bool>>, MachineError> = loop {
                 if cancel.flag_raised() {
                     break Err(flag_trip(stats.cycles, stats, tracer));
@@ -668,10 +680,13 @@ impl ConfiguredFabric {
                         Source::One => true,
                     })
                     .collect();
+                tracer.span_mark(stats.cycles + 1, Phase::Barrier);
                 stats.cycles += 1;
                 stats.instructions += 1; // one fabric-wide evaluation per edge
                 tracer.record(stats.cycles, EventKind::Issue);
                 if done(&out) {
+                    tracer.span_exit(stats.cycles);
+                    tracer.span_exit(stats.cycles);
                     break Ok(Some(out));
                 }
             };

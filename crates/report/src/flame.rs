@@ -1,0 +1,194 @@
+//! Flamegraph aggregation over profiled span trees.
+//!
+//! Consumes the plain-data rows produced by the machine crate's
+//! `SpanProfile::rows()` — `(label, start, end, parent index)` in record
+//! order, parents before children — and renders them as folded stacks
+//! (the `flamegraph.pl` input format, one `root;child;leaf <weight>`
+//! line per distinct stack), as a self-time/total-time aggregation
+//! table, and as CSV.  Weights are whatever unit the profile was
+//! stamped in (machine cycles or nanoseconds); the renderers never
+//! rescale.
+
+use crate::csv::CsvWriter;
+use crate::table::{Align, Table};
+use std::collections::BTreeMap;
+
+/// One profiled span as plain data: `(label, start, end, parent index)`.
+pub type SpanRow = (String, u64, u64, Option<usize>);
+
+/// Inclusive duration of a row.
+fn extent(row: &SpanRow) -> u64 {
+    row.2 - row.1
+}
+
+/// Self time per row: its extent minus the extents of its direct
+/// children (saturating, so a malformed tree cannot underflow).
+fn self_times(rows: &[SpanRow]) -> Vec<u64> {
+    let mut selfs: Vec<u64> = rows.iter().map(extent).collect();
+    for row in rows {
+        if let Some(p) = row.3 {
+            selfs[p] = selfs[p].saturating_sub(extent(row));
+        }
+    }
+    selfs
+}
+
+/// The `;`-joined stack path from the root down to `idx`.
+fn stack_path(rows: &[SpanRow], idx: usize) -> String {
+    let mut chain = vec![idx];
+    let mut cursor = idx;
+    while let Some(p) = rows[cursor].3 {
+        chain.push(p);
+        cursor = p;
+    }
+    chain
+        .iter()
+        .rev()
+        .map(|&i| rows[i].0.as_str())
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Folded-stack lines for `flamegraph.pl`-style tools: one
+/// `stack;path weight` line per distinct stack, weighted by **self**
+/// time and aggregated across repeated occurrences (an event-driven
+/// run re-enters `slice` once per warp).  Zero-weight stacks are
+/// skipped; lines are sorted for deterministic output.
+pub fn folded_stacks(rows: &[SpanRow]) -> String {
+    let selfs = self_times(rows);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, weight) in selfs.iter().enumerate() {
+        if *weight == 0 {
+            continue;
+        }
+        *folded.entry(stack_path(rows, i)).or_insert(0) += weight;
+    }
+    let mut out = String::new();
+    for (stack, weight) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-phase totals aggregated by stack path:
+/// `(stack, calls, total, self)`, sorted by descending self time.
+pub fn flame_rows(rows: &[SpanRow]) -> Vec<(String, u64, u64, u64)> {
+    let selfs = self_times(rows);
+    let mut agg: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for i in 0..rows.len() {
+        let e = agg.entry(stack_path(rows, i)).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += extent(&rows[i]);
+        e.2 += selfs[i];
+    }
+    let mut list: Vec<(String, u64, u64, u64)> = agg
+        .into_iter()
+        .map(|(stack, (calls, total, own))| (stack, calls, total, own))
+        .collect();
+    list.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+    list
+}
+
+/// Self-time/total-time aggregation as an ASCII table.  `unit` names
+/// the weight column (`"cycles"`, `"ns"`).
+pub fn flame_table(rows: &[SpanRow], unit: &str) -> Table {
+    let grand: u64 = self_times(rows).iter().sum();
+    let mut t = Table::new(vec![
+        "stack".to_owned(),
+        "calls".to_owned(),
+        format!("total {unit}"),
+        format!("self {unit}"),
+        "self %".to_owned(),
+    ])
+    .with_title(format!("span profile — {grand} {unit} across leaves"))
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for (stack, calls, total, own) in flame_rows(rows) {
+        let pct = if grand == 0 {
+            0.0
+        } else {
+            100.0 * own as f64 / grand as f64
+        };
+        t.push_row(vec![
+            stack,
+            calls.to_string(),
+            total.to_string(),
+            own.to_string(),
+            format!("{pct:.1}"),
+        ]);
+    }
+    t
+}
+
+/// The aggregation as CSV (`stack,calls,total,self`).
+pub fn flame_csv(rows: &[SpanRow]) -> String {
+    let mut w = CsvWriter::new();
+    w.header(&["stack", "calls", "total", "self"]);
+    for (stack, calls, total, own) in flame_rows(rows) {
+        w.row(&[stack, calls.to_string(), total.to_string(), own.to_string()]);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// run[0,100] > slice[0,60], warp[60,70], slice[70,100] — an
+    /// event-driven shape with a repeated leaf stack.
+    fn sample() -> Vec<SpanRow> {
+        vec![
+            ("run".to_owned(), 0, 100, None),
+            ("slice".to_owned(), 0, 60, Some(0)),
+            ("warp".to_owned(), 60, 70, Some(0)),
+            ("slice".to_owned(), 70, 100, Some(0)),
+        ]
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_repeated_leaves() {
+        let text = folded_stacks(&sample());
+        assert_eq!(text, "run;slice 90\nrun;warp 10\n");
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let rows = sample();
+        let agg = flame_rows(&rows);
+        // run has zero self time (fully covered by leaves) but still
+        // appears with its total.
+        let run = agg.iter().find(|r| r.0 == "run").unwrap();
+        assert_eq!((run.1, run.2, run.3), (1, 100, 0));
+        let slice = agg.iter().find(|r| r.0 == "run;slice").unwrap();
+        assert_eq!((slice.1, slice.2, slice.3), (2, 90, 90));
+        // Sorted by descending self time: slice first.
+        assert_eq!(agg[0].0, "run;slice");
+    }
+
+    #[test]
+    fn table_and_csv_render_totals() {
+        let rows = sample();
+        let rendered = flame_table(&rows, "cycles").render_ascii();
+        assert!(rendered.contains("100 cycles across leaves"));
+        assert!(rendered.contains("run;warp"));
+        let csv = flame_csv(&rows);
+        assert!(csv.starts_with("stack,calls,total,self"));
+        assert!(csv.contains("run;slice,2,90,90"));
+    }
+
+    #[test]
+    fn empty_profile_renders_empty() {
+        assert_eq!(folded_stacks(&[]), "");
+        assert!(flame_table(&[], "ns")
+            .render_ascii()
+            .contains("0 ns across leaves"));
+    }
+}

@@ -7,8 +7,11 @@
 //! degradation matrix ([`resilience`]), per-run telemetry renderers
 //! ([`telemetry`]: cycle breakdowns, counter tables, CSV/JSON exports),
 //! the bench regression-gate report ([`regression`]), perf-history
-//! trajectory tables and CSV ([`trajectory`]), and the job service's
-//! per-tenant operational ledger ([`service`]).
+//! trajectory tables and CSV ([`trajectory`]), the job service's
+//! per-tenant operational ledger ([`service`]), and the span-profiler
+//! surfaces: flamegraph folded stacks and self-time aggregation
+//! ([`flame`]), Chrome trace-event JSON ([`trace`]), and Prometheus
+//! text exposition ([`prometheus`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -17,19 +20,26 @@ pub mod chart;
 pub mod csv;
 pub mod diagram;
 pub mod dot;
+pub mod flame;
 pub mod json;
+pub mod prometheus;
 pub mod regression;
 pub mod resilience;
 pub mod service;
 pub mod table;
 pub mod telemetry;
+pub mod trace;
 pub mod trajectory;
 
 pub use chart::{ascii_bar_chart, ascii_trend_chart, svg_bar_chart, svg_line_chart, Bar, Series};
 pub use csv::CsvWriter;
 pub use diagram::{diagram, figure};
 pub use dot::{hasse_edges, DotGraph};
+pub use flame::{flame_csv, flame_rows, flame_table, folded_stacks, SpanRow};
 pub use json::Json;
+pub use prometheus::{
+    escape_label_value, sanitize_metric_name, PromWriter, PROMETHEUS_CONTENT_TYPE,
+};
 pub use regression::{regression_summary, regression_table, RegressionRow, Severity};
 pub use resilience::{resilience_csv, resilience_table, ResilienceEntry};
 pub use service::{service_csv, service_table, ServiceTenantRow};
@@ -38,4 +48,5 @@ pub use telemetry::{
     counter_table, cycle_breakdown, telemetry_csv, telemetry_json, telemetry_table,
     HistogramSummary, TelemetrySummary,
 };
+pub use trace::{chrome_trace, TraceTrack};
 pub use trajectory::{trajectory_csv, trajectory_table, TrajectoryRow};

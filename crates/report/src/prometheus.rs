@@ -1,0 +1,237 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! A hand-rolled writer for the plain-text scrape format: `# HELP` /
+//! `# TYPE` headers, labelled samples, and log2-bucketed histograms
+//! flattened into the cumulative `_bucket{le="..."}` / `_sum` / `_count`
+//! series Prometheus expects.  Metric names are sanitised to the legal
+//! charset (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and label values are escaped per
+//! the exposition spec (`\\`, `\"`, `\n`), so arbitrary tenant ids are
+//! safe to emit as labels.
+
+use std::fmt::Write as _;
+
+/// The Content-Type a scrape endpoint must declare for this format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Force a name into the legal metric-name charset: every illegal
+/// character becomes `_`, and a leading digit is prefixed with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if legal {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Incremental writer for one exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// Start an empty document.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Emit `# HELP` and `# TYPE` headers for a metric family.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut PromWriter {
+        let name = sanitize_metric_name(name);
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Emit one integer-valued sample.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) -> &mut PromWriter {
+        let _ = writeln!(
+            self.out,
+            "{}{} {value}",
+            sanitize_metric_name(name),
+            render_labels(labels)
+        );
+        self
+    }
+
+    /// Emit one float-valued sample.
+    pub fn sample_f64(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut PromWriter {
+        let _ = writeln!(
+            self.out,
+            "{}{} {value}",
+            sanitize_metric_name(name),
+            render_labels(labels)
+        );
+        self
+    }
+
+    /// Flatten a log2-bucketed histogram (the machine crate's
+    /// `Histogram::bucket_counts()` layout: bucket 0 holds zeros, bucket
+    /// `i` holds `[2^(i-1), 2^i - 1]`, the last bucket absorbs the rest)
+    /// into cumulative `_bucket{le="..."}` series plus `_sum` and
+    /// `_count`.  Emit [`PromWriter::family`] with kind `histogram`
+    /// first.
+    pub fn log2_histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64],
+        sum: u64,
+        count: u64,
+    ) -> &mut PromWriter {
+        let name = sanitize_metric_name(name);
+        let mut cumulative = 0u64;
+        for (i, n) in buckets.iter().enumerate() {
+            cumulative += n;
+            let le = if i + 1 == buckets.len() {
+                "+Inf".to_owned()
+            } else if i == 0 {
+                "0".to_owned()
+            } else {
+                ((1u64 << i) - 1).to_string()
+            };
+            let mut labelled: Vec<(&str, &str)> = labels.to_vec();
+            labelled.push(("le", &le));
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{} {cumulative}",
+                render_labels(&labelled)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_sum{} {sum}", render_labels(labels));
+        let _ = writeln!(self.out, "{name}_count{} {count}", render_labels(labels));
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitised_to_the_legal_charset() {
+        assert_eq!(sanitize_metric_name("jobs.completed"), "jobs_completed");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("dp.alu-ops"), "dp_alu_ops");
+        assert_eq!(sanitize_metric_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn samples_render_with_labels() {
+        let mut w = PromWriter::new();
+        w.family("jobs_completed", "counter", "Jobs finished.")
+            .sample("jobs_completed", &[("tenant", "acme \"inc\"")], 3);
+        let text = w.finish();
+        assert!(text.contains("# HELP jobs_completed Jobs finished.\n"));
+        assert!(text.contains("# TYPE jobs_completed counter\n"));
+        assert!(text.contains("jobs_completed{tenant=\"acme \\\"inc\\\"\"} 3\n"));
+    }
+
+    #[test]
+    fn log2_histogram_buckets_are_cumulative_and_end_at_inf() {
+        // 17 machine-layout buckets: one zero, one 1, two in [2,3],
+        // one overflow.
+        let mut buckets = [0u64; 17];
+        buckets[0] = 1;
+        buckets[1] = 1;
+        buckets[2] = 2;
+        buckets[16] = 1;
+        let mut w = PromWriter::new();
+        w.family("queue_wait", "histogram", "Queue wait.")
+            .log2_histogram("queue_wait", &[], &buckets, 99, 5);
+        let text = w.finish();
+        assert!(text.contains("queue_wait_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("queue_wait_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("queue_wait_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("queue_wait_bucket{le=\"32767\"} 4\n"));
+        assert!(text.contains("queue_wait_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("queue_wait_sum 99\n"));
+        assert!(text.contains("queue_wait_count 5\n"));
+        // Cumulative counts never decrease.
+        let mut last = 0;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "bucket series regressed: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn every_emitted_name_is_legal() {
+        let mut w = PromWriter::new();
+        w.family("weird.name", "gauge", "x")
+            .sample("weird.name", &[("bad-label", "v")], 1)
+            .sample_f64("2nd", &[], 0.5);
+        let legal = |s: &str| {
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            (first.is_ascii_alphabetic() || first == '_' || first == ':')
+                && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        for line in w.finish().lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(legal(name), "illegal metric name in line: {line}");
+        }
+    }
+}

@@ -50,6 +50,9 @@ pub struct TelemetrySummary {
     pub counters: Vec<(String, u64)>,
     /// Named histograms.
     pub histograms: Vec<HistogramSummary>,
+    /// Events evicted from the bounded trace ring (`EventTrace::dropped`).
+    /// Per-class totals stay exact even when this is non-zero.
+    pub dropped: u64,
 }
 
 impl TelemetrySummary {
@@ -79,7 +82,15 @@ impl TelemetrySummary {
                     sum,
                 })
                 .collect(),
+            dropped: 0,
         }
+    }
+
+    /// Record how many events the bounded ring evicted
+    /// (`trace.dropped()`), so renderers can flag lossy captures.
+    pub fn with_dropped(mut self, dropped: u64) -> TelemetrySummary {
+        self.dropped = dropped;
+        self
     }
 
     /// Total events across all classes.
@@ -90,9 +101,14 @@ impl TelemetrySummary {
 
 /// Per-class event totals as an ASCII table.
 pub fn telemetry_table(summary: &TelemetrySummary) -> Table {
+    let dropped = if summary.dropped > 0 {
+        format!(" ({} dropped from ring)", summary.dropped)
+    } else {
+        String::new()
+    };
     let mut t = Table::new(vec!["event", "count"])
         .with_title(format!(
-            "{} — {} cycles, {} events",
+            "{} — {} cycles, {} events{dropped}",
             summary.run_label,
             summary.cycles,
             summary.total_events()
@@ -190,6 +206,14 @@ pub fn telemetry_csv(summary: &TelemetrySummary) -> String {
         String::new(),
         String::new(),
     ]);
+    w.row(&[
+        "dropped".to_owned(),
+        "trace.ring".to_owned(),
+        summary.dropped.to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
     for (label, count) in &summary.event_counts {
         w.row(&[
             "event".to_owned(),
@@ -262,6 +286,7 @@ pub fn telemetry_json(summary: &TelemetrySummary) -> Json {
     Json::obj(vec![
         ("run", Json::str(summary.run_label.clone())),
         ("cycles", Json::int(summary.cycles as i64)),
+        ("events_dropped", Json::int(summary.dropped as i64)),
         ("events", Json::Arr(events)),
         ("counters", Json::Arr(counters)),
         ("histograms", Json::Arr(histograms)),
@@ -286,6 +311,7 @@ mod tests {
             vec![("retries".to_owned(), 2)],
             vec![("backoff.delay".to_owned(), 2, 1, 3, 4)],
         )
+        .with_dropped(7)
     }
 
     #[test]
@@ -309,6 +335,11 @@ mod tests {
         let rendered = events.render_ascii();
         assert!(rendered.contains("IMP-X demo"));
         assert!(rendered.contains("issue"));
+        assert!(rendered.contains("(7 dropped from ring)"));
+        let lossless = sample().with_dropped(0);
+        assert!(!telemetry_table(&lossless)
+            .render_ascii()
+            .contains("dropped"));
         let metrics = counter_table(&s);
         assert_eq!(metrics.row_count(), 2);
         assert!(metrics.render_ascii().contains("backoff.delay"));
@@ -331,9 +362,10 @@ mod tests {
         let s = sample();
         let text = telemetry_csv(&s);
         let rows = csv::parse(&text);
-        // header + run + 4 events + 1 counter + 1 histogram
-        assert_eq!(rows.len(), 8);
+        // header + run + dropped + 4 events + 1 counter + 1 histogram
+        assert_eq!(rows.len(), 9);
         assert_eq!(rows[0][0], "kind");
+        assert!(rows.iter().any(|r| r[0] == "dropped" && r[2] == "7"));
         assert!(rows.iter().any(|r| r[0] == "histogram" && r[5] == "4"));
     }
 
@@ -343,6 +375,7 @@ mod tests {
         for needle in [
             "\"run\":\"IMP-X demo\"",
             "\"cycles\":40",
+            "\"events_dropped\":7",
             "\"events\":[",
             "\"counters\":[",
             "\"histograms\":[",

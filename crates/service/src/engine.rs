@@ -23,7 +23,10 @@ use std::sync::{Arc, Mutex};
 use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
 use skilltax_machine::fault::{FaultPlan, LinkOutage, RetryState};
 use skilltax_machine::multi::{MultiMachine, MultiSubtype};
-use skilltax_machine::{Assembler, CancelToken, Instr, MachineError, Program, Stats, Word};
+use skilltax_machine::{
+    Assembler, CancelToken, Instr, MachineError, NullTracer, Phase, Profiled, Program, SpanProfile,
+    Stats, Telemetry, Tracer, Word,
+};
 use skilltax_model::dsl::parse_row;
 use skilltax_taxonomy::classify;
 
@@ -108,6 +111,19 @@ fn add_stats(acc: &mut Stats, s: &Stats) {
     acc.stalls += s.stalls;
 }
 
+/// What [`Engine::execute_profiled`] captured alongside the outcome: the
+/// machine-layer span tree (cycle domain, sealed) plus the trace-channel
+/// loss counter, so the service can graft the run into a job timeline
+/// and surface drops in its metrics.
+#[derive(Debug, Clone, Default)]
+pub struct RunCapture {
+    /// The sealed span profile of the run (empty for classify/estimate
+    /// jobs, which never touch a machine loop).
+    pub profile: SpanProfile,
+    /// Events the bounded telemetry ring evicted during the run.
+    pub events_dropped: u64,
+}
+
 /// Is this error worth a whole-job retry under a reseeded environment?
 fn is_transient(error: &MachineError) -> bool {
     matches!(
@@ -173,6 +189,44 @@ impl Engine {
             },
             JobKind::Sweep { cores, iters } => self.sweep(cores, *iters, &token),
         }
+    }
+
+    /// [`Engine::execute`] with span profiling: the same typed outcome,
+    /// plus a sealed cycle-domain [`SpanProfile`] of the machine run and
+    /// the telemetry ring's drop count.  Events and counters still flow
+    /// (into a job-local [`Telemetry`]), so profiled jobs observe the
+    /// identical machine behaviour — the profile rides the same tracer.
+    pub fn execute_profiled(
+        &self,
+        request: &JobRequest,
+        cancel: &CancelToken,
+    ) -> (JobOutcome, RunCapture) {
+        let token = self.request_token(cancel, request.deadline_cycles);
+        let mut t = Profiled::new(Telemetry::new());
+        let outcome = match &request.kind {
+            JobKind::Classify { name, row } => Self::classify_job(name, row),
+            JobKind::Estimate { name, row } => Self::estimate_job(name, row),
+            JobKind::Simulate {
+                cores,
+                iters,
+                scheduler,
+                fault_seed,
+            } => match fault_seed {
+                Some(seed) if *cores >= 2 => {
+                    self.faulted_simulate_traced(*cores, *iters, *scheduler, *seed, &token, &mut t)
+                }
+                _ => self.plain_simulate_traced(*cores, *iters, *scheduler, &token, &mut t),
+            },
+            JobKind::Sweep { cores, iters } => self.sweep_traced(cores, *iters, &token, &mut t),
+        };
+        t.profile.seal();
+        (
+            outcome,
+            RunCapture {
+                events_dropped: t.inner.trace.dropped(),
+                profile: t.profile,
+            },
+        )
     }
 
     fn classify_job(name: &str, row: &str) -> JobOutcome {
@@ -241,12 +295,23 @@ impl Engine {
         scheduler: Scheduler,
         token: &CancelToken,
     ) -> JobOutcome {
+        self.plain_simulate_traced(cores, iters, scheduler, token, &mut NullTracer)
+    }
+
+    fn plain_simulate_traced<T: Tracer>(
+        &self,
+        cores: usize,
+        iters: i64,
+        scheduler: Scheduler,
+        token: &CancelToken,
+        tracer: &mut T,
+    ) -> JobOutcome {
         let program = self.spin(iters);
         if cores <= 1 {
             let result = self
                 .pool
                 .run(self.config.limits.max_cycles, token.clone(), |m| {
-                    m.run(&program)
+                    m.run_traced(&program, tracer)
                 });
             return match result {
                 Ok(stats) => JobOutcome::Completed {
@@ -261,7 +326,7 @@ impl Engine {
             .build_multi(cores, 1, scheduler)
             .with_cancel(token.clone());
         let programs = vec![(*program).clone(); cores];
-        match m.run(&programs) {
+        match m.run_traced(&programs, tracer) {
             Ok(stats) => JobOutcome::Completed {
                 summary: String::new(),
                 stats: Some(stats),
@@ -323,13 +388,25 @@ impl Engine {
         seed: u64,
         token: &CancelToken,
     ) -> JobOutcome {
+        self.faulted_simulate_traced(cores, iters, scheduler, seed, token, &mut NullTracer)
+    }
+
+    fn faulted_simulate_traced<T: Tracer>(
+        &self,
+        cores: usize,
+        iters: i64,
+        scheduler: Scheduler,
+        seed: u64,
+        token: &CancelToken,
+        tracer: &mut T,
+    ) -> JobOutcome {
         let mut retry = RetryState::default();
         loop {
             let (programs, plan, subtype) = self.fault_trial(seed, cores, iters, retry.attempts);
             let mut m = self
                 .build_multi(cores, subtype, scheduler)
                 .with_cancel(token.clone());
-            match m.run_resilient(&programs, plan) {
+            match m.run_resilient_traced(&programs, plan, tracer) {
                 Ok(out) => {
                     return if out.degraded || out.faults_injected > 0 {
                         JobOutcome::Degraded {
@@ -354,6 +431,8 @@ impl Engine {
                     {
                         return JobOutcome::from_error(e, retry.attempts);
                     }
+                    // A whole-job retry is a profile instant between runs.
+                    tracer.span_mark(0, Phase::Retry);
                 }
                 Err(e) => return JobOutcome::from_error(e, retry.attempts),
             }
@@ -361,10 +440,22 @@ impl Engine {
     }
 
     fn sweep(&self, cores: &[usize], iters: i64, token: &CancelToken) -> JobOutcome {
+        self.sweep_traced(cores, iters, token, &mut NullTracer)
+    }
+
+    /// Each sweep point runs as its own sequential root span in the
+    /// profile, so the exported timeline shows the points end to end.
+    fn sweep_traced<T: Tracer>(
+        &self,
+        cores: &[usize],
+        iters: i64,
+        token: &CancelToken,
+        tracer: &mut T,
+    ) -> JobOutcome {
         let mut total = Stats::default();
         let mut points = String::new();
         for &c in cores {
-            let outcome = self.plain_simulate(c, iters, Scheduler::Event, token);
+            let outcome = self.plain_simulate_traced(c, iters, Scheduler::Event, token, tracer);
             match outcome {
                 JobOutcome::Completed {
                     stats: Some(stats), ..

@@ -8,8 +8,13 @@
 //!
 //! * `POST /jobs` — a `key=value&…` body ([`crate::proto::parse_request`]);
 //!   replies `200` with the outcome JSON, or a typed 4xx with a
-//!   `Retry-After` header where retrying helps.
-//! * `GET /metrics` — counter snapshot as JSON.
+//!   `Retry-After` header where retrying helps.  Add `profile=true` to
+//!   the body and the job is span-profiled end to end; the assembled
+//!   timeline lands in the trace ring behind `GET /trace/jobs`.
+//! * `GET /metrics` — counter snapshot as JSON, or Prometheus text
+//!   exposition with `?format=prometheus` (or `Accept: text/plain`).
+//! * `GET /trace/jobs` — recent profiled jobs as a Chrome trace-event
+//!   document (load it in `chrome://tracing` or Perfetto).
 //! * `GET /healthz` — liveness probe.
 //! * `GET /perf/*` — read-only perf-history queries, served when a
 //!   [`PerfSource`] is mounted via [`serve_with_perf`] (see
@@ -22,9 +27,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use skilltax_report::prometheus::{PromWriter, PROMETHEUS_CONTENT_TYPE};
+use skilltax_report::trace::{chrome_trace, TraceTrack};
+
 use crate::perf::{self, PerfSource};
-use crate::proto::{outcome_json, parse_request, rejection_json, Rejection};
+use crate::proto::{outcome_json, parse_request_profiled, rejection_json, Rejection};
 use crate::service::{Service, ServiceMetrics};
+
+const JSON_CONTENT_TYPE: &str = "application/json";
 
 /// Environment knob for the listen address.
 pub const ADDR_ENV: &str = "SKILLTAX_SERVICE_ADDR";
@@ -150,20 +160,148 @@ fn metrics_json(m: &ServiceMetrics) -> String {
         .collect();
     format!(
         "{{\"submitted\":{},\"admitted\":{},\"rejected\":{},\"finished\":{},\
-         \"in_flight\":{},\"peak_depth\":{},\"outcomes\":{{{}}}}}",
+         \"in_flight\":{},\"peak_depth\":{},\"trace_events_dropped\":{},\"outcomes\":{{{}}}}}",
         m.submitted,
         m.admitted,
         m.rejected(),
         m.finished(),
         m.in_flight,
         m.peak_depth,
+        m.trace_events_dropped,
         outcomes.join(",")
     )
+}
+
+/// Render a [`ServiceMetrics`] snapshot as Prometheus text exposition
+/// (format 0.0.4) — what `GET /metrics?format=prometheus` serves.
+/// Tenant ids appear as escaped label values, and the log2 wait/cycle
+/// histograms flatten into cumulative `_bucket` series.
+pub fn prometheus_text(m: &ServiceMetrics) -> String {
+    let mut w = PromWriter::new();
+    w.family(
+        "skilltax_jobs_submitted_total",
+        "counter",
+        "Requests offered to submit.",
+    )
+    .sample("skilltax_jobs_submitted_total", &[], m.submitted);
+    w.family(
+        "skilltax_jobs_admitted_total",
+        "counter",
+        "Requests admitted to the queue.",
+    )
+    .sample("skilltax_jobs_admitted_total", &[], m.admitted);
+    w.family(
+        "skilltax_jobs_rejected_total",
+        "counter",
+        "Requests refused, by reason.",
+    );
+    for (reason, count) in [
+        ("queue_full", m.rejected_queue_full),
+        ("quota", m.rejected_quota),
+        ("oversized", m.rejected_oversized),
+        ("shutdown", m.rejected_shutdown),
+    ] {
+        w.sample("skilltax_jobs_rejected_total", &[("reason", reason)], count);
+    }
+    w.family(
+        "skilltax_jobs_finished_total",
+        "counter",
+        "Terminal outcomes, by label.",
+    );
+    for (label, count) in &m.outcomes {
+        w.sample(
+            "skilltax_jobs_finished_total",
+            &[("outcome", label)],
+            *count,
+        );
+    }
+    w.family(
+        "skilltax_jobs_in_flight",
+        "gauge",
+        "Jobs currently executing.",
+    )
+    .sample("skilltax_jobs_in_flight", &[], m.in_flight as u64);
+    w.family(
+        "skilltax_queue_peak_depth",
+        "gauge",
+        "Deepest the queue has been.",
+    )
+    .sample("skilltax_queue_peak_depth", &[], m.peak_depth as u64);
+    w.family(
+        "skilltax_tenant_jobs_total",
+        "counter",
+        "Per-tenant job counts, by stage.",
+    );
+    for (tenant, (admitted, finished)) in &m.per_tenant {
+        w.sample(
+            "skilltax_tenant_jobs_total",
+            &[("tenant", tenant), ("stage", "admitted")],
+            *admitted,
+        );
+        w.sample(
+            "skilltax_tenant_jobs_total",
+            &[("tenant", tenant), ("stage", "finished")],
+            *finished,
+        );
+    }
+    w.family(
+        "skilltax_trace_events_dropped_total",
+        "counter",
+        "Telemetry events evicted from bounded trace rings.",
+    )
+    .sample(
+        "skilltax_trace_events_dropped_total",
+        &[],
+        m.trace_events_dropped,
+    );
+    w.family(
+        "skilltax_queue_wait_ms",
+        "histogram",
+        "Queue wait per admitted job, milliseconds.",
+    );
+    w.log2_histogram(
+        "skilltax_queue_wait_ms",
+        &[],
+        m.queue_wait_ms.bucket_counts(),
+        m.queue_wait_ms.sum,
+        m.queue_wait_ms.count,
+    );
+    w.family(
+        "skilltax_run_cycles",
+        "histogram",
+        "Simulated cycles consumed per finished job.",
+    );
+    w.log2_histogram(
+        "skilltax_run_cycles",
+        &[],
+        m.run_cycles.bucket_counts(),
+        m.run_cycles.sum,
+        m.run_cycles.count,
+    );
+    w.finish()
+}
+
+fn trace_jobs_json(service: &Service) -> String {
+    let tracks: Vec<TraceTrack> = service
+        .traces()
+        .into_iter()
+        .map(|t| TraceTrack {
+            pid: t.id,
+            tid: 0,
+            name: format!("job {} {}/{} ({})", t.id, t.tenant, t.kind, t.outcome),
+            spans: t.spans,
+            marks: t.marks,
+            // Span stamps are nanoseconds; Chrome trace ts/dur are µs.
+            scale: 1e-3,
+        })
+        .collect();
+    chrome_trace(&tracks).emit()
 }
 
 fn write_response(
     stream: &mut TcpStream,
     status: &str,
+    content_type: &str,
     retry_after_ms: Option<u64>,
     body: &str,
 ) -> io::Result<()> {
@@ -173,7 +311,7 @@ fn write_response(
         None => String::new(),
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\n{retry_header}\
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n{retry_header}\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -190,6 +328,7 @@ fn rejection_response(stream: &mut TcpStream, rejection: &Rejection) -> io::Resu
     write_response(
         stream,
         status,
+        JSON_CONTENT_TYPE,
         rejection.retry_after_ms(),
         &rejection_json(rejection),
     )
@@ -199,6 +338,7 @@ fn plain_error(stream: &mut TcpStream, status: &str, message: &str) -> io::Resul
     write_response(
         stream,
         status,
+        JSON_CONTENT_TYPE,
         None,
         &format!("{{\"error\":\"{message}\"}}"),
     )
@@ -312,25 +452,44 @@ fn serve_once(
         parts.next().unwrap_or_default().to_string(),
         parts.next().unwrap_or_default().to_string(),
     );
-    let content_length = match parse_content_length(lines) {
+    let header_lines: Vec<&str> = lines.collect();
+    let content_length = match parse_content_length(header_lines.iter().copied()) {
         Ok(n) => n,
         Err(reason) => return plain_error(stream, "400 Bad Request", reason),
     };
+    let accept = header_value(header_lines.iter().copied(), "accept").unwrap_or("");
     if path == "/perf" || path.starts_with("/perf/") || path.starts_with("/perf?") {
         return match (method.as_str(), perf) {
             ("GET", Some(source)) => {
                 let (status, body) = perf::respond(source, &path);
-                write_response(stream, status, None, &body)
+                write_response(stream, status, JSON_CONTENT_TYPE, None, &body)
             }
             (_, Some(_)) => plain_error(stream, "405 Method Not Allowed", "perf routes are GET"),
             (_, None) => plain_error(stream, "404 Not Found", "no perf store mounted"),
         };
     }
-    match (method.as_str(), path.as_str()) {
-        ("GET", "/healthz") => write_response(stream, "200 OK", None, "{\"ok\":true}"),
+    // Routing splits the query string off; handlers that care parse it.
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, query),
+        None => (path.as_str(), ""),
+    };
+    match (method.as_str(), route) {
+        ("GET", "/healthz") => {
+            write_response(stream, "200 OK", JSON_CONTENT_TYPE, None, "{\"ok\":true}")
+        }
         ("GET", "/metrics") => {
-            let body = metrics_json(&service.metrics());
-            write_response(stream, "200 OK", None, &body)
+            let metrics = service.metrics();
+            if wants_prometheus(query, accept) {
+                let body = prometheus_text(&metrics);
+                write_response(stream, "200 OK", PROMETHEUS_CONTENT_TYPE, None, &body)
+            } else {
+                let body = metrics_json(&metrics);
+                write_response(stream, "200 OK", JSON_CONTENT_TYPE, None, &body)
+            }
+        }
+        ("GET", "/trace/jobs") => {
+            let body = trace_jobs_json(service);
+            write_response(stream, "200 OK", JSON_CONTENT_TYPE, None, &body)
         }
         ("POST", "/jobs") => {
             if content_length > config.max_body_bytes {
@@ -359,19 +518,67 @@ fn serve_once(
             }
             body.truncate(content_length);
             let body = String::from_utf8_lossy(&body).to_string();
-            let request = match parse_request(&body) {
-                Ok(request) => request,
+            let parse_start = Instant::now();
+            let (request, profiled) = match parse_request_profiled(&body) {
+                Ok(parsed) => parsed,
                 Err(rejection) => return rejection_response(stream, &rejection),
             };
+            let parse_ns = parse_start.elapsed().as_nanos() as u64;
             let now_ms = epoch.elapsed().as_millis() as u64;
-            match service.submit(now_ms, request) {
+            let submitted = if profiled {
+                service.submit_profiled(now_ms, request, parse_ns)
+            } else {
+                service.submit(now_ms, request)
+            };
+            match submitted {
                 Ok(ticket) => {
+                    let id = ticket.id();
                     let outcome = ticket.wait();
-                    write_response(stream, "200 OK", None, &outcome_json(&outcome))
+                    let respond_start = Instant::now();
+                    let result = write_response(
+                        stream,
+                        "200 OK",
+                        JSON_CONTENT_TYPE,
+                        None,
+                        &outcome_json(&outcome),
+                    );
+                    if profiled {
+                        // The respond span is only knowable after the
+                        // bytes are on the wire; stitch it in post-hoc.
+                        service.finish_trace(id, respond_start.elapsed().as_nanos() as u64);
+                    }
+                    result
                 }
                 Err(rejection) => rejection_response(stream, &rejection),
             }
         }
         _ => plain_error(stream, "404 Not Found", "no such route"),
     }
+}
+
+/// First value of a header (case-insensitive name) among the raw lines.
+fn header_value<'a>(lines: impl Iterator<Item = &'a str>, name: &str) -> Option<&'a str> {
+    for line in lines {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim().eq_ignore_ascii_case(name) {
+                return Some(value.trim());
+            }
+        }
+    }
+    None
+}
+
+/// `?format=prometheus` wins; otherwise an `Accept` preferring
+/// `text/plain` selects the exposition format.  JSON stays the default
+/// so existing scrapers keep working.
+fn wants_prometheus(query: &str, accept: &str) -> bool {
+    if query.split('&').any(|pair| pair == "format=prometheus") {
+        return true;
+    }
+    if query.split('&').any(|pair| pair == "format=json") {
+        return false;
+    }
+    accept
+        .split(',')
+        .any(|part| part.trim().split(';').next() == Some("text/plain"))
 }

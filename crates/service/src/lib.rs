@@ -38,10 +38,10 @@ pub mod quota;
 pub mod service;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
-pub use engine::{Engine, EngineConfig};
-pub use http::{serve, serve_with_perf, HttpConfig, HttpServer};
+pub use engine::{Engine, EngineConfig, RunCapture};
+pub use http::{prometheus_text, serve, serve_with_perf, HttpConfig, HttpServer};
 pub use perf::{PerfError, PerfSource};
 pub use pool::UniPool;
 pub use proto::{JobKind, JobOutcome, JobRequest, Rejection, RequestLimits, Scheduler};
 pub use quota::{QuotaConfig, QuotaLedger};
-pub use service::{JobTicket, Service, ServiceConfig, ServiceMetrics};
+pub use service::{JobTicket, JobTrace, Service, ServiceConfig, ServiceMetrics, TraceSpan};

@@ -376,6 +376,33 @@ pub fn parse_request(body: &str) -> Result<JobRequest, Rejection> {
     })
 }
 
+/// [`parse_request`] plus the `profile` wire key: `profile=true` (or
+/// `1`) asks the service to span-profile the job and retain its trace
+/// for `GET /trace/jobs`.  The key is stripped before the regular parse,
+/// so [`JobRequest`] itself is unchanged and plain clients see identical
+/// behaviour.
+pub fn parse_request_profiled(body: &str) -> Result<(JobRequest, bool), Rejection> {
+    let mut profiled = false;
+    let mut rest: Vec<&str> = Vec::new();
+    for pair in body.split('&').filter(|p| !p.trim().is_empty()) {
+        match pair.split_once('=') {
+            Some((key, value)) if key.trim() == "profile" => {
+                profiled = match value.trim() {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    other => {
+                        return Err(Rejection::Malformed(format!(
+                            "profile is not a boolean: {other:?}"
+                        )))
+                    }
+                };
+            }
+            _ => rest.push(pair),
+        }
+    }
+    Ok((parse_request(&rest.join("&"))?, profiled))
+}
+
 /// Validate a parsed request against the hard caps.
 pub fn validate(request: &JobRequest, limits: &RequestLimits) -> Result<(), Rejection> {
     let over = |what: &'static str, limit: u64, got: u64| -> Result<(), Rejection> {
@@ -551,6 +578,27 @@ mod tests {
                 "{body:?} should be malformed"
             );
         }
+    }
+
+    #[test]
+    fn profile_key_is_recognised_and_stripped() {
+        let (req, profiled) =
+            parse_request_profiled("tenant=acme&profile=true&kind=simulate&iters=50").unwrap();
+        assert!(profiled);
+        assert_eq!(req.tenant, "acme");
+        let (_, profiled) = parse_request_profiled("tenant=t&kind=simulate&profile=0").unwrap();
+        assert!(!profiled);
+        // Absent key defaults off; plain parse still rejects the key.
+        let (_, profiled) = parse_request_profiled("tenant=t&kind=simulate").unwrap();
+        assert!(!profiled);
+        assert!(matches!(
+            parse_request("tenant=t&kind=simulate&profile=true"),
+            Err(Rejection::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request_profiled("tenant=t&kind=simulate&profile=maybe"),
+            Err(Rejection::Malformed(_))
+        ));
     }
 
     #[test]

@@ -6,17 +6,20 @@
 //! (the HTTP layer feeds wall time, the chaos harness a scripted virtual
 //! clock), so they replay bit-identically under any worker count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use skilltax_machine::{configured_threads, CancelToken};
+use skilltax_machine::{configured_threads, CancelToken, Histogram, Phase};
 
 use crate::admission::{DrrQueue, QueuedJob};
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, RunCapture};
 use crate::proto::{validate, JobOutcome, JobRequest, Rejection};
 use crate::quota::{QuotaConfig, QuotaLedger};
+
+/// Finished job traces retained for `GET /trace/jobs` (oldest evicted).
+pub const TRACE_RING: usize = 32;
 
 /// Environment knob for the bounded queue depth.
 pub const QUEUE_ENV: &str = "SKILLTAX_SERVICE_QUEUE";
@@ -82,6 +85,13 @@ pub struct ServiceMetrics {
     pub peak_depth: usize,
     /// Per-tenant `(admitted, finished)` counts.
     pub per_tenant: BTreeMap<String, (u64, u64)>,
+    /// Telemetry events the bounded trace rings evicted across profiled
+    /// jobs (`EventTrace::dropped`, summed).
+    pub trace_events_dropped: u64,
+    /// Queue-wait times in milliseconds, log2-bucketed (every job).
+    pub queue_wait_ms: Histogram,
+    /// Simulated cycles consumed per finished job, log2-bucketed.
+    pub run_cycles: Histogram,
 }
 
 impl ServiceMetrics {
@@ -101,11 +111,50 @@ impl ServiceMetrics {
 
 type OutcomeSlot = Arc<(Mutex<Option<JobOutcome>>, Condvar)>;
 
+/// A span row in a job trace: `(label, start_ns, end_ns, parent index)`
+/// — the same plain shape the report crate's flame/trace renderers eat.
+pub type TraceSpan = (String, u64, u64, Option<usize>);
+
+/// One finished job's assembled timeline: service-layer phases in
+/// nanoseconds wrapping the machine run's cycle-domain span tree,
+/// grafted at 1 cycle = 1 ns.
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    /// The job id ([`JobTicket::id`]).
+    pub id: u64,
+    /// The tenant the job billed to.
+    pub tenant: String,
+    /// Job kind label (`classify`, `simulate`, …).
+    pub kind: &'static str,
+    /// Terminal outcome label (`completed`, `degraded`, …).
+    pub outcome: &'static str,
+    /// Simulated cycles the run consumed.
+    pub cycles: u64,
+    /// The strictly nested span tree, job-relative nanoseconds.
+    pub spans: Vec<TraceSpan>,
+    /// Instant markers (`barrier`, `delivery`, `retry`, …) as
+    /// `(label, stamp_ns)`.
+    pub marks: Vec<(String, u64)>,
+}
+
+/// Profiling context carried by an opted-in job.
+struct ProfileCtx {
+    /// Nanoseconds the HTTP layer spent parsing the request body.
+    parse_ns: u64,
+    /// When admission began (submit entry).
+    admission_start: Instant,
+}
+
 /// One admitted job as it travels the queue.
 struct Job {
+    id: u64,
     request: JobRequest,
     cancel: CancelToken,
     slot: OutcomeSlot,
+    /// When the job entered the queue (queue-wait accounting).
+    enqueued: Instant,
+    /// `Some` when the job asked to be span-profiled.
+    profile: Option<ProfileCtx>,
 }
 
 /// The caller's handle to an admitted job.
@@ -181,6 +230,8 @@ struct Inner {
     state: Mutex<DispatchState>,
     work_ready: Condvar,
     engine: Engine,
+    /// Bounded ring of finished profiled-job traces (oldest evicted).
+    traces: Mutex<VecDeque<JobTrace>>,
 }
 
 /// The multi-tenant job service.
@@ -204,6 +255,92 @@ fn deliver(slot: &OutcomeSlot, outcome: JobOutcome) {
     cv.notify_all();
 }
 
+/// Simulated cycles a terminal outcome consumed, when the job ran.
+fn outcome_cycles(outcome: &JobOutcome) -> Option<u64> {
+    match outcome {
+        JobOutcome::Completed {
+            stats: Some(stats), ..
+        } => Some(stats.cycles),
+        JobOutcome::Degraded { stats, .. } => Some(stats.cycles),
+        JobOutcome::Cancelled { partial, .. } | JobOutcome::TimedOut { partial, .. } => {
+            Some(partial.cycles)
+        }
+        _ => None,
+    }
+}
+
+/// Build the job's nanosecond timeline: the service phases as measured
+/// wall intervals, with the machine run's cycle-domain span tree grafted
+/// under the `run` span at 1 cycle = 1 ns.  The `run` span extends to
+/// whichever is longer — the measured wall time or the grafted cycle
+/// tree — so the machine spans always nest inside it.
+#[allow(clippy::too_many_arguments)]
+fn assemble_trace(
+    id: u64,
+    request: &JobRequest,
+    outcome: &JobOutcome,
+    capture: &RunCapture,
+    parse_ns: u64,
+    admission_ns: u64,
+    queue_wait_ns: u64,
+    acquire_ns: u64,
+    run_wall_ns: u64,
+) -> JobTrace {
+    let parse_end = parse_ns;
+    let admission_end = parse_end + admission_ns;
+    let queue_end = admission_end + queue_wait_ns;
+    let run_start = queue_end + acquire_ns;
+    let run_end = run_start + run_wall_ns.max(capture.profile.last_cycle());
+    let mut spans: Vec<TraceSpan> = vec![
+        (Phase::Job.label().to_owned(), 0, run_end, None),
+        (Phase::Parse.label().to_owned(), 0, parse_end, Some(0)),
+        (
+            Phase::Admission.label().to_owned(),
+            parse_end,
+            admission_end,
+            Some(0),
+        ),
+        (
+            Phase::QueueWait.label().to_owned(),
+            admission_end,
+            queue_end,
+            Some(0),
+        ),
+        (
+            Phase::PoolAcquire.label().to_owned(),
+            queue_end,
+            run_start,
+            Some(0),
+        ),
+        (Phase::Run.label().to_owned(), run_start, run_end, Some(0)),
+    ];
+    let run_idx = spans.len() - 1;
+    let base = spans.len();
+    for (label, start, end, parent) in capture.profile.rows() {
+        spans.push((
+            label,
+            run_start + start,
+            run_start + end,
+            Some(parent.map_or(run_idx, |p| base + p)),
+        ));
+    }
+    let marks = capture
+        .profile
+        .marks()
+        .iter()
+        .map(|m| (m.phase.label().to_owned(), run_start + m.cycle))
+        .collect();
+    JobTrace {
+        id,
+        tenant: request.tenant.clone(),
+        kind: request.kind.label(),
+        outcome: outcome.label(),
+        cycles: outcome_cycles(outcome).unwrap_or(0),
+        spans,
+        marks,
+    }
+}
+
 impl Service {
     /// Start the service: spawns the worker pool and prewarms the
     /// machine pool so the first requests hit the zero-allocation path.
@@ -225,6 +362,7 @@ impl Service {
             work_ready: Condvar::new(),
             engine,
             config,
+            traces: Mutex::new(VecDeque::new()),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -255,12 +393,22 @@ impl Service {
                     state = inner.work_ready.wait(state).expect("service lock poisoned");
                 }
             };
+            let waited = job.enqueued.elapsed();
+            let picked = Instant::now();
+            let mut capture: Option<(RunCapture, u64, u64)> = None;
             let outcome = if job.cancel.is_cancelled() {
                 // Cancelled while queued: resolve without running.
                 JobOutcome::Cancelled {
                     at_cycle: 0,
                     partial: Default::default(),
                 }
+            } else if job.profile.is_some() {
+                let run_start = Instant::now();
+                let acquire_ns = (run_start - picked).as_nanos() as u64;
+                let (outcome, run) = inner.engine.execute_profiled(&job.request, &job.cancel);
+                let run_wall_ns = run_start.elapsed().as_nanos() as u64;
+                capture = Some((run, acquire_ns, run_wall_ns));
+                outcome
             } else {
                 inner.engine.execute(&job.request, &job.cancel)
             };
@@ -274,6 +422,35 @@ impl Service {
                     .entry(job.request.tenant.clone())
                     .or_insert((0, 0))
                     .1 += 1;
+                state
+                    .metrics
+                    .queue_wait_ms
+                    .record(waited.as_millis() as u64);
+                if let Some(cycles) = outcome_cycles(&outcome) {
+                    state.metrics.run_cycles.record(cycles);
+                }
+                if let Some((run, _, _)) = &capture {
+                    state.metrics.trace_events_dropped += run.events_dropped;
+                }
+            }
+            if let (Some(ctx), Some((run, acquire_ns, run_wall_ns))) = (&job.profile, capture) {
+                let admission_ns = (job.enqueued - ctx.admission_start).as_nanos() as u64;
+                let trace = assemble_trace(
+                    job.id,
+                    &job.request,
+                    &outcome,
+                    &run,
+                    ctx.parse_ns,
+                    admission_ns,
+                    waited.as_nanos() as u64,
+                    acquire_ns,
+                    run_wall_ns,
+                );
+                let mut traces = inner.traces.lock().expect("trace ring poisoned");
+                if traces.len() == TRACE_RING {
+                    traces.pop_front();
+                }
+                traces.push_back(trace);
             }
             deliver(&job.slot, outcome);
         }
@@ -284,6 +461,35 @@ impl Service {
     /// retrying helps) or a [`JobTicket`] that is guaranteed a typed
     /// terminal outcome.
     pub fn submit(&self, now_ms: u64, request: JobRequest) -> Result<JobTicket, Rejection> {
+        self.submit_inner(now_ms, request, None)
+    }
+
+    /// [`Service::submit`] with span profiling: the job's service and
+    /// machine phases are traced and the assembled timeline retained in
+    /// a bounded ring ([`Service::traces`]).  `parse_ns` is how long the
+    /// caller spent parsing the request (the timeline's first phase).
+    pub fn submit_profiled(
+        &self,
+        now_ms: u64,
+        request: JobRequest,
+        parse_ns: u64,
+    ) -> Result<JobTicket, Rejection> {
+        self.submit_inner(
+            now_ms,
+            request,
+            Some(ProfileCtx {
+                parse_ns,
+                admission_start: Instant::now(),
+            }),
+        )
+    }
+
+    fn submit_inner(
+        &self,
+        now_ms: u64,
+        request: JobRequest,
+        profile: Option<ProfileCtx>,
+    ) -> Result<JobTicket, Rejection> {
         let mut state = self.inner.state.lock().expect("service lock poisoned");
         state.metrics.submitted += 1;
         if state.shutdown {
@@ -321,9 +527,12 @@ impl Service {
         let tenant = request.tenant.clone();
         let job = QueuedJob {
             payload: Job {
+                id,
                 request,
                 cancel: cancel.clone(),
                 slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+                profile,
             },
             cost,
         };
@@ -370,6 +579,35 @@ impl Service {
     /// The engine (pool inspection for tests and warm-up).
     pub fn engine(&self) -> &Engine {
         &self.inner.engine
+    }
+
+    /// A snapshot of the retained profiled-job traces, oldest first.
+    pub fn traces(&self) -> Vec<JobTrace> {
+        self.inner
+            .traces
+            .lock()
+            .expect("trace ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Close job `id`'s trace with its `respond` phase: the HTTP layer
+    /// calls this after writing the response, appending a `respond` span
+    /// and extending the job root to cover it.  A no-op when the trace
+    /// was already evicted or the id never profiled.
+    pub fn finish_trace(&self, id: u64, respond_ns: u64) {
+        let mut traces = self.inner.traces.lock().expect("trace ring poisoned");
+        if let Some(trace) = traces.iter_mut().rev().find(|t| t.id == id) {
+            let start = trace.spans[0].2;
+            trace.spans.push((
+                Phase::Respond.label().to_owned(),
+                start,
+                start + respond_ns,
+                Some(0),
+            ));
+            trace.spans[0].2 = start + respond_ns;
+        }
     }
 
     /// Drain and stop: refuse new work, let the workers finish every

@@ -292,6 +292,129 @@ fn perf_routes_without_a_mounted_store_are_404() {
 }
 
 #[test]
+fn metrics_speak_prometheus_on_request_and_json_by_default() {
+    let (_service, server) = start(8, 2);
+    let addr = server.local_addr();
+    let response = post_jobs(addr, "tenant=acme&kind=simulate&cores=1&iters=50");
+    assert!(response.contains("\"outcome\":\"completed\""), "{response}");
+    // Default stays JSON so existing scrapers keep working.
+    let json = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(json.contains("Content-Type: application/json"), "{json}");
+    assert!(json.contains("\"trace_events_dropped\":"), "{json}");
+    // The query string opts into the exposition format…
+    let prom = roundtrip(
+        addr,
+        "GET /metrics?format=prometheus HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert!(prom.starts_with("HTTP/1.1 200 OK"), "{prom}");
+    assert!(
+        prom.contains("Content-Type: text/plain; version=0.0.4"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("# TYPE skilltax_jobs_submitted_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("skilltax_jobs_submitted_total 1"), "{prom}");
+    assert!(
+        prom.contains("skilltax_tenant_jobs_total{tenant=\"acme\",stage=\"admitted\"} 1"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("skilltax_queue_wait_ms_bucket{le=\"+Inf\"} 1"),
+        "{prom}"
+    );
+    assert!(prom.contains("skilltax_run_cycles_count 1"), "{prom}");
+    // …and so does an Accept header preferring text/plain.
+    let sniffed = roundtrip(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n",
+    );
+    assert!(
+        sniffed.contains("Content-Type: text/plain; version=0.0.4"),
+        "{sniffed}"
+    );
+    // An explicit format=json overrides the Accept sniff.
+    let forced = roundtrip(
+        addr,
+        "GET /metrics?format=json HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n",
+    );
+    assert!(
+        forced.contains("Content-Type: application/json"),
+        "{forced}"
+    );
+}
+
+#[test]
+fn profiled_jobs_land_in_the_trace_ring_with_nested_spans() {
+    let (service, server) = start(8, 2);
+    let addr = server.local_addr();
+    // An unprofiled job must not occupy the ring.
+    let plain = post_jobs(addr, "tenant=acme&kind=simulate&cores=1&iters=50");
+    assert!(plain.contains("\"outcome\":\"completed\""), "{plain}");
+    assert!(service.traces().is_empty());
+    // A profiled one assembles the full service-over-machine timeline.
+    let profiled = post_jobs(
+        addr,
+        "tenant=acme&kind=simulate&cores=2&iters=80&profile=true",
+    );
+    assert!(profiled.contains("\"outcome\":\"completed\""), "{profiled}");
+    let traces = service.traces();
+    assert_eq!(traces.len(), 1);
+    let trace = &traces[0];
+    assert_eq!(trace.tenant, "acme");
+    assert_eq!(trace.outcome, "completed");
+    assert!(trace.cycles > 0);
+    let labels: Vec<&str> = trace.spans.iter().map(|s| s.0.as_str()).collect();
+    for phase in [
+        "job",
+        "parse",
+        "admission",
+        "queue_wait",
+        "pool_acquire",
+        "run",
+        "respond",
+    ] {
+        assert!(labels.contains(&phase), "missing {phase}: {labels:?}");
+    }
+    // Strict nesting: every child sits inside its parent's extent, the
+    // root owns everything, and stamps are monotone per span.
+    let (_, root_start, root_end, root_parent) = &trace.spans[0];
+    assert_eq!(*root_parent, None);
+    for (label, start, end, parent) in &trace.spans {
+        assert!(start <= end, "{label} runs backwards");
+        if let Some(p) = parent {
+            let (_, ps, pe, _) = &trace.spans[*p];
+            assert!(ps <= start && end <= pe, "{label} escapes its parent");
+        } else {
+            assert!(root_start <= start && end <= root_end);
+        }
+    }
+    // The machine run sits under the service `run` span.
+    let run_idx = trace.spans.iter().position(|s| s.0 == "run").unwrap();
+    let machine_children = trace.spans.iter().filter(|s| s.3 == Some(run_idx)).count();
+    assert!(machine_children > 0, "no machine spans grafted under run");
+}
+
+#[test]
+fn trace_jobs_serves_a_chrome_trace_document() {
+    let (_service, server) = start(8, 2);
+    let addr = server.local_addr();
+    // Empty ring still yields a valid (empty) document.
+    let empty = roundtrip(addr, "GET /trace/jobs HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(empty.starts_with("HTTP/1.1 200 OK"), "{empty}");
+    assert!(empty.contains("\"traceEvents\":[]"), "{empty}");
+    let response = post_jobs(addr, "tenant=acme&kind=simulate&cores=1&iters=60&profile=1");
+    assert!(response.contains("\"outcome\":\"completed\""), "{response}");
+    let doc = roundtrip(addr, "GET /trace/jobs HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(doc.contains("\"traceEvents\":["), "{doc}");
+    assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+    assert!(doc.contains("\"name\":\"queue_wait\""), "{doc}");
+    assert!(doc.contains("\"name\":\"respond\""), "{doc}");
+    assert!(doc.contains("job 1 acme/simulate (completed)"), "{doc}");
+}
+
+#[test]
 fn shutdown_stops_accepting() {
     let (_service, mut server) = start(8, 1);
     let addr = server.local_addr();

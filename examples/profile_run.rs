@@ -1,0 +1,257 @@
+//! End-to-end span profiling: a machine run rendered as a flamegraph
+//! and a Chrome trace, then the same pipeline through the job service's
+//! `profile=true` wire flag and `GET /trace/jobs` endpoint.
+//!
+//! The example is self-validating (it exits non-zero on any breach):
+//!
+//! 1. A USP LUT fabric is configured under a `reconfigure` span and run
+//!    under a [`SpanProfile`]; the leaf span extents must tile the run's
+//!    cycle total exactly.
+//! 2. The span tree renders as a self-time table and folded stacks
+//!    (pipe those into `flamegraph.pl` for an SVG).
+//! 3. The Chrome trace-event export round-trips through the workspace's
+//!    own JSON reader, and every track must be strictly nested with
+//!    monotone timestamps — the document `chrome://tracing` loads.
+//! 4. A live service runs a `profile=true` job over HTTP; the trace
+//!    served on `/trace/jobs` passes the same structural validation,
+//!    with service phases (parse → admission → queue_wait →
+//!    pool_acquire → run → respond) wrapping the machine spans.
+//!
+//! Run with: `cargo run --release --example profile_run`
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use skilltax::bench::jsonio;
+use skilltax::machine::profile::{Phase, SpanProfile};
+use skilltax::machine::universal::{Bitstream, CellConfig, LutCell, LutFabric, Source};
+use skilltax::report::{chrome_trace, flame_table, folded_stacks, Json, TraceTrack};
+use skilltax::service::{serve, HttpConfig, Service, ServiceConfig};
+
+fn field<'a>(value: &'a Json, key: &str) -> Option<&'a Json> {
+    match value {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num(value: &Json) -> f64 {
+    match value {
+        Json::Num(n) => *n,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+/// `(start_µs, end_µs, name)` for one complete event.
+type CheckedSpan = (f64, f64, String);
+
+/// Validate every `ph:"X"` track in a Chrome trace document: stamps
+/// must be monotone in emission order, and any two spans of a track
+/// must be either disjoint or properly nested.  Returns the number of
+/// complete events checked.
+fn validate_chrome_trace(doc: &Json) -> usize {
+    let Some(Json::Arr(events)) = field(doc, "traceEvents") else {
+        panic!("document has no traceEvents array");
+    };
+    let mut tracks: BTreeMap<(u64, u64), Vec<CheckedSpan>> = BTreeMap::new();
+    for event in events {
+        let Some(Json::Str(ph)) = field(event, "ph") else {
+            continue;
+        };
+        if ph != "X" {
+            continue;
+        }
+        let pid = num(field(event, "pid").expect("pid")) as u64;
+        let tid = num(field(event, "tid").expect("tid")) as u64;
+        let ts = num(field(event, "ts").expect("ts"));
+        let dur = num(field(event, "dur").expect("dur"));
+        let Some(Json::Str(name)) = field(event, "name") else {
+            panic!("complete event without a name");
+        };
+        assert!(ts >= 0.0 && dur >= 0.0, "negative stamp on {name}");
+        tracks
+            .entry((pid, tid))
+            .or_default()
+            .push((ts, ts + dur, name.clone()));
+    }
+    let mut total = 0;
+    for ((pid, tid), spans) in &tracks {
+        for pair in spans.windows(2) {
+            assert!(
+                pair[1].0 >= pair[0].0,
+                "timestamps regress in track {pid}/{tid}: {pair:?}"
+            );
+        }
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                // Scaled stamps are f64 products; absorb the rounding.
+                let eps = 1e-9 * a.1.abs().max(b.1.abs()).max(1.0);
+                let disjoint = a.1 <= b.0 + eps || b.1 <= a.0 + eps;
+                let nested = (a.0 <= b.0 + eps && b.1 <= a.1 + eps)
+                    || (b.0 <= a.0 + eps && a.1 <= b.1 + eps);
+                assert!(
+                    disjoint || nested,
+                    "spans overlap without nesting in track {pid}/{tid}: {a:?} vs {b:?}"
+                );
+            }
+        }
+        total += spans.len();
+    }
+    total
+}
+
+/// Build the delay-chain counter bitstream: region `r` is a chain of
+/// `r + 1` registered buffers, so the run finishes after `regions`
+/// clock edges.
+fn counter_bitstream(regions: usize) -> Bitstream {
+    let buffer = LutCell::new(1, vec![false, true]).expect("buffer LUT");
+    let mut cells = Vec::new();
+    let mut outputs = Vec::with_capacity(regions);
+    for r in 0..regions {
+        for j in 0..=r {
+            cells.push(CellConfig {
+                lut: buffer.clone(),
+                inputs: vec![if j == 0 {
+                    Source::One
+                } else {
+                    Source::Cell(cells.len() - 1)
+                }],
+                registered: true,
+            });
+        }
+        outputs.push(Source::Cell(cells.len() - 1));
+    }
+    Bitstream { cells, outputs }
+}
+
+fn http(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Profile a fabric run, reconfiguration included.
+    // ------------------------------------------------------------------
+    let mut profile = SpanProfile::new().with_wall_clock();
+    let bitstream = counter_bitstream(5);
+    profile.enter(0, Phase::Reconfigure);
+    let mut fabric = LutFabric::new(bitstream.cells.len(), 2, 0)
+        .configure(&bitstream)
+        .expect("configure fabric");
+    profile.exit(0);
+    let (outputs, stats) = fabric
+        .run_until_traced(&[], 64, |o| o.iter().all(|&b| b), &mut profile)
+        .expect("fabric run");
+    profile.seal();
+    assert!(outputs.iter().all(|&b| b), "every chain must go high");
+    assert_eq!(
+        profile.leaf_cycle_total(),
+        stats.cycles,
+        "leaf spans must tile the run exactly"
+    );
+    println!(
+        "fabric: {} cells, {} cycles, {} spans, leaf extents reconcile",
+        bitstream.cells.len(),
+        stats.cycles,
+        profile.spans().len()
+    );
+    if let Some(wall) = profile.wall_elapsed() {
+        println!("wall clock: {wall:?}");
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // 2. Flamegraph views: self-time table and folded stacks.
+    // ------------------------------------------------------------------
+    let rows = profile.rows();
+    println!("{}", flame_table(&rows, "cycles").render_ascii());
+    println!("folded stacks (feed to flamegraph.pl):");
+    print!("{}", folded_stacks(&rows));
+    println!();
+
+    // ------------------------------------------------------------------
+    // 3. Chrome trace export, round-tripped through our own JSON reader.
+    // ------------------------------------------------------------------
+    let track = TraceTrack {
+        pid: 1,
+        tid: 0,
+        name: "usp fabric counters".to_owned(),
+        spans: rows.clone(),
+        marks: profile
+            .marks()
+            .iter()
+            .map(|m| (m.phase.label().to_owned(), m.cycle))
+            .collect(),
+        scale: 1.0, // cycle stamps rendered 1 cycle = 1 µs
+    };
+    let document = chrome_trace(&[track]).emit();
+    let parsed = jsonio::parse(&document).expect("chrome trace JSON parses");
+    let checked = validate_chrome_trace(&parsed);
+    assert_eq!(
+        checked,
+        profile.spans().len(),
+        "every span must survive the round trip"
+    );
+    println!(
+        "chrome trace: {} bytes, {checked} complete events validated (load in chrome://tracing)",
+        document.len()
+    );
+    println!();
+
+    // ------------------------------------------------------------------
+    // 4. The same contract over the live service.
+    // ------------------------------------------------------------------
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let mut server = serve(
+        Arc::clone(&service),
+        HttpConfig {
+            addr: "127.0.0.1:0".into(),
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let body = "tenant=demo&kind=simulate&cores=4&iters=200&profile=true";
+    let response = http(
+        addr,
+        &format!(
+            "POST /jobs HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(
+        response.contains("\"outcome\":\"completed\""),
+        "profiled job must complete: {response}"
+    );
+    let trace_response = http(addr, "GET /trace/jobs HTTP/1.1\r\nHost: demo\r\n\r\n");
+    let trace_body = trace_response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .expect("trace response has a body");
+    let trace_doc = jsonio::parse(trace_body).expect("served trace parses");
+    let events_checked = validate_chrome_trace(&trace_doc);
+    assert!(events_checked > 0, "trace ring served no spans");
+    for phase in ["parse", "queue_wait", "pool_acquire", "run", "respond"] {
+        assert!(
+            trace_body.contains(&format!("\"name\":\"{phase}\"")),
+            "service trace is missing the {phase} phase"
+        );
+    }
+    println!(
+        "service trace: {events_checked} spans validated over HTTP \
+         (service phases nest over machine spans)"
+    );
+    server.shutdown();
+    println!();
+    println!("profile_run: all invariants hold");
+}

@@ -92,7 +92,8 @@ fn main() {
         telemetry.trace.class_counts(),
         telemetry.metrics.counter_list(),
         telemetry.metrics.histogram_list(),
-    );
+    )
+    .with_dropped(telemetry.trace.dropped());
 
     println!("{}", cycle_breakdown(&summary, 40));
     println!("{}", telemetry_table(&summary).render_ascii());
