@@ -8,6 +8,7 @@
 //! bench_history trajectory  --store DIR --bench NAME --counter KEY
 //!                           [--label L] [--csv | --markdown]
 //! bench_history compare     --store DIR --from C --to C [--label L] [--json]
+//! bench_history prune       --store DIR --keep N [--label L]
 //! ```
 //!
 //! `record` appends one artifact under its label at a commit id —
@@ -15,7 +16,10 @@
 //! collection (quick unless `--full`; `--filter` restricts by benchmark
 //! name).  `trajectory` answers "how did counter KEY of benchmark NAME
 //! move across stored commits", each step significance-classified;
-//! `compare` prints the triaged diff of two commits.  Exit code is 1 on
+//! `compare` prints the triaged diff of two commits.  `prune`
+//! garbage-collects old entries, keeping the N newest per label (N is
+//! clamped to at least 1, so the newest artifact always survives); with
+//! no `--label` it prunes every label in the store.  Exit code is 1 on
 //! any store or query error, never a panic — a corrupt stored artifact
 //! is a diagnosable message.
 
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
         "list" => list(&rest),
         "trajectory" => trajectory(&rest),
         "compare" => compare(&rest),
+        "prune" => prune(&rest),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown subcommand '{other}'")),
     }
@@ -303,16 +308,75 @@ fn compare(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn prune(args: &[String]) -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut label: Option<String> = None;
+    let mut keep: Option<usize> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next() {
+        match flag {
+            "--store" => match flags.value(flag) {
+                Ok(v) => store = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--label" => match flags.value(flag) {
+                Ok(v) => label = Some(v.to_owned()),
+                Err(e) => return usage(&e),
+            },
+            "--keep" => match flags.value(flag) {
+                Ok(v) => match v.parse::<usize>() {
+                    Ok(n) => keep = Some(n),
+                    Err(_) => return usage(&format!("--keep wants a number, got '{v}'")),
+                },
+                Err(e) => return usage(&e),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(store), Some(keep)) = (store, keep) else {
+        return usage("prune needs --store and --keep");
+    };
+    let store = HistoryStore::open(store);
+    // An explicit --label must exist (a typo is a typed UnknownLabel,
+    // not a silent no-op); without one every label is pruned.
+    let labels = match label {
+        Some(l) => match store.resolve_label(Some(&l)) {
+            Ok(l) => vec![l],
+            Err(e) => return fail(e),
+        },
+        None => match store.labels() {
+            Ok(labels) => labels,
+            Err(e) => return fail(e),
+        },
+    };
+    if labels.is_empty() {
+        println!("(empty store, nothing to prune)");
+        return ExitCode::SUCCESS;
+    }
+    for label in labels {
+        let deleted = match store.prune(&label, keep) {
+            Ok(deleted) => deleted,
+            Err(e) => return fail(e),
+        };
+        println!("{label}: pruned {} entr(ies)", deleted.len());
+        for entry in deleted {
+            println!("  {}-{}", entry.seq_str(), entry.commit);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: bench_history <record|list|trajectory|compare> ...\n\
+        "usage: bench_history <record|list|trajectory|compare|prune> ...\n\
          \x20 record      --store DIR --commit C [--artifact PATH] [--label L] [--full] [--filter SUBSTR]\n\
          \x20 list        --store DIR [--label L]\n\
          \x20 trajectory  --store DIR --bench NAME --counter KEY [--label L] [--csv | --markdown]\n\
-         \x20 compare     --store DIR --from C --to C [--label L] [--json]"
+         \x20 compare     --store DIR --from C --to C [--label L] [--json]\n\
+         \x20 prune       --store DIR --keep N [--label L]   (keep clamps to >= 1)"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

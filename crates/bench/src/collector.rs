@@ -34,9 +34,9 @@ use skilltax_machine::universal::{program_counter, LutFabric};
 use skilltax_machine::workload::{
     run_backoff_storm_multi_traced, run_fabric_counters_traced, run_mimd_mix_multi_traced,
     run_mimd_stagger_multi_sharded, run_mimd_stagger_multi_traced, run_reduce_dataflow_traced,
-    run_reduce_dataflow_with, run_ring_shift_multi_traced, run_stagger_spatial_sharded,
-    run_stagger_spatial_traced, run_vector_add_array_traced, run_vector_add_multi_traced,
-    run_vector_add_uni_traced,
+    run_reduce_dataflow_with, run_ring_shift_multi_traced, run_spin_swarm_uni_traced,
+    run_stagger_spatial_sharded, run_stagger_spatial_traced, run_vector_add_array_traced,
+    run_vector_add_multi_traced, run_vector_add_swarm_array_traced, run_vector_add_uni_traced,
 };
 use skilltax_machine::{Assembler, CancelToken, Instr, Program, Stats, Word};
 use skilltax_service::admission::{DrrQueue, QueuedJob};
@@ -599,6 +599,51 @@ pub fn suite() -> Vec<SuiteBench> {
         },
     ));
 
+    // --- fleet twins (structure-of-arrays batch execution) -----------
+    //
+    // Each swarm workload appears twice: the baseline runs its N
+    // instances sequentially on the dense reference machines, the
+    // `/fleet` twin routes the same population through the SoA executors
+    // in `machine::fleet` (DESIGN.md §14) so one decode drives a lane
+    // loop over all instances.  Deterministic counters are identical by
+    // construction (enforced by the fleet-identity suite and the test
+    // below); wall time is where the amortisation shows — the fleet twin
+    // is expected to beat N sequential runs at these populations.
+    benches.push(SuiteBench::new(
+        "machine/spin_swarm/uni/96",
+        "machine.uni",
+        |tracer| {
+            let stats = run_spin_swarm_uni_traced(96, 150, false, tracer).expect("the swarm spins");
+            stats_counters(&stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/spin_swarm/uni/96/fleet",
+        "machine.uni",
+        |tracer| {
+            let stats = run_spin_swarm_uni_traced(96, 150, true, tracer).expect("the swarm spins");
+            stats_counters(&stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/vector_add_swarm/array-I/64x4",
+        "machine.array",
+        |tracer| {
+            let stats = run_vector_add_swarm_array_traced(ArraySubtype::I, 64, 4, false, tracer)
+                .expect("the swarm adds");
+            stats_counters(&stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/vector_add_swarm/array-I/64x4/fleet",
+        "machine.array",
+        |tracer| {
+            let stats = run_vector_add_swarm_array_traced(ArraySubtype::I, 64, 4, true, tracer)
+                .expect("the swarm adds");
+            stats_counters(&stats)
+        },
+    ));
+
     // --- report rendering --------------------------------------------
     benches.push(SuiteBench::new("report/table3_render", "report", |_| {
         text_counters(&crate::artifacts::table3())
@@ -870,6 +915,28 @@ mod tests {
             find("machine/mimd_stagger/multi/256/profiled"),
             "an enabled profiler observes the run, it never perturbs it"
         );
+    }
+
+    #[test]
+    fn fleet_twins_report_identical_counters() {
+        let suite = suite();
+        let find = |name: &str| {
+            suite
+                .iter()
+                .find(|b| b.name() == name)
+                .expect("registered")
+                .capture_counters()
+        };
+        for base in [
+            "machine/spin_swarm/uni/96",
+            "machine/vector_add_swarm/array-I/64x4",
+        ] {
+            assert_eq!(
+                find(base),
+                find(&format!("{base}/fleet")),
+                "{base}: SoA fleet execution must not change a single counter"
+            );
+        }
     }
 
     #[test]

@@ -450,6 +450,30 @@ impl HistoryStore {
         })
     }
 
+    /// Garbage-collect old entries under `label`, keeping the `keep`
+    /// newest artifacts (by append sequence).  Returns the entries that
+    /// were deleted, oldest first.
+    ///
+    /// `keep` is clamped to at least 1 — pruning can thin history but
+    /// can never delete the newest artifact, so a `prune --keep 0` typo
+    /// cannot destroy the one entry every trajectory and comparison
+    /// anchors on.  Unknown labels are the same typed
+    /// [`HistoryError::UnknownLabel`] the queries report; a store whose
+    /// listing is corrupt refuses to prune rather than guessing which
+    /// files are safe to remove.
+    pub fn prune(&self, label: &str, keep: usize) -> Result<Vec<HistoryEntry>, HistoryError> {
+        let entries = self.entries(label)?;
+        let keep = keep.max(1);
+        if entries.len() <= keep {
+            return Ok(Vec::new());
+        }
+        let doomed: Vec<HistoryEntry> = entries[..entries.len() - keep].to_vec();
+        for entry in &doomed {
+            std::fs::remove_file(&entry.path).map_err(|e| io_err(&entry.path, e))?;
+        }
+        Ok(doomed)
+    }
+
     /// The significance-triaged comparison of two stored commits.
     pub fn compare(
         &self,

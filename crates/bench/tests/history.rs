@@ -260,6 +260,100 @@ fn triaged_compare_buckets_the_diff() {
     );
 }
 
+#[test]
+fn prune_keeps_the_newest_entries_and_reports_the_deleted() {
+    let scratch = Scratch::new();
+    let store = HistoryStore::open(&scratch.0);
+    for (commit, cycles) in [
+        ("c1", 100u64),
+        ("c2", 110),
+        ("c3", 120),
+        ("c4", 130),
+        ("c5", 140),
+    ] {
+        let a = artifact("smoke", vec![record("machine/x", cycles, 50.0)]);
+        store.append(commit, &a).expect("append");
+    }
+    let deleted = store.prune("smoke", 2).expect("prune");
+    assert_eq!(
+        deleted
+            .iter()
+            .map(|e| e.commit.as_str())
+            .collect::<Vec<_>>(),
+        vec!["c1", "c2", "c3"],
+        "oldest first"
+    );
+    for entry in &deleted {
+        assert!(
+            !entry.path.exists(),
+            "{} should be gone",
+            entry.path.display()
+        );
+    }
+    let remaining = store.entries("smoke").expect("entries");
+    assert_eq!(
+        remaining
+            .iter()
+            .map(|e| e.commit.as_str())
+            .collect::<Vec<_>>(),
+        vec!["c4", "c5"]
+    );
+    // Sequence numbers survive pruning, so appends keep ascending and
+    // trajectories over the survivors still line up.
+    assert_eq!(
+        remaining.iter().map(|e| e.seq).collect::<Vec<_>>(),
+        vec![4, 5]
+    );
+    let t = store
+        .trajectory("smoke", "machine/x", "cycles")
+        .expect("trajectory");
+    assert_eq!(t.points.len(), 2);
+    assert_eq!(t.points[1].value, Some(140.0));
+    // A second prune at the same depth is a no-op.
+    assert!(store
+        .prune("smoke", 2)
+        .expect("idempotent prune")
+        .is_empty());
+}
+
+#[test]
+fn prune_never_deletes_the_newest_artifact() {
+    let scratch = Scratch::new();
+    let store = HistoryStore::open(&scratch.0);
+    for commit in ["c1", "c2", "c3"] {
+        let a = artifact("smoke", vec![record("machine/x", 100, 50.0)]);
+        store.append(commit, &a).expect("append");
+    }
+    // keep = 0 clamps to 1: the newest artifact always survives.
+    let deleted = store.prune("smoke", 0).expect("prune");
+    assert_eq!(deleted.len(), 2);
+    let remaining = store.entries("smoke").expect("entries");
+    assert_eq!(remaining.len(), 1);
+    assert_eq!(remaining[0].commit, "c3");
+    assert!(remaining[0].path.exists());
+    // And pruning down to the single survivor again deletes nothing.
+    assert!(store.prune("smoke", 0).expect("prune again").is_empty());
+    assert_eq!(store.entries("smoke").expect("entries").len(), 1);
+}
+
+#[test]
+fn prune_reports_unknown_labels_as_typed_errors() {
+    let scratch = Scratch::new();
+    let store = HistoryStore::open(&scratch.0);
+    match store.prune("ghost", 3) {
+        Err(HistoryError::UnknownLabel(label)) => assert_eq!(label, "ghost"),
+        other => panic!("expected UnknownLabel, got {other:?}"),
+    }
+    // A corrupt listing refuses to prune instead of guessing.
+    let a = artifact("smoke", vec![record("machine/x", 100, 50.0)]);
+    store.append("c1", &a).expect("append");
+    std::fs::write(scratch.0.join("smoke").join("notes.txt"), "hi").unwrap();
+    match store.prune("smoke", 1) {
+        Err(HistoryError::CorruptEntry { .. }) => {}
+        other => panic!("expected CorruptEntry, got {other:?}"),
+    }
+}
+
 fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream

@@ -1,0 +1,1440 @@
+//! Fleet-scale structure-of-arrays batch execution (DESIGN.md §14).
+//!
+//! The shard runner (§10) scales **one big machine** across threads; this
+//! module is the complementary axis: **thousands of small machine
+//! instances** of the *same* architecture advancing in lockstep, the
+//! workload class of parameter sweeps and Monte-Carlo fault studies.
+//!
+//! Instead of `Vec<Machine>` (one decode, one scheduler pass and one
+//! fault hook *per instance per cycle*), fleet state is laid out as
+//! structure-of-arrays: one `Vec<Word>` lane per register column and per
+//! memory word, indexed `[column * n + instance]`.  While every active
+//! instance sits at the same program counter — the common case for
+//! data-independent control flow — one fetch+decode drives a tight,
+//! vectorizable loop over all instances.  When control flow diverges
+//! (data-dependent branches, per-instance stalls), instances are
+//! regrouped into pc-cohorts and each cohort keeps the amortized path;
+//! the **divergence mask** is the shrinking active list plus the
+//! per-instance result slots that retire instances on halt, watchdog,
+//! deadline or typed error.
+//!
+//! The hard contract carried from the scheduler/shard identity work
+//! (§9/§10): per-instance [`Stats`], telemetry class totals, and error
+//! values are **bit-identical** to running the `n` instances
+//! sequentially on the dense reference machines
+//! ([`crate::uniprocessor::UniProcessor`], [`crate::array::ArrayMachine`]),
+//! for clean runs, watchdog/deadline trips, memory/routing errors, and
+//! transient fault plans alike.  `tests/fleet_identity.rs` pins this
+//! differentially; the `*/fleet` bench twins gate the counters hard.
+//!
+//! Fleet×thread composition: instances are independent, so a fleet
+//! splits into contiguous instance ranges, one sub-fleet per worker
+//! thread ([`run_uni_fleet_chunked`]), honouring `SKILLTAX_FLEET_THREADS`
+//! (default: the shared `SKILLTAX_THREADS` resolution).  This composes
+//! with `with_shards` rather than replacing it: a sweep of *big*
+//! machines shards each machine across threads, a fleet of *small*
+//! machines chunks instances across threads.
+
+use std::ops::Range;
+
+use crate::array::ArraySubtype;
+use crate::cancel::{flag_trip, CancelToken, RunBudget};
+use crate::error::MachineError;
+use crate::exec::Stats;
+use crate::fault::FaultPlan;
+use crate::isa::{Instr, Word, NUM_REGS};
+use crate::mem::DataTopology;
+use crate::program::Program;
+use crate::telemetry::{EventKind, FaultKind, NullTracer, Tracer};
+use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
+
+/// Per-instance result of a fleet run: the same values a sequential run
+/// of that instance on the dense machine would produce.
+pub type InstanceResult = Result<Stats, MachineError>;
+
+/// Worker-thread count for fleet chunking: `SKILLTAX_FLEET_THREADS` if
+/// set to a positive value, else the shared [`crate::configured_threads`]
+/// resolution (`SKILLTAX_THREADS` / `available_parallelism`).
+pub fn fleet_threads() -> usize {
+    match std::env::var("SKILLTAX_FLEET_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => crate::shard::configured_threads(),
+    }
+}
+
+/// Minimum instances per worker chunk before a fleet fans out
+/// (`SKILLTAX_FLEET_MIN_PER_THREAD`, default 32): tiny fleets stay
+/// single-threaded so thread spawn cost never dominates the run.
+pub fn fleet_min_per_thread() -> usize {
+    match std::env::var("SKILLTAX_FLEET_MIN_PER_THREAD")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => 32,
+    }
+}
+
+/// Split `n` instances into at most `threads` contiguous ranges of at
+/// least `min_per_chunk` instances each (the last range takes the
+/// remainder).  Deterministic: depends only on the arguments.
+pub fn chunk_ranges(n: usize, threads: usize, min_per_chunk: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_chunks = (n / min_per_chunk.max(1)).max(1);
+    let k = threads.max(1).min(max_chunks);
+    let base = n / k;
+    let rem = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for c in 0..k {
+        let len = base + usize::from(c < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Per-instance run state shared by the fleet executors: the divergence
+/// mask's backing store.  `results[i]` doubles as the retirement flag —
+/// an instance leaves the active list the step its slot is written.
+struct LaneState {
+    pc: Vec<usize>,
+    cycles: Vec<u64>,
+    instructions: Vec<u64>,
+    messages: Vec<u64>,
+    stalls: Vec<u64>,
+    /// Per-(lane, instance) ALU counter, `[lane * n + i]` (uni: one lane).
+    alu: Vec<u64>,
+    mem_reads: Vec<u64>,
+    mem_writes: Vec<u64>,
+    results: Vec<Option<InstanceResult>>,
+}
+
+impl LaneState {
+    fn new(n: usize, lanes: usize) -> LaneState {
+        LaneState {
+            pc: vec![0; n],
+            cycles: vec![0; n],
+            instructions: vec![0; n],
+            messages: vec![0; n],
+            stalls: vec![0; n],
+            alu: vec![0; lanes * n],
+            mem_reads: vec![0; lanes * n],
+            mem_writes: vec![0; lanes * n],
+            results: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Partial stats exactly as the sequential loops carry them into a
+    /// watchdog/cancel error: cycles, instructions, messages and stalls
+    /// are live; the ALU/memory counters are only folded in on success.
+    fn partial(&self, i: usize) -> Stats {
+        Stats {
+            cycles: self.cycles[i],
+            instructions: self.instructions[i],
+            messages: self.messages[i],
+            stalls: self.stalls[i],
+            ..Stats::default()
+        }
+    }
+
+    /// Full stats for a cleanly finished instance (`lanes` counter rows).
+    fn finish(&self, i: usize, n: usize, lanes: usize) -> Stats {
+        let mut stats = self.partial(i);
+        for l in 0..lanes {
+            stats.alu_ops += self.alu[l * n + i];
+            stats.mem_reads += self.mem_reads[l * n + i];
+            stats.mem_writes += self.mem_writes[l * n + i];
+        }
+        stats
+    }
+
+    /// Retire every active instance with the asynchronous-flag error,
+    /// mirroring the per-cycle flag poll of the sequential loops.
+    fn flag_all<T: Tracer>(&mut self, active: &[usize], tracer: &mut T) {
+        for &i in active {
+            let partial = self.partial(i);
+            self.results[i] = Some(Err(flag_trip(self.cycles[i], partial, tracer)));
+        }
+    }
+
+    /// Regroup `active` into pc-cohorts (stable, ascending instances
+    /// within a cohort), run `step` on each, then rebuild the active
+    /// list in ascending instance order.
+    fn step_cohorts(
+        &mut self,
+        active: &mut Vec<usize>,
+        mut step: impl FnMut(&mut Self, &mut Vec<usize>),
+    ) {
+        let mut cohorts: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &i in active.iter() {
+            match cohorts.iter_mut().find(|(p, _)| *p == self.pc[i]) {
+                Some((_, group)) => group.push(i),
+                None => cohorts.push((self.pc[i], vec![i])),
+            }
+        }
+        active.clear();
+        for (_, mut group) in cohorts {
+            step(self, &mut group);
+            active.extend(group);
+        }
+        active.sort_unstable();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uni-processor fleet
+// ---------------------------------------------------------------------------
+
+/// A fleet of `n` lockstep [`crate::uniprocessor::UniProcessor`]
+/// instances in structure-of-arrays layout: register column `r` lives at
+/// `regs[r * n ..]`, memory word `a` at `mem[a * n ..]`, so a uniform-pc
+/// step touches contiguous lanes.
+pub struct UniFleet {
+    n: usize,
+    mem_words: usize,
+    cycle_limit: u64,
+    cancel: CancelToken,
+    regs: Vec<Word>,
+    mem: Vec<Word>,
+}
+
+impl std::fmt::Debug for UniFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniFleet")
+            .field("instances", &self.n)
+            .field("mem_words", &self.mem_words)
+            .finish()
+    }
+}
+
+impl UniFleet {
+    /// A fleet of `n` zeroed uni-processors, each with `mem_words` of
+    /// private data memory.
+    pub fn new(n: usize, mem_words: usize) -> UniFleet {
+        assert!(n >= 1, "a fleet needs at least one instance");
+        UniFleet {
+            n,
+            mem_words,
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            cancel: CancelToken::new(),
+            regs: vec![0; NUM_REGS * n],
+            mem: vec![0; mem_words * n],
+        }
+    }
+
+    /// Override the livelock guard (applied per instance, exactly like
+    /// the sequential machine's watchdog).
+    pub fn with_cycle_limit(mut self, limit: u64) -> UniFleet {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Install a cancellation token: the deadline stops every instance
+    /// deterministically at its own cycle count; the flag stops the
+    /// whole fleet promptly.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> UniFleet {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// A fleet is never empty (the constructor asserts `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Words of data memory per instance.
+    pub fn mem_words(&self) -> usize {
+        self.mem_words
+    }
+
+    /// Instance `i`'s register `r` (for workload setup / result checks).
+    pub fn reg(&self, i: usize, r: u8) -> Word {
+        self.regs[usize::from(r) * self.n + i]
+    }
+
+    /// Write instance `i`'s register `r`.
+    pub fn set_reg(&mut self, i: usize, r: u8, value: Word) {
+        self.regs[usize::from(r) * self.n + i] = value;
+    }
+
+    /// Instance `i`'s memory word at `addr`.
+    pub fn mem_word(&self, i: usize, addr: usize) -> Word {
+        self.mem[addr * self.n + i]
+    }
+
+    /// Write instance `i`'s memory word at `addr`.
+    pub fn write_mem(&mut self, i: usize, addr: usize, value: Word) {
+        self.mem[addr * self.n + i] = value;
+    }
+
+    /// Load a prefix of instance `i`'s memory (strided column writes —
+    /// setup cost, off the run loop).
+    pub fn load_mem(&mut self, i: usize, data: &[Word]) {
+        for (addr, &v) in data.iter().enumerate().take(self.mem_words) {
+            self.mem[addr * self.n + i] = v;
+        }
+    }
+
+    /// Run `program` on every instance; per-instance results in instance
+    /// order, each bit-identical to a sequential
+    /// [`crate::uniprocessor::UniProcessor::run`] of that instance.
+    pub fn run(&mut self, program: &Program) -> Vec<InstanceResult> {
+        self.run_traced(program, &mut NullTracer)
+    }
+
+    /// [`UniFleet::run`] with observation hooks.  Events carry each
+    /// instance's own cycle stamp; class totals equal the sum of the `n`
+    /// sequential traced runs.  (Fleet runs do not emit phase spans —
+    /// profile a single instance on the dense machine instead.)
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+    ) -> Vec<InstanceResult> {
+        let n = self.n;
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        let mut st = LaneState::new(n, 1);
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut exec: Vec<usize> = Vec::with_capacity(n);
+        while !active.is_empty() {
+            if self.cancel.flag_raised() {
+                st.flag_all(&active, tracer);
+                break;
+            }
+            let pc0 = st.pc[active[0]];
+            if active.iter().all(|&i| st.pc[i] == pc0) {
+                self.lockstep_step(program, &budget, &mut active, &mut exec, &mut st, tracer);
+            } else {
+                let (fleet, budget) = (&mut *self, &budget);
+                st.step_cohorts(&mut active, |st, group| {
+                    let mut exec = Vec::with_capacity(group.len());
+                    fleet.lockstep_step(program, budget, group, &mut exec, st, tracer);
+                });
+            }
+        }
+        st.results
+            .into_iter()
+            .map(|r| r.expect("every instance retires"))
+            .collect()
+    }
+
+    /// One lockstep step for a pc-uniform `group`: per instance, the
+    /// exact sequential iteration order — flag (hoisted to the caller),
+    /// budget, fetch, cycle increment, fabric check, issue, execute.
+    fn lockstep_step<T: Tracer>(
+        &mut self,
+        program: &Program,
+        budget: &RunBudget,
+        group: &mut Vec<usize>,
+        exec: &mut Vec<usize>,
+        st: &mut LaneState,
+        tracer: &mut T,
+    ) {
+        let n = self.n;
+        let pc0 = st.pc[group[0]];
+        let fetched = program.fetch(pc0);
+        let enabled = tracer.enabled();
+        exec.clear();
+        for &i in group.iter() {
+            if st.cycles[i] >= budget.limit() {
+                let partial = st.partial(i);
+                st.results[i] = Some(Err(budget.trip(st.cycles[i], partial, tracer)));
+                continue;
+            }
+            let Some(instr) = fetched else {
+                // Running off the end is a clean stop.
+                let stats = st.finish(i, n, 1);
+                if enabled {
+                    tracer.sample("dp.alu_ops", stats.alu_ops);
+                    tracer.sample("dp.mem_ops", stats.mem_reads + stats.mem_writes);
+                }
+                st.results[i] = Some(Ok(stats));
+                continue;
+            };
+            st.cycles[i] += 1;
+            if instr.uses_dp_dp() {
+                st.results[i] = Some(Err(MachineError::RouteDenied {
+                    from: 0,
+                    to: 0,
+                    reason: "a uni-processor has no DP-DP fabric".to_owned(),
+                }));
+                continue;
+            }
+            st.instructions[i] += 1;
+            if enabled {
+                tracer.record(st.cycles[i], EventKind::Issue);
+            }
+            exec.push(i);
+        }
+        if let Some(instr) = fetched {
+            self.execute(instr, pc0, exec, st, enabled, tracer);
+        }
+        group.retain(|&i| st.results[i].is_none());
+    }
+
+    /// The decoded-once lane loops.  Column bases are hoisted so the
+    /// inner loops are flat strided accesses over the instance axis.
+    fn execute<T: Tracer>(
+        &mut self,
+        instr: Instr,
+        pc0: usize,
+        exec: &[usize],
+        st: &mut LaneState,
+        enabled: bool,
+        tracer: &mut T,
+    ) {
+        let n = self.n;
+        let col = |r: u8| usize::from(r) * n;
+        let next = pc0 + 1;
+        macro_rules! alu_op {
+            ($rd:expr, $body:expr) => {{
+                let bd = col($rd);
+                #[allow(clippy::redundant_closure_call)]
+                for &i in exec {
+                    self.regs[bd + i] = $body(i);
+                    st.alu[i] += 1;
+                    if enabled {
+                        tracer.record(st.cycles[i], EventKind::AluOp);
+                    }
+                    st.pc[i] = next;
+                }
+            }};
+        }
+        match instr {
+            Instr::Nop => {
+                for &i in exec {
+                    st.pc[i] = next;
+                }
+            }
+            Instr::Halt => {
+                for &i in exec {
+                    let stats = st.finish(i, n, 1);
+                    if enabled {
+                        tracer.sample("dp.alu_ops", stats.alu_ops);
+                        tracer.sample("dp.mem_ops", stats.mem_reads + stats.mem_writes);
+                    }
+                    st.results[i] = Some(Ok(stats));
+                }
+            }
+            Instr::MovI(rd, imm) => {
+                let bd = col(rd);
+                for &i in exec {
+                    self.regs[bd + i] = imm;
+                    st.pc[i] = next;
+                }
+            }
+            Instr::Mov(rd, rs) => {
+                let (bd, bs) = (col(rd), col(rs));
+                for &i in exec {
+                    self.regs[bd + i] = self.regs[bs + i];
+                    st.pc[i] = next;
+                }
+            }
+            Instr::Add(rd, a, b) => {
+                let (ba, bb) = (col(a), col(b));
+                alu_op!(rd, |i: usize| self.regs[ba + i]
+                    .wrapping_add(self.regs[bb + i]));
+            }
+            Instr::Sub(rd, a, b) => {
+                let (ba, bb) = (col(a), col(b));
+                alu_op!(rd, |i: usize| self.regs[ba + i]
+                    .wrapping_sub(self.regs[bb + i]));
+            }
+            Instr::Mul(rd, a, b) => {
+                let (ba, bb) = (col(a), col(b));
+                alu_op!(rd, |i: usize| self.regs[ba + i]
+                    .wrapping_mul(self.regs[bb + i]));
+            }
+            Instr::Min(rd, a, b) => {
+                let (ba, bb) = (col(a), col(b));
+                alu_op!(rd, |i: usize| self.regs[ba + i].min(self.regs[bb + i]));
+            }
+            Instr::Max(rd, a, b) => {
+                let (ba, bb) = (col(a), col(b));
+                alu_op!(rd, |i: usize| self.regs[ba + i].max(self.regs[bb + i]));
+            }
+            Instr::AddI(rd, rs, imm) => {
+                let bs = col(rs);
+                alu_op!(rd, |i: usize| self.regs[bs + i].wrapping_add(imm));
+            }
+            Instr::Load(rd, rs) => {
+                let (bd, bs) = (col(rd), col(rs));
+                for &i in exec {
+                    let address = self.regs[bs + i];
+                    if address < 0 || address as usize >= self.mem_words {
+                        st.results[i] = Some(Err(MachineError::MemoryOutOfBounds {
+                            processor: 0,
+                            address,
+                            size: self.mem_words,
+                        }));
+                        continue;
+                    }
+                    self.regs[bd + i] = self.mem[address as usize * n + i];
+                    st.mem_reads[i] += 1;
+                    if enabled {
+                        tracer.record(st.cycles[i], EventKind::MemRead);
+                    }
+                    st.pc[i] = next;
+                }
+            }
+            Instr::Store(ra, rs) => {
+                let (ba, bs) = (col(ra), col(rs));
+                for &i in exec {
+                    let address = self.regs[ba + i];
+                    if address < 0 || address as usize >= self.mem_words {
+                        st.results[i] = Some(Err(MachineError::MemoryOutOfBounds {
+                            processor: 0,
+                            address,
+                            size: self.mem_words,
+                        }));
+                        continue;
+                    }
+                    self.mem[address as usize * n + i] = self.regs[bs + i];
+                    st.mem_writes[i] += 1;
+                    if enabled {
+                        tracer.record(st.cycles[i], EventKind::MemWrite);
+                    }
+                    st.pc[i] = next;
+                }
+            }
+            Instr::LaneId(rd) => {
+                let bd = col(rd);
+                for &i in exec {
+                    self.regs[bd + i] = 0;
+                    st.pc[i] = next;
+                }
+            }
+            Instr::Beq(a, b, t) => {
+                let (ba, bb) = (col(a), col(b));
+                for &i in exec {
+                    st.pc[i] = if self.regs[ba + i] == self.regs[bb + i] {
+                        t
+                    } else {
+                        next
+                    };
+                }
+            }
+            Instr::Bne(a, b, t) => {
+                let (ba, bb) = (col(a), col(b));
+                for &i in exec {
+                    st.pc[i] = if self.regs[ba + i] != self.regs[bb + i] {
+                        t
+                    } else {
+                        next
+                    };
+                }
+            }
+            Instr::Blt(a, b, t) => {
+                let (ba, bb) = (col(a), col(b));
+                for &i in exec {
+                    st.pc[i] = if self.regs[ba + i] < self.regs[bb + i] {
+                        t
+                    } else {
+                        next
+                    };
+                }
+            }
+            Instr::Jmp(t) => {
+                for &i in exec {
+                    st.pc[i] = t;
+                }
+            }
+            Instr::Send(..) | Instr::Recv(..) | Instr::GetLane(..) => {
+                unreachable!("fabric instructions are intercepted before execute")
+            }
+        }
+    }
+}
+
+/// One worker chunk of a fleet run: its instance range, the sub-fleet
+/// (for post-run register/memory inspection) and the per-instance
+/// results for that range.
+#[derive(Debug)]
+pub struct FleetChunk {
+    /// Global instance range this chunk covered.
+    pub range: Range<usize>,
+    /// The sub-fleet, post-run (instance `range.start + k` is local `k`).
+    pub fleet: UniFleet,
+    /// Per-instance results, local order.
+    pub results: Vec<InstanceResult>,
+}
+
+/// Run `n` uni-processor instances of `program` as contiguous sub-fleet
+/// chunks across worker threads (`threads == 0` resolves via
+/// [`fleet_threads`]).  `init(global_index, fleet, local_index)` seeds
+/// each instance before its chunk runs.  Instances are independent, so
+/// the chunked run is deterministic and bit-identical to one big fleet —
+/// the fleet×thread analog of `with_shards`.
+pub fn run_uni_fleet_chunked<I>(
+    n: usize,
+    mem_words: usize,
+    cycle_limit: u64,
+    cancel: &CancelToken,
+    program: &Program,
+    init: I,
+    threads: usize,
+) -> Vec<FleetChunk>
+where
+    I: Fn(usize, &mut UniFleet, usize) + Sync,
+{
+    let threads = if threads == 0 {
+        fleet_threads()
+    } else {
+        threads
+    };
+    let ranges = chunk_ranges(n, threads, fleet_min_per_thread());
+    let workers = ranges.len();
+    crate::sweep::parallel_map_with(
+        ranges,
+        |range| {
+            let mut fleet = UniFleet::new(range.len(), mem_words)
+                .with_cycle_limit(cycle_limit)
+                .with_cancel(cancel.clone());
+            for local in 0..range.len() {
+                init(range.start + local, &mut fleet, local);
+            }
+            let results = fleet.run(program);
+            FleetChunk {
+                range: range.clone(),
+                fleet,
+                results,
+            }
+        },
+        workers,
+    )
+}
+
+/// Flatten chunked results back into one per-instance vector in global
+/// instance order.
+pub fn chunked_results(chunks: Vec<FleetChunk>) -> Vec<InstanceResult> {
+    chunks.into_iter().flat_map(|c| c.results).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Array-machine fleet
+// ---------------------------------------------------------------------------
+
+/// A fleet of `n` lockstep [`crate::array::ArrayMachine`] instances
+/// (same sub-type, lane count and bank size) in structure-of-arrays
+/// layout: lane `l`'s register `r` lives at
+/// `regs[(l * NUM_REGS + r) * n ..]`, global memory word `g` at
+/// `mem[g * n ..]`.
+pub struct ArrayFleet {
+    subtype: ArraySubtype,
+    lanes: usize,
+    bank_words: usize,
+    n: usize,
+    cycle_limit: u64,
+    cancel: CancelToken,
+    regs: Vec<Word>,
+    mem: Vec<Word>,
+}
+
+impl std::fmt::Debug for ArrayFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayFleet")
+            .field("subtype", &self.subtype.class_name())
+            .field("lanes", &self.lanes)
+            .field("instances", &self.n)
+            .finish()
+    }
+}
+
+impl ArrayFleet {
+    /// A fleet of `n` zeroed `lanes`-lane array machines with
+    /// `bank_words` words per memory bank.
+    pub fn new(subtype: ArraySubtype, lanes: usize, bank_words: usize, n: usize) -> ArrayFleet {
+        assert!(n >= 1, "a fleet needs at least one instance");
+        assert!(lanes >= 1, "an array machine needs at least one lane");
+        assert!(bank_words >= 1, "banks need at least one word");
+        ArrayFleet {
+            subtype,
+            lanes,
+            bank_words,
+            n,
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            cancel: CancelToken::new(),
+            regs: vec![0; lanes * NUM_REGS * n],
+            mem: vec![0; lanes * bank_words * n],
+        }
+    }
+
+    /// Override the livelock guard (per instance).
+    pub fn with_cycle_limit(mut self, limit: u64) -> ArrayFleet {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Install a cancellation token (deadline deterministic per
+    /// instance, flag prompt for the whole fleet).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ArrayFleet {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// A fleet is never empty (the constructor asserts `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Lanes per instance.
+    pub fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    /// Instance `i`, lane `l`, register `r`.
+    pub fn lane_reg(&self, i: usize, l: usize, r: u8) -> Word {
+        self.regs[(l * NUM_REGS + usize::from(r)) * self.n + i]
+    }
+
+    /// Instance `i`'s memory word at global address `g`
+    /// (`bank * bank_words + offset`).
+    pub fn mem_word(&self, i: usize, g: usize) -> Word {
+        self.mem[g * self.n + i]
+    }
+
+    /// Load a prefix of instance `i`'s bank `bank`.
+    pub fn load_bank(&mut self, i: usize, bank: usize, data: &[Word]) {
+        for (offset, &v) in data.iter().enumerate().take(self.bank_words) {
+            self.mem[(bank * self.bank_words + offset) * self.n + i] = v;
+        }
+    }
+
+    /// Run `program` on every instance; per-instance results in instance
+    /// order, bit-identical to sequential
+    /// [`crate::array::ArrayMachine::run`] runs.
+    pub fn run(&mut self, program: &Program) -> Vec<InstanceResult> {
+        self.run_traced(program, &mut NullTracer)
+    }
+
+    /// [`ArrayFleet::run`] with observation hooks (see
+    /// [`UniFleet::run_traced`] for the event-total contract).
+    pub fn run_traced<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+    ) -> Vec<InstanceResult> {
+        self.run_inner(program, None, tracer)
+            .into_iter()
+            .map(|r| r.map(|o| o.stats))
+            .collect()
+    }
+
+    /// Monte-Carlo entry point: run every instance under its own
+    /// transient-fault plan (stalls, memory bit-flips), one plan per
+    /// instance.  Results are bit-identical to sequential
+    /// [`crate::array::ArrayMachine::run_resilient`] runs with the same
+    /// plans.  Plans with permanently failed DPs are rejected per
+    /// instance: private-bank sub-types with the same
+    /// [`MachineError::DegradationImpossible`] the sequential machine
+    /// raises, shared-crossbar sub-types with a typed
+    /// `WorkloadUnsupported` (the degraded-replay path is inherently
+    /// per-instance — use `run_resilient` for those studies).
+    pub fn run_faulted(
+        &mut self,
+        program: &Program,
+        plans: Vec<FaultPlan>,
+    ) -> Vec<Result<crate::fault::RunOutcome, MachineError>> {
+        self.run_faulted_traced(program, plans, &mut NullTracer)
+    }
+
+    /// [`ArrayFleet::run_faulted`] with observation hooks.
+    pub fn run_faulted_traced<T: Tracer>(
+        &mut self,
+        program: &Program,
+        mut plans: Vec<FaultPlan>,
+        tracer: &mut T,
+    ) -> Vec<Result<crate::fault::RunOutcome, MachineError>> {
+        assert_eq!(plans.len(), self.n, "one fault plan per instance");
+        // Mirror `run_resilient`: reject permanent failures up front,
+        // then fork each plan so the run consumes a decorrelated stream
+        // with a fresh injection counter.
+        let mut rejected: Vec<Option<MachineError>> = (0..self.n).map(|_| None).collect();
+        let mut forks: Vec<FaultPlan> = Vec::with_capacity(self.n);
+        for (i, plan) in plans.iter_mut().enumerate() {
+            if !plan.failed_dps().is_empty() {
+                rejected[i] = Some(match self.subtype.data_topology() {
+                    DataTopology::PrivateBanks => MachineError::DegradationImpossible {
+                        machine: format!("{} array machine", self.subtype.class_name()),
+                        reason: "DP-DM is a direct switch: a failed lane's private bank is \
+                                 unreachable from any substitute DP"
+                            .to_owned(),
+                    },
+                    DataTopology::SharedCrossbar => MachineError::unsupported(
+                        format!("{} array fleet", self.subtype.class_name()),
+                        "degraded replay of failed DPs is per-instance work; \
+                         run run_resilient on a sequential machine",
+                    ),
+                });
+            }
+            forks.push(plan.fork());
+        }
+        let results = self.run_inner(program, Some(&mut forks), tracer);
+        results
+            .into_iter()
+            .zip(rejected)
+            .map(|(result, rejection)| match rejection {
+                Some(e) => Err(e),
+                None => result,
+            })
+            .collect()
+    }
+
+    fn run_inner<T: Tracer>(
+        &mut self,
+        program: &Program,
+        mut plans: Option<&mut Vec<FaultPlan>>,
+        tracer: &mut T,
+    ) -> Vec<Result<crate::fault::RunOutcome, MachineError>> {
+        let n = self.n;
+        let budget = RunBudget::resolve(self.cycle_limit, &self.cancel);
+        let mut st = LaneState::new(n, self.lanes);
+        let mut active: Vec<usize> = (0..n).collect();
+        // Instances whose plan was rejected never start.
+        let mut exec: Vec<usize> = Vec::with_capacity(n);
+        let mut snapshot: Vec<Word> = Vec::with_capacity(self.lanes);
+        while !active.is_empty() {
+            if self.cancel.flag_raised() {
+                st.flag_all(&active, tracer);
+                break;
+            }
+            let pc0 = st.pc[active[0]];
+            if active.iter().all(|&i| st.pc[i] == pc0) {
+                self.array_step(
+                    program,
+                    &budget,
+                    &mut active,
+                    &mut exec,
+                    &mut snapshot,
+                    &mut st,
+                    plans.as_deref_mut(),
+                    tracer,
+                );
+            } else {
+                let (fleet, budget) = (&mut *self, &budget);
+                let plans = &mut plans;
+                let snapshot = &mut snapshot;
+                st.step_cohorts(&mut active, |st, group| {
+                    let mut exec = Vec::with_capacity(group.len());
+                    fleet.array_step(
+                        program,
+                        budget,
+                        group,
+                        &mut exec,
+                        snapshot,
+                        st,
+                        plans.as_deref_mut(),
+                        tracer,
+                    );
+                });
+            }
+        }
+        st.results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let faults_injected = plans.as_ref().map_or(0, |p| p[i].injected());
+                r.expect("every instance retires")
+                    .map(|stats| crate::fault::RunOutcome {
+                        stats,
+                        faults_injected,
+                        retries: 0,
+                        degraded: false,
+                    })
+            })
+            .collect()
+    }
+
+    /// One lockstep step for a pc-uniform group of array instances.
+    #[allow(clippy::too_many_arguments)]
+    fn array_step<T: Tracer>(
+        &mut self,
+        program: &Program,
+        budget: &RunBudget,
+        group: &mut Vec<usize>,
+        exec: &mut Vec<usize>,
+        snapshot: &mut Vec<Word>,
+        st: &mut LaneState,
+        mut plans: Option<&mut Vec<FaultPlan>>,
+        tracer: &mut T,
+    ) {
+        let n = self.n;
+        let lanes = self.lanes;
+        let live = lanes as u64;
+        let pc0 = st.pc[group[0]];
+        let fetched = program.fetch(pc0);
+        let enabled = tracer.enabled();
+        exec.clear();
+        for &i in group.iter() {
+            if st.cycles[i] >= budget.limit() {
+                let partial = st.partial(i);
+                st.results[i] = Some(Err(budget.trip(st.cycles[i], partial, tracer)));
+                continue;
+            }
+            let Some(_) = fetched else {
+                let stats = st.finish(i, n, lanes);
+                if enabled {
+                    for l in 0..lanes {
+                        tracer.sample("dp.alu_ops", st.alu[l * n + i]);
+                        tracer.sample(
+                            "dp.mem_ops",
+                            st.mem_reads[l * n + i] + st.mem_writes[l * n + i],
+                        );
+                    }
+                }
+                st.results[i] = Some(Ok(stats));
+                continue;
+            };
+            st.cycles[i] += 1;
+            let mut stalled = false;
+            if let Some(plans) = plans.as_deref_mut() {
+                let plan = &mut plans[i];
+                // Mirror `FaultPlan::maybe_flip_memory` against the SoA
+                // memory: same draws, same geometry reduction, same
+                // trace event.
+                if let Some((bank_raw, addr_raw, bit)) = plan.memory_bit_flip() {
+                    let bank = (bank_raw % lanes as u64) as usize;
+                    let addr = (addr_raw % self.bank_words as u64) as usize;
+                    let g = bank * self.bank_words + addr;
+                    self.mem[g * n + i] ^= 1 << bit;
+                    tracer.record(st.cycles[i], EventKind::FaultInjected(FaultKind::BitFlip));
+                }
+                // Lockstep SIMD: one stalled lane holds back the whole
+                // broadcast.  Ascending short-circuit order matches the
+                // sequential live-lane scan (injection counts depend on
+                // it).
+                stalled = (0..lanes).any(|l| plan.dp_stalled(st.cycles[i], l));
+                if stalled {
+                    st.stalls[i] += 1;
+                    tracer.record(st.cycles[i], EventKind::Stall);
+                }
+            }
+            if !stalled {
+                exec.push(i);
+            }
+        }
+        if let Some(instr) = fetched {
+            if !exec.is_empty() {
+                self.array_execute(instr, pc0, exec, snapshot, st, live, enabled, tracer);
+            }
+        }
+        group.retain(|&i| st.results[i].is_none());
+    }
+
+    /// Global-word address resolution mirroring
+    /// `BankedMemory::resolve` for this machine's geometry (same typed
+    /// error values).
+    fn resolve(&self, lane: usize, address: Word) -> Result<usize, MachineError> {
+        if address < 0 {
+            return Err(MachineError::MemoryOutOfBounds {
+                processor: lane,
+                address,
+                size: self.lanes * self.bank_words,
+            });
+        }
+        let addr = address as usize;
+        match self.subtype.data_topology() {
+            DataTopology::PrivateBanks => {
+                if addr >= self.bank_words {
+                    return Err(MachineError::MemoryOutOfBounds {
+                        processor: lane,
+                        address,
+                        size: self.bank_words,
+                    });
+                }
+                Ok(lane * self.bank_words + addr)
+            }
+            DataTopology::SharedCrossbar => {
+                if addr / self.bank_words >= self.lanes {
+                    return Err(MachineError::MemoryOutOfBounds {
+                        processor: lane,
+                        address,
+                        size: self.lanes * self.bank_words,
+                    });
+                }
+                Ok(addr)
+            }
+        }
+    }
+
+    /// The decoded-once broadcast: lanes outer, instances inner, so each
+    /// `(lane, register)` column is walked contiguously.
+    #[allow(clippy::too_many_arguments)]
+    fn array_execute<T: Tracer>(
+        &mut self,
+        instr: Instr,
+        pc0: usize,
+        exec: &[usize],
+        snapshot: &mut Vec<Word>,
+        st: &mut LaneState,
+        live: u64,
+        enabled: bool,
+        tracer: &mut T,
+    ) {
+        let n = self.n;
+        let lanes = self.lanes;
+        let col = |l: usize, r: u8| (l * NUM_REGS + usize::from(r)) * n;
+        let next = pc0 + 1;
+        match instr {
+            Instr::Send(..) | Instr::Recv(..) => {
+                for &i in exec {
+                    st.results[i] = Some(Err(MachineError::unsupported(
+                        format!("{} array machine", self.subtype.class_name()),
+                        "array lanes have no independent control to exchange \
+                         asynchronous messages; use getlane",
+                    )));
+                }
+            }
+            Instr::GetLane(rd, lane_reg, rs) => {
+                let fabric = self.subtype.lane_fabric();
+                for &i in exec {
+                    // SIMD semantics: every lane reads the
+                    // *pre-instruction* value of its source lane.
+                    snapshot.clear();
+                    for l in 0..lanes {
+                        snapshot.push(self.regs[col(l, rs) + i]);
+                    }
+                    let mut failed = false;
+                    for l in 0..lanes {
+                        let src = self.regs[col(l, lane_reg) + i];
+                        if src < 0 || src as usize >= lanes {
+                            st.results[i] = Some(Err(MachineError::RouteDenied {
+                                from: l,
+                                to: src.max(0) as usize,
+                                reason: format!("source lane {src} out of range"),
+                            }));
+                            failed = true;
+                            break;
+                        }
+                        let src = src as usize;
+                        if src != l {
+                            if let Err(e) = fabric.route(src, l, lanes) {
+                                st.results[i] = Some(Err(e));
+                                failed = true;
+                                break;
+                            }
+                            st.messages[i] += 1;
+                            if enabled {
+                                tracer
+                                    .record(st.cycles[i], EventKind::Message { from: src, to: l });
+                                tracer.record(st.cycles[i], EventKind::CrossbarTraversal);
+                            }
+                        }
+                        self.regs[col(l, rd) + i] = snapshot[src];
+                    }
+                    if failed {
+                        continue;
+                    }
+                    st.instructions[i] += live;
+                    if enabled {
+                        tracer.record_many(st.cycles[i], EventKind::Issue, live);
+                    }
+                    st.pc[i] = next;
+                }
+            }
+            _ if instr.is_control() => {
+                // The IP resolves control flow against the control lane
+                // (lane 0 — every lane is alive in a fleet run).
+                for &i in exec {
+                    st.instructions[i] += 1;
+                    if enabled {
+                        tracer.record(st.cycles[i], EventKind::Issue);
+                    }
+                    match instr {
+                        Instr::Halt => {
+                            let stats = st.finish(i, n, lanes);
+                            if enabled {
+                                for l in 0..lanes {
+                                    tracer.sample("dp.alu_ops", st.alu[l * n + i]);
+                                    tracer.sample(
+                                        "dp.mem_ops",
+                                        st.mem_reads[l * n + i] + st.mem_writes[l * n + i],
+                                    );
+                                }
+                            }
+                            st.results[i] = Some(Ok(stats));
+                        }
+                        Instr::Jmp(t) => st.pc[i] = t,
+                        Instr::Beq(a, b, t) => {
+                            st.pc[i] = if self.regs[col(0, a) + i] == self.regs[col(0, b) + i] {
+                                t
+                            } else {
+                                next
+                            };
+                        }
+                        Instr::Bne(a, b, t) => {
+                            st.pc[i] = if self.regs[col(0, a) + i] != self.regs[col(0, b) + i] {
+                                t
+                            } else {
+                                next
+                            };
+                        }
+                        Instr::Blt(a, b, t) => {
+                            st.pc[i] = if self.regs[col(0, a) + i] < self.regs[col(0, b) + i] {
+                                t
+                            } else {
+                                next
+                            };
+                        }
+                        _ => unreachable!("is_control covers halt, jumps and branches"),
+                    }
+                }
+            }
+            _ => {
+                // Broadcast a local instruction to every lane.  Lanes
+                // ascend per instance, so an instance that faults on
+                // lane `l` keeps lanes `< l` applied and skips the rest
+                // — the sequential `?` propagation, SoA-shaped.
+                match instr {
+                    Instr::Nop => {}
+                    Instr::MovI(rd, imm) => {
+                        for l in 0..lanes {
+                            let bd = col(l, rd);
+                            for &i in exec {
+                                self.regs[bd + i] = imm;
+                            }
+                        }
+                    }
+                    Instr::Mov(rd, rs) => {
+                        for l in 0..lanes {
+                            let (bd, bs) = (col(l, rd), col(l, rs));
+                            for &i in exec {
+                                self.regs[bd + i] = self.regs[bs + i];
+                            }
+                        }
+                    }
+                    Instr::Add(rd, a, b) => {
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, i64::wrapping_add)
+                    }
+                    Instr::Sub(rd, a, b) => {
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, i64::wrapping_sub)
+                    }
+                    Instr::Mul(rd, a, b) => {
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, i64::wrapping_mul)
+                    }
+                    Instr::Min(rd, a, b) => {
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, |x, y| x.min(y))
+                    }
+                    Instr::Max(rd, a, b) => {
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, |x, y| x.max(y))
+                    }
+                    Instr::AddI(rd, rs, imm) => {
+                        for l in 0..lanes {
+                            let (bd, bs) = (col(l, rd), col(l, rs));
+                            let ac = l * n;
+                            for &i in exec {
+                                self.regs[bd + i] = self.regs[bs + i].wrapping_add(imm);
+                                st.alu[ac + i] += 1;
+                                if enabled {
+                                    tracer.record(st.cycles[i], EventKind::AluOp);
+                                }
+                            }
+                        }
+                    }
+                    Instr::LaneId(rd) => {
+                        for l in 0..lanes {
+                            let bd = col(l, rd);
+                            for &i in exec {
+                                self.regs[bd + i] = l as Word;
+                            }
+                        }
+                    }
+                    Instr::Load(rd, rs) => {
+                        for l in 0..lanes {
+                            let (bd, bs) = (col(l, rd), col(l, rs));
+                            let rc = l * n;
+                            for &i in exec {
+                                if st.results[i].is_some() {
+                                    continue;
+                                }
+                                let address = self.regs[bs + i];
+                                match self.resolve(l, address) {
+                                    Ok(g) => {
+                                        self.regs[bd + i] = self.mem[g * n + i];
+                                        st.mem_reads[rc + i] += 1;
+                                        if enabled {
+                                            tracer.record(st.cycles[i], EventKind::MemRead);
+                                        }
+                                    }
+                                    Err(e) => st.results[i] = Some(Err(e)),
+                                }
+                            }
+                        }
+                    }
+                    Instr::Store(ra, rs) => {
+                        for l in 0..lanes {
+                            let (ba, bs) = (col(l, ra), col(l, rs));
+                            let wc = l * n;
+                            for &i in exec {
+                                if st.results[i].is_some() {
+                                    continue;
+                                }
+                                let address = self.regs[ba + i];
+                                match self.resolve(l, address) {
+                                    Ok(g) => {
+                                        self.mem[g * n + i] = self.regs[bs + i];
+                                        st.mem_writes[wc + i] += 1;
+                                        if enabled {
+                                            tracer.record(st.cycles[i], EventKind::MemWrite);
+                                        }
+                                    }
+                                    Err(e) => st.results[i] = Some(Err(e)),
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("control and fabric instructions handled above"),
+                }
+                for &i in exec {
+                    if st.results[i].is_none() {
+                        st.instructions[i] += live;
+                        if enabled {
+                            tracer.record_many(st.cycles[i], EventKind::Issue, live);
+                        }
+                        st.pc[i] = next;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A three-register ALU broadcast over every lane column.
+    #[allow(clippy::too_many_arguments)]
+    fn lane_alu<T: Tracer>(
+        &mut self,
+        exec: &[usize],
+        st: &mut LaneState,
+        enabled: bool,
+        tracer: &mut T,
+        rd: u8,
+        a: u8,
+        b: u8,
+        op: impl Fn(Word, Word) -> Word,
+    ) {
+        let n = self.n;
+        for l in 0..self.lanes {
+            let base = l * NUM_REGS * n;
+            let (bd, ba, bb) = (
+                base + usize::from(rd) * n,
+                base + usize::from(a) * n,
+                base + usize::from(b) * n,
+            );
+            let ac = l * n;
+            for &i in exec {
+                self.regs[bd + i] = op(self.regs[ba + i], self.regs[bb + i]);
+                st.alu[ac + i] += 1;
+                if enabled {
+                    tracer.record(st.cycles[i], EventKind::AluOp);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Assembler;
+    use crate::uniprocessor::UniProcessor;
+
+    fn spin(iters: Word) -> Program {
+        let mut asm = Assembler::new();
+        asm.movi(0, 0).movi(1, iters);
+        asm.label("loop").unwrap();
+        asm.emit(Instr::AddI(0, 0, 1));
+        asm.blt(0, 1, "loop");
+        asm.emit(Instr::Halt);
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn uni_fleet_matches_sequential_spin() {
+        let prog = spin(37);
+        let mut fleet = UniFleet::new(8, 4);
+        let results = fleet.run(&prog);
+        let mut seq = UniProcessor::new(4);
+        let expected = seq.run(&prog).unwrap();
+        for r in results {
+            assert_eq!(r.unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn divergent_branches_regroup_into_cohorts() {
+        // Each instance spins for its own bound, read from memory —
+        // control flow diverges and re-converges at halt.
+        let mut asm = Assembler::new();
+        asm.movi(0, 0).movi(2, 0).emit(Instr::Load(1, 2));
+        asm.label("loop").unwrap();
+        asm.emit(Instr::AddI(0, 0, 1));
+        asm.blt(0, 1, "loop");
+        asm.emit(Instr::Halt);
+        let prog = asm.assemble().unwrap();
+        let bounds: Vec<Word> = vec![1, 9, 4, 30, 2, 17];
+        let mut fleet = UniFleet::new(bounds.len(), 4);
+        for (i, &b) in bounds.iter().enumerate() {
+            fleet.write_mem(i, 0, b);
+        }
+        let results = fleet.run(&prog);
+        for (i, &b) in bounds.iter().enumerate() {
+            let mut m = UniProcessor::new(4);
+            m.memory_mut().bank_mut(0).load(&[b]);
+            let expected = m.run(&prog).unwrap();
+            assert_eq!(results[i].as_ref().unwrap(), &expected, "instance {i}");
+            assert_eq!(fleet.reg(i, 0), b, "instance {i} final counter");
+        }
+    }
+
+    #[test]
+    fn watchdog_and_memory_errors_match_sequential() {
+        let mut asm = Assembler::new();
+        asm.emit(Instr::Jmp(0));
+        let forever = asm.assemble().unwrap();
+        let mut fleet = UniFleet::new(3, 4).with_cycle_limit(100);
+        for r in fleet.run(&forever) {
+            match r {
+                Err(MachineError::WatchdogTimeout {
+                    limit: 100,
+                    partial,
+                }) => {
+                    assert_eq!(partial.cycles, 100);
+                }
+                other => panic!("expected watchdog, got {other:?}"),
+            }
+        }
+        let mut asm = Assembler::new();
+        asm.movi(0, 99).emit(Instr::Load(1, 0)).emit(Instr::Halt);
+        let oob = asm.assemble().unwrap();
+        let mut fleet = UniFleet::new(2, 4);
+        let mut seq = UniProcessor::new(4);
+        let expected = seq.run(&oob).unwrap_err();
+        for r in fleet.run(&oob) {
+            assert_eq!(r.unwrap_err(), expected);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for (n, threads, min) in [(100, 4, 1), (7, 16, 2), (64, 3, 32), (1, 8, 32), (5, 2, 8)] {
+            let ranges = chunk_ranges(n, threads, min);
+            let mut covered = 0;
+            let mut expect_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect_start);
+                expect_start = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, n, "n={n} threads={threads} min={min}");
+            assert!(ranges.len() <= threads.max(1));
+        }
+        assert!(chunk_ranges(0, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn chunked_run_matches_single_fleet() {
+        let prog = spin(19);
+        let chunks = run_uni_fleet_chunked(
+            70,
+            4,
+            DEFAULT_CYCLE_LIMIT,
+            &CancelToken::new(),
+            &prog,
+            |_, _, _| {},
+            4,
+        );
+        let chunked = chunked_results(chunks);
+        let mut fleet = UniFleet::new(70, 4);
+        let whole = fleet.run(&prog);
+        assert_eq!(chunked.len(), whole.len());
+        for (a, b) in chunked.iter().zip(&whole) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn array_fleet_matches_sequential_vector_add() {
+        use crate::array::ArrayMachine;
+        let mut asm = Assembler::new();
+        asm.movi(0, 0)
+            .movi(1, 1)
+            .movi(2, 2)
+            .emit(Instr::Load(3, 0))
+            .emit(Instr::Load(4, 1))
+            .emit(Instr::Add(5, 3, 4))
+            .emit(Instr::Store(2, 5))
+            .emit(Instr::Halt);
+        let prog = asm.assemble().unwrap();
+        let mut fleet = ArrayFleet::new(ArraySubtype::I, 4, 4, 6);
+        for i in 0..6 {
+            for lane in 0..4 {
+                fleet.load_bank(i, lane, &[(i * 10 + lane) as Word, 3, 0, 0]);
+            }
+        }
+        let results = fleet.run(&prog);
+        for i in 0..6 {
+            let mut m = ArrayMachine::new(ArraySubtype::I, 4, 4);
+            for lane in 0..4 {
+                m.memory_mut()
+                    .bank_mut(lane)
+                    .load(&[(i * 10 + lane) as Word, 3, 0, 0]);
+            }
+            let expected = m.run(&prog).unwrap();
+            assert_eq!(results[i].as_ref().unwrap(), &expected, "instance {i}");
+            for lane in 0..4 {
+                assert_eq!(
+                    fleet.mem_word(i, lane * 4 + 2),
+                    (i * 10 + lane) as Word + 3,
+                    "instance {i} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_array_fleet_matches_run_resilient() {
+        use crate::array::ArrayMachine;
+        let mut asm = Assembler::new();
+        asm.emit(Instr::LaneId(0))
+            .movi(1, 100)
+            .emit(Instr::Add(1, 1, 0))
+            .emit(Instr::Store(0, 1))
+            .emit(Instr::Halt);
+        let prog = asm.assemble().unwrap();
+        let seeds = [3u64, 11, 42, 77];
+        let plans: Vec<FaultPlan> = seeds
+            .iter()
+            .map(|&s| FaultPlan::seeded(s).stall_dps(0.3).flip_memory_bits(0.05))
+            .collect();
+        let mut fleet =
+            ArrayFleet::new(ArraySubtype::III, 4, 4, seeds.len()).with_cycle_limit(10_000);
+        let outcomes = fleet.run_faulted(&prog, plans.clone());
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut m = ArrayMachine::new(ArraySubtype::III, 4, 4).with_cycle_limit(10_000);
+            let expected = m
+                .run_resilient(
+                    &prog,
+                    FaultPlan::seeded(seed)
+                        .stall_dps(0.3)
+                        .flip_memory_bits(0.05),
+                )
+                .unwrap();
+            assert_eq!(outcomes[i].as_ref().unwrap(), &expected, "seed {seed}");
+        }
+    }
+}

@@ -48,6 +48,7 @@ pub mod energy;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod fleet;
 pub mod interconnect;
 pub mod isa;
 pub mod mem;

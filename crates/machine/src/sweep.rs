@@ -38,6 +38,18 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_ref(&items, f, threads)
+}
+
+/// The borrow-based core of [`parallel_map`]: callers that still need
+/// their items afterwards ([`sweep`] pairs params with results) map over
+/// a slice instead of cloning the whole parameter vector.
+pub(crate) fn parallel_map_ref<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     if n <= 1 || threads <= 1 {
         return items.iter().map(&f).collect();
@@ -94,14 +106,30 @@ where
 }
 
 /// A labelled sweep: run `f` over `params`, pairing each result with its
-/// parameter.
+/// parameter.  Results come back in input order and worker panics
+/// propagate verbatim, exactly as in [`parallel_map`] — the pairing is a
+/// zip over the *original* parameter vector (no clone), so the
+/// `(param, result)` association is positional and deterministic even
+/// when many more params than worker threads race on the chunk queue.
 pub fn sweep<T, R, F>(params: Vec<T>, f: F) -> Vec<(T, R)>
 where
-    T: Send + Sync + Clone,
+    T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let results = parallel_map(params.clone(), f);
+    sweep_with(params, f, crate::shard::configured_threads())
+}
+
+/// [`sweep`] with an explicit worker count (the testable core: the
+/// deterministic-ordering and panic-propagation regression tests pin
+/// `threads` instead of racing on the process environment).
+pub(crate) fn sweep_with<T, R, F>(params: Vec<T>, f: F, threads: usize) -> Vec<(T, R)>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let results = parallel_map_ref(&params, f, threads);
     params.into_iter().zip(results).collect()
 }
 
@@ -230,6 +258,56 @@ mod tests {
     fn sweep_pairs_params_with_results() {
         let out = sweep(vec![1u32, 2, 3], |&x| x * 10);
         assert_eq!(out, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn sweep_ordering_deterministic_with_more_params_than_threads() {
+        // Regression (ISSUE 9): many more params than workers, forced
+        // onto 2 threads so chunks genuinely interleave.  Every result
+        // must stay zipped to its own parameter, in input order.
+        let params: Vec<u64> = (0..101).rev().collect();
+        let out = sweep_with(params.clone(), |&x| x * x + 1, 2);
+        assert_eq!(out.len(), params.len());
+        for (expected, (param, result)) in params.into_iter().zip(out) {
+            assert_eq!(param, expected);
+            assert_eq!(result, param * param + 1);
+        }
+    }
+
+    #[test]
+    fn sweep_propagates_worker_panics_verbatim() {
+        // Regression (ISSUE 9): a panic inside the sweep closure must
+        // surface with its original payload, not a join/zip artifact.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sweep_with(
+                (0..64).collect::<Vec<i32>>(),
+                |&x| {
+                    if x == 21 {
+                        panic!("sweep boom at {x}");
+                    }
+                    x
+                },
+                2,
+            )
+        }))
+        .unwrap_err();
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a string");
+        assert_eq!(message, "sweep boom at 21");
+    }
+
+    #[test]
+    fn sweep_accepts_non_clone_params() {
+        // The zip-over-the-original rewrite dropped the `Clone` bound:
+        // params move in, results pair positionally.
+        struct Opaque(u32);
+        let out = sweep(vec![Opaque(5), Opaque(9)], |p| p.0 * 2);
+        assert_eq!(
+            out.iter().map(|(p, r)| (p.0, *r)).collect::<Vec<_>>(),
+            vec![(5, 10), (9, 18)]
+        );
     }
 
     #[test]

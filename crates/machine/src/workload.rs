@@ -1000,6 +1000,222 @@ pub fn run_fabric_counters_traced<T: Tracer>(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Fleet workloads: N lockstep instances of the same architecture.
+//
+// Each runner below takes `fleet: bool` — `false` runs the N instances
+// sequentially on the dense reference machines, `true` routes them
+// through the structure-of-arrays executors in [`crate::fleet`].  The
+// two paths are bit-identical in per-instance `Stats`, telemetry class
+// totals, and errors (DESIGN.md §14); `tests/fleet_identity.rs` and the
+// `*/fleet` bench twins hold them to it.
+// ---------------------------------------------------------------------------
+
+/// The swarm spin kernel: count to a per-instance bound read from memory
+/// address 0 — a parameter sweep where the parameter rides in a data
+/// lane, so all instances share one program and diverge only in data.
+fn swarm_spin_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 0).movi(2, 0).emit(Instr::Load(1, 2));
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.emit(Instr::Halt);
+    asm.assemble().expect("swarm spin kernel is well formed")
+}
+
+/// The per-instance spin bound for instance `i` of a swarm around
+/// `base_iters` (a deterministic spread, so instances genuinely diverge).
+fn swarm_spin_bound(base_iters: Word, i: usize) -> Word {
+    base_iters + (i % 17) as Word
+}
+
+/// A parameter sweep of `instances` uni-processors, each counting to its
+/// own bound around `base_iters`.  Returns the sequentially accumulated
+/// [`Stats`] over all instances.
+pub fn run_spin_swarm_uni(
+    instances: usize,
+    base_iters: Word,
+    fleet: bool,
+) -> Result<Stats, MachineError> {
+    run_spin_swarm_uni_traced(instances, base_iters, fleet, &mut NullTracer)
+}
+
+/// [`run_spin_swarm_uni`] with observation hooks — the counter-capture
+/// entry point the continuous-performance collector records through.
+pub fn run_spin_swarm_uni_traced<T: Tracer>(
+    instances: usize,
+    base_iters: Word,
+    fleet: bool,
+    tracer: &mut T,
+) -> Result<Stats, MachineError> {
+    if instances == 0 {
+        return Err(MachineError::config("a swarm needs at least one instance"));
+    }
+    let program = swarm_spin_program();
+    let mut total = Stats::default();
+    if fleet {
+        let mut swarm = crate::fleet::UniFleet::new(instances, 2);
+        for i in 0..instances {
+            swarm.write_mem(i, 0, swarm_spin_bound(base_iters, i));
+        }
+        for result in swarm.run_traced(&program, tracer) {
+            total = total.accumulate_sequential(result?);
+        }
+    } else {
+        for i in 0..instances {
+            let mut machine = UniProcessor::new(2);
+            machine
+                .memory_mut()
+                .bank_mut(0)
+                .load(&[swarm_spin_bound(base_iters, i)]);
+            total = total.accumulate_sequential(machine.run_traced(&program, tracer)?);
+        }
+    }
+    Ok(total)
+}
+
+/// Per-instance input element for instance `i`, lane `lane` of the
+/// vector-add swarm (deterministic, distinct across the fleet).
+fn swarm_vector_inputs(i: usize, lane: usize) -> (Word, Word) {
+    ((i * 31 + lane * 7) as Word, (i * 13 + lane * 3 + 1) as Word)
+}
+
+/// A swarm of `instances` array machines (each `lanes`×4-word banks)
+/// running the vector-add kernel over per-instance data.  Outputs are
+/// verified against the reference before returning the accumulated
+/// [`Stats`].
+pub fn run_vector_add_swarm_array(
+    subtype: ArraySubtype,
+    instances: usize,
+    lanes: usize,
+    fleet: bool,
+) -> Result<Stats, MachineError> {
+    run_vector_add_swarm_array_traced(subtype, instances, lanes, fleet, &mut NullTracer)
+}
+
+/// [`run_vector_add_swarm_array`] with observation hooks — the
+/// counter-capture entry point the continuous-performance collector
+/// records through.
+pub fn run_vector_add_swarm_array_traced<T: Tracer>(
+    subtype: ArraySubtype,
+    instances: usize,
+    lanes: usize,
+    fleet: bool,
+    tracer: &mut T,
+) -> Result<Stats, MachineError> {
+    if instances == 0 || lanes == 0 {
+        return Err(MachineError::config("a swarm needs instances and lanes"));
+    }
+    // The same program selection as `run_vector_add_array_traced`:
+    // private banks take lane-local addressing, shared crossbars compile
+    // lane-relative global addressing (bank size 4).
+    let program = match subtype.data_topology() {
+        crate::mem::DataTopology::PrivateBanks => vector_add_kernel(),
+        crate::mem::DataTopology::SharedCrossbar => {
+            let mut asm = Assembler::new();
+            asm.emit(Instr::LaneId(7))
+                .movi(6, 4)
+                .emit(Instr::Mul(7, 7, 6))
+                .emit(Instr::Mov(0, 7))
+                .emit(Instr::AddI(1, 7, 1))
+                .emit(Instr::AddI(2, 7, 2))
+                .emit(Instr::Load(3, 0))
+                .emit(Instr::Load(4, 1))
+                .emit(Instr::Add(5, 3, 4))
+                .emit(Instr::Store(2, 5))
+                .emit(Instr::Halt);
+            asm.assemble()?
+        }
+    };
+    let check = |i: usize, lane: usize, got: Word| -> Result<(), MachineError> {
+        let (x, y) = swarm_vector_inputs(i, lane);
+        if got != x.wrapping_add(y) {
+            return Err(MachineError::config(format!(
+                "swarm instance {i} lane {lane}: got {got}, want {}",
+                x.wrapping_add(y)
+            )));
+        }
+        Ok(())
+    };
+    let mut total = Stats::default();
+    if fleet {
+        let mut swarm = crate::fleet::ArrayFleet::new(subtype, lanes, 4, instances);
+        for i in 0..instances {
+            for lane in 0..lanes {
+                let (x, y) = swarm_vector_inputs(i, lane);
+                swarm.load_bank(i, lane, &[x, y, 0, 0]);
+            }
+        }
+        for (i, result) in swarm.run_traced(&program, tracer).into_iter().enumerate() {
+            total = total.accumulate_sequential(result?);
+            for lane in 0..lanes {
+                check(i, lane, swarm.mem_word(i, lane * 4 + 2))?;
+            }
+        }
+    } else {
+        for i in 0..instances {
+            let mut machine = ArrayMachine::new(subtype, lanes, 4);
+            for lane in 0..lanes {
+                let (x, y) = swarm_vector_inputs(i, lane);
+                machine.memory_mut().bank_mut(lane).load(&[x, y, 0, 0]);
+            }
+            total = total.accumulate_sequential(machine.run_traced(&program, tracer)?);
+            for lane in 0..lanes {
+                check(i, lane, machine.memory().bank(lane).contents()[2])?;
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// A Monte-Carlo transient-fault study: one array-machine instance per
+/// seed, each running the lane-store kernel under its own
+/// [`FaultPlan`] with the given stall and bit-flip rates.  Per-seed
+/// outcomes in seed order; `fleet` routes the population through
+/// [`crate::fleet::ArrayFleet::run_faulted`], `false` runs
+/// [`ArrayMachine::run_resilient`] per seed — bit-identical results.
+pub fn run_fault_monte_carlo_array(
+    subtype: ArraySubtype,
+    lanes: usize,
+    seeds: &[u64],
+    stall_rate: f64,
+    flip_rate: f64,
+    fleet: bool,
+) -> Vec<Result<crate::fault::RunOutcome, MachineError>> {
+    let mut asm = Assembler::new();
+    asm.emit(Instr::LaneId(0))
+        .movi(1, 100)
+        .emit(Instr::Add(1, 1, 0))
+        .emit(Instr::Store(0, 1))
+        .emit(Instr::Halt);
+    let program = asm.assemble().expect("monte-carlo kernel is well formed");
+    let bank_words = lanes.max(4);
+    let plan_for = |seed: u64| {
+        FaultPlan::seeded(seed)
+            .stall_dps(stall_rate)
+            .flip_memory_bits(flip_rate)
+    };
+    if fleet {
+        let mut swarm =
+            crate::fleet::ArrayFleet::new(subtype, lanes, bank_words, seeds.len().max(1))
+                .with_cycle_limit(100_000);
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        swarm.run_faulted(&program, seeds.iter().map(|&s| plan_for(s)).collect())
+    } else {
+        seeds
+            .iter()
+            .map(|&s| {
+                let mut machine =
+                    ArrayMachine::new(subtype, lanes, bank_words).with_cycle_limit(100_000);
+                machine.run_resilient(&program, plan_for(s))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1168,6 +1384,31 @@ mod tests {
             assert_eq!(run.outputs, vec![42], "dense={dense}");
             assert!(run.stats.cycles > 500, "dense={dense}: {:?}", run.stats);
         }
+    }
+
+    #[test]
+    fn spin_swarm_fleet_matches_sequential() {
+        let sequential = run_spin_swarm_uni(24, 50, false).unwrap();
+        let fleet = run_spin_swarm_uni(24, 50, true).unwrap();
+        assert_eq!(sequential, fleet);
+    }
+
+    #[test]
+    fn vector_add_swarm_fleet_matches_sequential() {
+        for subtype in ArraySubtype::ALL {
+            let sequential = run_vector_add_swarm_array(subtype, 12, 4, false).unwrap();
+            let fleet = run_vector_add_swarm_array(subtype, 12, 4, true).unwrap();
+            assert_eq!(sequential, fleet, "{subtype:?}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_fleet_matches_sequential() {
+        let seeds: Vec<u64> = (0..16).map(|s| s * 7 + 1).collect();
+        let sequential =
+            run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, false);
+        let fleet = run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, true);
+        assert_eq!(sequential, fleet);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Differential tests for the fleet executors (DESIGN.md §14): a
+//! structure-of-arrays fleet of N instances must produce exactly the
+//! same per-instance [`Stats`], the same errors (including embedded
+//! partial stats), and the same event-class totals as running the N
+//! instances sequentially on the dense reference machines — on clean
+//! runs, divergent control flow, watchdog/deadline trips, memory and
+//! routing errors, and transient fault plans alike.
+//!
+//! The chunked runner resolves its worker count through
+//! `SKILLTAX_FLEET_THREADS` / `SKILLTAX_THREADS`, and the CI harness
+//! re-runs this binary with the override pinned to 1, 2 and 8
+//! (scripts/verify.sh) so fleet×thread composition is exercised at
+//! several widths regardless of the host.
+
+use skilltax_machine::array::{ArrayMachine, ArraySubtype};
+use skilltax_machine::fault::FaultPlan;
+use skilltax_machine::fleet::{chunked_results, run_uni_fleet_chunked, ArrayFleet, UniFleet};
+use skilltax_machine::uniprocessor::UniProcessor;
+use skilltax_machine::workload::{
+    run_fault_monte_carlo_array, run_spin_swarm_uni_traced, run_vector_add_swarm_array_traced,
+};
+use skilltax_machine::{Assembler, CancelToken, Instr, MachineError, Program, Telemetry, Word};
+
+/// Count to a bound read from memory address 0 — data-dependent control
+/// flow, so a fleet with mixed bounds diverges and re-converges.
+fn data_spin_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(0, 0).movi(2, 0).emit(Instr::Load(1, 2));
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+/// Divergent per-instance spin bounds (several cohorts, re-merging).
+fn spin_bounds(n: usize) -> Vec<Word> {
+    (0..n).map(|i| ((i * 13) % 97 + 1) as Word).collect()
+}
+
+// -------------------------------------------------------------------------
+// Uni-processor fleets
+// -------------------------------------------------------------------------
+
+#[test]
+fn uni_fleet_identity_with_divergent_control_flow() {
+    let program = data_spin_program();
+    for n in [1usize, 3, 64, 130] {
+        let bounds = spin_bounds(n);
+        let mut fleet = UniFleet::new(n, 2);
+        for (i, &b) in bounds.iter().enumerate() {
+            fleet.write_mem(i, 0, b);
+        }
+        let mut fleet_telemetry = Telemetry::new();
+        let results = fleet.run_traced(&program, &mut fleet_telemetry);
+        let mut seq_telemetry = Telemetry::new();
+        for (i, &b) in bounds.iter().enumerate() {
+            let mut machine = UniProcessor::new(2);
+            machine.memory_mut().bank_mut(0).load(&[b]);
+            let expected = machine.run_traced(&program, &mut seq_telemetry).unwrap();
+            assert_eq!(
+                results[i].as_ref().unwrap(),
+                &expected,
+                "n={n} instance {i}"
+            );
+            assert_eq!(fleet.reg(i, 0), b, "n={n} instance {i} final count");
+        }
+        assert_eq!(
+            fleet_telemetry.trace.class_counts(),
+            seq_telemetry.trace.class_counts(),
+            "n={n}: event-class totals diverged"
+        );
+    }
+}
+
+#[test]
+fn uni_fleet_watchdog_identity() {
+    let mut asm = Assembler::new();
+    asm.emit(Instr::Jmp(0));
+    let forever = asm.assemble().unwrap();
+    let mut fleet = UniFleet::new(5, 2).with_cycle_limit(64);
+    let results = fleet.run(&forever);
+    let mut machine = UniProcessor::new(2).with_cycle_limit(64);
+    let expected = machine.run(&forever).unwrap_err();
+    for (i, r) in results.into_iter().enumerate() {
+        assert_eq!(r.unwrap_err(), expected, "instance {i}");
+    }
+}
+
+#[test]
+fn uni_fleet_deadline_cancel_identity() {
+    let program = data_spin_program();
+    let bounds = spin_bounds(12);
+    // Deadline below some instances' runtimes: short spins finish clean,
+    // long spins cancel with partial stats — per instance, exactly as
+    // the sequential machine decides it.
+    let mut fleet = UniFleet::new(12, 2).with_cancel(CancelToken::new().with_deadline(40));
+    for (i, &b) in bounds.iter().enumerate() {
+        fleet.write_mem(i, 0, b);
+    }
+    let results = fleet.run(&program);
+    let mut saw_cancel = false;
+    let mut saw_clean = false;
+    for (i, &b) in bounds.iter().enumerate() {
+        let mut machine = UniProcessor::new(2).with_cancel(CancelToken::new().with_deadline(40));
+        machine.memory_mut().bank_mut(0).load(&[b]);
+        match (results[i].clone(), machine.run(&program)) {
+            (Ok(got), Ok(want)) => {
+                saw_clean = true;
+                assert_eq!(got, want, "instance {i}");
+            }
+            (Err(got), Err(want)) => {
+                saw_cancel = true;
+                assert_eq!(got, want, "instance {i}");
+                assert!(matches!(got, MachineError::Cancelled { at_cycle: 40, .. }));
+            }
+            (got, want) => panic!("instance {i}: fleet {got:?} vs sequential {want:?}"),
+        }
+    }
+    assert!(saw_cancel && saw_clean, "deadline must split the fleet");
+}
+
+#[test]
+fn uni_fleet_memory_error_identity() {
+    // One bad instance (out-of-bounds pointer) among good ones: it
+    // retires with the sequential machine's exact error, the rest run on.
+    let mut asm = Assembler::new();
+    asm.movi(2, 0)
+        .emit(Instr::Load(0, 2)) // pointer from mem[0]
+        .emit(Instr::Load(1, 0)) // deref
+        .emit(Instr::Halt);
+    let program = asm.assemble().unwrap();
+    let pointers: [Word; 4] = [1, 99, -3, 0];
+    let mut fleet = UniFleet::new(4, 4);
+    for (i, &p) in pointers.iter().enumerate() {
+        fleet.write_mem(i, 0, p);
+    }
+    let results = fleet.run(&program);
+    for (i, &p) in pointers.iter().enumerate() {
+        let mut machine = UniProcessor::new(4);
+        machine.memory_mut().bank_mut(0).load(&[p]);
+        match machine.run(&program) {
+            Ok(want) => assert_eq!(results[i].as_ref().unwrap(), &want, "instance {i}"),
+            Err(want) => assert_eq!(results[i].as_ref().unwrap_err(), &want, "instance {i}"),
+        }
+    }
+}
+
+#[test]
+fn uni_fleet_chunked_identity_auto_threads() {
+    // threads = 0 resolves via SKILLTAX_FLEET_THREADS / SKILLTAX_THREADS
+    // — the leg the verify.sh thread matrix exercises at widths 1/2/8.
+    let program = data_spin_program();
+    let n = 150;
+    let bounds = spin_bounds(n);
+    let chunks = run_uni_fleet_chunked(
+        n,
+        2,
+        10_000,
+        &CancelToken::new(),
+        &program,
+        |global, fleet, local| fleet.write_mem(local, 0, ((global * 13) % 97 + 1) as Word),
+        0,
+    );
+    let results = chunked_results(chunks);
+    assert_eq!(results.len(), n);
+    for (i, &b) in bounds.iter().enumerate() {
+        let mut machine = UniProcessor::new(2).with_cycle_limit(10_000);
+        machine.memory_mut().bank_mut(0).load(&[b]);
+        let expected = machine.run(&program).unwrap();
+        assert_eq!(results[i].as_ref().unwrap(), &expected, "instance {i}");
+    }
+}
+
+#[test]
+fn spin_swarm_workload_identity_traced() {
+    let mut fleet_telemetry = Telemetry::new();
+    let fleet = run_spin_swarm_uni_traced(96, 150, true, &mut fleet_telemetry).unwrap();
+    let mut seq_telemetry = Telemetry::new();
+    let sequential = run_spin_swarm_uni_traced(96, 150, false, &mut seq_telemetry).unwrap();
+    assert_eq!(fleet, sequential);
+    assert_eq!(
+        fleet_telemetry.trace.class_counts(),
+        seq_telemetry.trace.class_counts()
+    );
+}
+
+// -------------------------------------------------------------------------
+// Array-machine fleets
+// -------------------------------------------------------------------------
+
+#[test]
+fn array_fleet_identity_all_subtypes_traced() {
+    for subtype in ArraySubtype::ALL {
+        let mut fleet_telemetry = Telemetry::new();
+        let fleet =
+            run_vector_add_swarm_array_traced(subtype, 24, 4, true, &mut fleet_telemetry).unwrap();
+        let mut seq_telemetry = Telemetry::new();
+        let sequential =
+            run_vector_add_swarm_array_traced(subtype, 24, 4, false, &mut seq_telemetry).unwrap();
+        assert_eq!(fleet, sequential, "{subtype:?}");
+        assert_eq!(
+            fleet_telemetry.trace.class_counts(),
+            seq_telemetry.trace.class_counts(),
+            "{subtype:?}: event-class totals diverged"
+        );
+    }
+}
+
+#[test]
+fn array_fleet_matches_dense_and_event_schedulers() {
+    // The sequential array machine has an event-driven live-lane loop and
+    // a dense per-cycle reference; the fleet must equal both (they equal
+    // each other per scheduler_identity).
+    let mut asm = Assembler::new();
+    asm.emit(Instr::LaneId(0))
+        .movi(1, 50)
+        .emit(Instr::Add(1, 1, 0))
+        .emit(Instr::Store(0, 1))
+        .emit(Instr::Halt);
+    let program = asm.assemble().unwrap();
+    for subtype in ArraySubtype::ALL {
+        let mut fleet = ArrayFleet::new(subtype, 4, 4, 8);
+        let results = fleet.run(&program);
+        for dense in [false, true] {
+            let mut machine = ArrayMachine::new(subtype, 4, 4).with_dense_reference(dense);
+            let expected = machine.run(&program).unwrap();
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(
+                    r.as_ref().unwrap(),
+                    &expected,
+                    "{subtype:?} dense={dense} instance {i}"
+                );
+            }
+        }
+    }
+}
+
+/// A lane-0 broadcast via `getlane` (every lane fetches lane 0's value).
+fn getlane_broadcast_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.emit(Instr::LaneId(0))
+        .emit(Instr::AddI(3, 0, 100)) // r3 = 100 + lane
+        .movi(1, 0) // source lane 0
+        .emit(Instr::GetLane(4, 1, 3))
+        .emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+#[test]
+fn array_fleet_getlane_identity_with_and_without_fabric() {
+    let program = getlane_broadcast_program();
+    for subtype in ArraySubtype::ALL {
+        let mut fleet = ArrayFleet::new(subtype, 4, 4, 6);
+        let results = fleet.run(&program);
+        let mut machine = ArrayMachine::new(subtype, 4, 4);
+        match machine.run(&program) {
+            // IAP-II / IAP-IV: the DP-DP crossbar routes the broadcast.
+            Ok(expected) => {
+                for (i, r) in results.iter().enumerate() {
+                    assert_eq!(r.as_ref().unwrap(), &expected, "{subtype:?} instance {i}");
+                    for lane in 0..4 {
+                        assert_eq!(fleet.lane_reg(i, lane, 4), 100, "{subtype:?} lane {lane}");
+                    }
+                }
+            }
+            // IAP-I / IAP-III: no DP-DP switch — same typed refusal.
+            Err(expected) => {
+                for (i, r) in results.iter().enumerate() {
+                    assert_eq!(
+                        r.as_ref().unwrap_err(),
+                        &expected,
+                        "{subtype:?} instance {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn array_fleet_out_of_range_getlane_and_send_identity() {
+    let mut asm = Assembler::new();
+    asm.movi(1, 99)
+        .emit(Instr::GetLane(4, 1, 0))
+        .emit(Instr::Halt);
+    let bad_src = asm.assemble().unwrap();
+    let mut asm = Assembler::new();
+    asm.emit(Instr::Send(1, 0)).emit(Instr::Halt);
+    let send = asm.assemble().unwrap();
+    for (label, program) in [("bad-src", &bad_src), ("send", &send)] {
+        for subtype in [ArraySubtype::II, ArraySubtype::IV] {
+            let mut fleet = ArrayFleet::new(subtype, 4, 4, 3);
+            let results = fleet.run(program);
+            let mut machine = ArrayMachine::new(subtype, 4, 4);
+            let expected = machine.run(program).unwrap_err();
+            for (i, r) in results.into_iter().enumerate() {
+                assert_eq!(r.unwrap_err(), expected, "{label} {subtype:?} instance {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn array_fleet_faulted_identity_private_and_shared() {
+    // Transient faults (stalls + bit flips) across a seed population on
+    // both memory topologies; per-seed outcomes must equal sequential
+    // run_resilient exactly, including injected-fault counts.
+    let seeds: Vec<u64> = (0..24).map(|s| s * 11 + 5).collect();
+    for subtype in [ArraySubtype::I, ArraySubtype::III] {
+        let fleet = run_fault_monte_carlo_array(subtype, 4, &seeds, 0.25, 0.1, true);
+        let sequential = run_fault_monte_carlo_array(subtype, 4, &seeds, 0.25, 0.1, false);
+        assert_eq!(fleet, sequential, "{subtype:?}");
+    }
+}
+
+#[test]
+fn array_fleet_faulted_watchdog_partial_stats_identity() {
+    // A stall-heavy plan under a tight budget: instances trip the
+    // watchdog with partial stats that include the stall counts.
+    let mut asm = Assembler::new();
+    asm.movi(0, 0).movi(1, 1_000);
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.emit(Instr::Halt);
+    let program = asm.assemble().unwrap();
+    let seeds = [2u64, 9, 31];
+    let plan_for = |seed: u64| FaultPlan::seeded(seed).stall_dps(0.5);
+    let mut fleet = ArrayFleet::new(ArraySubtype::I, 4, 4, seeds.len()).with_cycle_limit(200);
+    let results = fleet.run_faulted(&program, seeds.iter().map(|&s| plan_for(s)).collect());
+    for (i, &seed) in seeds.iter().enumerate() {
+        let mut machine = ArrayMachine::new(ArraySubtype::I, 4, 4).with_cycle_limit(200);
+        let expected = machine.run_resilient(&program, plan_for(seed)).unwrap_err();
+        let got = results[i].as_ref().unwrap_err();
+        assert_eq!(got, &expected, "seed {seed}");
+        match got {
+            MachineError::WatchdogTimeout { partial, .. } => {
+                assert!(
+                    partial.stalls > 0,
+                    "seed {seed}: stalls missing from partials"
+                )
+            }
+            other => panic!("seed {seed}: expected watchdog, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn array_fleet_rejects_permanent_failures_like_sequential() {
+    let mut asm = Assembler::new();
+    asm.emit(Instr::Halt);
+    let program = asm.assemble().unwrap();
+    let plan = FaultPlan::seeded(1).fail_dp(2);
+    // Private banks: the same DegradationImpossible the sequential
+    // machine raises.
+    let mut fleet = ArrayFleet::new(ArraySubtype::I, 4, 4, 2);
+    let results = fleet.run_faulted(&program, vec![plan.clone(), FaultPlan::seeded(7)]);
+    let mut machine = ArrayMachine::new(ArraySubtype::I, 4, 4);
+    let expected = machine.run_resilient(&program, plan.clone()).unwrap_err();
+    assert_eq!(results[0].as_ref().unwrap_err(), &expected);
+    assert!(results[1].is_ok(), "clean plan still runs");
+    // Shared crossbar: degraded replay is per-instance work — a typed
+    // refusal pointing at run_resilient.
+    let mut fleet = ArrayFleet::new(ArraySubtype::III, 4, 4, 1);
+    match fleet.run_faulted(&program, vec![plan]) {
+        ref r if r.len() == 1 => match r[0].as_ref().unwrap_err() {
+            MachineError::WorkloadUnsupported { machine, reason } => {
+                assert!(machine.contains("array fleet"), "{machine}");
+                assert!(reason.contains("run_resilient"), "{reason}");
+            }
+            other => panic!("expected WorkloadUnsupported, got {other:?}"),
+        },
+        other => panic!("expected one outcome, got {other:?}"),
+    }
+}

@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
 use skilltax_machine::fault::{FaultPlan, LinkOutage, RetryState};
+use skilltax_machine::fleet::UniFleet;
 use skilltax_machine::multi::{MultiMachine, MultiSubtype};
 use skilltax_machine::{
     Assembler, CancelToken, Instr, MachineError, NullTracer, Phase, Profiled, Program, SpanProfile,
@@ -452,6 +453,16 @@ impl Engine {
         token: &CancelToken,
         tracer: &mut T,
     ) -> JobOutcome {
+        // Fleet fast path (DESIGN.md §14): when every point is a
+        // single-core run, the sweep is N instances of the same uni
+        // architecture — exactly the structure-of-arrays shape, so one
+        // decode drives all points and per-point stats stay bit-identical
+        // to the pooled sequential runs.  Profiled sweeps keep the
+        // sequential path so the span timeline still shows one root span
+        // per point.
+        if cores.len() >= 2 && cores.iter().all(|&c| c <= 1) && !tracer.enabled() {
+            return self.sweep_fleet(cores, iters, token);
+        }
         let mut total = Stats::default();
         let mut points = String::new();
         for &c in cores {
@@ -469,6 +480,35 @@ impl Engine {
                 // The first point that does not complete ends the sweep
                 // with that point's typed outcome.
                 other => return other,
+            }
+        }
+        JobOutcome::Completed {
+            summary: points,
+            stats: Some(total),
+        }
+    }
+
+    /// All-single-core sweeps as one [`UniFleet`] run: same watchdog
+    /// budget, cancellation token and per-point outcome semantics as the
+    /// sequential loop (the first point that does not complete ends the
+    /// sweep with that point's typed outcome).
+    fn sweep_fleet(&self, cores: &[usize], iters: i64, token: &CancelToken) -> JobOutcome {
+        let program = self.spin(iters);
+        let mut fleet = UniFleet::new(cores.len(), self.config.mem_words)
+            .with_cycle_limit(self.config.limits.max_cycles)
+            .with_cancel(token.clone());
+        let mut total = Stats::default();
+        let mut points = String::new();
+        for (&c, result) in cores.iter().zip(fleet.run(&program)) {
+            match result {
+                Ok(stats) => {
+                    if !points.is_empty() {
+                        points.push(' ');
+                    }
+                    points.push_str(&format!("{c}:{}", stats.cycles));
+                    add_stats(&mut total, &stats);
+                }
+                Err(e) => return JobOutcome::from_error(e, 0),
             }
         }
         JobOutcome::Completed {
@@ -654,6 +694,57 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn fleet_sweep_matches_sequential_sweep() {
+        // All-single-core sweeps route through the fleet executor only
+        // when the tracer is disabled; an enabled tracer keeps the
+        // sequential per-point path.  Both must produce the same summary
+        // and totals — the service-level face of the §14 identity
+        // contract.
+        let e = engine();
+        let token = CancelToken::new();
+        let cores = vec![1usize; 96];
+        let fleet = e.sweep_traced(&cores, 75, &token, &mut NullTracer);
+        let mut telemetry = Telemetry::new();
+        let sequential = e.sweep_traced(&cores, 75, &token, &mut telemetry);
+        match (fleet, sequential) {
+            (
+                JobOutcome::Completed {
+                    summary: fs,
+                    stats: Some(fstats),
+                },
+                JobOutcome::Completed {
+                    summary: ss,
+                    stats: Some(sstats),
+                },
+            ) => {
+                assert_eq!(fs, ss);
+                assert_eq!(fstats, sstats);
+                assert_eq!(fs.split(' ').count(), 96);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_sweep_honours_deadline_cancellation() {
+        let e = engine();
+        let out = e.execute(
+            &request(
+                JobKind::Sweep {
+                    cores: vec![1; 8],
+                    iters: 1_000_000,
+                },
+                Some(50),
+            ),
+            &CancelToken::new(),
+        );
+        assert!(
+            matches!(out, JobOutcome::Cancelled { .. }),
+            "expected cancellation, got {out:?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub struct RequestLimits {
     pub max_cycles: u64,
     /// Largest core/lane count a single job may ask for.
     pub max_cores: usize,
-    /// Largest sweep point count a single job may ask for.
+    /// Largest sweep point count a single job may ask for.  Headroom
+    /// raised from 64 once all-single-core sweeps started routing
+    /// through the structure-of-arrays fleet executor (DESIGN.md §14),
+    /// which amortizes decode across points instead of paying the full
+    /// per-point scheduler cost.
     pub max_sweep_points: usize,
 }
 
@@ -24,7 +28,7 @@ impl Default for RequestLimits {
         RequestLimits {
             max_cycles: 5_000_000,
             max_cores: 256,
-            max_sweep_points: 64,
+            max_sweep_points: 256,
         }
     }
 }

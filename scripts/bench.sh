@@ -8,11 +8,16 @@
 #                                the committed baseline (non-zero exit on
 #                                any deterministic-counter regression)
 #   scripts/bench.sh full      — deep local collection to BENCH_local.json
+#   scripts/bench.sh fleet     — gate just the */fleet twins and their
+#                                sequential baselines against the
+#                                committed baseline (the quick loop while
+#                                touching the SoA executor)
 #   scripts/bench.sh history … — pass-through to the bench_history CLI
 #                                against the default store
 #                                artifacts/history (record / list /
-#                                trajectory / compare subcommands; add
-#                                --store DIR to use another store)
+#                                trajectory / compare / prune
+#                                subcommands; add --store DIR to use
+#                                another store)
 #
 # An optional second argument narrows record/compare/full to benchmarks
 # whose name contains the substring, e.g. `scripts/bench.sh compare
@@ -43,10 +48,17 @@ case "${1:-compare}" in
         cargo run --release --offline -p skilltax-bench --bin bench_collect -- \
             --label local "${FILTER_ARGS[@]}"
         ;;
+    fleet)
+        # The fleet twins share their name stem with their sequential
+        # baselines (…/swarm/… vs …/swarm/…/fleet), so one substring
+        # gates both sides of each SoA identity pair.
+        cargo run --release --offline -p skilltax-bench --bin bench_compare -- \
+            --baseline "$BASELINE" --filter swarm
+        ;;
     history)
         shift
         if [ $# -eq 0 ]; then
-            echo "usage: scripts/bench.sh history <record|list|trajectory|compare> [flags]" >&2
+            echo "usage: scripts/bench.sh history <record|list|trajectory|compare|prune> [flags]" >&2
             exit 2
         fi
         sub="$1"
@@ -62,7 +74,7 @@ case "${1:-compare}" in
             "$sub" ${store_args[@]+"${store_args[@]}"} "$@"
         ;;
     *)
-        echo "usage: scripts/bench.sh [record|compare|full|history] [FILTER]" >&2
+        echo "usage: scripts/bench.sh [record|compare|full|fleet|history] [FILTER]" >&2
         exit 2
         ;;
 esac

@@ -31,15 +31,18 @@ done
 echo "==> cargo test --release --offline -p skilltax-machine --test scheduler_identity"
 cargo test --release --offline -p skilltax-machine --test scheduler_identity -q
 
-# Shard identity: the shard-parallel runners must stay counter-exact
-# twins of the single-threaded schedulers (DESIGN.md §10) at every
-# thread width, so the suite repeats under a pinned SKILLTAX_THREADS —
-# 1 (auto collapses to single-threaded), 2 and 8 (oversubscribed on
-# small hosts, which is exactly the stress the barrier must survive).
+# Shard + fleet identity: the shard-parallel runners must stay
+# counter-exact twins of the single-threaded schedulers (DESIGN.md §10),
+# and the structure-of-arrays fleet executor must stay bit-identical to
+# N sequential dense runs (DESIGN.md §14) — at every thread width, so
+# both suites repeat under a pinned SKILLTAX_THREADS: 1 (auto collapses
+# to single-threaded), 2 and 8 (oversubscribed on small hosts, which is
+# exactly the stress the barrier and the chunked fleet must survive).
 for threads in 1 2 8; do
-    echo "==> SKILLTAX_THREADS=$threads cargo test --release --offline -p skilltax-machine --test shard_identity"
+    echo "==> SKILLTAX_THREADS=$threads cargo test --release --offline -p skilltax-machine --test shard_identity --test fleet_identity"
     SKILLTAX_THREADS=$threads \
-        cargo test --release --offline -p skilltax-machine --test shard_identity -q
+        cargo test --release --offline -p skilltax-machine \
+        --test shard_identity --test fleet_identity -q
 done
 
 # Chaos soak: the multi-tenant service under a seeded hostile tenant
@@ -75,5 +78,12 @@ cargo run --release --offline -p skilltax-bench --bin bench_history -- \
     --bench taxonomy/classify_templates --counter work.classified
 cargo run --release --offline -p skilltax-bench --bin bench_history -- \
     compare --store "$HISTORY_STORE" --from smoke1 --to smoke2
+# Prune down to the newest entry; the trajectory over the survivor must
+# still answer (the store GC can thin history but never orphan it).
+cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+    prune --store "$HISTORY_STORE" --keep 1
+cargo run --release --offline -p skilltax-bench --bin bench_history -- \
+    trajectory --store "$HISTORY_STORE" \
+    --bench taxonomy/classify_templates --counter work.classified >/dev/null
 
 echo "verify: OK"
