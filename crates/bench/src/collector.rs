@@ -25,6 +25,7 @@ use skilltax_catalog::full_survey;
 use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
 use skilltax_machine::array::ArraySubtype;
 use skilltax_machine::dataflow::DataflowSubtype;
+use skilltax_machine::fleet::{FleetExec, LaneKernels};
 use skilltax_machine::interconnect::FabricTopology;
 use skilltax_machine::multi::MultiSubtype;
 use skilltax_machine::profile::{NullProfiler, Phase, SpanProfile};
@@ -601,19 +602,26 @@ pub fn suite() -> Vec<SuiteBench> {
 
     // --- fleet twins (structure-of-arrays batch execution) -----------
     //
-    // Each swarm workload appears twice: the baseline runs its N
+    // Each swarm workload appears three times: the baseline runs its N
     // instances sequentially on the dense reference machines, the
     // `/fleet` twin routes the same population through the SoA executors
-    // in `machine::fleet` (DESIGN.md §14) so one decode drives a lane
-    // loop over all instances.  Deterministic counters are identical by
-    // construction (enforced by the fleet-identity suite and the test
-    // below); wall time is where the amortisation shows — the fleet twin
-    // is expected to beat N sequential runs at these populations.
+    // in `machine::fleet` (DESIGN.md §14) with the scalar lane kernels,
+    // and the `/fleet_simd` twin drives the wide lane kernels over the
+    // same range runs (8-wide unrolled; AVX2/SSE2 under `--features
+    // simd` with runtime CPU detection, and without the feature the
+    // wide request degrades to the scalar loops — so the twin exists in
+    // every build and the hard counter gate below always holds).
+    // Deterministic counters are identical by construction (enforced by
+    // the fleet-identity suite and the test below); wall time is where
+    // the amortisation shows — the fleet twins are expected to beat N
+    // sequential runs at these populations, and `/fleet_simd` to beat
+    // `/fleet` on the divergence-free array family.
     benches.push(SuiteBench::new(
         "machine/spin_swarm/uni/96",
         "machine.uni",
         |tracer| {
-            let stats = run_spin_swarm_uni_traced(96, 150, false, tracer).expect("the swarm spins");
+            let stats = run_spin_swarm_uni_traced(96, 150, FleetExec::Sequential, tracer)
+                .expect("the swarm spins");
             stats_counters(&stats)
         },
     ));
@@ -621,7 +629,19 @@ pub fn suite() -> Vec<SuiteBench> {
         "machine/spin_swarm/uni/96/fleet",
         "machine.uni",
         |tracer| {
-            let stats = run_spin_swarm_uni_traced(96, 150, true, tracer).expect("the swarm spins");
+            let stats =
+                run_spin_swarm_uni_traced(96, 150, FleetExec::Fleet(LaneKernels::Scalar), tracer)
+                    .expect("the swarm spins");
+            stats_counters(&stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/spin_swarm/uni/96/fleet_simd",
+        "machine.uni",
+        |tracer| {
+            let stats =
+                run_spin_swarm_uni_traced(96, 150, FleetExec::Fleet(LaneKernels::Wide), tracer)
+                    .expect("the swarm spins");
             stats_counters(&stats)
         },
     ));
@@ -629,8 +649,14 @@ pub fn suite() -> Vec<SuiteBench> {
         "machine/vector_add_swarm/array-I/64x4",
         "machine.array",
         |tracer| {
-            let stats = run_vector_add_swarm_array_traced(ArraySubtype::I, 64, 4, false, tracer)
-                .expect("the swarm adds");
+            let stats = run_vector_add_swarm_array_traced(
+                ArraySubtype::I,
+                64,
+                4,
+                FleetExec::Sequential,
+                tracer,
+            )
+            .expect("the swarm adds");
             stats_counters(&stats)
         },
     ));
@@ -638,8 +664,29 @@ pub fn suite() -> Vec<SuiteBench> {
         "machine/vector_add_swarm/array-I/64x4/fleet",
         "machine.array",
         |tracer| {
-            let stats = run_vector_add_swarm_array_traced(ArraySubtype::I, 64, 4, true, tracer)
-                .expect("the swarm adds");
+            let stats = run_vector_add_swarm_array_traced(
+                ArraySubtype::I,
+                64,
+                4,
+                FleetExec::Fleet(LaneKernels::Scalar),
+                tracer,
+            )
+            .expect("the swarm adds");
+            stats_counters(&stats)
+        },
+    ));
+    benches.push(SuiteBench::new(
+        "machine/vector_add_swarm/array-I/64x4/fleet_simd",
+        "machine.array",
+        |tracer| {
+            let stats = run_vector_add_swarm_array_traced(
+                ArraySubtype::I,
+                64,
+                4,
+                FleetExec::Fleet(LaneKernels::Wide),
+                tracer,
+            )
+            .expect("the swarm adds");
             stats_counters(&stats)
         },
     ));
@@ -935,6 +982,11 @@ mod tests {
                 find(base),
                 find(&format!("{base}/fleet")),
                 "{base}: SoA fleet execution must not change a single counter"
+            );
+            assert_eq!(
+                find(base),
+                find(&format!("{base}/fleet_simd")),
+                "{base}: wide lane kernels must not change a single counter"
             );
         }
     }

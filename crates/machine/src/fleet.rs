@@ -52,6 +52,482 @@ use crate::uniprocessor::DEFAULT_CYCLE_LIMIT;
 /// of that instance on the dense machine would produce.
 pub type InstanceResult = Result<Stats, MachineError>;
 
+/// Which batched per-opcode kernels sweep the unit-stride column runs.
+///
+/// Both selections are **bit-identical** in per-instance [`Stats`],
+/// telemetry class totals and error values — the ISA is exact integer
+/// arithmetic, so only elements-per-step differs.  [`Default`] picks
+/// `Wide` when the crate is built with `--features simd` and `Scalar`
+/// otherwise, so callers never need feature gates of their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKernels {
+    /// Plain unit-stride loops (the auto-vectorizer's job).
+    Scalar,
+    /// Explicit wide kernels: an 8-wide manual unroll on the portable
+    /// path, `std::arch` SSE2/AVX2 behind runtime detection on x86_64.
+    /// Compiled only under `--features simd`; without the feature this
+    /// selection degrades to `Scalar`.
+    Wide,
+}
+
+impl Default for LaneKernels {
+    fn default() -> LaneKernels {
+        if cfg!(feature = "simd") {
+            LaneKernels::Wide
+        } else {
+            LaneKernels::Scalar
+        }
+    }
+}
+
+/// How a swarm workload executes its `n` instances — the twin switch
+/// the §14 identity suite and the `*/fleet` bench twins compare across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetExec {
+    /// `n` independent runs on the dense reference machines — the
+    /// semantics oracle.
+    Sequential,
+    /// One structure-of-arrays fleet with the given lane kernels.
+    Fleet(LaneKernels),
+}
+
+impl FleetExec {
+    /// The fleet path with the build's default kernel selection.
+    pub fn fleet() -> FleetExec {
+        FleetExec::Fleet(LaneKernels::default())
+    }
+}
+
+/// Maximal consecutive ranges of a sorted index list — the range-run
+/// classification that turns a dense active list into a handful of
+/// unit-stride kernel calls instead of a per-index gather.
+struct Runs<'a> {
+    idx: &'a [usize],
+}
+
+impl Iterator for Runs<'_> {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        let &first = self.idx.first()?;
+        let mut len = 1;
+        while len < self.idx.len() && self.idx[len] == first + len {
+            len += 1;
+        }
+        self.idx = &self.idx[len..];
+        Some(first..first + len)
+    }
+}
+
+/// Iterate `idx` (ascending, as the executors maintain their active
+/// lists) as maximal `start..end` runs.
+fn runs(idx: &[usize]) -> Runs<'_> {
+    Runs { idx }
+}
+
+/// Batched per-opcode kernels over unit-stride column runs.
+///
+/// A kernel call covers one contiguous run `lo..hi` of the instance
+/// axis within flat column storage: destination base `bd`, source bases
+/// `ba`/`bb`.  Column bases are multiples of the instance count, so two
+/// columns are either the *same* slice or fully disjoint — and every op
+/// is elementwise, which makes load-before-store within a block safe
+/// under that aliasing.
+pub(crate) mod kernel {
+    use super::{LaneKernels, Word};
+
+    /// The three-register ALU ops with batched kernels.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum BinOp {
+        /// `wrapping_add`
+        Add,
+        /// `wrapping_sub`
+        Sub,
+        /// `wrapping_mul`
+        Mul,
+        /// `Ord::min`
+        Min,
+        /// `Ord::max`
+        Max,
+    }
+
+    impl BinOp {
+        #[inline(always)]
+        pub(crate) fn apply(self, x: Word, y: Word) -> Word {
+            match self {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            }
+        }
+    }
+
+    /// `regs[bd+i] = op(regs[ba+i], regs[bb+i])` for `i` in `run`.
+    #[inline]
+    pub(crate) fn binop(
+        kernels: LaneKernels,
+        regs: &mut [Word],
+        bd: usize,
+        ba: usize,
+        bb: usize,
+        run: std::ops::Range<usize>,
+        op: BinOp,
+    ) {
+        match kernels {
+            LaneKernels::Scalar => binop_scalar(regs, bd, ba, bb, run, op),
+            LaneKernels::Wide => wide::binop(regs, bd, ba, bb, run, op),
+        }
+    }
+
+    /// `regs[bd+i] = regs[bs+i].wrapping_add(imm)` for `i` in `run`.
+    #[inline]
+    pub(crate) fn addi(
+        kernels: LaneKernels,
+        regs: &mut [Word],
+        bd: usize,
+        bs: usize,
+        run: std::ops::Range<usize>,
+        imm: Word,
+    ) {
+        match kernels {
+            LaneKernels::Scalar => addi_scalar(regs, bd, bs, run, imm),
+            LaneKernels::Wide => wide::addi(regs, bd, bs, run, imm),
+        }
+    }
+
+    fn binop_scalar(
+        regs: &mut [Word],
+        bd: usize,
+        ba: usize,
+        bb: usize,
+        run: std::ops::Range<usize>,
+        op: BinOp,
+    ) {
+        for i in run {
+            regs[bd + i] = op.apply(regs[ba + i], regs[bb + i]);
+        }
+    }
+
+    fn addi_scalar(
+        regs: &mut [Word],
+        bd: usize,
+        bs: usize,
+        run: std::ops::Range<usize>,
+        imm: Word,
+    ) {
+        for i in run {
+            regs[bd + i] = regs[bs + i].wrapping_add(imm);
+        }
+    }
+
+    /// Without `--features simd` the `Wide` selection degrades to the
+    /// scalar loops, keeping the public API feature-free.
+    #[cfg(not(feature = "simd"))]
+    mod wide {
+        use super::{BinOp, Word};
+
+        #[inline]
+        pub(super) fn binop(
+            regs: &mut [Word],
+            bd: usize,
+            ba: usize,
+            bb: usize,
+            run: std::ops::Range<usize>,
+            op: BinOp,
+        ) {
+            super::binop_scalar(regs, bd, ba, bb, run, op);
+        }
+
+        #[inline]
+        pub(super) fn addi(
+            regs: &mut [Word],
+            bd: usize,
+            bs: usize,
+            run: std::ops::Range<usize>,
+            imm: Word,
+        ) {
+            super::addi_scalar(regs, bd, bs, run, imm);
+        }
+    }
+
+    /// Explicit wide kernels (`--features simd`): an 8-wide manual
+    /// unroll everywhere, plus `std::arch` SSE2/AVX2 behind runtime CPU
+    /// detection on x86_64 for the ops packed 64-bit lanes can express
+    /// (add/sub; min/max via compare+blend on AVX2).  `Mul` keeps the
+    /// unroll — there is no packed 64-bit multiply below AVX-512.
+    ///
+    /// Safety contract for the scoped `allow(unsafe_code)` (the crate
+    /// is otherwise `deny(unsafe_code)`): every unsafe block is an
+    /// intrinsics body guarded by `is_x86_feature_detected!`, and each
+    /// raw-pointer kernel asserts `base + hi <= regs.len()` for all of
+    /// its columns before touching memory.
+    #[cfg(feature = "simd")]
+    #[allow(unsafe_code)]
+    mod wide {
+        use super::{BinOp, Word};
+
+        /// Portable block width: two AVX2 vectors' worth of i64 lanes.
+        const W: usize = 8;
+
+        #[inline]
+        pub(super) fn binop(
+            regs: &mut [Word],
+            bd: usize,
+            ba: usize,
+            bb: usize,
+            run: std::ops::Range<usize>,
+            op: BinOp,
+        ) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                let packed = matches!(op, BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max);
+                if packed && run.len() >= 4 {
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        // SAFETY: AVX2 confirmed at runtime; bounds
+                        // asserted inside the kernel.
+                        unsafe { binop_avx2(regs, bd, ba, bb, run, op) };
+                        return;
+                    }
+                    if matches!(op, BinOp::Add | BinOp::Sub)
+                        && std::arch::is_x86_feature_detected!("sse2")
+                    {
+                        // SAFETY: SSE2 confirmed at runtime; bounds
+                        // asserted inside the kernel.
+                        unsafe { binop_sse2(regs, bd, ba, bb, run, op) };
+                        return;
+                    }
+                }
+            }
+            binop_unrolled(regs, bd, ba, bb, run, op);
+        }
+
+        #[inline]
+        pub(super) fn addi(
+            regs: &mut [Word],
+            bd: usize,
+            bs: usize,
+            run: std::ops::Range<usize>,
+            imm: Word,
+        ) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if run.len() >= 4 {
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        // SAFETY: AVX2 confirmed at runtime; bounds
+                        // asserted inside the kernel.
+                        unsafe { addi_avx2(regs, bd, bs, run, imm) };
+                        return;
+                    }
+                    if std::arch::is_x86_feature_detected!("sse2") {
+                        // SAFETY: SSE2 confirmed at runtime; bounds
+                        // asserted inside the kernel.
+                        unsafe { addi_sse2(regs, bd, bs, run, imm) };
+                        return;
+                    }
+                }
+            }
+            addi_unrolled(regs, bd, bs, run, imm);
+        }
+
+        /// 8-wide manual unroll.  Source blocks are copied to locals
+        /// before the destination block is stored, so identical columns
+        /// (`bd == ba`/`bd == bb`) behave exactly like the scalar loop.
+        fn binop_unrolled(
+            regs: &mut [Word],
+            bd: usize,
+            ba: usize,
+            bb: usize,
+            run: std::ops::Range<usize>,
+            op: BinOp,
+        ) {
+            let (lo, hi) = (run.start, run.end);
+            let mut i = lo;
+            while i + W <= hi {
+                let mut xa = [0 as Word; W];
+                let mut xb = [0 as Word; W];
+                xa.copy_from_slice(&regs[ba + i..ba + i + W]);
+                xb.copy_from_slice(&regs[bb + i..bb + i + W]);
+                let mut out = [0 as Word; W];
+                for k in 0..W {
+                    out[k] = op.apply(xa[k], xb[k]);
+                }
+                regs[bd + i..bd + i + W].copy_from_slice(&out);
+                i += W;
+            }
+            for j in i..hi {
+                regs[bd + j] = op.apply(regs[ba + j], regs[bb + j]);
+            }
+        }
+
+        fn addi_unrolled(
+            regs: &mut [Word],
+            bd: usize,
+            bs: usize,
+            run: std::ops::Range<usize>,
+            imm: Word,
+        ) {
+            let (lo, hi) = (run.start, run.end);
+            let mut i = lo;
+            while i + W <= hi {
+                let mut xs = [0 as Word; W];
+                xs.copy_from_slice(&regs[bs + i..bs + i + W]);
+                let mut out = [0 as Word; W];
+                for k in 0..W {
+                    out[k] = xs[k].wrapping_add(imm);
+                }
+                regs[bd + i..bd + i + W].copy_from_slice(&out);
+                i += W;
+            }
+            for j in i..hi {
+                regs[bd + j] = regs[bs + j].wrapping_add(imm);
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn binop_avx2(
+            regs: &mut [Word],
+            bd: usize,
+            ba: usize,
+            bb: usize,
+            run: std::ops::Range<usize>,
+            op: BinOp,
+        ) {
+            use std::arch::x86_64::*;
+            let (lo, hi) = (run.start, run.end);
+            assert!(bd + hi <= regs.len() && ba + hi <= regs.len() && bb + hi <= regs.len());
+            let p = regs.as_mut_ptr();
+            let mut i = lo;
+            while i + 4 <= hi {
+                // SAFETY: in-bounds by the assert above; unaligned
+                // load/store intrinsics carry no alignment requirement,
+                // and loads complete before the store so identical
+                // columns alias harmlessly.
+                unsafe {
+                    let va = _mm256_loadu_si256(p.add(ba + i).cast::<__m256i>());
+                    let vb = _mm256_loadu_si256(p.add(bb + i).cast::<__m256i>());
+                    let vr = match op {
+                        BinOp::Add => _mm256_add_epi64(va, vb),
+                        BinOp::Sub => _mm256_sub_epi64(va, vb),
+                        BinOp::Min => {
+                            let gt = _mm256_cmpgt_epi64(va, vb);
+                            _mm256_blendv_epi8(va, vb, gt)
+                        }
+                        BinOp::Max => {
+                            let gt = _mm256_cmpgt_epi64(va, vb);
+                            _mm256_blendv_epi8(vb, va, gt)
+                        }
+                        BinOp::Mul => unreachable!("mul has no packed i64 form below AVX-512"),
+                    };
+                    _mm256_storeu_si256(p.add(bd + i).cast::<__m256i>(), vr);
+                }
+                i += 4;
+            }
+            for j in i..hi {
+                regs[bd + j] = op.apply(regs[ba + j], regs[bb + j]);
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "sse2")]
+        unsafe fn binop_sse2(
+            regs: &mut [Word],
+            bd: usize,
+            ba: usize,
+            bb: usize,
+            run: std::ops::Range<usize>,
+            op: BinOp,
+        ) {
+            use std::arch::x86_64::*;
+            let (lo, hi) = (run.start, run.end);
+            assert!(bd + hi <= regs.len() && ba + hi <= regs.len() && bb + hi <= regs.len());
+            let p = regs.as_mut_ptr();
+            let mut i = lo;
+            while i + 2 <= hi {
+                // SAFETY: in-bounds by the assert above (see
+                // `binop_avx2` for the aliasing argument).
+                unsafe {
+                    let va = _mm_loadu_si128(p.add(ba + i).cast::<__m128i>());
+                    let vb = _mm_loadu_si128(p.add(bb + i).cast::<__m128i>());
+                    let vr = match op {
+                        BinOp::Add => _mm_add_epi64(va, vb),
+                        BinOp::Sub => _mm_sub_epi64(va, vb),
+                        _ => unreachable!("only add/sub take the sse2 path"),
+                    };
+                    _mm_storeu_si128(p.add(bd + i).cast::<__m128i>(), vr);
+                }
+                i += 2;
+            }
+            for j in i..hi {
+                regs[bd + j] = op.apply(regs[ba + j], regs[bb + j]);
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn addi_avx2(
+            regs: &mut [Word],
+            bd: usize,
+            bs: usize,
+            run: std::ops::Range<usize>,
+            imm: Word,
+        ) {
+            use std::arch::x86_64::*;
+            let (lo, hi) = (run.start, run.end);
+            assert!(bd + hi <= regs.len() && bs + hi <= regs.len());
+            let p = regs.as_mut_ptr();
+            let vimm = _mm256_set1_epi64x(imm);
+            let mut i = lo;
+            while i + 4 <= hi {
+                // SAFETY: in-bounds by the assert above (see
+                // `binop_avx2` for the aliasing argument).
+                unsafe {
+                    let vs = _mm256_loadu_si256(p.add(bs + i).cast::<__m256i>());
+                    _mm256_storeu_si256(
+                        p.add(bd + i).cast::<__m256i>(),
+                        _mm256_add_epi64(vs, vimm),
+                    );
+                }
+                i += 4;
+            }
+            for j in i..hi {
+                regs[bd + j] = regs[bs + j].wrapping_add(imm);
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "sse2")]
+        unsafe fn addi_sse2(
+            regs: &mut [Word],
+            bd: usize,
+            bs: usize,
+            run: std::ops::Range<usize>,
+            imm: Word,
+        ) {
+            use std::arch::x86_64::*;
+            let (lo, hi) = (run.start, run.end);
+            assert!(bd + hi <= regs.len() && bs + hi <= regs.len());
+            let p = regs.as_mut_ptr();
+            let vimm = _mm_set1_epi64x(imm);
+            let mut i = lo;
+            while i + 2 <= hi {
+                // SAFETY: in-bounds by the assert above (see
+                // `binop_avx2` for the aliasing argument).
+                unsafe {
+                    let vs = _mm_loadu_si128(p.add(bs + i).cast::<__m128i>());
+                    _mm_storeu_si128(p.add(bd + i).cast::<__m128i>(), _mm_add_epi64(vs, vimm));
+                }
+                i += 2;
+            }
+            for j in i..hi {
+                regs[bd + j] = regs[bs + j].wrapping_add(imm);
+            }
+        }
+    }
+}
+
 /// Worker-thread count for fleet chunking: `SKILLTAX_FLEET_THREADS` if
 /// set to a positive value, else the shared [`crate::configured_threads`]
 /// resolution (`SKILLTAX_THREADS` / `available_parallelism`).
@@ -165,7 +641,10 @@ impl LaneState {
 
     /// Regroup `active` into pc-cohorts (stable, ascending instances
     /// within a cohort), run `step` on each, then rebuild the active
-    /// list in ascending instance order.
+    /// list in ascending instance order.  The cohorts partition an
+    /// already-ascending list, so the rebuild is one linear `retain`
+    /// over the retirement slots — no O(n log n) re-sort per
+    /// divergence step.
     fn step_cohorts(
         &mut self,
         active: &mut Vec<usize>,
@@ -178,12 +657,10 @@ impl LaneState {
                 None => cohorts.push((self.pc[i], vec![i])),
             }
         }
-        active.clear();
         for (_, mut group) in cohorts {
             step(self, &mut group);
-            active.extend(group);
         }
-        active.sort_unstable();
+        active.retain(|&i| self.results[i].is_none());
     }
 }
 
@@ -200,6 +677,7 @@ pub struct UniFleet {
     mem_words: usize,
     cycle_limit: u64,
     cancel: CancelToken,
+    kernels: LaneKernels,
     regs: Vec<Word>,
     mem: Vec<Word>,
 }
@@ -223,9 +701,18 @@ impl UniFleet {
             mem_words,
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             cancel: CancelToken::new(),
+            kernels: LaneKernels::default(),
             regs: vec![0; NUM_REGS * n],
             mem: vec![0; mem_words * n],
         }
+    }
+
+    /// Select the batched lane-kernel flavour (default:
+    /// [`LaneKernels::default`] for this build).  Results are
+    /// bit-identical across selections; only throughput differs.
+    pub fn with_kernels(mut self, kernels: LaneKernels) -> UniFleet {
+        self.kernels = kernels;
+        self
     }
 
     /// Override the livelock guard (applied per instance, exactly like
@@ -383,8 +870,11 @@ impl UniFleet {
         group.retain(|&i| st.results[i].is_none());
     }
 
-    /// The decoded-once lane loops.  Column bases are hoisted so the
-    /// inner loops are flat strided accesses over the instance axis.
+    /// The decoded-once lane loops, batched per opcode: `exec` is
+    /// classified into maximal consecutive instance runs (one run when
+    /// the active list is dense), and each opcode sweeps its column
+    /// slices with a unit-stride [`kernel`] call per run instead of an
+    /// index gather.
     fn execute<T: Tracer>(
         &mut self,
         instr: Instr,
@@ -395,26 +885,28 @@ impl UniFleet {
         tracer: &mut T,
     ) {
         let n = self.n;
+        let kernels = self.kernels;
         let col = |r: u8| usize::from(r) * n;
         let next = pc0 + 1;
-        macro_rules! alu_op {
-            ($rd:expr, $body:expr) => {{
-                let bd = col($rd);
+        macro_rules! alu_runs {
+            ($body:expr) => {{
                 #[allow(clippy::redundant_closure_call)]
-                for &i in exec {
-                    self.regs[bd + i] = $body(i);
-                    st.alu[i] += 1;
-                    if enabled {
-                        tracer.record(st.cycles[i], EventKind::AluOp);
+                for run in runs(exec) {
+                    $body(run.clone());
+                    for i in run.clone() {
+                        st.alu[i] += 1;
+                        if enabled {
+                            tracer.record(st.cycles[i], EventKind::AluOp);
+                        }
                     }
-                    st.pc[i] = next;
+                    st.pc[run].fill(next);
                 }
             }};
         }
         match instr {
             Instr::Nop => {
-                for &i in exec {
-                    st.pc[i] = next;
+                for run in runs(exec) {
+                    st.pc[run].fill(next);
                 }
             }
             Instr::Halt => {
@@ -429,44 +921,82 @@ impl UniFleet {
             }
             Instr::MovI(rd, imm) => {
                 let bd = col(rd);
-                for &i in exec {
-                    self.regs[bd + i] = imm;
-                    st.pc[i] = next;
+                for run in runs(exec) {
+                    self.regs[bd + run.start..bd + run.end].fill(imm);
+                    st.pc[run].fill(next);
                 }
             }
             Instr::Mov(rd, rs) => {
                 let (bd, bs) = (col(rd), col(rs));
-                for &i in exec {
-                    self.regs[bd + i] = self.regs[bs + i];
-                    st.pc[i] = next;
+                for run in runs(exec) {
+                    self.regs
+                        .copy_within(bs + run.start..bs + run.end, bd + run.start);
+                    st.pc[run].fill(next);
                 }
             }
             Instr::Add(rd, a, b) => {
-                let (ba, bb) = (col(a), col(b));
-                alu_op!(rd, |i: usize| self.regs[ba + i]
-                    .wrapping_add(self.regs[bb + i]));
+                let (bd, ba, bb) = (col(rd), col(a), col(b));
+                alu_runs!(|run| kernel::binop(
+                    kernels,
+                    &mut self.regs,
+                    bd,
+                    ba,
+                    bb,
+                    run,
+                    kernel::BinOp::Add
+                ));
             }
             Instr::Sub(rd, a, b) => {
-                let (ba, bb) = (col(a), col(b));
-                alu_op!(rd, |i: usize| self.regs[ba + i]
-                    .wrapping_sub(self.regs[bb + i]));
+                let (bd, ba, bb) = (col(rd), col(a), col(b));
+                alu_runs!(|run| kernel::binop(
+                    kernels,
+                    &mut self.regs,
+                    bd,
+                    ba,
+                    bb,
+                    run,
+                    kernel::BinOp::Sub
+                ));
             }
             Instr::Mul(rd, a, b) => {
-                let (ba, bb) = (col(a), col(b));
-                alu_op!(rd, |i: usize| self.regs[ba + i]
-                    .wrapping_mul(self.regs[bb + i]));
+                let (bd, ba, bb) = (col(rd), col(a), col(b));
+                alu_runs!(|run| kernel::binop(
+                    kernels,
+                    &mut self.regs,
+                    bd,
+                    ba,
+                    bb,
+                    run,
+                    kernel::BinOp::Mul
+                ));
             }
             Instr::Min(rd, a, b) => {
-                let (ba, bb) = (col(a), col(b));
-                alu_op!(rd, |i: usize| self.regs[ba + i].min(self.regs[bb + i]));
+                let (bd, ba, bb) = (col(rd), col(a), col(b));
+                alu_runs!(|run| kernel::binop(
+                    kernels,
+                    &mut self.regs,
+                    bd,
+                    ba,
+                    bb,
+                    run,
+                    kernel::BinOp::Min
+                ));
             }
             Instr::Max(rd, a, b) => {
-                let (ba, bb) = (col(a), col(b));
-                alu_op!(rd, |i: usize| self.regs[ba + i].max(self.regs[bb + i]));
+                let (bd, ba, bb) = (col(rd), col(a), col(b));
+                alu_runs!(|run| kernel::binop(
+                    kernels,
+                    &mut self.regs,
+                    bd,
+                    ba,
+                    bb,
+                    run,
+                    kernel::BinOp::Max
+                ));
             }
             Instr::AddI(rd, rs, imm) => {
-                let bs = col(rs);
-                alu_op!(rd, |i: usize| self.regs[bs + i].wrapping_add(imm));
+                let (bd, bs) = (col(rd), col(rs));
+                alu_runs!(|run| kernel::addi(kernels, &mut self.regs, bd, bs, run, imm));
             }
             Instr::Load(rd, rs) => {
                 let (bd, bs) = (col(rd), col(rs));
@@ -510,9 +1040,9 @@ impl UniFleet {
             }
             Instr::LaneId(rd) => {
                 let bd = col(rd);
-                for &i in exec {
-                    self.regs[bd + i] = 0;
-                    st.pc[i] = next;
+                for run in runs(exec) {
+                    self.regs[bd + run.start..bd + run.end].fill(0);
+                    st.pc[run].fill(next);
                 }
             }
             Instr::Beq(a, b, t) => {
@@ -546,8 +1076,8 @@ impl UniFleet {
                 }
             }
             Instr::Jmp(t) => {
-                for &i in exec {
-                    st.pc[i] = t;
+                for run in runs(exec) {
+                    st.pc[run].fill(t);
                 }
             }
             Instr::Send(..) | Instr::Recv(..) | Instr::GetLane(..) => {
@@ -576,12 +1106,14 @@ pub struct FleetChunk {
 /// each instance before its chunk runs.  Instances are independent, so
 /// the chunked run is deterministic and bit-identical to one big fleet —
 /// the fleet×thread analog of `with_shards`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_uni_fleet_chunked<I>(
     n: usize,
     mem_words: usize,
     cycle_limit: u64,
     cancel: &CancelToken,
     program: &Program,
+    kernels: LaneKernels,
     init: I,
     threads: usize,
 ) -> Vec<FleetChunk>
@@ -600,7 +1132,8 @@ where
         |range| {
             let mut fleet = UniFleet::new(range.len(), mem_words)
                 .with_cycle_limit(cycle_limit)
-                .with_cancel(cancel.clone());
+                .with_cancel(cancel.clone())
+                .with_kernels(kernels);
             for local in 0..range.len() {
                 init(range.start + local, &mut fleet, local);
             }
@@ -637,6 +1170,7 @@ pub struct ArrayFleet {
     n: usize,
     cycle_limit: u64,
     cancel: CancelToken,
+    kernels: LaneKernels,
     regs: Vec<Word>,
     mem: Vec<Word>,
 }
@@ -665,9 +1199,18 @@ impl ArrayFleet {
             n,
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             cancel: CancelToken::new(),
+            kernels: LaneKernels::default(),
             regs: vec![0; lanes * NUM_REGS * n],
             mem: vec![0; lanes * bank_words * n],
         }
+    }
+
+    /// Select the batched lane-kernel flavour (default:
+    /// [`LaneKernels::default`] for this build).  Results are
+    /// bit-identical across selections; only throughput differs.
+    pub fn with_kernels(mut self, kernels: LaneKernels) -> ArrayFleet {
+        self.kernels = kernels;
+        self
     }
 
     /// Override the livelock guard (per instance).
@@ -1106,43 +1649,47 @@ impl ArrayFleet {
                     Instr::MovI(rd, imm) => {
                         for l in 0..lanes {
                             let bd = col(l, rd);
-                            for &i in exec {
-                                self.regs[bd + i] = imm;
+                            for run in runs(exec) {
+                                self.regs[bd + run.start..bd + run.end].fill(imm);
                             }
                         }
                     }
                     Instr::Mov(rd, rs) => {
                         for l in 0..lanes {
                             let (bd, bs) = (col(l, rd), col(l, rs));
-                            for &i in exec {
-                                self.regs[bd + i] = self.regs[bs + i];
+                            for run in runs(exec) {
+                                self.regs
+                                    .copy_within(bs + run.start..bs + run.end, bd + run.start);
                             }
                         }
                     }
                     Instr::Add(rd, a, b) => {
-                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, i64::wrapping_add)
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, kernel::BinOp::Add)
                     }
                     Instr::Sub(rd, a, b) => {
-                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, i64::wrapping_sub)
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, kernel::BinOp::Sub)
                     }
                     Instr::Mul(rd, a, b) => {
-                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, i64::wrapping_mul)
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, kernel::BinOp::Mul)
                     }
                     Instr::Min(rd, a, b) => {
-                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, |x, y| x.min(y))
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, kernel::BinOp::Min)
                     }
                     Instr::Max(rd, a, b) => {
-                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, |x, y| x.max(y))
+                        self.lane_alu(exec, st, enabled, tracer, rd, a, b, kernel::BinOp::Max)
                     }
                     Instr::AddI(rd, rs, imm) => {
+                        let kernels = self.kernels;
                         for l in 0..lanes {
                             let (bd, bs) = (col(l, rd), col(l, rs));
                             let ac = l * n;
-                            for &i in exec {
-                                self.regs[bd + i] = self.regs[bs + i].wrapping_add(imm);
-                                st.alu[ac + i] += 1;
-                                if enabled {
-                                    tracer.record(st.cycles[i], EventKind::AluOp);
+                            for run in runs(exec) {
+                                kernel::addi(kernels, &mut self.regs, bd, bs, run.clone(), imm);
+                                for i in run {
+                                    st.alu[ac + i] += 1;
+                                    if enabled {
+                                        tracer.record(st.cycles[i], EventKind::AluOp);
+                                    }
                                 }
                             }
                         }
@@ -1150,8 +1697,8 @@ impl ArrayFleet {
                     Instr::LaneId(rd) => {
                         for l in 0..lanes {
                             let bd = col(l, rd);
-                            for &i in exec {
-                                self.regs[bd + i] = l as Word;
+                            for run in runs(exec) {
+                                self.regs[bd + run.start..bd + run.end].fill(l as Word);
                             }
                         }
                     }
@@ -1214,7 +1761,8 @@ impl ArrayFleet {
         }
     }
 
-    /// A three-register ALU broadcast over every lane column.
+    /// A three-register ALU broadcast over every lane column, swept as
+    /// unit-stride kernel runs.
     #[allow(clippy::too_many_arguments)]
     fn lane_alu<T: Tracer>(
         &mut self,
@@ -1225,9 +1773,10 @@ impl ArrayFleet {
         rd: u8,
         a: u8,
         b: u8,
-        op: impl Fn(Word, Word) -> Word,
+        op: kernel::BinOp,
     ) {
         let n = self.n;
+        let kernels = self.kernels;
         for l in 0..self.lanes {
             let base = l * NUM_REGS * n;
             let (bd, ba, bb) = (
@@ -1236,15 +1785,94 @@ impl ArrayFleet {
                 base + usize::from(b) * n,
             );
             let ac = l * n;
-            for &i in exec {
-                self.regs[bd + i] = op(self.regs[ba + i], self.regs[bb + i]);
-                st.alu[ac + i] += 1;
-                if enabled {
-                    tracer.record(st.cycles[i], EventKind::AluOp);
+            for run in runs(exec) {
+                kernel::binop(kernels, &mut self.regs, bd, ba, bb, run.clone(), op);
+                for i in run {
+                    st.alu[ac + i] += 1;
+                    if enabled {
+                        tracer.record(st.cycles[i], EventKind::AluOp);
+                    }
                 }
             }
         }
     }
+}
+
+/// One worker chunk of a faulted array-fleet run: its instance range,
+/// the sub-fleet (for post-run register/memory inspection) and the
+/// per-instance fault-run outcomes for that range.
+#[derive(Debug)]
+pub struct ArrayFleetChunk {
+    /// Global instance range this chunk covered.
+    pub range: Range<usize>,
+    /// The sub-fleet, post-run (instance `range.start + k` is local `k`).
+    pub fleet: ArrayFleet,
+    /// Per-instance fault-run outcomes, local order.
+    pub outcomes: Vec<Result<crate::fault::RunOutcome, MachineError>>,
+}
+
+/// Run `n` faulted array-machine instances as contiguous sub-fleet
+/// chunks across worker threads — the [`run_uni_fleet_chunked`] analog
+/// for the Monte-Carlo axis.  `threads == 0` resolves via
+/// [`fleet_threads`] (with the same `SKILLTAX_FLEET_THREADS` /
+/// `SKILLTAX_FLEET_MIN_PER_THREAD` knobs); `init(global, fleet, local)`
+/// seeds instance state before the chunk runs and `plan_for(global)`
+/// supplies each instance's [`FaultPlan`].  Instances are independent,
+/// so chunked ≡ one fleet ≡ `n` sequential
+/// [`crate::array::ArrayMachine::run_resilient`] runs, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_array_fleet_chunked<I, P>(
+    subtype: ArraySubtype,
+    lanes: usize,
+    bank_words: usize,
+    n: usize,
+    cycle_limit: u64,
+    cancel: &CancelToken,
+    program: &Program,
+    kernels: LaneKernels,
+    init: I,
+    plan_for: P,
+    threads: usize,
+) -> Vec<ArrayFleetChunk>
+where
+    I: Fn(usize, &mut ArrayFleet, usize) + Sync,
+    P: Fn(usize) -> FaultPlan + Sync,
+{
+    let threads = if threads == 0 {
+        fleet_threads()
+    } else {
+        threads
+    };
+    let ranges = chunk_ranges(n, threads, fleet_min_per_thread());
+    let workers = ranges.len();
+    crate::sweep::parallel_map_with(
+        ranges,
+        |range| {
+            let mut fleet = ArrayFleet::new(subtype, lanes, bank_words, range.len())
+                .with_cycle_limit(cycle_limit)
+                .with_cancel(cancel.clone())
+                .with_kernels(kernels);
+            for local in 0..range.len() {
+                init(range.start + local, &mut fleet, local);
+            }
+            let plans = range.clone().map(&plan_for).collect();
+            let outcomes = fleet.run_faulted(program, plans);
+            ArrayFleetChunk {
+                range: range.clone(),
+                fleet,
+                outcomes,
+            }
+        },
+        workers,
+    )
+}
+
+/// Flatten chunked Monte-Carlo outcomes back into one per-instance
+/// vector in global instance order.
+pub fn array_chunked_outcomes(
+    chunks: Vec<ArrayFleetChunk>,
+) -> Vec<Result<crate::fault::RunOutcome, MachineError>> {
+    chunks.into_iter().flat_map(|c| c.outcomes).collect()
 }
 
 #[cfg(test)]
@@ -1330,6 +1958,59 @@ mod tests {
     }
 
     #[test]
+    fn runs_classify_sorted_indices() {
+        let idx = [0usize, 1, 2, 5, 6, 9];
+        let got: Vec<_> = runs(&idx).collect();
+        assert_eq!(got, vec![0..3, 5..7, 9..10]);
+        assert!(runs(&[]).next().is_none());
+        let dense: Vec<usize> = (0..33).collect();
+        assert_eq!(runs(&dense).collect::<Vec<_>>(), vec![0..33]);
+        let sparse = [4usize, 8, 12];
+        assert_eq!(runs(&sparse).collect::<Vec<_>>(), vec![4..5, 8..9, 12..13]);
+    }
+
+    #[test]
+    fn wide_kernels_match_scalar_kernels() {
+        use super::kernel::{self, BinOp};
+        let n = 37usize;
+        let seed = |k: usize| (k as Word).wrapping_mul(-0x61c8_8647) ^ ((k as Word) << 3);
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max] {
+            // Disjoint columns plus every aliasing shape (dst==a,
+            // dst==b, all equal): the wide path must match scalar on
+            // each, including the sub-block run tail.
+            for (bd, ba, bb) in [(0, n, 2 * n), (0, 0, n), (n, n, n), (2 * n, 0, 2 * n)] {
+                let mut scalar: Vec<Word> = (0..3 * n).map(seed).collect();
+                let mut wide = scalar.clone();
+                kernel::binop(LaneKernels::Scalar, &mut scalar, bd, ba, bb, 1..n - 2, op);
+                kernel::binop(LaneKernels::Wide, &mut wide, bd, ba, bb, 1..n - 2, op);
+                assert_eq!(scalar, wide, "{op:?} bd={bd} ba={ba} bb={bb}");
+            }
+        }
+        let mut scalar: Vec<Word> = (0..2 * n).map(seed).collect();
+        let mut wide = scalar.clone();
+        kernel::addi(LaneKernels::Scalar, &mut scalar, n, 0, 0..n, -7);
+        kernel::addi(LaneKernels::Wide, &mut wide, n, 0, 0..n, -7);
+        assert_eq!(scalar, wide);
+        kernel::addi(LaneKernels::Scalar, &mut scalar, 0, 0, 3..n, 11);
+        kernel::addi(LaneKernels::Wide, &mut wide, 0, 0, 3..n, 11);
+        assert_eq!(scalar, wide, "aliased dst==src addi");
+    }
+
+    #[test]
+    fn scalar_and_wide_fleets_agree() {
+        let prog = spin(29);
+        let run = |kernels: LaneKernels| {
+            let mut fleet = UniFleet::new(24, 2).with_kernels(kernels);
+            fleet.run(&prog)
+        };
+        let scalar = run(LaneKernels::Scalar);
+        let wide = run(LaneKernels::Wide);
+        for (a, b) in scalar.iter().zip(&wide) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
     fn chunk_ranges_cover_exactly_once() {
         for (n, threads, min) in [(100, 4, 1), (7, 16, 2), (64, 3, 32), (1, 8, 32), (5, 2, 8)] {
             let ranges = chunk_ranges(n, threads, min);
@@ -1355,6 +2036,7 @@ mod tests {
             DEFAULT_CYCLE_LIMIT,
             &CancelToken::new(),
             &prog,
+            LaneKernels::default(),
             |_, _, _| {},
             4,
         );
@@ -1387,7 +2069,7 @@ mod tests {
             }
         }
         let results = fleet.run(&prog);
-        for i in 0..6 {
+        for (i, result) in results.iter().enumerate() {
             let mut m = ArrayMachine::new(ArraySubtype::I, 4, 4);
             for lane in 0..4 {
                 m.memory_mut()
@@ -1395,7 +2077,7 @@ mod tests {
                     .load(&[(i * 10 + lane) as Word, 3, 0, 0]);
             }
             let expected = m.run(&prog).unwrap();
-            assert_eq!(results[i].as_ref().unwrap(), &expected, "instance {i}");
+            assert_eq!(result.as_ref().unwrap(), &expected, "instance {i}");
             for lane in 0..4 {
                 assert_eq!(
                     fleet.mem_word(i, lane * 4 + 2),

@@ -38,7 +38,13 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is forbidden everywhere except the feature-gated wide
+// lane kernels in `fleet::kernel::wide`, which need `std::arch`
+// intrinsics behind runtime CPU detection.  Without `--features simd`
+// the historical crate-wide forbid is back in force; with it, the lint
+// is `deny` so only that module's scoped `allow` may opt in.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 
 pub mod array;
 pub mod cancel;

@@ -12,6 +12,7 @@ use crate::dataflow::{graph::library, DataflowMachine, DataflowSubtype, Placemen
 use crate::error::MachineError;
 use crate::exec::Stats;
 use crate::fault::{FaultPlan, LinkOutage};
+use crate::fleet::FleetExec;
 use crate::interconnect::FabricTopology;
 use crate::isa::{Instr, Word};
 use crate::multi::{MultiMachine, MultiSubtype};
@@ -1003,12 +1004,13 @@ pub fn run_fabric_counters_traced<T: Tracer>(
 // ---------------------------------------------------------------------------
 // Fleet workloads: N lockstep instances of the same architecture.
 //
-// Each runner below takes `fleet: bool` — `false` runs the N instances
-// sequentially on the dense reference machines, `true` routes them
-// through the structure-of-arrays executors in [`crate::fleet`].  The
-// two paths are bit-identical in per-instance `Stats`, telemetry class
+// Each runner below takes a [`FleetExec`]: `Sequential` runs the N
+// instances one by one on the dense reference machines,
+// `Fleet(kernels)` routes them through the structure-of-arrays
+// executors in [`crate::fleet`] with the chosen batched lane kernels.
+// All paths are bit-identical in per-instance `Stats`, telemetry class
 // totals, and errors (DESIGN.md §14); `tests/fleet_identity.rs` and the
-// `*/fleet` bench twins hold them to it.
+// `*/fleet` + `*/fleet_simd` bench twins hold them to it.
 // ---------------------------------------------------------------------------
 
 /// The swarm spin kernel: count to a per-instance bound read from memory
@@ -1036,9 +1038,9 @@ fn swarm_spin_bound(base_iters: Word, i: usize) -> Word {
 pub fn run_spin_swarm_uni(
     instances: usize,
     base_iters: Word,
-    fleet: bool,
+    exec: FleetExec,
 ) -> Result<Stats, MachineError> {
-    run_spin_swarm_uni_traced(instances, base_iters, fleet, &mut NullTracer)
+    run_spin_swarm_uni_traced(instances, base_iters, exec, &mut NullTracer)
 }
 
 /// [`run_spin_swarm_uni`] with observation hooks — the counter-capture
@@ -1046,7 +1048,7 @@ pub fn run_spin_swarm_uni(
 pub fn run_spin_swarm_uni_traced<T: Tracer>(
     instances: usize,
     base_iters: Word,
-    fleet: bool,
+    exec: FleetExec,
     tracer: &mut T,
 ) -> Result<Stats, MachineError> {
     if instances == 0 {
@@ -1054,22 +1056,25 @@ pub fn run_spin_swarm_uni_traced<T: Tracer>(
     }
     let program = swarm_spin_program();
     let mut total = Stats::default();
-    if fleet {
-        let mut swarm = crate::fleet::UniFleet::new(instances, 2);
-        for i in 0..instances {
-            swarm.write_mem(i, 0, swarm_spin_bound(base_iters, i));
+    match exec {
+        FleetExec::Fleet(kernels) => {
+            let mut swarm = crate::fleet::UniFleet::new(instances, 2).with_kernels(kernels);
+            for i in 0..instances {
+                swarm.write_mem(i, 0, swarm_spin_bound(base_iters, i));
+            }
+            for result in swarm.run_traced(&program, tracer) {
+                total = total.accumulate_sequential(result?);
+            }
         }
-        for result in swarm.run_traced(&program, tracer) {
-            total = total.accumulate_sequential(result?);
-        }
-    } else {
-        for i in 0..instances {
-            let mut machine = UniProcessor::new(2);
-            machine
-                .memory_mut()
-                .bank_mut(0)
-                .load(&[swarm_spin_bound(base_iters, i)]);
-            total = total.accumulate_sequential(machine.run_traced(&program, tracer)?);
+        FleetExec::Sequential => {
+            for i in 0..instances {
+                let mut machine = UniProcessor::new(2);
+                machine
+                    .memory_mut()
+                    .bank_mut(0)
+                    .load(&[swarm_spin_bound(base_iters, i)]);
+                total = total.accumulate_sequential(machine.run_traced(&program, tracer)?);
+            }
         }
     }
     Ok(total)
@@ -1089,9 +1094,9 @@ pub fn run_vector_add_swarm_array(
     subtype: ArraySubtype,
     instances: usize,
     lanes: usize,
-    fleet: bool,
+    exec: FleetExec,
 ) -> Result<Stats, MachineError> {
-    run_vector_add_swarm_array_traced(subtype, instances, lanes, fleet, &mut NullTracer)
+    run_vector_add_swarm_array_traced(subtype, instances, lanes, exec, &mut NullTracer)
 }
 
 /// [`run_vector_add_swarm_array`] with observation hooks — the
@@ -1101,7 +1106,7 @@ pub fn run_vector_add_swarm_array_traced<T: Tracer>(
     subtype: ArraySubtype,
     instances: usize,
     lanes: usize,
-    fleet: bool,
+    exec: FleetExec,
     tracer: &mut T,
 ) -> Result<Stats, MachineError> {
     if instances == 0 || lanes == 0 {
@@ -1139,30 +1144,34 @@ pub fn run_vector_add_swarm_array_traced<T: Tracer>(
         Ok(())
     };
     let mut total = Stats::default();
-    if fleet {
-        let mut swarm = crate::fleet::ArrayFleet::new(subtype, lanes, 4, instances);
-        for i in 0..instances {
-            for lane in 0..lanes {
-                let (x, y) = swarm_vector_inputs(i, lane);
-                swarm.load_bank(i, lane, &[x, y, 0, 0]);
+    match exec {
+        FleetExec::Fleet(kernels) => {
+            let mut swarm =
+                crate::fleet::ArrayFleet::new(subtype, lanes, 4, instances).with_kernels(kernels);
+            for i in 0..instances {
+                for lane in 0..lanes {
+                    let (x, y) = swarm_vector_inputs(i, lane);
+                    swarm.load_bank(i, lane, &[x, y, 0, 0]);
+                }
+            }
+            for (i, result) in swarm.run_traced(&program, tracer).into_iter().enumerate() {
+                total = total.accumulate_sequential(result?);
+                for lane in 0..lanes {
+                    check(i, lane, swarm.mem_word(i, lane * 4 + 2))?;
+                }
             }
         }
-        for (i, result) in swarm.run_traced(&program, tracer).into_iter().enumerate() {
-            total = total.accumulate_sequential(result?);
-            for lane in 0..lanes {
-                check(i, lane, swarm.mem_word(i, lane * 4 + 2))?;
-            }
-        }
-    } else {
-        for i in 0..instances {
-            let mut machine = ArrayMachine::new(subtype, lanes, 4);
-            for lane in 0..lanes {
-                let (x, y) = swarm_vector_inputs(i, lane);
-                machine.memory_mut().bank_mut(lane).load(&[x, y, 0, 0]);
-            }
-            total = total.accumulate_sequential(machine.run_traced(&program, tracer)?);
-            for lane in 0..lanes {
-                check(i, lane, machine.memory().bank(lane).contents()[2])?;
+        FleetExec::Sequential => {
+            for i in 0..instances {
+                let mut machine = ArrayMachine::new(subtype, lanes, 4);
+                for lane in 0..lanes {
+                    let (x, y) = swarm_vector_inputs(i, lane);
+                    machine.memory_mut().bank_mut(lane).load(&[x, y, 0, 0]);
+                }
+                total = total.accumulate_sequential(machine.run_traced(&program, tracer)?);
+                for lane in 0..lanes {
+                    check(i, lane, machine.memory().bank(lane).contents()[2])?;
+                }
             }
         }
     }
@@ -1172,16 +1181,18 @@ pub fn run_vector_add_swarm_array_traced<T: Tracer>(
 /// A Monte-Carlo transient-fault study: one array-machine instance per
 /// seed, each running the lane-store kernel under its own
 /// [`FaultPlan`] with the given stall and bit-flip rates.  Per-seed
-/// outcomes in seed order; `fleet` routes the population through
-/// [`crate::fleet::ArrayFleet::run_faulted`], `false` runs
-/// [`ArrayMachine::run_resilient`] per seed — bit-identical results.
+/// outcomes in seed order; `FleetExec::Fleet` routes the population
+/// through [`crate::fleet::run_array_fleet_chunked`] (sub-fleet chunks
+/// across the `SKILLTAX_FLEET_THREADS` worker resolution),
+/// `Sequential` runs [`ArrayMachine::run_resilient`] per seed —
+/// bit-identical results either way.
 pub fn run_fault_monte_carlo_array(
     subtype: ArraySubtype,
     lanes: usize,
     seeds: &[u64],
     stall_rate: f64,
     flip_rate: f64,
-    fleet: bool,
+    exec: FleetExec,
 ) -> Vec<Result<crate::fault::RunOutcome, MachineError>> {
     let mut asm = Assembler::new();
     asm.emit(Instr::LaneId(0))
@@ -1196,23 +1207,34 @@ pub fn run_fault_monte_carlo_array(
             .stall_dps(stall_rate)
             .flip_memory_bits(flip_rate)
     };
-    if fleet {
-        let mut swarm =
-            crate::fleet::ArrayFleet::new(subtype, lanes, bank_words, seeds.len().max(1))
-                .with_cycle_limit(100_000);
-        if seeds.is_empty() {
-            return Vec::new();
+    match exec {
+        FleetExec::Fleet(kernels) => {
+            if seeds.is_empty() {
+                return Vec::new();
+            }
+            let chunks = crate::fleet::run_array_fleet_chunked(
+                subtype,
+                lanes,
+                bank_words,
+                seeds.len(),
+                100_000,
+                &crate::cancel::CancelToken::new(),
+                &program,
+                kernels,
+                |_, _, _| {},
+                |g| plan_for(seeds[g]),
+                0,
+            );
+            crate::fleet::array_chunked_outcomes(chunks)
         }
-        swarm.run_faulted(&program, seeds.iter().map(|&s| plan_for(s)).collect())
-    } else {
-        seeds
+        FleetExec::Sequential => seeds
             .iter()
             .map(|&s| {
                 let mut machine =
                     ArrayMachine::new(subtype, lanes, bank_words).with_cycle_limit(100_000);
                 machine.run_resilient(&program, plan_for(s))
             })
-            .collect()
+            .collect(),
     }
 }
 
@@ -1388,26 +1410,47 @@ mod tests {
 
     #[test]
     fn spin_swarm_fleet_matches_sequential() {
-        let sequential = run_spin_swarm_uni(24, 50, false).unwrap();
-        let fleet = run_spin_swarm_uni(24, 50, true).unwrap();
-        assert_eq!(sequential, fleet);
+        use crate::fleet::LaneKernels;
+        let sequential = run_spin_swarm_uni(24, 50, FleetExec::Sequential).unwrap();
+        for kernels in [LaneKernels::Scalar, LaneKernels::Wide] {
+            let fleet = run_spin_swarm_uni(24, 50, FleetExec::Fleet(kernels)).unwrap();
+            assert_eq!(sequential, fleet, "{kernels:?}");
+        }
     }
 
     #[test]
     fn vector_add_swarm_fleet_matches_sequential() {
+        use crate::fleet::LaneKernels;
         for subtype in ArraySubtype::ALL {
-            let sequential = run_vector_add_swarm_array(subtype, 12, 4, false).unwrap();
-            let fleet = run_vector_add_swarm_array(subtype, 12, 4, true).unwrap();
-            assert_eq!(sequential, fleet, "{subtype:?}");
+            let sequential =
+                run_vector_add_swarm_array(subtype, 12, 4, FleetExec::Sequential).unwrap();
+            for kernels in [LaneKernels::Scalar, LaneKernels::Wide] {
+                let fleet =
+                    run_vector_add_swarm_array(subtype, 12, 4, FleetExec::Fleet(kernels)).unwrap();
+                assert_eq!(sequential, fleet, "{subtype:?} {kernels:?}");
+            }
         }
     }
 
     #[test]
     fn monte_carlo_fleet_matches_sequential() {
         let seeds: Vec<u64> = (0..16).map(|s| s * 7 + 1).collect();
-        let sequential =
-            run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, false);
-        let fleet = run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, true);
+        let sequential = run_fault_monte_carlo_array(
+            ArraySubtype::III,
+            4,
+            &seeds,
+            0.2,
+            0.05,
+            FleetExec::Sequential,
+        );
+        let fleet = run_fault_monte_carlo_array(
+            ArraySubtype::III,
+            4,
+            &seeds,
+            0.2,
+            0.05,
+            FleetExec::fleet(),
+        );
         assert_eq!(sequential, fleet);
     }
 

@@ -14,7 +14,10 @@
 
 use skilltax_machine::array::{ArrayMachine, ArraySubtype};
 use skilltax_machine::fault::FaultPlan;
-use skilltax_machine::fleet::{chunked_results, run_uni_fleet_chunked, ArrayFleet, UniFleet};
+use skilltax_machine::fleet::{
+    array_chunked_outcomes, chunked_results, run_array_fleet_chunked, run_uni_fleet_chunked,
+    ArrayFleet, FleetExec, LaneKernels, UniFleet,
+};
 use skilltax_machine::uniprocessor::UniProcessor;
 use skilltax_machine::workload::{
     run_fault_monte_carlo_array, run_spin_swarm_uni_traced, run_vector_add_swarm_array_traced,
@@ -38,6 +41,13 @@ fn spin_bounds(n: usize) -> Vec<Word> {
     (0..n).map(|i| ((i * 13) % 97 + 1) as Word).collect()
 }
 
+/// Both batched kernel selections.  In a default build `Wide` degrades
+/// to the scalar loops; under `--features simd` it takes the explicit
+/// wide kernels — verify.sh runs this suite both ways, so every leg
+/// here is differential against the dense machines in all four
+/// (kernels × feature) combinations.
+const KERNELS: [LaneKernels; 2] = [LaneKernels::Scalar, LaneKernels::Wide];
+
 // -------------------------------------------------------------------------
 // Uni-processor fleets
 // -------------------------------------------------------------------------
@@ -45,31 +55,33 @@ fn spin_bounds(n: usize) -> Vec<Word> {
 #[test]
 fn uni_fleet_identity_with_divergent_control_flow() {
     let program = data_spin_program();
-    for n in [1usize, 3, 64, 130] {
-        let bounds = spin_bounds(n);
-        let mut fleet = UniFleet::new(n, 2);
-        for (i, &b) in bounds.iter().enumerate() {
-            fleet.write_mem(i, 0, b);
-        }
-        let mut fleet_telemetry = Telemetry::new();
-        let results = fleet.run_traced(&program, &mut fleet_telemetry);
-        let mut seq_telemetry = Telemetry::new();
-        for (i, &b) in bounds.iter().enumerate() {
-            let mut machine = UniProcessor::new(2);
-            machine.memory_mut().bank_mut(0).load(&[b]);
-            let expected = machine.run_traced(&program, &mut seq_telemetry).unwrap();
+    for kernels in KERNELS {
+        for n in [1usize, 3, 64, 130] {
+            let bounds = spin_bounds(n);
+            let mut fleet = UniFleet::new(n, 2).with_kernels(kernels);
+            for (i, &b) in bounds.iter().enumerate() {
+                fleet.write_mem(i, 0, b);
+            }
+            let mut fleet_telemetry = Telemetry::new();
+            let results = fleet.run_traced(&program, &mut fleet_telemetry);
+            let mut seq_telemetry = Telemetry::new();
+            for (i, &b) in bounds.iter().enumerate() {
+                let mut machine = UniProcessor::new(2);
+                machine.memory_mut().bank_mut(0).load(&[b]);
+                let expected = machine.run_traced(&program, &mut seq_telemetry).unwrap();
+                assert_eq!(
+                    results[i].as_ref().unwrap(),
+                    &expected,
+                    "{kernels:?} n={n} instance {i}"
+                );
+                assert_eq!(fleet.reg(i, 0), b, "{kernels:?} n={n} instance {i}");
+            }
             assert_eq!(
-                results[i].as_ref().unwrap(),
-                &expected,
-                "n={n} instance {i}"
+                fleet_telemetry.trace.class_counts(),
+                seq_telemetry.trace.class_counts(),
+                "{kernels:?} n={n}: event-class totals diverged"
             );
-            assert_eq!(fleet.reg(i, 0), b, "n={n} instance {i} final count");
         }
-        assert_eq!(
-            fleet_telemetry.trace.class_counts(),
-            seq_telemetry.trace.class_counts(),
-            "n={n}: event-class totals diverged"
-        );
     }
 }
 
@@ -159,6 +171,7 @@ fn uni_fleet_chunked_identity_auto_threads() {
         10_000,
         &CancelToken::new(),
         &program,
+        LaneKernels::default(),
         |global, fleet, local| fleet.write_mem(local, 0, ((global * 13) % 97 + 1) as Word),
         0,
     );
@@ -174,15 +187,21 @@ fn uni_fleet_chunked_identity_auto_threads() {
 
 #[test]
 fn spin_swarm_workload_identity_traced() {
-    let mut fleet_telemetry = Telemetry::new();
-    let fleet = run_spin_swarm_uni_traced(96, 150, true, &mut fleet_telemetry).unwrap();
     let mut seq_telemetry = Telemetry::new();
-    let sequential = run_spin_swarm_uni_traced(96, 150, false, &mut seq_telemetry).unwrap();
-    assert_eq!(fleet, sequential);
-    assert_eq!(
-        fleet_telemetry.trace.class_counts(),
-        seq_telemetry.trace.class_counts()
-    );
+    let sequential =
+        run_spin_swarm_uni_traced(96, 150, FleetExec::Sequential, &mut seq_telemetry).unwrap();
+    for kernels in KERNELS {
+        let mut fleet_telemetry = Telemetry::new();
+        let fleet =
+            run_spin_swarm_uni_traced(96, 150, FleetExec::Fleet(kernels), &mut fleet_telemetry)
+                .unwrap();
+        assert_eq!(fleet, sequential, "{kernels:?}");
+        assert_eq!(
+            fleet_telemetry.trace.class_counts(),
+            seq_telemetry.trace.class_counts(),
+            "{kernels:?}"
+        );
+    }
 }
 
 // -------------------------------------------------------------------------
@@ -192,18 +211,32 @@ fn spin_swarm_workload_identity_traced() {
 #[test]
 fn array_fleet_identity_all_subtypes_traced() {
     for subtype in ArraySubtype::ALL {
-        let mut fleet_telemetry = Telemetry::new();
-        let fleet =
-            run_vector_add_swarm_array_traced(subtype, 24, 4, true, &mut fleet_telemetry).unwrap();
         let mut seq_telemetry = Telemetry::new();
-        let sequential =
-            run_vector_add_swarm_array_traced(subtype, 24, 4, false, &mut seq_telemetry).unwrap();
-        assert_eq!(fleet, sequential, "{subtype:?}");
-        assert_eq!(
-            fleet_telemetry.trace.class_counts(),
-            seq_telemetry.trace.class_counts(),
-            "{subtype:?}: event-class totals diverged"
-        );
+        let sequential = run_vector_add_swarm_array_traced(
+            subtype,
+            24,
+            4,
+            FleetExec::Sequential,
+            &mut seq_telemetry,
+        )
+        .unwrap();
+        for kernels in KERNELS {
+            let mut fleet_telemetry = Telemetry::new();
+            let fleet = run_vector_add_swarm_array_traced(
+                subtype,
+                24,
+                4,
+                FleetExec::Fleet(kernels),
+                &mut fleet_telemetry,
+            )
+            .unwrap();
+            assert_eq!(fleet, sequential, "{subtype:?} {kernels:?}");
+            assert_eq!(
+                fleet_telemetry.trace.class_counts(),
+                seq_telemetry.trace.class_counts(),
+                "{subtype:?} {kernels:?}: event-class totals diverged"
+            );
+        }
     }
 }
 
@@ -308,9 +341,19 @@ fn array_fleet_faulted_identity_private_and_shared() {
     // run_resilient exactly, including injected-fault counts.
     let seeds: Vec<u64> = (0..24).map(|s| s * 11 + 5).collect();
     for subtype in [ArraySubtype::I, ArraySubtype::III] {
-        let fleet = run_fault_monte_carlo_array(subtype, 4, &seeds, 0.25, 0.1, true);
-        let sequential = run_fault_monte_carlo_array(subtype, 4, &seeds, 0.25, 0.1, false);
-        assert_eq!(fleet, sequential, "{subtype:?}");
+        let sequential =
+            run_fault_monte_carlo_array(subtype, 4, &seeds, 0.25, 0.1, FleetExec::Sequential);
+        for kernels in KERNELS {
+            let fleet = run_fault_monte_carlo_array(
+                subtype,
+                4,
+                &seeds,
+                0.25,
+                0.1,
+                FleetExec::Fleet(kernels),
+            );
+            assert_eq!(fleet, sequential, "{subtype:?} {kernels:?}");
+        }
     }
 }
 
@@ -342,6 +385,167 @@ fn array_fleet_faulted_watchdog_partial_stats_identity() {
                 )
             }
             other => panic!("seed {seed}: expected watchdog, got {other:?}"),
+        }
+    }
+}
+
+/// Spin to a per-instance bound, then dereference a per-instance
+/// pointer: control flow diverges first, and the faults land
+/// *mid-kernel* at instance-specific cycles — some clean, some
+/// out-of-bounds, in arbitrary retirement order.
+fn divergent_deref_program() -> Program {
+    let mut asm = Assembler::new();
+    asm.movi(2, 0)
+        .emit(Instr::Load(1, 2)) // bound from mem[0]
+        .movi(2, 1)
+        .emit(Instr::Load(3, 2)) // pointer from mem[1]
+        .movi(0, 0);
+    asm.label("loop").unwrap();
+    asm.emit(Instr::AddI(0, 0, 1));
+    asm.blt(0, 1, "loop");
+    asm.emit(Instr::Load(4, 3)) // deref — faults iff pointer bad
+        .emit(Instr::Halt);
+    asm.assemble().unwrap()
+}
+
+#[test]
+fn uni_fleet_divergence_heavy_mid_kernel_fault_identity() {
+    let program = divergent_deref_program();
+    let n = 48;
+    let bounds = spin_bounds(n);
+    // Every third instance carries a bad pointer (alternating too-high
+    // and negative), so retirements interleave with live cohorts.
+    let pointer = |i: usize| -> Word {
+        match i % 3 {
+            0 => (i % 4) as Word,
+            1 => 99,
+            _ => -((i as Word) + 1),
+        }
+    };
+    for kernels in KERNELS {
+        let mut fleet = UniFleet::new(n, 4).with_kernels(kernels);
+        for (i, &b) in bounds.iter().enumerate() {
+            fleet.write_mem(i, 0, b);
+            fleet.write_mem(i, 1, pointer(i));
+        }
+        let mut fleet_telemetry = Telemetry::new();
+        let results = fleet.run_traced(&program, &mut fleet_telemetry);
+        let mut seq_telemetry = Telemetry::new();
+        for (i, &b) in bounds.iter().enumerate() {
+            let mut machine = UniProcessor::new(4);
+            machine.memory_mut().bank_mut(0).load(&[b, pointer(i)]);
+            match machine.run_traced(&program, &mut seq_telemetry) {
+                Ok(want) => {
+                    assert_eq!(
+                        results[i].as_ref().unwrap(),
+                        &want,
+                        "{kernels:?} instance {i}"
+                    );
+                }
+                Err(want) => {
+                    assert_eq!(
+                        results[i].as_ref().unwrap_err(),
+                        &want,
+                        "{kernels:?} instance {i}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            fleet_telemetry.trace.class_counts(),
+            seq_telemetry.trace.class_counts(),
+            "{kernels:?}: event-class totals diverged"
+        );
+    }
+}
+
+#[test]
+fn cohort_rebuild_keeps_ascending_error_attribution() {
+    // Regression for the step_cohorts rebuild (the per-divergence-step
+    // sort_unstable() was replaced by an in-order retain): with many
+    // simultaneous cohorts and out-of-order retirements, each error
+    // must stay attributed to its own instance slot with the exact
+    // sequential error value, and survivors' architectural state must
+    // land untouched.
+    let program = divergent_deref_program();
+    let n = 60;
+    // Bounds chosen so cohort membership is strided (i % 5) and bad
+    // pointers sit at stride-7 positions — retirement order is far from
+    // ascending.
+    let bound = |i: usize| ((i % 5) * 9 + 3) as Word;
+    let pointer = |i: usize| -> Word {
+        if i.is_multiple_of(7) {
+            99
+        } else {
+            2
+        }
+    };
+    let mut fleet = UniFleet::new(n, 4);
+    for i in 0..n {
+        fleet.write_mem(i, 0, bound(i));
+        fleet.write_mem(i, 1, pointer(i));
+    }
+    let results = fleet.run(&program);
+    for (i, result) in results.iter().enumerate() {
+        let mut machine = UniProcessor::new(4);
+        machine
+            .memory_mut()
+            .bank_mut(0)
+            .load(&[bound(i), pointer(i)]);
+        match machine.run(&program) {
+            Ok(want) => {
+                assert_eq!(result.as_ref().unwrap(), &want, "instance {i}");
+                assert_eq!(fleet.reg(i, 0), bound(i), "instance {i} final counter");
+            }
+            Err(want) => {
+                assert!(i.is_multiple_of(7), "only stride-7 instances fault");
+                assert_eq!(result.as_ref().unwrap_err(), &want, "instance {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn array_fleet_chunked_identity() {
+    // Chunked ≡ one fleet ≡ N sequential run_resilient: the same
+    // contract as the uni runner, across explicit widths and the
+    // env-resolved default.
+    let mut asm = Assembler::new();
+    asm.emit(Instr::LaneId(0))
+        .movi(1, 100)
+        .emit(Instr::Add(1, 1, 0))
+        .emit(Instr::Store(0, 1))
+        .emit(Instr::Halt);
+    let program = asm.assemble().unwrap();
+    let n = 40;
+    let plan_for = |g: usize| {
+        FaultPlan::seeded(g as u64 * 11 + 5)
+            .stall_dps(0.25)
+            .flip_memory_bits(0.1)
+    };
+    let mut sequential = Vec::with_capacity(n);
+    for g in 0..n {
+        let mut machine = ArrayMachine::new(ArraySubtype::III, 4, 4).with_cycle_limit(50_000);
+        sequential.push(machine.run_resilient(&program, plan_for(g)));
+    }
+    for threads in [0usize, 1, 3, 8] {
+        let chunks = run_array_fleet_chunked(
+            ArraySubtype::III,
+            4,
+            4,
+            n,
+            50_000,
+            &CancelToken::new(),
+            &program,
+            LaneKernels::default(),
+            |_, _, _| {},
+            plan_for,
+            threads,
+        );
+        let outcomes = array_chunked_outcomes(chunks);
+        assert_eq!(outcomes.len(), n, "threads={threads}");
+        for (g, (got, want)) in outcomes.iter().zip(&sequential).enumerate() {
+            assert_eq!(got, want, "threads={threads} instance {g}");
         }
     }
 }

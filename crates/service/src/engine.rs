@@ -21,8 +21,11 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use skilltax_estimate::{estimate_area, estimate_config_bits, CostParams};
+use skilltax_machine::array::ArraySubtype;
 use skilltax_machine::fault::{FaultPlan, LinkOutage, RetryState};
-use skilltax_machine::fleet::UniFleet;
+use skilltax_machine::fleet::{
+    array_chunked_outcomes, run_array_fleet_chunked, LaneKernels, UniFleet,
+};
 use skilltax_machine::multi::{MultiMachine, MultiSubtype};
 use skilltax_machine::{
     Assembler, CancelToken, Instr, MachineError, NullTracer, Phase, Profiled, Program, SpanProfile,
@@ -189,6 +192,16 @@ impl Engine {
                 _ => self.plain_simulate(*cores, *iters, *scheduler, &token),
             },
             JobKind::Sweep { cores, iters } => self.sweep(cores, *iters, &token),
+            JobKind::FaultSweep {
+                subtype,
+                lanes,
+                seeds,
+                seed0,
+                stall_ppm,
+                flip_ppm,
+            } => self.fault_sweep(
+                *subtype, *lanes, *seeds, *seed0, *stall_ppm, *flip_ppm, &token,
+            ),
         }
     }
 
@@ -219,6 +232,20 @@ impl Engine {
                 _ => self.plain_simulate_traced(*cores, *iters, *scheduler, &token, &mut t),
             },
             JobKind::Sweep { cores, iters } => self.sweep_traced(cores, *iters, &token, &mut t),
+            // Fault sweeps always run fleet-batched; the lockstep cohort
+            // loop has no per-instance tracer hooks, so a profiled fault
+            // sweep reports the same typed outcome with an empty machine
+            // span tree.
+            JobKind::FaultSweep {
+                subtype,
+                lanes,
+                seeds,
+                seed0,
+                stall_ppm,
+                flip_ppm,
+            } => self.fault_sweep(
+                *subtype, *lanes, *seeds, *seed0, *stall_ppm, *flip_ppm, &token,
+            ),
         };
         t.profile.seal();
         (
@@ -516,6 +543,73 @@ impl Engine {
             stats: Some(total),
         }
     }
+
+    /// Seeded Monte-Carlo fault study, executed as one chunked
+    /// [`ArrayFleet`](skilltax_machine::fleet::ArrayFleet) batch
+    /// (DESIGN.md §14): seed `k` is fleet instance `k` running fault
+    /// plan `seed0 + k`, and per-seed stats/faults are bit-identical to
+    /// per-seed `run_resilient` loops.  The request token — deadline
+    /// folded in — threads through to every worker chunk, so client
+    /// disconnects and deadlines stop the whole fleet promptly.  The
+    /// first seed (in seed order) that does not complete ends the job
+    /// with that seed's typed outcome, matching sweep semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn fault_sweep(
+        &self,
+        subtype: ArraySubtype,
+        lanes: usize,
+        seeds: usize,
+        seed0: u64,
+        stall_ppm: u32,
+        flip_ppm: u32,
+        token: &CancelToken,
+    ) -> JobOutcome {
+        let mut asm = Assembler::new();
+        asm.emit(Instr::LaneId(0))
+            .movi(1, 100)
+            .emit(Instr::Add(1, 1, 0))
+            .emit(Instr::Store(0, 1))
+            .emit(Instr::Halt);
+        let program = asm.assemble().expect("fault-sweep kernel is well formed");
+        let chunks = run_array_fleet_chunked(
+            subtype,
+            lanes,
+            lanes.max(4),
+            seeds,
+            self.config.limits.max_cycles,
+            token,
+            &program,
+            LaneKernels::default(),
+            |_, _, _| {},
+            |g| {
+                FaultPlan::seeded(seed0.wrapping_add(g as u64))
+                    .stall_dps(f64::from(stall_ppm) / 1e6)
+                    .flip_memory_bits(f64::from(flip_ppm) / 1e6)
+            },
+            0,
+        );
+        let mut total = Stats::default();
+        let (mut faults, mut retries, mut degraded) = (0u64, 0u64, 0usize);
+        for outcome in array_chunked_outcomes(chunks) {
+            match outcome {
+                Ok(run) => {
+                    add_stats(&mut total, &run.stats);
+                    faults += run.faults_injected;
+                    retries += run.retries;
+                    degraded += usize::from(run.degraded);
+                }
+                Err(e) => return JobOutcome::from_error(e, 0),
+            }
+        }
+        JobOutcome::Completed {
+            summary: format!(
+                "faultsweep {}x{lanes}: {seeds} seeds, {faults} faults injected, \
+                 {retries} retries, {degraded} degraded",
+                subtype.class_name()
+            ),
+            stats: Some(total),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -744,6 +838,84 @@ mod tests {
         assert!(
             matches!(out, JobOutcome::Cancelled { .. }),
             "expected cancellation, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn fault_sweep_matches_sequential_resilient_runs() {
+        use skilltax_machine::array::ArrayMachine;
+        let e = engine();
+        let out = e.execute(
+            &request(
+                JobKind::FaultSweep {
+                    subtype: ArraySubtype::III,
+                    lanes: 4,
+                    seeds: 12,
+                    seed0: 7,
+                    stall_ppm: 250_000,
+                    flip_ppm: 100_000,
+                },
+                None,
+            ),
+            &CancelToken::new(),
+        );
+        // Rebuild the identical study as twelve sequential resilient
+        // runs — the fleet path must aggregate bit-identical stats.
+        let mut asm = Assembler::new();
+        asm.emit(Instr::LaneId(0))
+            .movi(1, 100)
+            .emit(Instr::Add(1, 1, 0))
+            .emit(Instr::Store(0, 1))
+            .emit(Instr::Halt);
+        let program = asm.assemble().unwrap();
+        let mut total = Stats::default();
+        let mut faults = 0;
+        for k in 0..12u64 {
+            let mut m = ArrayMachine::new(ArraySubtype::III, 4, 4)
+                .with_cycle_limit(RequestLimits::default().max_cycles);
+            let run = m
+                .run_resilient(
+                    &program,
+                    FaultPlan::seeded(7 + k)
+                        .stall_dps(0.25)
+                        .flip_memory_bits(0.1),
+                )
+                .unwrap();
+            add_stats(&mut total, &run.stats);
+            faults += run.faults_injected;
+        }
+        match out {
+            JobOutcome::Completed { summary, stats } => {
+                assert_eq!(stats, Some(total));
+                assert!(
+                    summary.contains(&format!("{faults} faults injected")),
+                    "{summary}"
+                );
+            }
+            other => panic!("fault sweep should complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_sweep_respects_request_deadline() {
+        let e = engine();
+        let out = e.execute(
+            &request(
+                JobKind::FaultSweep {
+                    subtype: ArraySubtype::I,
+                    lanes: 4,
+                    seeds: 8,
+                    seed0: 1,
+                    stall_ppm: 900_000,
+                    flip_ppm: 0,
+                },
+                Some(1),
+            ),
+            &CancelToken::new(),
+        );
+        assert!(
+            matches!(out, JobOutcome::Cancelled { .. }),
+            "deadline must cancel the fleet: {out:?}"
         );
     }
 

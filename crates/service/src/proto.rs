@@ -5,6 +5,7 @@
 
 use std::fmt;
 
+use skilltax_machine::array::ArraySubtype;
 use skilltax_machine::{MachineError, Stats};
 
 /// Hard caps a request must respect at admission (oversized work is a
@@ -82,6 +83,26 @@ pub enum JobKind {
         /// Loop iterations per core.
         iters: i64,
     },
+    /// Seeded Monte-Carlo fault study on a SIMD array machine: every
+    /// seed runs the same lane kernel under an independent deterministic
+    /// fault plan.  The engine executes all seeds as one
+    /// structure-of-arrays [`ArrayFleet`](skilltax_machine::fleet::ArrayFleet)
+    /// batch (DESIGN.md §14), bit-identical to per-seed `run_resilient`.
+    FaultSweep {
+        /// Array sub-type (IAP-I..IV) under study.
+        subtype: ArraySubtype,
+        /// Data-path lanes per array instance.
+        lanes: usize,
+        /// Monte-Carlo population: seed `k` runs plan `seed0 + k`.
+        seeds: usize,
+        /// Base fault seed.
+        seed0: u64,
+        /// Transient DP stall probability, parts per million.  Integer
+        /// ppm keeps [`JobKind`] `Eq` and the wire format float-free.
+        stall_ppm: u32,
+        /// Memory bit-flip probability, parts per million.
+        flip_ppm: u32,
+    },
 }
 
 impl JobKind {
@@ -92,6 +113,7 @@ impl JobKind {
             JobKind::Estimate { .. } => "estimate",
             JobKind::Simulate { .. } => "simulate",
             JobKind::Sweep { .. } => "sweep",
+            JobKind::FaultSweep { .. } => "faultsweep",
         }
     }
 
@@ -103,6 +125,7 @@ impl JobKind {
             JobKind::Classify { .. } | JobKind::Estimate { .. } => 1,
             JobKind::Simulate { cores, .. } => 1 + (*cores as u64) / 16,
             JobKind::Sweep { cores, .. } => 1 + cores.len() as u64,
+            JobKind::FaultSweep { seeds, .. } => 1 + *seeds as u64,
         }
     }
 }
@@ -275,9 +298,11 @@ impl JobOutcome {
 /// (the shape `curl --data` produces), keys case-sensitive.
 ///
 /// Recognised keys: `tenant`, `kind` (`classify` | `estimate` |
-/// `simulate` | `sweep`), `name`, `row`, `cores` (single number, or a
-/// comma list for sweeps), `iters`, `scheduler` (`dense` | `event` |
-/// `sharded` | `sharded:N`), `fault_seed`, `deadline_cycles`.
+/// `simulate` | `sweep` | `faultsweep`), `name`, `row`, `cores` (single
+/// number, or a comma list for sweeps), `iters`, `scheduler` (`dense` |
+/// `event` | `sharded` | `sharded:N`), `fault_seed`, `deadline_cycles`,
+/// and for fault sweeps `subtype` (`I`..`IV`), `lanes`, `seeds`,
+/// `stall_ppm`, `flip_ppm` (fault rates as integer parts per million).
 pub fn parse_request(body: &str) -> Result<JobRequest, Rejection> {
     let mut tenant = None;
     let mut kind = None;
@@ -288,6 +313,11 @@ pub fn parse_request(body: &str) -> Result<JobRequest, Rejection> {
     let mut scheduler = Scheduler::Event;
     let mut fault_seed = None;
     let mut deadline_cycles = None;
+    let mut subtype = None;
+    let mut lanes = None;
+    let mut seeds = None;
+    let mut stall_ppm = None;
+    let mut flip_ppm = None;
     for pair in body.split('&').filter(|p| !p.trim().is_empty()) {
         let (key, value) = pair
             .split_once('=')
@@ -331,6 +361,39 @@ pub fn parse_request(body: &str) -> Result<JobRequest, Rejection> {
                     Rejection::Malformed(format!("deadline_cycles is not a number: {value:?}"))
                 })?)
             }
+            "subtype" => {
+                subtype = Some(match value {
+                    "I" => ArraySubtype::I,
+                    "II" => ArraySubtype::II,
+                    "III" => ArraySubtype::III,
+                    "IV" => ArraySubtype::IV,
+                    other => {
+                        return Err(Rejection::Malformed(format!(
+                            "unknown array subtype (expected I..IV): {other:?}"
+                        )))
+                    }
+                })
+            }
+            "lanes" => {
+                lanes = Some(value.parse::<usize>().map_err(|_| {
+                    Rejection::Malformed(format!("lanes is not a number: {value:?}"))
+                })?)
+            }
+            "seeds" => {
+                seeds = Some(value.parse::<usize>().map_err(|_| {
+                    Rejection::Malformed(format!("seeds is not a number: {value:?}"))
+                })?)
+            }
+            "stall_ppm" => {
+                stall_ppm = Some(value.parse::<u32>().map_err(|_| {
+                    Rejection::Malformed(format!("stall_ppm is not a number: {value:?}"))
+                })?)
+            }
+            "flip_ppm" => {
+                flip_ppm = Some(value.parse::<u32>().map_err(|_| {
+                    Rejection::Malformed(format!("flip_ppm is not a number: {value:?}"))
+                })?)
+            }
             other => return Err(Rejection::Malformed(format!("unknown field: {other:?}"))),
         }
     }
@@ -369,6 +432,28 @@ pub fn parse_request(body: &str) -> Result<JobRequest, Rejection> {
                 cores: cores
                     .map_err(|_| Rejection::Malformed("cores list has a non-number".into()))?,
                 iters: iters.unwrap_or(100),
+            }
+        }
+        "faultsweep" => {
+            let lanes = lanes.unwrap_or(4);
+            let seeds = seeds.unwrap_or(16);
+            if lanes == 0 {
+                return Err(Rejection::Malformed(
+                    "faultsweep needs at least one lane".into(),
+                ));
+            }
+            if seeds == 0 {
+                return Err(Rejection::Malformed(
+                    "faultsweep needs at least one seed".into(),
+                ));
+            }
+            JobKind::FaultSweep {
+                subtype: subtype.unwrap_or(ArraySubtype::III),
+                lanes,
+                seeds,
+                seed0: fault_seed.unwrap_or(1),
+                stall_ppm: stall_ppm.unwrap_or(0),
+                flip_ppm: flip_ppm.unwrap_or(0),
             }
         }
         other => return Err(Rejection::Malformed(format!("unknown kind: {other:?}"))),
@@ -432,6 +517,19 @@ pub fn validate(request: &JobRequest, limits: &RequestLimits) -> Result<(), Reje
                 over("cores", limits.max_cores as u64, c as u64)?;
             }
             over("iters", limits.max_cycles, iters.unsigned_abs())
+        }
+        JobKind::FaultSweep {
+            lanes,
+            seeds,
+            stall_ppm,
+            flip_ppm,
+            ..
+        } => {
+            over("lanes", limits.max_cores as u64, *lanes as u64)?;
+            over("seeds", limits.max_sweep_points as u64, *seeds as u64)?;
+            // A probability cannot exceed one: ppm rates cap at 10^6.
+            over("stall_ppm", 1_000_000, u64::from(*stall_ppm))?;
+            over("flip_ppm", 1_000_000, u64::from(*flip_ppm))
         }
     }
 }
@@ -568,6 +666,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_a_faultsweep_request() {
+        let req = parse_request(
+            "tenant=lab&kind=faultsweep&subtype=II&lanes=8&seeds=32\
+             &fault_seed=5&stall_ppm=200000&flip_ppm=50000",
+        )
+        .unwrap();
+        assert_eq!(req.kind.label(), "faultsweep");
+        assert_eq!(req.kind.cost(), 33);
+        assert_eq!(
+            req.kind,
+            JobKind::FaultSweep {
+                subtype: ArraySubtype::II,
+                lanes: 8,
+                seeds: 32,
+                seed0: 5,
+                stall_ppm: 200_000,
+                flip_ppm: 50_000,
+            }
+        );
+        // Defaults: IAP-III, 4 lanes, 16 seeds, base seed 1, no faults.
+        let req = parse_request("tenant=lab&kind=faultsweep").unwrap();
+        assert_eq!(
+            req.kind,
+            JobKind::FaultSweep {
+                subtype: ArraySubtype::III,
+                lanes: 4,
+                seeds: 16,
+                seed0: 1,
+                stall_ppm: 0,
+                flip_ppm: 0,
+            }
+        );
+    }
+
+    #[test]
     fn malformed_requests_are_typed_rejections() {
         for body in [
             "kind=simulate",              // missing tenant
@@ -575,7 +708,11 @@ mod tests {
             "tenant=t&kind=warp",         // unknown kind
             "tenant=t&kind=simulate&x=1", // unknown field
             "tenant=t&kind=simulate&iters=zebra",
-            "tenant=&kind=simulate", // empty tenant
+            "tenant=&kind=simulate",              // empty tenant
+            "tenant=t&kind=faultsweep&subtype=V", // no such array class
+            "tenant=t&kind=faultsweep&lanes=0",   // degenerate array
+            "tenant=t&kind=faultsweep&seeds=0",   // empty population
+            "tenant=t&kind=faultsweep&stall_ppm=-1",
         ] {
             assert!(
                 matches!(parse_request(body), Err(Rejection::Malformed(_))),
@@ -618,6 +755,18 @@ mod tests {
             validate(&req, &limits),
             Err(Rejection::Oversized { what: "iters", .. })
         ));
+        for (body, what) in [
+            ("tenant=t&kind=faultsweep&lanes=1000", "lanes"),
+            ("tenant=t&kind=faultsweep&seeds=1000", "seeds"),
+            ("tenant=t&kind=faultsweep&stall_ppm=1000001", "stall_ppm"),
+            ("tenant=t&kind=faultsweep&flip_ppm=2000000", "flip_ppm"),
+        ] {
+            let req = parse_request(body).unwrap();
+            match validate(&req, &limits) {
+                Err(Rejection::Oversized { what: got, .. }) => assert_eq!(got, what),
+                other => panic!("{body:?} should be oversized, got {other:?}"),
+            }
+        }
     }
 
     #[test]

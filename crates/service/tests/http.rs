@@ -80,6 +80,43 @@ fn classify_and_metrics_and_health_respond() {
     assert!(metrics.contains("\"submitted\":"), "{metrics}");
 }
 
+/// The fleet-backed Monte-Carlo fault study end to end: the job routes
+/// through the structure-of-arrays `ArrayFleet` batch executor, and the
+/// same request is deterministic — two runs return byte-identical
+/// bodies (seeded fault plans, no wall-clock in the outcome).
+#[test]
+fn faultsweep_round_trips_deterministically() {
+    let (_service, server) = start(8, 2);
+    let addr = server.local_addr();
+    let body = "tenant=lab&kind=faultsweep&subtype=III&lanes=4&seeds=16\
+                &fault_seed=9&stall_ppm=200000&flip_ppm=50000";
+    let first = post_jobs(addr, body);
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    assert!(first.contains("\"outcome\":\"completed\""), "{first}");
+    assert!(first.contains("faultsweep IAP-III"), "{first}");
+    assert!(first.contains("16 seeds"), "{first}");
+    assert!(first.contains("faults injected"), "{first}");
+    assert!(first.contains("\"cycles\":"), "{first}");
+    let second = post_jobs(addr, body);
+    let json = |resp: &str| resp.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    assert_eq!(json(&first), json(&second), "fault study must be seeded");
+
+    // Typed rejections: an unknown array class is a 400, a fault rate
+    // above one (10^6 ppm) is a 413 with the offending field named.
+    let response = post_jobs(addr, "tenant=lab&kind=faultsweep&subtype=IX");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(
+        response.contains("\"rejected\":\"malformed\""),
+        "{response}"
+    );
+    let response = post_jobs(addr, "tenant=lab&kind=faultsweep&flip_ppm=1500000");
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    assert!(
+        response.contains("\"rejected\":\"oversized\"") && response.contains("flip_ppm"),
+        "{response}"
+    );
+}
+
 #[test]
 fn malformed_and_oversized_map_to_typed_4xx() {
     let (_service, server) = start(8, 1);

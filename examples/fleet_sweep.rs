@@ -20,7 +20,9 @@ use std::time::Instant;
 
 use skilltax::machine::array::ArraySubtype;
 use skilltax::machine::cancel::CancelToken;
-use skilltax::machine::fleet::{chunked_results, run_uni_fleet_chunked, UniFleet};
+use skilltax::machine::fleet::{
+    chunked_results, run_uni_fleet_chunked, FleetExec, LaneKernels, UniFleet,
+};
 use skilltax::machine::isa::Instr;
 use skilltax::machine::program::{Assembler, Program};
 use skilltax::machine::uniprocessor::UniProcessor;
@@ -85,6 +87,7 @@ fn main() {
         1_000_000,
         &CancelToken::new(),
         &program,
+        LaneKernels::default(),
         |global, fleet, local| fleet.write_mem(local, 0, bound(global)),
         0, // resolve via SKILLTAX_FLEET_THREADS / SKILLTAX_THREADS
     );
@@ -96,8 +99,16 @@ fn main() {
     //    the fleet injects the same seeded stalls and bit flips in the
     //    same order as per-seed `run_resilient`.
     let seeds: Vec<u64> = (0..64).map(|s| s * 11 + 5).collect();
-    let seq = run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, false);
-    let flt = run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, true);
+    let seq = run_fault_monte_carlo_array(
+        ArraySubtype::III,
+        4,
+        &seeds,
+        0.2,
+        0.05,
+        FleetExec::Sequential,
+    );
+    let flt =
+        run_fault_monte_carlo_array(ArraySubtype::III, 4, &seeds, 0.2, 0.05, FleetExec::fleet());
     assert_eq!(seq, flt, "fault study must be bit-identical");
     let completed = flt.iter().filter(|r| r.is_ok()).count();
     let faults: u64 = flt

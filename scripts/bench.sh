@@ -8,10 +8,15 @@
 #                                the committed baseline (non-zero exit on
 #                                any deterministic-counter regression)
 #   scripts/bench.sh full      — deep local collection to BENCH_local.json
-#   scripts/bench.sh fleet     — gate just the */fleet twins and their
-#                                sequential baselines against the
-#                                committed baseline (the quick loop while
-#                                touching the SoA executor)
+#   scripts/bench.sh fleet     — gate just the */fleet and */fleet_simd
+#                                twins and their sequential baselines
+#                                against the committed baseline (the
+#                                quick loop while touching the SoA
+#                                executor)
+#   scripts/bench.sh fleet-simd — the same gate built with the `simd`
+#                                feature, so the wide lane kernels run
+#                                as real AVX2/SSE2 intrinsics where the
+#                                host supports them
 #   scripts/bench.sh history … — pass-through to the bench_history CLI
 #                                against the default store
 #                                artifacts/history (record / list /
@@ -50,10 +55,16 @@ case "${1:-compare}" in
         ;;
     fleet)
         # The fleet twins share their name stem with their sequential
-        # baselines (…/swarm/… vs …/swarm/…/fleet), so one substring
-        # gates both sides of each SoA identity pair.
+        # baselines (…/swarm/… vs …/swarm/…/fleet{,_simd}), so one
+        # substring gates all sides of each SoA identity group.
         cargo run --release --offline -p skilltax-bench --bin bench_compare -- \
             --baseline "$BASELINE" --filter swarm
+        ;;
+    fleet-simd)
+        # Same gate, wide kernels as real intrinsics: deterministic
+        # counters must not move when the `simd` feature is on.
+        cargo run --release --offline -p skilltax-bench --features simd \
+            --bin bench_compare -- --baseline "$BASELINE" --filter swarm
         ;;
     history)
         shift
@@ -74,7 +85,7 @@ case "${1:-compare}" in
             "$sub" ${store_args[@]+"${store_args[@]}"} "$@"
         ;;
     *)
-        echo "usage: scripts/bench.sh [record|compare|full|fleet|history] [FILTER]" >&2
+        echo "usage: scripts/bench.sh [record|compare|full|fleet|fleet-simd|history] [FILTER]" >&2
         exit 2
         ;;
 esac

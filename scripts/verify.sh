@@ -45,6 +45,20 @@ for threads in 1 2 8; do
         --test shard_identity --test fleet_identity -q
 done
 
+# The same fleet-identity suite with the wide lane kernels compiled to
+# real std::arch intrinsics (`--features simd`): the batched SIMD paths
+# must stay bit-identical to N sequential dense runs too, at every
+# thread width.  Clippy also runs over the feature-gated unsafe module
+# so intrinsic code is held to the same -D warnings bar.
+for threads in 1 2 8; do
+    echo "==> SKILLTAX_THREADS=$threads cargo test --release --offline -p skilltax-machine --features simd --test fleet_identity"
+    SKILLTAX_THREADS=$threads \
+        cargo test --release --offline -p skilltax-machine --features simd \
+        --test fleet_identity -q
+done
+echo "==> cargo clippy -p skilltax-machine --features simd --all-targets --offline -- -D warnings"
+cargo clippy -p skilltax-machine --features simd --all-targets --offline -- -D warnings
+
 # Chaos soak: the multi-tenant service under a seeded hostile tenant
 # mix (DESIGN.md §11).  SKILLTAX_SOAK_SECONDS maps deterministically to
 # a round count, so this short gate replays bit-identically; the
